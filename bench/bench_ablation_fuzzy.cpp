@@ -1,0 +1,50 @@
+// Ablation: fuzzy-matching budget (clustering-tree leaves per Map) vs
+// accuracy and TCAM cost (design §4.2).
+//
+// Expected shape: accuracy rises steeply then saturates ("diminishing
+// returns due to feature saturation"), while TCAM grows roughly linearly
+// in the leaf count — the dial Pegasus turns to trade resources for
+// fidelity.
+#include <cstdio>
+
+#include "common.hpp"
+#include "runtime/lowering.hpp"
+
+int main() {
+  using namespace pegasus::bench;
+  namespace md = pegasus::models;
+  namespace ev = pegasus::eval;
+
+  const BenchScale scale = ScaleFromEnv();
+  auto prep = pegasus::eval::Prepare(
+      pegasus::traffic::PeerRushSpec(scale.peerrush_flows),
+      /*with_raw_bytes=*/false);
+  const pegasus::dataplane::SwitchModel sw;
+
+  std::printf("Ablation: fuzzy leaves per Map vs accuracy and TCAM "
+              "(MLP-B, PeerRush)\n");
+  std::printf("%8s %10s %12s %12s %10s\n", "leaves", "F1(fuzzy)", "F1(float)",
+              "TCAM bits", "TCAM %%");
+  for (std::size_t leaves : {4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    md::MlpBConfig cfg;
+    cfg.epochs = scale.epochs_small;
+    cfg.fuzzy_leaves = leaves;
+    auto m = md::MlpB::Train(prep.stat.train.x, prep.stat.train.labels,
+                             prep.stat.train.size(), prep.stat.train.dim,
+                             prep.num_classes, cfg);
+    const auto& test = prep.stat.test;
+    std::vector<std::int32_t> pz(test.size()), pf(test.size());
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      std::span<const float> row(test.x.data() + i * test.dim, test.dim);
+      pz[i] = m->PredictClassFuzzy(row);
+      pf[i] = m->PredictClassFloat(row);
+    }
+    const double f1z = ev::Evaluate(test.labels, pz, prep.num_classes).f1;
+    const double f1f = ev::Evaluate(test.labels, pf, prep.num_classes).f1;
+    const auto lowered = pegasus::runtime::Lower(m->Compiled(), {});
+    const auto rep = lowered.Report();
+    std::printf("%8zu %10.4f %12.4f %12zu %9.2f%%\n", leaves, f1z, f1f,
+                rep.tcam_bits, rep.TcamPct(sw));
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation: activation bit-width (design ❸: "full-precision weights with
+// fixed-point activations").
+//
+// Sweeps the fixed-point word width of activations between Map tables.
+// Expected shape: binary/2-bit activations lose accuracy sharply (N3IC's
+// failure mode); 8+ bits recover the full-precision model — supporting the
+// paper's choice of fixed-point over binary.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace pegasus::bench;
+  namespace md = pegasus::models;
+  namespace ev = pegasus::eval;
+
+  const BenchScale scale = ScaleFromEnv();
+  auto prep = pegasus::eval::Prepare(
+      pegasus::traffic::PeerRushSpec(scale.peerrush_flows),
+      /*with_raw_bytes=*/false);
+
+  std::printf("Ablation: fixed-point activation width vs accuracy "
+              "(MLP-B, PeerRush)\n");
+  std::printf("%12s %10s %12s\n", "value bits", "F1(fuzzy)", "F1(float)");
+  for (int bits : {2, 4, 6, 8, 12, 16, 24}) {
+    md::MlpBConfig cfg;
+    cfg.epochs = scale.epochs_small;
+    cfg.compile.value_bits = bits;
+    cfg.compile.max_domain_bits = std::min(10, bits);
+    auto m = md::MlpB::Train(prep.stat.train.x, prep.stat.train.labels,
+                             prep.stat.train.size(), prep.stat.train.dim,
+                             prep.num_classes, cfg);
+    const auto& test = prep.stat.test;
+    std::vector<std::int32_t> pz(test.size()), pf(test.size());
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      std::span<const float> row(test.x.data() + i * test.dim, test.dim);
+      pz[i] = m->PredictClassFuzzy(row);
+      pf[i] = m->PredictClassFloat(row);
+    }
+    std::printf("%12d %10.4f %12.4f\n", bits,
+                ev::Evaluate(test.labels, pz, prep.num_classes).f1,
+                ev::Evaluate(test.labels, pf, prep.num_classes).f1);
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Micro-benchmarks (google-benchmark) of the primitive building blocks:
+// clustering-tree lookup, TCAM table match, CRC ternary expansion and a
+// full per-packet pipeline pass. These bound the *simulator's* throughput
+// (Figure 9d reports the line-rate model for the real switch).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <random>
+
+#include "core/fuzzy.hpp"
+#include "dataplane/crc.hpp"
+#include "dataplane/pipeline.hpp"
+#include "dataplane/table.hpp"
+
+namespace {
+
+using namespace pegasus;
+
+std::vector<float> RandomRows(std::size_t n, std::size_t dim,
+                              std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(0.0f, 255.0f);
+  std::vector<float> x(n * dim);
+  for (float& v : x) v = std::floor(dist(rng));
+  return x;
+}
+
+void BM_ClusterTreeLookup(benchmark::State& state) {
+  const auto leaves = static_cast<std::size_t>(state.range(0));
+  const std::size_t dim = 4;
+  const auto data = RandomRows(4000, dim, 1);
+  auto tree = core::ClusterTree::Fit(data, 4000, dim, {leaves, 8, 1});
+  const auto probes = RandomRows(1024, dim, 2);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Lookup(
+        std::span<const float>(probes.data() + (i++ % 1024) * dim, dim)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClusterTreeLookup)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CrcExpansion(benchmark::State& state) {
+  std::mt19937_64 rng(3);
+  const int width = static_cast<int>(state.range(0));
+  const std::uint64_t max = (1ull << width) - 1;
+  std::uniform_int_distribution<std::uint64_t> dist(0, max);
+  for (auto _ : state) {
+    std::uint64_t a = dist(rng), b = dist(rng);
+    if (a > b) std::swap(a, b);
+    benchmark::DoNotOptimize(dataplane::RangeToTernary(a, b, width));
+  }
+}
+BENCHMARK(BM_CrcExpansion)->Arg(8)->Arg(10)->Arg(16);
+
+void BM_TernaryTableLookup(benchmark::State& state) {
+  const auto entries = static_cast<std::size_t>(state.range(0));
+  dataplane::PhvLayout layout;
+  const auto key = layout.AddField("k", 10);
+  const auto out = layout.AddField("o", 16);
+  std::vector<dataplane::ActionOp> prog{
+      {dataplane::ActionOp::Kind::kSetFromData, out, 0, 0, -1}};
+  dataplane::MatchActionTable table("t", dataplane::MatchKind::kTernary,
+                                    {key}, {10}, prog, 16);
+  // Disjoint single-value entries + catch-all.
+  for (std::size_t e = 0; e < entries; ++e) {
+    table.AddEntry({.ternary = {dataplane::TernaryRule{e, 0x3ff}},
+                    .priority = 1,
+                    .action_data = {static_cast<std::int64_t>(e)}});
+  }
+  table.AddEntry({.ternary = {dataplane::TernaryRule{0, 0}}, .action_data = {0}});
+  dataplane::Phv phv(layout);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    phv.Set(key, static_cast<std::int64_t>(i++ % (entries + 16)));
+    benchmark::DoNotOptimize(table.Apply(phv));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TernaryTableLookup)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_PipelineProcess(benchmark::State& state) {
+  // A 4-stage pipeline of small exact tables, roughly an MLP-B pass.
+  dataplane::Pipeline pipe;
+  dataplane::PhvLayout layout;
+  const auto key = layout.AddField("k", 8);
+  std::vector<dataplane::FieldId> outs;
+  for (int s = 0; s < 4; ++s) {
+    outs.push_back(layout.AddField("o" + std::to_string(s), 16));
+  }
+  for (std::size_t s = 0; s < 4; ++s) {
+    std::vector<dataplane::ActionOp> prog{
+        {dataplane::ActionOp::Kind::kAddFromData, outs[s], 0, 0, 65535}};
+    auto table = std::make_unique<dataplane::MatchActionTable>(
+        "t" + std::to_string(s), dataplane::MatchKind::kExact,
+        std::vector<dataplane::FieldId>{key}, std::vector<int>{8}, prog, 16);
+    for (std::uint64_t v = 0; v < 256; ++v) {
+      table->AddEntry({.exact_key = {v}, .action_data = {static_cast<std::int64_t>(v)}});
+    }
+    pipe.PlaceTable(std::move(table), s);
+  }
+  dataplane::Phv phv(layout);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    phv.Set(key, static_cast<std::int64_t>(i++ % 256));
+    benchmark::DoNotOptimize(pipe.Process(phv));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PipelineProcess);
+
+}  // namespace
+
+BENCHMARK_MAIN();

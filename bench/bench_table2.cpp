@@ -1,0 +1,53 @@
+// Reproduces Table 2 (the introduction's preview): Pegasus (CNN-L) vs
+// prior works — average accuracy improvement, model-size ratio and
+// input-scale ratio.
+//
+// Runs the same pipeline as Table 5 at reduced scale (Table 2 is a summary
+// of Table 5's best rows).
+#include <cstdio>
+#include <cstdlib>
+
+#include "common.hpp"
+
+int main() {
+  using namespace pegasus::bench;
+  BenchScale scale = ScaleFromEnv();
+  // Table 2 is derived from Table 5; run at reduced scale to keep the full
+  // bench sweep affordable.
+  scale.peerrush_flows = std::min<std::size_t>(scale.peerrush_flows, 80);
+  scale.ciciot_flows = std::min<std::size_t>(scale.ciciot_flows, 80);
+  scale.iscx_flows = std::min<std::size_t>(scale.iscx_flows, 50);
+
+  auto data = PrepareAll(scale, /*with_raw_bytes=*/true);
+  const auto rows = RunTable5(data, scale);
+
+  const auto& leo = rows[0];
+  const auto& n3ic = rows[1];
+  const auto& bos = rows[3];
+  const auto& cnnl = rows[7];
+
+  auto avg_delta = [&](const Table5Row& base) {
+    double acc = 0;
+    for (std::size_t d = 0; d < base.cells.size(); ++d) {
+      acc += cnnl.cells[d].f1 - base.cells[d].f1;
+    }
+    return 100.0 * acc / static_cast<double>(base.cells.size());
+  };
+
+  std::printf("\nTable 2: Pegasus (CNN-L) vs Prior Works\n");
+  std::printf("%-24s %12s %12s %12s\n", "Prior work", "Accuracy^", "Model size",
+              "Input scale");
+  std::printf("%-24s %+11.1f%% %11.0fx %11.0fx\n", "N3IC (binary MLP)",
+              avg_delta(n3ic), cnnl.model_size_kb / n3ic.model_size_kb,
+              static_cast<double>(cnnl.input_scale_bits) /
+                  static_cast<double>(n3ic.input_scale_bits));
+  std::printf("%-24s %+11.1f%% %11.0fx %11.0fx\n", "BoS (binary RNN)",
+              avg_delta(bos), cnnl.model_size_kb / bos.model_size_kb,
+              static_cast<double>(cnnl.input_scale_bits) /
+                  static_cast<double>(bos.input_scale_bits));
+  std::printf("%-24s %+11.1f%% %12s %12s\n", "Leo (Decision Tree)",
+              avg_delta(leo), "-", "-");
+  std::printf("\n(paper: N3IC +22.8%% / 248x / 29x; BoS +17.9%% / 237x / "
+              "212x; Leo +17.2%%)\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Table 5: classification accuracy (macro PR/RC/F1), input
+// scale and model size for Leo, N3IC, MLP-B, BoS, RNN-B, CNN-B, CNN-M and
+// CNN-L across the three traffic-classification datasets.
+//
+// Expected shape (paper): MLP-B > N3IC on the same features; RNN-B/CNN-B >
+// BoS on the same windows; CNN-M > CNN-B; CNN-L dominates everything with
+// a 3840-bit input scale.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace pegasus::bench;
+  const BenchScale scale = ScaleFromEnv();
+  auto data = PrepareAll(scale, /*with_raw_bytes=*/true);
+  const auto rows = RunTable5(data, scale);
+  PrintTable5(rows, data,
+              "Table 5: Comparison of classification accuracy across "
+              "different methods");
+
+  // Paper-vs-measured deltas the evaluation text calls out.
+  auto f1 = [&](std::size_t row, std::size_t ds) {
+    return rows[row].cells[ds].f1;
+  };
+  std::printf("\nKey comparisons (positive = Pegasus wins, averaged over "
+              "datasets):\n");
+  double mlp_vs_n3ic = 0, rnn_vs_bos = 0, cnnl_vs_leo = 0, cnnl_vs_n3ic = 0,
+         cnnl_vs_bos = 0, cnnm_vs_cnnb = 0;
+  for (std::size_t d = 0; d < data.size(); ++d) {
+    mlp_vs_n3ic += f1(2, d) - f1(1, d);
+    rnn_vs_bos += f1(4, d) - f1(3, d);
+    cnnl_vs_leo += f1(7, d) - f1(0, d);
+    cnnl_vs_n3ic += f1(7, d) - f1(1, d);
+    cnnl_vs_bos += f1(7, d) - f1(3, d);
+    cnnm_vs_cnnb += f1(6, d) - f1(5, d);
+  }
+  const double nd = static_cast<double>(data.size());
+  std::printf("  MLP-B  - N3IC : %+.3f  (paper: +0.058..+0.119)\n",
+              mlp_vs_n3ic / nd);
+  std::printf("  RNN-B  - BoS  : %+.3f  (paper: +0.041..+0.071)\n",
+              rnn_vs_bos / nd);
+  std::printf("  CNN-M  - CNN-B: %+.3f  (paper: +0.015..+0.026)\n",
+              cnnm_vs_cnnb / nd);
+  std::printf("  CNN-L  - Leo  : %+.3f  (paper: +0.172 avg)\n",
+              cnnl_vs_leo / nd);
+  std::printf("  CNN-L  - N3IC : %+.3f  (paper: +0.228 avg)\n",
+              cnnl_vs_n3ic / nd);
+  std::printf("  CNN-L  - BoS  : %+.3f  (paper: +0.179 avg)\n",
+              cnnl_vs_bos / nd);
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Reproduces Table 6: hardware resource utilization — stateful bits/flow,
+// stateless SRAM %, TCAM %, and Action Data Bus % for each method lowered
+// onto the simulated Tofino-2-class switch.
+//
+// As in the paper, BoS uses its moderate configuration (hidden size 8) and
+// Leo 1024 nodes; Pegasus models are the Table 5 configurations. Expected
+// shape: BoS has zero TCAM; CNN-M beats CNN-B on every resource column
+// despite being ~80x larger (Advanced Primitive Fusion); CNN-L stays under
+// ~15% of SRAM/TCAM despite a megabit-class model.
+#include <cstdio>
+
+#include "baselines/bos.hpp"
+#include "baselines/leo.hpp"
+#include "common.hpp"
+#include "runtime/lowering.hpp"
+
+namespace {
+
+using pegasus::dataplane::ResourceReport;
+using pegasus::dataplane::SwitchModel;
+
+void PrintRow(const char* name, std::size_t stateful,
+              const ResourceReport& rep, const SwitchModel& sw) {
+  std::printf("%-12s %14zu %9.2f%% %9.2f%% %9.2f%%\n", name, stateful,
+              rep.SramPct(sw), rep.TcamPct(sw), rep.ActionBusPct(sw));
+}
+
+}  // namespace
+
+int main() {
+  using namespace pegasus::bench;
+  namespace bl = pegasus::baselines;
+  namespace md = pegasus::models;
+  namespace rt = pegasus::runtime;
+
+  const BenchScale scale = ScaleFromEnv();
+  // Resource shape is dataset-independent; PeerRush stands in.
+  auto prep = pegasus::eval::Prepare(
+      pegasus::traffic::PeerRushSpec(scale.peerrush_flows),
+      /*with_raw_bytes=*/true);
+  const std::size_t nc = prep.num_classes;
+  const SwitchModel sw;
+
+  std::printf("Table 6: Hardware resource utilization\n");
+  std::printf("%-12s %14s %10s %10s %10s\n", "Model", "Stateful b/flow",
+              "SRAM", "TCAM", "Bus");
+
+  // --- Leo (1024 nodes) --------------------------------------------------
+  {
+    auto tree = bl::DecisionTree::Fit(prep.stat.train.x,
+                                      prep.stat.train.labels,
+                                      prep.stat.train.size(),
+                                      prep.stat.train.dim, nc, {1024, 4, 8});
+    const auto rep = tree.Footprint(sw);
+    PrintRow("Leo", rep.stateful_bits_per_flow, rep, sw);
+  }
+  // --- BoS (hidden 8) ------------------------------------------------------
+  {
+    bl::BosConfig cfg;
+    cfg.hidden = 8;
+    cfg.epochs = 2;  // resources do not depend on training quality
+    auto rnn = bl::BosRnn::Train(prep.seq.train.x, prep.seq.train.labels,
+                                 prep.seq.train.size(), prep.seq.train.dim,
+                                 nc, cfg);
+    const auto rep = rnn.Footprint(sw);
+    PrintRow("BoS", rep.stateful_bits_per_flow, rep, sw);
+  }
+  // --- Pegasus models ------------------------------------------------------
+  auto lower_and_print = [&](const char* name,
+                             const md::TrainedModel& model) {
+    rt::LoweringOptions opts;
+    opts.stateful_bits_per_flow = model.FlowState().BitsPerFlow();
+    const auto lowered = rt::Lower(model.Compiled(), opts);
+    const auto rep = lowered.Report();
+    PrintRow(name, rep.stateful_bits_per_flow, rep, sw);
+  };
+
+  {
+    md::MlpBConfig cfg;
+    cfg.epochs = scale.epochs_small;
+    auto m = md::MlpB::Train(prep.stat.train.x, prep.stat.train.labels,
+                             prep.stat.train.size(), prep.stat.train.dim, nc,
+                             cfg);
+    lower_and_print("MLP-B", *m);
+  }
+  {
+    md::RnnBConfig cfg;
+    cfg.epochs = scale.epochs_small;
+    auto m = md::RnnB::Train(prep.seq.train.x, prep.seq.train.labels,
+                             prep.seq.train.size(), prep.seq.train.dim, nc,
+                             cfg);
+    lower_and_print("RNN-B", *m);
+  }
+  {
+    md::CnnBConfig cfg;
+    cfg.epochs = scale.epochs_small;
+    auto m = md::CnnB::Train(prep.seq.train.x, prep.seq.train.labels,
+                             prep.seq.train.size(), prep.seq.train.dim, nc,
+                             cfg);
+    lower_and_print("CNN-B", *m);
+  }
+  {
+    md::CnnMConfig cfg;
+    cfg.epochs = scale.epochs_small;
+    auto m = md::CnnM::Train(prep.seq.train.x, prep.seq.train.labels,
+                             prep.seq.train.size(), prep.seq.train.dim, nc,
+                             cfg);
+    lower_and_print("CNN-M", *m);
+  }
+  {
+    md::CnnLConfig cfg;
+    cfg.epochs = scale.epochs_cnnl;
+    auto m = md::CnnL::Train(prep.raw.train.x, prep.seq.train.x,
+                             prep.raw.train.labels, prep.raw.train.size(),
+                             nc, cfg);
+    // On the switch the extractor tables are shared across all packets of
+    // a window; total footprint = extractor + window classifier.
+    rt::LoweringOptions opts;
+    opts.stateful_bits_per_flow = m->FlowState().BitsPerFlow();
+    const auto ext = rt::Lower(m->CompiledExtractor(), opts);
+    const auto cls = rt::Lower(m->CompiledClassifier(), {});
+    auto rep = ext.Report();
+    const auto crep = cls.Report();
+    rep.sram_bits += crep.sram_bits;
+    rep.tcam_bits += crep.tcam_bits;
+    rep.total_action_bus_bits += crep.total_action_bus_bits;
+    rep.stages_used += crep.stages_used;
+    PrintRow("CNN-L", rep.stateful_bits_per_flow, rep, sw);
+  }
+  {
+    md::AutoencoderConfig cfg;
+    cfg.epochs = scale.epochs_ae;
+    auto m = md::Autoencoder::Train(prep.seq.train.x, prep.seq.train.size(),
+                                    prep.seq.train.dim, cfg);
+    lower_and_print("AutoEncoder", *m);
+  }
+
+  std::printf("\n(paper Table 6: Leo 80b 2.44/21.67/3.55; BoS 72b 2.81/0/"
+              "0.74; MLP-B 80b 7.75/12.92/29.45; RNN-B 240b 7.38/23.33/"
+              "33.36; CNN-B 72b 5.56/7.08/13.16; CNN-M 72b 3.50/6.67/3.98; "
+              "CNN-L 44b 7.12/13.33/7.11; AE 240b 5.06/7.92/7.23)\n");
+  return 0;
+}

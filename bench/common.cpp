@@ -1,0 +1,303 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "baselines/bos.hpp"
+#include "baselines/leo.hpp"
+#include "baselines/n3ic.hpp"
+
+namespace pegasus::bench {
+
+namespace bl = pegasus::baselines;
+namespace ev = pegasus::eval;
+namespace md = pegasus::models;
+namespace tr = pegasus::traffic;
+
+BenchScale ScaleFromEnv() {
+  BenchScale s;
+  const char* env = std::getenv("PEGASUS_BENCH_SCALE");
+  if (env != nullptr && std::strcmp(env, "small") == 0) {
+    s.peerrush_flows = 50;
+    s.ciciot_flows = 50;
+    s.iscx_flows = 35;
+    s.epochs_small = 12;
+    s.epochs_cnnl = 4;
+    s.epochs_ae = 25;
+  }
+  return s;
+}
+
+std::vector<ev::PreparedDataset> PrepareAll(const BenchScale& scale,
+                                            bool with_raw_bytes) {
+  std::vector<ev::PreparedDataset> out;
+  out.push_back(
+      ev::Prepare(tr::PeerRushSpec(scale.peerrush_flows), with_raw_bytes));
+  out.push_back(
+      ev::Prepare(tr::CiciotSpec(scale.ciciot_flows), with_raw_bytes));
+  out.push_back(
+      ev::Prepare(tr::IscxVpnSpec(scale.iscx_flows), with_raw_bytes));
+  return out;
+}
+
+namespace {
+
+AccuracyCell CellFrom(const ev::ClassificationReport& rep) {
+  return {rep.precision, rep.recall, rep.f1};
+}
+
+template <typename Predict>
+AccuracyCell EvalOn(const tr::SampleSet& test, std::size_t num_classes,
+                    Predict&& predict) {
+  std::vector<std::int32_t> pred(test.size());
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    pred[i] = predict(
+        std::span<const float>(test.x.data() + i * test.dim, test.dim), i);
+  }
+  return CellFrom(ev::Evaluate(test.labels, pred, num_classes));
+}
+
+}  // namespace
+
+std::vector<Table5Row> RunTable5(std::vector<ev::PreparedDataset>& data,
+                                 const BenchScale& scale) {
+  std::vector<Table5Row> rows(8);
+  rows[0].method = "Leo (Decision Tree)";
+  rows[1].method = "N3IC (binary MLP)";
+  rows[2].method = "MLP-B";
+  rows[3].method = "BoS (binary RNN)";
+  rows[4].method = "RNN-B";
+  rows[5].method = "CNN-B";
+  rows[6].method = "CNN-M";
+  rows[7].method = "CNN-L";
+
+  for (auto& prep : data) {
+    const std::size_t nc = prep.num_classes;
+    std::fprintf(stderr, "[table5] %s: training 8 methods...\n",
+                 prep.name.c_str());
+
+    // --- Leo ------------------------------------------------------------
+    {
+      auto tree = bl::DecisionTree::Fit(
+          prep.stat.train.x, prep.stat.train.labels, prep.stat.train.size(),
+          prep.stat.train.dim, nc, {2048, 4, 8});
+      rows[0].input_scale_bits = prep.stat.train.dim * 8;
+      rows[0].model_size_kb = 0.0;  // '-' in the paper
+      rows[0].cells.push_back(
+          EvalOn(prep.stat.test, nc, [&](std::span<const float> x,
+                                         std::size_t) {
+            return tree.Predict(x);
+          }));
+    }
+    // --- N3IC -----------------------------------------------------------
+    {
+      bl::N3icConfig cfg;
+      cfg.epochs = scale.epochs_small * 2;  // BNNs converge slowly
+      auto mlp = bl::BinaryMlp::Train(prep.stat.train.x,
+                                      prep.stat.train.labels,
+                                      prep.stat.train.size(),
+                                      prep.stat.train.dim, nc, cfg);
+      rows[1].input_scale_bits = prep.stat.train.dim * 8;
+      rows[1].model_size_kb = mlp.ModelSizeKb();
+      rows[1].cells.push_back(EvalOn(
+          prep.stat.test, nc,
+          [&](std::span<const float> x, std::size_t) { return mlp.Predict(x); }));
+    }
+    // --- MLP-B ----------------------------------------------------------
+    {
+      md::MlpBConfig cfg;
+      cfg.epochs = scale.epochs_small;
+      auto m = md::MlpB::Train(prep.stat.train.x, prep.stat.train.labels,
+                               prep.stat.train.size(), prep.stat.train.dim,
+                               nc, cfg);
+      rows[2].input_scale_bits = m->InputScaleBits();
+      rows[2].model_size_kb = m->ModelSizeKb();
+      rows[2].cells.push_back(EvalOn(
+          prep.stat.test, nc, [&](std::span<const float> x, std::size_t) {
+            return m->PredictClassFuzzy(x);
+          }));
+    }
+    // --- BoS ------------------------------------------------------------
+    {
+      bl::BosConfig cfg;
+      cfg.epochs = scale.epochs_small * 2;
+      auto rnn = bl::BosRnn::Train(prep.seq.train.x, prep.seq.train.labels,
+                                   prep.seq.train.size(), prep.seq.train.dim,
+                                   nc, cfg);
+      rows[3].input_scale_bits = rnn.InputScaleBits();
+      rows[3].model_size_kb = rnn.ModelSizeKb();
+      rows[3].cells.push_back(EvalOn(
+          prep.seq.test, nc,
+          [&](std::span<const float> x, std::size_t) { return rnn.Predict(x); }));
+    }
+    // --- RNN-B ----------------------------------------------------------
+    {
+      md::RnnBConfig cfg;
+      cfg.epochs = scale.epochs_small;
+      auto m = md::RnnB::Train(prep.seq.train.x, prep.seq.train.labels,
+                               prep.seq.train.size(), prep.seq.train.dim, nc,
+                               cfg);
+      rows[4].input_scale_bits = m->InputScaleBits();
+      rows[4].model_size_kb = m->ModelSizeKb();
+      rows[4].cells.push_back(EvalOn(
+          prep.seq.test, nc, [&](std::span<const float> x, std::size_t) {
+            return m->PredictClassFuzzy(x);
+          }));
+    }
+    // --- CNN-B ----------------------------------------------------------
+    {
+      md::CnnBConfig cfg;
+      cfg.epochs = scale.epochs_small;
+      auto m = md::CnnB::Train(prep.seq.train.x, prep.seq.train.labels,
+                               prep.seq.train.size(), prep.seq.train.dim, nc,
+                               cfg);
+      rows[5].input_scale_bits = m->InputScaleBits();
+      rows[5].model_size_kb = m->ModelSizeKb();
+      rows[5].cells.push_back(EvalOn(
+          prep.seq.test, nc, [&](std::span<const float> x, std::size_t) {
+            return m->PredictClassFuzzy(x);
+          }));
+    }
+    // --- CNN-M ----------------------------------------------------------
+    {
+      md::CnnMConfig cfg;
+      cfg.epochs = scale.epochs_small;
+      auto m = md::CnnM::Train(prep.seq.train.x, prep.seq.train.labels,
+                               prep.seq.train.size(), prep.seq.train.dim, nc,
+                               cfg);
+      rows[6].input_scale_bits = m->InputScaleBits();
+      rows[6].model_size_kb = m->ModelSizeKb();
+      rows[6].cells.push_back(EvalOn(
+          prep.seq.test, nc, [&](std::span<const float> x, std::size_t) {
+            return m->PredictClassFuzzy(x);
+          }));
+    }
+    // --- CNN-L ----------------------------------------------------------
+    {
+      md::CnnLConfig cfg;
+      cfg.epochs = scale.epochs_cnnl;
+      auto m = md::CnnL::Train(prep.raw.train.x, prep.seq.train.x,
+                               prep.raw.train.labels, prep.raw.train.size(),
+                               nc, cfg);
+      rows[7].input_scale_bits = m->InputScaleBits();
+      rows[7].model_size_kb = m->ModelSizeKb();
+      const auto& test = prep.raw.test;
+      rows[7].cells.push_back(EvalOn(
+          test, nc, [&](std::span<const float> x, std::size_t i) {
+            const auto packed = md::CnnL::PackInput(
+                x,
+                std::span<const float>(
+                    prep.seq.test.x.data() + i * prep.seq.test.dim,
+                    prep.seq.test.dim),
+                cfg.use_ipd);
+            return m->PredictClassFuzzy(packed);
+          }));
+    }
+  }
+  return rows;
+}
+
+void PrintTable5(const std::vector<Table5Row>& rows,
+                 const std::vector<ev::PreparedDataset>& data,
+                 const char* title) {
+  std::printf("\n%s\n", title);
+  std::printf("%-22s %10s %10s", "Method", "Input(b)", "Size(Kb)");
+  for (const auto& d : data) {
+    std::printf(" | %-8s PR     RC     F1 ", d.name.c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows) {
+    std::printf("%-22s %10zu ", row.method.c_str(), row.input_scale_bits);
+    if (row.model_size_kb > 0) {
+      std::printf("%10.1f", row.model_size_kb);
+    } else {
+      std::printf("%10s", "-");
+    }
+    for (const auto& c : row.cells) {
+      std::printf(" |    %.4f %.4f %.4f", c.precision, c.recall, c.f1);
+    }
+    std::printf("\n");
+  }
+}
+
+std::vector<Fig9Cell> RunFig9Accuracy(std::vector<ev::PreparedDataset>& data,
+                                      const BenchScale& scale) {
+  std::vector<Fig9Cell> cells;
+  for (auto& prep : data) {
+    const std::size_t nc = prep.num_classes;
+    std::fprintf(stderr, "[fig9] %s: training 5 Pegasus models...\n",
+                 prep.name.c_str());
+    auto eval_both = [&](const std::string& name,
+                         const md::TrainedModel& model,
+                         const tr::SampleSet& test, bool pack_cnnl) {
+      std::vector<std::int32_t> pf(test.size()), pz(test.size());
+      for (std::size_t i = 0; i < test.size(); ++i) {
+        std::span<const float> row(test.x.data() + i * test.dim, test.dim);
+        std::vector<float> packed;
+        std::span<const float> in = row;
+        if (pack_cnnl) {
+          packed = md::CnnL::PackInput(
+              row,
+              std::span<const float>(
+                  prep.seq.test.x.data() + i * prep.seq.test.dim,
+                  prep.seq.test.dim),
+              true);
+          in = packed;
+        }
+        pf[i] = model.PredictClassFloat(in);
+        pz[i] = model.PredictClassFuzzy(in);
+      }
+      Fig9Cell cell;
+      cell.model = name;
+      cell.dataset = prep.name;
+      cell.f1_float = ev::Evaluate(test.labels, pf, nc).f1;
+      cell.f1_fuzzy = ev::Evaluate(test.labels, pz, nc).f1;
+      cells.push_back(cell);
+    };
+
+    {
+      md::MlpBConfig cfg;
+      cfg.epochs = scale.epochs_small;
+      auto m = md::MlpB::Train(prep.stat.train.x, prep.stat.train.labels,
+                               prep.stat.train.size(), prep.stat.train.dim,
+                               nc, cfg);
+      eval_both("MLP-B", *m, prep.stat.test, false);
+    }
+    {
+      md::RnnBConfig cfg;
+      cfg.epochs = scale.epochs_small;
+      auto m = md::RnnB::Train(prep.seq.train.x, prep.seq.train.labels,
+                               prep.seq.train.size(), prep.seq.train.dim, nc,
+                               cfg);
+      eval_both("RNN-B", *m, prep.seq.test, false);
+    }
+    {
+      md::CnnBConfig cfg;
+      cfg.epochs = scale.epochs_small;
+      auto m = md::CnnB::Train(prep.seq.train.x, prep.seq.train.labels,
+                               prep.seq.train.size(), prep.seq.train.dim, nc,
+                               cfg);
+      eval_both("CNN-B", *m, prep.seq.test, false);
+    }
+    {
+      md::CnnMConfig cfg;
+      cfg.epochs = scale.epochs_small;
+      auto m = md::CnnM::Train(prep.seq.train.x, prep.seq.train.labels,
+                               prep.seq.train.size(), prep.seq.train.dim, nc,
+                               cfg);
+      eval_both("CNN-M", *m, prep.seq.test, false);
+    }
+    {
+      md::CnnLConfig cfg;
+      cfg.epochs = scale.epochs_cnnl;
+      auto m = md::CnnL::Train(prep.raw.train.x, prep.seq.train.x,
+                               prep.raw.train.labels, prep.raw.train.size(),
+                               nc, cfg);
+      eval_both("CNN-L", *m, prep.raw.test, true);
+    }
+  }
+  return cells;
+}
+
+}  // namespace pegasus::bench

@@ -1,0 +1,76 @@
+// Shared plumbing for the benchmark harness (one binary per paper table /
+// figure). Each bench trains the methods it needs on the synthetic
+// datasets and prints the same rows/series the paper reports.
+//
+// Scale knob: PEGASUS_BENCH_SCALE=small|full (default full). `small` cuts
+// flows per class so a full pass finishes quickly in CI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.hpp"
+#include "models/autoencoder.hpp"
+#include "models/cnn_b.hpp"
+#include "models/cnn_l.hpp"
+#include "models/cnn_m.hpp"
+#include "models/mlp_b.hpp"
+#include "models/rnn_b.hpp"
+
+namespace pegasus::bench {
+
+struct BenchScale {
+  std::size_t peerrush_flows = 150;
+  std::size_t ciciot_flows = 150;
+  std::size_t iscx_flows = 100;
+  std::size_t epochs_small = 25;  // MLP/RNN/CNN-B/M
+  std::size_t epochs_cnnl = 10;
+  std::size_t epochs_ae = 50;
+};
+
+/// Reads PEGASUS_BENCH_SCALE.
+BenchScale ScaleFromEnv();
+
+/// The three benchmark datasets, prepared once (§7.1 splits).
+std::vector<eval::PreparedDataset> PrepareAll(const BenchScale& scale,
+                                              bool with_raw_bytes);
+
+/// Per-method, per-dataset accuracy numbers in Table 5's format.
+struct AccuracyCell {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+struct Table5Row {
+  std::string method;
+  std::size_t input_scale_bits = 0;
+  double model_size_kb = 0.0;
+  std::vector<AccuracyCell> cells;  // one per dataset
+};
+
+/// Trains every Table 5 method on every dataset and evaluates on the test
+/// split. Rows come back in the paper's order: Leo, N3IC, MLP-B, BoS,
+/// RNN-B, CNN-B, CNN-M, CNN-L.
+std::vector<Table5Row> RunTable5(std::vector<eval::PreparedDataset>& data,
+                                 const BenchScale& scale);
+
+/// Pretty-prints a Table 5-shaped table.
+void PrintTable5(const std::vector<Table5Row>& rows,
+                 const std::vector<eval::PreparedDataset>& data,
+                 const char* title);
+
+/// Trains just the Pegasus models (for Figure 9) and returns both the
+/// float (control-plane) and fuzzy (dataplane) macro-F1.
+struct Fig9Cell {
+  std::string model;
+  std::string dataset;
+  double f1_float = 0.0;
+  double f1_fuzzy = 0.0;
+};
+
+std::vector<Fig9Cell> RunFig9Accuracy(std::vector<eval::PreparedDataset>& data,
+                                      const BenchScale& scale);
+
+}  // namespace pegasus::bench

@@ -1,0 +1,55 @@
+// Example: exploring the accuracy/resource trade-off space (the dial the
+// paper says users should turn: "allowing users to balance accuracy and
+// resource overhead based on their specific requirements", §8).
+//
+// Sweeps MLP-B's fuzzy budget and activation width, lowers each
+// configuration onto the simulated switch, and prints a frontier table —
+// including configurations that fail placement, which is what a too-big
+// model looks like on real hardware.
+#include <cstdio>
+
+#include "eval/experiment.hpp"
+#include "models/mlp_b.hpp"
+#include "runtime/lowering.hpp"
+
+int main() {
+  using namespace pegasus;
+
+  auto prep = eval::Prepare(traffic::CiciotSpec(60), /*with_raw_bytes=*/false);
+  std::printf("exploring MLP-B configurations on %s\n", prep.name.c_str());
+  std::printf("%8s %6s %10s %8s %8s %8s %8s\n", "leaves", "bits", "F1",
+              "tables", "stages", "SRAM%", "TCAM%");
+
+  for (std::size_t leaves : {16u, 64u, 256u}) {
+    for (int bits : {8, 16}) {
+      models::MlpBConfig cfg;
+      cfg.epochs = 15;
+      cfg.fuzzy_leaves = leaves;
+      cfg.compile.value_bits = bits;
+      auto model = models::MlpB::Train(
+          prep.stat.train.x, prep.stat.train.labels, prep.stat.train.size(),
+          prep.stat.train.dim, prep.num_classes, cfg);
+      const auto& test = prep.stat.test;
+      std::size_t correct = 0;
+      std::vector<std::int32_t> pred(test.size());
+      for (std::size_t i = 0; i < test.size(); ++i) {
+        pred[i] = model->PredictClassFuzzy(std::span<const float>(
+            test.x.data() + i * test.dim, test.dim));
+        if (pred[i] == test.labels[i]) ++correct;
+      }
+      const double f1 =
+          eval::Evaluate(test.labels, pred, prep.num_classes).f1;
+      try {
+        auto lowered = runtime::Lower(model->Compiled(), {});
+        const auto rep = lowered.Report();
+        std::printf("%8zu %6d %10.4f %8zu %8zu %7.2f%% %7.2f%%\n", leaves,
+                    bits, f1, lowered.NumTables(), lowered.StagesUsed(),
+                    rep.SramPct({}), rep.TcamPct({}));
+      } catch (const dataplane::PlacementError& e) {
+        std::printf("%8zu %6d %10.4f %8s %8s %8s %8s  <- does not fit: %s\n",
+                    leaves, bits, f1, "-", "-", "-", "-", e.what());
+      }
+    }
+  }
+  return 0;
+}

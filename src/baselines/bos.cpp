@@ -1,0 +1,225 @@
+#include "baselines/bos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace pegasus::baselines {
+
+namespace {
+float Sign(float v) { return v >= 0.0f ? 1.0f : -1.0f; }
+}  // namespace
+
+std::vector<float> BosRnn::StepBits(std::span<const float> features,
+                                    std::size_t step) const {
+  // Use the last cfg_.steps packets of the window. Per packet: the top two
+  // bits of the quantized length and the top bit of the quantized IPD —
+  // BoS's aggressive input binarization.
+  const std::size_t pkt = window_ - cfg_.steps + step;
+  const auto len = static_cast<std::uint32_t>(std::lround(
+      std::clamp(features[pkt * 2], 0.0f, 255.0f)));
+  const auto ipd = static_cast<std::uint32_t>(std::lround(
+      std::clamp(features[pkt * 2 + 1], 0.0f, 255.0f)));
+  std::vector<float> bits(cfg_.bits_per_step, -1.0f);
+  bits[0] = (len & 0x80u) ? 1.0f : -1.0f;
+  if (cfg_.bits_per_step > 1) bits[1] = (len & 0x40u) ? 1.0f : -1.0f;
+  if (cfg_.bits_per_step > 2) bits[2] = (ipd & 0x80u) ? 1.0f : -1.0f;
+  return bits;
+}
+
+BosRnn BosRnn::Train(std::span<const float> x,
+                     const std::vector<std::int32_t>& labels, std::size_t n,
+                     std::size_t dim, std::size_t num_classes,
+                     const BosConfig& cfg) {
+  if (n == 0 || x.size() != n * dim || labels.size() != n) {
+    throw std::invalid_argument("BosRnn::Train: bad data");
+  }
+  if (dim % 2 != 0 || dim / 2 < cfg.steps) {
+    throw std::invalid_argument("BosRnn::Train: window too small");
+  }
+  BosRnn m;
+  m.cfg_ = cfg;
+  m.window_ = dim / 2;
+  m.num_classes_ = num_classes;
+
+  std::mt19937_64 rng(cfg.seed);
+  std::uniform_real_distribution<float> dist(-0.5f, 0.5f);
+  const std::size_t ib = cfg.bits_per_step, h = cfg.hidden;
+  m.wx_.resize(ib * h);
+  m.wh_.resize(h * h);
+  m.b_.assign(h, 0.0f);
+  m.v_.resize(h * num_classes);
+  m.c_.assign(num_classes, 0.0f);
+  for (float& w : m.wx_) w = dist(rng);
+  for (float& w : m.wh_) w = dist(rng) * 0.3f;
+  for (float& w : m.v_) w = dist(rng);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(ib + h));
+
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    for (std::size_t start = 0; start < n; start += cfg.batch) {
+      const std::size_t end = std::min(n, start + cfg.batch);
+      std::vector<float> gwx(m.wx_.size(), 0.0f), gwh(m.wh_.size(), 0.0f),
+          gb(h, 0.0f), gv(m.v_.size(), 0.0f), gc(num_classes, 0.0f);
+      for (std::size_t bi = start; bi < end; ++bi) {
+        const std::size_t smp = order[bi];
+        const auto feats = x.subspan(smp * dim, dim);
+        // forward (binary hidden via STE)
+        std::vector<std::vector<float>> xs(cfg.steps), pre(cfg.steps),
+            hs(cfg.steps + 1);
+        hs[0].assign(h, -1.0f);
+        for (std::size_t t = 0; t < cfg.steps; ++t) {
+          xs[t] = m.StepBits(feats, t);
+          pre[t].assign(h, 0.0f);
+          for (std::size_t j = 0; j < h; ++j) {
+            float acc = m.b_[j];
+            for (std::size_t i = 0; i < ib; ++i) {
+              acc += xs[t][i] * m.wx_[i * h + j];
+            }
+            for (std::size_t k = 0; k < h; ++k) {
+              acc += hs[t][k] * m.wh_[k * h + j];
+            }
+            pre[t][j] = acc * scale;
+          }
+          hs[t + 1].resize(h);
+          for (std::size_t j = 0; j < h; ++j) {
+            hs[t + 1][j] = Sign(pre[t][j]);
+          }
+        }
+        // readout + softmax CE
+        std::vector<float> logits(num_classes);
+        for (std::size_t c = 0; c < num_classes; ++c) {
+          float acc = m.c_[c];
+          for (std::size_t j = 0; j < h; ++j) {
+            acc += hs[cfg.steps][j] * m.v_[j * num_classes + c];
+          }
+          logits[c] = acc;
+        }
+        const float mx = *std::max_element(logits.begin(), logits.end());
+        float sum = 0.0f;
+        std::vector<float> dl(num_classes);
+        for (std::size_t c = 0; c < num_classes; ++c) {
+          dl[c] = std::exp(logits[c] - mx);
+          sum += dl[c];
+        }
+        for (std::size_t c = 0; c < num_classes; ++c) dl[c] /= sum;
+        dl[static_cast<std::size_t>(labels[smp])] -= 1.0f;
+
+        // backward through readout
+        std::vector<float> dh(h, 0.0f);
+        for (std::size_t c = 0; c < num_classes; ++c) {
+          gc[c] += dl[c];
+          for (std::size_t j = 0; j < h; ++j) {
+            gv[j * num_classes + c] += dl[c] * hs[cfg.steps][j];
+            dh[j] += dl[c] * m.v_[j * num_classes + c];
+          }
+        }
+        // BPTT with STE gates
+        for (std::size_t t = cfg.steps; t-- > 0;) {
+          std::vector<float> dpre(h);
+          for (std::size_t j = 0; j < h; ++j) {
+            dpre[j] = std::abs(pre[t][j]) <= 1.0f ? dh[j] * scale : 0.0f;
+          }
+          std::vector<float> dh_prev(h, 0.0f);
+          for (std::size_t j = 0; j < h; ++j) {
+            const float g = dpre[j];
+            if (g == 0.0f) continue;
+            gb[j] += g;
+            for (std::size_t i = 0; i < ib; ++i) {
+              gwx[i * h + j] += g * xs[t][i];
+            }
+            for (std::size_t k = 0; k < h; ++k) {
+              gwh[k * h + j] += g * hs[t][k];
+              dh_prev[k] += g * m.wh_[k * h + j];
+            }
+          }
+          dh = std::move(dh_prev);
+        }
+      }
+      const float lr = cfg.lr / static_cast<float>(end - start);
+      auto step = [lr](std::vector<float>& w, const std::vector<float>& g) {
+        for (std::size_t i = 0; i < w.size(); ++i) {
+          w[i] = std::clamp(w[i] - lr * g[i], -2.0f, 2.0f);
+        }
+      };
+      step(m.wx_, gwx);
+      step(m.wh_, gwh);
+      step(m.b_, gb);
+      step(m.v_, gv);
+      step(m.c_, gc);
+    }
+  }
+  return m;
+}
+
+std::int32_t BosRnn::Predict(std::span<const float> features) const {
+  const std::size_t ib = cfg_.bits_per_step, h = cfg_.hidden;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(ib + h));
+  std::vector<float> hidden(h, -1.0f);
+  for (std::size_t t = 0; t < cfg_.steps; ++t) {
+    const std::vector<float> bits = StepBits(features, t);
+    std::vector<float> next(h);
+    for (std::size_t j = 0; j < h; ++j) {
+      float acc = b_[j];
+      for (std::size_t i = 0; i < ib; ++i) acc += bits[i] * wx_[i * h + j];
+      for (std::size_t k = 0; k < h; ++k) acc += hidden[k] * wh_[k * h + j];
+      next[j] = Sign(acc * scale);
+    }
+    hidden = std::move(next);
+  }
+  std::size_t best = 0;
+  float best_score = -1e30f;
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    float acc = c_[c];
+    for (std::size_t j = 0; j < h; ++j) acc += hidden[j] * v_[j * num_classes_ + c];
+    if (acc > best_score) {
+      best_score = acc;
+      best = c;
+    }
+  }
+  return static_cast<std::int32_t>(best);
+}
+
+std::vector<std::int32_t> BosRnn::PredictBatch(std::span<const float> x,
+                                               std::size_t n) const {
+  const std::size_t dim = window_ * 2;
+  std::vector<std::int32_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = Predict(x.subspan(i * dim, dim));
+  }
+  return out;
+}
+
+double BosRnn::ModelSizeKb() const {
+  const std::size_t params =
+      wx_.size() + wh_.size() + b_.size() + v_.size() + c_.size();
+  return static_cast<double>(params) * 32.0 / 1000.0;
+}
+
+dataplane::ResourceReport BosRnn::Footprint(
+    const dataplane::SwitchModel& sw) const {
+  dataplane::ResourceReport rep;
+  const std::size_t key_bits = cfg_.bits_per_step + cfg_.hidden;
+  const std::size_t entries = TableEntriesPerStep();
+  // Exact-match step tables (SRAM), one per time step; the final readout
+  // table maps the last hidden state to a class id.
+  rep.sram_bits = cfg_.steps * entries * (key_bits + cfg_.hidden) +
+                  (std::size_t{1} << cfg_.hidden) * 8;
+  rep.tcam_bits = 0;
+  rep.stages_used = cfg_.steps + 1;
+  rep.total_action_bus_bits = (cfg_.steps + 1) * cfg_.hidden;
+  rep.max_stage_action_bus_bits = cfg_.hidden;
+  // BoS per-flow state: stored binary step inputs for the window plus the
+  // previous-packet timestamp: 6 steps x 3 bits (rounded to bytes) + 16b ts
+  // + flow bookkeeping = 72 bits (Table 6).
+  rep.stateful_bits_per_flow = 72;
+  (void)sw;
+  return rep;
+}
+
+}  // namespace pegasus::baselines

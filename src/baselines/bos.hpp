@@ -1,0 +1,77 @@
+// BoS baseline (Yan et al., NSDI'24 "Brain-on-Switch"): a windowed binary
+// RNN executed by computation bypassing — every time step is one exact
+// lookup from (binary input bits, binary hidden bits) to the next hidden
+// bits, so internal arithmetic is full precision but activations crossing
+// table boundaries are binary.
+//
+// The scaling law the paper criticizes is explicit here: a step table has
+// 2^(input_bits + hidden_bits) entries, which is why BoS caps its per-step
+// input at a few bits (18-bit total input scale in Table 5) and why a
+// 21-bit input cannot fit Tofino 2 (§2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dataplane/resources.hpp"
+
+namespace pegasus::baselines {
+
+struct BosConfig {
+  /// Time steps processed on the switch (last `steps` packets of a window).
+  std::size_t steps = 6;
+  /// Binary input bits per step: 2 from packet length + 1 from IPD.
+  std::size_t bits_per_step = 3;
+  std::size_t hidden = 16;
+  std::size_t epochs = 40;
+  std::size_t batch = 64;
+  float lr = 0.01f;
+  std::uint64_t seed = 13;
+};
+
+class BosRnn {
+ public:
+  /// Trains on (len, IPD) sequence windows (dim = 2 * window, window >=
+  /// steps; the last `steps` packets are used).
+  static BosRnn Train(std::span<const float> x,
+                      const std::vector<std::int32_t>& labels, std::size_t n,
+                      std::size_t dim, std::size_t num_classes,
+                      const BosConfig& cfg);
+
+  std::int32_t Predict(std::span<const float> features) const;
+  std::vector<std::int32_t> PredictBatch(std::span<const float> x,
+                                         std::size_t n) const;
+
+  /// Total binary input bits consumed per inference (Table 5's "Input
+  /// Scale" column; 6 steps x 3 bits = 18).
+  std::size_t InputScaleBits() const { return cfg_.steps * cfg_.bits_per_step; }
+
+  /// Full-precision parameters stored behind the mapping tables.
+  double ModelSizeKb() const;
+
+  /// Exact-match step tables: 2^(bits_per_step + hidden) entries each.
+  std::size_t TableEntriesPerStep() const {
+    return std::size_t{1} << (cfg_.bits_per_step + cfg_.hidden);
+  }
+
+  /// Switch footprint of the step tables (SRAM-resident exact matches, no
+  /// TCAM — matching Table 6's BoS row).
+  dataplane::ResourceReport Footprint(
+      const dataplane::SwitchModel& sw) const;
+
+ private:
+  BosConfig cfg_;
+  std::size_t window_ = 8;
+  std::size_t num_classes_ = 0;
+  std::vector<float> wx_;  // [bits_per_step x hidden]
+  std::vector<float> wh_;  // [hidden x hidden]
+  std::vector<float> b_;   // [hidden]
+  std::vector<float> v_;   // [hidden x classes] readout
+  std::vector<float> c_;   // [classes]
+
+  std::vector<float> StepBits(std::span<const float> features,
+                              std::size_t step) const;
+};
+
+}  // namespace pegasus::baselines

@@ -1,0 +1,274 @@
+#include "baselines/leo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "dataplane/crc.hpp"
+
+namespace pegasus::baselines {
+
+namespace {
+
+struct Work {
+  std::vector<std::size_t> rows;
+  int node_slot = 0;
+  // cached best split
+  bool best_valid = false;
+  int best_feature = -1;
+  std::uint32_t best_threshold = 0;
+  double best_gain = 0.0;
+  // leaf box for rule accounting
+  std::vector<std::uint32_t> lo, hi;
+};
+
+double Gini(const std::vector<std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double g = 1.0;
+  for (std::size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    g -= p * p;
+  }
+  return g;
+}
+
+}  // namespace
+
+DecisionTree DecisionTree::Fit(std::span<const float> x,
+                               const std::vector<std::int32_t>& labels,
+                               std::size_t n, std::size_t dim,
+                               std::size_t num_classes,
+                               const LeoConfig& cfg) {
+  if (n == 0 || x.size() != n * dim || labels.size() != n) {
+    throw std::invalid_argument("DecisionTree::Fit: bad data");
+  }
+  const std::uint32_t domain_max =
+      (std::uint32_t{1} << cfg.input_bits) - 1;
+  std::vector<std::uint32_t> q(n * dim);
+  for (std::size_t i = 0; i < n * dim; ++i) {
+    q[i] = static_cast<std::uint32_t>(std::lround(
+        std::clamp(x[i], 0.0f, static_cast<float>(domain_max))));
+  }
+
+  DecisionTree tree;
+  tree.dim_ = dim;
+  tree.input_bits_ = cfg.input_bits;
+  tree.nodes_.push_back(Node{});
+
+  auto find_best = [&](Work& w) {
+    w.best_valid = false;
+    w.best_gain = 0.0;
+    const std::size_t rows = w.rows.size();
+    if (rows < 2 * cfg.min_leaf_samples) return;
+    std::vector<std::size_t> total_counts(num_classes, 0);
+    for (std::size_t r : w.rows) {
+      ++total_counts[static_cast<std::size_t>(labels[r])];
+    }
+    const double parent = Gini(total_counts, rows) *
+                          static_cast<double>(rows);
+    std::vector<std::size_t> order(w.rows);
+    for (std::size_t f = 0; f < dim; ++f) {
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return q[a * dim + f] < q[b * dim + f];
+                });
+      std::vector<std::size_t> left_counts(num_classes, 0);
+      for (std::size_t i = 0; i + 1 < rows; ++i) {
+        ++left_counts[static_cast<std::size_t>(labels[order[i]])];
+        const std::uint32_t cur = q[order[i] * dim + f];
+        const std::uint32_t next = q[order[i + 1] * dim + f];
+        if (cur == next) continue;
+        const std::size_t ln = i + 1, rn = rows - ln;
+        if (ln < cfg.min_leaf_samples || rn < cfg.min_leaf_samples) continue;
+        std::vector<std::size_t> right_counts(num_classes);
+        for (std::size_t c = 0; c < num_classes; ++c) {
+          right_counts[c] = total_counts[c] - left_counts[c];
+        }
+        const double child = Gini(left_counts, ln) * static_cast<double>(ln) +
+                             Gini(right_counts, rn) * static_cast<double>(rn);
+        const double gain = parent - child;
+        if (gain > w.best_gain + 1e-9) {
+          w.best_valid = true;
+          w.best_gain = gain;
+          w.best_feature = static_cast<int>(f);
+          w.best_threshold = cur;
+        }
+      }
+    }
+  };
+
+  std::vector<Work> actives;
+  {
+    Work root;
+    root.rows.resize(n);
+    std::iota(root.rows.begin(), root.rows.end(), 0);
+    root.node_slot = 0;
+    root.lo.assign(dim, 0);
+    root.hi.assign(dim, domain_max);
+    find_best(root);
+    actives.push_back(std::move(root));
+  }
+
+  // Best-first growth: each split adds two nodes.
+  while (tree.nodes_.size() + 2 <= cfg.max_nodes) {
+    std::size_t best_i = actives.size();
+    double best_gain = 0.0;
+    for (std::size_t i = 0; i < actives.size(); ++i) {
+      if (actives[i].best_valid && actives[i].best_gain > best_gain) {
+        best_gain = actives[i].best_gain;
+        best_i = i;
+      }
+    }
+    if (best_i == actives.size()) break;
+    Work parent = std::move(actives[best_i]);
+    actives.erase(actives.begin() + static_cast<std::ptrdiff_t>(best_i));
+
+    const auto f = static_cast<std::size_t>(parent.best_feature);
+    const std::uint32_t t = parent.best_threshold;
+    Work left, right;
+    left.lo = parent.lo;
+    left.hi = parent.hi;
+    right.lo = parent.lo;
+    right.hi = parent.hi;
+    left.hi[f] = t;
+    right.lo[f] = t + 1;
+    for (std::size_t r : parent.rows) {
+      (q[r * dim + f] <= t ? left.rows : right.rows).push_back(r);
+    }
+    const int ls = static_cast<int>(tree.nodes_.size());
+    tree.nodes_.push_back(Node{});
+    const int rs = static_cast<int>(tree.nodes_.size());
+    tree.nodes_.push_back(Node{});
+    Node& pn = tree.nodes_[static_cast<std::size_t>(parent.node_slot)];
+    pn.feature = parent.best_feature;
+    pn.threshold = t;
+    pn.left = ls;
+    pn.right = rs;
+    left.node_slot = ls;
+    right.node_slot = rs;
+    find_best(left);
+    find_best(right);
+    actives.push_back(std::move(left));
+    actives.push_back(std::move(right));
+  }
+
+  for (const Work& w : actives) {
+    std::vector<std::size_t> counts(num_classes, 0);
+    for (std::size_t r : w.rows) {
+      ++counts[static_cast<std::size_t>(labels[r])];
+    }
+    tree.nodes_[static_cast<std::size_t>(w.node_slot)].leaf_class =
+        static_cast<std::int32_t>(std::distance(
+            counts.begin(), std::max_element(counts.begin(), counts.end())));
+  }
+  return tree;
+}
+
+std::int32_t DecisionTree::Predict(std::span<const float> x) const {
+  const std::uint32_t domain_max =
+      (std::uint32_t{1} << input_bits_) - 1;
+  int node = 0;
+  while (true) {
+    const Node& nd = nodes_[static_cast<std::size_t>(node)];
+    if (nd.leaf_class >= 0) return nd.leaf_class;
+    const float v = std::clamp(x[static_cast<std::size_t>(nd.feature)], 0.0f,
+                               static_cast<float>(domain_max));
+    node = static_cast<std::uint32_t>(std::lround(v)) <= nd.threshold
+               ? nd.left
+               : nd.right;
+  }
+}
+
+std::vector<std::int32_t> DecisionTree::PredictBatch(std::span<const float> x,
+                                                     std::size_t n) const {
+  std::vector<std::int32_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = Predict(x.subspan(i * dim_, dim_));
+  }
+  return out;
+}
+
+std::size_t DecisionTree::NumLeaves() const {
+  std::size_t leaves = 0;
+  for (const Node& nd : nodes_) {
+    if (nd.leaf_class >= 0) ++leaves;
+  }
+  return leaves;
+}
+
+std::size_t DecisionTree::Depth() const {
+  struct Frame {
+    int node;
+    std::size_t depth;
+  };
+  std::vector<Frame> stack{{0, 0}};
+  std::size_t max_depth = 0;
+  while (!stack.empty()) {
+    const Frame fr = stack.back();
+    stack.pop_back();
+    const Node& nd = nodes_[static_cast<std::size_t>(fr.node)];
+    if (nd.leaf_class >= 0) {
+      max_depth = std::max(max_depth, fr.depth);
+      continue;
+    }
+    stack.push_back({nd.left, fr.depth + 1});
+    stack.push_back({nd.right, fr.depth + 1});
+  }
+  return max_depth;
+}
+
+dataplane::ResourceReport DecisionTree::Footprint(
+    const dataplane::SwitchModel& sw) const {
+  // Re-derive leaf boxes by walking the tree, then expand with CRC exactly
+  // as the switch lowering would.
+  const std::uint32_t domain_max =
+      (std::uint32_t{1} << input_bits_) - 1;
+  struct Frame {
+    int node;
+    std::vector<std::uint32_t> lo, hi;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({0, std::vector<std::uint32_t>(dim_, 0),
+                   std::vector<std::uint32_t>(dim_, domain_max)});
+  std::size_t entries = 0;
+  while (!stack.empty()) {
+    Frame fr = std::move(stack.back());
+    stack.pop_back();
+    const Node& nd = nodes_[static_cast<std::size_t>(fr.node)];
+    if (nd.leaf_class >= 0) {
+      std::size_t leaf_entries = 1;
+      for (std::size_t d = 0; d < dim_ && leaf_entries <= 4096; ++d) {
+        leaf_entries *=
+            dataplane::RangeToTernary(fr.lo[d], fr.hi[d], input_bits_).size();
+      }
+      // Like the Pegasus lowering, a compiler would fall back to native
+      // range matching (DirtCAM: 2x the per-bit cost of a ternary entry,
+      // i.e. equivalent to 2 ternary entries) when the cross-product
+      // explodes.
+      entries += std::min<std::size_t>(leaf_entries, 2);
+      continue;
+    }
+    Frame left{nd.left, fr.lo, fr.hi};
+    left.hi[static_cast<std::size_t>(nd.feature)] = nd.threshold;
+    Frame right{nd.right, std::move(fr.lo), std::move(fr.hi)};
+    right.lo[static_cast<std::size_t>(nd.feature)] = nd.threshold + 1;
+    stack.push_back(std::move(left));
+    stack.push_back(std::move(right));
+  }
+  dataplane::ResourceReport rep;
+  const std::size_t key_bits = dim_ * static_cast<std::size_t>(input_bits_);
+  rep.tcam_bits = entries * 2 * key_bits;
+  rep.sram_bits = entries * 8;  // class-id action data
+  rep.stages_used = 1;
+  rep.total_action_bus_bits = 8;
+  rep.max_stage_action_bus_bits = 8;
+  // Leo keeps the same flow statistics MLP-B uses: min/max length (2x8b),
+  // min/max IPD (2x8b), previous timestamp (16b), 5-packet history would
+  // exceed its budget so Leo stores a compacted 32b digest: 80 bits total.
+  rep.stateful_bits_per_flow = 80;
+  (void)sw;
+  return rep;
+}
+
+}  // namespace pegasus::baselines

@@ -1,0 +1,56 @@
+// Leo baseline (Jafri et al., NSDI'24): an online decision-tree classifier
+// lowered to range-match MATs. We implement CART with Gini impurity and
+// best-first growth capped at a node budget (the paper's accuracy config
+// uses Leo's largest published model; the Table 6 resource config uses
+// 1024 nodes).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dataplane/resources.hpp"
+
+namespace pegasus::baselines {
+
+struct LeoConfig {
+  std::size_t max_nodes = 1024;  // internal + leaf nodes
+  std::size_t min_leaf_samples = 4;
+  int input_bits = 8;
+};
+
+class DecisionTree {
+ public:
+  /// Fits on row-major quantized features (values in [0, 2^input_bits)).
+  static DecisionTree Fit(std::span<const float> x,
+                          const std::vector<std::int32_t>& labels,
+                          std::size_t n, std::size_t dim,
+                          std::size_t num_classes, const LeoConfig& cfg);
+
+  std::int32_t Predict(std::span<const float> x) const;
+  std::vector<std::int32_t> PredictBatch(std::span<const float> x,
+                                         std::size_t n) const;
+
+  std::size_t NumNodes() const { return nodes_.size(); }
+  std::size_t NumLeaves() const;
+  std::size_t Depth() const;
+
+  /// MAT footprint: each leaf is a hyperrectangle expanded into ternary
+  /// rules (same CRC path as Pegasus fuzzy tables); the action data is just
+  /// a class id.
+  dataplane::ResourceReport Footprint(
+      const dataplane::SwitchModel& sw) const;
+
+ private:
+  struct Node {
+    int feature = -1;
+    std::uint32_t threshold = 0;
+    int left = -1, right = -1;
+    std::int32_t leaf_class = -1;
+  };
+  std::vector<Node> nodes_;
+  std::size_t dim_ = 0;
+  int input_bits_ = 8;
+};
+
+}  // namespace pegasus::baselines

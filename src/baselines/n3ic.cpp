@@ -1,0 +1,220 @@
+#include "baselines/n3ic.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace pegasus::baselines {
+
+namespace {
+
+float Sign(float v) { return v >= 0.0f ? 1.0f : -1.0f; }
+
+}  // namespace
+
+std::vector<float> BinaryMlp::Binarize(std::span<const float> features) const {
+  std::vector<float> bits;
+  bits.reserve(dim_ * 8);
+  for (std::size_t f = 0; f < dim_; ++f) {
+    const auto v = static_cast<std::uint32_t>(std::lround(
+        std::clamp(features[f], 0.0f, 255.0f)));
+    for (int b = 7; b >= 0; --b) {
+      bits.push_back((v >> b) & 1u ? 1.0f : -1.0f);
+    }
+  }
+  return bits;
+}
+
+BinaryMlp BinaryMlp::Train(std::span<const float> x,
+                           const std::vector<std::int32_t>& labels,
+                           std::size_t n, std::size_t dim,
+                           std::size_t num_classes, const N3icConfig& cfg) {
+  if (n == 0 || x.size() != n * dim || labels.size() != n) {
+    throw std::invalid_argument("BinaryMlp::Train: bad data");
+  }
+  if (cfg.input_bits != dim * 8) {
+    throw std::invalid_argument("BinaryMlp::Train: input_bits != dim*8");
+  }
+  BinaryMlp model;
+  model.dim_ = dim;
+  model.num_classes_ = num_classes;
+
+  std::mt19937_64 rng(cfg.seed);
+  std::vector<std::size_t> sizes{cfg.input_bits};
+  sizes.insert(sizes.end(), cfg.hidden.begin(), cfg.hidden.end());
+  sizes.push_back(num_classes);
+  for (std::size_t li = 0; li + 1 < sizes.size(); ++li) {
+    BinLayer layer;
+    layer.in = sizes[li];
+    layer.out = sizes[li + 1];
+    layer.w.resize(layer.in * layer.out);
+    std::uniform_real_distribution<float> dist(-0.5f, 0.5f);
+    for (float& w : layer.w) w = dist(rng);
+    model.layers_.push_back(std::move(layer));
+  }
+
+  // Pre-binarize all inputs.
+  std::vector<std::vector<float>> xb(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xb[i] = model.Binarize(x.subspan(i * dim, dim));
+  }
+
+  const std::size_t num_layers = model.layers_.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<std::vector<float>> velocity(num_layers);
+  for (std::size_t li = 0; li < num_layers; ++li) {
+    velocity[li].assign(model.layers_[li].w.size(), 0.0f);
+  }
+
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    for (std::size_t start = 0; start < n; start += cfg.batch) {
+      const std::size_t end = std::min(n, start + cfg.batch);
+      std::vector<std::vector<float>> grads(num_layers);
+      for (std::size_t li = 0; li < num_layers; ++li) {
+        grads[li].assign(model.layers_[li].w.size(), 0.0f);
+      }
+      for (std::size_t bi = start; bi < end; ++bi) {
+        const std::size_t smp = order[bi];
+        // forward, caching activations and pre-activations
+        std::vector<std::vector<float>> act(num_layers + 1);
+        std::vector<std::vector<float>> pre(num_layers);
+        act[0] = xb[smp];
+        for (std::size_t li = 0; li < num_layers; ++li) {
+          const BinLayer& L = model.layers_[li];
+          const float scale = 1.0f / std::sqrt(static_cast<float>(L.in));
+          pre[li].assign(L.out, 0.0f);
+          for (std::size_t i = 0; i < L.in; ++i) {
+            const float a = act[li][i];
+            for (std::size_t j = 0; j < L.out; ++j) {
+              pre[li][j] += a * Sign(L.w[i * L.out + j]);
+            }
+          }
+          for (float& v : pre[li]) v *= scale;
+          act[li + 1].resize(L.out);
+          if (li + 1 == num_layers) {
+            act[li + 1] = pre[li];  // logits stay real
+          } else {
+            for (std::size_t j = 0; j < L.out; ++j) {
+              act[li + 1][j] = Sign(pre[li][j]);
+            }
+          }
+        }
+        // softmax CE gradient
+        std::vector<float>& logits = act[num_layers];
+        const float mx = *std::max_element(logits.begin(), logits.end());
+        float sum = 0.0f;
+        std::vector<float> dlogits(num_classes);
+        for (std::size_t c = 0; c < num_classes; ++c) {
+          dlogits[c] = std::exp(logits[c] - mx);
+          sum += dlogits[c];
+        }
+        for (std::size_t c = 0; c < num_classes; ++c) dlogits[c] /= sum;
+        dlogits[static_cast<std::size_t>(labels[smp])] -= 1.0f;
+
+        // backward with STE
+        std::vector<float> dact = dlogits;
+        for (std::size_t li = num_layers; li-- > 0;) {
+          const BinLayer& L = model.layers_[li];
+          const float scale = 1.0f / std::sqrt(static_cast<float>(L.in));
+          // gradient wrt pre-activation
+          std::vector<float> dpre(L.out);
+          if (li + 1 == num_layers) {
+            dpre = dact;
+          } else {
+            for (std::size_t j = 0; j < L.out; ++j) {
+              // hard-tanh STE gate on sign()
+              dpre[j] = std::abs(pre[li][j]) <= 1.0f ? dact[j] : 0.0f;
+            }
+          }
+          std::vector<float> dinput(L.in, 0.0f);
+          for (std::size_t i = 0; i < L.in; ++i) {
+            const float a = act[li][i];
+            for (std::size_t j = 0; j < L.out; ++j) {
+              const float g = dpre[j] * scale;
+              grads[li][i * L.out + j] += g * a;  // STE through sign(w)
+              dinput[i] += g * Sign(L.w[i * L.out + j]);
+            }
+          }
+          dact = std::move(dinput);
+        }
+      }
+      // SGD + momentum step, then clip shadow weights to [-1, 1].
+      const float lr = cfg.lr / static_cast<float>(end - start);
+      for (std::size_t li = 0; li < num_layers; ++li) {
+        auto& w = model.layers_[li].w;
+        auto& vel = velocity[li];
+        for (std::size_t k = 0; k < w.size(); ++k) {
+          vel[k] = cfg.momentum * vel[k] - lr * grads[li][k];
+          w[k] = std::clamp(w[k] + vel[k], -1.0f, 1.0f);
+        }
+      }
+    }
+  }
+  return model;
+}
+
+std::vector<int> BinaryMlp::PopcountLogits(
+    std::span<const float> features) const {
+  // Bit-packed XNOR+popcount — the dataplane arithmetic. For a binary dot
+  // product over {-1,+1}: dot = 2*popcount(~(a^w)) - n.
+  std::vector<float> act = Binarize(features);
+  std::vector<int> cur;
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const BinLayer& L = layers_[li];
+    const std::size_t words = (L.in + 63) / 64;
+    std::vector<std::uint64_t> a_bits(words, 0);
+    for (std::size_t i = 0; i < L.in; ++i) {
+      if (act[i] > 0.0f) a_bits[i / 64] |= (1ull << (i % 64));
+    }
+    cur.assign(L.out, 0);
+    for (std::size_t j = 0; j < L.out; ++j) {
+      std::vector<std::uint64_t> w_bits(words, 0);
+      for (std::size_t i = 0; i < L.in; ++i) {
+        if (L.w[i * L.out + j] >= 0.0f) w_bits[i / 64] |= (1ull << (i % 64));
+      }
+      int matches = 0;
+      for (std::size_t wd = 0; wd < words; ++wd) {
+        std::uint64_t xnor = ~(a_bits[wd] ^ w_bits[wd]);
+        if (wd + 1 == words && L.in % 64 != 0) {
+          xnor &= (1ull << (L.in % 64)) - 1;  // mask tail bits
+        }
+        matches += std::popcount(xnor);
+      }
+      cur[j] = 2 * matches - static_cast<int>(L.in);
+    }
+    if (li + 1 < layers_.size()) {
+      act.resize(L.out);
+      for (std::size_t j = 0; j < L.out; ++j) {
+        act[j] = cur[j] >= 0 ? 1.0f : -1.0f;
+      }
+    }
+  }
+  return cur;
+}
+
+std::int32_t BinaryMlp::Predict(std::span<const float> features) const {
+  const std::vector<int> logits = PopcountLogits(features);
+  return static_cast<std::int32_t>(std::distance(
+      logits.begin(), std::max_element(logits.begin(), logits.end())));
+}
+
+std::vector<std::int32_t> BinaryMlp::PredictBatch(std::span<const float> x,
+                                                  std::size_t n) const {
+  std::vector<std::int32_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = Predict(x.subspan(i * dim_, dim_));
+  }
+  return out;
+}
+
+double BinaryMlp::ModelSizeKb() const {
+  std::size_t bits = 0;
+  for (const BinLayer& L : layers_) bits += L.w.size();
+  return static_cast<double>(bits) / 1000.0;
+}
+
+}  // namespace pegasus::baselines

@@ -1,0 +1,66 @@
+// N3IC baseline (Siracusano et al., NSDI'22): a fully binarized MLP whose
+// MatMuls run as XNOR + population count on the NIC/switch dataplane.
+//
+// Training uses the standard straight-through estimator (float shadow
+// weights, sign() in the forward pass, hard-tanh gradient gate); inference
+// runs bit-packed XNOR/popcount — the exact dataplane arithmetic — and a
+// test asserts it matches the float-sign forward pass.
+//
+// The paper evaluates N3IC in software because its largest configuration
+// does not fit the switch (§7.1); we do the same, so no Footprint() here.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace pegasus::baselines {
+
+struct N3icConfig {
+  /// Binary input width: each 8-bit feature contributes 8 raw bits.
+  std::size_t input_bits = 128;
+  std::vector<std::size_t> hidden = {128, 64};
+  std::size_t epochs = 60;
+  std::size_t batch = 64;
+  /// Binary nets need aggressive rates: sign() only flips when the shadow
+  /// weight crosses zero.
+  float lr = 0.3f;
+  float momentum = 0.9f;
+  std::uint64_t seed = 11;
+};
+
+class BinaryMlp {
+ public:
+  /// Trains on quantized 8-bit features (row-major, `dim` features per
+  /// sample; input_bits must equal dim*8).
+  static BinaryMlp Train(std::span<const float> x,
+                         const std::vector<std::int32_t>& labels,
+                         std::size_t n, std::size_t dim,
+                         std::size_t num_classes, const N3icConfig& cfg);
+
+  std::int32_t Predict(std::span<const float> features) const;
+  std::vector<std::int32_t> PredictBatch(std::span<const float> x,
+                                         std::size_t n) const;
+
+  /// Integer XNOR+popcount logits, bit-for-bit what the dataplane computes.
+  std::vector<int> PopcountLogits(std::span<const float> features) const;
+
+  /// Binary weights: 1 bit each.
+  double ModelSizeKb() const;
+
+  std::size_t num_classes() const { return num_classes_; }
+
+ private:
+  struct BinLayer {
+    std::size_t in = 0, out = 0;
+    std::vector<float> w;  // float shadow weights, sign() at use
+  };
+  std::vector<BinLayer> layers_;
+  std::size_t dim_ = 0;
+  std::size_t num_classes_ = 0;
+
+  std::vector<float> Binarize(std::span<const float> features) const;
+};
+
+}  // namespace pegasus::baselines

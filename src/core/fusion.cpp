@@ -1,0 +1,218 @@
+#include "core/fusion.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace pegasus::core {
+
+namespace {
+
+/// Index of the single op consuming `v`, or nullopt if it has != 1 op
+/// consumers or is the program output.
+std::optional<std::size_t> SoleConsumer(const Program& p, ValueId v) {
+  if (v == p.output()) return std::nullopt;
+  std::optional<std::size_t> found;
+  const auto& ops = p.ops();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Op& op = ops[i];
+    std::size_t reads = 0;
+    switch (op.kind) {
+      case OpKind::kPartition:
+        reads = op.partition.input == v ? 1 : 0;
+        break;
+      case OpKind::kMap:
+        reads = op.map.input == v ? 1 : 0;
+        break;
+      case OpKind::kSumReduce:
+        reads = static_cast<std::size_t>(
+            std::count(op.sum_reduce.inputs.begin(),
+                       op.sum_reduce.inputs.end(), v));
+        break;
+      case OpKind::kConcat:
+        reads = static_cast<std::size_t>(std::count(
+            op.concat.inputs.begin(), op.concat.inputs.end(), v));
+        break;
+    }
+    if (reads == 0) continue;
+    if (found || reads > 1) return std::nullopt;
+    found = i;
+  }
+  return found;
+}
+
+}  // namespace
+
+std::size_t MergeConsecutiveMaps(Program& p) {
+  std::size_t merges = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    auto& ops = p.mutable_ops();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].kind != OpKind::kMap) continue;
+      const ValueId mid = ops[i].map.output;
+      auto consumer = SoleConsumer(p, mid);
+      if (!consumer || ops[*consumer].kind != OpKind::kMap) continue;
+      Op& a = ops[i];
+      Op& b = ops[*consumer];
+      b.map.fn = Compose(a.map.fn, b.map.fn);
+      b.map.input = a.map.input;
+      b.map.fuzzy_leaves = std::max(a.map.fuzzy_leaves, b.map.fuzzy_leaves);
+      ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i));
+      ++merges;
+      changed = true;
+      break;
+    }
+  }
+  if (merges > 0) p.Validate();
+  return merges;
+}
+
+std::size_t PushElementwiseThroughPartition(Program& p) {
+  std::size_t rewrites = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    auto& ops = p.mutable_ops();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].kind != OpKind::kMap || !ops[i].map.fn.elementwise) continue;
+      const ValueId mid = ops[i].map.output;
+      auto consumer = SoleConsumer(p, mid);
+      if (!consumer || ops[*consumer].kind != OpKind::kPartition) continue;
+
+      const MapOp map_op = ops[i].map;  // copy before mutation
+      Op& part = ops[*consumer];
+      part.partition.input = map_op.input;
+
+      // Insert per-segment restricted Maps right after the Partition. Each
+      // segment gets a fresh raw value; the old segment value becomes the
+      // restricted Map's output so downstream ops are untouched.
+      std::vector<Op> seg_maps;
+      for (PartitionSegment& s : part.partition.segments) {
+        const ValueId raw = p.AddValue(
+            p.value(s.output).name + "_raw", s.length);
+        Op m;
+        m.kind = OpKind::kMap;
+        m.map.input = raw;
+        m.map.output = s.output;
+        m.map.fn = SliceElementwise(map_op.fn, s.offset, s.length);
+        m.map.fuzzy_leaves = map_op.fuzzy_leaves;
+        s.output = raw;
+        seg_maps.push_back(std::move(m));
+      }
+      const std::size_t part_pos = *consumer > i ? *consumer - 1 : *consumer;
+      ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i));
+      ops.insert(ops.begin() + static_cast<std::ptrdiff_t>(part_pos) + 1,
+                 std::make_move_iterator(seg_maps.begin()),
+                 std::make_move_iterator(seg_maps.end()));
+      ++rewrites;
+      changed = true;
+      break;
+    }
+  }
+  if (rewrites > 0) p.Validate();
+  return rewrites;
+}
+
+std::size_t LinearReorderOverSumReduce(Program& p) {
+  std::size_t rewrites = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    auto& ops = p.mutable_ops();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].kind != OpKind::kSumReduce) continue;
+      const ValueId mid = ops[i].sum_reduce.output;
+      auto consumer = SoleConsumer(p, mid);
+      if (!consumer || ops[*consumer].kind != OpKind::kMap) continue;
+      if (!ops[*consumer].map.fn.additive) continue;
+
+      const SumReduceOp sr = ops[i].sum_reduce;
+      const MapOp mp = ops[*consumer].map;
+
+      // Build: t_j = Map(x_j); Map.output = SumReduce(t_1..t_k).
+      std::vector<Op> new_ops;
+      std::vector<ValueId> mapped;
+      for (ValueId x : sr.inputs) {
+        const ValueId t = p.AddValue("lr_t", mp.fn.out_dim);
+        Op m;
+        m.kind = OpKind::kMap;
+        m.map.input = x;
+        m.map.output = t;
+        m.map.fn = mp.fn;
+        m.map.fuzzy_leaves = mp.fuzzy_leaves;
+        new_ops.push_back(std::move(m));
+        mapped.push_back(t);
+      }
+      Op s;
+      s.kind = OpKind::kSumReduce;
+      s.sum_reduce.inputs = std::move(mapped);
+      s.sum_reduce.output = mp.output;
+      new_ops.push_back(std::move(s));
+
+      // Remove the Map first (it is later in the vector), then replace the
+      // SumReduce slot with the new op sequence.
+      ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(*consumer));
+      ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i));
+      ops.insert(ops.begin() + static_cast<std::ptrdiff_t>(i),
+                 std::make_move_iterator(new_ops.begin()),
+                 std::make_move_iterator(new_ops.end()));
+      ++rewrites;
+      changed = true;
+      break;
+    }
+  }
+  if (rewrites > 0) p.Validate();
+  return rewrites;
+}
+
+std::size_t FlattenSumReduces(Program& p) {
+  std::size_t rewrites = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    auto& ops = p.mutable_ops();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (ops[i].kind != OpKind::kSumReduce) continue;
+      const ValueId mid = ops[i].sum_reduce.output;
+      auto consumer = SoleConsumer(p, mid);
+      if (!consumer || ops[*consumer].kind != OpKind::kSumReduce) continue;
+      Op& inner = ops[i];
+      Op& outer = ops[*consumer];
+      auto it = std::find(outer.sum_reduce.inputs.begin(),
+                          outer.sum_reduce.inputs.end(), mid);
+      it = outer.sum_reduce.inputs.erase(it);
+      outer.sum_reduce.inputs.insert(it, inner.sum_reduce.inputs.begin(),
+                                     inner.sum_reduce.inputs.end());
+      ops.erase(ops.begin() + static_cast<std::ptrdiff_t>(i));
+      ++rewrites;
+      changed = true;
+      break;
+    }
+  }
+  if (rewrites > 0) p.Validate();
+  return rewrites;
+}
+
+FusionStats FuseBasic(Program& p) {
+  FusionStats stats;
+  stats.maps_before = p.NumMaps();
+  stats.sum_reduces_before = p.NumSumReduces();
+  // Fixpoint over all rewrites. Each rewrite strictly reduces op count or
+  // unblocks a reduction, so this terminates; the iteration cap is a
+  // safety net.
+  for (std::size_t iter = 0; iter < 64; ++iter) {
+    std::size_t total = 0;
+    total += PushElementwiseThroughPartition(p);
+    total += LinearReorderOverSumReduce(p);
+    total += MergeConsecutiveMaps(p);
+    total += FlattenSumReduces(p);
+    ++stats.iterations;
+    if (total == 0) break;
+  }
+  stats.maps_after = p.NumMaps();
+  stats.sum_reduces_after = p.NumSumReduces();
+  return stats;
+}
+
+}  // namespace pegasus::core

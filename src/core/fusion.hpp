@@ -1,0 +1,56 @@
+// Primitive Fusion (paper §4.3, Figure 5).
+//
+// Every Map op costs one mapping-table lookup on the dataplane, so the
+// compiler's job is to shrink the Map count without changing the program's
+// function. Basic Primitive Fusion needs no model changes and rests on two
+// rewrites the paper names explicitly:
+//
+//  (1) Linear Reordering — a SumReduce followed by a Map whose function is
+//      additive (f(a+b) = f(a)+f(b)) commutes: apply the Map to each
+//      summand, then SumReduce.
+//  (2) Merging Consecutive Map Primitives — Map∘Map collapses into one Map
+//      because each Map applies independently per partition.
+//
+// Two auxiliary rewrites make (1)/(2) reach the Figure 5 ❶ result on real
+// layer stacks: an *elementwise* Map commutes with Partition (pushing BN /
+// ReLU down into the per-segment tables), and nested SumReduces flatten.
+//
+// Advanced Primitive Fusion (❷ removal of nonlinear mappings, ❸ NAM-style
+// reduction to a single SumReduce) changes the model architecture, so it
+// lives in the model builders (src/models) — the passes here never alter
+// semantics, which is what the property tests assert.
+#pragma once
+
+#include "core/program.hpp"
+
+namespace pegasus::core {
+
+struct FusionStats {
+  std::size_t maps_before = 0;
+  std::size_t maps_after = 0;
+  std::size_t sum_reduces_before = 0;
+  std::size_t sum_reduces_after = 0;
+  std::size_t iterations = 0;
+};
+
+/// Rewrite (2): collapses Map chains where the intermediate value has a
+/// single consumer. Returns the number of merges applied.
+std::size_t MergeConsecutiveMaps(Program& p);
+
+/// Auxiliary: Map (elementwise) feeding exactly one Partition is pushed
+/// below it as per-segment Maps. Returns rewrites applied.
+std::size_t PushElementwiseThroughPartition(Program& p);
+
+/// Rewrite (1): SumReduce feeding exactly one additive Map is swapped.
+/// Returns rewrites applied.
+std::size_t LinearReorderOverSumReduce(Program& p);
+
+/// Auxiliary: SumReduce whose input is another single-consumer SumReduce is
+/// flattened. Returns rewrites applied.
+std::size_t FlattenSumReduces(Program& p);
+
+/// Runs all basic-fusion rewrites to a fixpoint. The program's semantics
+/// are preserved exactly (up to float associativity).
+FusionStats FuseBasic(Program& p);
+
+}  // namespace pegasus::core

@@ -1,0 +1,340 @@
+#include "core/fuzzy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+namespace pegasus::core {
+
+namespace {
+
+struct SplitChoice {
+  bool valid = false;
+  int feature = -1;
+  std::uint32_t threshold = 0;
+  double gain = 0.0;  // SSE reduction
+};
+
+/// SSE of a set of rows against their mean, summed over all dims, computed
+/// from aggregate sums: sum of squares minus n * mean^2 per dim.
+double SseFromSums(std::span<const double> sum, std::span<const double> sumsq,
+                   std::size_t n) {
+  if (n == 0) return 0.0;
+  double sse = 0.0;
+  for (std::size_t d = 0; d < sum.size(); ++d) {
+    sse += sumsq[d] - sum[d] * sum[d] / static_cast<double>(n);
+  }
+  return std::max(sse, 0.0);
+}
+
+struct WorkItem {
+  std::vector<std::size_t> rows;
+  LeafBox box;
+  int node_slot;
+  double sse;
+  SplitChoice best;
+  bool best_computed = false;
+};
+
+}  // namespace
+
+ClusterTree ClusterTree::Fit(std::span<const float> data, std::size_t n,
+                             std::size_t dim, const FitConfig& cfg) {
+  if (n == 0 || dim == 0 || data.size() != n * dim) {
+    throw std::invalid_argument("ClusterTree::Fit: bad data dimensions");
+  }
+  if (cfg.num_leaves == 0) {
+    throw std::invalid_argument("ClusterTree::Fit: num_leaves must be >= 1");
+  }
+  if (cfg.input_bits < 1 || cfg.input_bits > 31) {
+    throw std::invalid_argument("ClusterTree::Fit: input_bits out of [1,31]");
+  }
+  const std::uint32_t domain_max =
+      (std::uint32_t{1} << cfg.input_bits) - 1;
+
+  // Quantize rows into the integer domain once.
+  std::vector<std::uint32_t> q(n * dim);
+  for (std::size_t i = 0; i < n * dim; ++i) {
+    const float v = std::clamp(data[i], 0.0f,
+                               static_cast<float>(domain_max));
+    q[i] = static_cast<std::uint32_t>(std::lround(v));
+  }
+
+  ClusterTree tree;
+  tree.dim_ = dim;
+  tree.input_bits_ = cfg.input_bits;
+  tree.nodes_.push_back(Node{});  // root at slot 0
+
+  auto leaf_sse = [&](const std::vector<std::size_t>& rows) {
+    std::vector<double> sum(dim, 0.0), sumsq(dim, 0.0);
+    for (std::size_t r : rows) {
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double v = q[r * dim + d];
+        sum[d] += v;
+        sumsq[d] += v * v;
+      }
+    }
+    return SseFromSums(sum, sumsq, rows.size());
+  };
+
+  auto find_best_split = [&](const WorkItem& w) {
+    SplitChoice best;
+    const std::size_t rows = w.rows.size();
+    if (rows < 2 * cfg.min_leaf_samples) return best;
+    std::vector<std::size_t> order(w.rows);
+    std::vector<double> pre_sum(dim), pre_sq(dim), tot_sum(dim), tot_sq(dim);
+    for (std::size_t d = 0; d < dim; ++d) {
+      tot_sum[d] = 0.0;
+      tot_sq[d] = 0.0;
+    }
+    for (std::size_t r : w.rows) {
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double v = q[r * dim + d];
+        tot_sum[d] += v;
+        tot_sq[d] += v * v;
+      }
+    }
+    const double parent_sse = SseFromSums(tot_sum, tot_sq, rows);
+    for (std::size_t f = 0; f < dim; ++f) {
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return q[a * dim + f] < q[b * dim + f];
+                });
+      std::fill(pre_sum.begin(), pre_sum.end(), 0.0);
+      std::fill(pre_sq.begin(), pre_sq.end(), 0.0);
+      for (std::size_t i = 0; i + 1 < rows; ++i) {
+        const std::size_t r = order[i];
+        for (std::size_t d = 0; d < dim; ++d) {
+          const double v = q[r * dim + d];
+          pre_sum[d] += v;
+          pre_sq[d] += v * v;
+        }
+        const std::uint32_t cur = q[r * dim + f];
+        const std::uint32_t next = q[order[i + 1] * dim + f];
+        if (cur == next) continue;  // not a boundary between distinct values
+        const std::size_t left_n = i + 1;
+        const std::size_t right_n = rows - left_n;
+        if (left_n < cfg.min_leaf_samples || right_n < cfg.min_leaf_samples) {
+          continue;
+        }
+        std::vector<double> right_sum(dim), right_sq(dim);
+        for (std::size_t d = 0; d < dim; ++d) {
+          right_sum[d] = tot_sum[d] - pre_sum[d];
+          right_sq[d] = tot_sq[d] - pre_sq[d];
+        }
+        const double child_sse = SseFromSums(pre_sum, pre_sq, left_n) +
+                                 SseFromSums(right_sum, right_sq, right_n);
+        const double gain = parent_sse - child_sse;
+        if (gain > best.gain + 1e-12) {
+          best.valid = true;
+          best.feature = static_cast<int>(f);
+          best.threshold = cur;  // test: x[f] <= cur
+          best.gain = gain;
+        }
+      }
+    }
+    return best;
+  };
+
+  std::vector<WorkItem> actives;
+  {
+    WorkItem root;
+    root.rows.resize(n);
+    std::iota(root.rows.begin(), root.rows.end(), 0);
+    root.box.lo.assign(dim, 0);
+    root.box.hi.assign(dim, domain_max);
+    root.node_slot = 0;
+    root.sse = leaf_sse(root.rows);
+    actives.push_back(std::move(root));
+  }
+
+  while (actives.size() < cfg.num_leaves) {
+    // Choose the active leaf whose best split reduces total SSE the most.
+    std::size_t best_i = actives.size();
+    double best_gain = 0.0;
+    for (std::size_t i = 0; i < actives.size(); ++i) {
+      if (!actives[i].best_computed) {
+        actives[i].best = find_best_split(actives[i]);
+        actives[i].best_computed = true;
+      }
+      if (actives[i].best.valid && actives[i].best.gain > best_gain) {
+        best_gain = actives[i].best.gain;
+        best_i = i;
+      }
+    }
+    if (best_i == actives.size()) break;  // nothing splittable
+
+    WorkItem parent = std::move(actives[best_i]);
+    actives.erase(actives.begin() + static_cast<std::ptrdiff_t>(best_i));
+
+    const int f = parent.best.feature;
+    const std::uint32_t t = parent.best.threshold;
+    WorkItem left, right;
+    left.box = parent.box;
+    right.box = parent.box;
+    left.box.hi[static_cast<std::size_t>(f)] = t;
+    right.box.lo[static_cast<std::size_t>(f)] = t + 1;
+    for (std::size_t r : parent.rows) {
+      (q[r * dim + static_cast<std::size_t>(f)] <= t ? left.rows
+                                                     : right.rows)
+          .push_back(r);
+    }
+    // Turn the parent's slot into an internal node with two children.
+    const int left_slot = static_cast<int>(tree.nodes_.size());
+    tree.nodes_.push_back(Node{});
+    const int right_slot = static_cast<int>(tree.nodes_.size());
+    tree.nodes_.push_back(Node{});
+    Node& pnode = tree.nodes_[static_cast<std::size_t>(parent.node_slot)];
+    pnode.feature = f;
+    pnode.threshold = t;
+    pnode.left = left_slot;
+    pnode.right = right_slot;
+    left.node_slot = left_slot;
+    right.node_slot = right_slot;
+    left.sse = leaf_sse(left.rows);
+    right.sse = leaf_sse(right.rows);
+    actives.push_back(std::move(left));
+    actives.push_back(std::move(right));
+  }
+
+  // Finalize leaves.
+  tree.fit_sse_ = 0.0;
+  for (WorkItem& w : actives) {
+    Leaf leaf;
+    leaf.centroid.assign(dim, 0.0f);
+    for (std::size_t r : w.rows) {
+      for (std::size_t d = 0; d < dim; ++d) {
+        leaf.centroid[d] += static_cast<float>(q[r * dim + d]);
+      }
+    }
+    for (std::size_t d = 0; d < dim; ++d) {
+      leaf.centroid[d] /= static_cast<float>(w.rows.size());
+    }
+    leaf.box = std::move(w.box);
+    tree.nodes_[static_cast<std::size_t>(w.node_slot)].leaf_index =
+        static_cast<int>(tree.leaves_.size());
+    tree.leaves_.push_back(std::move(leaf));
+    tree.fit_sse_ += w.sse;
+  }
+  return tree;
+}
+
+std::size_t ClusterTree::Depth() const {
+  // Iterative depth computation over the explicit node structure.
+  struct Frame {
+    int node;
+    std::size_t depth;
+  };
+  std::size_t max_depth = 0;
+  std::vector<Frame> stack{{0, 0}};
+  while (!stack.empty()) {
+    const Frame fr = stack.back();
+    stack.pop_back();
+    const Node& nd = nodes_[static_cast<std::size_t>(fr.node)];
+    if (nd.leaf_index >= 0) {
+      max_depth = std::max(max_depth, fr.depth);
+      continue;
+    }
+    stack.push_back({nd.left, fr.depth + 1});
+    stack.push_back({nd.right, fr.depth + 1});
+  }
+  return max_depth;
+}
+
+std::size_t ClusterTree::Lookup(std::span<const float> x) const {
+  if (x.size() != dim_) {
+    throw std::invalid_argument("ClusterTree::Lookup: dim mismatch");
+  }
+  const std::uint32_t domain_max =
+      (std::uint32_t{1} << input_bits_) - 1;
+  int node = 0;
+  while (true) {
+    const Node& nd = nodes_[static_cast<std::size_t>(node)];
+    if (nd.leaf_index >= 0) return static_cast<std::size_t>(nd.leaf_index);
+    const float v = std::clamp(x[static_cast<std::size_t>(nd.feature)], 0.0f,
+                               static_cast<float>(domain_max));
+    const auto qi = static_cast<std::uint32_t>(std::lround(v));
+    node = qi <= nd.threshold ? nd.left : nd.right;
+  }
+}
+
+namespace {
+
+template <typename T>
+void WritePod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T ReadPod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("ClusterTree::Load: truncated stream");
+  return v;
+}
+
+}  // namespace
+
+void ClusterTree::Save(std::ostream& os) const {
+  WritePod<std::uint64_t>(os, 0x50454746555A5901ull);  // "PEGFUZY" v1
+  WritePod<std::uint32_t>(os, static_cast<std::uint32_t>(dim_));
+  WritePod<std::int32_t>(os, input_bits_);
+  WritePod<std::uint32_t>(os, static_cast<std::uint32_t>(nodes_.size()));
+  for (const Node& nd : nodes_) {
+    WritePod<std::int32_t>(os, nd.feature);
+    WritePod<std::uint32_t>(os, nd.threshold);
+    WritePod<std::int32_t>(os, nd.left);
+    WritePod<std::int32_t>(os, nd.right);
+    WritePod<std::int32_t>(os, nd.leaf_index);
+  }
+  WritePod<std::uint32_t>(os, static_cast<std::uint32_t>(leaves_.size()));
+  for (const Leaf& leaf : leaves_) {
+    for (float c : leaf.centroid) WritePod<float>(os, c);
+    for (std::uint32_t v : leaf.box.lo) WritePod<std::uint32_t>(os, v);
+    for (std::uint32_t v : leaf.box.hi) WritePod<std::uint32_t>(os, v);
+  }
+  WritePod<double>(os, fit_sse_);
+}
+
+ClusterTree ClusterTree::Load(std::istream& is) {
+  if (ReadPod<std::uint64_t>(is) != 0x50454746555A5901ull) {
+    throw std::runtime_error("ClusterTree::Load: bad magic");
+  }
+  ClusterTree tree;
+  tree.dim_ = ReadPod<std::uint32_t>(is);
+  tree.input_bits_ = ReadPod<std::int32_t>(is);
+  const auto num_nodes = ReadPod<std::uint32_t>(is);
+  tree.nodes_.resize(num_nodes);
+  for (Node& nd : tree.nodes_) {
+    nd.feature = ReadPod<std::int32_t>(is);
+    nd.threshold = ReadPod<std::uint32_t>(is);
+    nd.left = ReadPod<std::int32_t>(is);
+    nd.right = ReadPod<std::int32_t>(is);
+    nd.leaf_index = ReadPod<std::int32_t>(is);
+  }
+  const auto num_leaves = ReadPod<std::uint32_t>(is);
+  tree.leaves_.resize(num_leaves);
+  for (Leaf& leaf : tree.leaves_) {
+    leaf.centroid.resize(tree.dim_);
+    for (float& c : leaf.centroid) c = ReadPod<float>(is);
+    leaf.box.lo.resize(tree.dim_);
+    for (std::uint32_t& v : leaf.box.lo) v = ReadPod<std::uint32_t>(is);
+    leaf.box.hi.resize(tree.dim_);
+    for (std::uint32_t& v : leaf.box.hi) v = ReadPod<std::uint32_t>(is);
+  }
+  tree.fit_sse_ = ReadPod<double>(is);
+  return tree;
+}
+
+std::span<const float> ClusterTree::Centroid(std::size_t leaf) const {
+  return leaves_.at(leaf).centroid;
+}
+
+std::span<float> ClusterTree::MutableCentroid(std::size_t leaf) {
+  return leaves_.at(leaf).centroid;
+}
+
+}  // namespace pegasus::core

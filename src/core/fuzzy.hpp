@@ -1,0 +1,105 @@
+// Fuzzy matching (paper §4.2).
+//
+// Instead of enumerating every possible input bit pattern (2^n entries),
+// Pegasus builds an axis-aligned *clustering tree* over the training
+// distribution of each Map primitive's input segment: internal nodes hold a
+// (feature, threshold) test, leaves hold a centroid. An input sub-vector is
+// routed to a leaf by comparisons only — dataplane-friendly — and the leaf
+// index ("fuzzy index") keys the mapping table whose entries store the
+// full-precision function applied to the centroid.
+//
+// The tree is grown greedily: at each step the split (leaf, feature,
+// threshold) with the largest total SSE reduction is applied, exactly the
+// Figure 3 procedure. Each leaf also records its bounding hyperrectangle in
+// feature space so the runtime can lower it to TCAM ternary rules via CRC.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pegasus::core {
+
+/// Per-dimension inclusive integer interval of a leaf region, in the
+/// quantized input domain. `lo == 0 && hi == domain_max` means the
+/// dimension is unconstrained on that side of the tree.
+struct LeafBox {
+  std::vector<std::uint32_t> lo;
+  std::vector<std::uint32_t> hi;
+};
+
+/// Axis-aligned clustering tree with integer-domain thresholds.
+///
+/// Inputs are quantized feature vectors (each dimension an unsigned value
+/// in [0, 2^width)). Thresholds are of the form "x[f] <= t" with integer t,
+/// so leaf regions are integer hyperrectangles.
+class ClusterTree {
+ public:
+  struct FitConfig {
+    std::size_t num_leaves = 16;
+    /// Input domain width in bits per dimension (8 -> values in [0,255]).
+    int input_bits = 8;
+    /// Minimum samples a child must keep for a split to be considered.
+    std::size_t min_leaf_samples = 1;
+  };
+
+  /// Learns the tree from row-major training data (`n` rows of `dim`
+  /// columns). Throws std::invalid_argument on empty data or bad config.
+  static ClusterTree Fit(std::span<const float> data, std::size_t n,
+                         std::size_t dim, const FitConfig& cfg);
+
+  /// Number of leaves (fuzzy-index range is [0, NumLeaves())).
+  std::size_t NumLeaves() const { return leaves_.size(); }
+  std::size_t dim() const { return dim_; }
+  int input_bits() const { return input_bits_; }
+  /// Depth of the comparison cascade (worst-case comparisons per lookup).
+  std::size_t Depth() const;
+
+  /// Routes a (float) input vector to its fuzzy index by tree traversal.
+  std::size_t Lookup(std::span<const float> x) const;
+
+  /// The centroid of a leaf — the approximation substituted for any input
+  /// that lands there.
+  std::span<const float> Centroid(std::size_t leaf) const;
+
+  /// Mutable access for centroid refinement (paper §4.4 backpropagation).
+  std::span<float> MutableCentroid(std::size_t leaf);
+
+  /// Integer hyperrectangle of a leaf for TCAM rule generation.
+  const LeafBox& Box(std::size_t leaf) const { return leaves_[leaf].box; }
+
+  /// Total SSE of the training data against the leaf centroids at fit time
+  /// (for tests: must not increase as num_leaves grows).
+  double fit_sse() const { return fit_sse_; }
+
+  /// Serialization to/from a binary stream (deployment artifact: the
+  /// control plane ships trees + table values to the switch agent).
+  void Save(std::ostream& os) const;
+  static ClusterTree Load(std::istream& is);
+
+ private:
+  struct Node {
+    // internal node: test x[feature] <= threshold ? left : right
+    int feature = -1;
+    std::uint32_t threshold = 0;
+    int left = -1;
+    int right = -1;
+    // leaf node:
+    int leaf_index = -1;
+  };
+  struct Leaf {
+    std::vector<float> centroid;
+    LeafBox box;
+  };
+
+  std::size_t dim_ = 0;
+  int input_bits_ = 8;
+  std::vector<Node> nodes_;
+  std::vector<Leaf> leaves_;
+  double fit_sse_ = 0.0;
+};
+
+}  // namespace pegasus::core

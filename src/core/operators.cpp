@@ -1,0 +1,271 @@
+#include "core/operators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pegasus::core {
+
+MapFunction MakeLinear(std::vector<float> w, std::size_t in, std::size_t out,
+                       std::vector<float> b, std::string name) {
+  if (w.size() != in * out) {
+    throw std::invalid_argument("MakeLinear: weight size mismatch");
+  }
+  if (!b.empty() && b.size() != out) {
+    throw std::invalid_argument("MakeLinear: bias size mismatch");
+  }
+  MapFunction f;
+  f.name = std::move(name);
+  f.in_dim = in;
+  f.out_dim = out;
+  f.elementwise = false;
+  f.additive = b.empty();
+  f.fn = [w = std::move(w), b = std::move(b), in,
+          out](std::span<const float> x) {
+    std::vector<float> y(out, 0.0f);
+    if (!b.empty()) std::copy(b.begin(), b.end(), y.begin());
+    for (std::size_t i = 0; i < in; ++i) {
+      const float xv = x[i];
+      if (xv == 0.0f) continue;
+      for (std::size_t j = 0; j < out; ++j) y[j] += xv * w[i * out + j];
+    }
+    return y;
+  };
+  return f;
+}
+
+MapFunction MakeAffine(std::vector<float> scale, std::vector<float> shift,
+                       std::string name) {
+  if (scale.size() != shift.size() || scale.empty()) {
+    throw std::invalid_argument("MakeAffine: size mismatch");
+  }
+  MapFunction f;
+  f.name = std::move(name);
+  f.in_dim = scale.size();
+  f.out_dim = scale.size();
+  f.elementwise = true;
+  // Affine with a shift is not additive; a pure scaling is.
+  f.additive = std::all_of(shift.begin(), shift.end(),
+                           [](float s) { return s == 0.0f; });
+  f.fn = [scale = std::move(scale),
+          shift = std::move(shift)](std::span<const float> x) {
+    std::vector<float> y(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      y[i] = scale[i] * x[i] + shift[i];
+    }
+    return y;
+  };
+  return f;
+}
+
+MapFunction MakeReLU(std::size_t dim) {
+  MapFunction f;
+  f.name = "relu";
+  f.in_dim = dim;
+  f.out_dim = dim;
+  f.elementwise = true;
+  f.additive = false;
+  f.fn = [](std::span<const float> x) {
+    std::vector<float> y(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] = std::max(0.0f, x[i]);
+    return y;
+  };
+  return f;
+}
+
+MapFunction MakeTanhFn(std::size_t dim) {
+  MapFunction f;
+  f.name = "tanh";
+  f.in_dim = dim;
+  f.out_dim = dim;
+  f.elementwise = true;
+  f.additive = false;
+  f.fn = [](std::span<const float> x) {
+    std::vector<float> y(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] = std::tanh(x[i]);
+    return y;
+  };
+  return f;
+}
+
+MapFunction MakeSigmoidFn(std::size_t dim) {
+  MapFunction f;
+  f.name = "sigmoid";
+  f.in_dim = dim;
+  f.out_dim = dim;
+  f.elementwise = true;
+  f.additive = false;
+  f.fn = [](std::span<const float> x) {
+    std::vector<float> y(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+    }
+    return y;
+  };
+  return f;
+}
+
+MapFunction MakeMaxFn(std::size_t dim) {
+  MapFunction f;
+  f.name = "max";
+  f.in_dim = dim;
+  f.out_dim = 1;
+  f.elementwise = false;
+  f.additive = false;
+  f.fn = [](std::span<const float> x) {
+    return std::vector<float>{*std::max_element(x.begin(), x.end())};
+  };
+  return f;
+}
+
+MapFunction MakeMeanFn(std::size_t dim) {
+  MapFunction f;
+  f.name = "mean";
+  f.in_dim = dim;
+  f.out_dim = 1;
+  f.elementwise = false;
+  f.additive = true;  // mean(a+b) = mean(a)+mean(b)
+  f.fn = [dim](std::span<const float> x) {
+    float acc = 0.0f;
+    for (float v : x) acc += v;
+    return std::vector<float>{acc / static_cast<float>(dim)};
+  };
+  return f;
+}
+
+MapFunction MakeEmbeddingFn(std::vector<float> table, std::size_t rows,
+                            std::size_t dim) {
+  if (table.size() != rows * dim || rows == 0) {
+    throw std::invalid_argument("MakeEmbeddingFn: table size mismatch");
+  }
+  MapFunction f;
+  f.name = "embedding";
+  f.in_dim = 1;
+  f.out_dim = dim;
+  f.elementwise = false;
+  f.additive = false;
+  f.fn = [table = std::move(table), rows, dim](std::span<const float> x) {
+    auto idx = static_cast<std::int64_t>(std::lround(x[0]));
+    idx = std::clamp<std::int64_t>(idx, 0,
+                                   static_cast<std::int64_t>(rows) - 1);
+    const auto base = static_cast<std::size_t>(idx) * dim;
+    return std::vector<float>(table.begin() + static_cast<std::ptrdiff_t>(base),
+                              table.begin() +
+                                  static_cast<std::ptrdiff_t>(base + dim));
+  };
+  return f;
+}
+
+MapFunction MakeSubnet(std::string name, std::size_t in, std::size_t out,
+                       std::function<std::vector<float>(
+                           std::span<const float>)> fn) {
+  MapFunction f;
+  f.name = std::move(name);
+  f.in_dim = in;
+  f.out_dim = out;
+  f.elementwise = false;
+  f.additive = false;
+  f.fn = std::move(fn);
+  return f;
+}
+
+MapFunction MakeHadamardFn(std::size_t half_dim) {
+  MapFunction f;
+  f.name = "hadamard";
+  f.in_dim = 2 * half_dim;
+  f.out_dim = half_dim;
+  f.elementwise = false;
+  f.additive = false;
+  f.fn = [half_dim](std::span<const float> x) {
+    std::vector<float> y(half_dim);
+    for (std::size_t i = 0; i < half_dim; ++i) {
+      y[i] = x[i] * x[half_dim + i];
+    }
+    return y;
+  };
+  return f;
+}
+
+MapFunction MakeExpFn(std::size_t dim) {
+  MapFunction f;
+  f.name = "exp";
+  f.in_dim = dim;
+  f.out_dim = dim;
+  f.elementwise = true;
+  f.additive = false;
+  f.fn = [](std::span<const float> x) {
+    std::vector<float> y(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] = std::exp(x[i]);
+    return y;
+  };
+  return f;
+}
+
+ValueId AppendSoftmax(ProgramBuilder& b, ValueId x, std::size_t dim,
+                      std::size_t fuzzy_leaves) {
+  if (dim == 0) {
+    throw std::invalid_argument("AppendSoftmax: zero dim");
+  }
+  // Per-element exp Maps (Partition to scalars, Map exp).
+  const std::vector<ValueId> elems = b.Partition(x, 1, 1);
+  std::vector<ValueId> exp_for_sum;
+  for (ValueId e : elems) {
+    exp_for_sum.push_back(b.Map(e, MakeExpFn(1), fuzzy_leaves));
+  }
+  const ValueId denom = b.SumReduce(std::span<const ValueId>(exp_for_sum));
+  // Normalization Maps keyed on (denominator, x_i): e^{x_i} / sum. A second
+  // Partition provides fresh x_i values (a value may feed one chain).
+  const std::vector<ValueId> elems2 = b.Partition(x, 1, 1);
+  std::vector<ValueId> normalized;
+  for (ValueId e : elems2) {
+    const ValueId key = b.Concat({denom, e});
+    MapFunction norm;
+    norm.name = "softmax_norm";
+    norm.in_dim = 2;
+    norm.out_dim = 1;
+    norm.fn = [](std::span<const float> in) {
+      const float sum = std::max(in[0], 1e-12f);
+      return std::vector<float>{std::exp(in[1]) / sum};
+    };
+    normalized.push_back(b.Map(key, std::move(norm), fuzzy_leaves));
+  }
+  return b.Concat(std::span<const ValueId>(normalized));
+}
+
+ValueId AppendFullyConnected(ProgramBuilder& b, ValueId x,
+                             std::span<const float> w, std::size_t in,
+                             std::size_t out, std::span<const float> bias,
+                             std::size_t segment_dim,
+                             std::size_t fuzzy_leaves) {
+  if (w.size() != in * out) {
+    throw std::invalid_argument("AppendFullyConnected: weight size mismatch");
+  }
+  if (segment_dim == 0 || in % segment_dim != 0) {
+    throw std::invalid_argument(
+        "AppendFullyConnected: segment_dim must divide input dim");
+  }
+  const std::vector<ValueId> segs = b.Partition(x, segment_dim, segment_dim);
+  std::vector<ValueId> mapped;
+  mapped.reserve(segs.size());
+  for (std::size_t s = 0; s < segs.size(); ++s) {
+    // Rows [s*segment_dim, (s+1)*segment_dim) of W.
+    std::vector<float> w_rows(w.begin() +
+                                  static_cast<std::ptrdiff_t>(s * segment_dim *
+                                                              out),
+                              w.begin() +
+                                  static_cast<std::ptrdiff_t>(
+                                      (s + 1) * segment_dim * out));
+    std::vector<float> seg_bias;
+    if (s == 0 && !bias.empty()) {
+      seg_bias.assign(bias.begin(), bias.end());
+    }
+    MapFunction fn =
+        MakeLinear(std::move(w_rows), segment_dim, out, std::move(seg_bias),
+                   "fc_seg" + std::to_string(s));
+    mapped.push_back(b.Map(segs[s], std::move(fn), fuzzy_leaves));
+  }
+  if (mapped.size() == 1) return mapped[0];
+  return b.SumReduce(std::span<const ValueId>(mapped));
+}
+
+}  // namespace pegasus::core

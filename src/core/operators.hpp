@@ -1,0 +1,80 @@
+// MapFunction factories for the DL operators of Table 4 (paper §5), plus
+// the composite lowering of Weighted Aggregation (FC / Conv) into
+// Partition -> Map -> SumReduce sequences on a ProgramBuilder.
+//
+// During inference all weights/biases are constants baked into the
+// functions ("these can be treated as constants, part of the function
+// rather than inputs"), which is exactly why a Map can realize them as a
+// precomputed table.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/program.hpp"
+
+namespace pegasus::core {
+
+/// y = x * W + b over a segment: W is [in x out] row-major, b optional
+/// (empty = none). additive == (b empty).
+MapFunction MakeLinear(std::vector<float> w, std::size_t in, std::size_t out,
+                       std::vector<float> b, std::string name = "linear");
+
+/// Element-wise affine y_i = scale_i * x_i + shift_i (BN at inference).
+MapFunction MakeAffine(std::vector<float> scale, std::vector<float> shift,
+                       std::string name = "affine");
+
+/// Element-wise ReLU over `dim` elements.
+MapFunction MakeReLU(std::size_t dim);
+
+/// Element-wise tanh.
+MapFunction MakeTanhFn(std::size_t dim);
+
+/// Element-wise logistic sigmoid.
+MapFunction MakeSigmoidFn(std::size_t dim);
+
+/// Scalar-output max over the segment (max-pooling as a Multi-Input
+/// Operation realized by a single Map).
+MapFunction MakeMaxFn(std::size_t dim);
+
+/// Scalar-output mean over the segment (average pooling).
+MapFunction MakeMeanFn(std::size_t dim);
+
+/// Embedding Lookup: scalar index -> `dim`-wide row of `table`
+/// ([rows x dim] row-major). Out-of-range indices clamp.
+MapFunction MakeEmbeddingFn(std::vector<float> table, std::size_t rows,
+                            std::size_t dim);
+
+/// Arbitrary per-segment subnetwork: wraps any callable. Used for Advanced
+/// Primitive Fusion (❸), where a whole sub-model becomes one Map.
+MapFunction MakeSubnet(std::string name, std::size_t in, std::size_t out,
+                       std::function<std::vector<float>(
+                           std::span<const float>)> fn);
+
+/// Element-wise product of two equal halves (Table 4's Hadamard, the
+/// gating op of recurrent cells): [2F] -> [F].
+MapFunction MakeHadamardFn(std::size_t half_dim);
+
+/// Scalar exponential (the first stage of the §5 Softmax decomposition).
+MapFunction MakeExpFn(std::size_t dim);
+
+/// Softmax as primitives (paper §5, Multi-Input Operation, first method):
+/// exp Maps per element -> SumReduce -> per-element normalization Maps
+/// keyed on (sum, exp_i) -> Concat. Returns the softmax output value.
+/// Demonstrates that even division-bearing operators lower to the three
+/// primitives; classifiers don't need it (argmax is monotone in logits).
+ValueId AppendSoftmax(ProgramBuilder& b, ValueId x, std::size_t dim,
+                      std::size_t fuzzy_leaves);
+
+/// Weighted Aggregation (paper §5): appends a fully connected layer
+/// y = x W + b to the builder as Partition(dim=segment) -> per-segment
+/// linear Maps -> SumReduce. The bias is folded into the first segment's
+/// Map so the SumReduce yields the complete result.
+/// `w` is [in x out] row-major, in = dim of `x`.
+ValueId AppendFullyConnected(ProgramBuilder& b, ValueId x,
+                             std::span<const float> w, std::size_t in,
+                             std::size_t out, std::span<const float> bias,
+                             std::size_t segment_dim,
+                             std::size_t fuzzy_leaves);
+
+}  // namespace pegasus::core

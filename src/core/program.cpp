@@ -1,0 +1,310 @@
+#include "core/program.hpp"
+
+#include <stdexcept>
+
+namespace pegasus::core {
+
+MapFunction Compose(const MapFunction& f, const MapFunction& g) {
+  if (f.out_dim != g.in_dim) {
+    throw std::invalid_argument("Compose: dim mismatch " + f.name + " -> " +
+                                g.name);
+  }
+  MapFunction out;
+  out.name = g.name + "∘" + f.name;
+  out.in_dim = f.in_dim;
+  out.out_dim = g.out_dim;
+  out.elementwise = f.elementwise && g.elementwise;
+  out.additive = f.additive && g.additive;
+  auto ff = f.fn;
+  auto gf = g.fn;
+  out.fn = [ff, gf](std::span<const float> x) {
+    std::vector<float> mid = ff(x);
+    return gf(mid);
+  };
+  return out;
+}
+
+MapFunction SliceElementwise(const MapFunction& f, std::size_t offset,
+                             std::size_t len) {
+  if (!f.elementwise) {
+    throw std::invalid_argument("SliceElementwise: " + f.name +
+                                " is not elementwise");
+  }
+  MapFunction out;
+  out.name = f.name + "[" + std::to_string(offset) + ":" +
+             std::to_string(offset + len) + "]";
+  out.in_dim = len;
+  out.out_dim = len;
+  out.elementwise = true;
+  out.additive = f.additive;
+  auto ff = f.fn;
+  const std::size_t full = f.in_dim;
+  out.fn = [ff, offset, len, full](std::span<const float> x) {
+    // Embed the slice into a full-width vector, apply, and re-slice. An
+    // elementwise function must not couple positions, so padding with zeros
+    // is safe.
+    std::vector<float> padded(full, 0.0f);
+    for (std::size_t i = 0; i < len; ++i) padded[offset + i] = x[i];
+    std::vector<float> y = ff(padded);
+    return std::vector<float>(y.begin() + static_cast<std::ptrdiff_t>(offset),
+                              y.begin() +
+                                  static_cast<std::ptrdiff_t>(offset + len));
+  };
+  return out;
+}
+
+ValueId Program::AddValue(std::string name, std::size_t dim) {
+  if (dim == 0) {
+    throw std::invalid_argument("Program::AddValue: zero-dim value " + name);
+  }
+  values_.push_back(ValueInfo{std::move(name), dim});
+  return values_.size() - 1;
+}
+
+std::size_t Program::NumMaps() const {
+  std::size_t n = 0;
+  for (const Op& op : ops_) {
+    if (op.kind == OpKind::kMap) ++n;
+  }
+  return n;
+}
+
+std::size_t Program::NumSumReduces() const {
+  std::size_t n = 0;
+  for (const Op& op : ops_) {
+    if (op.kind == OpKind::kSumReduce) ++n;
+  }
+  return n;
+}
+
+void Program::Validate() const {
+  std::vector<bool> defined(values_.size(), false);
+  if (input_ >= values_.size()) throw std::logic_error("bad input id");
+  defined[input_] = true;
+  auto require_defined = [&](ValueId v, const char* what) {
+    if (v >= values_.size() || !defined[v]) {
+      throw std::logic_error(std::string("use before def in ") + what);
+    }
+  };
+  auto define = [&](ValueId v, const char* what) {
+    if (v >= values_.size()) {
+      throw std::logic_error(std::string("bad value id in ") + what);
+    }
+    if (defined[v]) {
+      throw std::logic_error(std::string("redefinition in ") + what);
+    }
+    defined[v] = true;
+  };
+  for (const Op& op : ops_) {
+    switch (op.kind) {
+      case OpKind::kPartition: {
+        require_defined(op.partition.input, "Partition");
+        const std::size_t in_dim = values_[op.partition.input].dim;
+        for (const PartitionSegment& s : op.partition.segments) {
+          if (s.offset + s.length > in_dim || s.length == 0) {
+            throw std::logic_error("Partition segment out of range");
+          }
+          if (values_[s.output].dim != s.length) {
+            throw std::logic_error("Partition segment dim mismatch");
+          }
+          define(s.output, "Partition");
+        }
+        break;
+      }
+      case OpKind::kMap: {
+        require_defined(op.map.input, "Map");
+        if (values_[op.map.input].dim != op.map.fn.in_dim ||
+            values_[op.map.output].dim != op.map.fn.out_dim) {
+          throw std::logic_error("Map dim mismatch for " + op.map.fn.name);
+        }
+        if (!op.map.fn.fn) {
+          throw std::logic_error("Map has no function: " + op.map.fn.name);
+        }
+        define(op.map.output, "Map");
+        break;
+      }
+      case OpKind::kSumReduce: {
+        if (op.sum_reduce.inputs.empty()) {
+          throw std::logic_error("SumReduce with no inputs");
+        }
+        const std::size_t dim = values_[op.sum_reduce.inputs[0]].dim;
+        for (ValueId v : op.sum_reduce.inputs) {
+          require_defined(v, "SumReduce");
+          if (values_[v].dim != dim) {
+            throw std::logic_error("SumReduce input dim mismatch");
+          }
+        }
+        if (values_[op.sum_reduce.output].dim != dim) {
+          throw std::logic_error("SumReduce output dim mismatch");
+        }
+        define(op.sum_reduce.output, "SumReduce");
+        break;
+      }
+      case OpKind::kConcat: {
+        if (op.concat.inputs.empty()) {
+          throw std::logic_error("Concat with no inputs");
+        }
+        std::size_t total = 0;
+        for (ValueId v : op.concat.inputs) {
+          require_defined(v, "Concat");
+          total += values_[v].dim;
+        }
+        if (values_[op.concat.output].dim != total) {
+          throw std::logic_error("Concat output dim mismatch");
+        }
+        define(op.concat.output, "Concat");
+        break;
+      }
+    }
+  }
+  if (output_ >= values_.size() || !defined[output_]) {
+    throw std::logic_error("program output never produced");
+  }
+}
+
+std::vector<float> Program::Evaluate(std::span<const float> input) const {
+  if (input.size() != values_.at(input_).dim) {
+    throw std::invalid_argument("Evaluate: input dim mismatch");
+  }
+  std::vector<std::vector<float>> env(values_.size());
+  env[input_].assign(input.begin(), input.end());
+  for (const Op& op : ops_) {
+    switch (op.kind) {
+      case OpKind::kPartition: {
+        const auto& src = env[op.partition.input];
+        for (const PartitionSegment& s : op.partition.segments) {
+          env[s.output].assign(
+              src.begin() + static_cast<std::ptrdiff_t>(s.offset),
+              src.begin() + static_cast<std::ptrdiff_t>(s.offset + s.length));
+        }
+        break;
+      }
+      case OpKind::kMap: {
+        env[op.map.output] = op.map.fn.fn(env[op.map.input]);
+        if (env[op.map.output].size() != op.map.fn.out_dim) {
+          throw std::logic_error("Map " + op.map.fn.name +
+                                 " returned wrong dim");
+        }
+        break;
+      }
+      case OpKind::kSumReduce: {
+        const std::size_t dim = values_[op.sum_reduce.output].dim;
+        std::vector<float> acc(dim, 0.0f);
+        for (ValueId v : op.sum_reduce.inputs) {
+          for (std::size_t i = 0; i < dim; ++i) acc[i] += env[v][i];
+        }
+        env[op.sum_reduce.output] = std::move(acc);
+        break;
+      }
+      case OpKind::kConcat: {
+        std::vector<float> packed;
+        packed.reserve(values_[op.concat.output].dim);
+        for (ValueId v : op.concat.inputs) {
+          packed.insert(packed.end(), env[v].begin(), env[v].end());
+        }
+        env[op.concat.output] = std::move(packed);
+        break;
+      }
+    }
+  }
+  return env[output_];
+}
+
+ProgramBuilder::ProgramBuilder(std::size_t input_dim, std::string input_name) {
+  const ValueId in = program_.AddValue(std::move(input_name), input_dim);
+  program_.SetInput(in);
+}
+
+std::string ProgramBuilder::FreshName(const std::string& stem) {
+  return stem + "_" + std::to_string(next_id_++);
+}
+
+std::vector<ValueId> ProgramBuilder::Partition(ValueId input, std::size_t dim,
+                                               std::size_t stride) {
+  if (dim == 0 || stride == 0) {
+    throw std::invalid_argument("Partition: dim/stride must be positive");
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> segs;
+  const std::size_t total = program_.value(input).dim;
+  for (std::size_t off = 0; off + dim <= total; off += stride) {
+    segs.emplace_back(off, dim);
+  }
+  return PartitionExplicit(input, segs);
+}
+
+std::vector<ValueId> ProgramBuilder::PartitionExplicit(
+    ValueId input,
+    std::span<const std::pair<std::size_t, std::size_t>> segments) {
+  if (segments.empty()) {
+    throw std::invalid_argument("Partition: no segments");
+  }
+  Op op;
+  op.kind = OpKind::kPartition;
+  op.partition.input = input;
+  std::vector<ValueId> outs;
+  for (const auto& [off, len] : segments) {
+    const ValueId v = program_.AddValue(FreshName("seg"), len);
+    op.partition.segments.push_back(PartitionSegment{off, len, v});
+    outs.push_back(v);
+  }
+  program_.Append(std::move(op));
+  return outs;
+}
+
+ValueId ProgramBuilder::Map(ValueId input, MapFunction fn,
+                            std::size_t fuzzy_leaves) {
+  const ValueId out = program_.AddValue(FreshName("map"), fn.out_dim);
+  Op op;
+  op.kind = OpKind::kMap;
+  op.map.input = input;
+  op.map.output = out;
+  op.map.fn = std::move(fn);
+  op.map.fuzzy_leaves = fuzzy_leaves;
+  program_.Append(std::move(op));
+  return out;
+}
+
+ValueId ProgramBuilder::SumReduce(std::span<const ValueId> inputs) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("SumReduce: no inputs");
+  }
+  const std::size_t dim = program_.value(inputs[0]).dim;
+  const ValueId out = program_.AddValue(FreshName("sum"), dim);
+  Op op;
+  op.kind = OpKind::kSumReduce;
+  op.sum_reduce.inputs.assign(inputs.begin(), inputs.end());
+  op.sum_reduce.output = out;
+  program_.Append(std::move(op));
+  return out;
+}
+
+ValueId ProgramBuilder::SumReduce(std::initializer_list<ValueId> inputs) {
+  return SumReduce(std::span<const ValueId>(inputs.begin(), inputs.size()));
+}
+
+ValueId ProgramBuilder::Concat(std::span<const ValueId> inputs) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("Concat: no inputs");
+  }
+  std::size_t total = 0;
+  for (ValueId v : inputs) total += program_.value(v).dim;
+  const ValueId out = program_.AddValue(FreshName("cat"), total);
+  Op op;
+  op.kind = OpKind::kConcat;
+  op.concat.inputs.assign(inputs.begin(), inputs.end());
+  op.concat.output = out;
+  program_.Append(std::move(op));
+  return out;
+}
+
+ValueId ProgramBuilder::Concat(std::initializer_list<ValueId> inputs) {
+  return Concat(std::span<const ValueId>(inputs.begin(), inputs.size()));
+}
+
+Program ProgramBuilder::Finish(ValueId output) {
+  program_.SetOutput(output);
+  program_.Validate();
+  return std::move(program_);
+}
+
+}  // namespace pegasus::core

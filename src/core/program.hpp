@@ -1,0 +1,173 @@
+// The Pegasus primitive IR (paper §4.1, Table 3).
+//
+// A DL model is compiled into a dataflow program over named vector values
+// with exactly three op kinds:
+//
+//   Partition(X)            = {X1, ..., Xk}     (select sub-vectors)
+//   Map(F, {X1,...,Xk})     = {F1(X1),...,Fk(Xk)}  (per-segment functions)
+//   SumReduce({X1,...,Xk})  = sum_i Xi          (element-wise summation)
+//
+// Each Map carries its full-precision host function plus the metadata the
+// fusion passes need: `elementwise` (applies per element, so it commutes
+// with Partition) and `additive` (f(a+b) = f(a)+f(b), so it commutes with
+// SumReduce — the paper's "linearity property" in Basic Primitive Fusion).
+//
+// The IR has a reference interpreter (full-precision, host floats) used by
+// the tests to prove fusion passes preserve semantics, and by Figure 9 as
+// the "CPU/GPU" comparison path.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/fuzzy.hpp"
+
+namespace pegasus::core {
+
+using ValueId = std::size_t;
+
+/// A typed SSA-like value: a fixed-dimension vector of reals.
+struct ValueInfo {
+  std::string name;
+  std::size_t dim = 0;
+};
+
+/// Full-precision function attached to a Map op.
+struct MapFunction {
+  std::string name;
+  std::size_t in_dim = 0;
+  std::size_t out_dim = 0;
+  /// f applies independently per element (requires in_dim == out_dim at
+  /// call sites that exploit it; used to push Maps through Partitions).
+  bool elementwise = false;
+  /// f(a+b) == f(a)+f(b) element-wise (pure linear, no bias) — licenses the
+  /// Linear Reordering rewrite across SumReduce.
+  bool additive = false;
+  std::function<std::vector<float>(std::span<const float>)> fn;
+};
+
+/// Composition g(f(x)) with metadata intersection.
+MapFunction Compose(const MapFunction& f, const MapFunction& g);
+
+/// Restriction of an elementwise function to a [offset, offset+len) slice.
+MapFunction SliceElementwise(const MapFunction& f, std::size_t offset,
+                             std::size_t len);
+
+struct PartitionSegment {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+  ValueId output = 0;
+};
+
+struct PartitionOp {
+  ValueId input = 0;
+  std::vector<PartitionSegment> segments;
+};
+
+struct MapOp {
+  ValueId input = 0;
+  ValueId output = 0;
+  MapFunction fn;
+  /// Number of clustering-tree leaves the dataplane realization may use for
+  /// this Map (fuzzy-match budget). 0 = exact (enumerate input domain).
+  std::size_t fuzzy_leaves = 0;
+};
+
+struct SumReduceOp {
+  std::vector<ValueId> inputs;
+  ValueId output = 0;
+};
+
+/// Pure wiring: packs several values into one vector (the inverse of
+/// Partition). Map in Table 3 produces a *set* of outputs which downstream
+/// primitives consume as a single conceptual vector; Concat realizes that
+/// re-packing. It is free on the dataplane (PHV field aliasing).
+struct ConcatOp {
+  std::vector<ValueId> inputs;
+  ValueId output = 0;
+};
+
+enum class OpKind { kPartition, kMap, kSumReduce, kConcat };
+
+struct Op {
+  OpKind kind = OpKind::kMap;
+  PartitionOp partition;
+  MapOp map;
+  SumReduceOp sum_reduce;
+  ConcatOp concat;
+};
+
+/// A primitive program: values + topologically ordered ops, with one
+/// designated input vector and one output vector.
+class Program {
+ public:
+  ValueId AddValue(std::string name, std::size_t dim);
+
+  const ValueInfo& value(ValueId id) const { return values_.at(id); }
+  std::size_t NumValues() const { return values_.size(); }
+
+  void SetInput(ValueId id) { input_ = id; }
+  void SetOutput(ValueId id) { output_ = id; }
+  ValueId input() const { return input_; }
+  ValueId output() const { return output_; }
+
+  void Append(Op op) { ops_.push_back(std::move(op)); }
+  const std::vector<Op>& ops() const { return ops_; }
+  std::vector<Op>& mutable_ops() { return ops_; }
+
+  std::size_t NumMaps() const;
+  std::size_t NumSumReduces() const;
+
+  /// Structural checks: dims agree, every op's inputs are produced before
+  /// use, output is produced. Throws std::logic_error on violation.
+  void Validate() const;
+
+  /// Reference interpreter: evaluates the program on a host float vector.
+  std::vector<float> Evaluate(std::span<const float> input) const;
+
+ private:
+  std::vector<ValueInfo> values_;
+  std::vector<Op> ops_;
+  ValueId input_ = 0;
+  ValueId output_ = 0;
+};
+
+/// Convenience builder mirroring the Pegasus Syntax (paper §6.2, Figure 6):
+/// nested SumReduce(Map(Partition(...))) expressions become chained calls.
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::size_t input_dim,
+                          std::string input_name = "input");
+
+  /// Splits `input` into contiguous segments of `dim` every `stride`
+  /// elements (Figure 6's `Partition(vec, dim=2, stride=2)`).
+  std::vector<ValueId> Partition(ValueId input, std::size_t dim,
+                                 std::size_t stride);
+  /// Arbitrary (offset, length) segments.
+  std::vector<ValueId> PartitionExplicit(
+      ValueId input, std::span<const std::pair<std::size_t, std::size_t>>
+                         segments);
+
+  ValueId Map(ValueId input, MapFunction fn, std::size_t fuzzy_leaves);
+
+  ValueId SumReduce(std::span<const ValueId> inputs);
+  ValueId SumReduce(std::initializer_list<ValueId> inputs);
+
+  ValueId Concat(std::span<const ValueId> inputs);
+  ValueId Concat(std::initializer_list<ValueId> inputs);
+
+  ValueId input() const { return program_.input(); }
+  /// Dimension of a value created so far (for front-ends that want to
+  /// validate before Finish()).
+  std::size_t dim(ValueId v) const { return program_.value(v).dim; }
+  Program Finish(ValueId output);
+
+ private:
+  Program program_;
+  std::size_t next_id_ = 0;
+  std::string FreshName(const std::string& stem);
+};
+
+}  // namespace pegasus::core

@@ -1,0 +1,246 @@
+// CompiledModel serialization — the deployment artifact a control plane
+// ships to the switch agent: program wiring, quantization plan, clustering
+// trees and precomputed table values. Host-side Map functions are
+// training-time objects and are not serialized; loaded models support
+// EvaluateRaw / Evaluate and runtime::Lower (everything the dataplane
+// needs) but not the float reference interpreter.
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/tablegen.hpp"
+
+namespace pegasus::core {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x50454741535553ull;  // "PEGASUS"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T ReadPod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("CompiledModel::Load: truncated stream");
+  return v;
+}
+
+void WriteString(std::ostream& os, const std::string& s) {
+  WritePod<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string ReadString(std::istream& is) {
+  const auto len = ReadPod<std::uint32_t>(is);
+  std::string s(len, '\0');
+  is.read(s.data(), len);
+  if (!is) throw std::runtime_error("CompiledModel::Load: truncated string");
+  return s;
+}
+
+void WriteIds(std::ostream& os, const std::vector<ValueId>& ids) {
+  WritePod<std::uint32_t>(os, static_cast<std::uint32_t>(ids.size()));
+  for (ValueId v : ids) WritePod<std::uint64_t>(os, v);
+}
+
+std::vector<ValueId> ReadIds(std::istream& is) {
+  std::vector<ValueId> ids(ReadPod<std::uint32_t>(is));
+  for (ValueId& v : ids) v = ReadPod<std::uint64_t>(is);
+  return ids;
+}
+
+}  // namespace
+
+void CompiledModel::Save(std::ostream& os) const {
+  WritePod(os, kMagic);
+  WritePod(os, kVersion);
+  // options
+  WritePod<std::int32_t>(os, options_.input_bits);
+  WritePod<std::int32_t>(os, options_.value_bits);
+  WritePod<std::uint64_t>(os, options_.default_fuzzy_leaves);
+  WritePod<std::uint8_t>(os, options_.refine_outputs ? 1 : 0);
+  WritePod<double>(os, options_.range_margin);
+  WritePod<std::int32_t>(os, options_.max_domain_bits);
+
+  // program values
+  const Program& p = program_;
+  WritePod<std::uint32_t>(os, static_cast<std::uint32_t>(p.NumValues()));
+  for (std::size_t v = 0; v < p.NumValues(); ++v) {
+    WriteString(os, p.value(v).name);
+    WritePod<std::uint64_t>(os, p.value(v).dim);
+  }
+  WritePod<std::uint64_t>(os, p.input());
+  WritePod<std::uint64_t>(os, p.output());
+
+  // ops (Map functions reduced to their signature)
+  WritePod<std::uint32_t>(os, static_cast<std::uint32_t>(p.ops().size()));
+  for (const Op& op : p.ops()) {
+    WritePod<std::uint8_t>(os, static_cast<std::uint8_t>(op.kind));
+    switch (op.kind) {
+      case OpKind::kPartition: {
+        WritePod<std::uint64_t>(os, op.partition.input);
+        WritePod<std::uint32_t>(
+            os, static_cast<std::uint32_t>(op.partition.segments.size()));
+        for (const PartitionSegment& s : op.partition.segments) {
+          WritePod<std::uint64_t>(os, s.offset);
+          WritePod<std::uint64_t>(os, s.length);
+          WritePod<std::uint64_t>(os, s.output);
+        }
+        break;
+      }
+      case OpKind::kMap: {
+        WritePod<std::uint64_t>(os, op.map.input);
+        WritePod<std::uint64_t>(os, op.map.output);
+        WritePod<std::uint64_t>(os, op.map.fuzzy_leaves);
+        WriteString(os, op.map.fn.name);
+        WritePod<std::uint64_t>(os, op.map.fn.in_dim);
+        WritePod<std::uint64_t>(os, op.map.fn.out_dim);
+        break;
+      }
+      case OpKind::kSumReduce: {
+        WriteIds(os, op.sum_reduce.inputs);
+        WritePod<std::uint64_t>(os, op.sum_reduce.output);
+        break;
+      }
+      case OpKind::kConcat: {
+        WriteIds(os, op.concat.inputs);
+        WritePod<std::uint64_t>(os, op.concat.output);
+        break;
+      }
+    }
+  }
+
+  // quantization plan
+  for (std::size_t v = 0; v < p.NumValues(); ++v) {
+    WritePod<std::uint32_t>(os, static_cast<std::uint32_t>(quant_[v].size()));
+    for (const DimQuant& q : quant_[v]) {
+      WritePod<std::int32_t>(os, q.fmt.total_bits);
+      WritePod<std::int32_t>(os, q.fmt.frac_bits);
+      WritePod<std::int64_t>(os, q.bias);
+      WritePod<std::int32_t>(os, q.domain_bits);
+    }
+  }
+
+  // fuzzy tables
+  for (const auto& table : tables_) {
+    WritePod<std::uint8_t>(os, table ? 1 : 0);
+    if (!table) continue;
+    table->tree.Save(os);
+    WritePod<std::uint32_t>(os,
+                            static_cast<std::uint32_t>(table->leaf_raw.size()));
+    for (const auto& row : table->leaf_raw) {
+      WritePod<std::uint32_t>(os, static_cast<std::uint32_t>(row.size()));
+      for (std::int64_t w : row) WritePod<std::int64_t>(os, w);
+    }
+  }
+}
+
+CompiledModel CompiledModel::Load(std::istream& is) {
+  if (ReadPod<std::uint64_t>(is) != kMagic) {
+    throw std::runtime_error("CompiledModel::Load: bad magic");
+  }
+  if (ReadPod<std::uint32_t>(is) != kVersion) {
+    throw std::runtime_error("CompiledModel::Load: unsupported version");
+  }
+  CompiledModel model;
+  model.options_.input_bits = ReadPod<std::int32_t>(is);
+  model.options_.value_bits = ReadPod<std::int32_t>(is);
+  model.options_.default_fuzzy_leaves = ReadPod<std::uint64_t>(is);
+  model.options_.refine_outputs = ReadPod<std::uint8_t>(is) != 0;
+  model.options_.range_margin = ReadPod<double>(is);
+  model.options_.max_domain_bits = ReadPod<std::int32_t>(is);
+
+  Program p;
+  const auto num_values = ReadPod<std::uint32_t>(is);
+  for (std::uint32_t v = 0; v < num_values; ++v) {
+    const std::string name = ReadString(is);
+    const auto dim = ReadPod<std::uint64_t>(is);
+    p.AddValue(name, dim);
+  }
+  p.SetInput(ReadPod<std::uint64_t>(is));
+  p.SetOutput(ReadPod<std::uint64_t>(is));
+
+  const auto num_ops = ReadPod<std::uint32_t>(is);
+  for (std::uint32_t i = 0; i < num_ops; ++i) {
+    Op op;
+    op.kind = static_cast<OpKind>(ReadPod<std::uint8_t>(is));
+    switch (op.kind) {
+      case OpKind::kPartition: {
+        op.partition.input = ReadPod<std::uint64_t>(is);
+        const auto segs = ReadPod<std::uint32_t>(is);
+        for (std::uint32_t s = 0; s < segs; ++s) {
+          PartitionSegment seg;
+          seg.offset = ReadPod<std::uint64_t>(is);
+          seg.length = ReadPod<std::uint64_t>(is);
+          seg.output = ReadPod<std::uint64_t>(is);
+          op.partition.segments.push_back(seg);
+        }
+        break;
+      }
+      case OpKind::kMap: {
+        op.map.input = ReadPod<std::uint64_t>(is);
+        op.map.output = ReadPod<std::uint64_t>(is);
+        op.map.fuzzy_leaves = ReadPod<std::uint64_t>(is);
+        op.map.fn.name = ReadString(is);
+        op.map.fn.in_dim = ReadPod<std::uint64_t>(is);
+        op.map.fn.out_dim = ReadPod<std::uint64_t>(is);
+        // Placeholder: the host function is a training-side artifact.
+        op.map.fn.fn = [name = op.map.fn.name](std::span<const float>)
+            -> std::vector<float> {
+          throw std::logic_error("Map '" + name +
+                                 "' was loaded from a deployment artifact; "
+                                 "its host function is not serialized");
+        };
+        break;
+      }
+      case OpKind::kSumReduce: {
+        op.sum_reduce.inputs = ReadIds(is);
+        op.sum_reduce.output = ReadPod<std::uint64_t>(is);
+        break;
+      }
+      case OpKind::kConcat: {
+        op.concat.inputs = ReadIds(is);
+        op.concat.output = ReadPod<std::uint64_t>(is);
+        break;
+      }
+      default:
+        throw std::runtime_error("CompiledModel::Load: bad op kind");
+    }
+    p.Append(std::move(op));
+  }
+  p.Validate();
+
+  model.quant_.resize(num_values);
+  for (std::uint32_t v = 0; v < num_values; ++v) {
+    const auto dims = ReadPod<std::uint32_t>(is);
+    model.quant_[v].resize(dims);
+    for (DimQuant& q : model.quant_[v]) {
+      q.fmt.total_bits = ReadPod<std::int32_t>(is);
+      q.fmt.frac_bits = ReadPod<std::int32_t>(is);
+      q.bias = ReadPod<std::int64_t>(is);
+      q.domain_bits = ReadPod<std::int32_t>(is);
+    }
+  }
+
+  model.tables_.resize(num_ops);
+  for (std::uint32_t i = 0; i < num_ops; ++i) {
+    if (ReadPod<std::uint8_t>(is) == 0) continue;
+    FuzzyMapTable table;
+    table.tree = ClusterTree::Load(is);
+    table.leaf_raw.resize(ReadPod<std::uint32_t>(is));
+    for (auto& row : table.leaf_raw) {
+      row.resize(ReadPod<std::uint32_t>(is));
+      for (std::int64_t& w : row) w = ReadPod<std::int64_t>(is);
+    }
+    model.tables_[i] = std::move(table);
+  }
+  model.program_ = std::move(p);
+  return model;
+}
+
+}  // namespace pegasus::core

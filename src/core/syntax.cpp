@@ -1,0 +1,369 @@
+#include "core/syntax.hpp"
+
+#include <cctype>
+#include <optional>
+
+namespace pegasus::core {
+
+void FunctionRegistry::Register(std::string name, MapFunction fn) {
+  fns_[std::move(name)] = {std::move(fn)};
+}
+
+void FunctionRegistry::RegisterFamily(std::string name,
+                                      std::vector<MapFunction> family) {
+  if (family.empty()) {
+    throw std::invalid_argument("RegisterFamily: empty family");
+  }
+  fns_[std::move(name)] = std::move(family);
+}
+
+bool FunctionRegistry::Contains(const std::string& name) const {
+  return fns_.count(name) > 0;
+}
+
+const MapFunction& FunctionRegistry::Resolve(const std::string& name,
+                                             std::size_t index,
+                                             std::size_t count) const {
+  const auto it = fns_.find(name);
+  if (it == fns_.end()) {
+    throw std::out_of_range("unknown function '" + name + "'");
+  }
+  const auto& family = it->second;
+  if (family.size() == 1) return family[0];  // shared across segments
+  if (family.size() != count) {
+    throw std::out_of_range("function family '" + name + "' has " +
+                            std::to_string(family.size()) +
+                            " members but the Map has " +
+                            std::to_string(count) + " segments");
+  }
+  return family[index];
+}
+
+namespace {
+
+// ------------------------------------------------------------- lexer
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kEquals,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  long value = 0;
+  std::size_t line = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) { Advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token Take() {
+    Token t = current_;
+    Advance();
+    return t;
+  }
+
+ private:
+  void Advance() {
+    // skip whitespace and # comments
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+    current_ = Token{};
+    current_.line = line_;
+    if (pos_ >= src_.size()) {
+      current_.kind = TokKind::kEnd;
+      return;
+    }
+    const char c = src_[pos_];
+    auto single = [&](TokKind k) {
+      current_.kind = k;
+      current_.text = std::string(1, c);
+      ++pos_;
+    };
+    if (c == '(') return single(TokKind::kLParen);
+    if (c == ')') return single(TokKind::kRParen);
+    if (c == '[') return single(TokKind::kLBracket);
+    if (c == ']') return single(TokKind::kRBracket);
+    if (c == ',') return single(TokKind::kComma);
+    if (c == '=') return single(TokKind::kEquals);
+    if (c == ';') return single(TokKind::kSemicolon);
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t end = pos_;
+      while (end < src_.size() &&
+             std::isdigit(static_cast<unsigned char>(src_[end]))) {
+        ++end;
+      }
+      current_.kind = TokKind::kNumber;
+      current_.text = src_.substr(pos_, end - pos_);
+      current_.value = std::stol(current_.text);
+      pos_ = end;
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t end = pos_;
+      while (end < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[end])) ||
+              src_[end] == '_')) {
+        ++end;
+      }
+      current_.kind = TokKind::kIdent;
+      current_.text = src_.substr(pos_, end - pos_);
+      pos_ = end;
+      return;
+    }
+    throw SyntaxError(line_, std::string("unexpected character '") + c + "'");
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  Token current_;
+};
+
+// ------------------------------------------------------------ parser
+
+/// A syntax value: either one IR value or a segment list (the {X1..Xk}
+/// sets of Table 3).
+struct SynValue {
+  std::vector<ValueId> ids;
+  bool is_list = false;
+
+  ValueId Single(std::size_t line) const {
+    if (is_list || ids.size() != 1) {
+      throw SyntaxError(line, "expected a single vector, got a segment list");
+    }
+    return ids[0];
+  }
+};
+
+class Parser {
+ public:
+  Parser(const std::string& src, const FunctionRegistry& registry,
+         const ParseOptions& options)
+      : lex_(src), registry_(registry), options_(options) {}
+
+  Program Parse() {
+    // input declaration first
+    Expect(TokKind::kIdent, "input");
+    const Token name = ExpectKind(TokKind::kIdent, "input name");
+    Expect(TokKind::kLBracket, "[");
+    const Token dim = ExpectKind(TokKind::kNumber, "input dimension");
+    Expect(TokKind::kRBracket, "]");
+    Expect(TokKind::kSemicolon, ";");
+    if (dim.value <= 0) {
+      throw SyntaxError(dim.line, "input dimension must be positive");
+    }
+    builder_.emplace(static_cast<std::size_t>(dim.value), name.text);
+    bindings_[name.text] = SynValue{{builder_->input()}, false};
+
+    std::optional<ValueId> output;
+    while (lex_.peek().kind != TokKind::kEnd) {
+      const Token head = ExpectKind(TokKind::kIdent, "statement");
+      if (head.text == "output") {
+        const SynValue v = ParseExpr();
+        Expect(TokKind::kSemicolon, ";");
+        output = v.Single(head.line);
+      } else {
+        Expect(TokKind::kEquals, "=");
+        const SynValue v = ParseExpr();
+        Expect(TokKind::kSemicolon, ";");
+        if (bindings_.count(head.text)) {
+          throw SyntaxError(head.line, "redefinition of '" + head.text + "'");
+        }
+        bindings_[head.text] = v;
+      }
+    }
+    if (!output) {
+      throw SyntaxError(lex_.peek().line, "missing output statement");
+    }
+    try {
+      return builder_->Finish(*output);
+    } catch (const std::exception& e) {
+      throw SyntaxError(0, std::string("program validation failed: ") +
+                               e.what());
+    }
+  }
+
+ private:
+  SynValue ParseExpr() {
+    const Token head = ExpectKind(TokKind::kIdent, "expression");
+    if (head.text == "Partition") return ParsePartition(head);
+    if (head.text == "Map") return ParseMap(head);
+    if (head.text == "SumReduce") return ParseReduceLike(head, true);
+    if (head.text == "Concat") return ParseReduceLike(head, false);
+    const auto it = bindings_.find(head.text);
+    if (it == bindings_.end()) {
+      throw SyntaxError(head.line, "unknown name '" + head.text + "'");
+    }
+    return it->second;
+  }
+
+  SynValue ParsePartition(const Token& head) {
+    Expect(TokKind::kLParen, "(");
+    const SynValue input = ParseExpr();
+    long dim = -1, stride = -1;
+    while (lex_.peek().kind == TokKind::kComma) {
+      lex_.Take();
+      const auto [key, value] = ParseKeyValueNumber();
+      if (key == "dim") {
+        dim = value;
+      } else if (key == "stride") {
+        stride = value;
+      } else {
+        throw SyntaxError(head.line, "Partition: unknown parameter '" + key +
+                                         "'");
+      }
+    }
+    Expect(TokKind::kRParen, ")");
+    if (dim <= 0 || stride <= 0) {
+      throw SyntaxError(head.line, "Partition requires dim= and stride=");
+    }
+    SynValue out;
+    out.is_list = true;
+    out.ids = builder_->Partition(input.Single(head.line),
+                                  static_cast<std::size_t>(dim),
+                                  static_cast<std::size_t>(stride));
+    return out;
+  }
+
+  SynValue ParseMap(const Token& head) {
+    Expect(TokKind::kLParen, "(");
+    const SynValue input = ParseExpr();
+    std::string fn_name;
+    long leaves = static_cast<long>(options_.default_fuzzy_leaves);
+    while (lex_.peek().kind == TokKind::kComma) {
+      lex_.Take();
+      const Token key = ExpectKind(TokKind::kIdent, "parameter name");
+      Expect(TokKind::kEquals, "=");
+      if (key.text == "fn") {
+        fn_name = ExpectKind(TokKind::kIdent, "function name").text;
+      } else if (key.text == "leaves") {
+        leaves = ExpectKind(TokKind::kNumber, "leaf count").value;
+      } else {
+        throw SyntaxError(key.line, "Map: unknown parameter '" + key.text +
+                                        "'");
+      }
+    }
+    Expect(TokKind::kRParen, ")");
+    if (fn_name.empty()) {
+      throw SyntaxError(head.line, "Map requires fn=");
+    }
+    if (leaves <= 0) {
+      throw SyntaxError(head.line, "Map leaves must be positive");
+    }
+    const std::vector<ValueId>& inputs = input.ids;
+    SynValue out;
+    out.is_list = input.is_list;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      MapFunction fn;
+      try {
+        fn = registry_.Resolve(fn_name, i, inputs.size());
+      } catch (const std::out_of_range& e) {
+        throw SyntaxError(head.line, e.what());
+      }
+      if (fn.in_dim != builder_->dim(inputs[i])) {
+        throw SyntaxError(head.line,
+                          "function '" + fn_name + "' expects " +
+                              std::to_string(fn.in_dim) +
+                              " inputs but segment " + std::to_string(i) +
+                              " has " +
+                              std::to_string(builder_->dim(inputs[i])));
+      }
+      try {
+        out.ids.push_back(builder_->Map(inputs[i], std::move(fn),
+                                        static_cast<std::size_t>(leaves)));
+      } catch (const std::exception& e) {
+        throw SyntaxError(head.line, std::string("Map: ") + e.what());
+      }
+    }
+    return out;
+  }
+
+  SynValue ParseReduceLike(const Token& head, bool is_sum) {
+    Expect(TokKind::kLParen, "(");
+    std::vector<ValueId> inputs;
+    const SynValue first = ParseExpr();
+    inputs.insert(inputs.end(), first.ids.begin(), first.ids.end());
+    while (lex_.peek().kind == TokKind::kComma) {
+      lex_.Take();
+      const SynValue next = ParseExpr();
+      inputs.insert(inputs.end(), next.ids.begin(), next.ids.end());
+    }
+    Expect(TokKind::kRParen, ")");
+    SynValue out;
+    try {
+      out.ids.push_back(
+          is_sum ? builder_->SumReduce(std::span<const ValueId>(inputs))
+                 : builder_->Concat(std::span<const ValueId>(inputs)));
+    } catch (const std::exception& e) {
+      throw SyntaxError(head.line,
+                        std::string(is_sum ? "SumReduce: " : "Concat: ") +
+                            e.what());
+    }
+    return out;
+  }
+
+  std::pair<std::string, long> ParseKeyValueNumber() {
+    const Token key = ExpectKind(TokKind::kIdent, "parameter name");
+    Expect(TokKind::kEquals, "=");
+    const Token value = ExpectKind(TokKind::kNumber, "parameter value");
+    return {key.text, value.value};
+  }
+
+  Token ExpectKind(TokKind kind, const char* what) {
+    if (lex_.peek().kind != kind) {
+      throw SyntaxError(lex_.peek().line,
+                        std::string("expected ") + what + ", got '" +
+                            lex_.peek().text + "'");
+    }
+    return lex_.Take();
+  }
+
+  void Expect(TokKind kind, const char* text) {
+    const Token t = ExpectKind(kind, text);
+    if (kind == TokKind::kIdent && t.text != text) {
+      throw SyntaxError(t.line, std::string("expected '") + text +
+                                    "', got '" + t.text + "'");
+    }
+  }
+
+  Lexer lex_;
+  const FunctionRegistry& registry_;
+  ParseOptions options_;
+  std::optional<ProgramBuilder> builder_;
+  std::map<std::string, SynValue> bindings_;
+};
+
+}  // namespace
+
+Program ParsePegasusSyntax(const std::string& source,
+                           const FunctionRegistry& registry,
+                           const ParseOptions& options) {
+  Parser parser(source, registry, options);
+  return parser.Parse();
+}
+
+}  // namespace pegasus::core

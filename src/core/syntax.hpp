@@ -1,0 +1,75 @@
+// Pegasus Syntax (paper §6.2, Figure 6): a small declarative language for
+// wiring primitives, so model authors "focus on high-level logic design
+// without delving into the intricacies of low-level P4 code".
+//
+// Grammar (statements end with ';', '#' starts a line comment):
+//
+//   input  <name>[<dim>];
+//   <name> = <expr>;
+//   output <expr>;
+//
+//   expr := Partition(<expr>, dim=<int>, stride=<int>)     -> segment list
+//         | Map(<expr>, fn=<ident> [, leaves=<int>])       -> value / list
+//         | SumReduce(<expr> {, <expr>})                   -> value
+//         | Concat(<expr> {, <expr>})                      -> value
+//         | <ident>                                        -> bound value
+//
+// Map applies per element when given a segment list (the set semantics of
+// Table 3: Map(F, {X1..Xk}) = {F1(X1)..Fk(Xk)}); `fn` names either a single
+// MapFunction (shared across segments) or a function family registered with
+// one function per segment.
+//
+// Weights cannot be written in a text file, so functions are provided by a
+// FunctionRegistry — the same separation the paper's translator has between
+// the syntax and the trained parameters it splices in.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/program.hpp"
+
+namespace pegasus::core {
+
+/// Thrown on any parse or binding error; carries line information.
+class SyntaxError : public std::runtime_error {
+ public:
+  SyntaxError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Named MapFunctions (and families) the syntax can reference.
+class FunctionRegistry {
+ public:
+  /// Registers one function usable for any segment with a matching dim.
+  void Register(std::string name, MapFunction fn);
+  /// Registers a per-segment family: segment i uses family[i].
+  void RegisterFamily(std::string name, std::vector<MapFunction> family);
+
+  bool Contains(const std::string& name) const;
+  /// Function for segment `index` out of `count`; throws SyntaxError-free
+  /// std::out_of_range on unknown name or family size mismatch.
+  const MapFunction& Resolve(const std::string& name, std::size_t index,
+                             std::size_t count) const;
+
+ private:
+  std::map<std::string, std::vector<MapFunction>> fns_;
+};
+
+struct ParseOptions {
+  std::size_t default_fuzzy_leaves = 16;
+};
+
+/// Parses Pegasus Syntax source into a validated primitive Program.
+Program ParsePegasusSyntax(const std::string& source,
+                           const FunctionRegistry& registry,
+                           const ParseOptions& options = {});
+
+}  // namespace pegasus::core

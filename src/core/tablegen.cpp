@@ -1,0 +1,583 @@
+#include "core/tablegen.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <random>
+#include <stdexcept>
+
+namespace pegasus::core {
+
+namespace {
+
+using fixedpoint::Format;
+
+struct Range {
+  float lo = std::numeric_limits<float>::max();
+  float hi = std::numeric_limits<float>::lowest();
+
+  void Update(float v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  void Merge(const Range& o) {
+    lo = std::min(lo, o.lo);
+    hi = std::max(hi, o.hi);
+  }
+  bool Valid() const { return lo <= hi; }
+};
+
+/// Applies the compile margin to an observed range.
+Range WithMargin(Range r, double margin) {
+  if (!r.Valid()) return Range{0.0f, 1.0f};
+  const float span = std::max(r.hi - r.lo, 1.0f);
+  r.lo -= static_cast<float>(margin) * span + 1e-5f;
+  r.hi += static_cast<float>(margin) * span + 1e-5f;
+  return r;
+}
+
+int DomainBitsFor(std::int64_t umax) {
+  int bits = 1;
+  while ((std::int64_t{1} << bits) <= umax && bits < 30) ++bits;
+  return bits;
+}
+
+std::int64_t ClampU(std::int64_t u, std::int64_t dmax) {
+  return std::clamp<std::int64_t>(u, 0, dmax);
+}
+
+}  // namespace
+
+CompiledModel CompileProgram(Program program,
+                             std::span<const float> train_inputs,
+                             std::size_t n, const CompileOptions& options) {
+  program.Validate();
+  const std::size_t in_dim = program.value(program.input()).dim;
+  if (n == 0 || train_inputs.size() != n * in_dim) {
+    throw std::invalid_argument("CompileProgram: bad training data size");
+  }
+
+  // Optional uniform probe augmentation (see CompileOptions).
+  std::vector<float> augmented;
+  if (options.uniform_augment > 0.0) {
+    const auto extra = static_cast<std::size_t>(
+        options.uniform_augment * static_cast<double>(n));
+    augmented.assign(train_inputs.begin(), train_inputs.end());
+    std::mt19937_64 rng(options.augment_seed);
+    std::uniform_int_distribution<int> dist(
+        0, (1 << options.input_bits) - 1);
+    for (std::size_t i = 0; i < extra * in_dim; ++i) {
+      augmented.push_back(static_cast<float>(dist(rng)));
+    }
+    train_inputs = augmented;
+    n += extra;
+  }
+
+  CompiledModel model;
+  model.options_ = options;
+
+  const auto& ops = program.ops();
+  const std::size_t num_values = program.NumValues();
+
+  // ---------------------------------------------------------------------
+  // Pass 1: full-precision batch interpretation, collecting per-dim float
+  // ranges for every value and for every SumReduce prefix (partial sums,
+  // which bound the accumulator's excursion).
+  // ---------------------------------------------------------------------
+  std::vector<std::vector<float>> env_f(num_values);  // [value] N*dim
+  std::vector<std::vector<Range>> stats(num_values);
+  auto dim_of = [&](ValueId v) { return program.value(v).dim; };
+
+  env_f[program.input()].assign(train_inputs.begin(), train_inputs.end());
+  std::vector<std::vector<Range>> sum_prefix_stats(ops.size());
+
+  auto record_stats = [&](ValueId v) {
+    const std::size_t d = dim_of(v);
+    stats[v].assign(d, Range{});
+    const auto& buf = env_f[v];
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t k = 0; k < d; ++k) stats[v][k].Update(buf[s * d + k]);
+    }
+  };
+  record_stats(program.input());
+
+  for (std::size_t oi = 0; oi < ops.size(); ++oi) {
+    const Op& op = ops[oi];
+    switch (op.kind) {
+      case OpKind::kPartition: {
+        const auto& src = env_f[op.partition.input];
+        const std::size_t pdim = dim_of(op.partition.input);
+        for (const PartitionSegment& s : op.partition.segments) {
+          auto& dst = env_f[s.output];
+          dst.resize(n * s.length);
+          for (std::size_t smp = 0; smp < n; ++smp) {
+            std::copy_n(src.begin() +
+                            static_cast<std::ptrdiff_t>(smp * pdim + s.offset),
+                        s.length,
+                        dst.begin() +
+                            static_cast<std::ptrdiff_t>(smp * s.length));
+          }
+          record_stats(s.output);
+        }
+        break;
+      }
+      case OpKind::kMap: {
+        const std::size_t id = dim_of(op.map.input);
+        const std::size_t od = dim_of(op.map.output);
+        const auto& src = env_f[op.map.input];
+        auto& dst = env_f[op.map.output];
+        dst.resize(n * od);
+        for (std::size_t smp = 0; smp < n; ++smp) {
+          std::vector<float> y = op.map.fn.fn(
+              std::span<const float>(src.data() + smp * id, id));
+          std::copy_n(y.begin(), od,
+                      dst.begin() + static_cast<std::ptrdiff_t>(smp * od));
+        }
+        record_stats(op.map.output);
+        break;
+      }
+      case OpKind::kSumReduce: {
+        const std::size_t d = dim_of(op.sum_reduce.output);
+        auto& dst = env_f[op.sum_reduce.output];
+        dst.assign(n * d, 0.0f);
+        Range prefix_hull;
+        for (ValueId v : op.sum_reduce.inputs) {
+          const auto& src = env_f[v];
+          for (std::size_t i = 0; i < n * d; ++i) {
+            dst[i] += src[i];
+            prefix_hull.Update(dst[i]);
+          }
+        }
+        sum_prefix_stats[oi].assign(1, prefix_hull);
+        record_stats(op.sum_reduce.output);
+        break;
+      }
+      case OpKind::kConcat: {
+        const std::size_t d = dim_of(op.concat.output);
+        auto& dst = env_f[op.concat.output];
+        dst.resize(n * d);
+        std::size_t off = 0;
+        for (ValueId v : op.concat.inputs) {
+          const std::size_t vd = dim_of(v);
+          const auto& src = env_f[v];
+          for (std::size_t smp = 0; smp < n; ++smp) {
+            std::copy_n(src.begin() + static_cast<std::ptrdiff_t>(smp * vd),
+                        vd,
+                        dst.begin() +
+                            static_cast<std::ptrdiff_t>(smp * d + off));
+          }
+          off += vd;
+        }
+        record_stats(op.concat.output);
+        break;
+      }
+    }
+  }
+  env_f.clear();
+  env_f.shrink_to_fit();
+
+  // ---------------------------------------------------------------------
+  // Quantization plan.
+  // ---------------------------------------------------------------------
+  auto& quant = model.quant_;
+  quant.assign(num_values, {});
+  {
+    DimQuant q;
+    q.fmt = Format{options.input_bits + 1, 0};
+    q.bias = 0;
+    q.domain_bits = options.input_bits;
+    quant[program.input()].assign(in_dim, q);
+  }
+
+  // Which value ids are consumed by a SumReduce (their format is dictated
+  // by the accumulator). Dataplane lowering requires SumReduce inputs to be
+  // Map outputs consumed by nothing else: the Map's action *is* the
+  // accumulation (Figure 4), so the summand never exists as a separate
+  // field.
+  std::vector<bool> feeds_sum(num_values, false);
+  std::vector<bool> is_map_output(num_values, false);
+  for (const Op& op : ops) {
+    if (op.kind == OpKind::kMap) is_map_output[op.map.output] = true;
+  }
+  for (const Op& op : ops) {
+    if (op.kind != OpKind::kSumReduce) continue;
+    for (ValueId v : op.sum_reduce.inputs) {
+      if (feeds_sum[v]) {
+        throw std::logic_error(
+            "CompileProgram: value feeds two SumReduce reads");
+      }
+      if (!is_map_output[v]) {
+        throw std::logic_error(
+            "CompileProgram: SumReduce input must be a Map output");
+      }
+      feeds_sum[v] = true;
+    }
+  }
+  // Contributor values must have exactly one consumer (the SumReduce).
+  for (const Op& op : ops) {
+    auto check = [&](ValueId v, const char* what) {
+      if (feeds_sum[v] && op.kind != OpKind::kSumReduce) {
+        throw std::logic_error(std::string("CompileProgram: SumReduce "
+                                           "contributor also consumed by ") +
+                               what);
+      }
+    };
+    switch (op.kind) {
+      case OpKind::kPartition:
+        check(op.partition.input, "Partition");
+        break;
+      case OpKind::kMap:
+        check(op.map.input, "Map");
+        break;
+      case OpKind::kConcat:
+        for (ValueId v : op.concat.inputs) check(v, "Concat");
+        break;
+      case OpKind::kSumReduce:
+        break;
+    }
+  }
+  if (feeds_sum[program.output()]) {
+    throw std::logic_error(
+        "CompileProgram: program output cannot feed a SumReduce");
+  }
+
+  auto make_quant_from_range = [&](Range r) {
+    const Range rm = WithMargin(r, options.range_margin);
+    const std::array<float, 2> probe{rm.lo, rm.hi};
+    DimQuant q;
+    q.fmt = fixedpoint::ChooseFormat(probe, options.value_bits);
+    auto size_domain = [&] {
+      const std::int64_t raw_lo = fixedpoint::Quantize(rm.lo, q.fmt);
+      const std::int64_t raw_hi = fixedpoint::Quantize(rm.hi, q.fmt);
+      q.bias = -raw_lo;
+      q.domain_bits = DomainBitsFor(raw_hi + q.bias);
+    };
+    size_domain();
+    // Coarsen resolution until the match domain fits the cap (negative
+    // frac_bits = integer steps larger than 1; the fixed-point layer
+    // handles it).
+    while (q.domain_bits > options.max_domain_bits && q.fmt.frac_bits > -20) {
+      q.fmt.frac_bits -= q.domain_bits - options.max_domain_bits;
+      size_domain();
+    }
+    return q;
+  };
+
+  for (std::size_t oi = 0; oi < ops.size(); ++oi) {
+    const Op& op = ops[oi];
+    switch (op.kind) {
+      case OpKind::kPartition: {
+        const auto& pq = quant[op.partition.input];
+        for (const PartitionSegment& s : op.partition.segments) {
+          quant[s.output].assign(
+              pq.begin() + static_cast<std::ptrdiff_t>(s.offset),
+              pq.begin() + static_cast<std::ptrdiff_t>(s.offset + s.length));
+        }
+        break;
+      }
+      case OpKind::kConcat: {
+        auto& dst = quant[op.concat.output];
+        dst.clear();
+        for (ValueId v : op.concat.inputs) {
+          dst.insert(dst.end(), quant[v].begin(), quant[v].end());
+        }
+        break;
+      }
+      case OpKind::kMap: {
+        if (feeds_sum[op.map.output]) break;  // assigned by the SumReduce
+        Range hull;
+        for (const Range& r : stats[op.map.output]) hull.Merge(r);
+        quant[op.map.output].assign(dim_of(op.map.output),
+                                    make_quant_from_range(hull));
+        break;
+      }
+      case OpKind::kSumReduce: {
+        Range hull = sum_prefix_stats[oi][0];
+        for (const Range& r : stats[op.sum_reduce.output]) hull.Merge(r);
+        const DimQuant q = make_quant_from_range(hull);
+        quant[op.sum_reduce.output].assign(dim_of(op.sum_reduce.output), q);
+        // Contributors share the accumulator's format; their bias/domain
+        // are unused (raw words are added directly).
+        DimQuant cq = q;
+        cq.bias = 0;
+        for (ValueId v : op.sum_reduce.inputs) {
+          quant[v].assign(dim_of(v), cq);
+        }
+        break;
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Pass 2: build fuzzy tables in op order, propagating the *quantized*
+  // values so later trees see upstream approximation error.
+  // ---------------------------------------------------------------------
+  model.tables_.assign(ops.size(), std::nullopt);
+  std::vector<std::vector<std::int64_t>> env_r(num_values);
+  {
+    auto& in = env_r[program.input()];
+    in.resize(n * in_dim);
+    const std::int64_t dmax =
+        (std::int64_t{1} << options.input_bits) - 1;
+    for (std::size_t i = 0; i < n * in_dim; ++i) {
+      in[i] = ClampU(std::llround(train_inputs[i]), dmax);
+    }
+  }
+
+  for (std::size_t oi = 0; oi < ops.size(); ++oi) {
+    const Op& op = ops[oi];
+    switch (op.kind) {
+      case OpKind::kPartition: {
+        const auto& src = env_r[op.partition.input];
+        const std::size_t pdim = dim_of(op.partition.input);
+        for (const PartitionSegment& s : op.partition.segments) {
+          auto& dst = env_r[s.output];
+          dst.resize(n * s.length);
+          for (std::size_t smp = 0; smp < n; ++smp) {
+            std::copy_n(src.begin() +
+                            static_cast<std::ptrdiff_t>(smp * pdim + s.offset),
+                        s.length,
+                        dst.begin() +
+                            static_cast<std::ptrdiff_t>(smp * s.length));
+          }
+        }
+        break;
+      }
+      case OpKind::kConcat: {
+        const std::size_t d = dim_of(op.concat.output);
+        auto& dst = env_r[op.concat.output];
+        dst.resize(n * d);
+        std::size_t off = 0;
+        for (ValueId v : op.concat.inputs) {
+          const std::size_t vd = dim_of(v);
+          const auto& src = env_r[v];
+          for (std::size_t smp = 0; smp < n; ++smp) {
+            std::copy_n(src.begin() + static_cast<std::ptrdiff_t>(smp * vd),
+                        vd,
+                        dst.begin() +
+                            static_cast<std::ptrdiff_t>(smp * d + off));
+          }
+          off += vd;
+        }
+        break;
+      }
+      case OpKind::kMap: {
+        const std::size_t id = dim_of(op.map.input);
+        const std::size_t od = dim_of(op.map.output);
+        const auto& in_q = quant[op.map.input];
+        const auto& out_q = quant[op.map.output][0];
+        const auto& src = env_r[op.map.input];
+
+        // u-domain training matrix for the clustering tree.
+        std::vector<float> u_data(n * id);
+        int max_bits = 1;
+        for (const DimQuant& dq : in_q) {
+          max_bits = std::max(max_bits, dq.domain_bits);
+        }
+        for (std::size_t smp = 0; smp < n; ++smp) {
+          for (std::size_t k = 0; k < id; ++k) {
+            const std::int64_t u =
+                ClampU(src[smp * id + k] + in_q[k].bias, in_q[k].DomainMax());
+            u_data[smp * id + k] = static_cast<float>(u);
+          }
+        }
+        ClusterTree::FitConfig fcfg;
+        fcfg.num_leaves = op.map.fuzzy_leaves != 0
+                              ? op.map.fuzzy_leaves
+                              : options.default_fuzzy_leaves;
+        fcfg.input_bits = max_bits;
+        ClusterTree tree = ClusterTree::Fit(u_data, n, id, fcfg);
+
+        // Leaf assignment + per-leaf output accumulation.
+        const std::size_t leaves = tree.NumLeaves();
+        std::vector<std::size_t> leaf_of(n);
+        std::vector<std::vector<double>> sum(leaves,
+                                             std::vector<double>(od, 0.0));
+        std::vector<std::size_t> count(leaves, 0);
+        std::vector<float> x_float(id);
+        for (std::size_t smp = 0; smp < n; ++smp) {
+          const std::size_t leaf = tree.Lookup(
+              std::span<const float>(u_data.data() + smp * id, id));
+          leaf_of[smp] = leaf;
+          if (options.refine_outputs) {
+            for (std::size_t k = 0; k < id; ++k) {
+              const double u = u_data[smp * id + k];
+              x_float[k] = static_cast<float>(
+                  (u - static_cast<double>(in_q[k].bias)) *
+                  in_q[k].fmt.Resolution());
+            }
+            std::vector<float> y = op.map.fn.fn(x_float);
+            for (std::size_t k = 0; k < od; ++k) sum[leaf][k] += y[k];
+            ++count[leaf];
+          }
+        }
+
+        FuzzyMapTable table;
+        table.leaf_raw.resize(leaves);
+        for (std::size_t leaf = 0; leaf < leaves; ++leaf) {
+          std::vector<float> y;
+          if (options.refine_outputs && count[leaf] > 0) {
+            y.resize(od);
+            for (std::size_t k = 0; k < od; ++k) {
+              y[k] = static_cast<float>(sum[leaf][k] /
+                                        static_cast<double>(count[leaf]));
+            }
+          } else {
+            auto c = tree.Centroid(leaf);
+            for (std::size_t k = 0; k < id; ++k) {
+              x_float[k] = static_cast<float>(
+                  (static_cast<double>(c[k]) -
+                   static_cast<double>(in_q[k].bias)) *
+                  in_q[k].fmt.Resolution());
+            }
+            y = op.map.fn.fn(x_float);
+          }
+          auto& raw = table.leaf_raw[leaf];
+          raw.resize(od);
+          const bool to_sum = feeds_sum[op.map.output];
+          for (std::size_t k = 0; k < od; ++k) {
+            raw[k] = fixedpoint::Quantize(y[k], out_q.fmt);
+            if (!to_sum) {
+              // Materialized outputs live in PHV fields of domain_bits
+              // width; clamp so u = raw + bias stays in-domain, keeping the
+              // host path and the lowered pipeline bit-identical.
+              raw[k] = std::clamp<std::int64_t>(raw[k], -out_q.bias,
+                                                out_q.DomainMax() - out_q.bias);
+            }
+          }
+        }
+
+        // Propagate quantized outputs.
+        auto& dst = env_r[op.map.output];
+        dst.resize(n * od);
+        for (std::size_t smp = 0; smp < n; ++smp) {
+          std::copy_n(table.leaf_raw[leaf_of[smp]].begin(), od,
+                      dst.begin() + static_cast<std::ptrdiff_t>(smp * od));
+        }
+        table.tree = std::move(tree);
+        model.tables_[oi] = std::move(table);
+        break;
+      }
+      case OpKind::kSumReduce: {
+        const std::size_t d = dim_of(op.sum_reduce.output);
+        const DimQuant& yq = quant[op.sum_reduce.output][0];
+        auto& dst = env_r[op.sum_reduce.output];
+        dst.resize(n * d);
+        const std::int64_t dmax = yq.DomainMax();
+        for (std::size_t smp = 0; smp < n; ++smp) {
+          for (std::size_t k = 0; k < d; ++k) {
+            std::int64_t acc = yq.bias;
+            for (ValueId v : op.sum_reduce.inputs) {
+              acc = ClampU(acc + env_r[v][smp * d + k], dmax);
+            }
+            dst[smp * d + k] = acc - yq.bias;
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  model.program_ = std::move(program);
+  return model;
+}
+
+std::vector<std::int64_t> CompiledModel::EvaluateRaw(
+    std::span<const float> input) const {
+  const std::size_t in_dim = program_.value(program_.input()).dim;
+  if (input.size() != in_dim) {
+    throw std::invalid_argument("CompiledModel::Evaluate: input dim mismatch");
+  }
+  std::vector<std::vector<std::int64_t>> env(program_.NumValues());
+  {
+    auto& in = env[program_.input()];
+    in.resize(in_dim);
+    const std::int64_t dmax =
+        (std::int64_t{1} << options_.input_bits) - 1;
+    for (std::size_t i = 0; i < in_dim; ++i) {
+      in[i] = ClampU(std::llround(input[i]), dmax);
+    }
+  }
+  const auto& ops = program_.ops();
+  for (std::size_t oi = 0; oi < ops.size(); ++oi) {
+    const Op& op = ops[oi];
+    switch (op.kind) {
+      case OpKind::kPartition: {
+        const auto& src = env[op.partition.input];
+        for (const PartitionSegment& s : op.partition.segments) {
+          env[s.output].assign(
+              src.begin() + static_cast<std::ptrdiff_t>(s.offset),
+              src.begin() + static_cast<std::ptrdiff_t>(s.offset + s.length));
+        }
+        break;
+      }
+      case OpKind::kConcat: {
+        auto& dst = env[op.concat.output];
+        dst.clear();
+        for (ValueId v : op.concat.inputs) {
+          dst.insert(dst.end(), env[v].begin(), env[v].end());
+        }
+        break;
+      }
+      case OpKind::kMap: {
+        const std::size_t id = program_.value(op.map.input).dim;
+        const auto& in_q = quant_[op.map.input];
+        const FuzzyMapTable& table = *tables_[oi];
+        std::vector<float> u(id);
+        for (std::size_t k = 0; k < id; ++k) {
+          u[k] = static_cast<float>(
+              ClampU(env[op.map.input][k] + in_q[k].bias,
+                     in_q[k].DomainMax()));
+        }
+        const std::size_t leaf = table.tree.Lookup(u);
+        env[op.map.output] = table.leaf_raw[leaf];
+        break;
+      }
+      case OpKind::kSumReduce: {
+        const std::size_t d = program_.value(op.sum_reduce.output).dim;
+        const DimQuant& yq = quant_[op.sum_reduce.output][0];
+        auto& dst = env[op.sum_reduce.output];
+        dst.resize(d);
+        const std::int64_t dmax = yq.DomainMax();
+        for (std::size_t k = 0; k < d; ++k) {
+          std::int64_t acc = yq.bias;
+          for (ValueId v : op.sum_reduce.inputs) {
+            acc = ClampU(acc + env[v][k], dmax);
+          }
+          dst[k] = acc - yq.bias;
+        }
+        break;
+      }
+    }
+  }
+  return env[program_.output()];
+}
+
+std::vector<float> CompiledModel::Evaluate(std::span<const float> input) const {
+  const std::vector<std::int64_t> raw = EvaluateRaw(input);
+  const auto& oq = quant_[program_.output()];
+  std::vector<float> out(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    out[i] = static_cast<float>(fixedpoint::Dequantize(raw[i], oq[i].fmt));
+  }
+  return out;
+}
+
+std::size_t CompiledModel::TotalLeaves() const {
+  std::size_t total = 0;
+  for (const auto& t : tables_) {
+    if (t) total += t->tree.NumLeaves();
+  }
+  return total;
+}
+
+std::size_t CompiledModel::NumTables() const {
+  std::size_t total = 0;
+  for (const auto& t : tables_) {
+    if (t) ++total;
+  }
+  return total;
+}
+
+}  // namespace pegasus::core

@@ -1,0 +1,137 @@
+// Mapping-table generation (paper §4.2 fuzzy matching + §4.4 mapping
+// optimization).
+//
+// CompileProgram turns a (typically fused) primitive Program plus its
+// training-input distribution into a CompiledModel:
+//
+//  * a quantization plan — per value dimension, a fixed-point Format, a
+//    bias and an unsigned match domain, so every PHV field holds
+//    u = raw + bias in [0, 2^domain_bits) (the "adaptive fixed-point
+//    quantization" of §4.4: every table's stored outputs use their own
+//    fixed-point position chosen from the observed numerical range);
+//
+//  * per Map op, a fuzzy table — a ClusterTree fitted on the *propagated*
+//    quantized inputs of that Map (so later tables see the approximation
+//    error of earlier ones, as on the real switch), and per-leaf raw output
+//    words holding the full-precision function result, quantized;
+//
+//  * optionally, §4.4's output refinement: instead of f(centroid), a leaf
+//    stores the training-mean of f(x) over the samples routed to it — the
+//    value output-side backpropagation converges to under L2 loss.
+//
+// CompiledModel::Evaluate is the host-side reference of the dataplane
+// execution and is *bit-exact* with the lowered pipeline (saturating adds
+// in the same order, identical clamping): the integration tests assert it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/fuzzy.hpp"
+#include "core/program.hpp"
+#include "fixedpoint/fixedpoint.hpp"
+
+namespace pegasus::core {
+
+/// Quantization of one value dimension.
+struct DimQuant {
+  fixedpoint::Format fmt;
+  std::int64_t bias = 0;
+  int domain_bits = 8;
+
+  std::int64_t DomainMax() const {
+    return (std::int64_t{1} << domain_bits) - 1;
+  }
+};
+
+/// The dataplane realization of one Map op.
+struct FuzzyMapTable {
+  ClusterTree tree;
+  /// Per leaf: out_dim raw words in the output value's format.
+  std::vector<std::vector<std::int64_t>> leaf_raw;
+};
+
+struct CompileOptions {
+  /// Bit width of program-input features (match keys).
+  int input_bits = 8;
+  /// Total bits of fixed-point activation words.
+  int value_bits = 16;
+  /// Leaves for Map ops that did not specify fuzzy_leaves.
+  std::size_t default_fuzzy_leaves = 16;
+  /// §4.4 refinement: store per-leaf training means instead of f(centroid).
+  bool refine_outputs = true;
+  /// Range margin applied when sizing formats/domains, as a fraction of the
+  /// observed training range per side.
+  double range_margin = 0.25;
+  /// Cap on the match-domain width of any value dimension. Wider domains
+  /// would explode the CRC ternary expansion; when the cap binds, the
+  /// value's fixed-point resolution is coarsened (fewer frac bits) so the
+  /// whole range still fits — trading activation precision for TCAM, the
+  /// same dial the paper's translator turns.
+  int max_domain_bits = 10;
+  /// Fraction of additional *uniform-random* probe inputs appended to the
+  /// training set before fitting (0 = none; 1.0 doubles the data).
+  /// Mapping-table values are precomputed from the known function, so
+  /// probing beyond the training distribution is always sound; it matters
+  /// for anomaly detectors, whose whole job is to score regions benign
+  /// training data never visits (the Figure 8 AutoEncoder uses this).
+  double uniform_augment = 0.0;
+  std::uint64_t augment_seed = 97;
+};
+
+/// A program compiled against a training distribution.
+class CompiledModel {
+ public:
+  const Program& program() const { return program_; }
+  const std::vector<std::vector<DimQuant>>& quant() const { return quant_; }
+  const std::vector<std::optional<FuzzyMapTable>>& tables() const {
+    return tables_;
+  }
+
+  /// Dataplane-equivalent inference on one input feature vector (values in
+  /// [0, 2^input_bits)). Returns dequantized outputs.
+  std::vector<float> Evaluate(std::span<const float> input) const;
+
+  /// Raw (fixed-point) outputs, for tests that compare against the switch
+  /// simulator bit-for-bit.
+  std::vector<std::int64_t> EvaluateRaw(std::span<const float> input) const;
+
+  /// Sum of leaf counts over all tables (total mapping-table entries before
+  /// TCAM expansion).
+  std::size_t TotalLeaves() const;
+
+  /// Number of Map tables (the paper's "table lookups" metric, Figure 5).
+  std::size_t NumTables() const;
+
+  const CompileOptions& options() const { return options_; }
+
+  /// Serializes the *deployable* state: program structure, quantization
+  /// plan, clustering trees and table values — everything EvaluateRaw /
+  /// runtime::Lower need. Map host functions are NOT serialized (they are
+  /// training-side artifacts); a loaded model supports the dataplane paths
+  /// but not Program::Evaluate.
+  void Save(std::ostream& os) const;
+  static CompiledModel Load(std::istream& is);
+
+ private:
+  friend CompiledModel CompileProgram(Program program,
+                                      std::span<const float> train_inputs,
+                                      std::size_t n,
+                                      const CompileOptions& options);
+
+  Program program_;
+  CompileOptions options_;
+  std::vector<std::vector<DimQuant>> quant_;           // [value][dim]
+  std::vector<std::optional<FuzzyMapTable>> tables_;   // [op index]
+};
+
+/// Compiles `program` against `n` training inputs (row-major, dim =
+/// program input dim). Throws std::invalid_argument on empty data.
+CompiledModel CompileProgram(Program program,
+                             std::span<const float> train_inputs,
+                             std::size_t n, const CompileOptions& options);
+
+}  // namespace pegasus::core

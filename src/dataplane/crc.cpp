@@ -1,0 +1,39 @@
+#include "dataplane/crc.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace pegasus::dataplane {
+
+std::vector<TernaryRule> RangeToTernary(std::uint64_t lo, std::uint64_t hi,
+                                        int width) {
+  if (width < 1 || width > 63) {
+    throw std::invalid_argument("RangeToTernary: width out of [1,63]");
+  }
+  const std::uint64_t field_max = (std::uint64_t{1} << width) - 1;
+  if (lo > hi || hi > field_max) {
+    throw std::invalid_argument("RangeToTernary: bad range");
+  }
+  const std::uint64_t full_mask = field_max;
+  std::vector<TernaryRule> rules;
+  std::uint64_t cursor = lo;
+  while (true) {
+    // Largest aligned power-of-two block starting at cursor that stays
+    // within [cursor, hi].
+    int block_log = cursor == 0 ? width : std::countr_zero(cursor);
+    if (block_log > width) block_log = width;
+    while (block_log > 0) {
+      const std::uint64_t block_size = std::uint64_t{1} << block_log;
+      if (block_size - 1 <= hi - cursor) break;
+      --block_log;
+    }
+    const std::uint64_t block_size = std::uint64_t{1} << block_log;
+    rules.push_back(TernaryRule{cursor, full_mask & ~(block_size - 1)});
+    if (hi - cursor < block_size) break;  // block reaches hi exactly
+    cursor += block_size;
+    if (cursor > hi) break;
+  }
+  return rules;
+}
+
+}  // namespace pegasus::dataplane

@@ -1,0 +1,37 @@
+// Consecutive Range Coding (paper §6.1): converting a numeric range
+// [lo, hi] over a w-bit field into TCAM ternary rules.
+//
+// PISA TCAMs match (value, mask) pairs; a clustering-tree leaf is a
+// hyperrectangle of fuzzy-match thresholds, so each dimension's interval
+// must be expanded into prefix-style ternary rules. The classic bound is at
+// most 2w-2 rules for a w-bit range; the expansion below achieves it by
+// greedily emitting the largest aligned block that fits at the current
+// cursor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pegasus::dataplane {
+
+/// One ternary match: bitwise (key & mask) == (value & mask).
+struct TernaryRule {
+  std::uint64_t value = 0;
+  std::uint64_t mask = 0;  // 1-bits participate in the match
+
+  bool Matches(std::uint64_t key) const {
+    return (key & mask) == (value & mask);
+  }
+  bool operator==(const TernaryRule&) const = default;
+};
+
+/// Expands the inclusive integer range [lo, hi] over a `width`-bit field
+/// into ternary rules whose union covers exactly [lo, hi].
+/// Throws std::invalid_argument if lo > hi or hi does not fit in `width`.
+std::vector<TernaryRule> RangeToTernary(std::uint64_t lo, std::uint64_t hi,
+                                        int width);
+
+/// Upper bound on the number of rules RangeToTernary can return.
+inline int MaxRulesForWidth(int width) { return width <= 1 ? 1 : 2 * width - 2; }
+
+}  // namespace pegasus::dataplane

@@ -1,0 +1,76 @@
+#include "dataplane/pipeline.hpp"
+
+namespace pegasus::dataplane {
+
+Pipeline::Pipeline(SwitchModel model)
+    : model_(model), stages_(model.num_stages) {}
+
+std::size_t Pipeline::PlaceTable(std::unique_ptr<MatchActionTable> table,
+                                 std::size_t min_stage) {
+  if (min_stage >= stages_.size()) {
+    throw PlacementError("table '" + table->name() +
+                         "' needs stage >= " + std::to_string(min_stage) +
+                         " but the switch has only " +
+                         std::to_string(stages_.size()) + " stages");
+  }
+  const std::size_t sram = table->SramBits();
+  const std::size_t tcam = table->TcamBits();
+  const std::size_t bus = table->ActionDataBits();
+  for (std::size_t s = min_stage; s < stages_.size(); ++s) {
+    Stage& stage = stages_[s];
+    if (stage.sram_bits + sram <= model_.sram_bits_per_stage &&
+        stage.tcam_bits + tcam <= model_.tcam_bits_per_stage &&
+        stage.action_bus_bits + bus <= model_.action_bus_bits_per_stage) {
+      stage.sram_bits += sram;
+      stage.tcam_bits += tcam;
+      stage.action_bus_bits += bus;
+      stage.tables.push_back(std::move(table));
+      return s;
+    }
+  }
+  throw PlacementError(
+      "table '" + table->name() + "' does not fit: needs " +
+      std::to_string(sram) + "b SRAM, " + std::to_string(tcam) +
+      "b TCAM, " + std::to_string(bus) + "b action bus in one stage");
+}
+
+std::size_t Pipeline::Process(Phv& phv) const {
+  std::size_t hits = 0;
+  for (const Stage& stage : stages_) {
+    for (const auto& table : stage.tables) {
+      if (table->Apply(phv)) ++hits;
+    }
+  }
+  return hits;
+}
+
+ResourceReport Pipeline::Report() const {
+  ResourceReport r;
+  for (const Stage& stage : stages_) {
+    if (stage.tables.empty()) continue;
+    ++r.stages_used;
+    r.sram_bits += stage.sram_bits;
+    r.tcam_bits += stage.tcam_bits;
+    r.total_action_bus_bits += stage.action_bus_bits;
+    r.max_stage_action_bus_bits =
+        std::max(r.max_stage_action_bus_bits, stage.action_bus_bits);
+  }
+  r.stateful_bits_per_flow = stateful_bits_per_flow_;
+  return r;
+}
+
+std::size_t Pipeline::NumTables() const {
+  std::size_t n = 0;
+  for (const Stage& s : stages_) n += s.tables.size();
+  return n;
+}
+
+std::size_t Pipeline::StagesUsed() const {
+  std::size_t n = 0;
+  for (const Stage& s : stages_) {
+    if (!s.tables.empty()) ++n;
+  }
+  return n;
+}
+
+}  // namespace pegasus::dataplane

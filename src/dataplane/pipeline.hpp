@@ -1,0 +1,65 @@
+// The staged PISA pipeline: tables are placed into one of `num_stages`
+// stages under per-stage SRAM/TCAM/action-bus budgets, and a packet's PHV
+// traverses the stages in order. Placement failures are the simulator's
+// rendition of "the model does not fit on the switch" — the scalability
+// wall the paper's §2 motivates.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dataplane/resources.hpp"
+#include "dataplane/table.hpp"
+
+namespace pegasus::dataplane {
+
+/// Thrown when a table cannot be placed within the switch's resources.
+class PlacementError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(SwitchModel model = {});
+
+  const SwitchModel& switch_model() const { return model_; }
+
+  /// Places `table` in the first stage >= `min_stage` with room for its
+  /// SRAM/TCAM footprint and action-bus demand. Returns the stage index.
+  /// Throws PlacementError when no stage fits.
+  std::size_t PlaceTable(std::unique_ptr<MatchActionTable> table,
+                         std::size_t min_stage);
+
+  /// Declares per-flow stateful register usage (bits per flow). Stateful
+  /// SRAM is accounted separately from table SRAM, as in Table 6's
+  /// "Stateful bits/flow" column.
+  void DeclareFlowState(std::size_t bits_per_flow) {
+    stateful_bits_per_flow_ += bits_per_flow;
+  }
+
+  /// Runs the PHV through every stage in order. Returns the number of table
+  /// hits (for diagnostics).
+  std::size_t Process(Phv& phv) const;
+
+  ResourceReport Report() const;
+
+  std::size_t NumTables() const;
+  std::size_t StagesUsed() const;
+
+ private:
+  struct Stage {
+    std::vector<std::unique_ptr<MatchActionTable>> tables;
+    std::size_t sram_bits = 0;
+    std::size_t tcam_bits = 0;
+    std::size_t action_bus_bits = 0;
+  };
+
+  SwitchModel model_;
+  std::vector<Stage> stages_;
+  std::size_t stateful_bits_per_flow_ = 0;
+};
+
+}  // namespace pegasus::dataplane

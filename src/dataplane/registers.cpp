@@ -1,0 +1,28 @@
+#include "dataplane/registers.hpp"
+
+#include <algorithm>
+
+namespace pegasus::dataplane {
+
+RegisterArray::RegisterArray(std::string name, int width_bits,
+                             std::size_t num_slots)
+    : name_(std::move(name)), width_bits_(width_bits) {
+  if (width_bits < 1 || width_bits > 64) {
+    throw std::invalid_argument("RegisterArray: width out of [1,64]");
+  }
+  if (num_slots == 0) {
+    throw std::invalid_argument("RegisterArray: zero slots");
+  }
+  slots_.assign(num_slots, 0);
+}
+
+void RegisterArray::Write(const FlowKey& key, std::int64_t value) {
+  if (width_bits_ < 64) {
+    const std::int64_t hi = (std::int64_t{1} << (width_bits_ - 1)) - 1;
+    const std::int64_t lo = -(std::int64_t{1} << (width_bits_ - 1));
+    value = std::clamp(value, lo, hi);
+  }
+  slots_[SlotFor(key)] = value;
+}
+
+}  // namespace pegasus::dataplane

@@ -1,0 +1,55 @@
+// Stateful per-flow registers.
+//
+// PISA keeps flow state (previous-packet timestamp, stored fuzzy indexes,
+// running min/max features) in stage-local SRAM register arrays indexed by
+// a hash of the flow key. The paper's Figure 7 studies exactly this cost:
+// bits per flow times concurrent flows, which competes with mapping-table
+// SRAM.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pegasus::dataplane {
+
+/// A 5-tuple flow key reduced to a 64-bit digest (the simulator never needs
+/// the raw tuple; collisions are part of real switch behaviour too).
+struct FlowKey {
+  std::uint64_t digest = 0;
+  bool operator==(const FlowKey&) const = default;
+};
+
+/// One register array: `num_slots` slots of `width_bits` each, indexed by
+/// flow hash. Reads and writes are saturating to the slot width.
+class RegisterArray {
+ public:
+  RegisterArray(std::string name, int width_bits, std::size_t num_slots);
+
+  const std::string& name() const { return name_; }
+  int width_bits() const { return width_bits_; }
+  std::size_t num_slots() const { return slots_.size(); }
+
+  std::size_t SlotFor(const FlowKey& key) const {
+    return static_cast<std::size_t>(key.digest % slots_.size());
+  }
+
+  std::int64_t Read(const FlowKey& key) const {
+    return slots_[SlotFor(key)];
+  }
+  /// Writes, saturating to the signed range of width_bits.
+  void Write(const FlowKey& key, std::int64_t value);
+
+  /// Total SRAM bits consumed by this array.
+  std::size_t SramBits() const {
+    return slots_.size() * static_cast<std::size_t>(width_bits_);
+  }
+
+ private:
+  std::string name_;
+  int width_bits_;
+  std::vector<std::int64_t> slots_;
+};
+
+}  // namespace pegasus::dataplane

@@ -1,0 +1,71 @@
+// Resource model for a Tofino-2-class PISA switch (paper §2):
+// "each pipeline only has 20 MAT stages, with each stage equipped with
+//  10 Mb of SRAM, 0.5 Mb of TCAM, and a 1024-bit-wide Action Data Bus",
+// plus a 4096-bit Packet Header Vector (§7.3).
+//
+// These constants drive both placement feasibility (does a model fit?) and
+// the utilization percentages reported in Table 6 / Figure 7.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pegasus::dataplane {
+
+struct SwitchModel {
+  std::size_t num_stages = 20;
+  /// Per-stage capacities, in bits. "Mb" is 2^20 bits.
+  std::size_t sram_bits_per_stage = 10ull * 1024 * 1024;
+  std::size_t tcam_bits_per_stage = 512ull * 1024;  // 0.5 Mb
+  std::size_t action_bus_bits_per_stage = 1024;
+  std::size_t phv_bits = 4096;
+
+  std::size_t TotalSramBits() const {
+    return num_stages * sram_bits_per_stage;
+  }
+  std::size_t TotalTcamBits() const {
+    return num_stages * tcam_bits_per_stage;
+  }
+
+  /// Line rate of the switching ASIC (Tofino 2: 12.8 Tb/s). Used by the
+  /// Figure 9d throughput model: at line rate the dataplane classifies
+  /// every packet regardless of model size.
+  double line_rate_bits_per_sec = 12.8e12;
+};
+
+/// Utilization snapshot aggregated over the pipeline; the percentages match
+/// Table 6's columns.
+struct ResourceReport {
+  std::size_t sram_bits = 0;
+  std::size_t tcam_bits = 0;
+  /// Worst-case action-data bits moved in a single stage.
+  std::size_t max_stage_action_bus_bits = 0;
+  /// Sum of action-data bits across stages (for mean utilization).
+  std::size_t total_action_bus_bits = 0;
+  std::size_t stages_used = 0;
+  std::size_t stateful_bits_per_flow = 0;
+
+  double SramPct(const SwitchModel& sw) const {
+    return 100.0 * static_cast<double>(sram_bits) /
+           static_cast<double>(sw.TotalSramBits());
+  }
+  double TcamPct(const SwitchModel& sw) const {
+    return 100.0 * static_cast<double>(tcam_bits) /
+           static_cast<double>(sw.TotalTcamBits());
+  }
+  /// Mean action-bus utilization over the stages the program occupies.
+  double ActionBusPct(const SwitchModel& sw) const {
+    if (stages_used == 0) return 0.0;
+    return 100.0 * static_cast<double>(total_action_bus_bits) /
+           static_cast<double>(stages_used * sw.action_bus_bits_per_stage);
+  }
+};
+
+/// SRAM cost of per-flow state for `flows` concurrent flows (Figure 7's
+/// X-axis). Hardware register slots are allocated in 8-bit units (the paper
+/// notes "PISA switches do not support 4-bit registers"), and flow tables
+/// are hash-addressed: each flow slot carries a 16-bit flow digest and the
+/// table runs at ~85% occupancy.
+std::size_t PerFlowSramBits(std::size_t bits_per_flow, std::size_t flows);
+
+}  // namespace pegasus::dataplane

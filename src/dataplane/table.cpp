@@ -1,0 +1,188 @@
+#include "dataplane/table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pegasus::dataplane {
+
+MatchActionTable::MatchActionTable(std::string name, MatchKind kind,
+                                   std::vector<FieldId> key_fields,
+                                   std::vector<int> key_widths,
+                                   std::vector<ActionOp> action_program,
+                                   int action_data_word_bits)
+    : name_(std::move(name)),
+      kind_(kind),
+      key_fields_(std::move(key_fields)),
+      key_widths_(std::move(key_widths)),
+      action_program_(std::move(action_program)),
+      action_data_word_bits_(action_data_word_bits) {
+  if (key_fields_.size() != key_widths_.size()) {
+    throw std::invalid_argument("MatchActionTable: key width count mismatch");
+  }
+  if (action_data_word_bits_ <= 0 || action_data_word_bits_ > 64) {
+    throw std::invalid_argument("MatchActionTable: bad action word width");
+  }
+}
+
+void MatchActionTable::AddEntry(TableEntry entry) {
+  if (kind_ == MatchKind::kExact) {
+    if (entry.exact_key.size() != key_fields_.size()) {
+      throw std::invalid_argument(name_ + ": exact key arity mismatch");
+    }
+    exact_index_[ExactHash(entry.exact_key)] = entries_.size();
+  } else if (kind_ == MatchKind::kTernary) {
+    if (entry.ternary.size() != key_fields_.size()) {
+      throw std::invalid_argument(name_ + ": ternary rule arity mismatch");
+    }
+  } else {
+    if (entry.range_lo.size() != key_fields_.size() ||
+        entry.range_hi.size() != key_fields_.size()) {
+      throw std::invalid_argument(name_ + ": range arity mismatch");
+    }
+  }
+  entries_.push_back(std::move(entry));
+}
+
+void MatchActionTable::SetMissProgram(std::vector<ActionOp> ops,
+                                      std::vector<std::int64_t> data) {
+  miss_program_ = std::move(ops);
+  miss_data_ = std::move(data);
+}
+
+std::uint64_t MatchActionTable::ExactHash(
+    const std::vector<std::uint64_t>& key) const {
+  // FNV-1a over the key words; collisions are acceptable because AddEntry /
+  // Lookup verify the full key via the stored entry.
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint64_t word : key) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (word >> (byte * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+bool MatchActionTable::EntryMatches(const TableEntry& e,
+                                    const Phv& phv) const {
+  if (kind_ == MatchKind::kExact) {
+    for (std::size_t i = 0; i < key_fields_.size(); ++i) {
+      if (static_cast<std::uint64_t>(phv.Get(key_fields_[i])) !=
+          e.exact_key[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+  if (kind_ == MatchKind::kTernary) {
+    for (std::size_t i = 0; i < key_fields_.size(); ++i) {
+      if (!e.ternary[i].Matches(static_cast<std::uint64_t>(
+              phv.Get(key_fields_[i])))) {
+        return false;
+      }
+    }
+    return true;
+  }
+  for (std::size_t i = 0; i < key_fields_.size(); ++i) {
+    const auto v = static_cast<std::uint64_t>(phv.Get(key_fields_[i]));
+    if (v < e.range_lo[i] || v > e.range_hi[i]) return false;
+  }
+  return true;
+}
+
+std::optional<std::size_t> MatchActionTable::Lookup(const Phv& phv) const {
+  if (kind_ == MatchKind::kExact) {
+    std::vector<std::uint64_t> key(key_fields_.size());
+    for (std::size_t i = 0; i < key_fields_.size(); ++i) {
+      key[i] = static_cast<std::uint64_t>(phv.Get(key_fields_[i]));
+    }
+    auto it = exact_index_.find(ExactHash(key));
+    if (it != exact_index_.end() && EntryMatches(entries_[it->second], phv)) {
+      return it->second;
+    }
+    return std::nullopt;
+  }
+  // Ternary: highest priority wins; ties resolve to the earliest entry,
+  // matching TCAM physical ordering.
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (!EntryMatches(entries_[i], phv)) continue;
+    if (!best || entries_[i].priority > entries_[*best].priority) best = i;
+  }
+  return best;
+}
+
+void MatchActionTable::RunProgram(Phv& phv, const std::vector<ActionOp>& ops,
+                                  const std::vector<std::int64_t>& data) const {
+  for (const ActionOp& op : ops) {
+    std::int64_t result = 0;
+    switch (op.kind) {
+      case ActionOp::Kind::kSetConst:
+        result = op.imm;
+        break;
+      case ActionOp::Kind::kAddConst:
+        result = phv.Get(op.target) + op.imm;
+        break;
+      case ActionOp::Kind::kSetFromData:
+        result = data.at(op.data_index);
+        break;
+      case ActionOp::Kind::kAddFromData:
+        result = phv.Get(op.target) + data.at(op.data_index);
+        break;
+    }
+    if (op.sat_max >= 0) result = std::clamp<std::int64_t>(result, 0, op.sat_max);
+    phv.Set(op.target, result);
+  }
+}
+
+bool MatchActionTable::Apply(Phv& phv) const {
+  if (auto hit = Lookup(phv)) {
+    RunProgram(phv, action_program_, entries_[*hit].action_data);
+    return true;
+  }
+  if (!miss_program_.empty()) RunProgram(phv, miss_program_, miss_data_);
+  return false;
+}
+
+std::size_t MatchActionTable::KeyBits() const {
+  std::size_t bits = 0;
+  for (int w : key_widths_) bits += static_cast<std::size_t>(w);
+  return bits;
+}
+
+std::size_t MatchActionTable::ActionDataBits() const {
+  std::size_t max_words = 0;
+  for (const auto& e : entries_) {
+    max_words = std::max(max_words, e.action_data.size());
+  }
+  return max_words * static_cast<std::size_t>(action_data_word_bits_);
+}
+
+std::size_t MatchActionTable::SramBits() const {
+  const std::size_t data_bits = ActionDataBits();
+  if (kind_ == MatchKind::kExact) {
+    return entries_.size() * (KeyBits() + data_bits);
+  }
+  return entries_.size() * data_bits;
+}
+
+std::size_t MatchActionTable::TcamBits() const {
+  switch (kind_) {
+    case MatchKind::kExact:
+      return 0;
+    case MatchKind::kTernary:
+      return entries_.size() * 2 * KeyBits();  // value + mask planes
+    case MatchKind::kRange: {
+      // DirtCAM nibble encoding: every 4-bit nibble of the key occupies 16
+      // TCAM bits, i.e. 4x the key width per entry.
+      std::size_t nibble_bits = 0;
+      for (int w : key_widths_) {
+        nibble_bits += 4u * static_cast<std::size_t>((w + 3) / 4) * 4u;
+      }
+      return entries_.size() * nibble_bits;
+    }
+  }
+  return 0;
+}
+
+}  // namespace pegasus::dataplane

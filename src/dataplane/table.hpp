@@ -1,0 +1,116 @@
+// Match-action tables — the MAT abstraction of §2 and Figure 4.
+//
+// A table matches a tuple of PHV fields (exact in SRAM or ternary in TCAM)
+// and executes a small declarative action program on hit: write or
+// accumulate action-data words into PHV fields. This is exactly the shape
+// Pegasus needs: a Map primitive is a lookup whose action data holds the
+// precomputed f(centroid) vector, and SumReduce rides along as AddFromData
+// ops (Figure 4's "Correspondence between the MAT abstraction and
+// primitives").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/crc.hpp"
+#include "dataplane/phv.hpp"
+
+namespace pegasus::dataplane {
+
+// kExact lives in SRAM; kTernary in TCAM (value+mask planes); kRange is
+// native range matching via 4-bit-nibble DirtCAM encoding (as on Tofino):
+// one entry per hyperrectangle, but each key bit costs 4 TCAM bits instead
+// of 2. The Pegasus lowering prefers CRC-expanded ternary entries and falls
+// back to range matching when the cross-product expansion of a wide-key
+// table would explode (e.g. RNN step tables keyed on the hidden state).
+enum class MatchKind { kExact, kTernary, kRange };
+
+/// One step of an action program.
+struct ActionOp {
+  enum class Kind {
+    kSetConst,     // target = imm
+    kAddConst,     // target += imm
+    kSetFromData,  // target = action_data[data_index]
+    kAddFromData,  // target += action_data[data_index]
+  };
+  Kind kind = Kind::kSetConst;
+  FieldId target = 0;
+  std::size_t data_index = 0;
+  std::int64_t imm = 0;
+  /// When >= 0, the result is saturated into [0, sat_max] after the op —
+  /// PISA ALUs perform saturating adds, and Pegasus accumulators rely on it
+  /// to stay inside their match domain.
+  std::int64_t sat_max = -1;
+};
+
+/// A table entry: the match (exact key or per-field ternary rules), a
+/// priority (ternary only; higher wins), and the action-data words consumed
+/// by the table's action program.
+struct TableEntry {
+  std::vector<std::uint64_t> exact_key;       // kExact
+  std::vector<TernaryRule> ternary;           // kTernary, one per key field
+  std::vector<std::uint64_t> range_lo;        // kRange, inclusive per field
+  std::vector<std::uint64_t> range_hi;        // kRange
+  int priority = 0;
+  std::vector<std::int64_t> action_data;
+};
+
+/// A single match-action table.
+class MatchActionTable {
+ public:
+  MatchActionTable(std::string name, MatchKind kind,
+                   std::vector<FieldId> key_fields,
+                   std::vector<int> key_widths,
+                   std::vector<ActionOp> action_program,
+                   int action_data_word_bits);
+
+  const std::string& name() const { return name_; }
+  MatchKind kind() const { return kind_; }
+
+  void AddEntry(TableEntry entry);
+  std::size_t NumEntries() const { return entries_.size(); }
+
+  /// Default action program executed on miss (empty = no-op).
+  void SetMissProgram(std::vector<ActionOp> ops,
+                      std::vector<std::int64_t> data);
+
+  /// Looks up the PHV and applies the hit (or miss) action program.
+  /// Returns true on hit.
+  bool Apply(Phv& phv) const;
+
+  /// Index of the matching entry, if any (for tests/debugging).
+  std::optional<std::size_t> Lookup(const Phv& phv) const;
+
+  // ---- resource accounting -------------------------------------------
+  std::size_t KeyBits() const;
+  /// Bits of action data fetched per lookup (drives the action bus column).
+  std::size_t ActionDataBits() const;
+  /// SRAM bits: exact tables store key+data; ternary tables keep their
+  /// action data in SRAM while the match lives in TCAM.
+  std::size_t SramBits() const;
+  /// TCAM bits: value+mask per key bit per entry (ternary only).
+  std::size_t TcamBits() const;
+
+ private:
+  std::uint64_t ExactHash(const std::vector<std::uint64_t>& key) const;
+  bool EntryMatches(const TableEntry& e, const Phv& phv) const;
+  void RunProgram(Phv& phv, const std::vector<ActionOp>& ops,
+                  const std::vector<std::int64_t>& data) const;
+
+  std::string name_;
+  MatchKind kind_;
+  std::vector<FieldId> key_fields_;
+  std::vector<int> key_widths_;
+  std::vector<ActionOp> action_program_;
+  int action_data_word_bits_;
+  std::vector<TableEntry> entries_;
+  std::vector<ActionOp> miss_program_;
+  std::vector<std::int64_t> miss_data_;
+  // exact-match index: hashed key -> entry index
+  std::unordered_map<std::uint64_t, std::size_t> exact_index_;
+};
+
+}  // namespace pegasus::dataplane

@@ -1,0 +1,55 @@
+#include "eval/experiment.hpp"
+
+namespace pegasus::eval {
+
+FeatureSplit SplitSamples(const traffic::SampleSet& all,
+                          const std::vector<int>& flow_split) {
+  FeatureSplit out;
+  out.train.dim = out.val.dim = out.test.dim = all.dim;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    traffic::SampleSet* dst = nullptr;
+    switch (flow_split.at(all.flow_index[i])) {
+      case 0:
+        dst = &out.train;
+        break;
+      case 1:
+        dst = &out.val;
+        break;
+      default:
+        dst = &out.test;
+        break;
+    }
+    dst->x.insert(dst->x.end(), all.x.begin() + static_cast<std::ptrdiff_t>(
+                                                    i * all.dim),
+                  all.x.begin() + static_cast<std::ptrdiff_t>((i + 1) *
+                                                              all.dim));
+    dst->labels.push_back(all.labels[i]);
+    dst->flow_index.push_back(all.flow_index[i]);
+  }
+  return out;
+}
+
+PreparedDataset Prepare(const traffic::DatasetSpec& spec, bool with_raw_bytes,
+                        std::uint64_t split_seed) {
+  PreparedDataset out;
+  out.dataset = traffic::Generate(spec);
+  out.name = out.dataset.name;
+  out.num_classes = out.dataset.NumClasses();
+
+  std::vector<std::int32_t> flow_labels;
+  flow_labels.reserve(out.dataset.flows.size());
+  for (const auto& f : out.dataset.flows) flow_labels.push_back(f.label);
+  out.flow_split = SplitFlows(flow_labels, 0.75, 0.10, split_seed);
+
+  out.stat = SplitSamples(traffic::ExtractStatFeatures(out.dataset.flows),
+                          out.flow_split);
+  out.seq = SplitSamples(traffic::ExtractSeqFeatures(out.dataset.flows),
+                         out.flow_split);
+  if (with_raw_bytes) {
+    out.raw = SplitSamples(traffic::ExtractRawBytes(out.dataset.flows),
+                           out.flow_split);
+  }
+  return out;
+}
+
+}  // namespace pegasus::eval

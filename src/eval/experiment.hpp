@@ -1,0 +1,44 @@
+// Shared experiment plumbing for the benchmark harness: splitting a
+// synthetic dataset by flows, extracting each feature family once, and
+// carrying the train/val/test sample sets the Table 5 / Figures 7-9
+// drivers all consume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "eval/metrics.hpp"
+#include "traffic/features.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace pegasus::eval {
+
+/// One feature family, split by flow into train/val/test.
+struct FeatureSplit {
+  traffic::SampleSet train;
+  traffic::SampleSet val;
+  traffic::SampleSet test;
+};
+
+/// A fully prepared dataset: the flows plus all three feature families.
+struct PreparedDataset {
+  std::string name;
+  std::size_t num_classes = 0;
+  traffic::Dataset dataset;
+  std::vector<int> flow_split;  // 0 train / 1 val / 2 test per flow
+  FeatureSplit stat;
+  FeatureSplit seq;
+  FeatureSplit raw;
+};
+
+/// Generates the dataset and extracts/splits every feature family
+/// (75/10/15 by flow, stratified — paper §7.1).
+PreparedDataset Prepare(const traffic::DatasetSpec& spec,
+                        bool with_raw_bytes = true,
+                        std::uint64_t split_seed = 7);
+
+/// Splits one extracted SampleSet according to a per-flow assignment.
+FeatureSplit SplitSamples(const traffic::SampleSet& all,
+                          const std::vector<int>& flow_split);
+
+}  // namespace pegasus::eval

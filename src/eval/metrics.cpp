@@ -1,0 +1,128 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace pegasus::eval {
+
+ClassificationReport Evaluate(const std::vector<std::int32_t>& truth,
+                              const std::vector<std::int32_t>& predicted,
+                              std::size_t num_classes) {
+  if (truth.size() != predicted.size() || truth.empty()) {
+    throw std::invalid_argument("Evaluate: size mismatch or empty");
+  }
+  std::vector<std::size_t> tp(num_classes, 0), fp(num_classes, 0),
+      fn(num_classes, 0);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const auto t = static_cast<std::size_t>(truth[i]);
+    const auto p = static_cast<std::size_t>(predicted[i]);
+    if (t >= num_classes || p >= num_classes) {
+      throw std::invalid_argument("Evaluate: label out of range");
+    }
+    if (t == p) {
+      ++tp[t];
+      ++correct;
+    } else {
+      ++fp[p];
+      ++fn[t];
+    }
+  }
+  ClassificationReport rep;
+  rep.class_f1.resize(num_classes, 0.0);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    const double denom_p = static_cast<double>(tp[c] + fp[c]);
+    const double denom_r = static_cast<double>(tp[c] + fn[c]);
+    const double prec = denom_p > 0 ? tp[c] / denom_p : 0.0;
+    const double rec = denom_r > 0 ? tp[c] / denom_r : 0.0;
+    const double f1 = prec + rec > 0 ? 2 * prec * rec / (prec + rec) : 0.0;
+    rep.precision += prec;
+    rep.recall += rec;
+    rep.f1 += f1;
+    rep.class_f1[c] = f1;
+  }
+  const double nc = static_cast<double>(num_classes);
+  rep.precision /= nc;
+  rep.recall /= nc;
+  rep.f1 /= nc;
+  rep.accuracy = static_cast<double>(correct) / static_cast<double>(truth.size());
+  return rep;
+}
+
+RocCurve ComputeRoc(const std::vector<float>& scores,
+                    const std::vector<bool>& is_attack) {
+  if (scores.size() != is_attack.size() || scores.empty()) {
+    throw std::invalid_argument("ComputeRoc: size mismatch or empty");
+  }
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+  const std::size_t pos = static_cast<std::size_t>(
+      std::count(is_attack.begin(), is_attack.end(), true));
+  const std::size_t neg = scores.size() - pos;
+  if (pos == 0 || neg == 0) {
+    throw std::invalid_argument("ComputeRoc: need both classes");
+  }
+  RocCurve curve;
+  curve.points.push_back({0.0, 0.0});
+  std::size_t tp = 0, fp = 0;
+  double auc = 0.0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    // Process ties together so the curve is threshold-consistent.
+    const float s = scores[order[i]];
+    std::size_t dtp = 0, dfp = 0;
+    while (i < order.size() && scores[order[i]] == s) {
+      if (is_attack[order[i]]) {
+        ++dtp;
+      } else {
+        ++dfp;
+      }
+      ++i;
+    }
+    const double tpr0 = static_cast<double>(tp) / pos;
+    const double fpr0 = static_cast<double>(fp) / neg;
+    tp += dtp;
+    fp += dfp;
+    const double tpr1 = static_cast<double>(tp) / pos;
+    const double fpr1 = static_cast<double>(fp) / neg;
+    auc += (fpr1 - fpr0) * (tpr0 + tpr1) / 2.0;  // trapezoid
+    curve.points.push_back({fpr1, tpr1});
+  }
+  curve.auc = auc;
+  return curve;
+}
+
+std::vector<int> SplitFlows(const std::vector<std::int32_t>& flow_labels,
+                            double train_frac, double val_frac,
+                            std::uint64_t seed) {
+  if (train_frac < 0 || val_frac < 0 || train_frac + val_frac > 1.0) {
+    throw std::invalid_argument("SplitFlows: bad fractions");
+  }
+  // Stratify: shuffle indices within each class, then cut.
+  std::int32_t max_label = 0;
+  for (std::int32_t l : flow_labels) max_label = std::max(max_label, l);
+  std::vector<std::vector<std::size_t>> by_class(
+      static_cast<std::size_t>(max_label) + 1);
+  for (std::size_t i = 0; i < flow_labels.size(); ++i) {
+    by_class[static_cast<std::size_t>(flow_labels[i])].push_back(i);
+  }
+  std::vector<int> assignment(flow_labels.size(), 2);
+  std::mt19937_64 rng(seed);
+  for (auto& idx : by_class) {
+    std::shuffle(idx.begin(), idx.end(), rng);
+    const auto n = idx.size();
+    const auto n_train = static_cast<std::size_t>(train_frac * n);
+    const auto n_val = static_cast<std::size_t>(val_frac * n);
+    for (std::size_t k = 0; k < n; ++k) {
+      assignment[idx[k]] = k < n_train ? 0 : (k < n_train + n_val ? 1 : 2);
+    }
+  }
+  return assignment;
+}
+
+}  // namespace pegasus::eval

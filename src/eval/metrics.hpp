@@ -1,0 +1,53 @@
+// Evaluation metrics (paper §7.1): packet-level macro-accuracy (mean
+// F1-score across classes), overall precision/recall, and ROC/AUC for the
+// unsupervised detection experiment (§7.4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pegasus::eval {
+
+struct ClassificationReport {
+  /// Macro-averaged precision / recall / F1 — the PR / RC / F1 columns of
+  /// Table 5.
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  /// Plain accuracy, for reference.
+  double accuracy = 0.0;
+  /// Per-class F1.
+  std::vector<double> class_f1;
+};
+
+/// Computes the macro-averaged report. Classes absent from both truth and
+/// prediction contribute zeros (they should not occur in our splits).
+ClassificationReport Evaluate(const std::vector<std::int32_t>& truth,
+                              const std::vector<std::int32_t>& predicted,
+                              std::size_t num_classes);
+
+struct RocPoint {
+  double fpr = 0.0;
+  double tpr = 0.0;
+};
+
+struct RocCurve {
+  std::vector<RocPoint> points;
+  double auc = 0.0;
+};
+
+/// ROC over anomaly scores: `scores[i]` with `is_attack[i]` ground truth;
+/// higher score = more anomalous. AUC computed by the rank statistic
+/// (equivalent to trapezoidal integration over all thresholds).
+RocCurve ComputeRoc(const std::vector<float>& scores,
+                    const std::vector<bool>& is_attack);
+
+/// Train/validation/test split over *flows* (the paper splits by 5-tuple:
+/// "we selected 75% of the flows from each class to train, 10% for
+/// validation, and 15% for testing"). Returns per-flow assignment:
+/// 0 = train, 1 = val, 2 = test. Stratified by label, deterministic.
+std::vector<int> SplitFlows(const std::vector<std::int32_t>& flow_labels,
+                            double train_frac, double val_frac,
+                            std::uint64_t seed);
+
+}  // namespace pegasus::eval

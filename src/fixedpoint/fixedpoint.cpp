@@ -1,0 +1,89 @@
+#include "fixedpoint/fixedpoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pegasus::fixedpoint {
+
+namespace {
+std::int64_t RawMax(const Format& fmt) {
+  return (std::int64_t{1} << (fmt.total_bits - 1)) - 1;
+}
+std::int64_t RawMin(const Format& fmt) {
+  return -(std::int64_t{1} << (fmt.total_bits - 1));
+}
+void Validate(const Format& fmt) {
+  if (fmt.total_bits < 2 || fmt.total_bits > 62) {
+    throw std::invalid_argument("Format: total_bits out of [2,62]");
+  }
+}
+}  // namespace
+
+double Format::Resolution() const { return std::ldexp(1.0, -frac_bits); }
+
+double Format::MaxValue() const {
+  return static_cast<double>(RawMax(*this)) * Resolution();
+}
+
+double Format::MinValue() const {
+  return static_cast<double>(RawMin(*this)) * Resolution();
+}
+
+std::int64_t Quantize(double v, const Format& fmt) {
+  Validate(fmt);
+  const double scaled = std::round(std::ldexp(v, fmt.frac_bits));
+  const double lo = static_cast<double>(RawMin(fmt));
+  const double hi = static_cast<double>(RawMax(fmt));
+  return static_cast<std::int64_t>(std::clamp(scaled, lo, hi));
+}
+
+double Dequantize(std::int64_t raw, const Format& fmt) {
+  return std::ldexp(static_cast<double>(raw), -fmt.frac_bits);
+}
+
+double QuantizeValue(double v, const Format& fmt) {
+  return Dequantize(Quantize(v, fmt), fmt);
+}
+
+std::int64_t SaturatingAdd(std::int64_t a, std::int64_t b, const Format& fmt) {
+  const std::int64_t sum = a + b;  // raw values fit in <=62 bits; no overflow
+  return std::clamp(sum, RawMin(fmt), RawMax(fmt));
+}
+
+std::int64_t Rescale(std::int64_t raw, const Format& from, const Format& to) {
+  std::int64_t shifted;
+  const int diff = to.frac_bits - from.frac_bits;
+  if (diff >= 0) {
+    shifted = raw << diff;
+  } else {
+    // Round-to-nearest on right shift.
+    const std::int64_t half = std::int64_t{1} << (-diff - 1);
+    shifted = (raw + (raw >= 0 ? half : -half)) >> (-diff);
+  }
+  return std::clamp(shifted, RawMin(to), RawMax(to));
+}
+
+Format ChooseFormat(std::span<const float> values, int total_bits,
+                    double headroom) {
+  Format fmt{total_bits, 0};
+  Validate(fmt);
+  double max_abs = 0.0;
+  for (float v : values) max_abs = std::max(max_abs, std::abs(double{v}));
+  max_abs *= headroom;
+  if (max_abs == 0.0) {
+    fmt.frac_bits = total_bits - 2;
+    return fmt;
+  }
+  // Integer bits needed to hold max_abs (sign bit excluded).
+  int int_bits = 0;
+  while (std::ldexp(1.0, int_bits) <= max_abs && int_bits < total_bits) {
+    ++int_bits;
+  }
+  fmt.frac_bits = std::max(0, total_bits - 1 - int_bits);
+  return fmt;
+}
+
+double MaxAbsError(const Format& fmt) { return 0.5 * fmt.Resolution(); }
+
+}  // namespace pegasus::fixedpoint

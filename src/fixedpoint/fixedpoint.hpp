@@ -1,0 +1,62 @@
+// Fixed-point number support (paper §4.4, "Adaptive Fixed-Point
+// Quantization").
+//
+// PISA dataplanes have no floating point: activations travel through the
+// pipeline as fixed-point integers and SumReduce is integer addition.
+// Pegasus stores mapping-table *outputs* pre-quantized at a per-table
+// fixed-point position chosen from the observed numerical range, so tables
+// with very different output ranges (e.g. [-100,100] vs [0,5]) each use
+// their full register width.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pegasus::fixedpoint {
+
+/// A signed fixed-point format: `total_bits` two's-complement bits with
+/// `frac_bits` fractional bits (Q(total-frac-1).(frac) plus sign).
+struct Format {
+  int total_bits = 16;
+  int frac_bits = 8;
+
+  /// Smallest representable increment.
+  double Resolution() const;
+  /// Largest representable value.
+  double MaxValue() const;
+  /// Most negative representable value.
+  double MinValue() const;
+
+  bool operator==(const Format&) const = default;
+};
+
+/// Quantizes `v` to the nearest representable raw integer, saturating at the
+/// format bounds (dataplane adders saturate rather than wrap in our model).
+std::int64_t Quantize(double v, const Format& fmt);
+
+/// Raw integer back to real value.
+double Dequantize(std::int64_t raw, const Format& fmt);
+
+/// Round-trip helper: Dequantize(Quantize(v)).
+double QuantizeValue(double v, const Format& fmt);
+
+/// Saturating add of two raw values in the same format.
+std::int64_t SaturatingAdd(std::int64_t a, std::int64_t b, const Format& fmt);
+
+/// Re-scales a raw value from one format to another (shift by the
+/// difference in frac_bits, then saturate). This is what a Map table does
+/// implicitly when its stored outputs use a different fixed-point position
+/// than its inputs.
+std::int64_t Rescale(std::int64_t raw, const Format& from, const Format& to);
+
+/// Chooses the largest frac_bits such that every value in `values` fits in
+/// `total_bits` (the adaptive part of adaptive quantization). `headroom`
+/// multiplies the observed max magnitude to leave margin for accumulation.
+Format ChooseFormat(std::span<const float> values, int total_bits,
+                    double headroom = 1.0);
+
+/// Worst-case absolute quantization error for the format (half an LSB).
+double MaxAbsError(const Format& fmt);
+
+}  // namespace pegasus::fixedpoint

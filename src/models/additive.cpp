@@ -1,0 +1,115 @@
+#include "models/additive.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+
+namespace pegasus::models {
+
+AdditiveModel::AdditiveModel(const AdditiveConfig& cfg) : cfg_(cfg) {
+  if (cfg_.segments.empty()) {
+    throw std::invalid_argument("AdditiveModel: no segments");
+  }
+  std::mt19937_64 rng(cfg_.seed);
+  for (const Segment& seg : cfg_.segments) {
+    nn::Sequential net;
+    std::size_t prev = seg.length;
+    for (std::size_t h : cfg_.hidden) {
+      net.Emplace<nn::Dense>(prev, h, rng);
+      net.Emplace<nn::ReLU>();
+      prev = h;
+    }
+    net.Emplace<nn::Dense>(prev, cfg_.out_dim, rng);
+    subnets_.push_back(std::move(net));
+  }
+}
+
+std::vector<nn::Param*> AdditiveModel::Params() {
+  std::vector<nn::Param*> out;
+  for (auto& net : subnets_) {
+    for (nn::Param* p : net.Params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::size_t AdditiveModel::ParamCount() {
+  std::size_t n = 0;
+  for (auto& net : subnets_) n += net.ParamCount();
+  return n;
+}
+
+nn::Tensor AdditiveModel::ForwardBatch(const nn::Tensor& x, bool training) {
+  const std::size_t n = x.dim(0);
+  nn::Tensor out({n, cfg_.out_dim});
+  for (std::size_t si = 0; si < subnets_.size(); ++si) {
+    const Segment& seg = cfg_.segments[si];
+    nn::Tensor slice({n, seg.length});
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < seg.length; ++k) {
+        slice.at(i, k) = x.at(i, seg.offset + k);
+      }
+    }
+    out.Add(subnets_[si].Forward(slice, training));
+  }
+  return out;
+}
+
+void AdditiveModel::BackwardBatch(const nn::Tensor& grad) {
+  // d(sum)/d(subnet_i output) = identity: every subnet receives `grad`.
+  for (auto& net : subnets_) net.Backward(grad);
+}
+
+void AdditiveModel::TrainClassifier(std::span<const float> x,
+                                    const std::vector<std::int32_t>& labels,
+                                    std::size_t n, std::size_t dim) {
+  if (n == 0 || x.size() != n * dim || labels.size() != n) {
+    throw std::invalid_argument("AdditiveModel::TrainClassifier: bad data");
+  }
+  nn::Adam opt(Params(), cfg_.lr);
+  std::mt19937_64 rng(cfg_.seed + 1);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    for (std::size_t start = 0; start < n; start += cfg_.batch) {
+      const std::size_t end = std::min(n, start + cfg_.batch);
+      const std::size_t bn = end - start;
+      nn::Tensor bx({bn, dim});
+      std::vector<std::int32_t> by(bn);
+      for (std::size_t i = 0; i < bn; ++i) {
+        const std::size_t smp = order[start + i];
+        std::copy_n(x.data() + smp * dim, dim,
+                    bx.data().data() + i * dim);
+        by[i] = labels[smp];
+      }
+      opt.ZeroGrad();
+      nn::Tensor logits = ForwardBatch(bx, /*training=*/true);
+      nn::LossResult res = nn::SoftmaxCrossEntropy(logits, by);
+      if (!std::isfinite(res.loss)) {
+        throw std::runtime_error("AdditiveModel: training diverged");
+      }
+      BackwardBatch(res.grad);
+      opt.Step();
+    }
+  }
+}
+
+std::vector<float> AdditiveModel::Predict(std::span<const float> x) {
+  nn::Tensor bx({1, x.size()}, std::vector<float>(x.begin(), x.end()));
+  nn::Tensor out = ForwardBatch(bx, /*training=*/false);
+  return std::vector<float>(out.data().begin(), out.data().end());
+}
+
+std::vector<float> AdditiveModel::SegmentContribution(
+    std::size_t i, std::span<const float> seg_x) {
+  nn::Tensor bx({1, seg_x.size()},
+                std::vector<float>(seg_x.begin(), seg_x.end()));
+  nn::Tensor out = subnets_.at(i).Forward(bx, /*training=*/false);
+  return std::vector<float>(out.data().begin(), out.data().end());
+}
+
+}  // namespace pegasus::models

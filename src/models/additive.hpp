@@ -1,0 +1,72 @@
+// Neural-additive-style classifier: logits = sum_i subnet_i(x[segment_i]).
+//
+// This is the model architecture Advanced Primitive Fusion ❸ produces
+// ("retaining only the final SumReduce ... similar to Neural Additive
+// Models"): on the dataplane each per-segment subnet collapses into ONE
+// fuzzy Map lookup regardless of its depth, and the only cross-segment
+// operation is the final SumReduce. CNN-M, CNN-L's classifier stage and the
+// AutoEncoder's encoder are instances.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace pegasus::models {
+
+struct Segment {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+};
+
+struct AdditiveConfig {
+  std::vector<Segment> segments;
+  /// Hidden widths of each per-segment MLP (ReLU between layers).
+  std::vector<std::size_t> hidden = {32, 64};
+  std::size_t out_dim = 3;  // classes (or latent dim when used as encoder)
+  std::size_t epochs = 30;
+  std::size_t batch = 64;
+  float lr = 2e-3f;
+  std::uint64_t seed = 21;
+};
+
+/// Trains/evaluates the additive model. Inputs are *normalized* features.
+class AdditiveModel {
+ public:
+  explicit AdditiveModel(const AdditiveConfig& cfg);
+
+  /// Trains as a softmax classifier.
+  void TrainClassifier(std::span<const float> x,
+                       const std::vector<std::int32_t>& labels,
+                       std::size_t n, std::size_t dim);
+
+  /// Forward for one (normalized) sample.
+  std::vector<float> Predict(std::span<const float> x);
+
+  /// Forward restricted to segment `i` only — this is exactly the function
+  /// a fused Map table stores.
+  std::vector<float> SegmentContribution(std::size_t i,
+                                         std::span<const float> seg_x);
+
+  const std::vector<Segment>& segments() const { return cfg_.segments; }
+  std::size_t out_dim() const { return cfg_.out_dim; }
+  std::size_t ParamCount();
+
+  /// Shared gradient-step plumbing, exposed so NamAutoencoder can reuse the
+  /// subnets: forward all segments for a batch and accumulate summed
+  /// outputs; backward distributes the same output gradient to every
+  /// subnet.
+  nn::Tensor ForwardBatch(const nn::Tensor& x, bool training);
+  void BackwardBatch(const nn::Tensor& grad);
+
+  std::vector<nn::Param*> Params();
+
+ private:
+  AdditiveConfig cfg_;
+  std::vector<nn::Sequential> subnets_;
+};
+
+}  // namespace pegasus::models

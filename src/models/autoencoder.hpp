@@ -1,0 +1,78 @@
+// AutoEncoder (paper §6.3, §7.4): unsupervised anomaly detection by
+// reconstruction error (MAE) over (length, IPD) windows, trained on benign
+// traffic only.
+//
+// Dataplane-friendly structure (Advanced Primitive Fusion):
+//   encoder  — NAM over per-packet segments: z = sum_i enc_i(x_i)
+//              (one fused Map per segment + one SumReduce);
+//   decoder  — per-segment error Maps keyed on (z, x_i): each stores
+//              e_i = sum_d |dec(z)[i,d] - norm(x_i)[d]| / dim,
+//              so the final SumReduce yields the MAE anomaly score
+//              directly in a PHV field.
+// The switch thresholds that field (or exports it) — §7.4's deployment
+// story.
+#pragma once
+
+#include <memory>
+
+#include "models/additive.hpp"
+#include "models/common.hpp"
+#include "nn/layers.hpp"
+
+namespace pegasus::models {
+
+struct AutoencoderConfig {
+  std::size_t latent_dim = 8;
+  std::vector<std::size_t> enc_hidden = {32};
+  std::vector<std::size_t> dec_hidden = {64};
+  std::size_t enc_leaves = 96;
+  std::size_t err_leaves = 256;
+  std::size_t epochs = 60;
+  std::size_t batch = 64;
+  float lr = 2e-3f;
+  std::uint64_t seed = 81;
+  core::CompileOptions compile;
+
+  AutoencoderConfig() {
+    // Anomaly scores must be meaningful OUTSIDE the benign training
+    // distribution, so the mapping tables are probed with uniform inputs
+    // in addition to benign traffic (see CompileOptions::uniform_augment).
+    compile.uniform_augment = 1.0;
+  }
+};
+
+class Autoencoder : public TrainedModel {
+ public:
+  /// Trains on benign (len, ipd) windows only (`dim` = 2*window).
+  static std::unique_ptr<Autoencoder> Train(std::span<const float> x,
+                                            std::size_t n, std::size_t dim,
+                                            const AutoencoderConfig& cfg = {});
+
+  const std::string& Name() const override { return name_; }
+
+  /// Returns {MAE reconstruction error} — 1-element vector.
+  std::vector<float> FloatPredict(
+      std::span<const float> features) const override;
+  const core::CompiledModel& Compiled() const override { return compiled_; }
+  std::size_t InputScaleBits() const override { return dim_ * 8; }
+  double ModelSizeKb() const override { return size_kb_; }
+  runtime::FlowStateSpec FlowState() const override;
+
+  /// Fuzzy (dataplane) anomaly score.
+  float ScoreFuzzy(std::span<const float> features) const {
+    return Compiled().Evaluate(features)[0];
+  }
+  float ScoreFloat(std::span<const float> features) const {
+    return FloatPredict(features)[0];
+  }
+
+ private:
+  std::string name_ = "AutoEncoder";
+  mutable std::unique_ptr<AdditiveModel> encoder_;
+  mutable nn::Sequential decoder_;
+  core::CompiledModel compiled_;
+  std::size_t dim_ = 0;
+  double size_kb_ = 0.0;
+};
+
+}  // namespace pegasus::models

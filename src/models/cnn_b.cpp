@@ -1,0 +1,139 @@
+#include "models/cnn_b.hpp"
+
+#include <cmath>
+
+#include "core/operators.hpp"
+#include "nn/trainer.hpp"
+
+namespace pegasus::models {
+
+std::unique_ptr<CnnB> CnnB::Train(std::span<const float> x,
+                                  const std::vector<std::int32_t>& labels,
+                                  std::size_t n, std::size_t dim,
+                                  std::size_t num_classes,
+                                  const CnnBConfig& cfg) {
+  if (dim % 2 != 0) {
+    throw std::invalid_argument("CnnB::Train: dim must be 2*window");
+  }
+  auto model = std::make_unique<CnnB>();
+  model->dim_ = dim;
+  model->window_ = dim / 2;
+  const std::size_t num_windows =
+      model->window_ / cfg.conv_kernel;  // stride == kernel (valid, disjoint)
+  const std::size_t flat = num_windows * cfg.conv_channels;
+
+  // ---- float training: Conv1D -> ReLU -> FC -> ReLU -> FC --------------
+  std::mt19937_64 rng(cfg.seed);
+  nn::Conv1D* conv = model->net_.Emplace<nn::Conv1D>(
+      2, cfg.conv_channels, cfg.conv_kernel, cfg.conv_kernel, rng);
+  model->net_.Emplace<nn::ReLU>();
+  model->net_.Emplace<nn::Flatten>();
+  nn::Dense* fc1 = model->net_.Emplace<nn::Dense>(flat, cfg.fc_hidden, rng);
+  model->net_.Emplace<nn::ReLU>();
+  nn::Dense* fc2 =
+      model->net_.Emplace<nn::Dense>(cfg.fc_hidden, num_classes, rng);
+  model->size_kb_ = model->net_.ModelSizeKb(32);
+
+  // Float model consumes [N, 2, window] (channels = len / ipd).
+  std::vector<float> xn(n * dim);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t t = 0; t < model->window_; ++t) {
+      xn[s * dim + 0 * model->window_ + t] = Normalize(x[s * dim + 2 * t]);
+      xn[s * dim + 1 * model->window_ + t] =
+          Normalize(x[s * dim + 2 * t + 1]);
+    }
+  }
+  nn::Tensor tx({n, 2, model->window_}, xn);
+  nn::TrainConfig tc;
+  tc.epochs = cfg.epochs;
+  tc.seed = cfg.seed;
+  nn::TrainClassifier(model->net_, tx, labels, tc);
+
+  // ---- primitive program ----------------------------------------------
+  // Window w covers packets [w*K, w*K+K): interleaved input dims
+  // [2wK, 2wK+2K). Each window is one Map producing the conv channels.
+  core::ProgramBuilder b(dim);
+  const std::size_t K = cfg.conv_kernel;
+  const std::size_t C = cfg.conv_channels;
+  std::vector<std::pair<std::size_t, std::size_t>> segs;
+  for (std::size_t w = 0; w < num_windows; ++w) {
+    segs.emplace_back(2 * w * K, 2 * K);
+  }
+  const std::vector<core::ValueId> windows =
+      b.PartitionExplicit(b.input(), segs);
+
+  const auto& wt = conv->weight().value;  // [C, 2, K]
+  const auto& bt = conv->bias().value;
+  std::vector<core::ValueId> conv_outs;
+  for (std::size_t w = 0; w < num_windows; ++w) {
+    std::vector<float> cw(wt.data().begin(), wt.data().end());
+    std::vector<float> cb(bt.data().begin(), bt.data().end());
+    conv_outs.push_back(b.Map(
+        windows[w],
+        core::MakeSubnet(
+            "conv_w" + std::to_string(w), 2 * K, C,
+            [cw, cb, K, C](std::span<const float> seg) {
+              // seg is interleaved raw (len, ipd) pairs; normalize inline.
+              std::vector<float> y(C);
+              for (std::size_t oc = 0; oc < C; ++oc) {
+                float acc = cb[oc];
+                for (std::size_t k = 0; k < K; ++k) {
+                  acc += cw[(oc * 2 + 0) * K + k] * Normalize(seg[2 * k]);
+                  acc += cw[(oc * 2 + 1) * K + k] *
+                         Normalize(seg[2 * k + 1]);
+                }
+                y[oc] = acc;
+              }
+              return y;
+            }),
+        cfg.fuzzy_leaves_conv));
+  }
+  core::ValueId feat = b.Concat(std::span<const core::ValueId>(conv_outs));
+  feat = b.Map(feat, core::MakeReLU(flat), cfg.fuzzy_leaves_fc);
+  // The float model's Flatten is channel-major ([C, Lo] row-major) but the
+  // program concatenates window-major (w0c0, w0c1, ...): permute FC1's
+  // input rows accordingly.
+  std::vector<float> fc1_w(flat * cfg.fc_hidden);
+  for (std::size_t w = 0; w < num_windows; ++w) {
+    for (std::size_t c = 0; c < C; ++c) {
+      const std::size_t prog_row = w * C + c;
+      const std::size_t float_row = c * num_windows + w;
+      std::copy_n(
+          fc1->weight().value.data().data() + float_row * cfg.fc_hidden,
+          cfg.fc_hidden, fc1_w.data() + prog_row * cfg.fc_hidden);
+    }
+  }
+  core::ValueId h = core::AppendFullyConnected(
+      b, feat, fc1_w, flat, cfg.fc_hidden, fc1->bias().value.data(),
+      cfg.segment_dim, cfg.fuzzy_leaves_fc);
+  h = b.Map(h, core::MakeReLU(cfg.fc_hidden), cfg.fuzzy_leaves_fc);
+  const core::ValueId logits = core::AppendFullyConnected(
+      b, h, fc2->weight().value.data(), cfg.fc_hidden, num_classes,
+      fc2->bias().value.data(), cfg.segment_dim, cfg.fuzzy_leaves_fc);
+  core::Program program = b.Finish(logits);
+  core::FuseBasic(program);
+  model->compiled_ =
+      core::CompileProgram(std::move(program), x, n, cfg.compile);
+  return model;
+}
+
+std::vector<float> CnnB::FloatPredict(std::span<const float> features) const {
+  std::vector<float> xn(dim_);
+  for (std::size_t t = 0; t < window_; ++t) {
+    xn[0 * window_ + t] = Normalize(features[2 * t]);
+    xn[1 * window_ + t] = Normalize(features[2 * t + 1]);
+  }
+  nn::Tensor tx({1, 2, window_}, xn);
+  nn::Tensor out = net_.Forward(tx, /*training=*/false);
+  return std::vector<float>(out.data().begin(), out.data().end());
+}
+
+runtime::FlowStateSpec CnnB::FlowState() const {
+  // 72 bits: per-packet 8-bit compressed features for 7 stored packets plus
+  // the previous-packet timestamp.
+  runtime::FlowStateSpec spec;
+  spec.Add("pkt_feat", 8, 7).Add("prev_ts", 16);
+  return spec;
+}
+
+}  // namespace pegasus::models

@@ -1,0 +1,52 @@
+// CNN-B (paper §6.3): the baseline 1-D textcnn over (length, IPD) windows
+// using Basic Primitive Fusion only — conv windows become per-window Maps,
+// the FC head becomes Partition/Map/SumReduce chains, and ReLU fuses into
+// the downstream tables.
+#pragma once
+
+#include <memory>
+
+#include "models/common.hpp"
+#include "nn/layers.hpp"
+
+namespace pegasus::models {
+
+struct CnnBConfig {
+  std::size_t conv_channels = 10;
+  std::size_t conv_kernel = 2;  // packets per window
+  std::size_t fc_hidden = 8;
+  std::size_t segment_dim = 2;
+  std::size_t fuzzy_leaves_conv = 96;
+  std::size_t fuzzy_leaves_fc = 64;
+  std::size_t epochs = 30;
+  std::uint64_t seed = 51;
+  core::CompileOptions compile;
+};
+
+class CnnB : public TrainedModel {
+ public:
+  /// `dim` = 2*window, interleaved (len, ipd).
+  static std::unique_ptr<CnnB> Train(std::span<const float> x,
+                                     const std::vector<std::int32_t>& labels,
+                                     std::size_t n, std::size_t dim,
+                                     std::size_t num_classes,
+                                     const CnnBConfig& cfg = {});
+
+  const std::string& Name() const override { return name_; }
+  std::vector<float> FloatPredict(
+      std::span<const float> features) const override;
+  const core::CompiledModel& Compiled() const override { return compiled_; }
+  std::size_t InputScaleBits() const override { return dim_ * 8; }
+  double ModelSizeKb() const override { return size_kb_; }
+  runtime::FlowStateSpec FlowState() const override;
+
+ private:
+  std::string name_ = "CNN-B";
+  mutable nn::Sequential net_;
+  core::CompiledModel compiled_;
+  std::size_t dim_ = 0;
+  std::size_t window_ = 8;
+  double size_kb_ = 0.0;
+};
+
+}  // namespace pegasus::models

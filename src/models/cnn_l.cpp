@@ -1,0 +1,339 @@
+#include "models/cnn_l.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/operators.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace pegasus::models {
+
+namespace {
+
+constexpr std::size_t kPkts = traffic::kWindow;              // 8
+constexpr std::size_t kBytes = traffic::kRawBytesPerPacket;  // 60
+
+/// Quantization of extractor features for the standalone classifier
+/// program: feat in (-4, 4) -> [0, 255].
+float QuantFeat(float f) {
+  return std::clamp((f + 4.0f) * 32.0f, 0.0f, 255.0f);
+}
+float DequantFeat(float q) { return q / 32.0f - 4.0f; }
+
+}  // namespace
+
+std::vector<float> CnnL::PackInput(std::span<const float> bytes,
+                                   std::span<const float> seq, bool use_ipd) {
+  std::vector<float> packed(bytes.begin(), bytes.end());
+  if (use_ipd) {
+    for (std::size_t t = 0; t < kPkts; ++t) {
+      packed.push_back(seq[2 * t + 1]);  // ipd of packet t
+    }
+  }
+  return packed;
+}
+
+std::unique_ptr<CnnL> CnnL::Train(std::span<const float> x,
+                                  std::span<const float> seq,
+                                  const std::vector<std::int32_t>& labels,
+                                  std::size_t n, std::size_t num_classes,
+                                  const CnnLConfig& cfg) {
+  if (n == 0 || x.size() != n * kPkts * kBytes || labels.size() != n ||
+      seq.size() != n * kPkts * 2) {
+    throw std::invalid_argument("CnnL::Train: bad data shapes");
+  }
+  if (kBytes % cfg.byte_segment != 0) {
+    throw std::invalid_argument("CnnL::Train: byte_segment must divide 60");
+  }
+  auto model = std::make_unique<CnnL>();
+  model->cfg_ = cfg;
+  model->num_classes_ = num_classes;
+
+  // ---- architecture ----------------------------------------------------
+  AdditiveConfig ecfg;
+  for (std::size_t off = 0; off < kBytes; off += cfg.byte_segment) {
+    ecfg.segments.push_back(Segment{off, cfg.byte_segment});
+  }
+  ecfg.hidden = cfg.extractor_hidden;
+  ecfg.out_dim = cfg.feat_dim;
+  ecfg.seed = cfg.seed;
+  model->extractor_ = std::make_unique<AdditiveModel>(ecfg);
+
+  std::mt19937_64 rng(cfg.seed + 1);
+  const std::size_t head_in = cfg.feat_dim + (cfg.use_ipd ? 1 : 0);
+  for (std::size_t t = 0; t < kPkts; ++t) {
+    nn::Sequential head;
+    head.Emplace<nn::Dense>(head_in, cfg.head_hidden, rng);
+    head.Emplace<nn::ReLU>();
+    head.Emplace<nn::Dense>(cfg.head_hidden, num_classes, rng);
+    model->heads_.push_back(std::move(head));
+  }
+  std::size_t params = model->extractor_->ParamCount();
+  for (auto& h : model->heads_) params += h.ParamCount();
+  model->size_kb_ = static_cast<double>(params) * 32.0 / 1000.0;
+
+  // ---- end-to-end training (deep sets, shared extractor) ---------------
+  std::vector<nn::Param*> all_params = model->extractor_->Params();
+  for (auto& h : model->heads_) {
+    for (nn::Param* p : h.Params()) all_params.push_back(p);
+  }
+  nn::Adam opt(all_params, cfg.lr);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::mt19937_64 shuffle_rng(cfg.seed + 2);
+
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), shuffle_rng);
+    for (std::size_t start = 0; start < n; start += cfg.batch) {
+      const std::size_t end = std::min(n, start + cfg.batch);
+      const std::size_t bn = end - start;
+
+      // Extractor batch: every packet of every sample is one row.
+      nn::Tensor bytes_b({bn * kPkts, kBytes});
+      std::vector<float> ipd_n(bn * kPkts);
+      std::vector<std::int32_t> by(bn);
+      for (std::size_t i = 0; i < bn; ++i) {
+        const std::size_t smp = order[start + i];
+        by[i] = labels[smp];
+        for (std::size_t t = 0; t < kPkts; ++t) {
+          for (std::size_t bb = 0; bb < kBytes; ++bb) {
+            bytes_b.at(i * kPkts + t, bb) =
+                Normalize(x[(smp * kPkts + t) * kBytes + bb]);
+          }
+          ipd_n[i * kPkts + t] = Normalize(seq[smp * kPkts * 2 + 2 * t + 1]);
+        }
+      }
+      opt.ZeroGrad();
+      nn::Tensor feats =
+          model->extractor_->ForwardBatch(bytes_b, /*training=*/true);
+      // tanh bound on the summed features
+      nn::Tensor tfeats(feats.shape());
+      for (std::size_t i = 0; i < feats.size(); ++i) {
+        tfeats[i] = std::tanh(feats[i]);
+      }
+      // heads
+      nn::Tensor logits({bn, num_classes});
+      std::vector<nn::Tensor> head_inputs(kPkts);
+      for (std::size_t t = 0; t < kPkts; ++t) {
+        nn::Tensor hin({bn, head_in});
+        for (std::size_t i = 0; i < bn; ++i) {
+          for (std::size_t k = 0; k < cfg.feat_dim; ++k) {
+            hin.at(i, k) = tfeats.at(i * kPkts + t, k);
+          }
+          if (cfg.use_ipd) {
+            hin.at(i, cfg.feat_dim) = ipd_n[i * kPkts + t];
+          }
+        }
+        head_inputs[t] = hin;
+        logits.Add(model->heads_[t].Forward(hin, /*training=*/true));
+      }
+      nn::LossResult res = nn::SoftmaxCrossEntropy(logits, by);
+      if (!std::isfinite(res.loss)) {
+        throw std::runtime_error("CnnL: training diverged");
+      }
+      // backward
+      nn::Tensor dfeats({bn * kPkts, cfg.feat_dim});
+      for (std::size_t t = 0; t < kPkts; ++t) {
+        nn::Tensor dhin = model->heads_[t].Backward(res.grad);
+        for (std::size_t i = 0; i < bn; ++i) {
+          for (std::size_t k = 0; k < cfg.feat_dim; ++k) {
+            const float tv = tfeats.at(i * kPkts + t, k);
+            dfeats.at(i * kPkts + t, k) +=
+                dhin.at(i, k) * (1.0f - tv * tv);
+          }
+        }
+      }
+      model->extractor_->BackwardBatch(dfeats);
+      opt.Step();
+    }
+  }
+
+  // ---- primitive programs ----------------------------------------------
+  AdditiveModel* ext = model->extractor_.get();
+  std::vector<nn::Sequential>* heads = &model->heads_;
+  const std::size_t F = cfg.feat_dim;
+  const bool use_ipd = cfg.use_ipd;
+  const std::size_t head_leaves = std::size_t{1} << cfg.index_bits;
+
+  auto seg_map = [&](std::size_t si, std::size_t seg_len) {
+    return core::MakeSubnet(
+        "cnnl_enc" + std::to_string(si), seg_len, F,
+        [ext, si](std::span<const float> seg) {
+          std::vector<float> norm(seg.size());
+          for (std::size_t i = 0; i < seg.size(); ++i) {
+            norm[i] = Normalize(seg[i]);
+          }
+          return ext->SegmentContribution(si, norm);
+        });
+  };
+  // Head fn over (raw feature sums, raw ipd): tanh + head MLP.
+  auto head_map = [&](std::size_t t, bool dequant_feat) {
+    const std::size_t in_dim = F + (use_ipd ? 1 : 0);
+    return core::MakeSubnet(
+        "cnnl_head" + std::to_string(t), in_dim, model->num_classes_,
+        [heads, t, F, use_ipd, dequant_feat](std::span<const float> in) {
+          std::vector<float> hin(F + (use_ipd ? 1 : 0));
+          for (std::size_t k = 0; k < F; ++k) {
+            const float f = dequant_feat ? DequantFeat(in[k]) : in[k];
+            hin[k] = std::tanh(f);
+          }
+          if (use_ipd) hin[F] = Normalize(in[F]);
+          nn::Tensor tx({1, hin.size()}, hin);
+          nn::Tensor out = (*heads)[t].Forward(tx, /*training=*/false);
+          return std::vector<float>(out.data().begin(), out.data().end());
+        });
+  };
+
+  // (a) End-to-end program: accuracy path.
+  {
+    const std::size_t in_dim = kPkts * kBytes + (use_ipd ? kPkts : 0);
+    core::ProgramBuilder b(in_dim);
+    std::vector<core::ValueId> head_outs;
+    for (std::size_t t = 0; t < kPkts; ++t) {
+      std::vector<std::pair<std::size_t, std::size_t>> segs;
+      for (std::size_t off = 0; off < kBytes; off += cfg.byte_segment) {
+        segs.emplace_back(t * kBytes + off, cfg.byte_segment);
+      }
+      if (use_ipd) {
+        segs.emplace_back(kPkts * kBytes + t, 1);
+      }
+      const std::vector<core::ValueId> parts =
+          b.PartitionExplicit(b.input(), segs);
+      std::vector<core::ValueId> contribs;
+      for (std::size_t si = 0; si + (use_ipd ? 1 : 0) < parts.size(); ++si) {
+        contribs.push_back(b.Map(parts[si], seg_map(si, cfg.byte_segment),
+                                 cfg.extractor_leaves));
+      }
+      core::ValueId feat =
+          b.SumReduce(std::span<const core::ValueId>(contribs));
+      core::ValueId head_in =
+          use_ipd ? b.Concat({feat, parts.back()}) : feat;
+      head_outs.push_back(b.Map(head_in, head_map(t, /*dequant=*/false),
+                                head_leaves));
+    }
+    const core::ValueId logits =
+        b.SumReduce(std::span<const core::ValueId>(head_outs));
+    core::Program program = b.Finish(logits);
+    core::FuseBasic(program);
+    // Pack training inputs.
+    std::vector<float> packed;
+    packed.reserve(n * (kPkts * kBytes + (use_ipd ? kPkts : 0)));
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = CnnL::PackInput(
+          x.subspan(i * kPkts * kBytes, kPkts * kBytes),
+          seq.subspan(i * kPkts * 2, kPkts * 2), use_ipd);
+      packed.insert(packed.end(), row.begin(), row.end());
+    }
+    model->compiled_ =
+        core::CompileProgram(std::move(program), packed, n, cfg.compile);
+  }
+
+  // (b) Per-packet extractor program (shared tables): resource path.
+  {
+    core::ProgramBuilder b(kBytes);
+    const std::vector<core::ValueId> parts =
+        b.Partition(b.input(), cfg.byte_segment, cfg.byte_segment);
+    std::vector<core::ValueId> contribs;
+    for (std::size_t si = 0; si < parts.size(); ++si) {
+      contribs.push_back(
+          b.Map(parts[si], seg_map(si, cfg.byte_segment),
+                cfg.extractor_leaves));
+    }
+    const core::ValueId feat =
+        b.SumReduce(std::span<const core::ValueId>(contribs));
+    core::Program program = b.Finish(feat);
+    core::FuseBasic(program);
+    // Training inputs: every packet of every sample.
+    std::vector<float> pkt_rows(x.begin(), x.end());
+    model->compiled_extractor_ = core::CompileProgram(
+        std::move(program), pkt_rows, n * kPkts, cfg.compile);
+  }
+
+  // (c) Window classifier program over stored (quantized feature, IPD)
+  // tuples: resource path.
+  {
+    const std::size_t per_pkt = F + (use_ipd ? 1 : 0);
+    core::ProgramBuilder b(kPkts * per_pkt);
+    const std::vector<core::ValueId> parts =
+        b.Partition(b.input(), per_pkt, per_pkt);
+    std::vector<core::ValueId> contribs;
+    for (std::size_t t = 0; t < kPkts; ++t) {
+      contribs.push_back(
+          b.Map(parts[t], head_map(t, /*dequant=*/true), head_leaves));
+    }
+    const core::ValueId logits =
+        b.SumReduce(std::span<const core::ValueId>(contribs));
+    core::Program program = b.Finish(logits);
+    core::FuseBasic(program);
+    // Build classifier training rows from float extractor outputs.
+    const std::size_t rows = std::min<std::size_t>(n, 4000);
+    std::vector<float> cx(rows * kPkts * per_pkt);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t t = 0; t < kPkts; ++t) {
+        std::vector<float> norm(kBytes);
+        for (std::size_t bb = 0; bb < kBytes; ++bb) {
+          norm[bb] = Normalize(x[(i * kPkts + t) * kBytes + bb]);
+        }
+        // Raw (pre-tanh) feature sums, then quantize.
+        std::vector<float> feat = ext->Predict(norm);
+        for (std::size_t k = 0; k < F; ++k) {
+          cx[(i * kPkts + t) * per_pkt + k] = QuantFeat(feat[k]);
+        }
+        if (use_ipd) {
+          cx[(i * kPkts + t) * per_pkt + F] =
+              seq[i * kPkts * 2 + 2 * t + 1];
+        }
+      }
+    }
+    model->compiled_classifier_ =
+        core::CompileProgram(std::move(program), cx, rows, cfg.compile);
+  }
+  return model;
+}
+
+std::vector<float> CnnL::FloatPredict(std::span<const float> features) const {
+  const std::size_t in_dim =
+      kPkts * kBytes + (cfg_.use_ipd ? kPkts : 0);
+  if (features.size() != in_dim) {
+    throw std::invalid_argument("CnnL::FloatPredict: bad input dim");
+  }
+  std::vector<float> logits(num_classes_, 0.0f);
+  for (std::size_t t = 0; t < kPkts; ++t) {
+    std::vector<float> norm(kBytes);
+    for (std::size_t bb = 0; bb < kBytes; ++bb) {
+      norm[bb] = Normalize(features[t * kBytes + bb]);
+    }
+    std::vector<float> feat = extractor_->Predict(norm);
+    std::vector<float> hin(cfg_.feat_dim + (cfg_.use_ipd ? 1 : 0));
+    for (std::size_t k = 0; k < cfg_.feat_dim; ++k) {
+      hin[k] = std::tanh(feat[k]);
+    }
+    if (cfg_.use_ipd) {
+      hin[cfg_.feat_dim] = Normalize(features[kPkts * kBytes + t]);
+    }
+    nn::Tensor tx({1, hin.size()}, hin);
+    nn::Tensor out = heads_[t].Forward(tx, /*training=*/false);
+    for (std::size_t c = 0; c < num_classes_; ++c) {
+      logits[c] += out.at(0, c);
+    }
+  }
+  return logits;
+}
+
+runtime::FlowStateSpec CnnL::FlowState() const {
+  // index_bits=4 with IPD: 16 + 7*4 = 44 bits (Figure 7's middle point).
+  // Without IPD: 28 bits. index_bits=8: 72 bits. Note: PISA has no 4-bit
+  // registers, so 4-bit indexes pack pairwise into 8-bit slots — the
+  // PerFlowSramBits model rounds accordingly (paper footnote 2).
+  runtime::FlowStateSpec spec;
+  spec.Add("fuzzy_idx", cfg_.index_bits, traffic::kWindow - 1);
+  if (cfg_.use_ipd) {
+    spec.Add("prev_ts", 16);
+  }
+  return spec;
+}
+
+}  // namespace pegasus::models

@@ -1,0 +1,104 @@
+// CNN-L (paper §6.3, §7.3): the large raw-byte model.
+//
+// Two stages, mirroring the paper's description of how CNN-L fits the
+// switch at all:
+//
+//  * a shared per-packet feature extractor g: 60 raw payload bytes -> a
+//    small feature vector ("Pegasus first uses a neural network to extract
+//    high-level, refined features from each packet"). On the dataplane the
+//    extractor is Partition(bytes) -> Maps -> SumReduce, and its output is
+//    compressed to a 4- or 8-bit *fuzzy index* stored per flow;
+//
+//  * a NAM classifier over the window's 8 per-packet (feature, IPD)
+//    segments -> one fused Map per packet position -> final SumReduce.
+//
+// Per-flow state is therefore 7 indexes x 4 bits + a 16-bit timestamp =
+// 44 bits (Figure 7's middle point); variants drop the IPD (28 b) or use
+// 8-bit indexes (72 b).
+//
+// Training is a deep-sets model: logits = sum_t f_t(g(bytes_t), ipd_t),
+// trained end-to-end with a weight-shared g.
+#pragma once
+
+#include <memory>
+
+#include "models/additive.hpp"
+#include "models/common.hpp"
+#include "nn/layers.hpp"
+
+namespace pegasus::models {
+
+struct CnnLConfig {
+  /// Extractor: NAM over 10 byte-segments, each 6 -> hidden -> feat_dim
+  /// contributions (Advanced Primitive Fusion keeps it one Map per
+  /// segment); feat = tanh(sum of contributions), folded into the heads.
+  std::vector<std::size_t> extractor_hidden = {192};
+  std::size_t feat_dim = 4;
+  /// Per-position head: (feat_dim [+1 ipd]) -> head_hidden -> classes.
+  std::size_t head_hidden = 128;
+  /// Fuzzy-index width for the per-packet feature (4 -> 16 leaves,
+  /// 8 -> 256 leaves). This is the per-flow storage knob of Figure 7.
+  int index_bits = 4;
+  bool use_ipd = true;
+  /// Extractor lowering: bytes are partitioned into segments of this size.
+  std::size_t byte_segment = 6;
+  std::size_t extractor_leaves = 64;
+  std::size_t epochs = 12;
+  std::size_t batch = 32;
+  float lr = 1e-3f;
+  std::uint64_t seed = 71;
+  core::CompileOptions compile;
+};
+
+class CnnL : public TrainedModel {
+ public:
+  /// `x` holds raw-byte windows ([n x 480], 8 packets x 60 bytes);
+  /// `seq` holds the matching (len, ipd) windows ([n x 16]) the IPD feature
+  /// comes from. Rows must correspond.
+  static std::unique_ptr<CnnL> Train(std::span<const float> x,
+                                     std::span<const float> seq,
+                                     const std::vector<std::int32_t>& labels,
+                                     std::size_t n, std::size_t num_classes,
+                                     const CnnLConfig& cfg = {});
+
+  const std::string& Name() const override { return name_; }
+
+  /// FloatPredict consumes the packed program input (480 bytes + 8 IPDs =
+  /// 488 dims; without IPD, 480).
+  std::vector<float> FloatPredict(
+      std::span<const float> features) const override;
+  const core::CompiledModel& Compiled() const override { return compiled_; }
+  std::size_t InputScaleBits() const override {
+    return traffic::kRawDim * 8;  // 3840 b
+  }
+  double ModelSizeKb() const override { return size_kb_; }
+  runtime::FlowStateSpec FlowState() const override;
+
+  /// Packs raw-byte + seq rows into the program input layout.
+  static std::vector<float> PackInput(std::span<const float> bytes,
+                                      std::span<const float> seq,
+                                      bool use_ipd);
+
+  /// Per-packet extractor as its own primitive program (the table set the
+  /// switch shares across all packets) — used for resource accounting.
+  const core::CompiledModel& CompiledExtractor() const {
+    return compiled_extractor_;
+  }
+  /// Window classifier program over stored per-packet features.
+  const core::CompiledModel& CompiledClassifier() const {
+    return compiled_classifier_;
+  }
+
+ private:
+  std::string name_ = "CNN-L";
+  mutable std::unique_ptr<AdditiveModel> extractor_;
+  mutable std::vector<nn::Sequential> heads_;
+  core::CompiledModel compiled_;             // end-to-end (accuracy path)
+  core::CompiledModel compiled_extractor_;   // resource path
+  core::CompiledModel compiled_classifier_;  // resource path
+  CnnLConfig cfg_;
+  std::size_t num_classes_ = 0;
+  double size_kb_ = 0.0;
+};
+
+}  // namespace pegasus::models

@@ -1,0 +1,84 @@
+#include "models/cnn_m.hpp"
+
+#include "core/operators.hpp"
+
+namespace pegasus::models {
+
+std::unique_ptr<CnnM> CnnM::Train(std::span<const float> x,
+                                  const std::vector<std::int32_t>& labels,
+                                  std::size_t n, std::size_t dim,
+                                  std::size_t num_classes,
+                                  const CnnMConfig& cfg) {
+  if (dim % 4 != 0) {
+    throw std::invalid_argument("CnnM::Train: dim must be a multiple of 4");
+  }
+  auto model = std::make_unique<CnnM>();
+  model->dim_ = dim;
+
+  // Overlapping packet-pair windows (stride 1 packet-pair, width 2
+  // packets): offsets 0,2,4,... and 2,6,10,... interleaved — a textcnn's
+  // kernel-2 receptive fields, each realized as one fused Map.
+  AdditiveConfig acfg;
+  for (std::size_t off = 0; off + 4 <= dim; off += 2) {
+    acfg.segments.push_back(Segment{off, 4});
+  }
+  acfg.hidden = cfg.hidden;
+  acfg.out_dim = num_classes;
+  acfg.epochs = cfg.epochs;
+  acfg.seed = cfg.seed;
+  model->net_ = std::make_unique<AdditiveModel>(acfg);
+  model->size_kb_ =
+      static_cast<double>(model->net_->ParamCount()) * 32.0 / 1000.0;
+
+  std::vector<float> xn(x.begin(), x.end());
+  for (float& v : xn) v = Normalize(v);
+  model->net_->TrainClassifier(xn, labels, n, dim);
+
+  // ---- primitive program: Partition -> fused Maps -> one SumReduce -----
+  core::ProgramBuilder b(dim);
+  std::vector<std::pair<std::size_t, std::size_t>> segs;
+  for (const Segment& s : model->net_->segments()) {
+    segs.emplace_back(s.offset, s.length);
+  }
+  const std::vector<core::ValueId> parts = b.PartitionExplicit(b.input(), segs);
+  AdditiveModel* net = model->net_.get();
+  std::vector<core::ValueId> contribs;
+  for (std::size_t si = 0; si < parts.size(); ++si) {
+    const std::size_t seg_len = model->net_->segments()[si].length;
+    contribs.push_back(b.Map(
+        parts[si],
+        core::MakeSubnet("cnnm_seg" + std::to_string(si), seg_len,
+                         num_classes,
+                         [net, si](std::span<const float> seg) {
+                           std::vector<float> norm(seg.size());
+                           for (std::size_t i = 0; i < seg.size(); ++i) {
+                             norm[i] = Normalize(seg[i]);
+                           }
+                           return net->SegmentContribution(si, norm);
+                         }),
+        cfg.fuzzy_leaves));
+  }
+  const core::ValueId logits =
+      b.SumReduce(std::span<const core::ValueId>(contribs));
+  core::Program program = b.Finish(logits);
+  core::FuseBasic(program);
+  model->compiled_ =
+      core::CompileProgram(std::move(program), x, n, cfg.compile);
+  return model;
+}
+
+std::vector<float> CnnM::FloatPredict(std::span<const float> features) const {
+  std::vector<float> xn(features.begin(), features.end());
+  for (float& v : xn) v = Normalize(v);
+  return net_->Predict(xn);
+}
+
+runtime::FlowStateSpec CnnM::FlowState() const {
+  // 72 bits: same window storage as CNN-B (7 x 8-bit packet features +
+  // 16-bit previous timestamp); the bigger model lives entirely in tables.
+  runtime::FlowStateSpec spec;
+  spec.Add("pkt_feat", 8, 7).Add("prev_ts", 16);
+  return spec;
+}
+
+}  // namespace pegasus::models

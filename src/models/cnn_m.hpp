@@ -1,0 +1,48 @@
+// CNN-M (paper §6.3): CNN-B extended with Advanced Primitive Fusion ❸ —
+// the whole network is restructured NAM-style so each (overlapping) packet
+// -pair window runs a deep per-segment subnet that the compiler collapses
+// into a SINGLE fuzzy Map lookup; only the final SumReduce crosses
+// segments. Bigger model, fewer tables (Table 6's point: "larger model
+// size but lower resource overhead").
+#pragma once
+
+#include <memory>
+
+#include "models/additive.hpp"
+#include "models/common.hpp"
+
+namespace pegasus::models {
+
+struct CnnMConfig {
+  std::vector<std::size_t> hidden = {40, 80};
+  std::size_t fuzzy_leaves = 128;
+  std::size_t epochs = 30;
+  std::uint64_t seed = 61;
+  core::CompileOptions compile;
+};
+
+class CnnM : public TrainedModel {
+ public:
+  static std::unique_ptr<CnnM> Train(std::span<const float> x,
+                                     const std::vector<std::int32_t>& labels,
+                                     std::size_t n, std::size_t dim,
+                                     std::size_t num_classes,
+                                     const CnnMConfig& cfg = {});
+
+  const std::string& Name() const override { return name_; }
+  std::vector<float> FloatPredict(
+      std::span<const float> features) const override;
+  const core::CompiledModel& Compiled() const override { return compiled_; }
+  std::size_t InputScaleBits() const override { return dim_ * 8; }
+  double ModelSizeKb() const override { return size_kb_; }
+  runtime::FlowStateSpec FlowState() const override;
+
+ private:
+  std::string name_ = "CNN-M";
+  mutable std::unique_ptr<AdditiveModel> net_;
+  core::CompiledModel compiled_;
+  std::size_t dim_ = 0;
+  double size_kb_ = 0.0;
+};
+
+}  // namespace pegasus::models

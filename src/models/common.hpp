@@ -1,0 +1,82 @@
+// Shared model plumbing.
+//
+// Every Pegasus model in §6.3 follows the same lifecycle:
+//   1. train a full-precision float model (src/nn) on normalized features;
+//   2. emit a primitive Program whose Map functions wrap the trained
+//      weights (plus the feature normalization, so programs consume raw
+//      8-bit features);
+//   3. run FuseBasic, then CompileProgram against the training inputs;
+//   4. optionally Lower onto the switch simulator for resource accounting.
+//
+// TrainedModel carries all of it, so Table 5 / Figures 7-9 drivers can
+// treat every model uniformly: FloatPredict is the paper's "CPU/GPU" path,
+// Compiled().Evaluate the Pegasus path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/fusion.hpp"
+#include "core/tablegen.hpp"
+#include "runtime/flow_state.hpp"
+#include "traffic/features.hpp"
+
+namespace pegasus::models {
+
+/// Features are 8-bit [0,255]; models train on (x-128)/64. The constants
+/// are baked into Map functions so dataplane programs take raw features.
+inline constexpr float kNormShift = 128.0f;
+inline constexpr float kNormScale = 1.0f / 64.0f;
+
+inline float Normalize(float v) { return (v - kNormShift) * kNormScale; }
+
+/// Uniform handle over a trained + compiled model.
+class TrainedModel {
+ public:
+  virtual ~TrainedModel() = default;
+
+  virtual const std::string& Name() const = 0;
+
+  /// Full-precision logits (or anomaly score) — the control-plane path.
+  virtual std::vector<float> FloatPredict(
+      std::span<const float> features) const = 0;
+
+  /// The compiled Pegasus realization (fuzzy + fixed-point).
+  virtual const core::CompiledModel& Compiled() const = 0;
+
+  /// Input scale in bits (Table 5 column).
+  virtual std::size_t InputScaleBits() const = 0;
+
+  /// Model size in Kb at full precision (Table 5 column).
+  virtual double ModelSizeKb() const = 0;
+
+  /// Per-flow stateful layout (Table 6 column).
+  virtual runtime::FlowStateSpec FlowState() const = 0;
+
+  /// Argmax helper shared by classifiers.
+  std::int32_t PredictClassFuzzy(std::span<const float> features) const {
+    const std::vector<float> logits = Compiled().Evaluate(features);
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < logits.size(); ++i) {
+      if (logits[i] > logits[best]) best = i;
+    }
+    return static_cast<std::int32_t>(best);
+  }
+  std::int32_t PredictClassFloat(std::span<const float> features) const {
+    const std::vector<float> logits = FloatPredict(features);
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < logits.size(); ++i) {
+      if (logits[i] > logits[best]) best = i;
+    }
+    return static_cast<std::int32_t>(best);
+  }
+};
+
+struct TrainBudget {
+  std::size_t epochs = 30;
+  std::size_t max_train_samples = 20000;
+  std::uint64_t seed = 5;
+};
+
+}  // namespace pegasus::models

@@ -1,0 +1,99 @@
+#include "models/mlp_b.hpp"
+
+#include "core/operators.hpp"
+#include "nn/trainer.hpp"
+
+namespace pegasus::models {
+
+namespace {
+
+/// Elementwise feature normalization as a Map function: raw 8-bit features
+/// -> the (x-128)/64 domain the float model trained in.
+core::MapFunction NormMap(std::size_t dim) {
+  return core::MakeAffine(std::vector<float>(dim, kNormScale),
+                          std::vector<float>(dim, -kNormShift * kNormScale),
+                          "featnorm");
+}
+
+}  // namespace
+
+std::unique_ptr<MlpB> MlpB::Train(std::span<const float> x,
+                                  const std::vector<std::int32_t>& labels,
+                                  std::size_t n, std::size_t dim,
+                                  std::size_t num_classes,
+                                  const MlpBConfig& cfg) {
+  auto model = std::make_unique<MlpB>();
+  model->dim_ = dim;
+
+  // ---- float training -------------------------------------------------
+  std::mt19937_64 rng(cfg.seed);
+  std::vector<nn::BatchNorm1d*> bns;
+  std::vector<nn::Dense*> fcs;
+  std::size_t prev = dim;
+  for (std::size_t h : cfg.hidden) {
+    bns.push_back(model->net_.Emplace<nn::BatchNorm1d>(prev));
+    fcs.push_back(model->net_.Emplace<nn::Dense>(prev, h, rng));
+    model->net_.Emplace<nn::ReLU>();
+    prev = h;
+  }
+  nn::Dense* out_fc = model->net_.Emplace<nn::Dense>(prev, num_classes, rng);
+  model->size_kb_ = model->net_.ModelSizeKb(32);
+
+  std::vector<float> xn(x.begin(), x.end());
+  for (float& v : xn) v = Normalize(v);
+  nn::Tensor tx({n, dim}, xn);
+  nn::TrainConfig tc;
+  tc.epochs = cfg.epochs;
+  tc.seed = cfg.seed;
+  nn::TrainClassifier(model->net_, tx, labels, tc);
+
+  // ---- primitive program ----------------------------------------------
+  core::ProgramBuilder b(dim);
+  core::ValueId v = b.Map(b.input(), NormMap(dim), cfg.fuzzy_leaves);
+  prev = dim;
+  for (std::size_t li = 0; li < cfg.hidden.size(); ++li) {
+    std::vector<float> scale, shift;
+    bns[li]->InferenceAffine(scale, shift);
+    v = b.Map(v, core::MakeAffine(scale, shift, "bn" + std::to_string(li)),
+              cfg.fuzzy_leaves);
+    const nn::Param& w = fcs[li]->weight();
+    const nn::Param& bias = fcs[li]->bias();
+    v = core::AppendFullyConnected(
+        b, v, w.value.data(), prev, cfg.hidden[li], bias.value.data(),
+        cfg.segment_dim, cfg.fuzzy_leaves);
+    v = b.Map(v, core::MakeReLU(cfg.hidden[li]), cfg.fuzzy_leaves);
+    prev = cfg.hidden[li];
+  }
+  v = core::AppendFullyConnected(b, v, out_fc->weight().value.data(), prev,
+                                 num_classes, out_fc->bias().value.data(),
+                                 cfg.segment_dim, cfg.fuzzy_leaves);
+  core::Program program = b.Finish(v);
+  model->fusion_stats_ = core::FuseBasic(program);
+  model->compiled_ = core::CompileProgram(std::move(program), x, n,
+                                          cfg.compile);
+  return model;
+}
+
+std::vector<float> MlpB::FloatPredict(std::span<const float> features) const {
+  std::vector<float> xn(features.begin(), features.end());
+  for (float& v : xn) v = Normalize(v);
+  nn::Tensor tx({1, xn.size()}, xn);
+  nn::Tensor out = net_.Forward(tx, /*training=*/false);
+  return std::vector<float>(out.data().begin(), out.data().end());
+}
+
+runtime::FlowStateSpec MlpB::FlowState() const {
+  // 80 bits: running min/max length and IPD (4x8), previous-packet
+  // timestamp (16), and a 32-bit compacted 5-packet history digest the
+  // statistical features are rebuilt from.
+  runtime::FlowStateSpec spec;
+  spec.Add("min_len", 8)
+      .Add("max_len", 8)
+      .Add("min_ipd", 8)
+      .Add("max_ipd", 8)
+      .Add("prev_ts", 16)
+      .Add("hist_digest", 32);
+  return spec;
+}
+
+}  // namespace pegasus::models

@@ -1,0 +1,51 @@
+// MLP-B (paper §6.3): a three-hidden-layer MLP over flow/packet statistical
+// features, each hidden layer = BatchNorm -> FC -> ReLU. Uses fuzzy
+// matching and Basic Primitive Fusion only.
+#pragma once
+
+#include <memory>
+
+#include "models/common.hpp"
+#include "nn/layers.hpp"
+
+namespace pegasus::models {
+
+struct MlpBConfig {
+  std::vector<std::size_t> hidden = {20, 16, 12};
+  std::size_t segment_dim = 2;
+  std::size_t fuzzy_leaves = 64;
+  std::size_t epochs = 30;
+  std::uint64_t seed = 31;
+  core::CompileOptions compile;
+};
+
+class MlpB : public TrainedModel {
+ public:
+  /// Trains the float model on raw 8-bit statistical features, builds the
+  /// primitive program, fuses and compiles it.
+  static std::unique_ptr<MlpB> Train(std::span<const float> x,
+                                     const std::vector<std::int32_t>& labels,
+                                     std::size_t n, std::size_t dim,
+                                     std::size_t num_classes,
+                                     const MlpBConfig& cfg = {});
+
+  const std::string& Name() const override { return name_; }
+  std::vector<float> FloatPredict(
+      std::span<const float> features) const override;
+  const core::CompiledModel& Compiled() const override { return compiled_; }
+  std::size_t InputScaleBits() const override { return dim_ * 8; }
+  double ModelSizeKb() const override { return size_kb_; }
+  runtime::FlowStateSpec FlowState() const override;
+
+  const core::FusionStats& fusion_stats() const { return fusion_stats_; }
+
+ private:
+  std::string name_ = "MLP-B";
+  mutable nn::Sequential net_;
+  core::CompiledModel compiled_;
+  core::FusionStats fusion_stats_;
+  std::size_t dim_ = 0;
+  double size_kb_ = 0.0;
+};
+
+}  // namespace pegasus::models

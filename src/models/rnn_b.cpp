@@ -1,0 +1,135 @@
+#include "models/rnn_b.hpp"
+
+#include <cmath>
+
+#include "core/operators.hpp"
+#include "nn/trainer.hpp"
+
+namespace pegasus::models {
+
+namespace {
+
+/// One RNN step as a Map function: input = (len, ipd, h_prev...) raw
+/// domain; normalization of the feature dims is folded in. h_prev dims are
+/// already in the model's activation domain.
+core::MapFunction StepMap(const nn::SimpleRNN& rnn_weights,
+                          std::span<const float> wx,
+                          std::span<const float> wh,
+                          std::span<const float> bias, std::size_t hidden,
+                          std::size_t step) {
+  (void)rnn_weights;
+  std::vector<float> wx_v(wx.begin(), wx.end());
+  std::vector<float> wh_v(wh.begin(), wh.end());
+  std::vector<float> b_v(bias.begin(), bias.end());
+  const bool first = step == 0;
+  const std::size_t in_dim = first ? 2 : 2 + hidden;
+  return core::MakeSubnet(
+      "rnn_step" + std::to_string(step), in_dim, hidden,
+      [wx_v, wh_v, b_v, hidden, first](std::span<const float> x) {
+        std::vector<float> h(hidden);
+        const float f0 = Normalize(x[0]);
+        const float f1 = Normalize(x[1]);
+        for (std::size_t j = 0; j < hidden; ++j) {
+          float acc = b_v[j] + f0 * wx_v[0 * hidden + j] +
+                      f1 * wx_v[1 * hidden + j];
+          if (!first) {
+            for (std::size_t k = 0; k < hidden; ++k) {
+              acc += x[2 + k] * wh_v[k * hidden + j];
+            }
+          }
+          h[j] = std::tanh(acc);
+        }
+        return h;
+      });
+}
+
+}  // namespace
+
+std::unique_ptr<RnnB> RnnB::Train(std::span<const float> x,
+                                  const std::vector<std::int32_t>& labels,
+                                  std::size_t n, std::size_t dim,
+                                  std::size_t num_classes,
+                                  const RnnBConfig& cfg) {
+  if (dim % 2 != 0) {
+    throw std::invalid_argument("RnnB::Train: dim must be 2*window");
+  }
+  auto model = std::make_unique<RnnB>();
+  model->dim_ = dim;
+  model->window_ = dim / 2;
+
+  // ---- float training -------------------------------------------------
+  std::mt19937_64 rng(cfg.seed);
+  nn::SimpleRNN* rnn =
+      model->net_.Emplace<nn::SimpleRNN>(2, cfg.hidden, rng);
+  nn::Dense* readout =
+      model->net_.Emplace<nn::Dense>(cfg.hidden, num_classes, rng);
+  model->size_kb_ = model->net_.ModelSizeKb(32);
+
+  std::vector<float> xn(x.begin(), x.end());
+  for (float& v : xn) v = Normalize(v);
+  nn::Tensor tx({n, model->window_, 2}, xn);
+  nn::TrainConfig tc;
+  tc.epochs = cfg.epochs;
+  tc.seed = cfg.seed;
+  nn::TrainClassifier(model->net_, tx, labels, tc);
+
+  // ---- primitive program ----------------------------------------------
+  // Step t's Map is keyed on (len_t, ipd_t, h_{t-1}); the readout Map maps
+  // h_{T-1} to logits.
+  core::ProgramBuilder b(dim);
+  std::vector<std::pair<std::size_t, std::size_t>> segs;
+  for (std::size_t t = 0; t < model->window_; ++t) {
+    segs.emplace_back(2 * t, 2);
+  }
+  const std::vector<core::ValueId> steps = b.PartitionExplicit(b.input(), segs);
+  const auto& wx = rnn->Params()[0]->value;
+  const auto& wh = rnn->Params()[1]->value;
+  const auto& bias = rnn->Params()[2]->value;
+
+  core::ValueId h = b.Map(
+      steps[0],
+      StepMap(*rnn, wx.data(), wh.data(), bias.data(), cfg.hidden, 0),
+      cfg.fuzzy_leaves_step);
+  for (std::size_t t = 1; t < model->window_; ++t) {
+    const core::ValueId cat = b.Concat({steps[t], h});
+    h = b.Map(cat,
+              StepMap(*rnn, wx.data(), wh.data(), bias.data(), cfg.hidden, t),
+              cfg.fuzzy_leaves_step);
+  }
+  std::vector<float> v_w(readout->weight().value.data().begin(),
+                         readout->weight().value.data().end());
+  std::vector<float> v_b(readout->bias().value.data().begin(),
+                         readout->bias().value.data().end());
+  const core::ValueId logits =
+      b.Map(h,
+            core::MakeLinear(std::move(v_w), cfg.hidden, num_classes,
+                             std::move(v_b), "readout"),
+            cfg.fuzzy_leaves_readout);
+  core::Program program = b.Finish(logits);
+  core::FuseBasic(program);
+  model->compiled_ =
+      core::CompileProgram(std::move(program), x, n, cfg.compile);
+  return model;
+}
+
+std::vector<float> RnnB::FloatPredict(std::span<const float> features) const {
+  std::vector<float> xn(features.begin(), features.end());
+  for (float& v : xn) v = Normalize(v);
+  nn::Tensor tx({1, window_, 2}, xn);
+  nn::Tensor out = net_.Forward(tx, /*training=*/false);
+  return std::vector<float>(out.data().begin(), out.data().end());
+}
+
+runtime::FlowStateSpec RnnB::FlowState() const {
+  // 240 bits: the raw (len, ipd) of the previous 7 packets (112), the
+  // previous-packet timestamp (16), and the per-step hidden checkpoint the
+  // switch carries between pipeline passes (14 x 8 = 112).
+  runtime::FlowStateSpec spec;
+  spec.Add("win_len", 8, 7)
+      .Add("win_ipd", 8, 7)
+      .Add("prev_ts", 16)
+      .Add("hidden_ckpt", 8, 14);
+  return spec;
+}
+
+}  // namespace pegasus::models

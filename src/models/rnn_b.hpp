@@ -1,0 +1,51 @@
+// RNN-B (paper §6.3): a windowed simple RNN over (length, IPD) sequences,
+// following BoS's windowed design — all time steps execute on the switch
+// within one window, no hidden-state write-back. On the dataplane every
+// step is ONE fuzzy Map keyed on (x_t, h_{t-1}); the readout is a final
+// Map. Unlike BoS, inputs and hidden states are 8/quantized fixed-point,
+// not binary.
+#pragma once
+
+#include <memory>
+
+#include "models/common.hpp"
+#include "nn/layers.hpp"
+
+namespace pegasus::models {
+
+struct RnnBConfig {
+  std::size_t hidden = 14;
+  std::size_t fuzzy_leaves_step = 160;
+  std::size_t fuzzy_leaves_readout = 96;
+  std::size_t epochs = 30;
+  std::uint64_t seed = 41;
+  core::CompileOptions compile;
+};
+
+class RnnB : public TrainedModel {
+ public:
+  /// `dim` must be 2*window (interleaved len, ipd).
+  static std::unique_ptr<RnnB> Train(std::span<const float> x,
+                                     const std::vector<std::int32_t>& labels,
+                                     std::size_t n, std::size_t dim,
+                                     std::size_t num_classes,
+                                     const RnnBConfig& cfg = {});
+
+  const std::string& Name() const override { return name_; }
+  std::vector<float> FloatPredict(
+      std::span<const float> features) const override;
+  const core::CompiledModel& Compiled() const override { return compiled_; }
+  std::size_t InputScaleBits() const override { return dim_ * 8; }
+  double ModelSizeKb() const override { return size_kb_; }
+  runtime::FlowStateSpec FlowState() const override;
+
+ private:
+  std::string name_ = "RNN-B";
+  mutable nn::Sequential net_;  // SimpleRNN + Dense readout
+  core::CompiledModel compiled_;
+  std::size_t dim_ = 0;
+  std::size_t window_ = 8;
+  double size_kb_ = 0.0;
+};
+
+}  // namespace pegasus::models

@@ -1,0 +1,584 @@
+#include "nn/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pegasus::nn {
+
+// ---------------------------------------------------------------- Dense
+
+Dense::Dense(std::size_t in, std::size_t out, std::mt19937_64& rng)
+    : in_(in), out_(out), w_({in, out}), b_({out}) {
+  XavierInit(w_.value, in, out, rng);
+}
+
+Tensor Dense::Forward(const Tensor& x, bool /*training*/) {
+  if (x.rank() != 2 || x.dim(1) != in_) {
+    throw std::invalid_argument("Dense: expected [N," + std::to_string(in_) +
+                                "], got " + x.ShapeString());
+  }
+  cached_x_ = x;
+  Tensor y = MatMul(x, w_.value);
+  for (std::size_t i = 0; i < y.dim(0); ++i)
+    for (std::size_t j = 0; j < out_; ++j) y.at(i, j) += b_.value[j];
+  return y;
+}
+
+Tensor Dense::Backward(const Tensor& grad_out) {
+  // dW = x^T g ; db = colsum(g) ; dx = g W^T
+  Tensor dw = MatMulTransposedA(cached_x_, grad_out);
+  w_.grad.Add(dw);
+  for (std::size_t i = 0; i < grad_out.dim(0); ++i)
+    for (std::size_t j = 0; j < out_; ++j)
+      b_.grad[j] += grad_out.at(i, j);
+  return MatMulTransposedB(grad_out, w_.value);
+}
+
+// ----------------------------------------------------------- BatchNorm1d
+
+BatchNorm1d::BatchNorm1d(std::size_t features, float momentum, float eps)
+    : features_(features),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_({features}),
+      beta_({features}),
+      running_mean_({features}),
+      running_var_({features}) {
+  gamma_.value.Fill(1.0f);
+  running_var_.Fill(1.0f);
+}
+
+Tensor BatchNorm1d::Forward(const Tensor& x, bool training) {
+  if (x.rank() != 2 || x.dim(1) != features_) {
+    throw std::invalid_argument("BatchNorm1d: bad input " + x.ShapeString());
+  }
+  const std::size_t n = x.dim(0);
+  Tensor y({n, features_});
+  if (training) {
+    cached_x_centered_ = Tensor({n, features_});
+    cached_x_hat_ = Tensor({n, features_});
+    cached_inv_std_ = Tensor({features_});
+    for (std::size_t f = 0; f < features_; ++f) {
+      float mean = 0.0f;
+      for (std::size_t i = 0; i < n; ++i) mean += x.at(i, f);
+      mean /= static_cast<float>(n);
+      float var = 0.0f;
+      for (std::size_t i = 0; i < n; ++i) {
+        const float d = x.at(i, f) - mean;
+        var += d * d;
+      }
+      var /= static_cast<float>(n);
+      const float inv_std = 1.0f / std::sqrt(var + eps_);
+      cached_inv_std_[f] = inv_std;
+      running_mean_[f] = (1 - momentum_) * running_mean_[f] + momentum_ * mean;
+      running_var_[f] = (1 - momentum_) * running_var_[f] + momentum_ * var;
+      for (std::size_t i = 0; i < n; ++i) {
+        const float xc = x.at(i, f) - mean;
+        cached_x_centered_.at(i, f) = xc;
+        const float xh = xc * inv_std;
+        cached_x_hat_.at(i, f) = xh;
+        y.at(i, f) = gamma_.value[f] * xh + beta_.value[f];
+      }
+    }
+  } else {
+    for (std::size_t f = 0; f < features_; ++f) {
+      const float inv_std = 1.0f / std::sqrt(running_var_[f] + eps_);
+      for (std::size_t i = 0; i < n; ++i) {
+        y.at(i, f) =
+            gamma_.value[f] * (x.at(i, f) - running_mean_[f]) * inv_std +
+            beta_.value[f];
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm1d::Backward(const Tensor& grad_out) {
+  const std::size_t n = grad_out.dim(0);
+  Tensor dx({n, features_});
+  const float nf = static_cast<float>(n);
+  for (std::size_t f = 0; f < features_; ++f) {
+    float dgamma = 0.0f, dbeta = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+      dgamma += grad_out.at(i, f) * cached_x_hat_.at(i, f);
+      dbeta += grad_out.at(i, f);
+    }
+    gamma_.grad[f] += dgamma;
+    beta_.grad[f] += dbeta;
+    const float inv_std = cached_inv_std_[f];
+    // dx = (gamma*inv_std/N) * (N*g - sum(g) - x_hat * sum(g*x_hat))
+    for (std::size_t i = 0; i < n; ++i) {
+      dx.at(i, f) = gamma_.value[f] * inv_std / nf *
+                    (nf * grad_out.at(i, f) - dbeta -
+                     cached_x_hat_.at(i, f) * dgamma);
+    }
+  }
+  return dx;
+}
+
+void BatchNorm1d::InferenceAffine(std::vector<float>& scale,
+                                  std::vector<float>& shift) const {
+  scale.resize(features_);
+  shift.resize(features_);
+  for (std::size_t f = 0; f < features_; ++f) {
+    const float inv_std = 1.0f / std::sqrt(running_var_[f] + eps_);
+    scale[f] = gamma_.value[f] * inv_std;
+    shift[f] = beta_.value[f] - gamma_.value[f] * running_mean_[f] * inv_std;
+  }
+}
+
+// -------------------------------------------------------------- LayerNorm
+
+LayerNorm::LayerNorm(std::size_t features, float eps)
+    : features_(features),
+      eps_(eps),
+      gamma_({features}),
+      beta_({features}) {
+  gamma_.value.Fill(1.0f);
+}
+
+Tensor LayerNorm::Forward(const Tensor& x, bool /*training*/) {
+  if (x.rank() != 2 || x.dim(1) != features_) {
+    throw std::invalid_argument("LayerNorm: bad input " + x.ShapeString());
+  }
+  const std::size_t n = x.dim(0);
+  Tensor y({n, features_});
+  cached_x_hat_ = Tensor({n, features_});
+  cached_inv_std_ = Tensor({n});
+  const float ff = static_cast<float>(features_);
+  for (std::size_t i = 0; i < n; ++i) {
+    float mean = 0.0f;
+    for (std::size_t f = 0; f < features_; ++f) mean += x.at(i, f);
+    mean /= ff;
+    float var = 0.0f;
+    for (std::size_t f = 0; f < features_; ++f) {
+      const float d = x.at(i, f) - mean;
+      var += d * d;
+    }
+    var /= ff;
+    const float inv_std = 1.0f / std::sqrt(var + eps_);
+    cached_inv_std_[i] = inv_std;
+    for (std::size_t f = 0; f < features_; ++f) {
+      const float xh = (x.at(i, f) - mean) * inv_std;
+      cached_x_hat_.at(i, f) = xh;
+      y.at(i, f) = gamma_.value[f] * xh + beta_.value[f];
+    }
+  }
+  return y;
+}
+
+Tensor LayerNorm::Backward(const Tensor& grad_out) {
+  const std::size_t n = grad_out.dim(0);
+  Tensor dx({n, features_});
+  const float ff = static_cast<float>(features_);
+  for (std::size_t i = 0; i < n; ++i) {
+    float sum_g = 0.0f, sum_gx = 0.0f;
+    for (std::size_t f = 0; f < features_; ++f) {
+      const float g = grad_out.at(i, f) * gamma_.value[f];
+      sum_g += g;
+      sum_gx += g * cached_x_hat_.at(i, f);
+      gamma_.grad[f] += grad_out.at(i, f) * cached_x_hat_.at(i, f);
+      beta_.grad[f] += grad_out.at(i, f);
+    }
+    for (std::size_t f = 0; f < features_; ++f) {
+      const float g = grad_out.at(i, f) * gamma_.value[f];
+      dx.at(i, f) = cached_inv_std_[i] / ff *
+                    (ff * g - sum_g - cached_x_hat_.at(i, f) * sum_gx);
+    }
+  }
+  return dx;
+}
+
+// ----------------------------------------------------------- HadamardGate
+
+Tensor HadamardGate::Forward(const Tensor& x, bool /*training*/) {
+  if (x.rank() != 2 || x.dim(1) % 2 != 0) {
+    throw std::invalid_argument("HadamardGate: input dim must be even");
+  }
+  cached_x_ = x;
+  const std::size_t n = x.dim(0), half = x.dim(1) / 2;
+  Tensor y({n, half});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t f = 0; f < half; ++f) {
+      y.at(i, f) = x.at(i, f) * x.at(i, half + f);
+    }
+  }
+  return y;
+}
+
+Tensor HadamardGate::Backward(const Tensor& grad_out) {
+  const std::size_t n = cached_x_.dim(0), half = cached_x_.dim(1) / 2;
+  Tensor dx({n, 2 * half});
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t f = 0; f < half; ++f) {
+      dx.at(i, f) = grad_out.at(i, f) * cached_x_.at(i, half + f);
+      dx.at(i, half + f) = grad_out.at(i, f) * cached_x_.at(i, f);
+    }
+  }
+  return dx;
+}
+
+// ------------------------------------------------------------ activations
+
+Tensor ReLU::Forward(const Tensor& x, bool /*training*/) {
+  cached_mask_ = Tensor(x.shape());
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const bool pos = x[i] > 0.0f;
+    cached_mask_[i] = pos ? 1.0f : 0.0f;
+    y[i] = pos ? x[i] : 0.0f;
+  }
+  return y;
+}
+
+Tensor ReLU::Backward(const Tensor& grad_out) {
+  Tensor dx(grad_out.shape());
+  for (std::size_t i = 0; i < grad_out.size(); ++i)
+    dx[i] = grad_out[i] * cached_mask_[i];
+  return dx;
+}
+
+Tensor Tanh::Forward(const Tensor& x, bool /*training*/) {
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = std::tanh(x[i]);
+  cached_y_ = y;
+  return y;
+}
+
+Tensor Tanh::Backward(const Tensor& grad_out) {
+  Tensor dx(grad_out.shape());
+  for (std::size_t i = 0; i < grad_out.size(); ++i)
+    dx[i] = grad_out[i] * (1.0f - cached_y_[i] * cached_y_[i]);
+  return dx;
+}
+
+Tensor Sigmoid::Forward(const Tensor& x, bool /*training*/) {
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    y[i] = 1.0f / (1.0f + std::exp(-x[i]));
+  cached_y_ = y;
+  return y;
+}
+
+Tensor Sigmoid::Backward(const Tensor& grad_out) {
+  Tensor dx(grad_out.shape());
+  for (std::size_t i = 0; i < grad_out.size(); ++i)
+    dx[i] = grad_out[i] * cached_y_[i] * (1.0f - cached_y_[i]);
+  return dx;
+}
+
+// ---------------------------------------------------------------- Conv1D
+
+Conv1D::Conv1D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::mt19937_64& rng)
+    : in_ch_(in_channels),
+      out_ch_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      w_({out_channels, in_channels, kernel}),
+      b_({out_channels}) {
+  if (stride == 0 || kernel == 0) {
+    throw std::invalid_argument("Conv1D: kernel and stride must be positive");
+  }
+  HeInit(w_.value, in_channels * kernel, rng);
+}
+
+Tensor Conv1D::Forward(const Tensor& x, bool /*training*/) {
+  if (x.rank() != 3 || x.dim(1) != in_ch_ || x.dim(2) < kernel_) {
+    throw std::invalid_argument("Conv1D: bad input " + x.ShapeString());
+  }
+  cached_x_ = x;
+  const std::size_t n = x.dim(0), l = x.dim(2);
+  const std::size_t lo = (l - kernel_) / stride_ + 1;
+  Tensor y({n, out_ch_, lo});
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      for (std::size_t t = 0; t < lo; ++t) {
+        float acc = b_.value[oc];
+        const std::size_t base = t * stride_;
+        for (std::size_t ic = 0; ic < in_ch_; ++ic)
+          for (std::size_t k = 0; k < kernel_; ++k)
+            acc += w_.value.at(oc, ic, k) * x.at(b, ic, base + k);
+        y.at(b, oc, t) = acc;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv1D::Backward(const Tensor& grad_out) {
+  const std::size_t n = cached_x_.dim(0), l = cached_x_.dim(2);
+  const std::size_t lo = grad_out.dim(2);
+  Tensor dx({n, in_ch_, l});
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t oc = 0; oc < out_ch_; ++oc) {
+      for (std::size_t t = 0; t < lo; ++t) {
+        const float g = grad_out.at(b, oc, t);
+        if (g == 0.0f) continue;
+        b_.grad[oc] += g;
+        const std::size_t base = t * stride_;
+        for (std::size_t ic = 0; ic < in_ch_; ++ic) {
+          for (std::size_t k = 0; k < kernel_; ++k) {
+            w_.grad.at(oc, ic, k) += g * cached_x_.at(b, ic, base + k);
+            dx.at(b, ic, base + k) += g * w_.value.at(oc, ic, k);
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+// ----------------------------------------------------------------- pools
+
+MaxPool1D::MaxPool1D(std::size_t kernel, std::size_t stride)
+    : kernel_(kernel), stride_(stride) {
+  if (kernel == 0 || stride == 0) {
+    throw std::invalid_argument("MaxPool1D: kernel/stride must be positive");
+  }
+}
+
+Tensor MaxPool1D::Forward(const Tensor& x, bool /*training*/) {
+  if (x.rank() != 3 || x.dim(2) < kernel_) {
+    throw std::invalid_argument("MaxPool1D: bad input " + x.ShapeString());
+  }
+  in_shape_ = x.shape();
+  const std::size_t n = x.dim(0), c = x.dim(1), l = x.dim(2);
+  const std::size_t lo = (l - kernel_) / stride_ + 1;
+  Tensor y({n, c, lo});
+  argmax_.assign(n * c * lo, 0);
+  std::size_t out_i = 0;
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      for (std::size_t t = 0; t < lo; ++t, ++out_i) {
+        const std::size_t base = t * stride_;
+        float best = -std::numeric_limits<float>::infinity();
+        std::size_t best_k = base;
+        for (std::size_t k = 0; k < kernel_; ++k) {
+          const float v = x.at(b, ch, base + k);
+          if (v > best) {
+            best = v;
+            best_k = base + k;
+          }
+        }
+        y.at(b, ch, t) = best;
+        argmax_[out_i] = best_k;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool1D::Backward(const Tensor& grad_out) {
+  Tensor dx(in_shape_);
+  const std::size_t n = grad_out.dim(0), c = grad_out.dim(1),
+                    lo = grad_out.dim(2);
+  std::size_t out_i = 0;
+  for (std::size_t b = 0; b < n; ++b)
+    for (std::size_t ch = 0; ch < c; ++ch)
+      for (std::size_t t = 0; t < lo; ++t, ++out_i)
+        dx.at(b, ch, argmax_[out_i]) += grad_out.at(b, ch, t);
+  return dx;
+}
+
+AvgPool1D::AvgPool1D(std::size_t kernel, std::size_t stride)
+    : kernel_(kernel), stride_(stride) {
+  if (kernel == 0 || stride == 0) {
+    throw std::invalid_argument("AvgPool1D: kernel/stride must be positive");
+  }
+}
+
+Tensor AvgPool1D::Forward(const Tensor& x, bool /*training*/) {
+  if (x.rank() != 3 || x.dim(2) < kernel_) {
+    throw std::invalid_argument("AvgPool1D: bad input " + x.ShapeString());
+  }
+  in_shape_ = x.shape();
+  const std::size_t n = x.dim(0), c = x.dim(1), l = x.dim(2);
+  const std::size_t lo = (l - kernel_) / stride_ + 1;
+  Tensor y({n, c, lo});
+  for (std::size_t b = 0; b < n; ++b)
+    for (std::size_t ch = 0; ch < c; ++ch)
+      for (std::size_t t = 0; t < lo; ++t) {
+        float acc = 0.0f;
+        for (std::size_t k = 0; k < kernel_; ++k)
+          acc += x.at(b, ch, t * stride_ + k);
+        y.at(b, ch, t) = acc / static_cast<float>(kernel_);
+      }
+  return y;
+}
+
+Tensor AvgPool1D::Backward(const Tensor& grad_out) {
+  Tensor dx(in_shape_);
+  const std::size_t n = grad_out.dim(0), c = grad_out.dim(1),
+                    lo = grad_out.dim(2);
+  const float inv_k = 1.0f / static_cast<float>(kernel_);
+  for (std::size_t b = 0; b < n; ++b)
+    for (std::size_t ch = 0; ch < c; ++ch)
+      for (std::size_t t = 0; t < lo; ++t)
+        for (std::size_t k = 0; k < kernel_; ++k)
+          dx.at(b, ch, t * stride_ + k) += grad_out.at(b, ch, t) * inv_k;
+  return dx;
+}
+
+// --------------------------------------------------------------- Flatten
+
+Tensor Flatten::Forward(const Tensor& x, bool /*training*/) {
+  in_shape_ = x.shape();
+  return x.Reshaped({x.dim(0), x.size() / x.dim(0)});
+}
+
+Tensor Flatten::Backward(const Tensor& grad_out) {
+  return grad_out.Reshaped(in_shape_);
+}
+
+// ------------------------------------------------------------- Embedding
+
+Embedding::Embedding(std::size_t num_embeddings, std::size_t dim,
+                     std::mt19937_64& rng)
+    : num_(num_embeddings), dim_(dim), table_({num_embeddings, dim}) {
+  XavierInit(table_.value, num_embeddings, dim, rng);
+}
+
+Tensor Embedding::Forward(const Tensor& x, bool /*training*/) {
+  if (x.rank() != 2) {
+    throw std::invalid_argument("Embedding: expected [N,L], got " +
+                                x.ShapeString());
+  }
+  cached_idx_ = x;
+  const std::size_t n = x.dim(0), l = x.dim(1);
+  Tensor y({n, l, dim_});
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t t = 0; t < l; ++t) {
+      auto idx = static_cast<std::int64_t>(x.at(b, t));
+      idx = std::clamp<std::int64_t>(idx, 0,
+                                     static_cast<std::int64_t>(num_) - 1);
+      for (std::size_t d = 0; d < dim_; ++d)
+        y.at(b, t, d) = table_.value.at(static_cast<std::size_t>(idx), d);
+    }
+  }
+  return y;
+}
+
+Tensor Embedding::Backward(const Tensor& grad_out) {
+  const std::size_t n = cached_idx_.dim(0), l = cached_idx_.dim(1);
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t t = 0; t < l; ++t) {
+      auto idx = static_cast<std::int64_t>(cached_idx_.at(b, t));
+      idx = std::clamp<std::int64_t>(idx, 0,
+                                     static_cast<std::int64_t>(num_) - 1);
+      for (std::size_t d = 0; d < dim_; ++d)
+        table_.grad.at(static_cast<std::size_t>(idx), d) +=
+            grad_out.at(b, t, d);
+    }
+  }
+  // Indices are discrete; no gradient flows to them.
+  return Tensor(cached_idx_.shape());
+}
+
+// ------------------------------------------------------------- SimpleRNN
+
+SimpleRNN::SimpleRNN(std::size_t in_features, std::size_t hidden,
+                     std::mt19937_64& rng)
+    : in_(in_features),
+      hidden_(hidden),
+      wx_({in_features, hidden}),
+      wh_({hidden, hidden}),
+      b_({hidden}) {
+  XavierInit(wx_.value, in_features, hidden, rng);
+  XavierInit(wh_.value, hidden, hidden, rng);
+}
+
+Tensor SimpleRNN::Forward(const Tensor& x, bool /*training*/) {
+  if (x.rank() != 3 || x.dim(2) != in_) {
+    throw std::invalid_argument("SimpleRNN: expected [N,T," +
+                                std::to_string(in_) + "], got " +
+                                x.ShapeString());
+  }
+  cached_x_ = x;
+  const std::size_t n = x.dim(0), steps = x.dim(1);
+  cached_h_.assign(steps + 1, Tensor({n, hidden_}));
+  for (std::size_t t = 0; t < steps; ++t) {
+    Tensor& h_prev = cached_h_[t];
+    Tensor& h = cached_h_[t + 1];
+    for (std::size_t b = 0; b < n; ++b) {
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        float acc = b_.value[j];
+        for (std::size_t f = 0; f < in_; ++f)
+          acc += x.at(b, t, f) * wx_.value.at(f, j);
+        for (std::size_t k = 0; k < hidden_; ++k)
+          acc += h_prev.at(b, k) * wh_.value.at(k, j);
+        h.at(b, j) = std::tanh(acc);
+      }
+    }
+  }
+  return cached_h_.back();
+}
+
+Tensor SimpleRNN::Backward(const Tensor& grad_out) {
+  const std::size_t n = cached_x_.dim(0), steps = cached_x_.dim(1);
+  Tensor dx(cached_x_.shape());
+  Tensor dh = grad_out;  // gradient w.r.t. h_t flowing backwards
+  for (std::size_t t = steps; t-- > 0;) {
+    const Tensor& h = cached_h_[t + 1];
+    const Tensor& h_prev = cached_h_[t];
+    // through tanh
+    Tensor dpre({n, hidden_});
+    for (std::size_t b = 0; b < n; ++b)
+      for (std::size_t j = 0; j < hidden_; ++j)
+        dpre.at(b, j) = dh.at(b, j) * (1.0f - h.at(b, j) * h.at(b, j));
+    Tensor dh_prev({n, hidden_});
+    for (std::size_t b = 0; b < n; ++b) {
+      for (std::size_t j = 0; j < hidden_; ++j) {
+        const float g = dpre.at(b, j);
+        if (g == 0.0f) continue;
+        b_.grad[j] += g;
+        for (std::size_t f = 0; f < in_; ++f) {
+          wx_.grad.at(f, j) += g * cached_x_.at(b, t, f);
+          dx.at(b, t, f) += g * wx_.value.at(f, j);
+        }
+        for (std::size_t k = 0; k < hidden_; ++k) {
+          wh_.grad.at(k, j) += g * h_prev.at(b, k);
+          dh_prev.at(b, k) += g * wh_.value.at(k, j);
+        }
+      }
+    }
+    dh = std::move(dh_prev);
+  }
+  return dx;
+}
+
+// ------------------------------------------------------------ Sequential
+
+Tensor Sequential::Forward(const Tensor& x, bool training) {
+  Tensor cur = x;
+  for (auto& layer : layers_) cur = layer->Forward(cur, training);
+  return cur;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_out) {
+  Tensor cur = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    cur = (*it)->Backward(cur);
+  return cur;
+}
+
+std::vector<Param*> Sequential::Params() {
+  std::vector<Param*> out;
+  for (auto& layer : layers_)
+    for (Param* p : layer->Params()) out.push_back(p);
+  return out;
+}
+
+std::size_t Sequential::ParamCount() {
+  std::size_t n = 0;
+  for (auto& layer : layers_) n += layer->ParamCount();
+  return n;
+}
+
+double Sequential::ModelSizeKb(int bits_per_weight) {
+  return static_cast<double>(ParamCount()) * bits_per_weight / 1000.0;
+}
+
+}  // namespace pegasus::nn

@@ -1,0 +1,313 @@
+// Neural-network layers used by the paper's models (Table 4):
+// FC (Dense), Conv1D, BatchNorm, activations (ReLU/tanh/sigmoid),
+// pooling, Embedding and a windowed simple-RNN cell.
+//
+// Training is plain backprop: every layer caches what it needs in Forward
+// and produces input gradients in Backward. No autograd graph — the models
+// in this repo are small feed-forward stacks, and an explicit layer API
+// keeps the substrate auditable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace pegasus::nn {
+
+/// A trainable parameter: value plus the gradient accumulated by Backward.
+struct Param {
+  Tensor value;
+  Tensor grad;
+
+  explicit Param(std::vector<std::size_t> shape)
+      : value(shape), grad(std::move(shape)) {}
+  std::size_t size() const { return value.size(); }
+};
+
+/// Base class for all layers. Layers own their parameters.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Runs the layer. `training` switches BatchNorm statistics and similar
+  /// mode-dependent behaviour.
+  virtual Tensor Forward(const Tensor& x, bool training) = 0;
+
+  /// Propagates `grad_out` (dLoss/dOutput) backwards, accumulating parameter
+  /// gradients and returning dLoss/dInput. Must be called after Forward.
+  virtual Tensor Backward(const Tensor& grad_out) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Param*> Params() { return {}; }
+
+  virtual std::string Name() const = 0;
+
+  /// Number of scalar parameters; model size in the paper's tables is
+  /// ParamCount * 32 bits for full-precision models.
+  std::size_t ParamCount() {
+    std::size_t n = 0;
+    for (Param* p : Params()) n += p->size();
+    return n;
+  }
+};
+
+/// Fully connected layer: y = xW + b, x:[N,in] -> y:[N,out].
+class Dense : public Layer {
+ public:
+  Dense(std::size_t in, std::size_t out, std::mt19937_64& rng);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Param*> Params() override { return {&w_, &b_}; }
+  std::string Name() const override { return "Dense"; }
+
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
+  const Param& weight() const { return w_; }
+  const Param& bias() const { return b_; }
+  Param& weight() { return w_; }
+  Param& bias() { return b_; }
+
+ private:
+  std::size_t in_, out_;
+  Param w_, b_;
+  Tensor cached_x_;
+};
+
+/// Batch normalization over feature dimension of x:[N,F].
+/// Inference uses running statistics, matching the paper's deployment where
+/// BN folds into an element-wise linear transform (gamma*(x-mu)/sigma+beta).
+class BatchNorm1d : public Layer {
+ public:
+  explicit BatchNorm1d(std::size_t features, float momentum = 0.1f,
+                       float eps = 1e-5f);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Param*> Params() override { return {&gamma_, &beta_}; }
+  std::string Name() const override { return "BatchNorm1d"; }
+
+  /// Effective inference-time affine transform: y = scale*x + shift.
+  /// This is what the Pegasus compiler folds into mapping tables.
+  void InferenceAffine(std::vector<float>& scale,
+                       std::vector<float>& shift) const;
+
+ private:
+  std::size_t features_;
+  float momentum_, eps_;
+  Param gamma_, beta_;
+  Tensor running_mean_, running_var_;
+  // caches
+  Tensor cached_x_hat_, cached_inv_std_, cached_x_centered_;
+};
+
+/// Layer normalization over the feature dimension of x:[N,F] (Table 4's
+/// "Layer Normalization" — a Multi-Input Operation on the dataplane, since
+/// each output depends on the whole row).
+class LayerNorm : public Layer {
+ public:
+  explicit LayerNorm(std::size_t features, float eps = 1e-5f);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Param*> Params() override { return {&gamma_, &beta_}; }
+  std::string Name() const override { return "LayerNorm"; }
+
+ private:
+  std::size_t features_;
+  float eps_;
+  Param gamma_, beta_;
+  Tensor cached_x_hat_, cached_inv_std_;
+};
+
+/// Element-wise product of two equal halves of the input (Table 4's
+/// "Hadamard", the gating operation of recurrent cells): x:[N,2F] ->
+/// y:[N,F] with y = x[:, :F] * x[:, F:].
+class HadamardGate : public Layer {
+ public:
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return "HadamardGate"; }
+
+ private:
+  Tensor cached_x_;
+};
+
+class ReLU : public Layer {
+ public:
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_mask_;
+};
+
+class Tanh : public Layer {
+ public:
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return "Tanh"; }
+
+ private:
+  Tensor cached_y_;
+};
+
+class Sigmoid : public Layer {
+ public:
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return "Sigmoid"; }
+
+ private:
+  Tensor cached_y_;
+};
+
+/// 1-D convolution over x:[N,C,L] with weight [OC,C,K] and stride S,
+/// producing [N,OC,Lo], Lo = (L-K)/S + 1 (valid padding, as in textcnn).
+class Conv1D : public Layer {
+ public:
+  Conv1D(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t stride, std::mt19937_64& rng);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Param*> Params() override { return {&w_, &b_}; }
+  std::string Name() const override { return "Conv1D"; }
+
+  std::size_t kernel() const { return kernel_; }
+  std::size_t stride() const { return stride_; }
+  const Param& weight() const { return w_; }
+  const Param& bias() const { return b_; }
+
+ private:
+  std::size_t in_ch_, out_ch_, kernel_, stride_;
+  Param w_, b_;
+  Tensor cached_x_;
+};
+
+/// Max pooling over the length dimension of x:[N,C,L].
+class MaxPool1D : public Layer {
+ public:
+  MaxPool1D(std::size_t kernel, std::size_t stride);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return "MaxPool1D"; }
+
+ private:
+  std::size_t kernel_, stride_;
+  std::vector<std::size_t> argmax_;
+  std::vector<std::size_t> in_shape_;
+};
+
+/// Average pooling over the length dimension of x:[N,C,L].
+class AvgPool1D : public Layer {
+ public:
+  AvgPool1D(std::size_t kernel, std::size_t stride);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return "AvgPool1D"; }
+
+ private:
+  std::size_t kernel_, stride_;
+  std::vector<std::size_t> in_shape_;
+};
+
+/// Collapses [N, d1, d2, ...] to [N, d1*d2*...].
+class Flatten : public Layer {
+ public:
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::string Name() const override { return "Flatten"; }
+
+ private:
+  std::vector<std::size_t> in_shape_;
+};
+
+/// Embedding lookup: x:[N,L] of integer indices (stored as floats) ->
+/// [N, L, D]. Indices outside [0, num_embeddings) are clamped, mirroring
+/// the saturating behaviour of the dataplane lookup.
+class Embedding : public Layer {
+ public:
+  Embedding(std::size_t num_embeddings, std::size_t dim,
+            std::mt19937_64& rng);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Param*> Params() override { return {&table_}; }
+  std::string Name() const override { return "Embedding"; }
+
+  std::size_t num_embeddings() const { return num_; }
+  std::size_t dim() const { return dim_; }
+  const Param& table() const { return table_; }
+
+ private:
+  std::size_t num_, dim_;
+  Param table_;
+  Tensor cached_idx_;
+};
+
+/// Windowed simple RNN: h_t = tanh(x_t Wx + h_{t-1} Wh + b), unrolled over a
+/// fixed window of T steps (the paper's RNN-B processes multiple time steps
+/// on the switch without hidden-state write-back). Input [N, T, F], output
+/// final hidden state [N, H]. Backward is truncated BPTT over the window.
+class SimpleRNN : public Layer {
+ public:
+  SimpleRNN(std::size_t in_features, std::size_t hidden,
+            std::mt19937_64& rng);
+
+  Tensor Forward(const Tensor& x, bool training) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  std::vector<Param*> Params() override { return {&wx_, &wh_, &b_}; }
+  std::string Name() const override { return "SimpleRNN"; }
+
+  std::size_t hidden() const { return hidden_; }
+
+ private:
+  std::size_t in_, hidden_;
+  Param wx_, wh_, b_;
+  Tensor cached_x_;
+  std::vector<Tensor> cached_h_;  // h_0..h_T, each [N,H]
+};
+
+/// Sequential container; owns its layers.
+class Sequential {
+ public:
+  Sequential() = default;
+
+  template <typename L, typename... Args>
+  L* Emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L* raw = layer.get();
+    layers_.push_back(std::move(layer));
+    return raw;
+  }
+
+  void Append(std::unique_ptr<Layer> layer) {
+    layers_.push_back(std::move(layer));
+  }
+
+  Tensor Forward(const Tensor& x, bool training);
+  Tensor Backward(const Tensor& grad_out);
+
+  std::vector<Param*> Params();
+  std::size_t ParamCount();
+
+  /// Model size in kilobits at the given weight precision (32 for
+  /// full-precision Pegasus models, 1 for binarized baselines).
+  double ModelSizeKb(int bits_per_weight = 32);
+
+  std::size_t NumLayers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace pegasus::nn

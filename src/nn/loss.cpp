@@ -1,0 +1,111 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pegasus::nn {
+
+Tensor Softmax(const Tensor& logits) {
+  if (logits.rank() != 2) {
+    throw std::invalid_argument("Softmax: expected rank-2 logits");
+  }
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  Tensor out({n, c});
+  for (std::size_t i = 0; i < n; ++i) {
+    float mx = logits.at(i, 0);
+    for (std::size_t j = 1; j < c; ++j) mx = std::max(mx, logits.at(i, j));
+    float sum = 0.0f;
+    for (std::size_t j = 0; j < c; ++j) {
+      const float e = std::exp(logits.at(i, j) - mx);
+      out.at(i, j) = e;
+      sum += e;
+    }
+    for (std::size_t j = 0; j < c; ++j) out.at(i, j) /= sum;
+  }
+  return out;
+}
+
+LossResult SoftmaxCrossEntropy(const Tensor& logits,
+                               const std::vector<std::int32_t>& labels) {
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  if (labels.size() != n) {
+    throw std::invalid_argument("SoftmaxCrossEntropy: label count mismatch");
+  }
+  Tensor probs = Softmax(logits);
+  LossResult res;
+  res.grad = probs;
+  float loss = 0.0f;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto y = static_cast<std::size_t>(labels[i]);
+    if (y >= c) {
+      throw std::invalid_argument("SoftmaxCrossEntropy: label out of range");
+    }
+    loss -= std::log(std::max(probs.at(i, y), 1e-12f));
+    res.grad.at(i, y) -= 1.0f;
+  }
+  res.grad.Scale(inv_n);
+  res.loss = loss * inv_n;
+  return res;
+}
+
+LossResult MseLoss(const Tensor& pred, const Tensor& target) {
+  if (pred.size() != target.size()) {
+    throw std::invalid_argument("MseLoss: size mismatch");
+  }
+  LossResult res;
+  res.grad = Tensor(pred.shape());
+  const float inv = 1.0f / static_cast<float>(pred.size());
+  float loss = 0.0f;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const float d = pred[i] - target[i];
+    loss += d * d;
+    res.grad[i] = 2.0f * d * inv;
+  }
+  res.loss = loss * inv;
+  return res;
+}
+
+LossResult MaeLoss(const Tensor& pred, const Tensor& target) {
+  if (pred.size() != target.size()) {
+    throw std::invalid_argument("MaeLoss: size mismatch");
+  }
+  LossResult res;
+  res.grad = Tensor(pred.shape());
+  const float inv = 1.0f / static_cast<float>(pred.size());
+  float loss = 0.0f;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const float d = pred[i] - target[i];
+    loss += std::abs(d);
+    res.grad[i] = (d > 0.0f ? 1.0f : (d < 0.0f ? -1.0f : 0.0f)) * inv;
+  }
+  res.loss = loss * inv;
+  return res;
+}
+
+std::vector<float> PerSampleMae(const Tensor& pred, const Tensor& target) {
+  const std::size_t n = pred.dim(0), f = pred.dim(1);
+  std::vector<float> out(n, 0.0f);
+  for (std::size_t i = 0; i < n; ++i) {
+    float acc = 0.0f;
+    for (std::size_t j = 0; j < f; ++j)
+      acc += std::abs(pred.at(i, j) - target.at(i, j));
+    out[i] = acc / static_cast<float>(f);
+  }
+  return out;
+}
+
+std::vector<std::int32_t> ArgmaxRows(const Tensor& logits) {
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  std::vector<std::int32_t> out(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < c; ++j)
+      if (logits.at(i, j) > logits.at(i, best)) best = j;
+    out[i] = static_cast<std::int32_t>(best);
+  }
+  return out;
+}
+
+}  // namespace pegasus::nn

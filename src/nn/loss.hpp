@@ -1,0 +1,41 @@
+// Loss functions: softmax cross-entropy for the classification models
+// (MLP-B, RNN-B, CNN-*) and MSE/MAE for the AutoEncoder (paper §6.3 uses
+// mean absolute error as the reconstruction / anomaly score).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace pegasus::nn {
+
+/// Result of a loss evaluation: scalar loss plus dLoss/dLogits ready to feed
+/// into Sequential::Backward.
+struct LossResult {
+  float loss = 0.0f;
+  Tensor grad;
+};
+
+/// Numerically-stable softmax over the last dim of logits:[N,C].
+Tensor Softmax(const Tensor& logits);
+
+/// Mean softmax cross-entropy against integer labels. Gradient is
+/// (softmax - onehot)/N.
+LossResult SoftmaxCrossEntropy(const Tensor& logits,
+                               const std::vector<std::int32_t>& labels);
+
+/// Mean squared error against a target of identical shape.
+LossResult MseLoss(const Tensor& pred, const Tensor& target);
+
+/// Mean absolute error; the gradient uses sign(pred-target)/size.
+LossResult MaeLoss(const Tensor& pred, const Tensor& target);
+
+/// Per-sample mean absolute error over rows of pred/target:[N,F]; this is
+/// the AutoEncoder's anomaly score on the dataplane.
+std::vector<float> PerSampleMae(const Tensor& pred, const Tensor& target);
+
+/// Argmax class per row of logits:[N,C].
+std::vector<std::int32_t> ArgmaxRows(const Tensor& logits);
+
+}  // namespace pegasus::nn

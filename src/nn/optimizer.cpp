@@ -1,0 +1,58 @@
+#include "nn/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pegasus::nn {
+
+Sgd::Sgd(std::vector<Param*> params, float lr, float momentum, float clip)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum), clip_(clip) {
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void Sgd::Step() {
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    Param* p = params_[pi];
+    Tensor& vel = velocity_[pi];
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      float g = std::clamp(p->grad[i], -clip_, clip_);
+      vel[i] = momentum_ * vel[i] - lr_ * g;
+      p->value[i] += vel[i];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Param*> params, float lr, float beta1, float beta2,
+           float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t pi = 0; pi < params_.size(); ++pi) {
+    Param* p = params_[pi];
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      const float g = p->grad[i];
+      m_[pi][i] = beta1_ * m_[pi][i] + (1 - beta1_) * g;
+      v_[pi][i] = beta2_ * v_[pi][i] + (1 - beta2_) * g * g;
+      const float mhat = m_[pi][i] / bc1;
+      const float vhat = v_[pi][i] / bc2;
+      p->value[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace pegasus::nn

@@ -1,0 +1,59 @@
+// Optimizers for the training substrate: SGD with momentum and Adam.
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace pegasus::nn {
+
+/// Base optimizer: binds to a parameter set once, then Step() applies the
+/// accumulated gradients and ZeroGrad() clears them.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void Step() = 0;
+
+  void ZeroGrad() {
+    for (Param* p : params_) p->grad.Fill(0.0f);
+  }
+
+ protected:
+  std::vector<Param*> params_;
+};
+
+/// SGD with classical momentum and optional gradient clipping (by global
+/// element magnitude; keeps RNN training stable).
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Param*> params, float lr, float momentum = 0.9f,
+      float clip = 5.0f);
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, momentum_, clip_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  std::size_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace pegasus::nn

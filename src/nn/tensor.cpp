@@ -1,0 +1,140 @@
+#include "nn/tensor.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace pegasus::nn {
+
+namespace {
+std::size_t Product(const std::vector<std::size_t>& shape) {
+  return std::accumulate(shape.begin(), shape.end(), std::size_t{1},
+                         std::multiplies<>());
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(Product(shape_), 0.0f) {
+  stride0_ = shape_.empty() ? 0 : data_.size() / shape_[0];
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (Product(shape_) != data_.size()) {
+    throw std::invalid_argument("Tensor: data size " +
+                                std::to_string(data_.size()) +
+                                " does not match shape product " +
+                                std::to_string(Product(shape_)));
+  }
+  stride0_ = shape_.empty() ? 0 : data_.size() / shape_[0];
+}
+
+Tensor Tensor::FromVector(std::vector<float> v) {
+  const std::size_t n = v.size();
+  return Tensor({n}, std::move(v));
+}
+
+Tensor Tensor::Reshaped(std::vector<std::size_t> shape) const {
+  if (Product(shape) != data_.size()) {
+    throw std::invalid_argument("Reshaped: size mismatch");
+  }
+  return Tensor(std::move(shape), data_);
+}
+
+void Tensor::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::Add(const Tensor& other) {
+  if (other.size() != size()) {
+    throw std::invalid_argument("Tensor::Add: size mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::Scale(float s) {
+  for (float& v : data_) v *= s;
+}
+
+bool Tensor::HasNonFinite() const noexcept {
+  for (float v : data_) {
+    if (!std::isfinite(v)) return true;
+  }
+  return false;
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ',';
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0)) {
+    throw std::invalid_argument("MatMul: incompatible shapes " +
+                                a.ShapeString() + " x " + b.ShapeString());
+  }
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float aval = a.at(i, p);
+      if (aval == 0.0f) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        c.at(i, j) += aval * b.at(p, j);
+      }
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(1)) {
+    throw std::invalid_argument("MatMulTransposedB: incompatible shapes");
+  }
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += a.at(i, p) * b.at(j, p);
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(0) != b.dim(0)) {
+    throw std::invalid_argument("MatMulTransposedA: incompatible shapes");
+  }
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aval = a.at(p, i);
+      if (aval == 0.0f) continue;
+      for (std::size_t j = 0; j < n; ++j) c.at(i, j) += aval * b.at(p, j);
+    }
+  }
+  return c;
+}
+
+void XavierInit(Tensor& w, std::size_t fan_in, std::size_t fan_out,
+                std::mt19937_64& rng) {
+  const float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  std::uniform_real_distribution<float> dist(-limit, limit);
+  for (float& v : w.data()) v = dist(rng);
+}
+
+void HeInit(Tensor& w, std::size_t fan_in, std::mt19937_64& rng) {
+  std::normal_distribution<float> dist(
+      0.0f, std::sqrt(2.0f / static_cast<float>(fan_in)));
+  for (float& v : w.data()) v = dist(rng);
+}
+
+}  // namespace pegasus::nn

@@ -1,0 +1,98 @@
+// Minimal dense tensor for training the paper's models.
+//
+// Pegasus trains models at full precision off the switch (paper §4.4,
+// "Pegasus first trains an initial model on the training dataset") and only
+// the precomputed mapping tables reach the dataplane. This tensor library is
+// the training substrate: row-major float storage, up to 3 logical
+// dimensions (batch, channel, length), and the handful of BLAS-level
+// operations the layers in layers.hpp need.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pegasus::nn {
+
+/// Dense row-major float tensor. Rank 1..3.
+///
+/// Invariant: data_.size() == product of shape_. An empty shape denotes an
+/// empty tensor (size 0), which is a valid moved-from/default state.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<std::size_t> shape);
+
+  /// Tensor with explicit contents; `data.size()` must equal the shape
+  /// product (throws std::invalid_argument otherwise).
+  Tensor(std::vector<std::size_t> shape, std::vector<float> data);
+
+  /// Convenience rank-1 constructor.
+  static Tensor FromVector(std::vector<float> v);
+
+  const std::vector<std::size_t>& shape() const noexcept { return shape_; }
+  std::size_t rank() const noexcept { return shape_.size(); }
+  std::size_t size() const noexcept { return data_.size(); }
+  std::size_t dim(std::size_t i) const { return shape_.at(i); }
+
+  std::span<float> data() noexcept { return data_; }
+  std::span<const float> data() const noexcept { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  float& at(std::size_t i, std::size_t j) { return data_[i * stride0_ + j]; }
+  float at(std::size_t i, std::size_t j) const {
+    return data_[i * stride0_ + j];
+  }
+  float& at(std::size_t i, std::size_t j, std::size_t k) {
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
+  }
+  float at(std::size_t i, std::size_t j, std::size_t k) const {
+    return data_[(i * shape_[1] + j) * shape_[2] + k];
+  }
+
+  /// Reinterpret with a new shape of identical total size (no copy).
+  Tensor Reshaped(std::vector<std::size_t> shape) const;
+
+  void Fill(float v);
+
+  /// In-place element-wise accumulate: *this += other (same size required).
+  void Add(const Tensor& other);
+
+  /// In-place scale: *this *= s.
+  void Scale(float s);
+
+  /// Returns true if any element is NaN or infinite.
+  bool HasNonFinite() const noexcept;
+
+  std::string ShapeString() const;
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+  std::size_t stride0_ = 0;  // product of shape_[1..], cached for at(i,j)
+};
+
+/// C = A(MxK) * B(KxN). Shapes validated; throws std::invalid_argument.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// C = A(MxK) * B^T where B is (NxK).
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b);
+
+/// C = A^T(KxM) * B(KxN) -> (MxN).
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b);
+
+/// Xavier/Glorot uniform initialization for a weight of shape [fan_in, fan_out].
+void XavierInit(Tensor& w, std::size_t fan_in, std::size_t fan_out,
+                std::mt19937_64& rng);
+
+/// He (Kaiming) normal initialization, appropriate before ReLU.
+void HeInit(Tensor& w, std::size_t fan_in, std::mt19937_64& rng);
+
+}  // namespace pegasus::nn

@@ -1,0 +1,114 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace pegasus::nn {
+
+Tensor GatherRows(const Tensor& x, const std::vector<std::size_t>& idx) {
+  std::vector<std::size_t> shape = x.shape();
+  shape[0] = idx.size();
+  Tensor out(shape);
+  const std::size_t row = x.size() / x.dim(0);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    std::copy_n(x.data().data() + idx[i] * row, row,
+                out.data().data() + i * row);
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared epoch loop; `step` computes loss+grad for one batch and returns
+/// the batch loss after running backward.
+float RunEpochs(Sequential& model, std::size_t n, const TrainConfig& cfg,
+                const std::function<float(const std::vector<std::size_t>&)>&
+                    step_batch) {
+  if (n == 0) throw std::invalid_argument("Train: empty dataset");
+  std::mt19937_64 rng(cfg.seed);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  Adam opt(model.Params(), cfg.lr);
+  float last_epoch_loss = 0.0f;
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    float epoch_loss = 0.0f;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < n; start += cfg.batch_size) {
+      const std::size_t end = std::min(n, start + cfg.batch_size);
+      std::vector<std::size_t> idx(order.begin() + start, order.begin() + end);
+      opt.ZeroGrad();
+      const float loss = step_batch(idx);
+      if (!std::isfinite(loss)) {
+        throw std::runtime_error("Training diverged: non-finite loss");
+      }
+      opt.Step();
+      epoch_loss += loss;
+      ++batches;
+    }
+    last_epoch_loss = epoch_loss / static_cast<float>(batches);
+    opt.set_lr(opt.lr() * cfg.lr_decay);
+    if (cfg.on_epoch) cfg.on_epoch(epoch, last_epoch_loss);
+  }
+  return last_epoch_loss;
+}
+
+}  // namespace
+
+float TrainClassifier(Sequential& model, const Tensor& x,
+                      const std::vector<std::int32_t>& labels,
+                      const TrainConfig& cfg) {
+  if (x.dim(0) != labels.size()) {
+    throw std::invalid_argument("TrainClassifier: label count mismatch");
+  }
+  return RunEpochs(model, x.dim(0), cfg,
+                   [&](const std::vector<std::size_t>& idx) {
+                     Tensor bx = GatherRows(x, idx);
+                     std::vector<std::int32_t> by(idx.size());
+                     for (std::size_t i = 0; i < idx.size(); ++i)
+                       by[i] = labels[idx[i]];
+                     Tensor logits = model.Forward(bx, /*training=*/true);
+                     LossResult res = SoftmaxCrossEntropy(logits, by);
+                     model.Backward(res.grad);
+                     return res.loss;
+                   });
+}
+
+float TrainAutoencoder(Sequential& model, const Tensor& x,
+                       const Tensor& target, const TrainConfig& cfg) {
+  if (x.dim(0) != target.dim(0)) {
+    throw std::invalid_argument("TrainAutoencoder: row count mismatch");
+  }
+  return RunEpochs(model, x.dim(0), cfg,
+                   [&](const std::vector<std::size_t>& idx) {
+                     Tensor bx = GatherRows(x, idx);
+                     Tensor bt = GatherRows(target, idx);
+                     Tensor pred = model.Forward(bx, /*training=*/true);
+                     LossResult res = MseLoss(pred, bt);
+                     model.Backward(res.grad);
+                     return res.loss;
+                   });
+}
+
+Tensor Predict(Sequential& model, const Tensor& x, std::size_t batch_size) {
+  const std::size_t n = x.dim(0);
+  Tensor out;
+  std::size_t out_cols = 0;
+  for (std::size_t start = 0; start < n; start += batch_size) {
+    const std::size_t end = std::min(n, start + batch_size);
+    std::vector<std::size_t> idx(end - start);
+    std::iota(idx.begin(), idx.end(), start);
+    Tensor batch_out = model.Forward(GatherRows(x, idx), /*training=*/false);
+    if (start == 0) {
+      out_cols = batch_out.size() / batch_out.dim(0);
+      out = Tensor({n, out_cols});
+    }
+    std::copy_n(batch_out.data().data(), batch_out.size(),
+                out.data().data() + start * out_cols);
+  }
+  return out;
+}
+
+}  // namespace pegasus::nn

@@ -1,0 +1,46 @@
+// Mini-batch training loops shared by all models: a classifier trainer
+// (softmax cross-entropy) and an autoencoder trainer (MSE reconstruction).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace pegasus::nn {
+
+struct TrainConfig {
+  std::size_t epochs = 30;
+  std::size_t batch_size = 64;
+  float lr = 1e-3f;
+  /// Multiplied into lr after each epoch (1.0 = constant).
+  float lr_decay = 1.0f;
+  std::uint64_t seed = 1;
+  /// Optional per-epoch callback (epoch, mean train loss).
+  std::function<void(std::size_t, float)> on_epoch;
+};
+
+/// Gathers rows `idx` from x:[N,...] into a batch tensor preserving trailing
+/// dims.
+Tensor GatherRows(const Tensor& x, const std::vector<std::size_t>& idx);
+
+/// Trains `model` as a classifier on (x, labels). Returns final-epoch mean
+/// training loss. Throws if the loss diverges to a non-finite value.
+float TrainClassifier(Sequential& model, const Tensor& x,
+                      const std::vector<std::int32_t>& labels,
+                      const TrainConfig& cfg);
+
+/// Trains `model` to reconstruct `target` from `x` (same row count). When
+/// `target` is `x` itself this is a plain autoencoder.
+float TrainAutoencoder(Sequential& model, const Tensor& x,
+                       const Tensor& target, const TrainConfig& cfg);
+
+/// Batched inference helper (no gradient state kept beyond the last batch).
+Tensor Predict(Sequential& model, const Tensor& x,
+               std::size_t batch_size = 256);
+
+}  // namespace pegasus::nn

@@ -1,0 +1,51 @@
+#include "runtime/flow_state.hpp"
+
+#include <stdexcept>
+
+namespace pegasus::runtime {
+
+FlowStateTable::FlowStateTable(FlowStateSpec spec, std::size_t num_flows)
+    : spec_(std::move(spec)) {
+  if (num_flows == 0) {
+    throw std::invalid_argument("FlowStateTable: zero flows");
+  }
+  for (const FlowStateField& f : spec_.fields()) {
+    std::vector<dataplane::RegisterArray> instances;
+    instances.reserve(f.count);
+    for (std::size_t i = 0; i < f.count; ++i) {
+      instances.emplace_back(f.name + "[" + std::to_string(i) + "]",
+                             f.bits, num_flows);
+    }
+    arrays_.push_back(std::move(instances));
+  }
+}
+
+std::int64_t FlowStateTable::Read(const dataplane::FlowKey& key,
+                                  std::size_t field,
+                                  std::size_t instance) const {
+  return arrays_.at(field).at(instance).Read(key);
+}
+
+void FlowStateTable::Write(const dataplane::FlowKey& key, std::size_t field,
+                           std::size_t instance, std::int64_t value) {
+  arrays_.at(field).at(instance).Write(key, value);
+}
+
+void FlowStateTable::PushWindow(const dataplane::FlowKey& key,
+                                std::size_t field, std::int64_t value) {
+  auto& instances = arrays_.at(field);
+  for (std::size_t i = instances.size(); i-- > 1;) {
+    instances[i].Write(key, instances[i - 1].Read(key));
+  }
+  instances[0].Write(key, value);
+}
+
+std::size_t FlowStateTable::SramBits() const {
+  std::size_t bits = 0;
+  for (const auto& instances : arrays_) {
+    for (const auto& arr : instances) bits += arr.SramBits();
+  }
+  return bits;
+}
+
+}  // namespace pegasus::runtime

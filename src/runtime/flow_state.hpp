@@ -1,0 +1,83 @@
+// Per-flow state management (paper §7.3, "Number of Concurrent Flows
+// Supported").
+//
+// Sequence models need the features of the previous W-1 packets of a flow
+// when a new packet arrives. Pegasus stores *fuzzy indexes* (4 or 8 bits)
+// instead of raw features, which is what lets CNN-L run with 28-72 bits of
+// state per flow. A FlowStateSpec declares the layout; FlowStateTable
+// simulates the hash-addressed register arrays and accounts their SRAM.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataplane/registers.hpp"
+#include "dataplane/resources.hpp"
+
+namespace pegasus::runtime {
+
+/// One per-flow field: `count` instances of `bits` bits each (e.g. 7 stored
+/// fuzzy indexes of 4 bits).
+struct FlowStateField {
+  std::string name;
+  int bits = 8;
+  std::size_t count = 1;
+};
+
+class FlowStateSpec {
+ public:
+  FlowStateSpec& Add(std::string name, int bits, std::size_t count = 1) {
+    fields_.push_back(FlowStateField{std::move(name), bits, count});
+    return *this;
+  }
+
+  const std::vector<FlowStateField>& fields() const { return fields_; }
+
+  /// Logical bits per flow — the "Stateful bits/flow" column of Table 6.
+  std::size_t BitsPerFlow() const {
+    std::size_t bits = 0;
+    for (const auto& f : fields_) {
+      bits += static_cast<std::size_t>(f.bits) * f.count;
+    }
+    return bits;
+  }
+
+  /// SRAM bits needed to support `flows` concurrent flows (Figure 7's
+  /// X-axis), including hardware slot rounding and hash-table overhead.
+  std::size_t SramBitsFor(std::size_t flows) const {
+    return dataplane::PerFlowSramBits(BitsPerFlow(), flows);
+  }
+
+ private:
+  std::vector<FlowStateField> fields_;
+};
+
+/// Simulated per-flow storage backed by register arrays. Field instances
+/// are addressed as (field index, instance index).
+class FlowStateTable {
+ public:
+  FlowStateTable(FlowStateSpec spec, std::size_t num_flows);
+
+  const FlowStateSpec& spec() const { return spec_; }
+
+  std::int64_t Read(const dataplane::FlowKey& key, std::size_t field,
+                    std::size_t instance = 0) const;
+  void Write(const dataplane::FlowKey& key, std::size_t field,
+             std::size_t instance, std::int64_t value);
+
+  /// Shifts instance i -> i+1 within a field (dropping the oldest) and
+  /// writes `value` at instance 0 — the per-packet window update.
+  void PushWindow(const dataplane::FlowKey& key, std::size_t field,
+                  std::int64_t value);
+
+  std::size_t SramBits() const;
+
+ private:
+  FlowStateSpec spec_;
+  // arrays_[field][instance]
+  std::vector<std::vector<dataplane::RegisterArray>> arrays_;
+};
+
+}  // namespace pegasus::runtime

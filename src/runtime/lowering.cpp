@@ -1,0 +1,336 @@
+#include "runtime/lowering.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace pegasus::runtime {
+
+namespace {
+
+using core::DimQuant;
+using core::Op;
+using core::OpKind;
+using core::ValueId;
+using dataplane::ActionOp;
+using dataplane::FieldId;
+using dataplane::MatchActionTable;
+using dataplane::MatchKind;
+using dataplane::TableEntry;
+using dataplane::TernaryRule;
+
+/// Cross-product expansion of per-dimension CRC rule lists into table
+/// entries.
+void ExpandBox(const std::vector<std::vector<TernaryRule>>& per_dim,
+               std::vector<std::int64_t> action_data,
+               MatchActionTable& table) {
+  std::vector<std::size_t> idx(per_dim.size(), 0);
+  while (true) {
+    TableEntry entry;
+    entry.ternary.reserve(per_dim.size());
+    for (std::size_t d = 0; d < per_dim.size(); ++d) {
+      entry.ternary.push_back(per_dim[d][idx[d]]);
+    }
+    entry.action_data = action_data;
+    table.AddEntry(std::move(entry));
+    // advance the odometer
+    std::size_t d = 0;
+    while (d < per_dim.size()) {
+      if (++idx[d] < per_dim[d].size()) break;
+      idx[d] = 0;
+      ++d;
+    }
+    if (d == per_dim.size()) break;
+  }
+}
+
+}  // namespace
+
+LoweredModel Lower(const core::CompiledModel& model,
+                   const LoweringOptions& options) {
+  const core::Program& p = model.program();
+  const auto& quant = model.quant();
+  const auto& ops = p.ops();
+
+  LoweredModel lowered;
+  lowered.layout_ = std::make_unique<dataplane::PhvLayout>();
+  lowered.input_bits_ = model.options().input_bits;
+
+  // Consumer analysis: which Map outputs feed a SumReduce, and which
+  // SumReduce consumes them.
+  std::vector<int> sum_consumer(p.NumValues(), -1);
+  for (std::size_t oi = 0; oi < ops.size(); ++oi) {
+    if (ops[oi].kind != OpKind::kSumReduce) continue;
+    for (ValueId v : ops[oi].sum_reduce.inputs) {
+      sum_consumer[v] = static_cast<int>(oi);
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Field assignment. fields[v] = one FieldId per dim; SumReduce
+  // contributors get no fields (their data is accumulated directly).
+  // ------------------------------------------------------------------
+  std::vector<std::vector<FieldId>> fields(p.NumValues());
+  {
+    const std::size_t in_dim = p.value(p.input()).dim;
+    for (std::size_t d = 0; d < in_dim; ++d) {
+      fields[p.input()].push_back(lowered.layout_->AddField(
+          "in_" + std::to_string(d), model.options().input_bits));
+    }
+  }
+  for (std::size_t oi = 0; oi < ops.size(); ++oi) {
+    const Op& op = ops[oi];
+    switch (op.kind) {
+      case OpKind::kPartition: {
+        const auto& pf = fields[op.partition.input];
+        for (const core::PartitionSegment& s : op.partition.segments) {
+          fields[s.output].assign(
+              pf.begin() + static_cast<std::ptrdiff_t>(s.offset),
+              pf.begin() + static_cast<std::ptrdiff_t>(s.offset + s.length));
+        }
+        break;
+      }
+      case OpKind::kConcat: {
+        auto& dst = fields[op.concat.output];
+        for (ValueId v : op.concat.inputs) {
+          dst.insert(dst.end(), fields[v].begin(), fields[v].end());
+        }
+        break;
+      }
+      case OpKind::kMap: {
+        const ValueId t = op.map.output;
+        if (sum_consumer[t] >= 0) break;  // never materialized
+        const std::size_t od = p.value(t).dim;
+        for (std::size_t d = 0; d < od; ++d) {
+          fields[t].push_back(lowered.layout_->AddField(
+              "v" + std::to_string(t) + "_" + std::to_string(d),
+              quant[t][d].domain_bits));
+        }
+        break;
+      }
+      case OpKind::kSumReduce: {
+        const ValueId y = op.sum_reduce.output;
+        const std::size_t od = p.value(y).dim;
+        for (std::size_t d = 0; d < od; ++d) {
+          const FieldId f = lowered.layout_->AddField(
+              "v" + std::to_string(y) + "_" + std::to_string(d),
+              quant[y][d].domain_bits);
+          fields[y].push_back(f);
+          lowered.parser_inits_.emplace_back(f, quant[y][d].bias);
+        }
+        break;
+      }
+    }
+  }
+  if (lowered.layout_->TotalBits() > options.switch_model.phv_bits) {
+    throw dataplane::PlacementError(
+        "PHV overflow: program needs " +
+        std::to_string(lowered.layout_->TotalBits()) + " bits, switch has " +
+        std::to_string(options.switch_model.phv_bits));
+  }
+
+  // ------------------------------------------------------------------
+  // Table construction + placement.
+  // ------------------------------------------------------------------
+  lowered.pipeline_ =
+      std::make_unique<dataplane::Pipeline>(options.switch_model);
+  // Stage after which each value is complete. -1 = available at parse.
+  std::vector<int> ready_stage(p.NumValues(), -1);
+  // Monotonic placement floor per SumReduce group (keeps saturating-add
+  // order identical to the CompiledModel's op order).
+  std::unordered_map<int, int> group_floor;
+
+  for (std::size_t oi = 0; oi < ops.size(); ++oi) {
+    const Op& op = ops[oi];
+    switch (op.kind) {
+      case OpKind::kPartition: {
+        for (const core::PartitionSegment& s : op.partition.segments) {
+          ready_stage[s.output] = ready_stage[op.partition.input];
+        }
+        break;
+      }
+      case OpKind::kConcat: {
+        int stage = -1;
+        for (ValueId v : op.concat.inputs) {
+          stage = std::max(stage, ready_stage[v]);
+        }
+        ready_stage[op.concat.output] = stage;
+        break;
+      }
+      case OpKind::kMap: {
+        const ValueId in_v = op.map.input;
+        const ValueId t = op.map.output;
+        const core::FuzzyMapTable& fuzzy = *model.tables()[oi];
+        const std::size_t id = p.value(in_v).dim;
+        const std::size_t od = p.value(t).dim;
+        const bool to_sum = sum_consumer[t] >= 0;
+
+        // Action program.
+        std::vector<ActionOp> program;
+        const std::vector<FieldId>& targets =
+            to_sum ? fields[ops[static_cast<std::size_t>(sum_consumer[t])]
+                                .sum_reduce.output]
+                   : fields[t];
+        const auto& tq = quant[t];
+        const auto& yq =
+            to_sum
+                ? quant[ops[static_cast<std::size_t>(sum_consumer[t])]
+                            .sum_reduce.output]
+                : quant[t];
+        for (std::size_t d = 0; d < od; ++d) {
+          ActionOp a;
+          a.kind = to_sum ? ActionOp::Kind::kAddFromData
+                          : ActionOp::Kind::kSetFromData;
+          a.target = targets[d];
+          a.data_index = d;
+          a.sat_max = to_sum ? yq[d].DomainMax() : -1;
+          program.push_back(a);
+        }
+
+        std::vector<FieldId> key_fields = fields[in_v];
+        std::vector<int> key_widths;
+        for (std::size_t d = 0; d < id; ++d) {
+          key_widths.push_back(quant[in_v][d].domain_bits);
+        }
+
+        // Pre-compute per-leaf CRC expansions and clipped boxes; decide
+        // ternary vs native range match by expansion size.
+        struct LeafLowering {
+          std::vector<std::vector<TernaryRule>> per_dim;
+          std::vector<std::uint64_t> lo, hi;
+          std::vector<std::int64_t> data;
+        };
+        std::vector<LeafLowering> leaves;
+        std::size_t total_ternary_entries = 0;
+        for (std::size_t leaf = 0; leaf < fuzzy.tree.NumLeaves(); ++leaf) {
+          const core::LeafBox& box = fuzzy.tree.Box(leaf);
+          LeafLowering ll;
+          ll.per_dim.resize(id);
+          ll.lo.resize(id);
+          ll.hi.resize(id);
+          bool reachable = true;
+          std::size_t expansion = 1;
+          for (std::size_t d = 0; d < id; ++d) {
+            const auto dmax = static_cast<std::uint64_t>(
+                quant[in_v][d].DomainMax());
+            const std::uint64_t lo = box.lo[d];
+            const std::uint64_t hi = std::min<std::uint64_t>(box.hi[d], dmax);
+            if (lo > hi) {
+              reachable = false;
+              break;
+            }
+            ll.lo[d] = lo;
+            ll.hi[d] = hi;
+            ll.per_dim[d] = dataplane::RangeToTernary(
+                lo, hi, quant[in_v][d].domain_bits);
+            expansion *= ll.per_dim[d].size();
+          }
+          if (!reachable) continue;
+          ll.data.resize(od);
+          for (std::size_t d = 0; d < od; ++d) {
+            std::int64_t word = fuzzy.leaf_raw[leaf][d];
+            if (!to_sum) {
+              // Materialized outputs are stored pre-biased (u domain).
+              word = std::clamp<std::int64_t>(word + tq[d].bias, 0,
+                                              tq[d].DomainMax());
+            }
+            ll.data[d] = word;
+          }
+          total_ternary_entries += expansion;
+          leaves.push_back(std::move(ll));
+        }
+
+        const bool use_range =
+            total_ternary_entries > options.max_ternary_entries_per_table;
+        auto table = std::make_unique<MatchActionTable>(
+            "map_" + std::to_string(oi),
+            use_range ? MatchKind::kRange : MatchKind::kTernary,
+            std::move(key_fields), std::move(key_widths), std::move(program),
+            model.options().value_bits);
+        for (LeafLowering& ll : leaves) {
+          if (use_range) {
+            TableEntry entry;
+            entry.range_lo = std::move(ll.lo);
+            entry.range_hi = std::move(ll.hi);
+            entry.action_data = std::move(ll.data);
+            table->AddEntry(std::move(entry));
+          } else {
+            ExpandBox(ll.per_dim, std::move(ll.data), *table);
+          }
+        }
+
+        int min_stage = ready_stage[in_v] + 1;
+        if (to_sum) {
+          auto it = group_floor.find(sum_consumer[t]);
+          if (it != group_floor.end()) {
+            min_stage = std::max(min_stage, it->second);
+          }
+        }
+        const std::size_t placed = lowered.pipeline_->PlaceTable(
+            std::move(table), static_cast<std::size_t>(std::max(0, min_stage)));
+        if (to_sum) {
+          group_floor[sum_consumer[t]] = static_cast<int>(placed);
+          // Accumulator completes no earlier than its last contributor.
+          ValueId y = ops[static_cast<std::size_t>(sum_consumer[t])]
+                          .sum_reduce.output;
+          ready_stage[y] = std::max(ready_stage[y], static_cast<int>(placed));
+        } else {
+          ready_stage[t] = static_cast<int>(placed);
+        }
+        break;
+      }
+      case OpKind::kSumReduce:
+        // Realized entirely by contributor actions; ready_stage updated
+        // as contributors were placed.
+        break;
+    }
+  }
+
+  lowered.input_fields_ = fields[p.input()];
+  lowered.output_fields_ = fields[p.output()];
+  lowered.output_quant_ = quant[p.output()];
+  if (options.stateful_bits_per_flow > 0) {
+    lowered.pipeline_->DeclareFlowState(options.stateful_bits_per_flow);
+  }
+  return lowered;
+}
+
+std::vector<std::int64_t> LoweredModel::InferRaw(
+    std::span<const float> features) const {
+  if (features.size() != input_fields_.size()) {
+    throw std::invalid_argument("LoweredModel::Infer: feature dim mismatch");
+  }
+  dataplane::Phv phv(*layout_);
+  const std::int64_t dmax = (std::int64_t{1} << input_bits_) - 1;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    const std::int64_t u = std::clamp<std::int64_t>(
+        std::llround(features[i]), 0, dmax);
+    phv.Set(input_fields_[i], u);
+  }
+  for (const auto& [field, value] : parser_inits_) {
+    phv.Set(field, value);
+  }
+  pipeline_->Process(phv);
+  std::vector<std::int64_t> raw(output_fields_.size());
+  for (std::size_t i = 0; i < output_fields_.size(); ++i) {
+    raw[i] = phv.Get(output_fields_[i]) - output_quant_[i].bias;
+  }
+  return raw;
+}
+
+std::vector<float> LoweredModel::Infer(std::span<const float> features) const {
+  const std::vector<std::int64_t> raw = InferRaw(features);
+  std::vector<float> out(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    out[i] = static_cast<float>(
+        fixedpoint::Dequantize(raw[i], output_quant_[i].fmt));
+  }
+  return out;
+}
+
+dataplane::ResourceReport LoweredModel::Report() const {
+  return pipeline_->Report();
+}
+
+}  // namespace pegasus::runtime

@@ -1,0 +1,79 @@
+// Lowering a CompiledModel onto the PISA pipeline simulator — the role the
+// paper's Pegasus-Syntax-to-P4 translator plays on the real switch (§6.2).
+//
+// Correspondence (Figure 4):
+//   Partition  -> key-field selection (free: PHV aliasing)
+//   Map        -> one TCAM table per Map op; entries are the clustering-
+//                 tree leaf hyperrectangles expanded to ternary rules via
+//                 Consecutive Range Coding; action data = the leaf's
+//                 precomputed output words
+//   SumReduce  -> AddFromData action ops executed by the contributing Map
+//                 tables against a shared accumulator field (initialized to
+//                 the accumulator's bias at parse time)
+//   Concat     -> PHV aliasing (free)
+//
+// The lowering preserves the CompiledModel's evaluation semantics exactly:
+// same clamping, same saturating-add order. LoweredModel::InferRaw and
+// CompiledModel::EvaluateRaw are bit-identical (asserted by integration
+// tests).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/tablegen.hpp"
+#include "dataplane/pipeline.hpp"
+
+namespace pegasus::runtime {
+
+struct LoweringOptions {
+  dataplane::SwitchModel switch_model;
+  /// Extra per-flow stateful bits the application needs (previous-packet
+  /// timestamp, stored fuzzy indexes, ...). Reported, not simulated.
+  std::size_t stateful_bits_per_flow = 0;
+  /// When a Map's CRC cross-product expansion would exceed this many
+  /// ternary entries, the table is lowered as a native range match
+  /// (DirtCAM encoding) with one entry per leaf instead — the same
+  /// escape hatch the Tofino compiler offers for wide multi-field ranges.
+  std::size_t max_ternary_entries_per_table = 4096;
+};
+
+/// A model placed on the simulated switch.
+class LoweredModel {
+ public:
+  /// Runs one inference: writes features into the parser-stage PHV fields,
+  /// processes the pipeline, reads back the output fields. Returns
+  /// dequantized outputs.
+  std::vector<float> Infer(std::span<const float> features) const;
+
+  /// Raw fixed-point outputs (for bit-exactness tests).
+  std::vector<std::int64_t> InferRaw(std::span<const float> features) const;
+
+  dataplane::ResourceReport Report() const;
+
+  const dataplane::Pipeline& pipeline() const { return *pipeline_; }
+  std::size_t NumTables() const { return pipeline_->NumTables(); }
+  std::size_t StagesUsed() const { return pipeline_->StagesUsed(); }
+
+ private:
+  friend LoweredModel Lower(const core::CompiledModel& model,
+                            const LoweringOptions& options);
+
+  std::unique_ptr<dataplane::PhvLayout> layout_;
+  std::unique_ptr<dataplane::Pipeline> pipeline_;
+  std::vector<dataplane::FieldId> input_fields_;
+  std::vector<dataplane::FieldId> output_fields_;
+  /// (field, value) pairs the parser writes before the pipeline runs
+  /// (accumulator biases).
+  std::vector<std::pair<dataplane::FieldId, std::int64_t>> parser_inits_;
+  std::vector<core::DimQuant> output_quant_;
+  int input_bits_ = 8;
+};
+
+/// Places every Map table of `model` onto the simulated switch.
+/// Throws dataplane::PlacementError if the model does not fit — the
+/// simulator's rendition of a Tofino compile failure.
+LoweredModel Lower(const core::CompiledModel& model,
+                   const LoweringOptions& options);
+
+}  // namespace pegasus::runtime

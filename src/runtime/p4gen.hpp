@@ -1,0 +1,32 @@
+// P4-16 code generation — the artifact the paper's Pegasus-Syntax
+// translator produces for the real switch (§6.2: "To support the
+// translation of Pegasus Syntax into P4 language, we developed a
+// translation tool").
+//
+// EmitP4 renders a CompiledModel as a Tofino-flavoured P4 control block:
+// a metadata struct with one field per materialized value dimension,
+// one action + table per Map op (ternary or range match keys, exact sizes
+// from the fuzzy tables), accumulator initialization in the parser-state
+// comment, and a dependency-ordered apply block. Table *entries* are
+// control-plane state, so they are summarized in comments rather than
+// inlined (as on real deployments, where the agent installs them at
+// runtime).
+#pragma once
+
+#include <string>
+
+#include "core/tablegen.hpp"
+
+namespace pegasus::runtime {
+
+struct P4GenOptions {
+  std::string control_name = "PegasusIngress";
+  /// Same threshold the lowering uses to pick ternary vs range match.
+  std::size_t max_ternary_entries_per_table = 4096;
+};
+
+/// Renders the model as P4-16 source text.
+std::string EmitP4(const core::CompiledModel& model,
+                   const P4GenOptions& options = {});
+
+}  // namespace pegasus::runtime

@@ -1,0 +1,122 @@
+#include "traffic/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pegasus::traffic {
+
+std::uint8_t QuantizeLen(std::uint16_t len) {
+  return static_cast<std::uint8_t>(std::min(255u, len / 8u));
+}
+
+std::uint8_t QuantizeIpd(std::uint64_t ipd_us) {
+  const double q = 12.0 * std::log2(1.0 + static_cast<double>(ipd_us));
+  return static_cast<std::uint8_t>(
+      std::clamp(std::lround(q), 0l, 255l));
+}
+
+namespace {
+
+/// Shared per-flow window walker: calls `emit(i)` for each selected packet
+/// index i >= kWindow-1, at most opts.max_samples_per_flow times, spread
+/// evenly over the flow.
+template <typename Emit>
+void WalkFlow(const Flow& flow, const ExtractOptions& opts, Emit&& emit) {
+  if (flow.packets.size() < kWindow) return;
+  const std::size_t eligible = flow.packets.size() - (kWindow - 1);
+  const std::size_t take = std::min(eligible, opts.max_samples_per_flow);
+  // Evenly spaced indices over the eligible range.
+  for (std::size_t k = 0; k < take; ++k) {
+    const std::size_t i =
+        (kWindow - 1) + k * eligible / take;
+    emit(i);
+  }
+}
+
+std::uint64_t IpdAt(const Flow& flow, std::size_t i) {
+  return i == 0 ? 0
+               : flow.packets[i].ts_us - flow.packets[i - 1].ts_us;
+}
+
+}  // namespace
+
+SampleSet ExtractStatFeatures(const std::vector<Flow>& flows,
+                              const ExtractOptions& opts) {
+  SampleSet out;
+  out.dim = kStatDim;
+  for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+    const Flow& flow = flows[fi];
+    WalkFlow(flow, opts, [&](std::size_t i) {
+      // Running min/max over packets [0, i].
+      std::uint8_t min_len = 255, max_len = 0, min_ipd = 255, max_ipd = 0;
+      for (std::size_t j = 0; j <= i; ++j) {
+        const std::uint8_t ql = QuantizeLen(flow.packets[j].len);
+        min_len = std::min(min_len, ql);
+        max_len = std::max(max_len, ql);
+        if (j > 0) {
+          const std::uint8_t qi = QuantizeIpd(IpdAt(flow, j));
+          min_ipd = std::min(min_ipd, qi);
+          max_ipd = std::max(max_ipd, qi);
+        }
+      }
+      float feat[kStatDim];
+      feat[0] = min_len;
+      feat[1] = max_len;
+      feat[2] = min_ipd;
+      feat[3] = max_ipd;
+      feat[4] = QuantizeLen(flow.packets[i].len);
+      feat[5] = QuantizeIpd(IpdAt(flow, i));
+      // Short history: previous 5 packets' (len, ipd).
+      for (std::size_t h = 0; h < 5; ++h) {
+        const std::size_t j = i - 1 - h;
+        feat[6 + 2 * h] = QuantizeLen(flow.packets[j].len);
+        feat[7 + 2 * h] = QuantizeIpd(IpdAt(flow, j));
+      }
+      out.x.insert(out.x.end(), feat, feat + kStatDim);
+      out.labels.push_back(flow.label);
+      out.flow_index.push_back(fi);
+    });
+  }
+  return out;
+}
+
+SampleSet ExtractSeqFeatures(const std::vector<Flow>& flows,
+                             const ExtractOptions& opts) {
+  SampleSet out;
+  out.dim = kSeqDim;
+  for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+    const Flow& flow = flows[fi];
+    WalkFlow(flow, opts, [&](std::size_t i) {
+      for (std::size_t w = 0; w < kWindow; ++w) {
+        const std::size_t j = i - (kWindow - 1) + w;
+        out.x.push_back(QuantizeLen(flow.packets[j].len));
+        out.x.push_back(QuantizeIpd(IpdAt(flow, j)));
+      }
+      out.labels.push_back(flow.label);
+      out.flow_index.push_back(fi);
+    });
+  }
+  return out;
+}
+
+SampleSet ExtractRawBytes(const std::vector<Flow>& flows,
+                          const ExtractOptions& opts) {
+  SampleSet out;
+  out.dim = kRawDim;
+  for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+    const Flow& flow = flows[fi];
+    WalkFlow(flow, opts, [&](std::size_t i) {
+      for (std::size_t w = 0; w < kWindow; ++w) {
+        const std::size_t j = i - (kWindow - 1) + w;
+        for (std::uint8_t b : flow.packets[j].bytes) {
+          out.x.push_back(b);
+        }
+      }
+      out.labels.push_back(flow.label);
+      out.flow_index.push_back(fi);
+    });
+  }
+  return out;
+}
+
+}  // namespace pegasus::traffic

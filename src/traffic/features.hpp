@@ -1,0 +1,67 @@
+// Feature extraction — what the switch parser + per-flow registers can
+// produce (paper §6.3).
+//
+// Three feature families, one per model group in Table 5:
+//
+//  * Statistical (128 b = 16 x 8 bit): running min/max of packet length and
+//    IPD (the only flow-level statistics the paper deems fair to compute on
+//    a switch: "we only use the maximum and minimum packet lengths and
+//    inter-packet delays"), the current packet, and a short history —
+//    consumed by Leo, N3IC and MLP-B.
+//  * Sequence (128 b): the (length, IPD) pairs of the last 8 packets —
+//    consumed by BoS, RNN-B, CNN-B and CNN-M.
+//  * Raw bytes (3840 b): 60 payload bytes from each of the last 8 packets —
+//    consumed by CNN-L.
+//
+// Lengths quantize to 8 bits via len/8 (caps at 1500/8 < 256); IPDs via a
+// 12*log2(1+us) companding curve (microseconds to ~24 days monotonically in
+// 8 bits) — both implementable as switch range tables.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "traffic/packet.hpp"
+
+namespace pegasus::traffic {
+
+inline constexpr std::size_t kWindow = 8;
+inline constexpr std::size_t kStatDim = 16;                      // 128 bits
+inline constexpr std::size_t kSeqDim = kWindow * 2;              // 128 bits
+inline constexpr std::size_t kRawDim = kWindow * kRawBytesPerPacket;  // 3840 b
+
+/// 8-bit quantization of a packet length in bytes.
+std::uint8_t QuantizeLen(std::uint16_t len);
+
+/// 8-bit companded quantization of an inter-packet delay in microseconds.
+std::uint8_t QuantizeIpd(std::uint64_t ipd_us);
+
+/// One labelled sample: `x` holds quantized features as floats in [0,255].
+struct SampleSet {
+  std::vector<float> x;  // row-major [num x dim]
+  std::vector<std::int32_t> labels;
+  std::vector<std::size_t> flow_index;  // originating flow per sample
+  std::size_t dim = 0;
+
+  std::size_t size() const { return labels.size(); }
+};
+
+struct ExtractOptions {
+  /// Cap on samples emitted per flow (samples are windows ending at
+  /// successive packets; capping keeps datasets flow-balanced).
+  std::size_t max_samples_per_flow = 6;
+};
+
+/// Statistical features for every eligible packet of every flow.
+SampleSet ExtractStatFeatures(const std::vector<Flow>& flows,
+                              const ExtractOptions& opts = {});
+
+/// (len, IPD) sequence windows.
+SampleSet ExtractSeqFeatures(const std::vector<Flow>& flows,
+                             const ExtractOptions& opts = {});
+
+/// Raw-byte windows (CNN-L's input scale).
+SampleSet ExtractRawBytes(const std::vector<Flow>& flows,
+                          const ExtractOptions& opts = {});
+
+}  // namespace pegasus::traffic

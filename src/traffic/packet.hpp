@@ -1,0 +1,45 @@
+// Traffic substrate: packets, flows and datasets.
+//
+// The paper evaluates on PeerRush, CICIOT2022 and ISCXVPN2016 pcaps; those
+// traces are not redistributable here, so src/traffic generates synthetic
+// flows with class-conditional packet-length / inter-packet-delay /
+// payload-byte distributions (see DESIGN.md §2 for why this preserves the
+// experiments' shape). Models consume only what these structures carry.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataplane/registers.hpp"
+
+namespace pegasus::traffic {
+
+/// Bytes of payload the CNN-L feature path reads per packet (§6.3: "extract
+/// 60 raw bytes from each packet").
+inline constexpr std::size_t kRawBytesPerPacket = 60;
+
+struct Packet {
+  /// Microseconds since flow start.
+  std::uint64_t ts_us = 0;
+  /// Wire length in bytes, [40, 1500].
+  std::uint16_t len = 0;
+  std::array<std::uint8_t, kRawBytesPerPacket> bytes{};
+};
+
+struct Flow {
+  dataplane::FlowKey key;
+  std::int32_t label = 0;
+  std::vector<Packet> packets;
+};
+
+struct Dataset {
+  std::string name;
+  std::vector<std::string> class_names;
+  std::vector<Flow> flows;
+
+  std::size_t NumClasses() const { return class_names.size(); }
+};
+
+}  // namespace pegasus::traffic

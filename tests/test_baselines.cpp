@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baselines/bos.hpp"
+#include "baselines/leo.hpp"
+#include "baselines/n3ic.hpp"
+#include "eval/metrics.hpp"
+
+namespace bl = pegasus::baselines;
+namespace ev = pegasus::eval;
+
+namespace {
+
+/// Toy 2-class problem: class = (feature0 > 128), plus noise features.
+void ToyData(std::size_t n, std::size_t dim, std::uint64_t seed,
+             std::vector<float>& x, std::vector<std::int32_t>& y) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(0.0f, 255.0f);
+  x.resize(n * dim);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      x[i * dim + d] = std::floor(dist(rng));
+    }
+    y[i] = x[i * dim] > 128.0f ? 1 : 0;
+  }
+}
+
+/// Sequence toy data: class decided by whether lengths alternate (period 2)
+/// or stay flat — invisible to marginals, visible to sequence models.
+void SeqToyData(std::size_t n, std::uint64_t seed, std::vector<float>& x,
+                std::vector<std::int32_t>& y) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> noise(0.0f, 5.0f);
+  std::uniform_int_distribution<int> cls(0, 1);
+  const std::size_t window = 8;
+  x.resize(n * window * 2);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int c = cls(rng);
+    y[i] = c;
+    for (std::size_t t = 0; t < window; ++t) {
+      float len = 128.0f;
+      if (c == 1) len += (t % 2 == 0) ? 80.0f : -80.0f;
+      x[i * window * 2 + 2 * t] =
+          std::clamp(len + noise(rng), 0.0f, 255.0f);
+      x[i * window * 2 + 2 * t + 1] =
+          std::clamp(100.0f + noise(rng), 0.0f, 255.0f);
+    }
+  }
+}
+
+double Accuracy(const std::vector<std::int32_t>& truth,
+                const std::vector<std::int32_t>& pred) {
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == pred[i]) ++ok;
+  }
+  return static_cast<double>(ok) / truth.size();
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ Leo
+
+TEST(Leo, LearnsAxisAlignedRule) {
+  std::vector<float> x;
+  std::vector<std::int32_t> y;
+  ToyData(600, 4, 1, x, y);
+  auto tree = bl::DecisionTree::Fit(x, y, 600, 4, 2, {64, 4, 8});
+  std::vector<float> xt;
+  std::vector<std::int32_t> yt;
+  ToyData(200, 4, 2, xt, yt);
+  EXPECT_GT(Accuracy(yt, tree.PredictBatch(xt, 200)), 0.95);
+}
+
+TEST(Leo, NodeBudgetRespected) {
+  std::vector<float> x;
+  std::vector<std::int32_t> y;
+  ToyData(500, 4, 3, x, y);
+  auto tree = bl::DecisionTree::Fit(x, y, 500, 4, 2, {17, 1, 8});
+  EXPECT_LE(tree.NumNodes(), 17u);
+  EXPECT_EQ(tree.NumNodes(), 2 * tree.NumLeaves() - 1);
+}
+
+TEST(Leo, FootprintCountsTernaryRules) {
+  std::vector<float> x;
+  std::vector<std::int32_t> y;
+  ToyData(500, 4, 4, x, y);
+  auto tree = bl::DecisionTree::Fit(x, y, 500, 4, 2, {128, 4, 8});
+  const auto rep = tree.Footprint({});
+  EXPECT_GT(rep.tcam_bits, 0u);
+  EXPECT_EQ(rep.stateful_bits_per_flow, 80u);
+  EXPECT_EQ(rep.tcam_bits % (2 * 4 * 8), 0u);  // entries * 2 * key_bits
+}
+
+TEST(Leo, RejectsBadData) {
+  std::vector<float> x{1, 2};
+  EXPECT_THROW(bl::DecisionTree::Fit(x, {0}, 2, 2, 2, {}),
+               std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- N3IC
+
+TEST(N3ic, LearnsToyProblem) {
+  std::vector<float> x;
+  std::vector<std::int32_t> y;
+  ToyData(800, 16, 5, x, y);
+  bl::N3icConfig cfg;  // default epochs/lr
+  auto mlp = bl::BinaryMlp::Train(x, y, 800, 16, 2, cfg);
+  std::vector<float> xt;
+  std::vector<std::int32_t> yt;
+  ToyData(300, 16, 6, xt, yt);
+  // A single informative bit among 128: learnable, but binarization costs
+  // accuracy — which is exactly the paper's criticism of N3IC.
+  EXPECT_GE(Accuracy(yt, mlp.PredictBatch(xt, 300)), 0.84);
+}
+
+TEST(N3ic, ModelSizeMatchesPaperBallpark) {
+  std::vector<float> x;
+  std::vector<std::int32_t> y;
+  ToyData(100, 16, 7, x, y);
+  bl::N3icConfig cfg;
+  cfg.epochs = 1;
+  auto mlp = bl::BinaryMlp::Train(x, y, 100, 16, 3, cfg);
+  // 128x128 + 128x64 + 64x3 binary weights = 24.8 Kb (paper: 24.4 Kb).
+  EXPECT_NEAR(mlp.ModelSizeKb(), 24.4, 1.0);
+}
+
+TEST(N3ic, PopcountPathIsAuthentic) {
+  // XNOR+popcount logits must be odd/even-consistent with the layer width
+  // (2*popcount - n has n's parity) — a structural property of the
+  // dataplane arithmetic.
+  std::vector<float> x;
+  std::vector<std::int32_t> y;
+  ToyData(200, 16, 8, x, y);
+  bl::N3icConfig cfg;
+  cfg.epochs = 2;
+  auto mlp = bl::BinaryMlp::Train(x, y, 200, 16, 2, cfg);
+  const auto logits = mlp.PopcountLogits(std::span<const float>(x.data(), 16));
+  for (int l : logits) {
+    EXPECT_EQ((l + 64) % 2, 0);  // last layer in = 64 (even), so logits even
+  }
+}
+
+TEST(N3ic, InputBitsMustMatch) {
+  std::vector<float> x;
+  std::vector<std::int32_t> y;
+  ToyData(10, 4, 9, x, y);
+  bl::N3icConfig cfg;  // input_bits 128 != 4*8
+  EXPECT_THROW(bl::BinaryMlp::Train(x, y, 10, 4, 2, cfg),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ BoS
+
+TEST(Bos, LearnsMarginalToy) {
+  // Flat-vs-alternating at +-80 around 128 flips the top length bit per
+  // packet — learnable even from BoS's 3 bits per step.
+  std::vector<float> x;
+  std::vector<std::int32_t> y;
+  SeqToyData(800, 10, x, y);
+  bl::BosConfig cfg;
+  cfg.epochs = 25;
+  auto rnn = bl::BosRnn::Train(x, y, 800, 16, 2, cfg);
+  std::vector<float> xt;
+  std::vector<std::int32_t> yt;
+  SeqToyData(300, 11, xt, yt);
+  EXPECT_GT(Accuracy(yt, rnn.PredictBatch(xt, 300)), 0.8);
+}
+
+TEST(Bos, InputScaleIsEighteenBits) {
+  std::vector<float> x;
+  std::vector<std::int32_t> y;
+  SeqToyData(50, 12, x, y);
+  bl::BosConfig cfg;
+  cfg.epochs = 1;
+  auto rnn = bl::BosRnn::Train(x, y, 50, 16, 2, cfg);
+  EXPECT_EQ(rnn.InputScaleBits(), 18u);  // 6 steps x 3 bits (Table 5)
+}
+
+TEST(Bos, TableScalingLawIsExponential) {
+  std::vector<float> x;
+  std::vector<std::int32_t> y;
+  SeqToyData(50, 13, x, y);
+  bl::BosConfig small;
+  small.hidden = 8;
+  small.epochs = 1;
+  auto rnn8 = bl::BosRnn::Train(x, y, 50, 16, 2, small);
+  EXPECT_EQ(rnn8.TableEntriesPerStep(), 1u << 11);
+  bl::BosConfig big = small;
+  big.hidden = 16;
+  auto rnn16 = bl::BosRnn::Train(x, y, 50, 16, 2, big);
+  // +8 hidden bits -> 256x more entries: the §2 scalability wall.
+  EXPECT_EQ(rnn16.TableEntriesPerStep(), rnn8.TableEntriesPerStep() << 8);
+}
+
+TEST(Bos, FootprintMatchesTableSixShape) {
+  std::vector<float> x;
+  std::vector<std::int32_t> y;
+  SeqToyData(50, 14, x, y);
+  bl::BosConfig cfg;
+  cfg.hidden = 8;  // the paper's moderate resource configuration
+  cfg.epochs = 1;
+  auto rnn = bl::BosRnn::Train(x, y, 50, 16, 2, cfg);
+  const auto rep = rnn.Footprint({});
+  EXPECT_EQ(rep.tcam_bits, 0u);                 // BoS uses no TCAM
+  EXPECT_EQ(rep.stateful_bits_per_flow, 72u);   // Table 6
+  EXPECT_GT(rep.sram_bits, 0u);
+}

@@ -1,0 +1,97 @@
+#include "dataplane/crc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace dp = pegasus::dataplane;
+
+namespace {
+
+/// Exhaustively checks that the rule set covers exactly [lo, hi].
+void CheckExactCoverage(std::uint64_t lo, std::uint64_t hi, int width) {
+  const auto rules = dp::RangeToTernary(lo, hi, width);
+  ASSERT_FALSE(rules.empty());
+  EXPECT_LE(static_cast<int>(rules.size()), dp::MaxRulesForWidth(width));
+  const std::uint64_t max = (std::uint64_t{1} << width) - 1;
+  for (std::uint64_t v = 0; v <= max; ++v) {
+    int matches = 0;
+    for (const auto& r : rules) {
+      if (r.Matches(v)) ++matches;
+    }
+    const bool inside = v >= lo && v <= hi;
+    EXPECT_EQ(matches, inside ? 1 : 0)
+        << "v=" << v << " lo=" << lo << " hi=" << hi;
+  }
+}
+
+}  // namespace
+
+TEST(Crc, SingleValue) { CheckExactCoverage(5, 5, 8); }
+
+TEST(Crc, FullDomainIsOneRule) {
+  const auto rules = dp::RangeToTernary(0, 255, 8);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].mask & 0xff, 0u);
+}
+
+TEST(Crc, AlignedPowerOfTwoBlock) {
+  const auto rules = dp::RangeToTernary(64, 127, 8);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_TRUE(rules[0].Matches(64));
+  EXPECT_TRUE(rules[0].Matches(127));
+  EXPECT_FALSE(rules[0].Matches(63));
+  EXPECT_FALSE(rules[0].Matches(128));
+}
+
+TEST(Crc, WorstCaseRange) {
+  // [1, 2^w - 2] is the classical worst case: 2w-2 rules.
+  CheckExactCoverage(1, 254, 8);
+  const auto rules = dp::RangeToTernary(1, 254, 8);
+  EXPECT_EQ(static_cast<int>(rules.size()), dp::MaxRulesForWidth(8));
+}
+
+TEST(Crc, RejectsBadArguments) {
+  EXPECT_THROW(dp::RangeToTernary(5, 4, 8), std::invalid_argument);
+  EXPECT_THROW(dp::RangeToTernary(0, 256, 8), std::invalid_argument);
+  EXPECT_THROW(dp::RangeToTernary(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(dp::RangeToTernary(0, 1, 64), std::invalid_argument);
+}
+
+class CrcExhaustive : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrcExhaustive, AllRangesCoverExactly) {
+  // Exhaustive over every (lo, hi) pair for small widths.
+  const int width = GetParam();
+  const std::uint64_t max = (std::uint64_t{1} << width) - 1;
+  for (std::uint64_t lo = 0; lo <= max; ++lo) {
+    for (std::uint64_t hi = lo; hi <= max; ++hi) {
+      CheckExactCoverage(lo, hi, width);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallWidths, CrcExhaustive, ::testing::Values(1, 4, 6));
+
+TEST(Crc, RandomRangesWiderWidths) {
+  std::mt19937_64 rng(7);
+  for (int width : {10, 16}) {
+    const std::uint64_t max = (std::uint64_t{1} << width) - 1;
+    std::uniform_int_distribution<std::uint64_t> dist(0, max);
+    for (int trial = 0; trial < 50; ++trial) {
+      std::uint64_t a = dist(rng), b = dist(rng);
+      if (a > b) std::swap(a, b);
+      const auto rules = dp::RangeToTernary(a, b, width);
+      EXPECT_LE(static_cast<int>(rules.size()), dp::MaxRulesForWidth(width));
+      // Spot-check membership at boundaries and a few interior points.
+      for (std::uint64_t v :
+           {a, b, (a + b) / 2, a == 0 ? max : a - 1, b == max ? std::uint64_t{0} : b + 1}) {
+        int matches = 0;
+        for (const auto& r : rules) {
+          if (r.Matches(v)) ++matches;
+        }
+        EXPECT_EQ(matches, (v >= a && v <= b) ? 1 : 0);
+      }
+    }
+  }
+}

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dataplane/phv.hpp"
+#include "dataplane/pipeline.hpp"
+#include "dataplane/registers.hpp"
+#include "dataplane/resources.hpp"
+#include "dataplane/table.hpp"
+
+namespace dp = pegasus::dataplane;
+
+// ---------------------------------------------------------------- PHV
+
+TEST(Phv, LayoutTracksWidthsAndTotal) {
+  dp::PhvLayout layout;
+  const auto a = layout.AddField("a", 8);
+  const auto b = layout.AddField("b", 16);
+  EXPECT_EQ(layout.TotalBits(), 24u);
+  EXPECT_EQ(layout.width(a), 8);
+  EXPECT_EQ(layout.Find("b"), b);
+  EXPECT_THROW(layout.Find("c"), std::out_of_range);
+  EXPECT_THROW(layout.AddField("a", 8), std::invalid_argument);
+  EXPECT_THROW(layout.AddField("w", 0), std::invalid_argument);
+}
+
+TEST(Phv, GetSetRoundTrip) {
+  dp::PhvLayout layout;
+  const auto f = layout.AddField("x", 16);
+  dp::Phv phv(layout);
+  EXPECT_EQ(phv.Get(f), 0);
+  phv.Set(f, -42);
+  EXPECT_EQ(phv.Get(f), -42);
+}
+
+// --------------------------------------------------------------- tables
+
+namespace {
+
+std::unique_ptr<dp::MatchActionTable> MakeExactTable(dp::FieldId key,
+                                                     dp::FieldId out) {
+  std::vector<dp::ActionOp> prog{{dp::ActionOp::Kind::kSetFromData, out, 0,
+                                  0, -1}};
+  auto t = std::make_unique<dp::MatchActionTable>(
+      "t", dp::MatchKind::kExact, std::vector<dp::FieldId>{key},
+      std::vector<int>{8}, prog, 16);
+  return t;
+}
+
+}  // namespace
+
+TEST(Table, ExactMatchHitAndMiss) {
+  dp::PhvLayout layout;
+  const auto key = layout.AddField("k", 8);
+  const auto out = layout.AddField("o", 16);
+  auto t = MakeExactTable(key, out);
+  t->AddEntry({.exact_key = {5}, .action_data = {111}});
+  t->AddEntry({.exact_key = {9}, .action_data = {222}});
+
+  dp::Phv phv(layout);
+  phv.Set(key, 5);
+  EXPECT_TRUE(t->Apply(phv));
+  EXPECT_EQ(phv.Get(out), 111);
+  phv.Set(key, 7);
+  EXPECT_FALSE(t->Apply(phv));
+  EXPECT_EQ(phv.Get(out), 111);  // unchanged on miss
+}
+
+TEST(Table, MissProgramRuns) {
+  dp::PhvLayout layout;
+  const auto key = layout.AddField("k", 8);
+  const auto out = layout.AddField("o", 16);
+  auto t = MakeExactTable(key, out);
+  t->SetMissProgram({{dp::ActionOp::Kind::kSetConst, out, 0, -7, -1}}, {});
+  dp::Phv phv(layout);
+  phv.Set(key, 1);
+  EXPECT_FALSE(t->Apply(phv));
+  EXPECT_EQ(phv.Get(out), -7);
+}
+
+TEST(Table, TernaryPriorityOrder) {
+  dp::PhvLayout layout;
+  const auto key = layout.AddField("k", 8);
+  const auto out = layout.AddField("o", 16);
+  std::vector<dp::ActionOp> prog{{dp::ActionOp::Kind::kSetFromData, out, 0,
+                                  0, -1}};
+  dp::MatchActionTable t("t", dp::MatchKind::kTernary, {key}, {8}, prog, 16);
+  // Catch-all (low priority) vs exact 5 (high priority).
+  t.AddEntry({.ternary = {dp::TernaryRule{0, 0}}, .priority = 0, .action_data = {1}});
+  t.AddEntry({.ternary = {dp::TernaryRule{5, 0xff}}, .priority = 10, .action_data = {2}});
+  dp::Phv phv(layout);
+  phv.Set(key, 5);
+  t.Apply(phv);
+  EXPECT_EQ(phv.Get(out), 2);
+  phv.Set(key, 6);
+  t.Apply(phv);
+  EXPECT_EQ(phv.Get(out), 1);
+}
+
+TEST(Table, SaturatingAddAction) {
+  dp::PhvLayout layout;
+  const auto key = layout.AddField("k", 8);
+  const auto acc = layout.AddField("acc", 10);
+  std::vector<dp::ActionOp> prog{{dp::ActionOp::Kind::kAddFromData, acc, 0,
+                                  0, 1023}};
+  dp::MatchActionTable t("t", dp::MatchKind::kExact, {key}, {8}, prog, 16);
+  t.AddEntry({.exact_key = {1}, .action_data = {1000}});
+  dp::Phv phv(layout);
+  phv.Set(key, 1);
+  phv.Set(acc, 100);
+  t.Apply(phv);
+  EXPECT_EQ(phv.Get(acc), 1023);  // 1100 saturates to 1023
+}
+
+TEST(Table, ResourceAccounting) {
+  dp::PhvLayout layout;
+  const auto key = layout.AddField("k", 10);
+  const auto out = layout.AddField("o", 16);
+  std::vector<dp::ActionOp> prog{{dp::ActionOp::Kind::kSetFromData, out, 0,
+                                  0, -1}};
+  dp::MatchActionTable ternary("t", dp::MatchKind::kTernary, {key}, {10},
+                               prog, 16);
+  ternary.AddEntry({.ternary = {dp::TernaryRule{0, 0}}, .action_data = {1, 2}});
+  ternary.AddEntry({.ternary = {dp::TernaryRule{1, 1}}, .action_data = {3, 4}});
+  EXPECT_EQ(ternary.KeyBits(), 10u);
+  EXPECT_EQ(ternary.ActionDataBits(), 32u);           // 2 words x 16 b
+  EXPECT_EQ(ternary.TcamBits(), 2u * 2u * 10u);       // 2 entries
+  EXPECT_EQ(ternary.SramBits(), 2u * 32u);            // data only
+
+  dp::MatchActionTable exact("e", dp::MatchKind::kExact, {key}, {10}, prog,
+                             16);
+  exact.AddEntry({.exact_key = {3}, .action_data = {1}});
+  EXPECT_EQ(exact.TcamBits(), 0u);
+  EXPECT_EQ(exact.SramBits(), 10u + 16u);
+}
+
+TEST(Table, ArityValidation) {
+  dp::PhvLayout layout;
+  const auto key = layout.AddField("k", 8);
+  auto t = MakeExactTable(key, key);
+  EXPECT_THROW(t->AddEntry({.exact_key = {1, 2}}), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- pipeline
+
+TEST(Pipeline, PlacementRespectsMinStageAndCapacity) {
+  dp::SwitchModel sw;
+  sw.num_stages = 2;
+  sw.action_bus_bits_per_stage = 16;  // fits exactly one 16-bit table
+  dp::Pipeline pipe(sw);
+  dp::PhvLayout layout;
+  const auto key = layout.AddField("k", 8);
+  const auto out = layout.AddField("o", 16);
+
+  auto t1 = MakeExactTable(key, out);
+  t1->AddEntry({.exact_key = {1}, .action_data = {10}});
+  auto t2 = MakeExactTable(key, out);
+  t2->AddEntry({.exact_key = {1}, .action_data = {20}});
+  EXPECT_EQ(pipe.PlaceTable(std::move(t1), 0), 0u);
+  // Second table exceeds stage 0's action bus -> spills to stage 1.
+  EXPECT_EQ(pipe.PlaceTable(std::move(t2), 0), 1u);
+
+  auto t3 = MakeExactTable(key, out);
+  t3->AddEntry({.exact_key = {1}, .action_data = {30}});
+  EXPECT_THROW(pipe.PlaceTable(std::move(t3), 0), dp::PlacementError);
+}
+
+TEST(Pipeline, ProcessRunsStagesInOrder) {
+  dp::Pipeline pipe;
+  dp::PhvLayout layout;
+  const auto key = layout.AddField("k", 8);
+  const auto out = layout.AddField("o", 16);
+  // Stage 0 writes 1; stage 1 adds 2 (reads the stage-0 result).
+  auto t1 = MakeExactTable(key, out);
+  t1->AddEntry({.exact_key = {1}, .action_data = {100}});
+  std::vector<dp::ActionOp> add_prog{{dp::ActionOp::Kind::kAddConst, out, 0,
+                                      23, -1}};
+  auto t2 = std::make_unique<dp::MatchActionTable>(
+      "add", dp::MatchKind::kExact, std::vector<dp::FieldId>{key},
+      std::vector<int>{8}, add_prog, 16);
+  t2->AddEntry({.exact_key = {1}});
+  pipe.PlaceTable(std::move(t1), 0);
+  pipe.PlaceTable(std::move(t2), 1);
+
+  dp::Phv phv(layout);
+  phv.Set(key, 1);
+  EXPECT_EQ(pipe.Process(phv), 2u);
+  EXPECT_EQ(phv.Get(out), 123);
+}
+
+TEST(Pipeline, ReportAggregates) {
+  dp::Pipeline pipe;
+  dp::PhvLayout layout;
+  const auto key = layout.AddField("k", 8);
+  const auto out = layout.AddField("o", 16);
+  auto t = MakeExactTable(key, out);
+  t->AddEntry({.exact_key = {1}, .action_data = {10}});
+  pipe.PlaceTable(std::move(t), 3);
+  pipe.DeclareFlowState(44);
+  const auto rep = pipe.Report();
+  EXPECT_EQ(rep.stages_used, 1u);
+  EXPECT_EQ(rep.sram_bits, 8u + 16u);
+  EXPECT_EQ(rep.stateful_bits_per_flow, 44u);
+  EXPECT_GT(rep.SramPct(pipe.switch_model()), 0.0);
+}
+
+// -------------------------------------------------------------- registers
+
+TEST(Registers, SaturateToWidth) {
+  dp::RegisterArray arr("r", 8, 16);
+  dp::FlowKey key{123};
+  arr.Write(key, 1000);
+  EXPECT_EQ(arr.Read(key), 127);
+  arr.Write(key, -1000);
+  EXPECT_EQ(arr.Read(key), -128);
+  EXPECT_EQ(arr.SramBits(), 16u * 8u);
+}
+
+TEST(Registers, FlowsHashToSlots) {
+  dp::RegisterArray arr("r", 16, 8);
+  dp::FlowKey a{1}, b{9};  // collide mod 8
+  arr.Write(a, 5);
+  EXPECT_EQ(arr.Read(b), 5);  // hash collision is visible, as on hardware
+  EXPECT_EQ(arr.SlotFor(a), arr.SlotFor(b));
+}
+
+// -------------------------------------------------------------- resources
+
+TEST(Resources, PerFlowSramRoundsAndOverheads) {
+  // 28 bits -> 32-bit slot + 16-bit digest, / 0.85 occupancy.
+  const std::size_t bits = dp::PerFlowSramBits(28, 1'000'000);
+  EXPECT_EQ(bits, static_cast<std::size_t>((32 + 16) * 1'000'000 / 0.85));
+  // Monotone in bits/flow.
+  EXPECT_LT(dp::PerFlowSramBits(28, 1000), dp::PerFlowSramBits(44, 1000));
+  EXPECT_LT(dp::PerFlowSramBits(44, 1000), dp::PerFlowSramBits(72, 1000));
+}
+
+TEST(Resources, SwitchTotalsMatchPaperConstants) {
+  dp::SwitchModel sw;
+  EXPECT_EQ(sw.num_stages, 20u);
+  EXPECT_EQ(sw.TotalSramBits(), 20u * 10u * 1024u * 1024u);
+  EXPECT_EQ(sw.TotalTcamBits(), 20u * 512u * 1024u);
+  EXPECT_EQ(sw.phv_bits, 4096u);
+}

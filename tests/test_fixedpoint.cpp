@@ -1,0 +1,99 @@
+#include "fixedpoint/fixedpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace fp = pegasus::fixedpoint;
+
+TEST(Format, ResolutionAndBounds) {
+  fp::Format f{16, 8};
+  EXPECT_DOUBLE_EQ(f.Resolution(), 1.0 / 256.0);
+  EXPECT_DOUBLE_EQ(f.MaxValue(), 32767.0 / 256.0);
+  EXPECT_DOUBLE_EQ(f.MinValue(), -32768.0 / 256.0);
+}
+
+TEST(Format, NegativeFracBitsMeansCoarseSteps) {
+  fp::Format f{8, -2};  // steps of 4
+  EXPECT_DOUBLE_EQ(f.Resolution(), 4.0);
+  EXPECT_EQ(fp::Quantize(10.0, f), 3);  // round(10/4)=3 -> 12
+  EXPECT_DOUBLE_EQ(fp::Dequantize(3, f), 12.0);
+}
+
+TEST(Quantize, RoundTripErrorBoundedByHalfLsb) {
+  fp::Format f{16, 10};
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> dist(-20.0, 20.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = dist(rng);
+    const double rt = fp::QuantizeValue(v, f);
+    EXPECT_LE(std::abs(rt - v), fp::MaxAbsError(f) + 1e-12) << v;
+  }
+}
+
+TEST(Quantize, SaturatesAtBounds) {
+  fp::Format f{8, 4};
+  EXPECT_EQ(fp::Quantize(1e9, f), 127);
+  EXPECT_EQ(fp::Quantize(-1e9, f), -128);
+}
+
+TEST(Quantize, RejectsBadFormat) {
+  EXPECT_THROW(fp::Quantize(1.0, fp::Format{1, 0}), std::invalid_argument);
+  EXPECT_THROW(fp::Quantize(1.0, fp::Format{63, 0}), std::invalid_argument);
+}
+
+TEST(SaturatingAdd, ClampsBothSides) {
+  fp::Format f{8, 0};
+  EXPECT_EQ(fp::SaturatingAdd(100, 100, f), 127);
+  EXPECT_EQ(fp::SaturatingAdd(-100, -100, f), -128);
+  EXPECT_EQ(fp::SaturatingAdd(5, 7, f), 12);
+}
+
+TEST(Rescale, ShiftsBetweenFormats) {
+  fp::Format a{16, 8}, b{16, 4};
+  // 1.5 in a = raw 384; in b = raw 24.
+  EXPECT_EQ(fp::Rescale(384, a, b), 24);
+  EXPECT_EQ(fp::Rescale(24, b, a), 384);
+}
+
+TEST(Rescale, RoundsToNearestOnNarrowing) {
+  fp::Format a{16, 8}, b{16, 0};
+  EXPECT_EQ(fp::Rescale(128, a, b), 1);   // 0.5 -> 1 (round half up)
+  EXPECT_EQ(fp::Rescale(127, a, b), 0);   // 0.496 -> 0
+  EXPECT_EQ(fp::Rescale(-128, a, b), -1);
+}
+
+TEST(ChooseFormat, MaximizesFracWithoutOverflow) {
+  const float vals[] = {0.5f, -1.25f, 3.0f};
+  fp::Format f = fp::ChooseFormat(vals, 16);
+  // max |v| = 3 -> needs 2 integer bits -> frac = 16-1-2 = 13.
+  EXPECT_EQ(f.frac_bits, 13);
+  EXPECT_GE(f.MaxValue(), 3.0);
+}
+
+TEST(ChooseFormat, HeadroomWidensRange) {
+  const float vals[] = {3.0f};
+  fp::Format with = fp::ChooseFormat(vals, 16, 4.0);
+  EXPECT_GE(with.MaxValue(), 12.0);
+}
+
+TEST(ChooseFormat, AllZeroInputGetsMaxFrac) {
+  const float vals[] = {0.0f, 0.0f};
+  fp::Format f = fp::ChooseFormat(vals, 16);
+  EXPECT_EQ(f.frac_bits, 14);
+}
+
+class QuantizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantizeSweep, EveryRepresentableValueRoundTripsExactly) {
+  const int frac = GetParam();
+  fp::Format f{12, frac};
+  for (std::int64_t raw = -2048; raw < 2048; raw += 7) {
+    const double v = fp::Dequantize(raw, f);
+    EXPECT_EQ(fp::Quantize(v, f), raw);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FracBits, QuantizeSweep,
+                         ::testing::Values(-3, 0, 2, 5, 8));

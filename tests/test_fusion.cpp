@@ -1,0 +1,174 @@
+#include "core/fusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/operators.hpp"
+
+namespace core = pegasus::core;
+
+namespace {
+
+/// Asserts two programs compute the same function on random inputs.
+void ExpectSameFunction(const core::Program& a, const core::Program& b,
+                        std::size_t in_dim, float tol = 1e-3f) {
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<float> dist(0.0f, 255.0f);
+  for (int trial = 0; trial < 64; ++trial) {
+    std::vector<float> x(in_dim);
+    for (float& v : x) v = dist(rng);
+    const auto ya = a.Evaluate(x);
+    const auto yb = b.Evaluate(x);
+    ASSERT_EQ(ya.size(), yb.size());
+    for (std::size_t i = 0; i < ya.size(); ++i) {
+      EXPECT_NEAR(ya[i], yb[i], tol * std::max(1.0f, std::abs(ya[i])));
+    }
+  }
+}
+
+/// A small MLP-shaped program: norm -> BN -> FC -> ReLU -> FC.
+core::Program MlpShapedProgram(std::mt19937_64& rng) {
+  std::uniform_real_distribution<float> wd(-0.5f, 0.5f);
+  auto rand_vec = [&](std::size_t n) {
+    std::vector<float> v(n);
+    for (float& x : v) x = wd(rng);
+    return v;
+  };
+  core::ProgramBuilder b(4);
+  auto v = b.Map(b.input(),
+                 core::MakeAffine({0.01f, 0.01f, 0.01f, 0.01f},
+                                  {-1.0f, -1.0f, -1.0f, -1.0f}, "norm"),
+                 16);
+  v = b.Map(v, core::MakeAffine(rand_vec(4), rand_vec(4), "bn"), 16);
+  v = core::AppendFullyConnected(b, v, rand_vec(4 * 6), 4, 6, rand_vec(6), 2,
+                                 16);
+  v = b.Map(v, core::MakeReLU(6), 16);
+  v = core::AppendFullyConnected(b, v, rand_vec(6 * 2), 6, 2, rand_vec(2), 2,
+                                 16);
+  return b.Finish(v);
+}
+
+}  // namespace
+
+TEST(Fusion, MergeConsecutiveMaps) {
+  core::ProgramBuilder b(3);
+  auto v = b.Map(b.input(), core::MakeReLU(3), 8);
+  v = b.Map(v, core::MakeAffine({2, 2, 2}, {1, 1, 1}, "aff"), 8);
+  core::Program p = b.Finish(v);
+  core::Program orig = p;
+  EXPECT_EQ(p.NumMaps(), 2u);
+  EXPECT_EQ(core::MergeConsecutiveMaps(p), 1u);
+  EXPECT_EQ(p.NumMaps(), 1u);
+  ExpectSameFunction(orig, p, 3);
+}
+
+TEST(Fusion, MergeSkipsMultiConsumerValues) {
+  core::ProgramBuilder b(2);
+  auto v = b.Map(b.input(), core::MakeReLU(2), 8);
+  auto a = b.Map(v, core::MakeAffine({1, 1}, {1, 1}, "a"), 8);
+  auto c = b.Map(v, core::MakeAffine({2, 2}, {0, 0}, "c"), 8);
+  auto out = b.SumReduce({a, c});
+  core::Program p = b.Finish(out);
+  // v has two consumers; only a->?/c->? have single-use chains but their
+  // outputs feed SumReduce, so nothing merges.
+  EXPECT_EQ(core::MergeConsecutiveMaps(p), 0u);
+}
+
+TEST(Fusion, PushElementwiseThroughPartition) {
+  std::mt19937_64 rng(1);
+  core::Program p = MlpShapedProgram(rng);
+  core::Program orig = p;
+  EXPECT_GT(core::PushElementwiseThroughPartition(p), 0u);
+  ExpectSameFunction(orig, p, 4);
+}
+
+TEST(Fusion, LinearReorderOverSumReduce) {
+  // FC (no bias) followed by a pure linear Map: reorder then merge.
+  std::mt19937_64 rng(2);
+  std::uniform_real_distribution<float> wd(-1.0f, 1.0f);
+  core::ProgramBuilder b(4);
+  std::vector<float> w(4 * 3);
+  for (float& x : w) x = wd(rng);
+  auto v = core::AppendFullyConnected(b, b.input(), w, 4, 3, {}, 2, 8);
+  v = b.Map(v, core::MakeAffine({2, 3, 4}, {0, 0, 0}, "scale"), 8);
+  core::Program p = b.Finish(v);
+  core::Program orig = p;
+  EXPECT_EQ(core::LinearReorderOverSumReduce(p), 1u);
+  ExpectSameFunction(orig, p, 4);
+  // After reorder, merging collapses the scale into the FC maps.
+  EXPECT_GT(core::MergeConsecutiveMaps(p), 0u);
+  ExpectSameFunction(orig, p, 4);
+}
+
+TEST(Fusion, NonAdditiveMapDoesNotReorder) {
+  core::ProgramBuilder b(4);
+  std::vector<float> w(4 * 2, 0.5f);
+  auto v = core::AppendFullyConnected(b, b.input(), w, 4, 2, {}, 2, 8);
+  v = b.Map(v, core::MakeReLU(2), 8);  // not additive
+  core::Program p = b.Finish(v);
+  EXPECT_EQ(core::LinearReorderOverSumReduce(p), 0u);
+}
+
+TEST(Fusion, FlattenSumReduces) {
+  core::ProgramBuilder b(8);
+  auto segs = b.Partition(b.input(), 2, 2);
+  std::vector<core::ValueId> inner_maps;
+  for (std::size_t i = 0; i < 2; ++i) {
+    inner_maps.push_back(
+        b.Map(segs[i], core::MakeLinear({1, 0, 0, 1}, 2, 2, {}), 8));
+  }
+  auto inner = b.SumReduce(std::span<const core::ValueId>(inner_maps));
+  // inner feeds an outer SumReduce along with two more maps.
+  std::vector<core::ValueId> outer_in{inner};
+  for (std::size_t i = 2; i < 4; ++i) {
+    outer_in.push_back(
+        b.Map(segs[i], core::MakeLinear({1, 0, 0, 1}, 2, 2, {}), 8));
+  }
+  auto outer = b.SumReduce(std::span<const core::ValueId>(outer_in));
+  core::Program p = b.Finish(outer);
+  core::Program orig = p;
+  EXPECT_EQ(core::FlattenSumReduces(p), 1u);
+  EXPECT_EQ(p.NumSumReduces(), 1u);
+  ExpectSameFunction(orig, p, 8);
+}
+
+TEST(Fusion, BasicFusionReachesFigureFiveShape) {
+  // Figure 5 ❶: an MLP layer stack's per-layer Maps collapse so each hidden
+  // layer costs one Map per segment — norm/BN/ReLU all disappear into the
+  // FC tables, leaving NumMaps == number of FC segments.
+  std::mt19937_64 rng(3);
+  core::Program p = MlpShapedProgram(rng);
+  core::Program orig = p;
+  const std::size_t maps_before = p.NumMaps();
+  const auto stats = core::FuseBasic(p);
+  EXPECT_EQ(stats.maps_before, maps_before);
+  EXPECT_LT(stats.maps_after, maps_before);
+  // 4-dim input, segment 2 -> 2 maps for FC1; 6-dim hidden, segment 2 ->
+  // 3 maps for FC2. Norm, BN and ReLU must all be fused away.
+  EXPECT_EQ(stats.maps_after, 2u + 3u);
+  ExpectSameFunction(orig, p, 4);
+}
+
+TEST(Fusion, FuseBasicIsIdempotent) {
+  std::mt19937_64 rng(4);
+  core::Program p = MlpShapedProgram(rng);
+  core::FuseBasic(p);
+  const std::size_t maps = p.NumMaps();
+  const auto again = core::FuseBasic(p);
+  EXPECT_EQ(again.maps_after, maps);
+  EXPECT_EQ(again.maps_before, maps);
+}
+
+class FusionRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(FusionRandomized, SemanticsPreservedOnRandomPrograms) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  core::Program p = MlpShapedProgram(rng);
+  core::Program orig = p;
+  core::FuseBasic(p);
+  ExpectSameFunction(orig, p, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusionRandomized,
+                         ::testing::Range(10, 26));

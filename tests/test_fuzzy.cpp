@@ -1,0 +1,165 @@
+#include "core/fuzzy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace core = pegasus::core;
+
+namespace {
+
+std::vector<float> TwoClusterData(std::size_t n, std::uint64_t seed) {
+  // Two well-separated 2-D blobs at (40, 40) and (200, 200).
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<float> noise(0.0f, 6.0f);
+  std::vector<float> data;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float cx = i % 2 == 0 ? 40.0f : 200.0f;
+    data.push_back(std::clamp(cx + noise(rng), 0.0f, 255.0f));
+    data.push_back(std::clamp(cx + noise(rng), 0.0f, 255.0f));
+  }
+  return data;
+}
+
+}  // namespace
+
+TEST(ClusterTree, SingleLeafIsGlobalMean) {
+  const std::vector<float> data{10, 20, 30, 40, 50, 60};
+  auto tree = core::ClusterTree::Fit(data, 3, 2, {1, 8, 1});
+  ASSERT_EQ(tree.NumLeaves(), 1u);
+  EXPECT_FLOAT_EQ(tree.Centroid(0)[0], 30.0f);
+  EXPECT_FLOAT_EQ(tree.Centroid(0)[1], 40.0f);
+  EXPECT_EQ(tree.Depth(), 0u);
+}
+
+TEST(ClusterTree, SeparatesTwoBlobs) {
+  const auto data = TwoClusterData(200, 1);
+  auto tree = core::ClusterTree::Fit(data, 200, 2, {2, 8, 1});
+  ASSERT_EQ(tree.NumLeaves(), 2u);
+  const float lo[] = {40.0f, 40.0f};
+  const float hi[] = {200.0f, 200.0f};
+  const std::size_t leaf_lo = tree.Lookup(lo);
+  const std::size_t leaf_hi = tree.Lookup(hi);
+  EXPECT_NE(leaf_lo, leaf_hi);
+  EXPECT_NEAR(tree.Centroid(leaf_lo)[0], 40.0f, 4.0f);
+  EXPECT_NEAR(tree.Centroid(leaf_hi)[0], 200.0f, 4.0f);
+}
+
+TEST(ClusterTree, SseMonotoneInLeafCount) {
+  const auto data = TwoClusterData(300, 2);
+  double prev = 1e18;
+  for (std::size_t leaves : {1u, 2u, 4u, 8u, 16u}) {
+    auto tree = core::ClusterTree::Fit(data, 300, 2,
+                                       {leaves, 8, 1});
+    EXPECT_LE(tree.fit_sse(), prev + 1e-6)
+        << "SSE must not increase with more leaves (" << leaves << ")";
+    prev = tree.fit_sse();
+  }
+}
+
+TEST(ClusterTree, FigureThreeExample) {
+  // The paper's Figure 3 dataset: (1,2),(2,2),(2,3),(1,7),(3,8),(4,9),
+  // (5,10). The figure's first split is x1 <= 5 (the min-SSE split),
+  // separating the bottom blob {(1,2),(2,2),(2,3)} from the top one.
+  // Deeper splits are greedy-tie-break dependent, so we assert the
+  // 2-leaf tree exactly and sanity-check the 4-leaf routing.
+  const std::vector<float> data{1, 2, 2, 2, 2, 3, 1, 7, 3, 8, 4, 9, 5, 10};
+  auto two = core::ClusterTree::Fit(data, 7, 2, {2, 4, 1});
+  ASSERT_EQ(two.NumLeaves(), 2u);
+  const float bottom[] = {2.0f, 2.0f};
+  const float top[] = {3.0f, 8.0f};
+  const auto leaf_bottom = two.Lookup(bottom);
+  const auto leaf_top = two.Lookup(top);
+  ASSERT_NE(leaf_bottom, leaf_top);
+  EXPECT_NEAR(two.Centroid(leaf_bottom)[0], 5.0f / 3.0f, 1e-4f);
+  EXPECT_NEAR(two.Centroid(leaf_bottom)[1], 7.0f / 3.0f, 1e-4f);
+  EXPECT_NEAR(two.Centroid(leaf_top)[0], 13.0f / 4.0f, 1e-4f);
+  EXPECT_NEAR(two.Centroid(leaf_top)[1], 34.0f / 4.0f, 1e-4f);
+
+  // With 4 leaves, the Figure 2 probe (3,7) must land in a top-blob leaf
+  // whose centroid stays near the probe (fuzzy matching's whole point).
+  auto four = core::ClusterTree::Fit(data, 7, 2, {4, 4, 1});
+  ASSERT_EQ(four.NumLeaves(), 4u);
+  const float probe[] = {3.0f, 7.0f};
+  const auto leaf = four.Lookup(probe);
+  EXPECT_GT(four.Centroid(leaf)[1], 5.0f);  // top blob
+  EXPECT_NEAR(four.Centroid(leaf)[0], 3.0f, 2.0f);
+}
+
+TEST(ClusterTree, LeafBoxesTileTheDomain) {
+  // Every point in the domain must fall in exactly one leaf box, and that
+  // leaf must equal tree traversal — the property TCAM lowering relies on.
+  const auto data = TwoClusterData(150, 3);
+  auto tree = core::ClusterTree::Fit(data, 150, 2, {8, 8, 1});
+  std::mt19937_64 rng(4);
+  std::uniform_int_distribution<int> dist(0, 255);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const float x[] = {static_cast<float>(dist(rng)),
+                       static_cast<float>(dist(rng))};
+    const std::size_t leaf = tree.Lookup(x);
+    std::size_t boxes_containing = 0;
+    std::size_t box_leaf = 0;
+    for (std::size_t l = 0; l < tree.NumLeaves(); ++l) {
+      const auto& box = tree.Box(l);
+      bool inside = true;
+      for (std::size_t d = 0; d < 2; ++d) {
+        const auto v = static_cast<std::uint32_t>(x[d]);
+        if (v < box.lo[d] || v > box.hi[d]) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) {
+        ++boxes_containing;
+        box_leaf = l;
+      }
+    }
+    ASSERT_EQ(boxes_containing, 1u);
+    EXPECT_EQ(box_leaf, leaf);
+  }
+}
+
+TEST(ClusterTree, LookupClampsOutOfDomain) {
+  const auto data = TwoClusterData(100, 5);
+  auto tree = core::ClusterTree::Fit(data, 100, 2, {4, 8, 1});
+  const float big[] = {1e6f, 1e6f};
+  const float neg[] = {-5.0f, -5.0f};
+  EXPECT_NO_THROW(tree.Lookup(big));
+  EXPECT_NO_THROW(tree.Lookup(neg));
+}
+
+TEST(ClusterTree, CentroidRefinementIsVisible) {
+  const auto data = TwoClusterData(100, 6);
+  auto tree = core::ClusterTree::Fit(data, 100, 2, {2, 8, 1});
+  auto c = tree.MutableCentroid(0);
+  c[0] = 123.0f;
+  EXPECT_FLOAT_EQ(tree.Centroid(0)[0], 123.0f);
+}
+
+TEST(ClusterTree, RejectsBadInput) {
+  const std::vector<float> data{1, 2};
+  EXPECT_THROW(core::ClusterTree::Fit(data, 0, 2, {2, 8, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(core::ClusterTree::Fit(data, 1, 2, {0, 8, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(core::ClusterTree::Fit(data, 1, 2, {2, 0, 1}),
+               std::invalid_argument);
+  auto tree = core::ClusterTree::Fit(data, 1, 2, {1, 8, 1});
+  const float wrong_dim[] = {1.0f};
+  EXPECT_THROW(tree.Lookup(wrong_dim), std::invalid_argument);
+}
+
+class LeafSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LeafSweep, TreeNeverExceedsRequestedLeaves) {
+  const auto data = TwoClusterData(256, 7);
+  auto tree = core::ClusterTree::Fit(data, 256, 2, {GetParam(), 8, 1});
+  EXPECT_LE(tree.NumLeaves(), GetParam());
+  EXPECT_GE(tree.NumLeaves(), 1u);
+  // Depth bounded by leaves-1 (worst case chain).
+  EXPECT_LE(tree.Depth(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LeafSweep,
+                         ::testing::Values(1, 2, 3, 7, 16, 64, 256));

@@ -1,0 +1,141 @@
+// Cross-module integration tests: every model family must lower onto the
+// simulated switch with bit-exact semantics (host fuzzy reference ==
+// pipeline), fit the resource envelope, and emit plausible P4. These are
+// the end-to-end guarantees a deployment would rely on.
+#include <gtest/gtest.h>
+
+#include "eval/experiment.hpp"
+#include "models/autoencoder.hpp"
+#include "models/cnn_m.hpp"
+#include "models/rnn_b.hpp"
+#include "runtime/lowering.hpp"
+#include "runtime/p4gen.hpp"
+
+namespace ev = pegasus::eval;
+namespace md = pegasus::models;
+namespace rt = pegasus::runtime;
+namespace tr = pegasus::traffic;
+
+namespace {
+
+const ev::PreparedDataset& Data() {
+  static const ev::PreparedDataset prep =
+      ev::Prepare(tr::CiciotSpec(30, 23), /*with_raw_bytes=*/false);
+  return prep;
+}
+
+void ExpectBitExact(const pegasus::core::CompiledModel& cm,
+                    const rt::LoweredModel& lowered,
+                    const tr::SampleSet& samples, std::size_t count) {
+  for (std::size_t i = 0; i < std::min(samples.size(), count); ++i) {
+    std::span<const float> row(samples.x.data() + i * samples.dim,
+                               samples.dim);
+    ASSERT_EQ(cm.EvaluateRaw(row), lowered.InferRaw(row)) << "sample " << i;
+  }
+}
+
+}  // namespace
+
+TEST(Integration, RnnBLowersBitExact) {
+  const auto& prep = Data();
+  md::RnnBConfig cfg;
+  cfg.epochs = 8;
+  auto m = md::RnnB::Train(prep.seq.train.x, prep.seq.train.labels,
+                           prep.seq.train.size(), prep.seq.train.dim,
+                           prep.num_classes, cfg);
+  // The RNN's wide step tables exercise the range-match fallback.
+  auto lowered = rt::Lower(m->Compiled(), {});
+  ExpectBitExact(m->Compiled(), lowered, prep.seq.test, 80);
+  const auto rep = lowered.Report();
+  EXPECT_GT(rep.tcam_bits, 0u);
+  // Chained steps need at least window-many stages.
+  EXPECT_GE(lowered.StagesUsed(), tr::kWindow);
+}
+
+TEST(Integration, CnnMLowersBitExactInOneStage) {
+  const auto& prep = Data();
+  md::CnnMConfig cfg;
+  cfg.epochs = 8;
+  auto m = md::CnnM::Train(prep.seq.train.x, prep.seq.train.labels,
+                           prep.seq.train.size(), prep.seq.train.dim,
+                           prep.num_classes, cfg);
+  auto lowered = rt::Lower(m->Compiled(), {});
+  ExpectBitExact(m->Compiled(), lowered, prep.seq.test, 80);
+  // Advanced fusion: independent per-segment Maps, all level-0.
+  EXPECT_EQ(lowered.StagesUsed(), 1u);
+}
+
+TEST(Integration, AutoencoderLowersBitExact) {
+  const auto& prep = Data();
+  md::AutoencoderConfig cfg;
+  cfg.epochs = 10;
+  auto m = md::Autoencoder::Train(prep.seq.train.x, prep.seq.train.size(),
+                                  prep.seq.train.dim, cfg);
+  auto lowered = rt::Lower(m->Compiled(), {});
+  ExpectBitExact(m->Compiled(), lowered, prep.seq.test, 80);
+  // The anomaly score leaves the pipeline as a single dequantizable field.
+  const auto raw = lowered.InferRaw(std::span<const float>(
+      prep.seq.test.x.data(), prep.seq.test.dim));
+  EXPECT_EQ(raw.size(), 1u);
+}
+
+TEST(Integration, P4EmissionCoversEveryModelFamily) {
+  const auto& prep = Data();
+  md::CnnMConfig cfg;
+  cfg.epochs = 2;
+  auto m = md::CnnM::Train(prep.seq.train.x, prep.seq.train.labels,
+                           prep.seq.train.size(), prep.seq.train.dim,
+                           prep.num_classes, cfg);
+  const std::string p4 = rt::EmitP4(m->Compiled());
+  EXPECT_NE(p4.find("control PegasusIngress"), std::string::npos);
+  std::size_t tables = 0, pos = 0;
+  while ((pos = p4.find("table map_", pos)) != std::string::npos) {
+    ++tables;
+    pos += 10;
+  }
+  EXPECT_EQ(tables, m->Compiled().NumTables());
+}
+
+TEST(Integration, ResourceEnvelopeHoldsForAllModels) {
+  // Every §6.3 model must fit the Tofino-2 envelope — the feasibility
+  // claim behind Table 6.
+  const auto& prep = Data();
+  const pegasus::dataplane::SwitchModel sw;
+  {
+    md::RnnBConfig cfg;
+    cfg.epochs = 2;
+    auto m = md::RnnB::Train(prep.seq.train.x, prep.seq.train.labels,
+                             prep.seq.train.size(), prep.seq.train.dim,
+                             prep.num_classes, cfg);
+    const auto rep = rt::Lower(m->Compiled(), {}).Report();
+    EXPECT_LT(rep.SramPct(sw), 100.0);
+    EXPECT_LT(rep.TcamPct(sw), 100.0);
+  }
+  {
+    md::AutoencoderConfig cfg;
+    cfg.epochs = 2;
+    auto m = md::Autoencoder::Train(prep.seq.train.x, prep.seq.train.size(),
+                                    prep.seq.train.dim, cfg);
+    const auto rep = rt::Lower(m->Compiled(), {}).Report();
+    EXPECT_LT(rep.TcamPct(sw), 100.0);
+  }
+}
+
+TEST(Integration, DeterministicEndToEnd) {
+  // Same seeds -> identical compiled tables and predictions.
+  const auto& prep = Data();
+  md::CnnMConfig cfg;
+  cfg.epochs = 3;
+  auto a = md::CnnM::Train(prep.seq.train.x, prep.seq.train.labels,
+                           prep.seq.train.size(), prep.seq.train.dim,
+                           prep.num_classes, cfg);
+  auto b = md::CnnM::Train(prep.seq.train.x, prep.seq.train.labels,
+                           prep.seq.train.size(), prep.seq.train.dim,
+                           prep.num_classes, cfg);
+  for (std::size_t i = 0; i < std::min<std::size_t>(prep.seq.test.size(), 50);
+       ++i) {
+    std::span<const float> row(
+        prep.seq.test.x.data() + i * prep.seq.test.dim, prep.seq.test.dim);
+    EXPECT_EQ(a->Compiled().EvaluateRaw(row), b->Compiled().EvaluateRaw(row));
+  }
+}

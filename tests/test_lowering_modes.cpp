@@ -1,0 +1,137 @@
+// Property tests on lowering modes: the CRC-ternary path and the
+// range-match (DirtCAM) fallback must be *semantically identical* — only
+// their resource accounting differs. Also covers range-match tables at the
+// dataplane level.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/operators.hpp"
+#include "core/tablegen.hpp"
+#include "runtime/lowering.hpp"
+
+namespace core = pegasus::core;
+namespace rt = pegasus::runtime;
+namespace dp = pegasus::dataplane;
+
+namespace {
+
+constexpr std::size_t kDim = 2;
+
+core::CompiledModel WideKeyModel(std::uint64_t seed) {
+  // A 2-dim-key Map with enough leaves that CRC expansion is nontrivial
+  // yet still placeable fully-ternary (6-dim keys would not be — that is
+  // the situation the range fallback exists for, covered by the RNN-B
+  // integration test).
+  core::ProgramBuilder b(kDim);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> wdist(-0.02f, 0.02f);
+  std::vector<float> w(kDim * 2);
+  for (float& v : w) v = wdist(rng);
+  core::ValueId v =
+      b.Map(b.input(), core::MakeLinear(w, kDim, 2, {0.1f, -0.1f}), 32);
+  std::uniform_real_distribution<float> fdist(0.0f, 255.0f);
+  std::vector<float> x(2000 * kDim);
+  for (float& f : x) f = std::floor(fdist(rng));
+  return core::CompileProgram(b.Finish(v), x, 2000, {});
+}
+
+}  // namespace
+
+TEST(LoweringModes, TernaryAndRangePathsAgreeBitForBit) {
+  const auto model = WideKeyModel(1);
+  rt::LoweringOptions ternary_opts;
+  ternary_opts.max_ternary_entries_per_table = 1u << 24;  // never fall back
+  rt::LoweringOptions range_opts;
+  range_opts.max_ternary_entries_per_table = 1;  // always fall back
+  auto via_ternary = rt::Lower(model, ternary_opts);
+  auto via_range = rt::Lower(model, range_opts);
+
+  std::mt19937_64 rng(2);
+  std::uniform_real_distribution<float> dist(0.0f, 255.0f);
+  for (int i = 0; i < 400; ++i) {
+    std::vector<float> x(kDim);
+    for (float& f : x) f = std::floor(dist(rng));
+    const auto host = model.EvaluateRaw(x);
+    ASSERT_EQ(via_ternary.InferRaw(x), host) << i;
+    ASSERT_EQ(via_range.InferRaw(x), host) << i;
+  }
+}
+
+TEST(LoweringModes, RangeFallbackShrinksEntriesButCostsPerEntry) {
+  const auto model = WideKeyModel(3);
+  rt::LoweringOptions ternary_opts;
+  ternary_opts.max_ternary_entries_per_table = 1u << 24;
+  rt::LoweringOptions range_opts;
+  range_opts.max_ternary_entries_per_table = 1;
+  const auto rep_t = rt::Lower(model, ternary_opts).Report();
+  const auto rep_r = rt::Lower(model, range_opts).Report();
+  // Range mode: exactly one entry per leaf; SRAM (action data) shrinks
+  // accordingly when CRC produced many entries per leaf.
+  EXPECT_LE(rep_r.sram_bits, rep_t.sram_bits);
+  EXPECT_GT(rep_r.tcam_bits, 0u);
+}
+
+TEST(LoweringModes, RangeTableMatchesInclusiveBounds) {
+  dp::PhvLayout layout;
+  const auto key = layout.AddField("k", 8);
+  const auto out = layout.AddField("o", 16);
+  std::vector<dp::ActionOp> prog{
+      {dp::ActionOp::Kind::kSetFromData, out, 0, 0, -1}};
+  dp::MatchActionTable t("t", dp::MatchKind::kRange, {key}, {8}, prog, 16);
+  t.AddEntry({.range_lo = {10}, .range_hi = {20}, .action_data = {1}});
+  t.AddEntry({.range_lo = {21}, .range_hi = {30}, .action_data = {2}});
+  dp::Phv phv(layout);
+  const auto expect = [&](std::int64_t k, bool hit, std::int64_t val) {
+    phv.Set(key, k);
+    phv.Set(out, -1);
+    EXPECT_EQ(t.Apply(phv), hit) << k;
+    if (hit) {
+      EXPECT_EQ(phv.Get(out), val) << k;
+    }
+  };
+  expect(9, false, 0);
+  expect(10, true, 1);
+  expect(20, true, 1);
+  expect(21, true, 2);
+  expect(30, true, 2);
+  expect(31, false, 0);
+}
+
+TEST(LoweringModes, RangeTableDirtCamCost) {
+  dp::PhvLayout layout;
+  const auto key = layout.AddField("k", 10);
+  std::vector<dp::ActionOp> prog;
+  dp::MatchActionTable t("t", dp::MatchKind::kRange, {key}, {10}, prog, 16);
+  t.AddEntry({.range_lo = {0}, .range_hi = {100}});
+  // 10-bit key -> 3 nibbles -> 12 encoded bits x 4 = 48 TCAM bits/entry.
+  EXPECT_EQ(t.TcamBits(), 48u);
+}
+
+TEST(LoweringModes, RangeArityValidated) {
+  dp::PhvLayout layout;
+  const auto key = layout.AddField("k", 8);
+  std::vector<dp::ActionOp> prog;
+  dp::MatchActionTable t("t", dp::MatchKind::kRange, {key}, {8}, prog, 16);
+  EXPECT_THROW(t.AddEntry({.range_lo = {1, 2}, .range_hi = {3, 4}}),
+               std::invalid_argument);
+}
+
+class ThresholdSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ThresholdSweep, AnyThresholdPreservesSemantics) {
+  const auto model = WideKeyModel(7);
+  rt::LoweringOptions opts;
+  opts.max_ternary_entries_per_table = GetParam();
+  auto lowered = rt::Lower(model, opts);
+  std::mt19937_64 rng(8);
+  std::uniform_real_distribution<float> dist(0.0f, 255.0f);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<float> x(kDim);
+    for (float& f : x) f = std::floor(dist(rng));
+    ASSERT_EQ(lowered.InferRaw(x), model.EvaluateRaw(x));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdSweep,
+                         ::testing::Values(1, 64, 1024, 1u << 20));

@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/tensor.hpp"
+#include "nn/trainer.hpp"
+
+namespace nn = pegasus::nn;
+
+// ----------------------------------------------------------------- tensor
+
+TEST(Tensor, ShapeAndAccess) {
+  nn::Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  t.at(1, 2) = 5.0f;
+  EXPECT_EQ(t[5], 5.0f);
+  EXPECT_EQ(t.ShapeString(), "[2,3]");
+  EXPECT_THROW(nn::Tensor({2, 2}, {1.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, MatMulAgainstHandComputed) {
+  nn::Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  nn::Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  nn::Tensor c = nn::MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+  EXPECT_THROW(nn::MatMul(a, a), std::invalid_argument);
+}
+
+TEST(Tensor, TransposedMatMulsAgree) {
+  std::mt19937_64 rng(3);
+  nn::Tensor a({4, 5});
+  nn::Tensor b({5, 3});
+  nn::XavierInit(a, 4, 5, rng);
+  nn::XavierInit(b, 5, 3, rng);
+  // a * b via MatMulTransposedB(a, b^T).
+  nn::Tensor bt({3, 5});
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  nn::Tensor c1 = nn::MatMul(a, b);
+  nn::Tensor c2 = nn::MatMulTransposedB(a, bt);
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_NEAR(c1[i], c2[i], 1e-5f);
+  }
+}
+
+// ---------------------------------------------------- finite-diff checks
+
+namespace {
+
+/// Numerical gradient check of a layer through a scalar loss L = sum(y*g).
+void GradCheck(nn::Layer& layer, nn::Tensor x, float tol = 2e-2f) {
+  std::mt19937_64 rng(11);
+  nn::Tensor y = layer.Forward(x, /*training=*/true);
+  nn::Tensor g(y.shape());
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] = dist(rng);
+  nn::Tensor dx = layer.Backward(g);
+
+  const float eps = 1e-2f;
+  for (std::size_t i = 0; i < x.size(); i += std::max<std::size_t>(1, x.size() / 7)) {
+    nn::Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    nn::Tensor yp = layer.Forward(xp, true);
+    nn::Tensor ym = layer.Forward(xm, true);
+    float lp = 0, lm = 0;
+    for (std::size_t k = 0; k < yp.size(); ++k) {
+      lp += yp[k] * g[k];
+      lm += ym[k] * g[k];
+    }
+    const float numeric = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(dx[i], numeric, tol * std::max(1.0f, std::abs(numeric)))
+        << "input index " << i;
+  }
+}
+
+nn::Tensor RandomTensor(std::vector<std::size_t> shape, std::uint64_t seed) {
+  nn::Tensor t(std::move(shape));
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = dist(rng);
+  return t;
+}
+
+}  // namespace
+
+TEST(GradCheck, Dense) {
+  std::mt19937_64 rng(1);
+  nn::Dense layer(6, 4, rng);
+  GradCheck(layer, RandomTensor({3, 6}, 2));
+}
+
+TEST(GradCheck, Conv1D) {
+  std::mt19937_64 rng(1);
+  nn::Conv1D layer(2, 3, 2, 2, rng);
+  GradCheck(layer, RandomTensor({2, 2, 8}, 3));
+}
+
+TEST(GradCheck, Tanh) {
+  nn::Tanh layer;
+  GradCheck(layer, RandomTensor({2, 5}, 4));
+}
+
+TEST(GradCheck, Sigmoid) {
+  nn::Sigmoid layer;
+  GradCheck(layer, RandomTensor({2, 5}, 5));
+}
+
+TEST(GradCheck, AvgPool) {
+  nn::AvgPool1D layer(2, 2);
+  GradCheck(layer, RandomTensor({2, 3, 6}, 6));
+}
+
+TEST(GradCheck, SimpleRNN) {
+  std::mt19937_64 rng(1);
+  nn::SimpleRNN layer(3, 4, rng);
+  GradCheck(layer, RandomTensor({2, 5, 3}, 7), 5e-2f);
+}
+
+// ----------------------------------------------------------- layer logic
+
+TEST(Layers, ReLUMasksNegatives) {
+  nn::ReLU relu;
+  nn::Tensor x({1, 4}, {-1.0f, 0.0f, 2.0f, -3.0f});
+  nn::Tensor y = relu.Forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+  nn::Tensor g({1, 4}, {1, 1, 1, 1});
+  nn::Tensor dx = relu.Backward(g);
+  EXPECT_FLOAT_EQ(dx[0], 0.0f);
+  EXPECT_FLOAT_EQ(dx[2], 1.0f);
+}
+
+TEST(Layers, MaxPoolForwardBackward) {
+  nn::MaxPool1D pool(2, 2);
+  nn::Tensor x({1, 1, 4}, {1.0f, 5.0f, 2.0f, 0.5f});
+  nn::Tensor y = pool.Forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1), 2.0f);
+  nn::Tensor g({1, 1, 2}, {1.0f, 1.0f});
+  nn::Tensor dx = pool.Backward(g);
+  EXPECT_FLOAT_EQ(dx.at(0, 0, 1), 1.0f);  // argmax positions get gradient
+  EXPECT_FLOAT_EQ(dx.at(0, 0, 0), 0.0f);
+}
+
+TEST(Layers, BatchNormNormalizesInTraining) {
+  nn::BatchNorm1d bn(2);
+  nn::Tensor x({4, 2}, {1, 10, 2, 20, 3, 30, 4, 40});
+  nn::Tensor y = bn.Forward(x, true);
+  for (std::size_t f = 0; f < 2; ++f) {
+    float mean = 0;
+    for (std::size_t i = 0; i < 4; ++i) mean += y.at(i, f);
+    EXPECT_NEAR(mean / 4, 0.0f, 1e-5f);
+  }
+}
+
+TEST(Layers, BatchNormInferenceAffineMatchesEval) {
+  nn::BatchNorm1d bn(2);
+  std::mt19937_64 rng(5);
+  // Train-mode passes to populate running stats.
+  for (int it = 0; it < 50; ++it) {
+    bn.Forward(RandomTensor({16, 2}, rng()), true);
+  }
+  std::vector<float> scale, shift;
+  bn.InferenceAffine(scale, shift);
+  nn::Tensor x = RandomTensor({3, 2}, 99);
+  nn::Tensor y = bn.Forward(x, false);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t f = 0; f < 2; ++f) {
+      EXPECT_NEAR(y.at(i, f), scale[f] * x.at(i, f) + shift[f], 1e-4f);
+    }
+  }
+}
+
+TEST(Layers, EmbeddingLooksUpAndClamps) {
+  std::mt19937_64 rng(1);
+  nn::Embedding emb(4, 3, rng);
+  nn::Tensor idx({1, 2}, {1.0f, 99.0f});  // 99 clamps to 3
+  nn::Tensor y = emb.Forward(idx, true);
+  for (std::size_t d = 0; d < 3; ++d) {
+    EXPECT_FLOAT_EQ(y.at(0, 0, d), emb.table().value.at(1, d));
+    EXPECT_FLOAT_EQ(y.at(0, 1, d), emb.table().value.at(3, d));
+  }
+}
+
+// ----------------------------------------------------------------- losses
+
+TEST(Loss, SoftmaxSumsToOne) {
+  nn::Tensor logits({2, 3}, {1, 2, 3, -1, 0, 1});
+  nn::Tensor p = nn::Softmax(logits);
+  for (std::size_t i = 0; i < 2; ++i) {
+    float s = 0;
+    for (std::size_t j = 0; j < 3; ++j) s += p.at(i, j);
+    EXPECT_NEAR(s, 1.0f, 1e-6f);
+  }
+}
+
+TEST(Loss, CrossEntropyGradientIsProbMinusOneHot) {
+  nn::Tensor logits({1, 3}, {0.0f, 0.0f, 0.0f});
+  auto res = nn::SoftmaxCrossEntropy(logits, {1});
+  EXPECT_NEAR(res.loss, std::log(3.0f), 1e-5f);
+  EXPECT_NEAR(res.grad.at(0, 0), 1.0f / 3.0f, 1e-5f);
+  EXPECT_NEAR(res.grad.at(0, 1), 1.0f / 3.0f - 1.0f, 1e-5f);
+}
+
+TEST(Loss, MaePerSample) {
+  nn::Tensor pred({2, 2}, {1, 2, 3, 4});
+  nn::Tensor target({2, 2}, {1, 0, 0, 4});
+  const auto mae = nn::PerSampleMae(pred, target);
+  EXPECT_FLOAT_EQ(mae[0], 1.0f);
+  EXPECT_FLOAT_EQ(mae[1], 1.5f);
+}
+
+// ------------------------------------------------------------- end-to-end
+
+TEST(Training, LearnsXorWithMlp) {
+  // XOR needs a hidden layer — a smoke test that backprop works end to end.
+  std::mt19937_64 rng(17);
+  nn::Sequential net;
+  net.Emplace<nn::Dense>(2, 8, rng);
+  net.Emplace<nn::Tanh>();
+  net.Emplace<nn::Dense>(8, 2, rng);
+
+  std::vector<float> xs;
+  std::vector<std::int32_t> ys;
+  for (int i = 0; i < 200; ++i) {
+    const int a = i % 2, b = (i / 2) % 2;
+    xs.push_back(static_cast<float>(a));
+    xs.push_back(static_cast<float>(b));
+    ys.push_back(a ^ b);
+  }
+  nn::Tensor tx({200, 2}, xs);
+  nn::TrainConfig cfg;
+  cfg.epochs = 120;
+  cfg.lr = 5e-3f;
+  const float loss = nn::TrainClassifier(net, tx, ys, cfg);
+  EXPECT_LT(loss, 0.1f);
+  nn::Tensor logits = nn::Predict(net, tx);
+  const auto pred = nn::ArgmaxRows(logits);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == ys[i]) ++correct;
+  }
+  EXPECT_GT(correct, 195u);
+}
+
+TEST(Training, AutoencoderReducesReconstructionError) {
+  std::mt19937_64 rng(19);
+  nn::Sequential net;
+  net.Emplace<nn::Dense>(4, 2, rng);
+  net.Emplace<nn::Tanh>();
+  net.Emplace<nn::Dense>(2, 4, rng);
+  // Rank-1 data is compressible to 2 dims.
+  std::vector<float> xs;
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  for (int i = 0; i < 256; ++i) {
+    const float t = dist(rng);
+    for (float c : {1.0f, 0.5f, -0.5f, 0.25f}) xs.push_back(c * t);
+  }
+  nn::Tensor tx({256, 4}, xs);
+  nn::TrainConfig cfg;
+  cfg.epochs = 80;
+  cfg.lr = 5e-3f;
+  const float loss = nn::TrainAutoencoder(net, tx, tx, cfg);
+  EXPECT_LT(loss, 0.02f);
+}
+
+TEST(Training, DivergenceThrows) {
+  std::mt19937_64 rng(23);
+  nn::Sequential net;
+  net.Emplace<nn::Dense>(2, 2, rng);
+  std::vector<float> xs{1e30f, 1e30f, -1e30f, -1e30f};
+  nn::Tensor tx({2, 2}, xs);
+  nn::TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.lr = 1e10f;
+  EXPECT_THROW(nn::TrainClassifier(net, tx, {0, 1}, cfg), std::exception);
+}
+
+TEST(Optimizers, AdamConvergesOnQuadratic) {
+  // Minimize ||w - target||^2 through the Param/Optimizer interface.
+  nn::Param w({4});
+  const float target[] = {1.0f, -2.0f, 0.5f, 3.0f};
+  nn::Adam opt({&w}, 0.05f);
+  for (int it = 0; it < 500; ++it) {
+    opt.ZeroGrad();
+    for (std::size_t i = 0; i < 4; ++i) {
+      w.grad[i] = 2.0f * (w.value[i] - target[i]);
+    }
+    opt.Step();
+  }
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(w.value[i], target[i], 1e-2f);
+  }
+}
+
+TEST(Optimizers, SgdMomentumConverges) {
+  nn::Param w({2});
+  nn::Sgd opt({&w}, 0.05f, 0.9f);
+  for (int it = 0; it < 300; ++it) {
+    opt.ZeroGrad();
+    w.grad[0] = 2.0f * (w.value[0] - 1.0f);
+    w.grad[1] = 2.0f * (w.value[1] + 1.0f);
+    opt.Step();
+  }
+  EXPECT_NEAR(w.value[0], 1.0f, 1e-2f);
+  EXPECT_NEAR(w.value[1], -1.0f, 1e-2f);
+}

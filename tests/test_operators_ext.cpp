@@ -1,0 +1,165 @@
+// Tests for the extended Table 4 operator set: LayerNorm, Hadamard, and
+// the Softmax primitive decomposition (§5's Multi-Input Operation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/operators.hpp"
+#include "core/tablegen.hpp"
+#include "nn/layers.hpp"
+#include "nn/loss.hpp"
+
+namespace core = pegasus::core;
+namespace nn = pegasus::nn;
+
+// ------------------------------------------------------------ LayerNorm
+
+TEST(LayerNorm, NormalizesEachRow) {
+  nn::LayerNorm ln(4);
+  nn::Tensor x({2, 4}, {1, 2, 3, 4, 10, 10, 10, 10});
+  nn::Tensor y = ln.Forward(x, true);
+  // Row 0: zero mean, unit-ish variance.
+  float mean = 0;
+  for (std::size_t f = 0; f < 4; ++f) mean += y.at(0, f);
+  EXPECT_NEAR(mean / 4, 0.0f, 1e-5f);
+  // Row 1 is constant: normalized values are 0 (eps guards the division).
+  for (std::size_t f = 0; f < 4; ++f) {
+    EXPECT_NEAR(y.at(1, f), 0.0f, 1e-3f);
+  }
+}
+
+TEST(LayerNorm, GradCheck) {
+  nn::LayerNorm ln(5);
+  std::mt19937_64 rng(3);
+  nn::Tensor x({3, 5});
+  std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = dist(rng);
+  nn::Tensor y = ln.Forward(x, true);
+  nn::Tensor g(y.shape());
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] = dist(rng);
+  nn::Tensor dx = ln.Backward(g);
+  const float eps = 1e-2f;
+  for (std::size_t i = 0; i < x.size(); i += 4) {
+    nn::Tensor xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    nn::Tensor yp = ln.Forward(xp, true);
+    nn::Tensor ym = ln.Forward(xm, true);
+    float lp = 0, lm = 0;
+    for (std::size_t k = 0; k < yp.size(); ++k) {
+      lp += yp[k] * g[k];
+      lm += ym[k] * g[k];
+    }
+    const float numeric = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(dx[i], numeric, 2e-2f * std::max(1.0f, std::abs(numeric)));
+  }
+}
+
+// ------------------------------------------------------------- Hadamard
+
+TEST(Hadamard, LayerForwardBackward) {
+  nn::HadamardGate gate;
+  nn::Tensor x({1, 4}, {2, 3, 5, 7});
+  nn::Tensor y = gate.Forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 10.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 21.0f);
+  nn::Tensor g({1, 2}, {1.0f, 1.0f});
+  nn::Tensor dx = gate.Backward(g);
+  EXPECT_FLOAT_EQ(dx.at(0, 0), 5.0f);  // d/da (a*b) = b
+  EXPECT_FLOAT_EQ(dx.at(0, 2), 2.0f);  // d/db (a*b) = a
+  nn::Tensor odd({1, 3});
+  EXPECT_THROW(gate.Forward(odd, true), std::invalid_argument);
+}
+
+TEST(Hadamard, MapFunctionMatchesLayer) {
+  auto fn = core::MakeHadamardFn(3);
+  const std::vector<float> x{1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(fn.fn(x), (std::vector<float>{4, 10, 18}));
+  EXPECT_EQ(fn.in_dim, 6u);
+  EXPECT_EQ(fn.out_dim, 3u);
+}
+
+// ------------------------------------------------- Softmax decomposition
+
+TEST(SoftmaxPrimitives, ReferenceMatchesClosedForm) {
+  core::ProgramBuilder b(3);
+  const core::ValueId sm = core::AppendSoftmax(b, b.input(), 3, 64);
+  core::Program p = b.Finish(sm);
+  const std::vector<float> x{1.0f, 2.0f, 3.0f};
+  const auto y = p.Evaluate(x);
+  nn::Tensor logits({1, 3}, x);
+  nn::Tensor expect = nn::Softmax(logits);
+  ASSERT_EQ(y.size(), 3u);
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(y[i], expect[i], 1e-5f);
+    sum += y[i];
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(SoftmaxPrimitives, CompilesToFuzzyTables) {
+  // Softmax over small-ranged inputs compiles and stays a valid
+  // distribution under fuzzy evaluation.
+  core::ProgramBuilder b(3);
+  const core::ValueId sm = core::AppendSoftmax(b, b.input(), 3, 128);
+  core::Program p = b.Finish(sm);
+
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<float> dist(0.0f, 8.0f);
+  const std::size_t n = 3000;
+  std::vector<float> x(n * 3);
+  for (float& v : x) v = std::floor(dist(rng));
+  core::CompileOptions opts;
+  opts.input_bits = 4;  // logits in [0, 16)
+  auto cm = core::CompileProgram(std::move(p), x, n, opts);
+  EXPECT_EQ(cm.NumTables(), 6u);  // 3 exp maps + 3 normalize maps
+
+  // exp() spans three orders of magnitude over [0,8), so per-probability
+  // fuzzy error is coarse; the distribution property that matters (and
+  // that argmax relies on) is that mass stays near 1 on average.
+  double mean_sum_err = 0.0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    const auto y = cm.Evaluate(std::span<const float>(x.data() + i * 3, 3));
+    float sum = 0.0f;
+    for (float v : y) {
+      EXPECT_GE(v, -0.05f);
+      sum += v;
+    }
+    mean_sum_err += std::abs(double{sum} - 1.0);
+  }
+  EXPECT_LT(mean_sum_err / 200.0, 0.25);
+}
+
+TEST(SoftmaxPrimitives, ArgmaxPreservedUnderFuzzing) {
+  core::ProgramBuilder b(3);
+  const core::ValueId sm = core::AppendSoftmax(b, b.input(), 3, 128);
+  core::Program p = b.Finish(sm);
+  core::Program ref = p;
+  std::mt19937_64 rng(6);
+  std::uniform_real_distribution<float> dist(0.0f, 8.0f);
+  const std::size_t n = 3000;
+  std::vector<float> x(n * 3);
+  for (float& v : x) v = std::floor(dist(rng));
+  core::CompileOptions opts;
+  opts.input_bits = 4;
+  auto cm = core::CompileProgram(std::move(p), x, n, opts);
+  std::size_t agree = 0, total = 0;
+  for (std::size_t i = 0; i < 300; ++i) {
+    std::span<const float> row(x.data() + i * 3, 3);
+    const auto exact = ref.Evaluate(row);
+    const auto fuzzy = cm.Evaluate(row);
+    const auto am = [](const std::vector<float>& v) {
+      return std::distance(v.begin(), std::max_element(v.begin(), v.end()));
+    };
+    // Only count confident rows (clear winner).
+    std::vector<float> sorted = exact;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted[2] - sorted[1] < 0.15f) continue;
+    ++total;
+    if (am(exact) == am(fuzzy)) ++agree;
+  }
+  ASSERT_GT(total, 50u);
+  EXPECT_GT(static_cast<double>(agree) / static_cast<double>(total), 0.95);
+}

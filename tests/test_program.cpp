@@ -1,0 +1,161 @@
+#include "core/program.hpp"
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/operators.hpp"
+
+namespace core = pegasus::core;
+
+TEST(Program, BuilderProducesValidMatMulDecomposition) {
+  // Table 3's worked example: Partition -> Map (per-segment product) ->
+  // SumReduce reproduces a MatMul.
+  core::ProgramBuilder b(4);
+  // y = x * W, W = [[1],[2],[3],[4]] (4x1).
+  const std::vector<float> w{1, 2, 3, 4};
+  const core::ValueId y = core::AppendFullyConnected(
+      b, b.input(), w, 4, 1, {}, 2, 4);
+  core::Program p = b.Finish(y);
+  const std::vector<float> x{1, 1, 2, 2};
+  const auto out = p.Evaluate(x);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FLOAT_EQ(out[0], 1 + 2 + 6 + 8);
+}
+
+TEST(Program, SoftmaxAsMapSumReduceMap) {
+  // §5's Multi-Input Operation example: exp Maps, SumReduce, normalize.
+  // Our IR needs the final normalize keyed on (sum, x_i); here we verify
+  // the exp+sum part evaluates correctly.
+  core::ProgramBuilder b(3);
+  auto segs = b.PartitionExplicit(
+      b.input(), std::vector<std::pair<std::size_t, std::size_t>>{
+                     {0, 1}, {1, 1}, {2, 1}});
+  std::vector<core::ValueId> exps;
+  for (auto s : segs) {
+    exps.push_back(b.Map(
+        s,
+        core::MakeSubnet("exp", 1, 1,
+                         [](std::span<const float> x) {
+                           return std::vector<float>{std::exp(x[0])};
+                         }),
+        16));
+  }
+  const auto sum = b.SumReduce(std::span<const core::ValueId>(exps));
+  core::Program p = b.Finish(sum);
+  const std::vector<float> x{0.0f, 1.0f, 2.0f};
+  EXPECT_NEAR(p.Evaluate(x)[0],
+              std::exp(0.0f) + std::exp(1.0f) + std::exp(2.0f), 1e-4f);
+}
+
+TEST(Program, ConcatPacksSegments) {
+  core::ProgramBuilder b(4);
+  auto segs = b.Partition(b.input(), 2, 2);
+  // Swap the two halves.
+  const auto out = b.Concat({segs[1], segs[0]});
+  core::Program p = b.Finish(out);
+  const auto y = p.Evaluate(std::vector<float>{1, 2, 3, 4});
+  EXPECT_EQ(y, (std::vector<float>{3, 4, 1, 2}));
+}
+
+TEST(Program, ValidateCatchesUseBeforeDef) {
+  core::Program p;
+  const auto in = p.AddValue("in", 2);
+  const auto bogus = p.AddValue("bogus", 2);
+  const auto out = p.AddValue("out", 2);
+  p.SetInput(in);
+  p.SetOutput(out);
+  core::Op op;
+  op.kind = core::OpKind::kMap;
+  op.map.input = bogus;  // never defined
+  op.map.output = out;
+  op.map.fn = core::MakeReLU(2);
+  p.Append(std::move(op));
+  EXPECT_THROW(p.Validate(), std::logic_error);
+}
+
+TEST(Program, ValidateCatchesDimMismatch) {
+  core::Program p;
+  const auto in = p.AddValue("in", 2);
+  const auto out = p.AddValue("out", 3);
+  p.SetInput(in);
+  p.SetOutput(out);
+  core::Op op;
+  op.kind = core::OpKind::kMap;
+  op.map.input = in;
+  op.map.output = out;
+  op.map.fn = core::MakeReLU(2);  // out_dim 2 != 3
+  p.Append(std::move(op));
+  EXPECT_THROW(p.Validate(), std::logic_error);
+}
+
+TEST(Program, ValidateCatchesUnproducedOutput) {
+  core::Program p;
+  const auto in = p.AddValue("in", 2);
+  const auto out = p.AddValue("out", 2);
+  p.SetInput(in);
+  p.SetOutput(out);
+  EXPECT_THROW(p.Validate(), std::logic_error);
+}
+
+TEST(Program, PartitionOutOfRangeRejected) {
+  core::Program p;
+  const auto in = p.AddValue("in", 4);
+  const auto seg = p.AddValue("seg", 3);
+  p.SetInput(in);
+  p.SetOutput(seg);
+  core::Op op;
+  op.kind = core::OpKind::kPartition;
+  op.partition.input = in;
+  op.partition.segments.push_back({3, 3, seg});  // 3+3 > 4
+  p.Append(std::move(op));
+  EXPECT_THROW(p.Validate(), std::logic_error);
+}
+
+TEST(MapFunction, ComposePipesAndIntersectsFlags) {
+  auto relu = core::MakeReLU(3);
+  auto scale = core::MakeAffine({2, 2, 2}, {0, 0, 0}, "x2");
+  EXPECT_TRUE(scale.additive);
+  auto combo = core::Compose(relu, scale);
+  EXPECT_TRUE(combo.elementwise);
+  EXPECT_FALSE(combo.additive);  // relu is not additive
+  const std::vector<float> x{-1, 0.5f, 2};
+  const auto y = combo.fn(x);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 1.0f);
+  EXPECT_FLOAT_EQ(y[2], 4.0f);
+  EXPECT_THROW(core::Compose(core::MakeReLU(2), core::MakeReLU(3)),
+               std::invalid_argument);
+}
+
+TEST(MapFunction, SliceElementwiseMatchesFullApplication) {
+  auto aff = core::MakeAffine({1, 2, 3, 4}, {10, 20, 30, 40}, "aff");
+  auto slice = core::SliceElementwise(aff, 1, 2);
+  const std::vector<float> seg{5, 6};
+  const auto y = slice.fn(seg);
+  EXPECT_FLOAT_EQ(y[0], 2 * 5 + 20);
+  EXPECT_FLOAT_EQ(y[1], 3 * 6 + 30);
+  EXPECT_THROW(core::SliceElementwise(core::MakeMaxFn(4), 0, 2),
+               std::invalid_argument);
+}
+
+TEST(Operators, LinearAdditivityFlagTracksBias) {
+  EXPECT_TRUE(core::MakeLinear({1, 2}, 2, 1, {}).additive);
+  EXPECT_FALSE(core::MakeLinear({1, 2}, 2, 1, {0.5f}).additive);
+}
+
+TEST(Operators, EmbeddingLookupClamps) {
+  auto emb = core::MakeEmbeddingFn({1, 2, 3, 4, 5, 6}, 3, 2);
+  EXPECT_EQ(emb.fn(std::vector<float>{1.0f}), (std::vector<float>{3, 4}));
+  EXPECT_EQ(emb.fn(std::vector<float>{99.0f}), (std::vector<float>{5, 6}));
+  EXPECT_EQ(emb.fn(std::vector<float>{-1.0f}), (std::vector<float>{1, 2}));
+}
+
+TEST(Operators, PoolingFunctions) {
+  auto mx = core::MakeMaxFn(4);
+  auto mean = core::MakeMeanFn(4);
+  const std::vector<float> x{1, 5, 2, 0};
+  EXPECT_FLOAT_EQ(mx.fn(x)[0], 5.0f);
+  EXPECT_FLOAT_EQ(mean.fn(x)[0], 2.0f);
+  EXPECT_TRUE(mean.additive);
+  EXPECT_FALSE(mx.additive);
+}

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "core/operators.hpp"
+#include "core/tablegen.hpp"
+#include "runtime/lowering.hpp"
+
+namespace core = pegasus::core;
+namespace rt = pegasus::runtime;
+
+namespace {
+
+core::CompiledModel BuildModel(std::uint64_t seed) {
+  core::ProgramBuilder b(4);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> wdist(-0.05f, 0.05f);
+  std::vector<float> w(4 * 3);
+  for (float& v : w) v = wdist(rng);
+  core::ValueId v = core::AppendFullyConnected(b, b.input(), w, 4, 3,
+                                               {}, 2, 32);
+  v = b.Map(v, core::MakeReLU(3), 32);
+  std::uniform_real_distribution<float> fdist(0.0f, 255.0f);
+  std::vector<float> x(1500 * 4);
+  for (float& f : x) f = std::floor(fdist(rng));
+  return core::CompileProgram(b.Finish(v), x, 1500, {});
+}
+
+}  // namespace
+
+TEST(Serialize, RoundTripPreservesRawEvaluation) {
+  const auto model = BuildModel(1);
+  std::stringstream buf;
+  model.Save(buf);
+  const auto loaded = core::CompiledModel::Load(buf);
+
+  std::mt19937_64 rng(2);
+  std::uniform_real_distribution<float> dist(0.0f, 255.0f);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<float> x{std::floor(dist(rng)), std::floor(dist(rng)),
+                               std::floor(dist(rng)), std::floor(dist(rng))};
+    EXPECT_EQ(model.EvaluateRaw(x), loaded.EvaluateRaw(x));
+    EXPECT_EQ(model.Evaluate(x), loaded.Evaluate(x));
+  }
+}
+
+TEST(Serialize, LoadedModelLowersIdentically) {
+  const auto model = BuildModel(3);
+  std::stringstream buf;
+  model.Save(buf);
+  const auto loaded = core::CompiledModel::Load(buf);
+
+  auto lowered_orig = rt::Lower(model, {});
+  auto lowered_loaded = rt::Lower(loaded, {});
+  EXPECT_EQ(lowered_orig.NumTables(), lowered_loaded.NumTables());
+  const auto rep_a = lowered_orig.Report();
+  const auto rep_b = lowered_loaded.Report();
+  EXPECT_EQ(rep_a.sram_bits, rep_b.sram_bits);
+  EXPECT_EQ(rep_a.tcam_bits, rep_b.tcam_bits);
+
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<float> dist(0.0f, 255.0f);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<float> x{std::floor(dist(rng)), std::floor(dist(rng)),
+                               std::floor(dist(rng)), std::floor(dist(rng))};
+    EXPECT_EQ(lowered_orig.InferRaw(x), lowered_loaded.InferRaw(x));
+  }
+}
+
+TEST(Serialize, MetadataSurvives) {
+  const auto model = BuildModel(5);
+  std::stringstream buf;
+  model.Save(buf);
+  const auto loaded = core::CompiledModel::Load(buf);
+  EXPECT_EQ(loaded.NumTables(), model.NumTables());
+  EXPECT_EQ(loaded.TotalLeaves(), model.TotalLeaves());
+  EXPECT_EQ(loaded.options().input_bits, model.options().input_bits);
+  EXPECT_EQ(loaded.options().value_bits, model.options().value_bits);
+  EXPECT_EQ(loaded.program().NumValues(), model.program().NumValues());
+  EXPECT_EQ(loaded.quant().size(), model.quant().size());
+}
+
+TEST(Serialize, HostFunctionsAreNotSerialized) {
+  const auto model = BuildModel(6);
+  std::stringstream buf;
+  model.Save(buf);
+  const auto loaded = core::CompiledModel::Load(buf);
+  // The float reference interpreter must refuse (its functions are
+  // training-side artifacts).
+  const std::vector<float> x{1, 2, 3, 4};
+  EXPECT_THROW(loaded.program().Evaluate(x), std::logic_error);
+}
+
+TEST(Serialize, RejectsGarbageAndTruncation) {
+  std::stringstream garbage("not a pegasus artifact");
+  EXPECT_THROW(core::CompiledModel::Load(garbage), std::runtime_error);
+
+  const auto model = BuildModel(7);
+  std::stringstream buf;
+  model.Save(buf);
+  const std::string full = buf.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(core::CompiledModel::Load(truncated), std::runtime_error);
+}
+
+TEST(Serialize, ClusterTreeRoundTrip) {
+  std::mt19937_64 rng(8);
+  std::uniform_real_distribution<float> dist(0.0f, 255.0f);
+  std::vector<float> data(500 * 3);
+  for (float& v : data) v = std::floor(dist(rng));
+  auto tree = core::ClusterTree::Fit(data, 500, 3, {16, 8, 1});
+  std::stringstream buf;
+  tree.Save(buf);
+  const auto loaded = core::ClusterTree::Load(buf);
+  EXPECT_EQ(loaded.NumLeaves(), tree.NumLeaves());
+  EXPECT_EQ(loaded.dim(), tree.dim());
+  EXPECT_DOUBLE_EQ(loaded.fit_sse(), tree.fit_sse());
+  for (int i = 0; i < 500; ++i) {
+    const float x[] = {std::floor(dist(rng)), std::floor(dist(rng)),
+                       std::floor(dist(rng))};
+    EXPECT_EQ(tree.Lookup(x), loaded.Lookup(x));
+  }
+}

@@ -1,0 +1,173 @@
+#include "core/syntax.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/operators.hpp"
+
+namespace core = pegasus::core;
+
+namespace {
+
+core::FunctionRegistry BasicRegistry() {
+  core::FunctionRegistry reg;
+  reg.Register("double2", core::MakeAffine({2, 2}, {0, 0}, "double2"));
+  reg.Register("relu4", core::MakeReLU(4));
+  reg.Register("sum2", core::MakeLinear({1, 1}, 2, 1, {}, "sum2"));
+  reg.RegisterFamily(
+      "per_seg", {core::MakeAffine({1, 1}, {10, 10}, "a0"),
+                  core::MakeAffine({1, 1}, {20, 20}, "a1")});
+  return reg;
+}
+
+}  // namespace
+
+TEST(Syntax, FigureSixShapedProgramParsesAndEvaluates) {
+  // The nested SumReduce(Map(Partition(...))) form of Figure 6.
+  const std::string src = R"(
+    # Pegasus Syntax example
+    input vec[4];
+    output SumReduce(Map(Partition(vec, dim=2, stride=2), fn=sum2, leaves=8));
+  )";
+  core::Program p =
+      core::ParsePegasusSyntax(src, BasicRegistry());
+  const auto y = p.Evaluate(std::vector<float>{1, 2, 3, 4});
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_FLOAT_EQ(y[0], 10.0f);
+  EXPECT_EQ(p.NumMaps(), 2u);
+}
+
+TEST(Syntax, LetBindingsAndConcat) {
+  const std::string src = R"(
+    input vec[4];
+    segs = Partition(vec, dim=2, stride=2);
+    mapped = Map(segs, fn=double2);
+    output Concat(mapped);
+  )";
+  core::Program p = core::ParsePegasusSyntax(src, BasicRegistry());
+  const auto y = p.Evaluate(std::vector<float>{1, 2, 3, 4});
+  EXPECT_EQ(y, (std::vector<float>{2, 4, 6, 8}));
+}
+
+TEST(Syntax, PerSegmentFunctionFamily) {
+  const std::string src = R"(
+    input vec[4];
+    output Concat(Map(Partition(vec, dim=2, stride=2), fn=per_seg));
+  )";
+  core::Program p = core::ParsePegasusSyntax(src, BasicRegistry());
+  const auto y = p.Evaluate(std::vector<float>{1, 2, 3, 4});
+  EXPECT_EQ(y, (std::vector<float>{11, 12, 23, 24}));
+}
+
+TEST(Syntax, MapOnWholeVector) {
+  const std::string src = R"(
+    input vec[4];
+    output Map(vec, fn=relu4, leaves=32);
+  )";
+  core::Program p = core::ParsePegasusSyntax(src, BasicRegistry());
+  const auto y = p.Evaluate(std::vector<float>{-1, 2, -3, 4});
+  EXPECT_EQ(y, (std::vector<float>{0, 2, 0, 4}));
+}
+
+TEST(Syntax, DefaultLeavesApplied) {
+  const std::string src = R"(
+    input vec[4];
+    output Map(vec, fn=relu4);
+  )";
+  core::ParseOptions opts;
+  opts.default_fuzzy_leaves = 99;
+  core::Program p = core::ParsePegasusSyntax(src, BasicRegistry(), opts);
+  for (const auto& op : p.ops()) {
+    if (op.kind == core::OpKind::kMap) {
+      EXPECT_EQ(op.map.fuzzy_leaves, 99u);
+    }
+  }
+}
+
+TEST(Syntax, CommentsAndWhitespaceIgnored) {
+  const std::string src =
+      "# header\ninput   v [ 2 ] ;\n"
+      "output Map(v, fn=double2); # trailing\n";
+  EXPECT_NO_THROW(core::ParsePegasusSyntax(src, BasicRegistry()));
+}
+
+// ------------------------------------------------------------- errors
+
+TEST(SyntaxErrors, UnknownFunction) {
+  const std::string src = "input v[4]; output Map(v, fn=nope);";
+  try {
+    core::ParsePegasusSyntax(src, BasicRegistry());
+    FAIL() << "expected SyntaxError";
+  } catch (const core::SyntaxError& e) {
+    EXPECT_NE(std::string(e.what()).find("nope"), std::string::npos);
+  }
+}
+
+TEST(SyntaxErrors, UnknownName) {
+  EXPECT_THROW(core::ParsePegasusSyntax("input v[4]; output w;",
+                                        BasicRegistry()),
+               core::SyntaxError);
+}
+
+TEST(SyntaxErrors, MissingOutput) {
+  EXPECT_THROW(core::ParsePegasusSyntax("input v[4];", BasicRegistry()),
+               core::SyntaxError);
+}
+
+TEST(SyntaxErrors, DimMismatchSurfacesLine) {
+  // relu4 on 2-dim segments.
+  const std::string src = R"(
+    input v[4];
+    output Concat(Map(Partition(v, dim=2, stride=2), fn=relu4));
+  )";
+  try {
+    core::ParsePegasusSyntax(src, BasicRegistry());
+    FAIL() << "expected SyntaxError";
+  } catch (const core::SyntaxError& e) {
+    EXPECT_EQ(e.line(), 3u);
+  }
+}
+
+TEST(SyntaxErrors, RedefinitionRejected) {
+  const std::string src = R"(
+    input v[4];
+    a = Map(v, fn=relu4);
+    a = Map(v, fn=relu4);
+    output a;
+  )";
+  EXPECT_THROW(core::ParsePegasusSyntax(src, BasicRegistry()),
+               core::SyntaxError);
+}
+
+TEST(SyntaxErrors, PartitionNeedsParams) {
+  EXPECT_THROW(core::ParsePegasusSyntax(
+                   "input v[4]; output Concat(Partition(v, dim=2));",
+                   BasicRegistry()),
+               core::SyntaxError);
+}
+
+TEST(SyntaxErrors, BadCharacterRejected) {
+  EXPECT_THROW(core::ParsePegasusSyntax("input v[4]; output v @;",
+                                        BasicRegistry()),
+               core::SyntaxError);
+}
+
+TEST(SyntaxErrors, SumReduceOfMismatchedDims) {
+  core::FunctionRegistry reg = BasicRegistry();
+  const std::string src = R"(
+    input v[4];
+    a = Map(v, fn=relu4);
+    b = Map(Partition(v, dim=2, stride=2), fn=double2);
+    output SumReduce(a, b);
+  )";
+  EXPECT_THROW(core::ParsePegasusSyntax(src, reg), core::SyntaxError);
+}
+
+TEST(Syntax, FamilySizeMismatchRejected) {
+  // per_seg has 2 members; partition yields 4 segments.
+  const std::string src = R"(
+    input v[8];
+    output Concat(Map(Partition(v, dim=2, stride=2), fn=per_seg));
+  )";
+  EXPECT_THROW(core::ParsePegasusSyntax(src, BasicRegistry()),
+               core::SyntaxError);
+}

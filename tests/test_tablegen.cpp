@@ -1,0 +1,216 @@
+#include "core/tablegen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/fusion.hpp"
+#include "core/operators.hpp"
+
+namespace core = pegasus::core;
+
+namespace {
+
+std::vector<float> RandomFeatures(std::size_t n, std::size_t dim,
+                                  std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(0.0f, 255.0f);
+  std::vector<float> x(n * dim);
+  for (float& v : x) v = std::floor(dist(rng));
+  return x;
+}
+
+/// Identity-ish affine program: one Map over the whole input.
+core::Program AffineProgram(std::size_t dim, float scale, float shift) {
+  core::ProgramBuilder b(dim);
+  auto v = b.Map(b.input(),
+                 core::MakeAffine(std::vector<float>(dim, scale),
+                                  std::vector<float>(dim, shift), "aff"),
+                 64);
+  return b.Finish(v);
+}
+
+}  // namespace
+
+TEST(Tablegen, FuzzyApproximatesAffineWithinLeafResolution) {
+  const std::size_t n = 2000, dim = 2;
+  auto x = RandomFeatures(n, dim, 1);
+  core::CompileOptions opts;
+  auto cm = core::CompileProgram(AffineProgram(dim, 0.1f, -5.0f), x, n, opts);
+  EXPECT_EQ(cm.NumTables(), 1u);
+
+  // The fuzzy output must track the exact function with error bounded by
+  // the cluster radius times the slope.
+  double worst = 0.0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    std::span<const float> row(x.data() + i * dim, dim);
+    const auto y = cm.Evaluate(row);
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double exact = 0.1 * row[d] - 5.0;
+      worst = std::max(worst, std::abs(exact - y[d]));
+    }
+  }
+  // 64 leaves over a 256^2 uniform domain -> cells ~32 wide -> |err| <=
+  // slope * cell/2 + quantization ~ 1.6 + eps. Allow slack.
+  EXPECT_LT(worst, 4.0);
+}
+
+TEST(Tablegen, MoreLeavesMonotonicallyImproveAccuracy) {
+  const std::size_t n = 3000, dim = 2;
+  auto x = RandomFeatures(n, dim, 2);
+  double prev_err = 1e18;
+  for (std::size_t leaves : {4u, 16u, 64u, 256u}) {
+    core::ProgramBuilder b(dim);
+    auto v = b.Map(b.input(),
+                   core::MakeSubnet("prod", dim, 1,
+                                    [](std::span<const float> in) {
+                                      return std::vector<float>{
+                                          in[0] * in[1] / 256.0f};
+                                    }),
+                   leaves);
+    core::CompileOptions opts;
+    auto cm = core::CompileProgram(b.Finish(v), x, n, opts);
+    double err = 0.0;
+    for (std::size_t i = 0; i < 500; ++i) {
+      std::span<const float> row(x.data() + i * dim, dim);
+      err += std::abs(cm.Evaluate(row)[0] - row[0] * row[1] / 256.0f);
+    }
+    EXPECT_LT(err, prev_err * 1.05) << leaves;  // allow small noise
+    prev_err = err;
+  }
+}
+
+TEST(Tablegen, RefinementBeatsPlainCentroids) {
+  // On a curved function, storing per-leaf means of f(x) (the §4.4
+  // refinement) must not be worse than f(centroid).
+  const std::size_t n = 4000, dim = 2;
+  auto x = RandomFeatures(n, dim, 3);
+  auto make = [&](bool refine) {
+    core::ProgramBuilder b(dim);
+    auto v = b.Map(b.input(),
+                   core::MakeSubnet("curve", dim, 1,
+                                    [](std::span<const float> in) {
+                                      const float a = in[0] / 255.0f;
+                                      const float c = in[1] / 255.0f;
+                                      return std::vector<float>{
+                                          std::sin(3 * a) * c * c};
+                                    }),
+                   16);
+    core::CompileOptions opts;
+    opts.refine_outputs = refine;
+    return core::CompileProgram(b.Finish(v), x, n, opts);
+  };
+  auto plain = make(false);
+  auto refined = make(true);
+  double err_plain = 0, err_refined = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::span<const float> row(x.data() + i * dim, dim);
+    const float a = row[0] / 255.0f, c = row[1] / 255.0f;
+    const float exact = std::sin(3 * a) * c * c;
+    err_plain += std::abs(plain.Evaluate(row)[0] - exact);
+    err_refined += std::abs(refined.Evaluate(row)[0] - exact);
+  }
+  EXPECT_LE(err_refined, err_plain * 1.001);
+}
+
+TEST(Tablegen, SumReduceMatchesFloatWithinQuantization) {
+  // FC decomposition compiled and evaluated fuzzily stays close to exact.
+  const std::size_t n = 4000, dim = 4;
+  auto x = RandomFeatures(n, dim, 4);
+  core::ProgramBuilder b(dim);
+  const std::vector<float> w{0.02f, -0.01f, 0.03f, 0.005f,
+                             -0.02f, 0.01f, 0.0f,  0.015f};  // 4x2
+  const std::vector<float> bias{1.0f, -1.0f};
+  auto v = core::AppendFullyConnected(b, b.input(), w, 4, 2, bias, 2, 128);
+  core::Program p = b.Finish(v);
+  core::Program ref = p;
+  core::CompileOptions opts;
+  auto cm = core::CompileProgram(std::move(p), x, n, opts);
+  double worst = 0;
+  for (std::size_t i = 0; i < 500; ++i) {
+    std::span<const float> row(x.data() + i * dim, dim);
+    const auto exact = ref.Evaluate(row);
+    const auto fuzzy = cm.Evaluate(row);
+    for (std::size_t d = 0; d < 2; ++d) {
+      worst = std::max(worst, std::abs(double{exact[d]} - fuzzy[d]));
+    }
+  }
+  // Segment cells are ~(256/sqrt(128))^2; slopes <= 0.03.
+  EXPECT_LT(worst, 2.0);
+}
+
+TEST(Tablegen, QuantPlanCoversObservedRanges) {
+  const std::size_t n = 1000, dim = 2;
+  auto x = RandomFeatures(n, dim, 5);
+  auto cm = core::CompileProgram(AffineProgram(dim, 0.5f, 100.0f), x, n, {});
+  // Output range ~ [100, 227]; the output quant must cover it.
+  const auto& oq = cm.quant()[cm.program().output()];
+  ASSERT_EQ(oq.size(), dim);
+  EXPECT_GE(oq[0].fmt.MaxValue(), 227.0);
+  EXPECT_LE(oq[0].fmt.MinValue(), 100.0);
+  // Domain bits respect the cap.
+  for (const auto& q : oq) {
+    EXPECT_LE(q.domain_bits, cm.options().max_domain_bits);
+  }
+}
+
+TEST(Tablegen, RejectsBadPrograms) {
+  const std::size_t dim = 4;
+  auto x = RandomFeatures(10, dim, 6);
+  // SumReduce over raw partition segments (not Map outputs) is not
+  // lowerable.
+  core::ProgramBuilder b(dim);
+  auto segs = b.Partition(b.input(), 2, 2);
+  auto out = b.SumReduce(std::span<const core::ValueId>(segs));
+  EXPECT_THROW(core::CompileProgram(b.Finish(out), x, 10, {}),
+               std::logic_error);
+  // Empty training data.
+  EXPECT_THROW(core::CompileProgram(AffineProgram(dim, 1, 0), x, 0, {}),
+               std::invalid_argument);
+}
+
+TEST(Tablegen, EvaluateRejectsWrongDim) {
+  auto x = RandomFeatures(100, 2, 7);
+  auto cm = core::CompileProgram(AffineProgram(2, 1, 0), x, 100, {});
+  const std::vector<float> bad{1.0f};
+  EXPECT_THROW(cm.Evaluate(bad), std::invalid_argument);
+}
+
+TEST(Tablegen, TotalLeavesRespectBudget) {
+  auto x = RandomFeatures(500, 4, 8);
+  core::ProgramBuilder b(4);
+  auto segs = b.Partition(b.input(), 2, 2);
+  std::vector<core::ValueId> maps;
+  for (auto s : segs) {
+    maps.push_back(b.Map(s, core::MakeLinear({0.1f, 0.1f}, 2, 1, {}), 32));
+  }
+  auto out = b.SumReduce(std::span<const core::ValueId>(maps));
+  auto cm = core::CompileProgram(b.Finish(out), x, 500, {});
+  EXPECT_EQ(cm.NumTables(), 2u);
+  EXPECT_LE(cm.TotalLeaves(), 64u);
+}
+
+class ValueBitsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValueBitsSweep, WiderActivationsNeverHurt) {
+  const std::size_t n = 2000, dim = 2;
+  auto x = RandomFeatures(n, dim, 9);
+  core::CompileOptions opts;
+  opts.value_bits = GetParam();
+  auto cm = core::CompileProgram(AffineProgram(dim, 0.07f, -3.0f), x, n, opts);
+  double err = 0;
+  for (std::size_t i = 0; i < 300; ++i) {
+    std::span<const float> row(x.data() + i * dim, dim);
+    const auto y = cm.Evaluate(row);
+    for (std::size_t d = 0; d < dim; ++d) {
+      err += std::abs(y[d] - (0.07f * row[d] - 3.0f));
+    }
+  }
+  // All widths must stay within the fuzzy-cell bound; wider widths are
+  // covered by the monotone leaf test above.
+  EXPECT_LT(err / 600.0, 2.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ValueBitsSweep,
+                         ::testing::Values(8, 12, 16, 24));

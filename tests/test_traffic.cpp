@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "traffic/features.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace tr = pegasus::traffic;
+namespace ev = pegasus::eval;
+
+TEST(Synthetic, DeterministicInSeed) {
+  auto spec = tr::PeerRushSpec(10, 99);
+  auto a = tr::Generate(spec);
+  auto b = tr::Generate(spec);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    ASSERT_EQ(a.flows[i].packets.size(), b.flows[i].packets.size());
+    EXPECT_EQ(a.flows[i].label, b.flows[i].label);
+    EXPECT_EQ(a.flows[i].packets[0].len, b.flows[i].packets[0].len);
+    EXPECT_EQ(a.flows[i].packets[0].bytes, b.flows[i].packets[0].bytes);
+  }
+}
+
+TEST(Synthetic, ClassBalanceAndLabels) {
+  auto ds = tr::Generate(tr::CiciotSpec(25, 7));
+  ASSERT_EQ(ds.NumClasses(), 3u);
+  std::vector<int> counts(3, 0);
+  for (const auto& f : ds.flows) ++counts[static_cast<std::size_t>(f.label)];
+  for (int c : counts) EXPECT_EQ(c, 25);
+}
+
+TEST(Synthetic, PacketInvariants) {
+  auto ds = tr::Generate(tr::IscxVpnSpec(5, 3));
+  for (const auto& flow : ds.flows) {
+    ASSERT_GE(flow.packets.size(), 24u);
+    std::uint64_t prev_ts = 0;
+    for (const auto& pkt : flow.packets) {
+      EXPECT_GE(pkt.len, 40);
+      EXPECT_LE(pkt.len, 1500);
+      EXPECT_GE(pkt.ts_us, prev_ts);  // timestamps monotone
+      prev_ts = pkt.ts_us;
+    }
+  }
+}
+
+TEST(Synthetic, ByteTemplatesAreClassSpecific) {
+  auto ds = tr::Generate(tr::PeerRushSpec(30, 11));
+  // Average protocol-magic byte (index 0) per class should differ clearly.
+  std::vector<double> mean(3, 0.0);
+  std::vector<int> cnt(3, 0);
+  for (const auto& f : ds.flows) {
+    for (const auto& p : f.packets) {
+      mean[static_cast<std::size_t>(f.label)] += p.bytes[0];
+      ++cnt[static_cast<std::size_t>(f.label)];
+    }
+  }
+  for (int c = 0; c < 3; ++c) mean[static_cast<std::size_t>(c)] /= cnt[static_cast<std::size_t>(c)];
+  // All three class means must be pairwise distinct by a margin.
+  EXPECT_GT(std::abs(mean[0] - mean[1]), 8.0);
+  EXPECT_GT(std::abs(mean[0] - mean[2]), 8.0);
+  EXPECT_GT(std::abs(mean[1] - mean[2]), 8.0);
+}
+
+TEST(Synthetic, AttackProfilesGenerate) {
+  const auto profiles = tr::AttackProfiles();
+  ASSERT_EQ(profiles.size(), 6u);
+  EXPECT_EQ(profiles[1].name, "Flood");
+  auto flows = tr::GenerateFlows(profiles[1], 20, -1, 24, 48, 5);
+  EXPECT_EQ(flows.size(), 20u);
+  // Flood: near-constant packet size.
+  for (const auto& f : flows) {
+    for (const auto& p : f.packets) {
+      EXPECT_NEAR(p.len, 320, 40);
+    }
+  }
+}
+
+// ------------------------------------------------------------- features
+
+TEST(Features, QuantizersAreMonotone) {
+  EXPECT_LE(tr::QuantizeLen(100), tr::QuantizeLen(200));
+  EXPECT_LE(tr::QuantizeIpd(10), tr::QuantizeIpd(10000));
+  EXPECT_EQ(tr::QuantizeLen(1500), 187);
+  EXPECT_EQ(tr::QuantizeIpd(0), 0);
+  EXPECT_LE(tr::QuantizeIpd(~0ull >> 16), 255);
+}
+
+TEST(Features, DimensionsMatchPaperInputScales) {
+  EXPECT_EQ(tr::kStatDim * 8, 128u);   // Leo / N3IC / MLP-B: 128 b
+  EXPECT_EQ(tr::kSeqDim * 8, 128u);    // RNN-B / CNN-B / CNN-M: 128 b
+  EXPECT_EQ(tr::kRawDim * 8, 3840u);   // CNN-L: 3840 b
+}
+
+TEST(Features, ExtractorsEmitConsistentShapes) {
+  auto ds = tr::Generate(tr::PeerRushSpec(10, 21));
+  const auto stat = tr::ExtractStatFeatures(ds.flows);
+  const auto seq = tr::ExtractSeqFeatures(ds.flows);
+  const auto raw = tr::ExtractRawBytes(ds.flows);
+  EXPECT_EQ(stat.dim, tr::kStatDim);
+  EXPECT_EQ(seq.dim, tr::kSeqDim);
+  EXPECT_EQ(raw.dim, tr::kRawDim);
+  EXPECT_EQ(stat.x.size(), stat.size() * stat.dim);
+  // Same walk -> same sample count across feature families.
+  EXPECT_EQ(stat.size(), seq.size());
+  EXPECT_EQ(stat.size(), raw.size());
+  for (std::size_t i = 0; i < stat.size(); ++i) {
+    EXPECT_EQ(stat.labels[i], seq.labels[i]);
+    EXPECT_EQ(stat.flow_index[i], raw.flow_index[i]);
+  }
+  // All features are valid 8-bit values.
+  for (float v : stat.x) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 255.0f);
+  }
+}
+
+TEST(Features, StatMinMaxAreConsistent) {
+  auto ds = tr::Generate(tr::CiciotSpec(5, 31));
+  const auto stat = tr::ExtractStatFeatures(ds.flows);
+  for (std::size_t i = 0; i < stat.size(); ++i) {
+    const float* f = stat.x.data() + i * stat.dim;
+    EXPECT_LE(f[0], f[1]);  // min_len <= max_len
+    EXPECT_LE(f[2], f[3]);  // min_ipd <= max_ipd
+    EXPECT_GE(f[4], f[0]);  // current len within [min,max]
+    EXPECT_LE(f[4], f[1]);
+  }
+}
+
+TEST(Features, PerFlowSampleCap) {
+  auto ds = tr::Generate(tr::PeerRushSpec(8, 41));
+  tr::ExtractOptions opts;
+  opts.max_samples_per_flow = 3;
+  const auto stat = tr::ExtractStatFeatures(ds.flows, opts);
+  std::vector<int> per_flow(ds.flows.size(), 0);
+  for (std::size_t fi : stat.flow_index) ++per_flow[fi];
+  for (int c : per_flow) EXPECT_LE(c, 3);
+}
+
+TEST(Features, ShortFlowsAreSkipped) {
+  tr::Flow tiny;
+  tiny.label = 0;
+  tiny.packets.resize(tr::kWindow - 1);
+  const auto stat = tr::ExtractStatFeatures({tiny});
+  EXPECT_EQ(stat.size(), 0u);
+}
+
+// ----------------------------------------------------------------- eval
+
+TEST(Eval, MetricsOnPerfectAndWorstPredictions) {
+  std::vector<std::int32_t> truth{0, 0, 1, 1, 2, 2};
+  auto perfect = ev::Evaluate(truth, truth, 3);
+  EXPECT_DOUBLE_EQ(perfect.f1, 1.0);
+  EXPECT_DOUBLE_EQ(perfect.accuracy, 1.0);
+  std::vector<std::int32_t> wrong{1, 1, 2, 2, 0, 0};
+  auto worst = ev::Evaluate(truth, wrong, 3);
+  EXPECT_DOUBLE_EQ(worst.f1, 0.0);
+}
+
+TEST(Eval, MacroF1HandlesImbalance) {
+  // 9 of class 0, 1 of class 1; always predicting 0 gives high accuracy but
+  // poor macro-F1.
+  std::vector<std::int32_t> truth{0, 0, 0, 0, 0, 0, 0, 0, 0, 1};
+  std::vector<std::int32_t> pred(10, 0);
+  auto rep = ev::Evaluate(truth, pred, 2);
+  EXPECT_GT(rep.accuracy, 0.85);
+  EXPECT_LT(rep.f1, 0.55);
+}
+
+TEST(Eval, RocAucPerfectAndRandom) {
+  std::vector<float> scores{0.9f, 0.8f, 0.2f, 0.1f};
+  std::vector<bool> attack{true, true, false, false};
+  auto roc = ev::ComputeRoc(scores, attack);
+  EXPECT_DOUBLE_EQ(roc.auc, 1.0);
+  std::vector<float> flat{0.5f, 0.5f, 0.5f, 0.5f};
+  auto tie = ev::ComputeRoc(flat, attack);
+  EXPECT_DOUBLE_EQ(tie.auc, 0.5);
+  EXPECT_THROW(ev::ComputeRoc({0.5f}, {true}), std::invalid_argument);
+}
+
+TEST(Eval, SplitIsStratifiedAndDisjoint) {
+  std::vector<std::int32_t> labels;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 100; ++i) labels.push_back(c);
+  }
+  const auto split = ev::SplitFlows(labels, 0.75, 0.10, 5);
+  std::vector<std::vector<int>> counts(3, std::vector<int>(3, 0));
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    ++counts[static_cast<std::size_t>(labels[i])]
+            [static_cast<std::size_t>(split[i])];
+  }
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(c)][0], 75);
+    EXPECT_EQ(counts[static_cast<std::size_t>(c)][1], 10);
+    EXPECT_EQ(counts[static_cast<std::size_t>(c)][2], 15);
+  }
+}
+
+TEST(Eval, PrepareSplitsByFlowNotBySample) {
+  auto prep = ev::Prepare(tr::PeerRushSpec(20, 51), /*with_raw_bytes=*/false);
+  // No flow index may appear in two different splits.
+  std::set<std::size_t> train_flows(prep.stat.train.flow_index.begin(),
+                                    prep.stat.train.flow_index.end());
+  for (std::size_t fi : prep.stat.test.flow_index) {
+    EXPECT_FALSE(train_flows.count(fi)) << "flow " << fi << " leaks";
+  }
+  EXPECT_GT(prep.stat.train.size(), prep.stat.test.size());
+}

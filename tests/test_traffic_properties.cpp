@@ -1,0 +1,136 @@
+// Property tests on the synthetic-traffic calibration knobs — the levers
+// DESIGN.md §2 says make the substitution preserve each experiment's shape.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/leo.hpp"
+#include "eval/experiment.hpp"
+#include "traffic/features.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace tr = pegasus::traffic;
+namespace ev = pegasus::eval;
+namespace bl = pegasus::baselines;
+
+namespace {
+
+/// Byte-channel information probe: fit a tree on one generation of the
+/// spec and evaluate on a fresh generation (same class templates,
+/// different flows) — higher accuracy == more byte information.
+double ByteSeparability(tr::DatasetSpec spec) {
+  auto collect = [](const tr::Dataset& ds, std::vector<float>& x,
+                    std::vector<std::int32_t>& y) {
+    for (const auto& f : ds.flows) {
+      for (std::size_t p = 0; p < std::min<std::size_t>(f.packets.size(), 3);
+           ++p) {
+        for (std::size_t b = 0; b < 8; ++b) {
+          x.push_back(f.packets[p].bytes[b]);
+        }
+        y.push_back(f.label);
+      }
+    }
+  };
+  std::vector<float> xtr, xte;
+  std::vector<std::int32_t> ytr, yte;
+  const auto train_ds = tr::Generate(spec);
+  spec.seed += 1000;
+  const auto test_ds = tr::Generate(spec);
+  collect(train_ds, xtr, ytr);
+  collect(test_ds, xte, yte);
+  auto tree = bl::DecisionTree::Fit(xtr, ytr, ytr.size(), 8,
+                                    train_ds.NumClasses(), {256, 4, 8});
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < yte.size(); ++i) {
+    if (tree.Predict(std::span<const float>(xte.data() + i * 8, 8)) ==
+        yte[i]) {
+      ++ok;
+    }
+  }
+  return static_cast<double>(ok) / static_cast<double>(yte.size());
+}
+
+}  // namespace
+
+TEST(TrafficProperties, GenericPayloadFractionCapsByteSeparability) {
+  auto spec_clean = tr::PeerRushSpec(40, 3);
+  spec_clean.generic_payload_frac = 0.0f;
+  auto spec_murky = spec_clean;
+  spec_murky.generic_payload_frac = 0.5f;
+  const double clean = ByteSeparability(spec_clean);
+  const double murky = ByteSeparability(spec_murky);
+  EXPECT_GT(clean, murky + 0.05)
+      << "generic payloads must reduce byte-channel information";
+}
+
+TEST(TrafficProperties, ClassMixCapsTemporalSeparability) {
+  // Higher class_mix -> stat features less separable (Leo as the probe).
+  auto probe = [](float mix) {
+    auto spec = tr::PeerRushSpec(60, 5);
+    spec.class_mix = mix;
+    auto prep = ev::Prepare(spec, /*with_raw_bytes=*/false);
+    auto tree = bl::DecisionTree::Fit(
+        prep.stat.train.x, prep.stat.train.labels, prep.stat.train.size(),
+        prep.stat.train.dim, prep.num_classes, {1024, 4, 8});
+    const auto pred =
+        tree.PredictBatch(prep.stat.test.x, prep.stat.test.size());
+    return ev::Evaluate(prep.stat.test.labels, pred, prep.num_classes).f1;
+  };
+  EXPECT_GT(probe(0.0f), probe(0.4f) + 0.05);
+}
+
+TEST(TrafficProperties, DatasetDifficultyOrdering) {
+  // The calibrated specs must keep CICIOT/ISCXVPN harder than PeerRush for
+  // statistical models (Table 5's dataset ordering).
+  auto stat_f1 = [](const tr::DatasetSpec& spec) {
+    auto prep = ev::Prepare(spec, /*with_raw_bytes=*/false);
+    auto tree = bl::DecisionTree::Fit(
+        prep.stat.train.x, prep.stat.train.labels, prep.stat.train.size(),
+        prep.stat.train.dim, prep.num_classes, {1024, 4, 8});
+    const auto pred =
+        tree.PredictBatch(prep.stat.test.x, prep.stat.test.size());
+    return ev::Evaluate(prep.stat.test.labels, pred, prep.num_classes).f1;
+  };
+  const double peerrush = stat_f1(tr::PeerRushSpec(60, 7));
+  const double ciciot = stat_f1(tr::CiciotSpec(60, 7));
+  const double iscx = stat_f1(tr::IscxVpnSpec(40, 7));
+  EXPECT_GT(peerrush, ciciot);
+  EXPECT_GT(peerrush, iscx);
+}
+
+TEST(TrafficProperties, FloodAttackIsMaximallyRegular) {
+  // Flood traffic must have far lower length variance than any benign
+  // class — what makes it trivially detectable (Figure 8's easiest AUC).
+  const auto attacks = tr::AttackProfiles();
+  const auto flood = tr::GenerateFlows(attacks[1], 20, -1, 24, 48, 9);
+  auto len_variance = [](const std::vector<tr::Flow>& flows) {
+    double sum = 0, sumsq = 0;
+    std::size_t n = 0;
+    for (const auto& f : flows) {
+      for (const auto& p : f.packets) {
+        sum += p.len;
+        sumsq += static_cast<double>(p.len) * p.len;
+        ++n;
+      }
+    }
+    const double mean = sum / static_cast<double>(n);
+    return sumsq / static_cast<double>(n) - mean * mean;
+  };
+  const double flood_var = len_variance(flood);
+  auto benign = tr::Generate(tr::PeerRushSpec(20, 11));
+  const double benign_var = len_variance(benign.flows);
+  EXPECT_LT(flood_var * 20, benign_var);
+}
+
+TEST(TrafficProperties, QuantizersCoverRealisticRanges) {
+  // Every wire-legal packet length maps into [5, 188); IPDs from 1us to
+  // minutes stay distinguishable after companding.
+  EXPECT_EQ(tr::QuantizeLen(40), 5);
+  EXPECT_EQ(tr::QuantizeLen(1500), 187);
+  // The companding curve distinguishes 1 ms / 100 ms / 1 s and saturates
+  // around ~2.5 s (anything slower reads as "idle").
+  EXPECT_LT(tr::QuantizeIpd(1000), tr::QuantizeIpd(100000));
+  EXPECT_LT(tr::QuantizeIpd(100000), tr::QuantizeIpd(1000000));
+  EXPECT_LT(tr::QuantizeIpd(1000000), tr::QuantizeIpd(2400000));
+  EXPECT_EQ(tr::QuantizeIpd(60ull * 1000 * 1000), 255);
+}
