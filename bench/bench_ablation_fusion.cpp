@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "compiler/compiler.hpp"
 #include "core/fusion.hpp"
 #include "runtime/lowering.hpp"
 
@@ -57,7 +58,7 @@ int main() {
     auto m = md::MlpB::Train(prep.stat.train.x, prep.stat.train.labels,
                              prep.stat.train.size(), prep.stat.train.dim, nc,
                              cfg);
-    const auto lowered = pegasus::runtime::Lower(m->Compiled(), {});
+    const auto lowered = pegasus::compiler::PlaceOnSwitch(m->Compiled());
     std::printf("%-28s %8zu %8s %10.1f %10s  (Figure 5 'initial')\n",
                 "MLP-B, no fusion", m->fusion_stats().maps_before, "-",
                 m->ModelSizeKb(), "-");
@@ -72,7 +73,7 @@ int main() {
     auto m = md::CnnB::Train(prep.seq.train.x, prep.seq.train.labels,
                              prep.seq.train.size(), prep.seq.train.dim, nc,
                              cfg);
-    const auto lowered = pegasus::runtime::Lower(m->Compiled(), {});
+    const auto lowered = pegasus::compiler::PlaceOnSwitch(m->Compiled());
     std::printf("%-28s %8zu %8zu %10.1f %10.4f\n", "CNN-B, basic fusion",
                 m->Compiled().NumTables(), lowered.StagesUsed(),
                 m->ModelSizeKb(), eval_seq(*m));
@@ -83,7 +84,7 @@ int main() {
     auto m = md::CnnM::Train(prep.seq.train.x, prep.seq.train.labels,
                              prep.seq.train.size(), prep.seq.train.dim, nc,
                              cfg);
-    const auto lowered = pegasus::runtime::Lower(m->Compiled(), {});
+    const auto lowered = pegasus::compiler::PlaceOnSwitch(m->Compiled());
     std::printf("%-28s %8zu %8zu %10.1f %10.4f  (Figure 5 #3)\n",
                 "CNN-M, advanced fusion", m->Compiled().NumTables(),
                 lowered.StagesUsed(), m->ModelSizeKb(), eval_seq(*m));

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "compiler/compiler.hpp"
 #include "runtime/lowering.hpp"
 
 int main() {
@@ -41,7 +42,7 @@ int main() {
     }
     const double f1z = ev::Evaluate(test.labels, pz, prep.num_classes).f1;
     const double f1f = ev::Evaluate(test.labels, pf, prep.num_classes).f1;
-    const auto lowered = pegasus::runtime::Lower(m->Compiled(), {});
+    const auto lowered = pegasus::compiler::PlaceOnSwitch(m->Compiled());
     const auto rep = lowered.Report();
     std::printf("%8zu %10.4f %12.4f %12zu %9.2f%%\n", leaves, f1z, f1f,
                 rep.tcam_bits, rep.TcamPct(sw));

@@ -1,16 +1,20 @@
 // Micro-benchmarks (google-benchmark) of the primitive building blocks:
-// clustering-tree lookup, TCAM table match, CRC ternary expansion and a
-// full per-packet pipeline pass. These bound the *simulator's* throughput
-// (Figure 9d reports the line-rate model for the real switch).
+// clustering-tree lookup, TCAM table match, CRC ternary expansion, a full
+// per-packet pipeline pass, and per-call vs batched inference over a
+// lowered model. These bound the *simulator's* throughput (Figure 9d
+// reports the line-rate model for the real switch).
 #include <benchmark/benchmark.h>
 
 #include <memory>
 #include <random>
 
+#include "compiler/compiler.hpp"
 #include "core/fuzzy.hpp"
+#include "core/operators.hpp"
 #include "dataplane/crc.hpp"
 #include "dataplane/pipeline.hpp"
 #include "dataplane/table.hpp"
+#include "runtime/inference_engine.hpp"
 
 namespace {
 
@@ -108,6 +112,61 @@ void BM_PipelineProcess(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_PipelineProcess);
+
+// ---------------------------------------------------------------------------
+// Per-call vs batched inference over a lowered model (the acceptance metric
+// for the runtime::InferenceEngine: batching must beat per-call Infer).
+// ---------------------------------------------------------------------------
+
+const runtime::LoweredModel& MicroLoweredModel() {
+  static const runtime::LoweredModel lowered = [] {
+    const std::size_t dim = 4;
+    const std::size_t n = 3000;
+    const auto x = RandomRows(n, dim, 11);
+    core::ProgramBuilder b(dim);
+    const auto segs = b.Partition(b.input(), 2, 2);
+    std::vector<core::ValueId> maps;
+    maps.push_back(
+        b.Map(segs[0], core::MakeLinear({0.05f, -0.02f, 0.01f, 0.04f}, 2, 2,
+                                        {0.5f, -0.5f}),
+              32));
+    maps.push_back(b.Map(
+        segs[1], core::MakeLinear({-0.03f, 0.02f, 0.02f, 0.01f}, 2, 2, {}),
+        32));
+    const auto sum = b.SumReduce(std::span<const core::ValueId>(maps));
+    const auto out = b.Map(sum, core::MakeReLU(2), 32);
+    return compiler::CompileToSwitch(b.Finish(out), x, n).lowered;
+  }();
+  return lowered;
+}
+
+void BM_LoweredInferPerCall(benchmark::State& state) {
+  const runtime::LoweredModel& lowered = MicroLoweredModel();
+  const auto probes = RandomRows(1024, 4, 12);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lowered.Infer(
+        std::span<const float>(probes.data() + (i++ % 1024) * 4, 4)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LoweredInferPerCall);
+
+void BM_InferenceEngineBatched(benchmark::State& state) {
+  const runtime::LoweredModel& lowered = MicroLoweredModel();
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  runtime::InferenceEngine engine(lowered, batch);
+  const auto probes = RandomRows(batch, 4, 13);
+  std::vector<float> out(batch * engine.output_dim());
+  for (auto _ : state) {
+    engine.Infer(probes, batch, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_InferenceEngineBatched)->Arg(16)->Arg(64)->Arg(256);
 
 }  // namespace
 

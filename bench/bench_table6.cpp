@@ -12,6 +12,7 @@
 #include "baselines/bos.hpp"
 #include "baselines/leo.hpp"
 #include "common.hpp"
+#include "compiler/compiler.hpp"
 #include "runtime/lowering.hpp"
 
 namespace {
@@ -70,7 +71,7 @@ int main() {
                              const md::TrainedModel& model) {
     rt::LoweringOptions opts;
     opts.stateful_bits_per_flow = model.FlowState().BitsPerFlow();
-    const auto lowered = rt::Lower(model.Compiled(), opts);
+    const auto lowered = pegasus::compiler::PlaceOnSwitch(model.Compiled(), opts);
     const auto rep = lowered.Report();
     PrintRow(name, rep.stateful_bits_per_flow, rep, sw);
   };
@@ -117,8 +118,8 @@ int main() {
     // a window; total footprint = extractor + window classifier.
     rt::LoweringOptions opts;
     opts.stateful_bits_per_flow = m->FlowState().BitsPerFlow();
-    const auto ext = rt::Lower(m->CompiledExtractor(), opts);
-    const auto cls = rt::Lower(m->CompiledClassifier(), {});
+    const auto ext = pegasus::compiler::PlaceOnSwitch(m->CompiledExtractor(), opts);
+    const auto cls = pegasus::compiler::PlaceOnSwitch(m->CompiledClassifier());
     auto rep = ext.Report();
     const auto crep = cls.Report();
     rep.sram_bits += crep.sram_bits;

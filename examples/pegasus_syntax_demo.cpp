@@ -7,10 +7,9 @@
 #include <cstdio>
 #include <random>
 
-#include "core/fusion.hpp"
+#include "compiler/compiler.hpp"
 #include "core/operators.hpp"
 #include "core/syntax.hpp"
-#include "core/tablegen.hpp"
 #include "runtime/p4gen.hpp"
 
 int main() {
@@ -53,7 +52,6 @@ int main() {
   core::Program program = core::ParsePegasusSyntax(source, registry);
   std::printf("parsed: %zu Maps, %zu SumReduces\n", program.NumMaps(),
               program.NumSumReduces());
-  core::FuseBasic(program);
 
   // Compile against a synthetic feature distribution and emit P4.
   std::uniform_real_distribution<float> fdist(0.0f, 255.0f);
@@ -61,7 +59,7 @@ int main() {
   std::vector<float> x(n * 8);
   for (float& v : x) v = std::floor(fdist(rng));
   const core::CompiledModel compiled =
-      core::CompileProgram(std::move(program), x, n, {});
+      compiler::CompileToModel(std::move(program), x, n).model;
 
   const std::string p4 = runtime::EmitP4(compiled);
   std::printf("---- generated P4 (%zu bytes) ----\n%s", p4.size(),

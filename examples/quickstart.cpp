@@ -3,20 +3,20 @@
 //   1. express a computation as Partition -> Map -> SumReduce primitives
 //      (here: a 4->2 fully connected layer with a ReLU, via the operator
 //      helpers — the same path the real models use);
-//   2. fuse primitives (Basic Primitive Fusion);
-//   3. compile against a training distribution: clustering trees (fuzzy
-//      matching) + full-precision outputs quantized to fixed point;
-//   4. lower onto the PISA switch simulator and run per-packet inference;
-//   5. confirm the simulator matches the host-side reference bit-for-bit
+//   2. run the unified compiler driver (compiler::CompileToSwitch): the
+//      PassManager executes fuse-basic → augment → quantize-plan →
+//      tablegen → lower as named passes and records per-pass diagnostics;
+//   3. run per-packet and batched inference on the PISA switch simulator;
+//   4. confirm the simulator matches the host-side reference bit-for-bit
 //      and inspect the resource bill.
 #include <cstdio>
+#include <iostream>
 #include <random>
 #include <vector>
 
-#include "core/fusion.hpp"
+#include "compiler/compiler.hpp"
 #include "core/operators.hpp"
-#include "core/tablegen.hpp"
-#include "runtime/lowering.hpp"
+#include "runtime/inference_engine.hpp"
 
 int main() {
   using namespace pegasus;
@@ -33,31 +33,30 @@ int main() {
   std::printf("built program: %zu Maps, %zu SumReduces\n",
               program.NumMaps(), program.NumSumReduces());
 
-  // ---- 2. fuse ----------------------------------------------------------
-  const core::FusionStats stats = core::FuseBasic(program);
-  std::printf("after Basic Primitive Fusion: %zu -> %zu Maps\n",
-              stats.maps_before, stats.maps_after);
-
-  // ---- 3. compile against a training distribution -----------------------
+  // ---- 2. run the unified compiler driver --------------------------------
   std::mt19937_64 rng(7);
   std::uniform_real_distribution<float> dist(0.0f, 255.0f);
   const std::size_t n = 4000;
   std::vector<float> train(n * 4);
   for (float& x : train) x = std::floor(dist(rng));
-  core::CompiledModel compiled =
-      core::CompileProgram(std::move(program), train, n, {});
+  compiler::CompileSwitchResult result =
+      compiler::CompileToSwitch(std::move(program), train, n);
+  std::printf("after Basic Primitive Fusion: %zu -> %zu Maps\n",
+              result.fusion.maps_before, result.fusion.maps_after);
   std::printf("compiled: %zu fuzzy tables, %zu total leaves\n",
-              compiled.NumTables(), compiled.TotalLeaves());
+              result.model.NumTables(), result.model.TotalLeaves());
+  std::printf("pass diagnostics:\n");
+  compiler::PrintDiagnostics(std::cout, result.history);
 
-  // ---- 4. lower onto the switch simulator -------------------------------
-  runtime::LoweredModel switch_model = runtime::Lower(compiled, {});
+  const core::CompiledModel& compiled = result.model;
+  runtime::LoweredModel& switch_model = result.lowered;
   const auto report = switch_model.Report();
   std::printf("placed on switch: %zu tables in %zu stages, "
               "%.3f%% SRAM, %.3f%% TCAM\n",
               switch_model.NumTables(), switch_model.StagesUsed(),
               report.SramPct({}), report.TcamPct({}));
 
-  // ---- 5. per-packet inference + bit-exactness ---------------------------
+  // ---- 3./4. per-packet inference + bit-exactness ------------------------
   std::size_t mismatches = 0;
   double max_err = 0.0;
   for (int i = 0; i < 1000; ++i) {
@@ -80,5 +79,26 @@ int main() {
               mismatches);
   std::printf("fuzzy vs exact float: max abs error %.4f (fuzzy cells are "
               "~2-4 units wide here)\n", max_err);
-  return mismatches == 0 ? 0 : 1;
+
+  // Batched inference: a preallocated PHV pool, whole batches through the
+  // pipeline — same bits as the per-packet path, no per-packet allocation.
+  const std::size_t batch = 64;
+  runtime::InferenceEngine engine(switch_model, batch);
+  std::vector<float> batch_x(batch * 4);
+  for (float& x : batch_x) x = std::floor(dist(rng));
+  std::vector<std::int64_t> batch_raw(batch * engine.output_dim());
+  engine.InferRaw(batch_x, batch, batch_raw);
+  std::size_t batch_mismatches = 0;
+  for (std::size_t i = 0; i < batch; ++i) {
+    const auto single = switch_model.InferRaw(
+        std::span<const float>(batch_x.data() + i * 4, 4));
+    for (std::size_t d = 0; d < single.size(); ++d) {
+      if (single[d] != batch_raw[i * engine.output_dim() + d]) {
+        ++batch_mismatches;
+      }
+    }
+  }
+  std::printf("batched engine vs per-packet path: %zu mismatches in %zu "
+              "packets\n", batch_mismatches, batch);
+  return mismatches == 0 && batch_mismatches == 0 ? 0 : 1;
 }

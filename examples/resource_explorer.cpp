@@ -8,6 +8,7 @@
 // model looks like on real hardware.
 #include <cstdio>
 
+#include "compiler/compiler.hpp"
 #include "eval/experiment.hpp"
 #include "models/mlp_b.hpp"
 #include "runtime/lowering.hpp"
@@ -40,7 +41,7 @@ int main() {
       const double f1 =
           eval::Evaluate(test.labels, pred, prep.num_classes).f1;
       try {
-        auto lowered = runtime::Lower(model->Compiled(), {});
+        auto lowered = compiler::PlaceOnSwitch(model->Compiled());
         const auto rep = lowered.Report();
         std::printf("%8zu %6d %10.4f %8zu %8zu %7.2f%% %7.2f%%\n", leaves,
                     bits, f1, lowered.NumTables(), lowered.StagesUsed(),

@@ -8,6 +8,7 @@
 // state, one pipeline pass per packet once the window fills.
 #include <cstdio>
 
+#include "compiler/compiler.hpp"
 #include "eval/experiment.hpp"
 #include "models/cnn_m.hpp"
 #include "runtime/flow_state.hpp"
@@ -31,7 +32,7 @@ int main() {
 
   runtime::LoweringOptions lopts;
   lopts.stateful_bits_per_flow = model->FlowState().BitsPerFlow();
-  auto switch_model = runtime::Lower(model->Compiled(), lopts);
+  auto switch_model = compiler::PlaceOnSwitch(model->Compiled(), lopts);
   const auto rep = switch_model.Report();
   std::printf("switch: %zu stages, %.2f%% SRAM, %.2f%% TCAM, %zu b/flow\n",
               switch_model.StagesUsed(), rep.SramPct({}), rep.TcamPct({}),

@@ -208,6 +208,7 @@ FusionStats FuseBasic(Program& p) {
     total += MergeConsecutiveMaps(p);
     total += FlattenSumReduces(p);
     ++stats.iterations;
+    stats.rewrites += total;
     if (total == 0) break;
   }
   stats.maps_after = p.NumMaps();

@@ -31,6 +31,9 @@ struct FusionStats {
   std::size_t sum_reduces_before = 0;
   std::size_t sum_reduces_after = 0;
   std::size_t iterations = 0;
+  /// Total rewrites applied across all iterations (0 on a fixpoint rerun —
+  /// FuseBasic is idempotent).
+  std::size_t rewrites = 0;
 };
 
 /// Rewrite (2): collapses Map chains where the intermediate value has a

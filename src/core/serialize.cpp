@@ -1,21 +1,15 @@
-// CompiledModel serialization — the deployment artifact a control plane
-// ships to the switch agent: program wiring, quantization plan, clustering
-// trees and precomputed table values. Host-side Map functions are
-// training-time objects and are not serialized; loaded models support
-// EvaluateRaw / Evaluate and runtime::Lower (everything the dataplane
-// needs) but not the float reference interpreter.
+#include "core/serialize.hpp"
+
 #include <istream>
 #include <ostream>
 #include <stdexcept>
-
-#include "core/tablegen.hpp"
 
 namespace pegasus::core {
 
 namespace {
 
-constexpr std::uint64_t kMagic = 0x50454741535553ull;  // "PEGASUS"
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint64_t kMagic = kModelArtifactMagic;
+constexpr std::uint32_t kVersion = kModelArtifactVersion;
 
 template <typename T>
 void WritePod(std::ostream& os, const T& v) {
@@ -55,6 +49,14 @@ std::vector<ValueId> ReadIds(std::istream& is) {
 }
 
 }  // namespace
+
+void SaveCompiledModel(std::ostream& os, const CompiledModel& model) {
+  model.Save(os);
+}
+
+CompiledModel LoadCompiledModel(std::istream& is) {
+  return CompiledModel::Load(is);
+}
 
 void CompiledModel::Save(std::ostream& os) const {
   WritePod(os, kMagic);

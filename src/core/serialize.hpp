@@ -1,0 +1,33 @@
+// CompiledModel serialization — the deployment artifact a control plane
+// ships to the switch agent: program wiring, quantization plan, clustering
+// trees and precomputed table values.
+//
+// Host-side Map functions are training-time objects and are NOT serialized;
+// a loaded model supports EvaluateRaw / Evaluate and runtime::Lower
+// (everything the dataplane needs) but not the float reference interpreter
+// (Program::Evaluate) or recompilation.
+//
+// CompiledModel::Save/Load are thin wrappers over these free functions.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "core/tablegen.hpp"
+
+namespace pegasus::core {
+
+/// Artifact magic ("PEGASUS") and the current format version. Load rejects
+/// streams with a different magic or version.
+inline constexpr std::uint64_t kModelArtifactMagic = 0x50454741535553ull;
+inline constexpr std::uint32_t kModelArtifactVersion = 1;
+
+/// Writes the deployable state of `model` to `os` in the versioned binary
+/// artifact format.
+void SaveCompiledModel(std::ostream& os, const CompiledModel& model);
+
+/// Reads an artifact written by SaveCompiledModel. Throws
+/// std::runtime_error on bad magic, unsupported version or truncation.
+CompiledModel LoadCompiledModel(std::istream& is);
+
+}  // namespace pegasus::core

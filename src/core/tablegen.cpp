@@ -49,33 +49,34 @@ std::int64_t ClampU(std::int64_t u, std::int64_t dmax) {
 
 }  // namespace
 
-CompiledModel CompileProgram(Program program,
-                             std::span<const float> train_inputs,
-                             std::size_t n, const CompileOptions& options) {
+std::vector<float> AugmentTrainingInputs(std::size_t in_dim,
+                                         std::span<const float> train_inputs,
+                                         std::size_t n,
+                                         const CompileOptions& options,
+                                         std::size_t& augmented_n) {
+  augmented_n = n;
+  if (options.uniform_augment <= 0.0) return {};
+  const auto extra = static_cast<std::size_t>(
+      options.uniform_augment * static_cast<double>(n));
+  std::vector<float> augmented(train_inputs.begin(), train_inputs.end());
+  std::mt19937_64 rng(options.augment_seed);
+  std::uniform_int_distribution<int> dist(0, (1 << options.input_bits) - 1);
+  for (std::size_t i = 0; i < extra * in_dim; ++i) {
+    augmented.push_back(static_cast<float>(dist(rng)));
+  }
+  augmented_n = n + extra;
+  return augmented;
+}
+
+QuantizationPlan PlanQuantization(const Program& program,
+                                  std::span<const float> train_inputs,
+                                  std::size_t n,
+                                  const CompileOptions& options) {
   program.Validate();
   const std::size_t in_dim = program.value(program.input()).dim;
   if (n == 0 || train_inputs.size() != n * in_dim) {
-    throw std::invalid_argument("CompileProgram: bad training data size");
+    throw std::invalid_argument("PlanQuantization: bad training data size");
   }
-
-  // Optional uniform probe augmentation (see CompileOptions).
-  std::vector<float> augmented;
-  if (options.uniform_augment > 0.0) {
-    const auto extra = static_cast<std::size_t>(
-        options.uniform_augment * static_cast<double>(n));
-    augmented.assign(train_inputs.begin(), train_inputs.end());
-    std::mt19937_64 rng(options.augment_seed);
-    std::uniform_int_distribution<int> dist(
-        0, (1 << options.input_bits) - 1);
-    for (std::size_t i = 0; i < extra * in_dim; ++i) {
-      augmented.push_back(static_cast<float>(dist(rng)));
-    }
-    train_inputs = augmented;
-    n += extra;
-  }
-
-  CompiledModel model;
-  model.options_ = options;
 
   const auto& ops = program.ops();
   const std::size_t num_values = program.NumValues();
@@ -180,7 +181,8 @@ CompiledModel CompileProgram(Program program,
   // ---------------------------------------------------------------------
   // Quantization plan.
   // ---------------------------------------------------------------------
-  auto& quant = model.quant_;
+  QuantizationPlan plan;
+  auto& quant = plan.quant;
   quant.assign(num_values, {});
   {
     DimQuant q;
@@ -195,7 +197,8 @@ CompiledModel CompileProgram(Program program,
   // Map outputs consumed by nothing else: the Map's action *is* the
   // accumulation (Figure 4), so the summand never exists as a separate
   // field.
-  std::vector<bool> feeds_sum(num_values, false);
+  auto& feeds_sum = plan.feeds_sum;
+  feeds_sum.assign(num_values, false);
   std::vector<bool> is_map_output(num_values, false);
   for (const Op& op : ops) {
     if (op.kind == OpKind::kMap) is_map_output[op.map.output] = true;
@@ -308,6 +311,30 @@ CompiledModel CompileProgram(Program program,
       }
     }
   }
+  return plan;
+}
+
+CompiledModel BuildFuzzyTables(Program program, QuantizationPlan plan,
+                               std::span<const float> train_inputs,
+                               std::size_t n, const CompileOptions& options) {
+  const std::size_t in_dim = program.value(program.input()).dim;
+  if (n == 0 || train_inputs.size() != n * in_dim) {
+    throw std::invalid_argument("BuildFuzzyTables: bad training data size");
+  }
+  const auto& ops = program.ops();
+  const std::size_t num_values = program.NumValues();
+  if (plan.quant.size() != num_values ||
+      plan.feeds_sum.size() != num_values) {
+    throw std::invalid_argument(
+        "BuildFuzzyTables: plan does not match program");
+  }
+  auto dim_of = [&](ValueId v) { return program.value(v).dim; };
+
+  CompiledModel model;
+  model.options_ = options;
+  model.quant_ = std::move(plan.quant);
+  const auto& quant = model.quant_;
+  const auto& feeds_sum = plan.feeds_sum;
 
   // ---------------------------------------------------------------------
   // Pass 2: build fuzzy tables in op order, propagating the *quantized*
@@ -481,6 +508,24 @@ CompiledModel CompileProgram(Program program,
 
   model.program_ = std::move(program);
   return model;
+}
+
+CompiledModel CompileProgram(Program program,
+                             std::span<const float> train_inputs,
+                             std::size_t n, const CompileOptions& options) {
+  program.Validate();
+  const std::size_t in_dim = program.value(program.input()).dim;
+  if (n == 0 || train_inputs.size() != n * in_dim) {
+    throw std::invalid_argument("CompileProgram: bad training data size");
+  }
+  std::size_t full_n = n;
+  const std::vector<float> augmented =
+      AugmentTrainingInputs(in_dim, train_inputs, n, options, full_n);
+  const std::span<const float> full =
+      augmented.empty() ? train_inputs : std::span<const float>(augmented);
+  QuantizationPlan plan = PlanQuantization(program, full, full_n, options);
+  return BuildFuzzyTables(std::move(program), std::move(plan), full, full_n,
+                          options);
 }
 
 std::vector<std::int64_t> CompiledModel::EvaluateRaw(

@@ -82,6 +82,8 @@ struct CompileOptions {
   std::uint64_t augment_seed = 97;
 };
 
+struct QuantizationPlan;
+
 /// A program compiled against a training distribution.
 class CompiledModel {
  public:
@@ -117,10 +119,11 @@ class CompiledModel {
   static CompiledModel Load(std::istream& is);
 
  private:
-  friend CompiledModel CompileProgram(Program program,
-                                      std::span<const float> train_inputs,
-                                      std::size_t n,
-                                      const CompileOptions& options);
+  friend CompiledModel BuildFuzzyTables(Program program,
+                                        QuantizationPlan plan,
+                                        std::span<const float> train_inputs,
+                                        std::size_t n,
+                                        const CompileOptions& options);
 
   Program program_;
   CompileOptions options_;
@@ -130,8 +133,54 @@ class CompiledModel {
 
 /// Compiles `program` against `n` training inputs (row-major, dim =
 /// program input dim). Throws std::invalid_argument on empty data.
+///
+/// Equivalent to the staged sequence AugmentTrainingInputs ->
+/// PlanQuantization -> BuildFuzzyTables below; the compiler::PassManager
+/// runs those stages as individual named passes with per-pass diagnostics.
 CompiledModel CompileProgram(Program program,
                              std::span<const float> train_inputs,
                              std::size_t n, const CompileOptions& options);
+
+// ---------------------------------------------------------------------------
+// Staged compilation API (driven by pegasus::compiler).
+// ---------------------------------------------------------------------------
+
+/// The quantization plan for every program value, plus the SumReduce
+/// consumer analysis both later stages depend on.
+struct QuantizationPlan {
+  std::vector<std::vector<DimQuant>> quant;  // [value][dim]
+  /// Values consumed by a SumReduce: never materialized as PHV fields;
+  /// their raw words are accumulated directly (Figure 4's AddFromData).
+  std::vector<bool> feeds_sum;               // [value]
+};
+
+/// Applies CompileOptions::uniform_augment: returns the training matrix
+/// with `uniform_augment * n` uniform-random probe rows appended and sets
+/// `augmented_n` to the new row count. Returns an empty vector (and
+/// `augmented_n = n`) when no augmentation is configured — callers keep
+/// using the original span.
+std::vector<float> AugmentTrainingInputs(std::size_t in_dim,
+                                         std::span<const float> train_inputs,
+                                         std::size_t n,
+                                         const CompileOptions& options,
+                                         std::size_t& augmented_n);
+
+/// Stage 1 (§4.4 adaptive fixed-point quantization): interprets the program
+/// in full precision over the training inputs, collects per-dimension value
+/// ranges (including SumReduce partial-sum excursions) and chooses every
+/// value's fixed-point format, bias and match-domain width. Validates the
+/// program and its SumReduce structure; throws std::invalid_argument /
+/// std::logic_error as CompileProgram does.
+QuantizationPlan PlanQuantization(const Program& program,
+                                  std::span<const float> train_inputs,
+                                  std::size_t n, const CompileOptions& options);
+
+/// Stage 2 (§4.2 fuzzy matching): fits one clustering tree per Map op on the
+/// *propagated* quantized inputs and fills the per-leaf output words,
+/// producing the final CompiledModel. `plan` must come from PlanQuantization
+/// over the same program and training inputs.
+CompiledModel BuildFuzzyTables(Program program, QuantizationPlan plan,
+                               std::span<const float> train_inputs,
+                               std::size_t n, const CompileOptions& options);
 
 }  // namespace pegasus::core

@@ -54,6 +54,13 @@ class Phv {
   std::int64_t Get(FieldId id) const { return values_.at(id); }
   void Set(FieldId id, std::int64_t v) { values_.at(id) = v; }
 
+  /// Returns the PHV to its parse-time state (all fields zero) so a
+  /// preallocated PHV can be reused across packets — the hook the batched
+  /// runtime::InferenceEngine relies on to stay allocation-free.
+  void Reset() {
+    for (std::int64_t& v : values_) v = 0;
+  }
+
   const PhvLayout& layout() const { return *layout_; }
 
  private:

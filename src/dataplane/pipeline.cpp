@@ -44,6 +44,16 @@ std::size_t Pipeline::Process(Phv& phv) const {
   return hits;
 }
 
+std::size_t Pipeline::ProcessBatch(std::span<Phv> batch) const {
+  std::size_t hits = 0;
+  for (const Stage& stage : stages_) {
+    for (const auto& table : stage.tables) {
+      hits += table->ApplyBatch(batch);
+    }
+  }
+  return hits;
+}
+
 ResourceReport Pipeline::Report() const {
   ResourceReport r;
   for (const Stage& stage : stages_) {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -43,6 +44,13 @@ class Pipeline {
   /// Runs the PHV through every stage in order. Returns the number of table
   /// hits (for diagnostics).
   std::size_t Process(Phv& phv) const;
+
+  /// Runs a batch of independent PHVs through the pipeline, traversing
+  /// stage-major/table-major so each table's entries stay hot in cache
+  /// across the whole batch. Per-packet semantics are identical to calling
+  /// Process on each PHV in turn (packets never interact). Returns total
+  /// table hits across the batch.
+  std::size_t ProcessBatch(std::span<Phv> batch) const;
 
   ResourceReport Report() const;
 

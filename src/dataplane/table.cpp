@@ -144,6 +144,73 @@ bool MatchActionTable::Apply(Phv& phv) const {
   return false;
 }
 
+std::size_t MatchActionTable::ApplyBatch(std::span<Phv> batch) const {
+  if (kind_ == MatchKind::kExact) {
+    // Exact lookups are already O(1) hash probes; per-packet is fine.
+    std::size_t hits = 0;
+    for (Phv& phv : batch) {
+      if (Apply(phv)) ++hits;
+    }
+    return hits;
+  }
+  const std::size_t nk = key_fields_.size();
+  const std::size_t n = batch.size();
+  // Reused scratch: no allocation on the steady-state hot path.
+  static thread_local std::vector<std::uint64_t> keys;
+  static thread_local std::vector<std::int32_t> best;
+  keys.resize(n * nk);
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t i = 0; i < nk; ++i) {
+      keys[p * nk + i] =
+          static_cast<std::uint64_t>(batch[p].Get(key_fields_[i]));
+    }
+  }
+  best.assign(n, -1);
+  for (std::size_t ei = 0; ei < entries_.size(); ++ei) {
+    const TableEntry& e = entries_[ei];
+    const TernaryRule* rules = e.ternary.data();
+    const std::uint64_t* lo = e.range_lo.data();
+    const std::uint64_t* hi = e.range_hi.data();
+    for (std::size_t p = 0; p < n; ++p) {
+      const std::uint64_t* k = keys.data() + p * nk;
+      bool match = true;
+      if (kind_ == MatchKind::kTernary) {
+        for (std::size_t i = 0; i < nk; ++i) {
+          if (!rules[i].Matches(k[i])) {
+            match = false;
+            break;
+          }
+        }
+      } else {
+        for (std::size_t i = 0; i < nk; ++i) {
+          if (k[i] < lo[i] || k[i] > hi[i]) {
+            match = false;
+            break;
+          }
+        }
+      }
+      if (!match) continue;
+      // Highest priority wins; ties resolve to the earliest entry (ei
+      // ascends), mirroring Lookup's TCAM ordering.
+      if (best[p] < 0 ||
+          e.priority > entries_[static_cast<std::size_t>(best[p])].priority) {
+        best[p] = static_cast<std::int32_t>(ei);
+      }
+    }
+  }
+  std::size_t hits = 0;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (best[p] >= 0) {
+      RunProgram(batch[p], action_program_,
+                 entries_[static_cast<std::size_t>(best[p])].action_data);
+      ++hits;
+    } else if (!miss_program_.empty()) {
+      RunProgram(batch[p], miss_program_, miss_data_);
+    }
+  }
+  return hits;
+}
+
 std::size_t MatchActionTable::KeyBits() const {
   std::size_t bits = 0;
   for (int w : key_widths_) bits += static_cast<std::size_t>(w);

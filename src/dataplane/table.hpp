@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -80,6 +81,14 @@ class MatchActionTable {
   /// Looks up the PHV and applies the hit (or miss) action program.
   /// Returns true on hit.
   bool Apply(Phv& phv) const;
+
+  /// Batch counterpart of Apply with identical per-packet semantics:
+  /// gathers every packet's key once, then scans ternary/range entries
+  /// entry-major so each entry's rules are streamed across the whole batch
+  /// (instead of re-walking the entry list per packet through field
+  /// accessors). Actions run after the scan — exactly the lookup-then-act
+  /// order of Apply. Returns the number of hits.
+  std::size_t ApplyBatch(std::span<Phv> batch) const;
 
   /// Index of the matching entry, if any (for tests/debugging).
   std::optional<std::size_t> Lookup(const Phv& phv) const;

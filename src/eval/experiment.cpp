@@ -1,5 +1,7 @@
 #include "eval/experiment.hpp"
 
+#include <algorithm>
+
 namespace pegasus::eval {
 
 FeatureSplit SplitSamples(const traffic::SampleSet& all,
@@ -50,6 +52,32 @@ PreparedDataset Prepare(const traffic::DatasetSpec& spec, bool with_raw_bytes,
                            out.flow_split);
   }
   return out;
+}
+
+std::vector<std::int32_t> PredictClassesLowered(
+    runtime::InferenceEngine& engine, const traffic::SampleSet& set) {
+  const std::size_t n = set.size();
+  const std::size_t out_dim = engine.output_dim();
+  std::vector<std::int32_t> predictions(n);
+  std::vector<float> logits(engine.batch_capacity() * out_dim);
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t chunk = std::min(n - done, engine.batch_capacity());
+    engine.Infer(
+        std::span<const float>(set.x.data() + done * set.dim,
+                               chunk * set.dim),
+        chunk, std::span<float>(logits.data(), chunk * out_dim));
+    for (std::size_t i = 0; i < chunk; ++i) {
+      const float* row = logits.data() + i * out_dim;
+      std::size_t best = 0;
+      for (std::size_t d = 1; d < out_dim; ++d) {
+        if (row[d] > row[best]) best = d;
+      }
+      predictions[done + i] = static_cast<std::int32_t>(best);
+    }
+    done += chunk;
+  }
+  return predictions;
 }
 
 }  // namespace pegasus::eval

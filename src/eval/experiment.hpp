@@ -8,6 +8,7 @@
 #include <string>
 
 #include "eval/metrics.hpp"
+#include "runtime/inference_engine.hpp"
 #include "traffic/features.hpp"
 #include "traffic/synthetic.hpp"
 
@@ -40,5 +41,12 @@ PreparedDataset Prepare(const traffic::DatasetSpec& spec,
 /// Splits one extracted SampleSet according to a per-flow assignment.
 FeatureSplit SplitSamples(const traffic::SampleSet& all,
                           const std::vector<int>& flow_split);
+
+/// Runs every sample of `set` through a lowered model with the batched
+/// InferenceEngine (allocation-free inner loop) and returns the argmax
+/// class per sample — the switch-simulator counterpart of
+/// TrainedModel::PredictClassFuzzy for whole test splits.
+std::vector<std::int32_t> PredictClassesLowered(
+    runtime::InferenceEngine& engine, const traffic::SampleSet& set);
 
 }  // namespace pegasus::eval

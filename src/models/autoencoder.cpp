@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "compiler/compiler.hpp"
 #include "core/operators.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
@@ -127,7 +128,6 @@ std::unique_ptr<Autoencoder> Autoencoder::Train(std::span<const float> x,
   }
   const core::ValueId mae = b.SumReduce(std::span<const core::ValueId>(errs));
   core::Program program = b.Finish(mae);
-  core::FuseBasic(program);
 
   // Probe inputs for table construction. Anomalous traffic is often highly
   // *regular* (floods, C2 beaconing): whole windows of near-constant
@@ -165,8 +165,10 @@ std::unique_ptr<Autoencoder> Autoencoder::Train(std::span<const float> x,
       }
     }
   }
-  model->compiled_ = core::CompileProgram(
-      std::move(program), compile_inputs, n + probes, cfg.compile);
+  model->compiled_ = compiler::CompileToModel(std::move(program),
+                                              compile_inputs, n + probes,
+                                              cfg.compile)
+                         .model;
   return model;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "compiler/compiler.hpp"
 #include "core/operators.hpp"
 #include "nn/trainer.hpp"
 
@@ -111,9 +112,8 @@ std::unique_ptr<CnnB> CnnB::Train(std::span<const float> x,
       b, h, fc2->weight().value.data(), cfg.fc_hidden, num_classes,
       fc2->bias().value.data(), cfg.segment_dim, cfg.fuzzy_leaves_fc);
   core::Program program = b.Finish(logits);
-  core::FuseBasic(program);
   model->compiled_ =
-      core::CompileProgram(std::move(program), x, n, cfg.compile);
+      compiler::CompileToModel(std::move(program), x, n, cfg.compile).model;
   return model;
 }
 

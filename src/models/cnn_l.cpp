@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "compiler/compiler.hpp"
 #include "core/operators.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
@@ -217,7 +218,6 @@ std::unique_ptr<CnnL> CnnL::Train(std::span<const float> x,
     const core::ValueId logits =
         b.SumReduce(std::span<const core::ValueId>(head_outs));
     core::Program program = b.Finish(logits);
-    core::FuseBasic(program);
     // Pack training inputs.
     std::vector<float> packed;
     packed.reserve(n * (kPkts * kBytes + (use_ipd ? kPkts : 0)));
@@ -227,8 +227,9 @@ std::unique_ptr<CnnL> CnnL::Train(std::span<const float> x,
           seq.subspan(i * kPkts * 2, kPkts * 2), use_ipd);
       packed.insert(packed.end(), row.begin(), row.end());
     }
-    model->compiled_ =
-        core::CompileProgram(std::move(program), packed, n, cfg.compile);
+    model->compiled_ = compiler::CompileToModel(std::move(program), packed, n,
+                                                cfg.compile)
+                           .model;
   }
 
   // (b) Per-packet extractor program (shared tables): resource path.
@@ -245,11 +246,12 @@ std::unique_ptr<CnnL> CnnL::Train(std::span<const float> x,
     const core::ValueId feat =
         b.SumReduce(std::span<const core::ValueId>(contribs));
     core::Program program = b.Finish(feat);
-    core::FuseBasic(program);
     // Training inputs: every packet of every sample.
     std::vector<float> pkt_rows(x.begin(), x.end());
-    model->compiled_extractor_ = core::CompileProgram(
-        std::move(program), pkt_rows, n * kPkts, cfg.compile);
+    model->compiled_extractor_ =
+        compiler::CompileToModel(std::move(program), pkt_rows, n * kPkts,
+                                 cfg.compile)
+            .model;
   }
 
   // (c) Window classifier program over stored (quantized feature, IPD)
@@ -267,7 +269,6 @@ std::unique_ptr<CnnL> CnnL::Train(std::span<const float> x,
     const core::ValueId logits =
         b.SumReduce(std::span<const core::ValueId>(contribs));
     core::Program program = b.Finish(logits);
-    core::FuseBasic(program);
     // Build classifier training rows from float extractor outputs.
     const std::size_t rows = std::min<std::size_t>(n, 4000);
     std::vector<float> cx(rows * kPkts * per_pkt);
@@ -289,7 +290,8 @@ std::unique_ptr<CnnL> CnnL::Train(std::span<const float> x,
       }
     }
     model->compiled_classifier_ =
-        core::CompileProgram(std::move(program), cx, rows, cfg.compile);
+        compiler::CompileToModel(std::move(program), cx, rows, cfg.compile)
+            .model;
   }
   return model;
 }

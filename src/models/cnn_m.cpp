@@ -1,5 +1,6 @@
 #include "models/cnn_m.hpp"
 
+#include "compiler/compiler.hpp"
 #include "core/operators.hpp"
 
 namespace pegasus::models {
@@ -61,9 +62,8 @@ std::unique_ptr<CnnM> CnnM::Train(std::span<const float> x,
   const core::ValueId logits =
       b.SumReduce(std::span<const core::ValueId>(contribs));
   core::Program program = b.Finish(logits);
-  core::FuseBasic(program);
   model->compiled_ =
-      core::CompileProgram(std::move(program), x, n, cfg.compile);
+      compiler::CompileToModel(std::move(program), x, n, cfg.compile).model;
   return model;
 }
 

@@ -5,8 +5,11 @@
 //   2. emit a primitive Program whose Map functions wrap the trained
 //      weights (plus the feature normalization, so programs consume raw
 //      8-bit features);
-//   3. run FuseBasic, then CompileProgram against the training inputs;
-//   4. optionally Lower onto the switch simulator for resource accounting.
+//   3. run compiler::CompileToModel — the PassManager's fuse-basic →
+//      augment → quantize-plan → tablegen pipeline — against the training
+//      inputs;
+//   4. optionally lower onto the switch simulator (compiler::PlaceOnSwitch)
+//      for resource accounting.
 //
 // TrainedModel carries all of it, so Table 5 / Figures 7-9 drivers can
 // treat every model uniformly: FloatPredict is the paper's "CPU/GPU" path,

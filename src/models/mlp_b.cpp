@@ -1,5 +1,6 @@
 #include "models/mlp_b.hpp"
 
+#include "compiler/compiler.hpp"
 #include "core/operators.hpp"
 #include "nn/trainer.hpp"
 
@@ -68,9 +69,10 @@ std::unique_ptr<MlpB> MlpB::Train(std::span<const float> x,
                                  num_classes, out_fc->bias().value.data(),
                                  cfg.segment_dim, cfg.fuzzy_leaves);
   core::Program program = b.Finish(v);
-  model->fusion_stats_ = core::FuseBasic(program);
-  model->compiled_ = core::CompileProgram(std::move(program), x, n,
-                                          cfg.compile);
+  auto compile =
+      compiler::CompileToModel(std::move(program), x, n, cfg.compile);
+  model->fusion_stats_ = compile.fusion;
+  model->compiled_ = std::move(compile.model);
   return model;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "compiler/compiler.hpp"
 #include "core/operators.hpp"
 #include "nn/trainer.hpp"
 
@@ -106,9 +107,8 @@ std::unique_ptr<RnnB> RnnB::Train(std::span<const float> x,
                              std::move(v_b), "readout"),
             cfg.fuzzy_leaves_readout);
   core::Program program = b.Finish(logits);
-  core::FuseBasic(program);
   model->compiled_ =
-      core::CompileProgram(std::move(program), x, n, cfg.compile);
+      compiler::CompileToModel(std::move(program), x, n, cfg.compile).model;
   return model;
 }
 

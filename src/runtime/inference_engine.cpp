@@ -1,0 +1,121 @@
+#include "runtime/inference_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "fixedpoint/fixedpoint.hpp"
+
+namespace pegasus::runtime {
+
+InferenceEngine::InferenceEngine(const LoweredModel& model,
+                                 std::size_t batch_capacity)
+    : model_(&model) {
+  if (batch_capacity == 0) {
+    throw std::invalid_argument("InferenceEngine: batch_capacity must be > 0");
+  }
+  pool_.reserve(batch_capacity);
+  for (std::size_t i = 0; i < batch_capacity; ++i) {
+    pool_.emplace_back(model.layout());
+  }
+  raw_scratch_.resize(batch_capacity * model.OutputDim());
+}
+
+void InferenceEngine::RunChunk(const float* rows, std::size_t n) {
+  const auto& input_fields = model_->input_fields();
+  const auto& parser_inits = model_->parser_inits();
+  const std::size_t in_dim = input_fields.size();
+  const std::int64_t dmax = (std::int64_t{1} << model_->input_bits()) - 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    dataplane::Phv& phv = pool_[i];
+    phv.Reset();
+    const float* row = rows + i * in_dim;
+    for (std::size_t d = 0; d < in_dim; ++d) {
+      const std::int64_t u =
+          std::clamp<std::int64_t>(std::llround(row[d]), 0, dmax);
+      phv.Set(input_fields[d], u);
+    }
+    for (const auto& [field, value] : parser_inits) {
+      phv.Set(field, value);
+    }
+  }
+  model_->pipeline().ProcessBatch(std::span<dataplane::Phv>(pool_.data(), n));
+}
+
+void InferenceEngine::InferRaw(std::span<const float> features, std::size_t n,
+                               std::span<std::int64_t> out_raw) {
+  const std::size_t in_dim = input_dim();
+  const std::size_t out_dim = output_dim();
+  if (features.size() != n * in_dim) {
+    throw std::invalid_argument("InferenceEngine::InferRaw: feature buffer "
+                                "size does not match n x input_dim");
+  }
+  if (out_raw.size() != n * out_dim) {
+    throw std::invalid_argument("InferenceEngine::InferRaw: output buffer "
+                                "size does not match n x output_dim");
+  }
+  const auto& output_fields = model_->output_fields();
+  const auto& output_quant = model_->output_quant();
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t chunk = std::min(n - done, pool_.size());
+    RunChunk(features.data() + done * in_dim, chunk);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      std::int64_t* out_row = out_raw.data() + (done + i) * out_dim;
+      const dataplane::Phv& phv = pool_[i];
+      for (std::size_t d = 0; d < out_dim; ++d) {
+        out_row[d] = phv.Get(output_fields[d]) - output_quant[d].bias;
+      }
+    }
+    done += chunk;
+  }
+}
+
+void InferenceEngine::Infer(std::span<const float> features, std::size_t n,
+                            std::span<float> out) {
+  const std::size_t in_dim = input_dim();
+  const std::size_t out_dim = output_dim();
+  if (features.size() != n * in_dim) {
+    throw std::invalid_argument("InferenceEngine::Infer: feature buffer "
+                                "size does not match n x input_dim");
+  }
+  if (out.size() != n * out_dim) {
+    throw std::invalid_argument("InferenceEngine::Infer: output buffer "
+                                "size does not match n x output_dim");
+  }
+  const auto& output_quant = model_->output_quant();
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t chunk = std::min(n - done, pool_.size());
+    const std::span<std::int64_t> raw(raw_scratch_.data(), chunk * out_dim);
+    InferRaw(features.subspan(done * in_dim, chunk * in_dim), chunk, raw);
+    for (std::size_t i = 0; i < chunk * out_dim; ++i) {
+      out[done * out_dim + i] = static_cast<float>(
+          fixedpoint::Dequantize(raw[i], output_quant[i % out_dim].fmt));
+    }
+    done += chunk;
+  }
+}
+
+std::vector<std::int64_t> InferenceEngine::InferRaw(
+    std::span<const float> features) {
+  if (features.size() != input_dim()) {
+    throw std::invalid_argument(
+        "InferenceEngine::InferRaw: feature dim mismatch");
+  }
+  std::vector<std::int64_t> raw(output_dim());
+  InferRaw(features, 1, raw);
+  return raw;
+}
+
+std::vector<float> InferenceEngine::Infer(std::span<const float> features) {
+  if (features.size() != input_dim()) {
+    throw std::invalid_argument(
+        "InferenceEngine::Infer: feature dim mismatch");
+  }
+  std::vector<float> out(output_dim());
+  Infer(features, 1, out);
+  return out;
+}
+
+}  // namespace pegasus::runtime

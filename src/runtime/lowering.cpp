@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "runtime/inference_engine.hpp"
+
 namespace pegasus::runtime {
 
 namespace {
@@ -296,37 +298,49 @@ LoweredModel Lower(const core::CompiledModel& model,
   return lowered;
 }
 
+LoweredModel::LoweredModel() = default;
+LoweredModel::~LoweredModel() = default;
+
+LoweredModel::LoweredModel(LoweredModel&& other) noexcept
+    : layout_(std::move(other.layout_)),
+      pipeline_(std::move(other.pipeline_)),
+      input_fields_(std::move(other.input_fields_)),
+      output_fields_(std::move(other.output_fields_)),
+      parser_inits_(std::move(other.parser_inits_)),
+      output_quant_(std::move(other.output_quant_)),
+      input_bits_(other.input_bits_) {
+  // scratch_ holds a pointer back to `other`; drop it and rebuild lazily.
+  other.scratch_.reset();
+}
+
+LoweredModel& LoweredModel::operator=(LoweredModel&& other) noexcept {
+  if (this != &other) {
+    layout_ = std::move(other.layout_);
+    pipeline_ = std::move(other.pipeline_);
+    input_fields_ = std::move(other.input_fields_);
+    output_fields_ = std::move(other.output_fields_);
+    parser_inits_ = std::move(other.parser_inits_);
+    output_quant_ = std::move(other.output_quant_);
+    input_bits_ = other.input_bits_;
+    scratch_.reset();
+    other.scratch_.reset();
+  }
+  return *this;
+}
+
 std::vector<std::int64_t> LoweredModel::InferRaw(
     std::span<const float> features) const {
-  if (features.size() != input_fields_.size()) {
-    throw std::invalid_argument("LoweredModel::Infer: feature dim mismatch");
+  if (!scratch_) {
+    scratch_ = std::make_unique<InferenceEngine>(*this, 1);
   }
-  dataplane::Phv phv(*layout_);
-  const std::int64_t dmax = (std::int64_t{1} << input_bits_) - 1;
-  for (std::size_t i = 0; i < features.size(); ++i) {
-    const std::int64_t u = std::clamp<std::int64_t>(
-        std::llround(features[i]), 0, dmax);
-    phv.Set(input_fields_[i], u);
-  }
-  for (const auto& [field, value] : parser_inits_) {
-    phv.Set(field, value);
-  }
-  pipeline_->Process(phv);
-  std::vector<std::int64_t> raw(output_fields_.size());
-  for (std::size_t i = 0; i < output_fields_.size(); ++i) {
-    raw[i] = phv.Get(output_fields_[i]) - output_quant_[i].bias;
-  }
-  return raw;
+  return scratch_->InferRaw(features);
 }
 
 std::vector<float> LoweredModel::Infer(std::span<const float> features) const {
-  const std::vector<std::int64_t> raw = InferRaw(features);
-  std::vector<float> out(raw.size());
-  for (std::size_t i = 0; i < raw.size(); ++i) {
-    out[i] = static_cast<float>(
-        fixedpoint::Dequantize(raw[i], output_quant_[i].fmt));
+  if (!scratch_) {
+    scratch_ = std::make_unique<InferenceEngine>(*this, 1);
   }
-  return out;
+  return scratch_->Infer(features);
 }
 
 dataplane::ResourceReport LoweredModel::Report() const {

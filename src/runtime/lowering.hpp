@@ -38,9 +38,21 @@ struct LoweringOptions {
   std::size_t max_ternary_entries_per_table = 4096;
 };
 
+class InferenceEngine;
+
 /// A model placed on the simulated switch.
+///
+/// Per-call Infer/InferRaw are implemented on top of a lazily created
+/// single-packet InferenceEngine (see runtime/inference_engine.hpp), so they
+/// are allocation-free on the hot path but NOT thread-safe; for concurrent
+/// or high-throughput use, construct one InferenceEngine per thread.
 class LoweredModel {
  public:
+  LoweredModel();
+  ~LoweredModel();
+  LoweredModel(LoweredModel&& other) noexcept;
+  LoweredModel& operator=(LoweredModel&& other) noexcept;
+
   /// Runs one inference: writes features into the parser-stage PHV fields,
   /// processes the pipeline, reads back the output fields. Returns
   /// dequantized outputs.
@@ -55,6 +67,28 @@ class LoweredModel {
   std::size_t NumTables() const { return pipeline_->NumTables(); }
   std::size_t StagesUsed() const { return pipeline_->StagesUsed(); }
 
+  // Execution-surface accessors (the seam the batched InferenceEngine is
+  // built on).
+  const dataplane::PhvLayout& layout() const { return *layout_; }
+  const std::vector<dataplane::FieldId>& input_fields() const {
+    return input_fields_;
+  }
+  const std::vector<dataplane::FieldId>& output_fields() const {
+    return output_fields_;
+  }
+  /// (field, value) pairs the parser writes before the pipeline runs
+  /// (accumulator biases).
+  const std::vector<std::pair<dataplane::FieldId, std::int64_t>>&
+  parser_inits() const {
+    return parser_inits_;
+  }
+  const std::vector<core::DimQuant>& output_quant() const {
+    return output_quant_;
+  }
+  int input_bits() const { return input_bits_; }
+  std::size_t InputDim() const { return input_fields_.size(); }
+  std::size_t OutputDim() const { return output_fields_.size(); }
+
  private:
   friend LoweredModel Lower(const core::CompiledModel& model,
                             const LoweringOptions& options);
@@ -63,11 +97,12 @@ class LoweredModel {
   std::unique_ptr<dataplane::Pipeline> pipeline_;
   std::vector<dataplane::FieldId> input_fields_;
   std::vector<dataplane::FieldId> output_fields_;
-  /// (field, value) pairs the parser writes before the pipeline runs
-  /// (accumulator biases).
   std::vector<std::pair<dataplane::FieldId, std::int64_t>> parser_inits_;
   std::vector<core::DimQuant> output_quant_;
   int input_bits_ = 8;
+  /// Lazy single-packet engine backing Infer/InferRaw. Dropped on move (it
+  /// holds a pointer back to this object) and rebuilt on next use.
+  mutable std::unique_ptr<InferenceEngine> scratch_;
 };
 
 /// Places every Map table of `model` onto the simulated switch.

@@ -153,11 +153,17 @@ TEST(Fusion, BasicFusionReachesFigureFiveShape) {
 TEST(Fusion, FuseBasicIsIdempotent) {
   std::mt19937_64 rng(4);
   core::Program p = MlpShapedProgram(rng);
-  core::FuseBasic(p);
+  const auto first = core::FuseBasic(p);
+  EXPECT_GT(first.rewrites, 0u);
   const std::size_t maps = p.NumMaps();
+  // Second run: a fixpoint is already reached, so zero rewrites are applied
+  // and the single iteration only confirms it.
   const auto again = core::FuseBasic(p);
   EXPECT_EQ(again.maps_after, maps);
   EXPECT_EQ(again.maps_before, maps);
+  EXPECT_EQ(again.rewrites, 0u);
+  EXPECT_EQ(again.iterations, 1u);
+  EXPECT_EQ(again.sum_reduces_before, again.sum_reduces_after);
 }
 
 class FusionRandomized : public ::testing::TestWithParam<int> {};

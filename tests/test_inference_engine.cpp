@@ -1,0 +1,189 @@
+// The batched InferenceEngine must be bit-identical to N sequential
+// LoweredModel::InferRaw calls (the refactor's acceptance criterion), stay
+// correct across chunking/reuse, and reject malformed buffers.
+#include "runtime/inference_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "compiler/compiler.hpp"
+#include "core/operators.hpp"
+#include "eval/experiment.hpp"
+
+namespace core = pegasus::core;
+namespace rt = pegasus::runtime;
+namespace pc = pegasus::compiler;
+
+namespace {
+
+constexpr std::size_t kDim = 4;
+
+std::vector<float> RandomFeatures(std::size_t n, std::size_t dim,
+                                  std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(0.0f, 255.0f);
+  std::vector<float> x(n * dim);
+  for (float& v : x) v = std::floor(dist(rng));
+  return x;
+}
+
+/// Partition + fuzzy Maps + SumReduce + downstream Map — exercises parser
+/// inits (accumulator bias) and multi-stage placement.
+rt::LoweredModel SmallLoweredModel(std::uint64_t seed) {
+  const std::size_t n = 2000;
+  const auto x = RandomFeatures(n, kDim, seed);
+  core::ProgramBuilder b(kDim);
+  auto segs = b.Partition(b.input(), 2, 2);
+  std::vector<core::ValueId> maps;
+  maps.push_back(
+      b.Map(segs[0], core::MakeLinear({0.05f, -0.02f, 0.01f, 0.04f}, 2, 2,
+                                      {0.5f, -0.5f}),
+            32));
+  maps.push_back(b.Map(
+      segs[1], core::MakeLinear({-0.03f, 0.02f, 0.02f, 0.01f}, 2, 2, {}),
+      32));
+  auto sum = b.SumReduce(std::span<const core::ValueId>(maps));
+  auto out = b.Map(sum, core::MakeReLU(2), 32);
+  return pc::CompileToSwitch(b.Finish(out), x, n).lowered;
+}
+
+}  // namespace
+
+TEST(InferenceEngine, BatchedBitIdenticalToSequentialInferRaw) {
+  const rt::LoweredModel lowered = SmallLoweredModel(1);
+  rt::InferenceEngine engine(lowered, 32);
+
+  const std::size_t n = 300;
+  const auto x = RandomFeatures(n, kDim, 2);
+  std::vector<std::int64_t> batched(n * engine.output_dim());
+  engine.InferRaw(x, n, batched);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::span<const float> row(x.data() + i * kDim, kDim);
+    const auto sequential = lowered.InferRaw(row);
+    ASSERT_EQ(sequential.size(), engine.output_dim());
+    for (std::size_t d = 0; d < sequential.size(); ++d) {
+      ASSERT_EQ(sequential[d], batched[i * engine.output_dim() + d])
+          << "sample " << i << " dim " << d;
+    }
+  }
+}
+
+TEST(InferenceEngine, ChunkingAcrossCapacityBoundaries) {
+  const rt::LoweredModel lowered = SmallLoweredModel(3);
+  // Capacities around the batch size: chunk == n, chunk > n, chunk that
+  // divides n unevenly.
+  for (const std::size_t capacity : {1u, 7u, 37u, 64u}) {
+    rt::InferenceEngine engine(lowered, capacity);
+    const std::size_t n = 37;
+    const auto x = RandomFeatures(n, kDim, 4);
+    std::vector<std::int64_t> batched(n * engine.output_dim());
+    engine.InferRaw(x, n, batched);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::span<const float> row(x.data() + i * kDim, kDim);
+      EXPECT_EQ(lowered.InferRaw(row),
+                std::vector<std::int64_t>(
+                    batched.begin() +
+                        static_cast<std::ptrdiff_t>(i * engine.output_dim()),
+                    batched.begin() + static_cast<std::ptrdiff_t>(
+                                          (i + 1) * engine.output_dim())))
+          << "capacity " << capacity << " sample " << i;
+    }
+  }
+}
+
+TEST(InferenceEngine, DequantizedBatchMatchesPerCallInfer) {
+  const rt::LoweredModel lowered = SmallLoweredModel(5);
+  rt::InferenceEngine engine(lowered, 16);
+  const std::size_t n = 64;
+  const auto x = RandomFeatures(n, kDim, 6);
+  std::vector<float> batched(n * engine.output_dim());
+  engine.Infer(x, n, batched);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::span<const float> row(x.data() + i * kDim, kDim);
+    const auto single = lowered.Infer(row);
+    for (std::size_t d = 0; d < single.size(); ++d) {
+      EXPECT_FLOAT_EQ(single[d], batched[i * engine.output_dim() + d]);
+    }
+  }
+}
+
+TEST(InferenceEngine, PoolReuseDoesNotLeakStateAcrossBatches) {
+  const rt::LoweredModel lowered = SmallLoweredModel(7);
+  rt::InferenceEngine engine(lowered, 8);
+  const auto a = RandomFeatures(8, kDim, 8);
+  const auto b = RandomFeatures(8, kDim, 9);
+  std::vector<std::int64_t> first(8 * engine.output_dim());
+  std::vector<std::int64_t> second(8 * engine.output_dim());
+  std::vector<std::int64_t> again(8 * engine.output_dim());
+  engine.InferRaw(a, 8, first);
+  engine.InferRaw(b, 8, second);
+  engine.InferRaw(a, 8, again);
+  EXPECT_EQ(first, again);
+  EXPECT_NE(first, second);  // distinct inputs produce distinct outputs
+}
+
+TEST(InferenceEngine, SingleRowConvenienceMatchesLoweredModel) {
+  const rt::LoweredModel lowered = SmallLoweredModel(10);
+  rt::InferenceEngine engine(lowered, 4);
+  const auto x = RandomFeatures(20, kDim, 11);
+  for (std::size_t i = 0; i < 20; ++i) {
+    std::span<const float> row(x.data() + i * kDim, kDim);
+    EXPECT_EQ(engine.InferRaw(row), lowered.InferRaw(row));
+  }
+}
+
+TEST(InferenceEngine, RejectsMalformedBuffers) {
+  const rt::LoweredModel lowered = SmallLoweredModel(12);
+  rt::InferenceEngine engine(lowered, 4);
+  const auto x = RandomFeatures(4, kDim, 13);
+  std::vector<std::int64_t> raw(4 * engine.output_dim());
+  std::vector<float> out(4 * engine.output_dim());
+
+  // Feature buffer not n x input_dim.
+  EXPECT_THROW(engine.InferRaw(std::span<const float>(x.data(), 7), 4, raw),
+               std::invalid_argument);
+  EXPECT_THROW(engine.Infer(std::span<const float>(x.data(), 7), 4, out),
+               std::invalid_argument);
+  // Output buffer too small.
+  std::vector<std::int64_t> small_raw(3);
+  EXPECT_THROW(engine.InferRaw(x, 4, small_raw), std::invalid_argument);
+  // Single-row dim mismatch.
+  const std::vector<float> bad{1.0f, 2.0f};
+  EXPECT_THROW(engine.InferRaw(bad), std::invalid_argument);
+  // Zero-capacity engine.
+  EXPECT_THROW(rt::InferenceEngine(lowered, 0), std::invalid_argument);
+}
+
+TEST(InferenceEngine, MovedLoweredModelStillInfers) {
+  rt::LoweredModel lowered = SmallLoweredModel(14);
+  const auto x = RandomFeatures(4, kDim, 15);
+  std::span<const float> row(x.data(), kDim);
+  const auto before = lowered.InferRaw(row);  // materializes scratch engine
+  rt::LoweredModel moved = std::move(lowered);
+  EXPECT_EQ(moved.InferRaw(row), before);
+}
+
+TEST(InferenceEngine, PredictClassesLoweredMatchesPerSampleArgmax) {
+  const rt::LoweredModel lowered = SmallLoweredModel(16);
+  rt::InferenceEngine engine(lowered, 16);
+
+  pegasus::traffic::SampleSet set;
+  set.dim = kDim;
+  set.x = RandomFeatures(100, kDim, 17);
+  set.labels.assign(100, 0);
+  set.flow_index.assign(100, 0);
+
+  const auto predictions = pegasus::eval::PredictClassesLowered(engine, set);
+  ASSERT_EQ(predictions.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    const auto logits = lowered.Infer(
+        std::span<const float>(set.x.data() + i * kDim, kDim));
+    std::size_t best = 0;
+    for (std::size_t d = 1; d < logits.size(); ++d) {
+      if (logits[d] > logits[best]) best = d;
+    }
+    EXPECT_EQ(predictions[i], static_cast<std::int32_t>(best)) << i;
+  }
+}

@@ -117,6 +117,47 @@ TEST(LoweringModes, RangeArityValidated) {
                std::invalid_argument);
 }
 
+TEST(LoweringModes, TernaryExpansionOverflowingStageTcamThrows) {
+  // With the fallback disabled (threshold never binds) and a switch whose
+  // per-stage TCAM cannot hold the CRC cross-product expansion, placement
+  // must fail — the simulator's rendition of a Tofino compile failure.
+  const auto model = WideKeyModel(11);
+  rt::LoweringOptions opts;
+  opts.max_ternary_entries_per_table = 1u << 24;
+  opts.switch_model.tcam_bits_per_stage = 64;  // a handful of entries
+  EXPECT_THROW(rt::Lower(model, opts), dp::PlacementError);
+}
+
+TEST(LoweringModes, RangeFallbackRescuesTernaryOverflow) {
+  // Same tiny-TCAM switch, but sized so one DirtCAM entry per leaf fits
+  // while the ternary expansion does not: forcing the fallback turns the
+  // PlacementError into a successful, semantics-preserving placement.
+  const auto model = WideKeyModel(12);
+  rt::LoweringOptions ternary_opts;
+  ternary_opts.max_ternary_entries_per_table = 1u << 24;
+  const auto ternary_bits = rt::Lower(model, ternary_opts).Report().tcam_bits;
+
+  rt::LoweringOptions range_opts;
+  range_opts.max_ternary_entries_per_table = 1;
+  const auto range_bits = rt::Lower(model, range_opts).Report().tcam_bits;
+  ASSERT_LT(range_bits, ternary_bits);
+
+  rt::LoweringOptions tight_ternary = ternary_opts;
+  tight_ternary.switch_model.tcam_bits_per_stage = range_bits;
+  EXPECT_THROW(rt::Lower(model, tight_ternary), dp::PlacementError);
+
+  rt::LoweringOptions tight_range = range_opts;
+  tight_range.switch_model.tcam_bits_per_stage = range_bits;
+  auto lowered = rt::Lower(model, tight_range);
+  std::mt19937_64 rng(13);
+  std::uniform_real_distribution<float> dist(0.0f, 255.0f);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<float> x(kDim);
+    for (float& f : x) f = std::floor(dist(rng));
+    ASSERT_EQ(lowered.InferRaw(x), model.EvaluateRaw(x));
+  }
+}
+
 class ThresholdSweep : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(ThresholdSweep, AnyThresholdPreservesSemantics) {
