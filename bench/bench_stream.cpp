@@ -1,0 +1,178 @@
+// End-to-end streaming-serving benchmark: packets/sec through the sharded
+// StreamServer for two models (MLP-B on the stat path, CNN-M on the seq
+// path) at 1 and 4 shards, single- and multi-threaded — the serving-side
+// scaling curve the ROADMAP's "millions of flows" north star needs tracked
+// per commit. Writes BENCH_stream.json (argv[1] overrides the path) for the
+// CI artifact.
+//
+// The whole dataset (all splits) is merged into one time-ordered trace so
+// the stream carries realistic flow interleaving; accuracy is reported over
+// the per-packet decisions as a sanity anchor, not a headline number (train
+// flows are part of the stream).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "compiler/compiler.hpp"
+#include "eval/experiment.hpp"
+#include "runtime/stream_server.hpp"
+
+namespace {
+
+namespace ev = pegasus::eval;
+namespace rt = pegasus::runtime;
+namespace tr = pegasus::traffic;
+
+struct RunRow {
+  std::string model;
+  std::string feature;
+  std::size_t shards = 0;
+  std::size_t threads = 0;  // 0 = single-threaded driver loop
+  std::uint64_t packets = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t warmup = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t batches = 0;
+  double wall_ms = 0.0;
+  double pps = 0.0;
+  double accuracy = 0.0;
+};
+
+RunRow RunOne(const std::string& name, const rt::LoweredModel& lowered,
+              rt::FeatureKind kind,
+              const std::vector<tr::TracePacket>& trace,
+              std::size_t num_classes, std::size_t shards, bool mt) {
+  rt::StreamServerOptions opts;
+  opts.num_shards = shards;
+  opts.flows_per_shard = 1 << 10;
+  opts.feature = kind;
+  opts.multithreaded = mt;
+  rt::StreamServer server(lowered, opts);
+  const auto run = ev::ServeTrace(server, trace);
+
+  RunRow row;
+  row.model = name;
+  row.feature = rt::FeatureKindName(kind);
+  row.shards = shards;
+  row.threads = mt ? shards : 0;
+  row.packets = run.stats.packets;
+  row.decisions = run.stats.decisions;
+  row.warmup = run.stats.warmup;
+  row.evictions = run.stats.table.evictions;
+  row.batches = run.stats.batches;
+  row.wall_ms = run.wall_ms;
+  row.pps = run.packets_per_sec;
+  row.accuracy = ev::EvaluateDecisions(run.decisions, num_classes).accuracy;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pegasus;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_stream.json";
+  const bench::BenchScale scale = bench::ScaleFromEnv();
+
+  auto prep = eval::Prepare(traffic::PeerRushSpec(scale.peerrush_flows),
+                            /*with_raw_bytes=*/false);
+  std::printf("dataset: %s, %zu flows, %zu classes\n", prep.name.c_str(),
+              prep.dataset.flows.size(), prep.num_classes);
+
+  // ---- models: one stat-path, one seq-path -------------------------------
+  models::MlpBConfig mlp_cfg;
+  mlp_cfg.epochs = scale.epochs_small;
+  auto mlp = models::MlpB::Train(prep.stat.train.x, prep.stat.train.labels,
+                                 prep.stat.train.size(), prep.stat.train.dim,
+                                 prep.num_classes, mlp_cfg);
+  models::CnnMConfig cnn_cfg;
+  cnn_cfg.epochs = scale.epochs_small;
+  auto cnn = models::CnnM::Train(prep.seq.train.x, prep.seq.train.labels,
+                                 prep.seq.train.size(), prep.seq.train.dim,
+                                 prep.num_classes, cnn_cfg);
+
+  runtime::LoweringOptions lopts;
+  lopts.stateful_bits_per_flow =
+      runtime::OnlineFlowStateSpec(runtime::FeatureKind::kStat).BitsPerFlow();
+  auto mlp_lowered = compiler::PlaceOnSwitch(mlp->Compiled(), lopts);
+  lopts.stateful_bits_per_flow =
+      runtime::OnlineFlowStateSpec(runtime::FeatureKind::kSeq).BitsPerFlow();
+  auto cnn_lowered = compiler::PlaceOnSwitch(cnn->Compiled(), lopts);
+
+  // ---- one merged trace over every flow ----------------------------------
+  const auto trace = traffic::MergeTrace(prep.dataset.flows);
+  std::printf("merged trace: %zu packets over %zu flows\n\n", trace.size(),
+              prep.dataset.flows.size());
+
+  struct ModelUnderTest {
+    const char* name;
+    const runtime::LoweredModel* lowered;
+    runtime::FeatureKind kind;
+  };
+  const ModelUnderTest models[] = {
+      {"MLP-B", &mlp_lowered, runtime::FeatureKind::kStat},
+      {"CNN-M", &cnn_lowered, runtime::FeatureKind::kSeq},
+  };
+
+  std::vector<RunRow> rows;
+  std::printf("%-7s %-5s %7s %8s %10s %12s %10s %9s\n", "Model", "feat",
+              "shards", "threads", "wall ms", "pkts/s", "pps/shard", "acc");
+  for (const auto& m : models) {
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+      for (const bool mt : {false, true}) {
+        const auto row = RunOne(m.name, *m.lowered, m.kind, trace,
+                                prep.num_classes, shards, mt);
+        std::printf("%-7s %-5s %7zu %8zu %10.1f %12.0f %10.0f %9.3f\n",
+                    row.model.c_str(), row.feature.c_str(), row.shards,
+                    row.threads, row.wall_ms, row.pps,
+                    row.pps / static_cast<double>(row.shards), row.accuracy);
+        rows.push_back(row);
+      }
+    }
+  }
+
+  // ---- scaling curve ------------------------------------------------------
+  std::printf("\nscaling (multi-threaded, 4 vs 1 shard speedup):\n");
+  for (const auto& m : models) {
+    double pps1 = 0.0, pps4 = 0.0;
+    for (const auto& r : rows) {
+      if (r.model != m.name || r.threads == 0) continue;
+      if (r.shards == 1) pps1 = r.pps;
+      if (r.shards == 4) pps4 = r.pps;
+    }
+    std::printf("  %-7s %.2fx\n", m.name, pps1 > 0.0 ? pps4 / pps1 : 0.0);
+  }
+
+  // ---- JSON artifact ------------------------------------------------------
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"stream\",\n  \"dataset\": \"%s\",\n"
+               "  \"trace_packets\": %zu,\n  \"runs\": [\n",
+               prep.name.c_str(), trace.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RunRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"model\": \"%s\", \"feature\": \"%s\", \"shards\": %zu, "
+        "\"threads\": %zu, \"packets\": %llu, \"decisions\": %llu, "
+        "\"warmup\": %llu, \"evictions\": %llu, \"batches\": %llu, "
+        "\"wall_ms\": %.3f, \"packets_per_sec\": %.1f, "
+        "\"packets_per_sec_per_shard\": %.1f, \"accuracy\": %.4f}%s\n",
+        r.model.c_str(), r.feature.c_str(), r.shards, r.threads,
+        static_cast<unsigned long long>(r.packets),
+        static_cast<unsigned long long>(r.decisions),
+        static_cast<unsigned long long>(r.warmup),
+        static_cast<unsigned long long>(r.evictions),
+        static_cast<unsigned long long>(r.batches), r.wall_ms, r.pps,
+        r.pps / static_cast<double>(r.shards), r.accuracy,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

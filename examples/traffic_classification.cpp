@@ -3,17 +3,17 @@
 //
 // Trains CNN-M on a synthetic ISCXVPN-like workload, compiles it with
 // Advanced Primitive Fusion (one fuzzy Map per packet-pair window), lowers
-// it onto the simulated switch, and then classifies a live packet stream
-// the way the dataplane would: per-flow windows maintained in register
-// state, one pipeline pass per packet once the window fills.
+// it onto the simulated switch, and then serves a live merged packet stream
+// through the sharded streaming runtime: the test flows are interleaved
+// into one time-ordered trace, each packet updates its flow's preallocated
+// state in the shard's FlowTable, and full windows are classified in
+// batches through the shard's InferenceEngine.
 #include <cstdio>
 
 #include "compiler/compiler.hpp"
 #include "eval/experiment.hpp"
 #include "models/cnn_m.hpp"
-#include "runtime/flow_state.hpp"
-#include "runtime/lowering.hpp"
-#include "traffic/features.hpp"
+#include "runtime/stream_server.hpp"
 
 int main() {
   using namespace pegasus;
@@ -31,50 +31,44 @@ int main() {
               model->ModelSizeKb(), model->Compiled().NumTables());
 
   runtime::LoweringOptions lopts;
-  lopts.stateful_bits_per_flow = model->FlowState().BitsPerFlow();
+  // Account the per-flow state the serving runtime actually keeps (running
+  // min/max + stored fuzzy rings + prev timestamp), so the switch report
+  // and the flow-table stats below quote the same bits/flow.
+  lopts.stateful_bits_per_flow =
+      runtime::OnlineFlowStateSpec(runtime::FeatureKind::kSeq).BitsPerFlow();
   auto switch_model = compiler::PlaceOnSwitch(model->Compiled(), lopts);
   const auto rep = switch_model.Report();
   std::printf("switch: %zu stages, %.2f%% SRAM, %.2f%% TCAM, %zu b/flow\n",
               switch_model.StagesUsed(), rep.SramPct({}), rep.TcamPct({}),
               rep.stateful_bits_per_flow);
 
-  // ---- per-packet streaming inference ------------------------------------
-  // Per-flow window of the last 8 packets' (len, ipd), as the switch would
-  // keep it in register state.
-  runtime::FlowStateSpec spec;
-  spec.Add("len", 8, traffic::kWindow).Add("ipd", 8, traffic::kWindow);
-  runtime::FlowStateTable flow_state(spec, 1 << 16);
+  // ---- streaming serving -------------------------------------------------
+  // Interleave the test flows into one time-ordered trace and serve it:
+  // per-flow windows live in the shards' preallocated FlowTables, full
+  // windows flush through each shard's batched InferenceEngine.
+  const auto trace = eval::TestTrace(prep);
+  runtime::StreamServerOptions sopts;
+  sopts.num_shards = 2;
+  sopts.flows_per_shard = 1 << 10;
+  sopts.feature = runtime::FeatureKind::kSeq;
+  runtime::StreamServer server(switch_model, sopts);
+  const auto run = eval::ServeTrace(server, trace);
 
-  std::size_t packets = 0, classified = 0, correct = 0;
-  for (std::size_t fi = 0; fi < prep.dataset.flows.size(); ++fi) {
-    if (prep.flow_split[fi] != 2) continue;  // test flows only
-    const traffic::Flow& flow = prep.dataset.flows[fi];
-    for (std::size_t p = 0; p < flow.packets.size(); ++p) {
-      ++packets;
-      const std::uint64_t ipd =
-          p == 0 ? 0 : flow.packets[p].ts_us - flow.packets[p - 1].ts_us;
-      flow_state.PushWindow(flow.key, 0, traffic::QuantizeLen(flow.packets[p].len));
-      flow_state.PushWindow(flow.key, 1, traffic::QuantizeIpd(ipd));
-      if (p + 1 < traffic::kWindow) continue;  // window not full yet
-      // Assemble the window from register state (oldest first).
-      std::vector<float> features;
-      for (std::size_t w = traffic::kWindow; w-- > 0;) {
-        features.push_back(static_cast<float>(flow_state.Read(flow.key, 0, w)));
-        features.push_back(static_cast<float>(flow_state.Read(flow.key, 1, w)));
-      }
-      const auto logits = switch_model.Infer(features);
-      std::size_t best = 0;
-      for (std::size_t c = 1; c < logits.size(); ++c) {
-        if (logits[c] > logits[best]) best = c;
-      }
-      ++classified;
-      if (static_cast<std::int32_t>(best) == flow.label) ++correct;
-      if (p + 1 >= traffic::kWindow + 4) break;  // a few windows per flow
-    }
-  }
-  std::printf("streamed %zu packets, classified %zu windows, "
-              "packet-level accuracy %.3f\n",
-              packets, classified,
-              static_cast<double>(correct) / static_cast<double>(classified));
+  const auto report = eval::EvaluateDecisions(run.decisions, prep.num_classes);
+  std::printf("streamed %llu packets over %zu shards "
+              "(%llu warm-up, %llu classified in %llu batches)\n",
+              static_cast<unsigned long long>(run.stats.packets),
+              server.num_shards(),
+              static_cast<unsigned long long>(run.stats.warmup),
+              static_cast<unsigned long long>(run.stats.decisions),
+              static_cast<unsigned long long>(run.stats.batches));
+  std::printf("flow tables: %zu flows resident, %llu evictions, "
+              "%zu b/flow state, %.1f Kb SRAM\n",
+              run.stats.flows_resident,
+              static_cast<unsigned long long>(run.stats.table.evictions),
+              run.stats.stateful_bits_per_flow,
+              static_cast<double>(run.stats.flow_table_sram_bits) / 1024.0);
+  std::printf("packet-level accuracy %.3f (macro-F1 %.3f) at %.0f Kpps\n",
+              report.accuracy, report.f1, run.packets_per_sec / 1000.0);
   return 0;
 }

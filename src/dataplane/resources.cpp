@@ -2,15 +2,18 @@
 
 namespace pegasus::dataplane {
 
-std::size_t PerFlowSramBits(std::size_t bits_per_flow, std::size_t flows) {
-  // Register slots are allocated in 8-bit units (no 4-bit registers on
-  // PISA), and the hash-addressed flow table needs a 16-bit digest per slot
-  // plus ~15% headroom to keep collision rates acceptable.
+std::size_t FlowTableSramBits(std::size_t bits_per_flow,
+                              std::size_t capacity) {
   const std::size_t rounded = ((bits_per_flow + 7) / 8) * 8;
-  const std::size_t slot_bits = rounded + 16;
+  const std::size_t slot_bits = rounded + 16;  // state + flow digest
+  return slot_bits * capacity;
+}
+
+std::size_t PerFlowSramBits(std::size_t bits_per_flow, std::size_t flows) {
   const double occupancy = 0.85;
   return static_cast<std::size_t>(
-      static_cast<double>(slot_bits * flows) / occupancy);
+      static_cast<double>(FlowTableSramBits(bits_per_flow, flows)) /
+      occupancy);
 }
 
 }  // namespace pegasus::dataplane

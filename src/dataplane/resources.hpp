@@ -61,11 +61,17 @@ struct ResourceReport {
   }
 };
 
+/// SRAM bits of a preallocated, hash-addressed flow table with `capacity`
+/// slots of `bits_per_flow` state each. Register slots are allocated in
+/// 8-bit units (the paper notes "PISA switches do not support 4-bit
+/// registers") and every slot carries a 16-bit flow digest for collision
+/// detection. This is the footprint of one runtime::FlowTable shard.
+std::size_t FlowTableSramBits(std::size_t bits_per_flow,
+                              std::size_t capacity);
+
 /// SRAM cost of per-flow state for `flows` concurrent flows (Figure 7's
-/// X-axis). Hardware register slots are allocated in 8-bit units (the paper
-/// notes "PISA switches do not support 4-bit registers"), and flow tables
-/// are hash-addressed: each flow slot carries a 16-bit flow digest and the
-/// table runs at ~85% occupancy.
+/// X-axis): FlowTableSramBits sized so the table runs at ~85% occupancy,
+/// keeping collision rates acceptable.
 std::size_t PerFlowSramBits(std::size_t bits_per_flow, std::size_t flows);
 
 }  // namespace pegasus::dataplane

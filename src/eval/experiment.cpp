@@ -1,30 +1,37 @@
 #include "eval/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace pegasus::eval {
 
-FeatureSplit SplitSamples(const traffic::SampleSet& all,
+FeatureSplit SplitSamples(traffic::SampleSet all,
                           const std::vector<int>& flow_split) {
   FeatureSplit out;
   out.train.dim = out.val.dim = out.test.dim = all.dim;
+
+  // Size each destination exactly before copying a single row: the rows
+  // land in place with no geometric reallocation overshoot, and `all`
+  // (moved into this call) is freed on return.
+  std::size_t counts[3] = {0, 0, 0};
   for (std::size_t i = 0; i < all.size(); ++i) {
-    traffic::SampleSet* dst = nullptr;
-    switch (flow_split.at(all.flow_index[i])) {
-      case 0:
-        dst = &out.train;
-        break;
-      case 1:
-        dst = &out.val;
-        break;
-      default:
-        dst = &out.test;
-        break;
-    }
-    dst->x.insert(dst->x.end(), all.x.begin() + static_cast<std::ptrdiff_t>(
-                                                    i * all.dim),
-                  all.x.begin() + static_cast<std::ptrdiff_t>((i + 1) *
-                                                              all.dim));
+    const int split = flow_split.at(all.flow_index[i]);
+    ++counts[split == 0 ? 0 : (split == 1 ? 1 : 2)];
+  }
+  traffic::SampleSet* dsts[3] = {&out.train, &out.val, &out.test};
+  for (int s = 0; s < 3; ++s) {
+    dsts[s]->x.reserve(counts[s] * all.dim);
+    dsts[s]->labels.reserve(counts[s]);
+    dsts[s]->flow_index.reserve(counts[s]);
+  }
+
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const int split = flow_split.at(all.flow_index[i]);
+    traffic::SampleSet* dst = dsts[split == 0 ? 0 : (split == 1 ? 1 : 2)];
+    const auto begin =
+        all.x.begin() + static_cast<std::ptrdiff_t>(i * all.dim);
+    dst->x.insert(dst->x.end(), begin,
+                  begin + static_cast<std::ptrdiff_t>(all.dim));
     dst->labels.push_back(all.labels[i]);
     dst->flow_index.push_back(all.flow_index[i]);
   }
@@ -43,6 +50,8 @@ PreparedDataset Prepare(const traffic::DatasetSpec& spec, bool with_raw_bytes,
   for (const auto& f : out.dataset.flows) flow_labels.push_back(f.label);
   out.flow_split = SplitFlows(flow_labels, 0.75, 0.10, split_seed);
 
+  // One family at a time: extract, split (consuming the extraction), move
+  // on — peak memory never holds more than one whole family twice.
   out.stat = SplitSamples(traffic::ExtractStatFeatures(out.dataset.flows),
                           out.flow_split);
   out.seq = SplitSamples(traffic::ExtractSeqFeatures(out.dataset.flows),
@@ -78,6 +87,49 @@ std::vector<std::int32_t> PredictClassesLowered(
     done += chunk;
   }
   return predictions;
+}
+
+std::vector<traffic::TracePacket> TestTrace(const PreparedDataset& prep,
+                                            std::uint64_t seed) {
+  std::vector<const traffic::Flow*> test_flows;
+  for (std::size_t fi = 0; fi < prep.dataset.flows.size(); ++fi) {
+    if (prep.flow_split[fi] == 2) {
+      test_flows.push_back(&prep.dataset.flows[fi]);
+    }
+  }
+  traffic::MergeOptions opts;
+  opts.seed = seed;
+  return traffic::MergeTrace(test_flows, opts);
+}
+
+StreamRun ServeTrace(runtime::StreamServer& server,
+                     std::span<const traffic::TracePacket> trace) {
+  StreamRun run;
+  const auto t0 = std::chrono::steady_clock::now();
+  run.decisions = server.Serve(trace);
+  const auto t1 = std::chrono::steady_clock::now();
+  run.stats = server.Stats();
+  run.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  run.packets_per_sec =
+      run.wall_ms > 0.0
+          ? static_cast<double>(trace.size()) / (run.wall_ms / 1000.0)
+          : 0.0;
+  return run;
+}
+
+ClassificationReport EvaluateDecisions(
+    const std::vector<runtime::StreamDecision>& decisions,
+    std::size_t num_classes) {
+  std::vector<std::int32_t> truth;
+  std::vector<std::int32_t> predicted;
+  truth.reserve(decisions.size());
+  predicted.reserve(decisions.size());
+  for (const auto& d : decisions) {
+    truth.push_back(d.label);
+    predicted.push_back(d.predicted);
+  }
+  return Evaluate(truth, predicted, num_classes);
 }
 
 }  // namespace pegasus::eval

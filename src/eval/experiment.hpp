@@ -1,7 +1,9 @@
 // Shared experiment plumbing for the benchmark harness: splitting a
 // synthetic dataset by flows, extracting each feature family once, and
 // carrying the train/val/test sample sets the Table 5 / Figures 7-9
-// drivers all consume.
+// drivers all consume — plus the streaming entry points that replay the
+// test split through a runtime::StreamServer (the serving-path counterpart
+// of offline batch prediction).
 #pragma once
 
 #include <cstdint>
@@ -9,7 +11,9 @@
 
 #include "eval/metrics.hpp"
 #include "runtime/inference_engine.hpp"
+#include "runtime/stream_server.hpp"
 #include "traffic/features.hpp"
+#include "traffic/stream.hpp"
 #include "traffic/synthetic.hpp"
 
 namespace pegasus::eval {
@@ -33,20 +37,53 @@ struct PreparedDataset {
 };
 
 /// Generates the dataset and extracts/splits every feature family
-/// (75/10/15 by flow, stratified — paper §7.1).
+/// (75/10/15 by flow, stratified — paper §7.1). The flow split is computed
+/// once and reused across all three families.
 PreparedDataset Prepare(const traffic::DatasetSpec& spec,
                         bool with_raw_bytes = true,
                         std::uint64_t split_seed = 7);
 
 /// Splits one extracted SampleSet according to a per-flow assignment.
-FeatureSplit SplitSamples(const traffic::SampleSet& all,
+/// Consumes `all` (pass the extractor result straight in): destinations are
+/// reserved exactly and the source is freed on return, so peak memory stays
+/// at ~2x one family instead of accumulating reallocation overshoot.
+FeatureSplit SplitSamples(traffic::SampleSet all,
                           const std::vector<int>& flow_split);
 
 /// Runs every sample of `set` through a lowered model with the batched
 /// InferenceEngine (allocation-free inner loop) and returns the argmax
 /// class per sample — the switch-simulator counterpart of
-/// TrainedModel::PredictClassFuzzy for whole test splits.
+/// TrainedModel::PredictClassFuzzy for whole test splits, and the offline
+/// reference the streaming parity tests compare against.
 std::vector<std::int32_t> PredictClassesLowered(
     runtime::InferenceEngine& engine, const traffic::SampleSet& set);
+
+// ---------------------------------------------------------------------------
+// Streaming evaluation: the serving path.
+// ---------------------------------------------------------------------------
+
+/// Merges the test-split flows of `prep` into one time-ordered packet
+/// stream (traffic::MergeTrace). TracePacket::flow indexes the test subset
+/// in dataset order; packets borrow from prep.dataset (keep it alive).
+std::vector<traffic::TracePacket> TestTrace(const PreparedDataset& prep,
+                                            std::uint64_t seed = 97);
+
+/// Replays `trace` through `server` (Start/Stop around the push loop in
+/// multi-threaded mode) and reports wall time alongside the decisions.
+struct StreamRun {
+  std::vector<runtime::StreamDecision> decisions;
+  runtime::StreamServerStats stats;
+  double wall_ms = 0.0;
+  double packets_per_sec = 0.0;
+};
+
+StreamRun ServeTrace(runtime::StreamServer& server,
+                     std::span<const traffic::TracePacket> trace);
+
+/// Classification report over per-packet streaming decisions (labels and
+/// predictions carried in each decision).
+ClassificationReport EvaluateDecisions(
+    const std::vector<runtime::StreamDecision>& decisions,
+    std::size_t num_classes);
 
 }  // namespace pegasus::eval

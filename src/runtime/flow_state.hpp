@@ -1,4 +1,4 @@
-// Per-flow state management (paper §7.3, "Number of Concurrent Flows
+// Per-flow state *accounting* (paper §7.3, "Number of Concurrent Flows
 // Supported").
 //
 // Sequence models need the features of the previous W-1 packets of a flow
@@ -6,6 +6,13 @@
 // instead of raw features, which is what lets CNN-L run with 28-72 bits of
 // state per flow. A FlowStateSpec declares the layout; FlowStateTable
 // simulates the hash-addressed register arrays and accounts their SRAM.
+//
+// This is the dataplane *register-array* view: fields are addressed by flow
+// hash and distinct flows may alias a slot, exactly like switch registers.
+// The serving runtime keeps its per-flow state in the collision-safe,
+// preallocated runtime::FlowTable instead (flow_table.hpp) and uses
+// FlowStateSpec (see stream_server.hpp's OnlineFlowStateSpec) purely to
+// price that state in SRAM bits.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,179 @@
+// Preallocated open-addressing per-flow table — the serving-runtime
+// counterpart of the register-array view in runtime/flow_state.hpp.
+//
+// The paper's §7.3 concurrency study (and the SFC / 5GC²ache lessons the
+// ROADMAP cites) says per-flow state at line rate must live in fixed,
+// preallocated structures with bounded, cache-local access. FlowTable
+// delivers exactly that: one flat slot array sized at construction, linear
+// probing bounded by `max_probe` slots, and LRU-ish eviction inside the
+// probe window when it is full — the same policy a hardware flow cache
+// implements. Nothing allocates after construction.
+//
+// Keys are 64-bit FlowKey digests; two flows only collide into one entry if
+// their digests are equal (a property real switches share — the digest IS
+// the flow identity past the parser). Slots never empty once occupied
+// (eviction replaces in place), which keeps the probe invariant simple: a
+// key can only live between its home slot and the first empty slot of its
+// probe window.
+//
+// Per-table stats (hits / misses / inserts / evictions / probes) feed the
+// StreamServer's shard accounting; SramBits() prices the table like the
+// dataplane would (dataplane::FlowTableSramBits).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "dataplane/registers.hpp"
+#include "dataplane/resources.hpp"
+
+namespace pegasus::runtime {
+
+struct FlowTableStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t probes = 0;
+
+  FlowTableStats& operator+=(const FlowTableStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    inserts += o.inserts;
+    evictions += o.evictions;
+    probes += o.probes;
+    return *this;
+  }
+};
+
+/// Mixes a flow digest into a well-distributed hash (splitmix64 finalizer).
+inline std::uint64_t MixDigest(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+template <typename Value>
+class FlowTable {
+ public:
+  /// `capacity` is rounded up to a power of two; `max_probe` bounds the
+  /// linear probe length (and therefore the worst-case per-packet work).
+  explicit FlowTable(std::size_t capacity, std::size_t max_probe = 8)
+      : max_probe_(max_probe) {
+    if (capacity == 0) {
+      throw std::invalid_argument("FlowTable: zero capacity");
+    }
+    if (max_probe == 0) {
+      throw std::invalid_argument("FlowTable: zero probe length");
+    }
+    const std::size_t pow2 = std::bit_ceil(capacity);
+    if (max_probe_ > pow2) max_probe_ = pow2;
+    slots_.resize(pow2);
+    mask_ = pow2 - 1;
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t size() const { return size_; }
+  std::size_t max_probe() const { return max_probe_; }
+  const FlowTableStats& stats() const { return stats_; }
+
+  /// Looks the flow up without inserting. Returns nullptr when absent (and
+  /// counts a miss). A hit refreshes the entry's LRU stamp.
+  Value* Find(const dataplane::FlowKey& key) {
+    std::size_t idx = MixDigest(key.digest) & mask_;
+    for (std::size_t p = 0; p < max_probe_; ++p, idx = (idx + 1) & mask_) {
+      Slot& s = slots_[idx];
+      ++stats_.probes;
+      if (!s.occupied) break;  // never-emptied invariant: key is absent
+      if (s.digest == key.digest) {
+        ++stats_.hits;
+        s.last_used = ++tick_;
+        return &s.value;
+      }
+    }
+    ++stats_.misses;
+    return nullptr;
+  }
+
+  /// Looks the flow up, inserting a value-initialized entry when absent.
+  /// When the probe window is full, the least-recently-used entry in the
+  /// window is evicted (deterministically: LRU stamps are unique). The
+  /// evicted flow's state is reset, never merged — surviving entries are
+  /// untouched.
+  Value& FindOrInsert(const dataplane::FlowKey& key) {
+    const std::size_t home = MixDigest(key.digest) & mask_;
+    std::size_t idx = home;
+    std::size_t victim = home;
+    std::uint64_t victim_stamp = ~std::uint64_t{0};
+    std::size_t empty = kNone;
+    for (std::size_t p = 0; p < max_probe_; ++p, idx = (idx + 1) & mask_) {
+      Slot& s = slots_[idx];
+      ++stats_.probes;
+      if (!s.occupied) {
+        empty = idx;
+        break;
+      }
+      if (s.digest == key.digest) {
+        ++stats_.hits;
+        s.last_used = ++tick_;
+        return s.value;
+      }
+      if (s.last_used < victim_stamp) {
+        victim_stamp = s.last_used;
+        victim = idx;
+      }
+    }
+    ++stats_.misses;
+    ++stats_.inserts;
+    std::size_t at = empty;
+    if (at == kNone) {
+      ++stats_.evictions;
+      at = victim;
+    } else {
+      ++size_;
+    }
+    Slot& s = slots_[at];
+    s.occupied = true;
+    s.digest = key.digest;
+    s.last_used = ++tick_;
+    s.value = Value{};
+    return s.value;
+  }
+
+  /// Drops every entry (capacity and stats are kept).
+  void Clear() {
+    for (Slot& s : slots_) {
+      s.occupied = false;
+      s.value = Value{};
+    }
+    size_ = 0;
+  }
+
+  /// Dataplane SRAM footprint of this table given the logical per-flow
+  /// state width (see runtime/stream_server.hpp's OnlineFlowStateSpec).
+  std::size_t SramBits(std::size_t bits_per_flow) const {
+    return dataplane::FlowTableSramBits(bits_per_flow, slots_.size());
+  }
+
+ private:
+  static constexpr std::size_t kNone = ~std::size_t{0};
+
+  struct Slot {
+    std::uint64_t digest = 0;
+    std::uint64_t last_used = 0;
+    bool occupied = false;
+    Value value{};
+  };
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t max_probe_;
+  std::size_t size_ = 0;
+  std::uint64_t tick_ = 0;
+  FlowTableStats stats_;
+};
+
+}  // namespace pegasus::runtime

@@ -1,0 +1,59 @@
+// Single-producer single-consumer ring buffer for the StreamServer's
+// multi-threaded mode: the driver thread pushes packets, exactly one shard
+// worker pops them. Fixed capacity, preallocated, wait-free on both sides
+// (callers spin/yield on full/empty).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace pegasus::runtime {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` is rounded up to a power of two.
+  explicit SpscQueue(std::size_t capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("SpscQueue: zero capacity");
+    }
+    const std::size_t pow2 = std::bit_ceil(capacity);
+    buffer_.resize(pow2);
+    mask_ = pow2 - 1;
+  }
+
+  std::size_t capacity() const { return buffer_.size(); }
+
+  /// Producer side. Returns false when full.
+  bool TryPush(const T& v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) == buffer_.size()) {
+      return false;
+    }
+    buffer_[tail & mask_] = v;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool TryPop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    out = buffer_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  std::vector<T> buffer_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer cursor
+};
+
+}  // namespace pegasus::runtime

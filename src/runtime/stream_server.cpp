@@ -1,0 +1,310 @@
+#include "runtime/stream_server.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+#include "runtime/spsc_queue.hpp"
+
+namespace pegasus::runtime {
+
+std::size_t FeatureDim(FeatureKind kind) {
+  switch (kind) {
+    case FeatureKind::kStat:
+      return traffic::kStatDim;
+    case FeatureKind::kSeq:
+      return traffic::kSeqDim;
+    case FeatureKind::kRaw:
+      return traffic::kRawDim;
+  }
+  throw std::invalid_argument("FeatureDim: unknown kind");
+}
+
+const char* FeatureKindName(FeatureKind kind) {
+  switch (kind) {
+    case FeatureKind::kStat:
+      return "stat";
+    case FeatureKind::kSeq:
+      return "seq";
+    case FeatureKind::kRaw:
+      return "raw";
+  }
+  return "?";
+}
+
+FlowStateSpec OnlineFlowStateSpec(FeatureKind kind) {
+  FlowStateSpec spec;
+  spec.Add("min_len", 8)
+      .Add("max_len", 8)
+      .Add("min_ipd", 8)
+      .Add("max_ipd", 8)
+      .Add("fuzzy_len", 8, traffic::kWindow)
+      .Add("fuzzy_ipd", 8, traffic::kWindow)
+      .Add("prev_ts", 48);
+  if (kind == FeatureKind::kRaw) {
+    spec.Add("raw_window", 8, traffic::kWindow * traffic::kRawBytesPerPacket);
+  }
+  return spec;
+}
+
+namespace {
+
+struct PendingMeta {
+  std::uint64_t digest = 0;
+  std::uint32_t flow = 0;
+  std::uint32_t index = 0;
+  std::int32_t label = 0;
+};
+
+}  // namespace
+
+struct StreamServer::Shard {
+  Shard(const LoweredModel& model, const StreamServerOptions& opts,
+        std::size_t dim, std::size_t out_dim)
+      : engine(model, opts.batch_size),
+        features(opts.batch_size * dim),
+        logits(opts.batch_size * out_dim),
+        meta(opts.batch_size) {
+    // Exactly one flow table exists, typed for the feature family, so
+    // stat/seq shards never carry (or reset on eviction) the 480-byte
+    // raw-byte window.
+    if (opts.feature == FeatureKind::kRaw) {
+      raw_table = std::make_unique<FlowTable<traffic::OnlineFlowStateRaw>>(
+          opts.flows_per_shard, opts.max_probe);
+    } else {
+      table = std::make_unique<FlowTable<traffic::OnlineFlowState>>(
+          opts.flows_per_shard, opts.max_probe);
+    }
+    if (opts.multithreaded) {
+      queue = std::make_unique<SpscQueue<traffic::TracePacket>>(
+          opts.queue_capacity);
+    }
+  }
+
+  const FlowTableStats& TableStats() const {
+    return table ? table->stats() : raw_table->stats();
+  }
+  std::size_t FlowsResident() const {
+    return table ? table->size() : raw_table->size();
+  }
+  std::size_t TableSramBits(std::size_t bits_per_flow) const {
+    return table ? table->SramBits(bits_per_flow)
+                 : raw_table->SramBits(bits_per_flow);
+  }
+
+  std::unique_ptr<FlowTable<traffic::OnlineFlowState>> table;
+  std::unique_ptr<FlowTable<traffic::OnlineFlowStateRaw>> raw_table;
+  InferenceEngine engine;
+  std::vector<float> features;  // batch_size x dim rows
+  std::vector<float> logits;    // batch_size x out_dim
+  std::vector<PendingMeta> meta;
+  std::size_t pending = 0;
+  std::vector<StreamDecision> decisions;
+  std::uint64_t packets = 0;
+  std::uint64_t warmup = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t decided = 0;
+  /// Only allocated in multi-threaded mode.
+  std::unique_ptr<SpscQueue<traffic::TracePacket>> queue;
+  std::thread worker;
+};
+
+StreamServer::StreamServer(const LoweredModel& model, StreamServerOptions opts)
+    : model_(&model),
+      opts_(opts),
+      dim_(FeatureDim(opts.feature)),
+      out_dim_(model.OutputDim()) {
+  if (opts_.num_shards == 0) {
+    throw std::invalid_argument("StreamServer: zero shards");
+  }
+  if (opts_.batch_size == 0) {
+    throw std::invalid_argument("StreamServer: zero batch size");
+  }
+  if (model.InputDim() != dim_) {
+    throw std::invalid_argument(
+        "StreamServer: model input dim does not match the feature family");
+  }
+  shards_.reserve(opts_.num_shards);
+  for (std::size_t i = 0; i < opts_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(model, opts_, dim_, out_dim_));
+  }
+}
+
+StreamServer::~StreamServer() {
+  if (running_) Stop();
+}
+
+StreamServer::Shard& StreamServer::ShardOf(std::uint64_t digest) {
+  // Shard selection uses the high hash bits; FlowTable slot selection uses
+  // the low bits — decorrelated views of the same mix.
+  return *shards_[(MixDigest(digest) >> 32) % shards_.size()];
+}
+
+void StreamServer::Push(const traffic::TracePacket& packet) {
+  Shard& shard = ShardOf(packet.key.digest);
+  if (!running_) {
+    Process(shard, packet);
+    return;
+  }
+  while (!shard.queue->TryPush(packet)) {
+    std::this_thread::yield();  // shard backlogged; apply backpressure
+  }
+}
+
+void StreamServer::Process(Shard& shard, const traffic::TracePacket& packet) {
+  ++shard.packets;
+  float* row = shard.features.data() + shard.pending * dim_;
+  bool full;
+  if (opts_.feature == FeatureKind::kRaw) {
+    traffic::OnlineFlowStateRaw& state =
+        shard.raw_table->FindOrInsert(packet.key);
+    extractor_.Update(state, *packet.packet, packet.ts_us);
+    full = state.WindowFull();
+    if (full) extractor_.EmitRaw(state, row);
+  } else {
+    traffic::OnlineFlowState& state = shard.table->FindOrInsert(packet.key);
+    extractor_.Update(state, *packet.packet, packet.ts_us);
+    full = state.WindowFull();
+    if (full) {
+      if (opts_.feature == FeatureKind::kStat) {
+        extractor_.EmitStat(state, row);
+      } else {
+        extractor_.EmitSeq(state, row);
+      }
+    }
+  }
+  if (!full) {
+    ++shard.warmup;
+    return;
+  }
+  shard.meta[shard.pending] = {packet.key.digest, packet.flow, packet.index,
+                               packet.label};
+  if (++shard.pending == opts_.batch_size) FlushShard(shard);
+}
+
+void StreamServer::FlushShard(Shard& shard) {
+  const std::size_t n = shard.pending;
+  if (n == 0) return;
+  shard.engine.Infer(
+      std::span<const float>(shard.features.data(), n * dim_), n,
+      std::span<float>(shard.logits.data(), n * out_dim_));
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = shard.logits.data() + i * out_dim_;
+    std::size_t best = 0;
+    for (std::size_t d = 1; d < out_dim_; ++d) {
+      if (row[d] > row[best]) best = d;
+    }
+    StreamDecision decision;
+    decision.flow_digest = shard.meta[i].digest;
+    decision.flow = shard.meta[i].flow;
+    decision.index = shard.meta[i].index;
+    decision.label = shard.meta[i].label;
+    decision.predicted = static_cast<std::int32_t>(best);
+    decision.score = row[best];
+    shard.decisions.push_back(decision);
+  }
+  ++shard.batches;
+  shard.decided += n;
+  shard.pending = 0;
+}
+
+void StreamServer::Flush() {
+  if (running_) {
+    throw std::logic_error("StreamServer::Flush: workers are running");
+  }
+  for (auto& shard : shards_) FlushShard(*shard);
+}
+
+void StreamServer::Start() {
+  if (!opts_.multithreaded) {
+    throw std::logic_error("StreamServer::Start: single-threaded server");
+  }
+  if (running_) return;
+  closed_.store(false, std::memory_order_release);
+  running_ = true;
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->worker = std::thread([this, s] { WorkerLoop(*s); });
+  }
+}
+
+void StreamServer::Stop() {
+  if (!running_) return;
+  closed_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  running_ = false;
+}
+
+void StreamServer::WorkerLoop(Shard& shard) {
+  traffic::TracePacket packet;
+  for (;;) {
+    if (shard.queue->TryPop(packet)) {
+      Process(shard, packet);
+      continue;
+    }
+    if (closed_.load(std::memory_order_acquire)) {
+      // The producer has stopped; drain what raced in, then exit.
+      while (shard.queue->TryPop(packet)) Process(shard, packet);
+      break;
+    }
+    std::this_thread::yield();
+  }
+  FlushShard(shard);
+}
+
+std::vector<StreamDecision> StreamServer::Serve(
+    std::span<const traffic::TracePacket> trace) {
+  for (auto& shard : shards_) {
+    shard->decisions.reserve(shard->decisions.size() +
+                             trace.size() / shards_.size() + 1);
+  }
+  if (opts_.multithreaded) {
+    Start();
+    for (const auto& packet : trace) Push(packet);
+    Stop();
+  } else {
+    for (const auto& packet : trace) Push(packet);
+    Flush();
+  }
+  return TakeDecisions();
+}
+
+std::vector<StreamDecision> StreamServer::TakeDecisions() {
+  if (running_) {
+    throw std::logic_error(
+        "StreamServer::TakeDecisions: workers are running (Stop first)");
+  }
+  std::vector<StreamDecision> out;
+  std::size_t total = 0;
+  for (auto& shard : shards_) total += shard->decisions.size();
+  out.reserve(total);
+  for (auto& shard : shards_) {
+    out.insert(out.end(), shard->decisions.begin(), shard->decisions.end());
+    shard->decisions.clear();
+  }
+  return out;
+}
+
+StreamServerStats StreamServer::Stats() const {
+  if (running_) {
+    throw std::logic_error(
+        "StreamServer::Stats: workers are running (Stop first)");
+  }
+  StreamServerStats stats;
+  const FlowStateSpec spec = OnlineFlowStateSpec(opts_.feature);
+  stats.stateful_bits_per_flow = spec.BitsPerFlow();
+  for (const auto& shard : shards_) {
+    stats.packets += shard->packets;
+    stats.warmup += shard->warmup;
+    stats.decisions += shard->decided;
+    stats.batches += shard->batches;
+    stats.table += shard->TableStats();
+    stats.flows_resident += shard->FlowsResident();
+    stats.flow_table_sram_bits +=
+        shard->TableSramBits(stats.stateful_bits_per_flow);
+  }
+  return stats;
+}
+
+}  // namespace pegasus::runtime

@@ -1,0 +1,169 @@
+// StreamServer — the sharded streaming flow-serving runtime (paper §7.3's
+// deployment story: a switch classifying live per-flow traffic, scaled out
+// the way a software dataplane would shard it).
+//
+// One server owns N shards. A packet is routed to shard
+// hash(flow digest) % N; the shard looks its flow up in a preallocated
+// open-addressing FlowTable (runtime/flow_table.hpp) holding the flow's
+// OnlineFlowState (running min/max, stored fuzzy indexes, raw window —
+// traffic/stream.hpp), updates it in place, and once the window is full
+// renders the model's feature family into the shard's batch buffer. Full
+// batches flush through the shard's private InferenceEngine
+// (Pipeline::ProcessBatch under the hood), turning per-packet inference
+// into entry-major batched table matches. The per-packet path performs no
+// heap allocation — flow state, batch rows, logits and the PHV pool are all
+// preallocated — except decision accumulation, which is amortized
+// push_back (Serve() pre-reserves an even-split estimate per shard; a
+// heavily skewed flow-hash distribution can still grow a shard's vector).
+//
+// Two execution modes:
+//  * single-threaded (default): Push() processes synchronously in trace
+//    order — fully deterministic, the mode the parity tests pin down;
+//  * multi-threaded: Start() spawns one worker per shard; Push() enqueues
+//    on the shard's SPSC ring and the worker drains it. Because a flow maps
+//    to exactly one shard and the ring preserves order, every shard sees
+//    the same packet sequence as in single-threaded mode — per-flow
+//    decisions are identical, only cross-shard interleaving differs.
+//
+// Bit-exactness: with a large enough flow table (no evictions) the per-
+// packet decisions equal the offline Extract*Features +
+// eval::PredictClassesLowered path bit for bit — asserted by
+// tests/test_stream_server.cpp. Under eviction pressure a re-inserted flow
+// restarts its window (counted in the stats), exactly like a switch whose
+// register slot was reclaimed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "runtime/flow_state.hpp"
+#include "runtime/flow_table.hpp"
+#include "runtime/inference_engine.hpp"
+#include "traffic/stream.hpp"
+
+namespace pegasus::runtime {
+
+/// Which feature family feeds the model (stat and seq are both 16-dim, so
+/// the input width alone cannot disambiguate).
+enum class FeatureKind { kStat, kSeq, kRaw };
+
+std::size_t FeatureDim(FeatureKind kind);
+const char* FeatureKindName(FeatureKind kind);
+
+/// Per-flow register layout of OnlineFlowState for dataplane SRAM
+/// accounting (Table 6's "Stateful bits/flow" column, now backed by the
+/// actual serving structure): min/max statistics, the stored fuzzy-index
+/// rings, the previous-packet timestamp, and — for the raw family — the
+/// raw-byte window.
+FlowStateSpec OnlineFlowStateSpec(FeatureKind kind);
+
+struct StreamServerOptions {
+  std::size_t num_shards = 1;
+  /// FlowTable capacity per shard (rounded up to a power of two).
+  std::size_t flows_per_shard = 1 << 12;
+  /// Probe bound of each shard's FlowTable.
+  std::size_t max_probe = 8;
+  /// Inference batch size per shard (also the engine's PHV pool size).
+  std::size_t batch_size = InferenceEngine::kDefaultBatchCapacity;
+  FeatureKind feature = FeatureKind::kSeq;
+  /// false: Push() processes synchronously. true: Start()/Stop() run one
+  /// worker thread per shard fed by SPSC rings.
+  bool multithreaded = false;
+  /// Per-shard SPSC ring capacity (multi-threaded mode).
+  std::size_t queue_capacity = 1 << 12;
+};
+
+/// One per-packet classification (or anomaly score) produced by the server.
+struct StreamDecision {
+  std::uint64_t flow_digest = 0;
+  /// TracePacket.flow / .index of the packet that triggered the decision.
+  std::uint32_t flow = 0;
+  std::uint32_t index = 0;
+  std::int32_t label = 0;
+  /// Argmax class over the dequantized outputs (0 for 1-output models).
+  std::int32_t predicted = 0;
+  /// The winning output value (top logit, or the anomaly score for
+  /// 1-output models such as the AutoEncoder).
+  float score = 0.0f;
+};
+
+struct StreamServerStats {
+  std::uint64_t packets = 0;
+  /// Packets that produced an inference (window full, batched + flushed).
+  std::uint64_t decisions = 0;
+  /// Packets absorbed into per-flow state before the window filled.
+  std::uint64_t warmup = 0;
+  std::uint64_t batches = 0;
+  /// Aggregated over all shards.
+  FlowTableStats table;
+  std::size_t flows_resident = 0;
+  /// Register accounting: logical bits per flow and the SRAM footprint of
+  /// all shards' flow tables (dataplane::FlowTableSramBits).
+  std::size_t stateful_bits_per_flow = 0;
+  std::size_t flow_table_sram_bits = 0;
+};
+
+class StreamServer {
+ public:
+  /// The model must consume FeatureDim(opts.feature) inputs; throws
+  /// std::invalid_argument otherwise. Borrows `model` (must outlive the
+  /// server).
+  explicit StreamServer(const LoweredModel& model,
+                        StreamServerOptions opts = {});
+  ~StreamServer();
+
+  StreamServer(const StreamServer&) = delete;
+  StreamServer& operator=(const StreamServer&) = delete;
+
+  const StreamServerOptions& options() const { return opts_; }
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Routes one packet to its shard. Single-threaded mode processes it
+  /// synchronously; multi-threaded mode (after Start()) enqueues it,
+  /// spinning briefly if the shard's ring is full.
+  void Push(const traffic::TracePacket& packet);
+
+  /// Flushes every shard's partial batch (single-threaded mode; in
+  /// multi-threaded mode Stop() flushes instead).
+  void Flush();
+
+  /// Multi-threaded mode only: spawn / drain-and-join the shard workers.
+  void Start();
+  void Stop();
+
+  /// Replays a whole trace: Start + Push each packet + Stop (or Push +
+  /// Flush in single-threaded mode) and returns the decisions.
+  std::vector<StreamDecision> Serve(
+      std::span<const traffic::TracePacket> trace);
+
+  /// Moves out the accumulated decisions, shard-major (within a shard:
+  /// processing order). Throws std::logic_error while workers are running
+  /// (the shards are owned by their worker threads until Stop()).
+  std::vector<StreamDecision> TakeDecisions();
+
+  /// Aggregated over shards. Throws std::logic_error while workers are
+  /// running — reading shard counters mid-run would race the workers.
+  StreamServerStats Stats() const;
+
+ private:
+  struct Shard;
+
+  Shard& ShardOf(std::uint64_t digest);
+  void Process(Shard& shard, const traffic::TracePacket& packet);
+  void FlushShard(Shard& shard);
+  void WorkerLoop(Shard& shard);
+
+  const LoweredModel* model_;
+  StreamServerOptions opts_;
+  traffic::OnlineFeatureExtractor extractor_;
+  std::size_t dim_ = 0;
+  std::size_t out_dim_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> closed_{false};
+  bool running_ = false;
+};
+
+}  // namespace pegasus::runtime

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "traffic/stream.hpp"
+
 namespace pegasus::traffic {
 
 std::uint8_t QuantizeLen(std::uint16_t len) {
@@ -33,9 +35,28 @@ void WalkFlow(const Flow& flow, const ExtractOptions& opts, Emit&& emit) {
   }
 }
 
-std::uint64_t IpdAt(const Flow& flow, std::size_t i) {
-  return i == 0 ? 0
-               : flow.packets[i].ts_us - flow.packets[i - 1].ts_us;
+/// Replays `flow` through the online extractor one packet at a time and
+/// calls `emit(state)` at every WalkFlow-selected window position. This is
+/// the whole offline implementation: the per-packet streaming path in
+/// traffic/stream.hpp is the single source of feature semantics, so online
+/// and offline features are bit-identical by construction. `State` is
+/// OnlineFlowState (stat/seq) or OnlineFlowStateRaw (raw bytes).
+template <typename State, typename Emit>
+void ReplayFlow(const Flow& flow, const ExtractOptions& opts, Emit&& emit) {
+  std::vector<std::size_t> targets;
+  WalkFlow(flow, opts, [&](std::size_t i) { targets.push_back(i); });
+  if (targets.empty()) return;
+  const OnlineFeatureExtractor extractor;
+  State state;
+  std::size_t next = 0;
+  for (std::size_t i = 0;
+       i < flow.packets.size() && next < targets.size(); ++i) {
+    extractor.Update(state, flow.packets[i], flow.packets[i].ts_us);
+    if (i == targets[next]) {
+      emit(extractor, state);
+      ++next;
+    }
+  }
 }
 
 }  // namespace
@@ -46,36 +67,15 @@ SampleSet ExtractStatFeatures(const std::vector<Flow>& flows,
   out.dim = kStatDim;
   for (std::size_t fi = 0; fi < flows.size(); ++fi) {
     const Flow& flow = flows[fi];
-    WalkFlow(flow, opts, [&](std::size_t i) {
-      // Running min/max over packets [0, i].
-      std::uint8_t min_len = 255, max_len = 0, min_ipd = 255, max_ipd = 0;
-      for (std::size_t j = 0; j <= i; ++j) {
-        const std::uint8_t ql = QuantizeLen(flow.packets[j].len);
-        min_len = std::min(min_len, ql);
-        max_len = std::max(max_len, ql);
-        if (j > 0) {
-          const std::uint8_t qi = QuantizeIpd(IpdAt(flow, j));
-          min_ipd = std::min(min_ipd, qi);
-          max_ipd = std::max(max_ipd, qi);
-        }
-      }
-      float feat[kStatDim];
-      feat[0] = min_len;
-      feat[1] = max_len;
-      feat[2] = min_ipd;
-      feat[3] = max_ipd;
-      feat[4] = QuantizeLen(flow.packets[i].len);
-      feat[5] = QuantizeIpd(IpdAt(flow, i));
-      // Short history: previous 5 packets' (len, ipd).
-      for (std::size_t h = 0; h < 5; ++h) {
-        const std::size_t j = i - 1 - h;
-        feat[6 + 2 * h] = QuantizeLen(flow.packets[j].len);
-        feat[7 + 2 * h] = QuantizeIpd(IpdAt(flow, j));
-      }
-      out.x.insert(out.x.end(), feat, feat + kStatDim);
-      out.labels.push_back(flow.label);
-      out.flow_index.push_back(fi);
-    });
+    ReplayFlow<OnlineFlowState>(
+        flow, opts,
+        [&](const OnlineFeatureExtractor& ex, const OnlineFlowState& st) {
+          float feat[kStatDim];
+          ex.EmitStat(st, feat);
+          out.x.insert(out.x.end(), feat, feat + kStatDim);
+          out.labels.push_back(flow.label);
+          out.flow_index.push_back(fi);
+        });
   }
   return out;
 }
@@ -86,15 +86,15 @@ SampleSet ExtractSeqFeatures(const std::vector<Flow>& flows,
   out.dim = kSeqDim;
   for (std::size_t fi = 0; fi < flows.size(); ++fi) {
     const Flow& flow = flows[fi];
-    WalkFlow(flow, opts, [&](std::size_t i) {
-      for (std::size_t w = 0; w < kWindow; ++w) {
-        const std::size_t j = i - (kWindow - 1) + w;
-        out.x.push_back(QuantizeLen(flow.packets[j].len));
-        out.x.push_back(QuantizeIpd(IpdAt(flow, j)));
-      }
-      out.labels.push_back(flow.label);
-      out.flow_index.push_back(fi);
-    });
+    ReplayFlow<OnlineFlowState>(
+        flow, opts,
+        [&](const OnlineFeatureExtractor& ex, const OnlineFlowState& st) {
+          float feat[kSeqDim];
+          ex.EmitSeq(st, feat);
+          out.x.insert(out.x.end(), feat, feat + kSeqDim);
+          out.labels.push_back(flow.label);
+          out.flow_index.push_back(fi);
+        });
   }
   return out;
 }
@@ -103,18 +103,17 @@ SampleSet ExtractRawBytes(const std::vector<Flow>& flows,
                           const ExtractOptions& opts) {
   SampleSet out;
   out.dim = kRawDim;
+  std::vector<float> feat(kRawDim);
   for (std::size_t fi = 0; fi < flows.size(); ++fi) {
     const Flow& flow = flows[fi];
-    WalkFlow(flow, opts, [&](std::size_t i) {
-      for (std::size_t w = 0; w < kWindow; ++w) {
-        const std::size_t j = i - (kWindow - 1) + w;
-        for (std::uint8_t b : flow.packets[j].bytes) {
-          out.x.push_back(b);
-        }
-      }
-      out.labels.push_back(flow.label);
-      out.flow_index.push_back(fi);
-    });
+    ReplayFlow<OnlineFlowStateRaw>(
+        flow, opts,
+        [&](const OnlineFeatureExtractor& ex, const OnlineFlowStateRaw& st) {
+          ex.EmitRaw(st, feat.data());
+          out.x.insert(out.x.end(), feat.begin(), feat.end());
+          out.labels.push_back(flow.label);
+          out.flow_index.push_back(fi);
+        });
   }
   return out;
 }

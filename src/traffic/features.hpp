@@ -14,8 +14,14 @@
 //    consumed by CNN-L.
 //
 // Lengths quantize to 8 bits via len/8 (caps at 1500/8 < 256); IPDs via a
-// 12*log2(1+us) companding curve (microseconds to ~24 days monotonically in
-// 8 bits) — both implementable as switch range tables.
+// 12*log2(1+us) companding curve (monotone, saturating at 255 around 2.5 s —
+// any larger gap, up to multi-day and overflow IPDs, pins to 255) — both
+// implementable as switch range tables.
+//
+// These whole-dataset extractors are thin wrappers over the streaming
+// per-packet path (traffic/stream.hpp): each flow is replayed through an
+// OnlineFeatureExtractor and sampled at WalkFlow-selected positions, so
+// offline and online features are bit-identical by construction.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,136 @@
+#include "traffic/stream.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace pegasus::traffic {
+
+void OnlineFeatureExtractor::Update(OnlineFlowState& s, const Packet& pkt,
+                                    std::uint64_t ts_us) const {
+  const std::uint64_t ipd_us = s.packets == 0 ? 0 : ts_us - s.last_ts_us;
+  const std::uint8_t ql = QuantizeLen(pkt.len);
+  const std::uint8_t qi = QuantizeIpd(ipd_us);
+  s.min_len = std::min(s.min_len, ql);
+  s.max_len = std::max(s.max_len, ql);
+  if (s.packets > 0) {
+    // The first packet has no IPD; min/max only track real gaps, exactly
+    // like the offline extractor's j > 0 guard.
+    s.min_ipd = std::min(s.min_ipd, qi);
+    s.max_ipd = std::max(s.max_ipd, qi);
+  }
+  const std::size_t slot = s.packets % kWindow;
+  s.fuzzy_len[slot] = ql;
+  s.fuzzy_ipd[slot] = qi;
+  s.last_ts_us = ts_us;
+  ++s.packets;
+}
+
+void OnlineFeatureExtractor::Update(OnlineFlowStateRaw& s, const Packet& pkt,
+                                    std::uint64_t ts_us) const {
+  s.raw[s.base.packets % kWindow] = pkt.bytes;
+  Update(s.base, pkt, ts_us);
+}
+
+namespace {
+
+void RequireFull(const OnlineFlowState& s) {
+  if (!s.WindowFull()) {
+    throw std::logic_error(
+        "OnlineFeatureExtractor: emit before the window filled");
+  }
+}
+
+}  // namespace
+
+void OnlineFeatureExtractor::EmitStat(const OnlineFlowState& s,
+                                      float* out) const {
+  RequireFull(s);
+  out[0] = s.min_len;
+  out[1] = s.max_len;
+  out[2] = s.min_ipd;
+  out[3] = s.max_ipd;
+  const std::size_t newest = (s.packets - 1) % kWindow;
+  out[4] = s.fuzzy_len[newest];
+  out[5] = s.fuzzy_ipd[newest];
+  // Short history: previous 5 packets' (len, ipd), newest-first — the same
+  // layout ExtractStatFeatures emits.
+  for (std::size_t h = 0; h < 5; ++h) {
+    const std::size_t idx = (s.packets - 2 - h) % kWindow;
+    out[6 + 2 * h] = s.fuzzy_len[idx];
+    out[7 + 2 * h] = s.fuzzy_ipd[idx];
+  }
+}
+
+void OnlineFeatureExtractor::EmitSeq(const OnlineFlowState& s,
+                                     float* out) const {
+  RequireFull(s);
+  for (std::size_t w = 0; w < kWindow; ++w) {
+    // Oldest slot is packets % kWindow; walk forward in arrival order.
+    const std::size_t idx = (s.packets + w) % kWindow;
+    out[2 * w] = s.fuzzy_len[idx];
+    out[2 * w + 1] = s.fuzzy_ipd[idx];
+  }
+}
+
+void OnlineFeatureExtractor::EmitRaw(const OnlineFlowStateRaw& s,
+                                     float* out) const {
+  RequireFull(s.base);
+  for (std::size_t w = 0; w < kWindow; ++w) {
+    const std::size_t idx = (s.base.packets + w) % kWindow;
+    float* dst = out + w * kRawBytesPerPacket;
+    for (std::size_t b = 0; b < kRawBytesPerPacket; ++b) {
+      dst[b] = s.raw[idx][b];
+    }
+  }
+}
+
+std::vector<TracePacket> MergeTrace(std::span<const Flow* const> flows,
+                                    const MergeOptions& opts) {
+  std::size_t total = 0;
+  std::uint64_t max_duration = 0;
+  for (const Flow* f : flows) {
+    total += f->packets.size();
+    if (!f->packets.empty()) {
+      max_duration = std::max(max_duration, f->packets.back().ts_us);
+    }
+  }
+  const std::uint64_t horizon =
+      opts.horizon_us != 0 ? opts.horizon_us : max_duration;
+
+  std::mt19937_64 rng(opts.seed);
+  std::uniform_int_distribution<std::uint64_t> start(0, horizon);
+  std::vector<TracePacket> out;
+  out.reserve(total);
+  for (std::size_t fi = 0; fi < flows.size(); ++fi) {
+    const Flow& flow = *flows[fi];
+    const std::uint64_t offset = start(rng);
+    for (std::size_t pi = 0; pi < flow.packets.size(); ++pi) {
+      TracePacket tp;
+      tp.ts_us = offset + flow.packets[pi].ts_us;
+      tp.flow = static_cast<std::uint32_t>(fi);
+      tp.index = static_cast<std::uint32_t>(pi);
+      tp.key = flow.key;
+      tp.label = flow.label;
+      tp.packet = &flow.packets[pi];
+      out.push_back(tp);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TracePacket& a, const TracePacket& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              if (a.flow != b.flow) return a.flow < b.flow;
+              return a.index < b.index;
+            });
+  return out;
+}
+
+std::vector<TracePacket> MergeTrace(const std::vector<Flow>& flows,
+                                    const MergeOptions& opts) {
+  std::vector<const Flow*> ptrs;
+  ptrs.reserve(flows.size());
+  for (const Flow& f : flows) ptrs.push_back(&f);
+  return MergeTrace(ptrs, opts);
+}
+
+}  // namespace pegasus::traffic

@@ -1,0 +1,120 @@
+// Streaming feature extraction — the per-packet counterpart of
+// traffic/features.hpp (paper §7.3's deployment story: the switch classifies
+// *live* flows, so every feature the offline extractors compute over a whole
+// Flow must be maintainable one packet at a time in fixed per-flow state).
+//
+// OnlineFlowState is that state, sized exactly like the paper's per-flow
+// registers: running min/max of quantized length and IPD, an 8-slot ring of
+// stored fuzzy indexes (the 8-bit quantized (len, IPD) summaries sequence
+// models match on), and optionally the raw-byte window CNN-L consumes. It is
+// a flat aggregate — no heap, memcpy-able — so a preallocated
+// runtime::FlowTable can hold millions of them.
+//
+// Bit-exactness contract: feeding a flow's packets through
+// OnlineFeatureExtractor::Update and emitting at packet i produces exactly
+// the sample the offline ExtractStatFeatures / ExtractSeqFeatures /
+// ExtractRawBytes would emit for window position i. This is by construction:
+// the offline extractors in features.cpp ARE wrappers over this class.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "traffic/features.hpp"
+#include "traffic/packet.hpp"
+
+namespace pegasus::traffic {
+
+/// Fixed-size per-flow feature state for the stat and seq families.
+/// A fresh flow is a *default-constructed* state — the min fields start at
+/// their 255 sentinels, so zero-filled memory is NOT a valid fresh state.
+struct OnlineFlowState {
+  /// Absolute arrival time of the newest packet (trace clock).
+  std::uint64_t last_ts_us = 0;
+  /// Packets seen so far on this flow.
+  std::uint32_t packets = 0;
+  // Running statistics over quantized values (stat-family features 0..3).
+  std::uint8_t min_len = 255;
+  std::uint8_t max_len = 0;
+  std::uint8_t min_ipd = 255;
+  std::uint8_t max_ipd = 0;
+  /// Stored fuzzy indexes: the last kWindow packets' quantized (len, IPD),
+  /// newest at slot (packets - 1) % kWindow.
+  std::array<std::uint8_t, kWindow> fuzzy_len{};
+  std::array<std::uint8_t, kWindow> fuzzy_ipd{};
+
+  /// True once enough packets arrived to emit any feature family.
+  bool WindowFull() const { return packets >= kWindow; }
+};
+
+/// Per-flow state for the raw family: the 8x60-byte payload window on top
+/// of the base state. Kept as a separate type so stat/seq flow tables do
+/// not carry (or reset, on every insert/eviction) the 480-byte ring.
+struct OnlineFlowStateRaw {
+  OnlineFlowState base;
+  /// Raw-byte window, same ring position convention as the fuzzy rings.
+  std::array<std::array<std::uint8_t, kRawBytesPerPacket>, kWindow> raw{};
+
+  bool WindowFull() const { return base.WindowFull(); }
+};
+
+/// Updates per-flow state one packet at a time and renders the three
+/// feature families out of it. Stateless; safe to share across flows (the
+/// per-flow state travels in OnlineFlowState[Raw]).
+class OnlineFeatureExtractor {
+ public:
+  /// Feeds one packet arriving at absolute time `ts_us`. The IPD is
+  /// `ts_us - last_ts_us` (0 for the flow's first packet), so both
+  /// flow-relative clocks (offline extraction) and a shared trace clock
+  /// (merged streams) produce identical quantized features.
+  void Update(OnlineFlowState& s, const Packet& pkt,
+              std::uint64_t ts_us) const;
+  /// Raw-family update: base state plus the payload ring.
+  void Update(OnlineFlowStateRaw& s, const Packet& pkt,
+              std::uint64_t ts_us) const;
+
+  // Feature emitters. All require s.WindowFull() (std::logic_error
+  // otherwise) and write exactly kStatDim / kSeqDim / kRawDim floats.
+  void EmitStat(const OnlineFlowState& s, float* out) const;
+  void EmitSeq(const OnlineFlowState& s, float* out) const;
+  void EmitRaw(const OnlineFlowStateRaw& s, float* out) const;
+};
+
+// ---------------------------------------------------------------------------
+// Trace merging: interleaving a dataset's flows into one packet stream.
+// ---------------------------------------------------------------------------
+
+/// One packet of a merged, time-ordered trace. Borrows the Packet from the
+/// source flows — the trace must not outlive them.
+struct TracePacket {
+  /// Absolute trace time (flow start offset + the packet's flow-relative
+  /// timestamp), strictly ordered within a flow.
+  std::uint64_t ts_us = 0;
+  /// Index of the flow in the list MergeTrace was given.
+  std::uint32_t flow = 0;
+  /// Packet index within that flow.
+  std::uint32_t index = 0;
+  dataplane::FlowKey key;
+  std::int32_t label = 0;
+  const Packet* packet = nullptr;
+};
+
+struct MergeOptions {
+  /// Flow start offsets are drawn uniformly from [0, horizon_us]; 0 means
+  /// "longest flow duration", which makes most flows overlap in time.
+  std::uint64_t horizon_us = 0;
+  std::uint64_t seed = 97;
+};
+
+/// Interleaves `flows` into a single time-ordered packet stream. Each flow
+/// keeps its relative packet spacing and is shifted by a deterministic
+/// per-flow start offset. Ties are broken by (flow, index), so the result
+/// is a pure function of inputs.
+std::vector<TracePacket> MergeTrace(std::span<const Flow* const> flows,
+                                    const MergeOptions& opts = {});
+std::vector<TracePacket> MergeTrace(const std::vector<Flow>& flows,
+                                    const MergeOptions& opts = {});
+
+}  // namespace pegasus::traffic

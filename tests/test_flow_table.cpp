@@ -1,0 +1,177 @@
+// FlowTable property tests: the preallocated open-addressing table must
+// evict deterministically under overflow, never corrupt surviving flows,
+// and account every hit/miss/insert/eviction in its stats — the invariants
+// the StreamServer's shards rely on (ISSUE 2 satellite).
+#include "runtime/flow_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <set>
+#include <vector>
+
+namespace rt = pegasus::runtime;
+using pegasus::dataplane::FlowKey;
+
+namespace {
+
+struct Tag {
+  std::uint64_t value = 0;
+};
+
+std::vector<FlowKey> RandomKeys(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::set<std::uint64_t> seen;
+  std::vector<FlowKey> keys;
+  while (keys.size() < n) {
+    const std::uint64_t d = rng();
+    if (seen.insert(d).second) keys.push_back(FlowKey{d});
+  }
+  return keys;
+}
+
+/// The per-key canary value: any slot mixing between flows shows up as a
+/// mismatched tag.
+std::uint64_t TagFor(const FlowKey& k) { return k.digest ^ 0x5A5A5A5A5A5A5A5Aull; }
+
+}  // namespace
+
+TEST(FlowTable, InsertFindRoundtripWithinCapacity) {
+  rt::FlowTable<Tag> table(64, 8);
+  EXPECT_EQ(table.capacity(), 64u);
+  const auto keys = RandomKeys(40, 1);
+  for (const auto& k : keys) {
+    Tag& t = table.FindOrInsert(k);
+    EXPECT_EQ(t.value, 0u);  // fresh entries are value-initialized
+    t.value = TagFor(k);
+  }
+  EXPECT_EQ(table.size(), 40u);
+  for (const auto& k : keys) {
+    Tag* t = table.Find(k);
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->value, TagFor(k));
+  }
+  EXPECT_EQ(table.stats().inserts, 40u);
+  EXPECT_EQ(table.stats().hits, 40u);  // the Find pass
+  EXPECT_EQ(table.stats().evictions, 0u);
+}
+
+TEST(FlowTable, CapacityRoundsUpToPowerOfTwo) {
+  rt::FlowTable<Tag> table(100, 8);
+  EXPECT_EQ(table.capacity(), 128u);
+  // Probe length is clamped to the table size.
+  rt::FlowTable<Tag> tiny(2, 64);
+  EXPECT_EQ(tiny.capacity(), 2u);
+  EXPECT_EQ(tiny.max_probe(), 2u);
+}
+
+TEST(FlowTable, RejectsZeroCapacityOrProbe) {
+  EXPECT_THROW(rt::FlowTable<Tag>(0, 8), std::invalid_argument);
+  EXPECT_THROW(rt::FlowTable<Tag>(8, 0), std::invalid_argument);
+}
+
+TEST(FlowTable, MissingKeyIsAMiss) {
+  rt::FlowTable<Tag> table(16, 4);
+  EXPECT_EQ(table.Find(FlowKey{42}), nullptr);
+  EXPECT_EQ(table.stats().misses, 1u);
+  EXPECT_EQ(table.stats().hits, 0u);
+}
+
+// The core overflow property: inserting far more flows than capacity (1)
+// evicts — never rejects; (2) leaves every surviving entry carrying exactly
+// its own flow's value; (3) accounts evictions == inserts - residents; and
+// (4) is a pure function of the insertion sequence.
+TEST(FlowTable, OverflowEvictsDeterministicallyWithoutCorruption) {
+  const auto keys = RandomKeys(512, 7);
+
+  auto fill = [&](rt::FlowTable<Tag>& table) {
+    for (const auto& k : keys) {
+      table.FindOrInsert(k).value = TagFor(k);
+    }
+  };
+
+  rt::FlowTable<Tag> a(64, 8);
+  fill(a);
+  const rt::FlowTableStats after_fill = a.stats();  // before the Find pass
+  EXPECT_EQ(after_fill.inserts, 512u);
+  EXPECT_EQ(after_fill.misses, 512u);  // all keys distinct
+  EXPECT_EQ(a.size(), 64u);            // table ends full
+  EXPECT_EQ(after_fill.evictions, after_fill.inserts - a.size());
+
+  // Survivors are intact; evicted keys are genuinely gone.
+  std::set<std::uint64_t> survivors_a;
+  std::size_t found = 0;
+  for (const auto& k : keys) {
+    Tag* t = a.Find(k);
+    if (t == nullptr) continue;
+    ++found;
+    EXPECT_EQ(t->value, TagFor(k)) << "flow state corrupted";
+    survivors_a.insert(k.digest);
+  }
+  EXPECT_EQ(found, a.size());
+
+  // Replaying the same sequence yields the same survivors and stats.
+  rt::FlowTable<Tag> b(64, 8);
+  fill(b);
+  EXPECT_EQ(b.stats().inserts, after_fill.inserts);
+  EXPECT_EQ(b.stats().evictions, after_fill.evictions);
+  EXPECT_EQ(b.stats().probes, after_fill.probes);
+  std::set<std::uint64_t> survivors_b;
+  for (const auto& k : keys) {
+    if (b.Find(k) != nullptr) survivors_b.insert(k.digest);
+  }
+  EXPECT_EQ(survivors_a, survivors_b);
+}
+
+TEST(FlowTable, EvictionResetsStateInsteadOfMerging) {
+  // Tiny table: every insert past capacity must evict and hand back a
+  // value-initialized entry, not the victim's leftovers.
+  rt::FlowTable<Tag> table(4, 4);
+  const auto keys = RandomKeys(64, 11);
+  for (const auto& k : keys) {
+    Tag& t = table.FindOrInsert(k);
+    EXPECT_EQ(t.value, 0u) << "evicted slot leaked state into a new flow";
+    t.value = TagFor(k);
+  }
+  EXPECT_GT(table.stats().evictions, 0u);
+}
+
+TEST(FlowTable, RecentlyTouchedFlowSurvivesEviction) {
+  // Window == whole table, so the eviction victim is the global LRU entry.
+  rt::FlowTable<Tag> table(8, 8);
+  const auto keys = RandomKeys(9, 13);
+  for (std::size_t i = 0; i < 8; ++i) {
+    table.FindOrInsert(keys[i]).value = TagFor(keys[i]);
+  }
+  ASSERT_EQ(table.size(), 8u);
+  // Refresh key 0; key 1 becomes the LRU.
+  ASSERT_NE(table.Find(keys[0]), nullptr);
+  table.FindOrInsert(keys[8]).value = TagFor(keys[8]);
+  EXPECT_EQ(table.stats().evictions, 1u);
+  EXPECT_NE(table.Find(keys[0]), nullptr) << "refreshed flow was evicted";
+  EXPECT_EQ(table.Find(keys[1]), nullptr) << "LRU flow should have gone";
+  EXPECT_NE(table.Find(keys[8]), nullptr);
+}
+
+TEST(FlowTable, ClearDropsEntriesKeepsCapacity) {
+  // Low load factor so no probe window can fill up and evict.
+  rt::FlowTable<Tag> table(256, 8);
+  for (const auto& k : RandomKeys(20, 17)) table.FindOrInsert(k);
+  EXPECT_EQ(table.size(), 20u);
+  table.Clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.capacity(), 256u);
+  for (const auto& k : RandomKeys(20, 17)) {
+    EXPECT_EQ(table.Find(k), nullptr);
+  }
+}
+
+TEST(FlowTable, SramBitsMatchesDataplaneAccounting) {
+  rt::FlowTable<Tag> table(1000, 8);  // rounds to 1024 slots
+  const std::size_t bits_per_flow = 208;
+  EXPECT_EQ(table.SramBits(bits_per_flow),
+            pegasus::dataplane::FlowTableSramBits(bits_per_flow, 1024));
+  // 208 bits round to 26 bytes; + 16-bit digest = 224 bits/slot.
+  EXPECT_EQ(table.SramBits(bits_per_flow), 224u * 1024u);
+}

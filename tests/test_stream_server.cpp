@@ -1,0 +1,246 @@
+// The streaming runtime's acceptance criteria (ISSUE 2):
+//
+//  * Parity — replaying a merged trace through a single-shard StreamServer
+//    produces bit-identical per-packet class decisions to the offline
+//    Extract*Features + eval::PredictClassesLowered path, for both the
+//    stat and the seq feature family.
+//  * Multi-threaded mode produces the same per-flow decision multiset as
+//    the deterministic single-threaded mode.
+//  * The merged trace is time-ordered, flow-order-preserving and
+//    deterministic.
+#include "runtime/stream_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <random>
+
+#include "compiler/compiler.hpp"
+#include "core/operators.hpp"
+#include "eval/experiment.hpp"
+#include "traffic/stream.hpp"
+#include "traffic/synthetic.hpp"
+
+namespace core = pegasus::core;
+namespace rt = pegasus::runtime;
+namespace tr = pegasus::traffic;
+namespace ev = pegasus::eval;
+
+namespace {
+
+/// A small multi-class model over one 16-dim feature family: Partition into
+/// 2-dim segments, per-segment fuzzy linear Maps, SumReduce, ReLU head.
+/// Trained (fuzzy tables calibrated) on the actual extracted features.
+rt::LoweredModel Build16DimModel(std::span<const float> train_x,
+                                 std::size_t n, std::uint64_t seed) {
+  core::ProgramBuilder b(16);
+  // 8 segments of 2 dims (Partition(vec, dim=2, stride=2) over 16 inputs).
+  auto segs = b.Partition(b.input(), 2, 2);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> w(-0.05f, 0.05f);
+  std::vector<core::ValueId> maps;
+  for (auto seg : segs) {
+    std::vector<float> weights(2 * 3);
+    for (float& v : weights) v = w(rng);
+    maps.push_back(
+        b.Map(seg, core::MakeLinear(std::move(weights), 2, 3, {}), 32));
+  }
+  auto sum = b.SumReduce(std::span<const core::ValueId>(maps));
+  auto out = b.Map(sum, core::MakeReLU(3), 64);
+  return pegasus::compiler::CompileToSwitch(b.Finish(out), train_x, n)
+      .lowered;
+}
+
+tr::ExtractOptions EveryPacket() {
+  tr::ExtractOptions opts;
+  opts.max_samples_per_flow = std::numeric_limits<std::size_t>::max();
+  return opts;
+}
+
+/// Offline reference: per-(flow, packet index) predicted class. With an
+/// uncapped walk, a flow's k-th sample is the window ending at packet
+/// kWindow-1+k.
+std::map<std::pair<std::uint32_t, std::uint32_t>, std::int32_t>
+OfflineByPacket(const tr::SampleSet& set,
+                const std::vector<std::int32_t>& predictions) {
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::int32_t> out;
+  std::map<std::size_t, std::uint32_t> emitted;  // per-flow sample counter
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const auto flow = static_cast<std::uint32_t>(set.flow_index[i]);
+    const std::uint32_t k = emitted[flow]++;
+    const auto index = static_cast<std::uint32_t>(tr::kWindow) - 1 + k;
+    out[{flow, index}] = predictions[i];
+  }
+  return out;
+}
+
+std::map<std::pair<std::uint32_t, std::uint32_t>, std::int32_t> StreamByPacket(
+    const std::vector<rt::StreamDecision>& decisions) {
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::int32_t> out;
+  for (const auto& d : decisions) out[{d.flow, d.index}] = d.predicted;
+  return out;
+}
+
+void CheckParity(rt::FeatureKind kind, std::uint64_t model_seed) {
+  const auto ds = tr::Generate(tr::PeerRushSpec(8, 2024));
+  const auto offline = kind == rt::FeatureKind::kStat
+                           ? tr::ExtractStatFeatures(ds.flows, EveryPacket())
+                           : tr::ExtractSeqFeatures(ds.flows, EveryPacket());
+  ASSERT_GT(offline.size(), 0u);
+
+  const auto lowered =
+      Build16DimModel(offline.x, offline.size(), model_seed);
+  rt::InferenceEngine engine(lowered, 64);
+  const auto offline_pred = ev::PredictClassesLowered(engine, offline);
+  const auto want = OfflineByPacket(offline, offline_pred);
+
+  const auto trace = tr::MergeTrace(ds.flows);
+  rt::StreamServerOptions opts;
+  opts.num_shards = 1;
+  opts.flows_per_shard = 1 << 10;
+  opts.max_probe = 16;
+  opts.batch_size = 32;  // exercises batch flush boundaries
+  opts.feature = kind;
+  rt::StreamServer server(lowered, opts);
+  const auto decisions = server.Serve(trace);
+
+  const auto stats = server.Stats();
+  ASSERT_EQ(stats.table.evictions, 0u) << "capacity must avoid evictions";
+  EXPECT_EQ(stats.packets, trace.size());
+  EXPECT_EQ(stats.decisions, decisions.size());
+
+  const auto got = StreamByPacket(decisions);
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& [at, predicted] : want) {
+    const auto it = got.find(at);
+    ASSERT_NE(it, got.end()) << "flow " << at.first << " pkt " << at.second;
+    EXPECT_EQ(it->second, predicted)
+        << "flow " << at.first << " pkt " << at.second;
+  }
+}
+
+}  // namespace
+
+TEST(StreamServer, StatParityWithOfflinePath) {
+  CheckParity(rt::FeatureKind::kStat, 1);
+}
+
+TEST(StreamServer, SeqParityWithOfflinePath) {
+  CheckParity(rt::FeatureKind::kSeq, 2);
+}
+
+TEST(StreamServer, MultiThreadedMatchesSingleThreadedDecisions) {
+  const auto ds = tr::Generate(tr::PeerRushSpec(10, 77));
+  const auto offline = tr::ExtractSeqFeatures(ds.flows, EveryPacket());
+  const auto lowered = Build16DimModel(offline.x, offline.size(), 3);
+  const auto trace = tr::MergeTrace(ds.flows);
+
+  auto serve = [&](bool mt) {
+    rt::StreamServerOptions opts;
+    opts.num_shards = 4;
+    opts.flows_per_shard = 1 << 10;
+    opts.feature = rt::FeatureKind::kSeq;
+    opts.multithreaded = mt;
+    rt::StreamServer server(lowered, opts);
+    auto decisions = server.Serve(trace);
+    // Order-normalize: a flow lives on exactly one shard, so the per-flow
+    // sequences must agree; only cross-shard interleaving may differ.
+    std::sort(decisions.begin(), decisions.end(),
+              [](const rt::StreamDecision& a, const rt::StreamDecision& b) {
+                return std::tie(a.flow, a.index) < std::tie(b.flow, b.index);
+              });
+    return decisions;
+  };
+
+  const auto st = serve(false);
+  const auto mt = serve(true);
+  ASSERT_EQ(st.size(), mt.size());
+  for (std::size_t i = 0; i < st.size(); ++i) {
+    EXPECT_EQ(st[i].flow, mt[i].flow);
+    EXPECT_EQ(st[i].index, mt[i].index);
+    EXPECT_EQ(st[i].predicted, mt[i].predicted);
+    EXPECT_EQ(st[i].score, mt[i].score);
+    EXPECT_EQ(st[i].label, mt[i].label);
+  }
+}
+
+TEST(StreamServer, RejectsMismatchedFeatureFamily) {
+  const auto ds = tr::Generate(tr::PeerRushSpec(6, 5));
+  const auto offline = tr::ExtractSeqFeatures(ds.flows);
+  const auto lowered = Build16DimModel(offline.x, offline.size(), 4);
+  rt::StreamServerOptions opts;
+  opts.feature = rt::FeatureKind::kRaw;  // 480-dim family vs 16-dim model
+  EXPECT_THROW(rt::StreamServer(lowered, opts), std::invalid_argument);
+  opts.feature = rt::FeatureKind::kSeq;
+  opts.num_shards = 0;
+  EXPECT_THROW(rt::StreamServer(lowered, opts), std::invalid_argument);
+}
+
+TEST(StreamServer, ShardStateIsInaccessibleWhileWorkersRun) {
+  const auto ds = tr::Generate(tr::PeerRushSpec(4, 15));
+  const auto offline = tr::ExtractSeqFeatures(ds.flows);
+  const auto lowered = Build16DimModel(offline.x, offline.size(), 9);
+  rt::StreamServerOptions opts;
+  opts.feature = rt::FeatureKind::kSeq;
+  opts.multithreaded = true;
+  rt::StreamServer server(lowered, opts);
+  server.Start();
+  // The workers own the shards until Stop(); reads would race them.
+  EXPECT_THROW(server.Stats(), std::logic_error);
+  EXPECT_THROW(server.TakeDecisions(), std::logic_error);
+  EXPECT_THROW(server.Flush(), std::logic_error);
+  server.Stop();
+  EXPECT_EQ(server.Stats().packets, 0u);
+  // Single-threaded servers reject Start().
+  rt::StreamServerOptions st_opts;
+  st_opts.feature = rt::FeatureKind::kSeq;
+  rt::StreamServer st_server(lowered, st_opts);
+  EXPECT_THROW(st_server.Start(), std::logic_error);
+}
+
+TEST(StreamServer, EvictionPressureRestartsFlowsButKeepsServing) {
+  const auto ds = tr::Generate(tr::PeerRushSpec(20, 9));
+  const auto offline = tr::ExtractSeqFeatures(ds.flows);
+  const auto lowered = Build16DimModel(offline.x, offline.size(), 6);
+  const auto trace = tr::MergeTrace(ds.flows);
+
+  rt::StreamServerOptions opts;
+  opts.num_shards = 1;
+  opts.flows_per_shard = 8;  // far fewer slots than the 60 concurrent flows
+  opts.max_probe = 4;
+  opts.feature = rt::FeatureKind::kSeq;
+  rt::StreamServer server(lowered, opts);
+  const auto decisions = server.Serve(trace);
+
+  const auto stats = server.Stats();
+  EXPECT_GT(stats.table.evictions, 0u);
+  EXPECT_EQ(stats.packets, trace.size());
+  // Evicted flows restart their 8-packet warm-up, so strictly fewer
+  // decisions than the no-eviction packet budget — but the stream keeps
+  // flowing and every packet is accounted for.
+  EXPECT_EQ(stats.decisions + stats.warmup, stats.packets);
+  EXPECT_GT(decisions.size(), 0u);
+}
+
+TEST(StreamServer, StatsAccountRegisterFootprint) {
+  const auto ds = tr::Generate(tr::PeerRushSpec(4, 3));
+  const auto offline = tr::ExtractSeqFeatures(ds.flows);
+  const auto lowered = Build16DimModel(offline.x, offline.size(), 8);
+  rt::StreamServerOptions opts;
+  opts.num_shards = 2;
+  opts.flows_per_shard = 256;
+  opts.feature = rt::FeatureKind::kSeq;
+  rt::StreamServer server(lowered, opts);
+
+  const auto stats = server.Stats();
+  const auto spec = rt::OnlineFlowStateSpec(rt::FeatureKind::kSeq);
+  EXPECT_EQ(stats.stateful_bits_per_flow, spec.BitsPerFlow());
+  EXPECT_EQ(stats.flow_table_sram_bits,
+            2 * pegasus::dataplane::FlowTableSramBits(spec.BitsPerFlow(),
+                                                      256));
+  // The raw family additionally carries the 8x60-byte window.
+  EXPECT_GT(rt::OnlineFlowStateSpec(rt::FeatureKind::kRaw).BitsPerFlow(),
+            spec.BitsPerFlow());
+}

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "eval/experiment.hpp"
 #include "eval/metrics.hpp"
 #include "traffic/features.hpp"
+#include "traffic/stream.hpp"
 #include "traffic/synthetic.hpp"
 
 namespace tr = pegasus::traffic;
@@ -87,6 +90,47 @@ TEST(Features, QuantizersAreMonotone) {
   EXPECT_LE(tr::QuantizeIpd(~0ull >> 16), 255);
 }
 
+// Boundary lock-in for the companding curves (ISSUE 2 satellite): these
+// exact values are what the switch range tables would be generated from, so
+// any drift is a silent dataplane/model skew.
+TEST(Features, QuantizeLenBoundaries) {
+  EXPECT_EQ(tr::QuantizeLen(0), 0);
+  EXPECT_EQ(tr::QuantizeLen(7), 0);    // sub-bucket lengths floor to 0
+  EXPECT_EQ(tr::QuantizeLen(8), 1);
+  EXPECT_EQ(tr::QuantizeLen(40), 5);   // minimum wire length
+  EXPECT_EQ(tr::QuantizeLen(1500), 187);  // MTU: well inside 8 bits
+  EXPECT_EQ(tr::QuantizeLen(1501), 187);  // >MTU floors into the same bucket
+  EXPECT_EQ(tr::QuantizeLen(2039), 254);
+  EXPECT_EQ(tr::QuantizeLen(2040), 255);  // first saturated length
+  EXPECT_EQ(tr::QuantizeLen(65535), 255);  // max uint16 stays capped
+}
+
+TEST(Features, QuantizeIpdBoundariesAndCompandingCurve) {
+  EXPECT_EQ(tr::QuantizeIpd(0), 0);
+  EXPECT_EQ(tr::QuantizeIpd(1), 12);  // 12*log2(2)
+  // The curve is exactly round(12*log2(1+us)) until saturation.
+  for (const std::uint64_t us :
+       {3ull, 100ull, 1000ull, 123456ull, 1000000ull}) {
+    const auto want = static_cast<std::uint8_t>(
+        std::lround(12.0 * std::log2(1.0 + static_cast<double>(us))));
+    EXPECT_EQ(tr::QuantizeIpd(us), want) << "us=" << us;
+  }
+  // Saturation starts around 2.5 s: 12*log2(1+us) first reaches 255 there.
+  EXPECT_EQ(tr::QuantizeIpd(2'500'000), 255);
+  // A ~24-day gap (the longest IPD a 48-bit microsecond timestamp pair
+  // would realistically see) pins to 255...
+  EXPECT_EQ(tr::QuantizeIpd(24ull * 86'400 * 1'000'000), 255);
+  // ...and so does an overflow-ish IPD: no wraparound below 255.
+  EXPECT_EQ(tr::QuantizeIpd(std::numeric_limits<std::uint64_t>::max()), 255);
+  // Monotone across the boundary samples.
+  std::uint8_t prev = 0;
+  for (const std::uint64_t us : {0ull, 1ull, 10ull, 1000ull, 2'500'000ull,
+                                 1ull << 40, ~0ull}) {
+    EXPECT_GE(tr::QuantizeIpd(us), prev);
+    prev = tr::QuantizeIpd(us);
+  }
+}
+
 TEST(Features, DimensionsMatchPaperInputScales) {
   EXPECT_EQ(tr::kStatDim * 8, 128u);   // Leo / N3IC / MLP-B: 128 b
   EXPECT_EQ(tr::kSeqDim * 8, 128u);    // RNN-B / CNN-B / CNN-M: 128 b
@@ -144,6 +188,172 @@ TEST(Features, ShortFlowsAreSkipped) {
   tiny.packets.resize(tr::kWindow - 1);
   const auto stat = tr::ExtractStatFeatures({tiny});
   EXPECT_EQ(stat.size(), 0u);
+}
+
+// ---------------------------------------------------------------- stream
+
+namespace {
+
+std::uint64_t IpdOf(const tr::Flow& flow, std::size_t j) {
+  return j == 0 ? 0 : flow.packets[j].ts_us - flow.packets[j - 1].ts_us;
+}
+
+}  // namespace
+
+// The online extractor must match a from-scratch recomputation of the
+// documented feature semantics at every window position — this is the
+// independent check that the offline wrappers (which *are* the online path)
+// haven't quietly redefined the features.
+TEST(Stream, OnlineExtractorMatchesBruteForceAtEveryPacket) {
+  const auto ds = tr::Generate(tr::PeerRushSpec(4, 61));
+  const tr::OnlineFeatureExtractor ex;
+  for (const auto& flow : ds.flows) {
+    tr::OnlineFlowStateRaw st;  // raw state embeds the stat/seq base state
+    for (std::size_t i = 0; i < flow.packets.size(); ++i) {
+      ex.Update(st, flow.packets[i], flow.packets[i].ts_us);
+      if (i + 1 < tr::kWindow) {
+        EXPECT_FALSE(st.WindowFull());
+        continue;
+      }
+      ASSERT_TRUE(st.WindowFull());
+
+      float stat[tr::kStatDim], seq[tr::kSeqDim];
+      std::vector<float> raw(tr::kRawDim);
+      ex.EmitStat(st.base, stat);
+      ex.EmitSeq(st.base, seq);
+      ex.EmitRaw(st, raw.data());
+
+      // Brute-force stat: running min/max over [0, i] + current + history.
+      std::uint8_t mn = 255, mx = 0, mni = 255, mxi = 0;
+      for (std::size_t j = 0; j <= i; ++j) {
+        const auto ql = tr::QuantizeLen(flow.packets[j].len);
+        mn = std::min(mn, ql);
+        mx = std::max(mx, ql);
+        if (j > 0) {
+          const auto qi = tr::QuantizeIpd(IpdOf(flow, j));
+          mni = std::min(mni, qi);
+          mxi = std::max(mxi, qi);
+        }
+      }
+      EXPECT_EQ(stat[0], mn);
+      EXPECT_EQ(stat[1], mx);
+      EXPECT_EQ(stat[2], mni);
+      EXPECT_EQ(stat[3], mxi);
+      EXPECT_EQ(stat[4], tr::QuantizeLen(flow.packets[i].len));
+      EXPECT_EQ(stat[5], tr::QuantizeIpd(IpdOf(flow, i)));
+      for (std::size_t h = 0; h < 5; ++h) {
+        EXPECT_EQ(stat[6 + 2 * h],
+                  tr::QuantizeLen(flow.packets[i - 1 - h].len));
+        EXPECT_EQ(stat[7 + 2 * h], tr::QuantizeIpd(IpdOf(flow, i - 1 - h)));
+      }
+      // Brute-force seq + raw: the last kWindow packets, oldest first.
+      for (std::size_t w = 0; w < tr::kWindow; ++w) {
+        const std::size_t j = i - (tr::kWindow - 1) + w;
+        EXPECT_EQ(seq[2 * w], tr::QuantizeLen(flow.packets[j].len));
+        EXPECT_EQ(seq[2 * w + 1], tr::QuantizeIpd(IpdOf(flow, j)));
+        for (std::size_t b = 0; b < tr::kRawBytesPerPacket; ++b) {
+          ASSERT_EQ(raw[w * tr::kRawBytesPerPacket + b],
+                    flow.packets[j].bytes[b]);
+        }
+      }
+    }
+  }
+}
+
+TEST(Stream, OfflineExtractorsAreOnlineWrappers) {
+  // Offline extraction at an uncapped walk == feeding the online extractor
+  // and emitting at every eligible packet (the bit-exactness contract).
+  const auto ds = tr::Generate(tr::CiciotSpec(4, 71));
+  tr::ExtractOptions all;
+  all.max_samples_per_flow = std::numeric_limits<std::size_t>::max();
+  const auto stat = tr::ExtractStatFeatures(ds.flows, all);
+
+  std::size_t cursor = 0;
+  const tr::OnlineFeatureExtractor ex;
+  for (const auto& flow : ds.flows) {
+    tr::OnlineFlowState st;
+    for (std::size_t i = 0; i < flow.packets.size(); ++i) {
+      ex.Update(st, flow.packets[i], flow.packets[i].ts_us);
+      if (!st.WindowFull()) continue;
+      float feat[tr::kStatDim];
+      ex.EmitStat(st, feat);
+      ASSERT_LT(cursor, stat.size());
+      for (std::size_t d = 0; d < tr::kStatDim; ++d) {
+        ASSERT_EQ(feat[d], stat.x[cursor * tr::kStatDim + d])
+            << "sample " << cursor << " dim " << d;
+      }
+      ++cursor;
+    }
+  }
+  EXPECT_EQ(cursor, stat.size());
+}
+
+TEST(Stream, EmitBeforeWindowFullThrows) {
+  // (Emitting raw features from a stat/seq state is impossible by
+  // construction: EmitRaw only accepts OnlineFlowStateRaw.)
+  tr::OnlineFeatureExtractor ex;
+  tr::OnlineFlowState st;
+  float out[tr::kStatDim];
+  EXPECT_THROW(ex.EmitStat(st, out), std::logic_error);
+  tr::OnlineFlowStateRaw raw_st;
+  std::vector<float> raw(tr::kRawDim);
+  EXPECT_THROW(ex.EmitRaw(raw_st, raw.data()), std::logic_error);
+}
+
+TEST(Stream, MergeTraceIsTimeOrderedAndFlowPreserving) {
+  const auto ds = tr::Generate(tr::PeerRushSpec(8, 81));
+  const auto trace = tr::MergeTrace(ds.flows);
+
+  std::size_t total = 0;
+  for (const auto& f : ds.flows) total += f.packets.size();
+  ASSERT_EQ(trace.size(), total);
+
+  std::vector<std::uint32_t> next_index(ds.flows.size(), 0);
+  std::uint64_t prev_ts = 0;
+  for (const auto& tp : trace) {
+    EXPECT_GE(tp.ts_us, prev_ts);  // globally time-ordered
+    prev_ts = tp.ts_us;
+    // Per-flow packet order survives the interleaving.
+    EXPECT_EQ(tp.index, next_index[tp.flow]++);
+    const auto& flow = ds.flows[tp.flow];
+    EXPECT_EQ(tp.key.digest, flow.key.digest);
+    EXPECT_EQ(tp.label, flow.label);
+    EXPECT_EQ(tp.packet, &flow.packets[tp.index]);
+  }
+  for (std::size_t fi = 0; fi < ds.flows.size(); ++fi) {
+    EXPECT_EQ(next_index[fi], ds.flows[fi].packets.size());
+  }
+
+  // Offset constancy: ts_us - packet.ts_us identical for all of a flow's
+  // packets -> IPDs computed on the trace clock equal flow-relative IPDs.
+  std::vector<std::int64_t> offset(ds.flows.size(), -1);
+  for (const auto& tp : trace) {
+    const auto off = static_cast<std::int64_t>(
+        tp.ts_us - ds.flows[tp.flow].packets[tp.index].ts_us);
+    if (offset[tp.flow] < 0) {
+      offset[tp.flow] = off;
+    } else {
+      EXPECT_EQ(offset[tp.flow], off);
+    }
+  }
+
+  // Deterministic in the seed; different seeds shuffle the interleaving.
+  const auto again = tr::MergeTrace(ds.flows);
+  ASSERT_EQ(again.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(again[i].flow, trace[i].flow);
+    EXPECT_EQ(again[i].index, trace[i].index);
+    EXPECT_EQ(again[i].ts_us, trace[i].ts_us);
+  }
+  tr::MergeOptions other;
+  other.seed = 1234;
+  const auto shuffled = tr::MergeTrace(ds.flows, other);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < trace.size() && !any_diff; ++i) {
+    any_diff = shuffled[i].flow != trace[i].flow ||
+               shuffled[i].ts_us != trace[i].ts_us;
+  }
+  EXPECT_TRUE(any_diff);
 }
 
 // ----------------------------------------------------------------- eval
