@@ -57,9 +57,15 @@ void BM_CrcExpansion(benchmark::State& state) {
 }
 BENCHMARK(BM_CrcExpansion)->Arg(8)->Arg(10)->Arg(16);
 
-void BM_TernaryTableLookup(benchmark::State& state) {
-  const auto entries = static_cast<std::size_t>(state.range(0));
-  dataplane::PhvLayout layout;
+// Shared table builders for the indexed-vs-linear lookup families. The
+// sealed variants exercise the compiled bit-vector MatchIndex (the
+// production path — Pipeline::PlaceTable seals every table); the *Linear
+// variants keep the table unsealed to pin the pre-index scan cost in the
+// same BENCH_micro.json artifact.
+
+dataplane::MatchActionTable BuildTernaryBenchTable(dataplane::PhvLayout& layout,
+                                                   std::size_t entries,
+                                                   bool sealed) {
   const auto key = layout.AddField("k", 10);
   const auto out = layout.AddField("o", 16);
   std::vector<dataplane::ActionOp> prog{
@@ -73,15 +79,131 @@ void BM_TernaryTableLookup(benchmark::State& state) {
                     .action_data = {static_cast<std::int64_t>(e)}});
   }
   table.AddEntry({.ternary = {dataplane::TernaryRule{0, 0}}, .action_data = {0}});
-  dataplane::Phv phv(layout);
+  if (sealed) table.Seal();
+  return table;
+}
+
+dataplane::MatchActionTable BuildRangeBenchTable(dataplane::PhvLayout& layout,
+                                                 std::size_t entries,
+                                                 bool sealed) {
+  const auto key = layout.AddField("k", 16);
+  const auto out = layout.AddField("o", 16);
+  std::vector<dataplane::ActionOp> prog{
+      {dataplane::ActionOp::Kind::kSetFromData, out, 0, 0, -1}};
+  dataplane::MatchActionTable table("r", dataplane::MatchKind::kRange, {key},
+                                    {16}, prog, 16);
+  // Disjoint 16-wide buckets + catch-all, like a quantized feature axis.
+  for (std::size_t e = 0; e < entries; ++e) {
+    table.AddEntry({.range_lo = {e * 16},
+                    .range_hi = {e * 16 + 15},
+                    .priority = 1,
+                    .action_data = {static_cast<std::int64_t>(e)}});
+  }
+  table.AddEntry({.range_lo = {0}, .range_hi = {65535}, .action_data = {0}});
+  if (sealed) table.Seal();
+  return table;
+}
+
+void RunLookupLoop(benchmark::State& state,
+                   const dataplane::MatchActionTable& table,
+                   dataplane::Phv& phv, dataplane::FieldId key,
+                   std::size_t key_span) {
   std::size_t i = 0;
   for (auto _ : state) {
-    phv.Set(key, static_cast<std::int64_t>(i++ % (entries + 16)));
+    phv.Set(key, static_cast<std::int64_t>(i++ % key_span));
     benchmark::DoNotOptimize(table.Apply(phv));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
+
+void BM_TernaryTableLookup(benchmark::State& state) {
+  const auto entries = static_cast<std::size_t>(state.range(0));
+  dataplane::PhvLayout layout;
+  const auto table = BuildTernaryBenchTable(layout, entries, /*sealed=*/true);
+  dataplane::Phv phv(layout);
+  RunLookupLoop(state, table, phv, layout.Find("k"), entries + 16);
+}
 BENCHMARK(BM_TernaryTableLookup)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_TernaryTableLookupLinear(benchmark::State& state) {
+  const auto entries = static_cast<std::size_t>(state.range(0));
+  dataplane::PhvLayout layout;
+  const auto table = BuildTernaryBenchTable(layout, entries, /*sealed=*/false);
+  dataplane::Phv phv(layout);
+  RunLookupLoop(state, table, phv, layout.Find("k"), entries + 16);
+}
+BENCHMARK(BM_TernaryTableLookupLinear)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_RangeTableLookup(benchmark::State& state) {
+  const auto entries = static_cast<std::size_t>(state.range(0));
+  dataplane::PhvLayout layout;
+  const auto table = BuildRangeBenchTable(layout, entries, /*sealed=*/true);
+  dataplane::Phv phv(layout);
+  RunLookupLoop(state, table, phv, layout.Find("k"), entries * 16 + 64);
+}
+BENCHMARK(BM_RangeTableLookup)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_RangeTableLookupLinear(benchmark::State& state) {
+  const auto entries = static_cast<std::size_t>(state.range(0));
+  dataplane::PhvLayout layout;
+  const auto table = BuildRangeBenchTable(layout, entries, /*sealed=*/false);
+  dataplane::Phv phv(layout);
+  RunLookupLoop(state, table, phv, layout.Find("k"), entries * 16 + 64);
+}
+BENCHMARK(BM_RangeTableLookupLinear)->Arg(16)->Arg(128)->Arg(1024);
+
+void RunApplyBatchLoop(benchmark::State& state, bool sealed) {
+  // 1024-entry table, 64-packet batches: the ApplyBatch shape the
+  // InferenceEngine drives.
+  const std::size_t entries = 1024, batch = 64;
+  dataplane::PhvLayout layout;
+  const auto table = BuildTernaryBenchTable(layout, entries, sealed);
+  const auto key = layout.Find("k");
+  std::vector<dataplane::Phv> phvs(batch, dataplane::Phv(layout));
+  for (std::size_t p = 0; p < batch; ++p) {
+    phvs[p].Set(key, static_cast<std::int64_t>((p * 37) % (entries + 16)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.ApplyBatch(std::span<dataplane::Phv>(phvs)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+
+void BM_TernaryApplyBatch(benchmark::State& state) {
+  RunApplyBatchLoop(state, /*sealed=*/true);
+}
+BENCHMARK(BM_TernaryApplyBatch);
+
+void BM_TernaryApplyBatchLinear(benchmark::State& state) {
+  RunApplyBatchLoop(state, /*sealed=*/false);
+}
+BENCHMARK(BM_TernaryApplyBatchLinear);
+
+void BM_MatchIndexBuild(benchmark::State& state) {
+  // Seal-time cost of compiling the bit-vector index (the one-off price a
+  // table pays at placement for the indexed hot path), plus its footprint.
+  const auto entries = static_cast<std::size_t>(state.range(0));
+  std::vector<dataplane::TableEntry> list;
+  for (std::size_t e = 0; e < entries; ++e) {
+    list.push_back({.ternary = {dataplane::TernaryRule{e, 0x3ff}},
+                    .priority = 1,
+                    .action_data = {static_cast<std::int64_t>(e)}});
+  }
+  list.push_back({.ternary = {dataplane::TernaryRule{0, 0}}, .action_data = {0}});
+  const std::uint64_t probe = 3;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    dataplane::MatchIndex index(list, /*kind_is_ternary=*/true);
+    bytes = index.stats().bytes;
+    benchmark::DoNotOptimize(index.FindBest(&probe));
+  }
+  state.counters["index_bytes"] = static_cast<double>(bytes);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(entries));
+}
+BENCHMARK(BM_MatchIndexBuild)->Arg(128)->Arg(1024)->Arg(4096);
 
 void BM_PipelineProcess(benchmark::State& state) {
   // A 4-stage pipeline of small exact tables, roughly an MLP-B pass.
@@ -170,4 +292,21 @@ BENCHMARK(BM_InferenceEngineBatched)->Arg(16)->Arg(64)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+#ifndef PEGASUS_BUILD_TYPE
+#define PEGASUS_BUILD_TYPE "unknown"
+#endif
+#ifndef PEGASUS_GIT_SHA
+#define PEGASUS_GIT_SHA "unknown"
+#endif
+
+// BENCHMARK_MAIN() plus build provenance: BENCH_micro.json must record how
+// it was produced (a Debug-built artifact is not comparable to Release).
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("build_type", PEGASUS_BUILD_TYPE);
+  benchmark::AddCustomContext("git_sha", PEGASUS_GIT_SHA);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

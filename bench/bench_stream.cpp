@@ -150,9 +150,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"bench\": \"stream\",\n  \"dataset\": \"%s\",\n"
+  std::fprintf(f,
+               "{\n  \"bench\": \"stream\",\n  \"build_type\": \"%s\",\n"
+               "  \"git_sha\": \"%s\",\n  \"dataset\": \"%s\",\n"
                "  \"trace_packets\": %zu,\n  \"runs\": [\n",
-               prep.name.c_str(), trace.size());
+               bench::BuildType(), bench::GitSha(), prep.name.c_str(),
+               trace.size());
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const RunRow& r = rows[i];
     std::fprintf(

@@ -15,6 +15,16 @@ namespace ev = pegasus::eval;
 namespace md = pegasus::models;
 namespace tr = pegasus::traffic;
 
+#ifndef PEGASUS_BUILD_TYPE
+#define PEGASUS_BUILD_TYPE "unknown"
+#endif
+#ifndef PEGASUS_GIT_SHA
+#define PEGASUS_GIT_SHA "unknown"
+#endif
+
+const char* BuildType() { return PEGASUS_BUILD_TYPE; }
+const char* GitSha() { return PEGASUS_GIT_SHA; }
+
 BenchScale ScaleFromEnv() {
   BenchScale s;
   const char* env = std::getenv("PEGASUS_BENCH_SCALE");

@@ -32,6 +32,12 @@ struct BenchScale {
 /// Reads PEGASUS_BENCH_SCALE.
 BenchScale ScaleFromEnv();
 
+/// Build provenance stamped into every BENCH_*.json artifact: perf numbers
+/// are only comparable across runs when the build type matches, and the sha
+/// ties an artifact back to the commit that produced it.
+const char* BuildType();
+const char* GitSha();
+
 /// The three benchmark datasets, prepared once (§7.1 splits).
 std::vector<eval::PreparedDataset> PrepareAll(const BenchScale& scale,
                                               bool with_raw_bytes);

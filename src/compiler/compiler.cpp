@@ -233,6 +233,15 @@ class LoweringPass final : public Pass {
     stats.sram_bits = report.sram_bits;
     stats.tcam_bits = report.tcam_bits;
     stats.stages_used = report.stages_used;
+    const auto index = lowered.pipeline().MatchIndexReport();
+    stats.indexed_tables = index.indexed_tables;
+    stats.index_bytes = index.bytes;
+    stats.index_build_ms = index.build_ms;
+    if (index.indexed_tables > 0) {
+      stats.note = "match index: " + std::to_string(index.intervals) +
+                   " intervals, " + std::to_string(index.nibble_chunks) +
+                   " nibble chunks";
+    }
     ctx.SetLowered(std::move(lowered));
   }
 };
@@ -373,6 +382,11 @@ void PrintDiagnostics(std::ostream& os, std::span<const PassStats> history) {
     if (s.stages_used > 0) {
       os << "; " << s.stages_used << " stages, " << s.sram_bits
          << "b SRAM, " << s.tcam_bits << "b TCAM";
+    }
+    if (s.indexed_tables > 0) {
+      os << "; " << s.indexed_tables << " indexed tables ("
+         << s.index_bytes / 1024 << " KiB, built in " << s.index_build_ms
+         << " ms)";
     }
     if (!s.note.empty()) os << "; " << s.note;
     os << "\n";

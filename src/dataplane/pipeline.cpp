@@ -13,6 +13,9 @@ std::size_t Pipeline::PlaceTable(std::unique_ptr<MatchActionTable> table,
                          " but the switch has only " +
                          std::to_string(stages_.size()) + " stages");
   }
+  // Entry loading is done once a table reaches placement: compile its
+  // match index so the serving path is indexed from the first packet.
+  table->Seal();
   const std::size_t sram = table->SramBits();
   const std::size_t tcam = table->TcamBits();
   const std::size_t bus = table->ActionDataBits();
@@ -66,6 +69,31 @@ ResourceReport Pipeline::Report() const {
         std::max(r.max_stage_action_bus_bits, stage.action_bus_bits);
   }
   r.stateful_bits_per_flow = stateful_bits_per_flow_;
+  return r;
+}
+
+bool Pipeline::FullySealed() const {
+  for (const Stage& stage : stages_) {
+    for (const auto& table : stage.tables) {
+      if (!table->sealed()) return false;
+    }
+  }
+  return true;
+}
+
+Pipeline::IndexReport Pipeline::MatchIndexReport() const {
+  IndexReport r;
+  for (const Stage& stage : stages_) {
+    for (const auto& table : stage.tables) {
+      const MatchIndexStats* s = table->index_stats();
+      if (s == nullptr) continue;
+      ++r.indexed_tables;
+      r.intervals += s->intervals;
+      r.nibble_chunks += s->nibble_chunks;
+      r.bytes += s->bytes;
+      r.build_ms += s->build_ms;
+    }
+  }
   return r;
 }
 

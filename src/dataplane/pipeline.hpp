@@ -30,7 +30,9 @@ class Pipeline {
 
   /// Places `table` in the first stage >= `min_stage` with room for its
   /// SRAM/TCAM footprint and action-bus demand. Returns the stage index.
-  /// Throws PlacementError when no stage fits.
+  /// Throws PlacementError when no stage fits. Placement seals the table
+  /// (compiling its bit-vector match index), so every table served from a
+  /// pipeline runs the indexed lookup path.
   std::size_t PlaceTable(std::unique_ptr<MatchActionTable> table,
                          std::size_t min_stage);
 
@@ -56,6 +58,21 @@ class Pipeline {
 
   std::size_t NumTables() const;
   std::size_t StagesUsed() const;
+
+  /// True when every placed ternary/range table is sealed — i.e. the whole
+  /// pipeline serves from compiled match indexes. (PlaceTable guarantees
+  /// this; the check is the runtime's seam for asserting it.)
+  bool FullySealed() const;
+
+  /// Aggregate match-index build stats across all placed tables.
+  struct IndexReport {
+    std::size_t indexed_tables = 0;
+    std::size_t intervals = 0;
+    std::size_t nibble_chunks = 0;
+    std::size_t bytes = 0;
+    double build_ms = 0.0;
+  };
+  IndexReport MatchIndexReport() const;
 
  private:
   struct Stage {

@@ -5,6 +5,21 @@
 
 namespace pegasus::dataplane {
 
+namespace {
+
+// Key-gather scratch: tables keep at most a few dozen key fields; wider
+// keys (flattened CNN windows) spill to a thread-local buffer.
+constexpr std::size_t kStackKeyFields = 32;
+
+inline std::uint64_t* KeyBuffer(std::size_t nk, std::uint64_t* stack_buf) {
+  if (nk <= kStackKeyFields) return stack_buf;
+  static thread_local std::vector<std::uint64_t> heap_buf;
+  if (heap_buf.size() < nk) heap_buf.resize(nk);
+  return heap_buf.data();
+}
+
+}  // namespace
+
 MatchActionTable::MatchActionTable(std::string name, MatchKind kind,
                                    std::vector<FieldId> key_fields,
                                    std::vector<int> key_widths,
@@ -29,7 +44,8 @@ void MatchActionTable::AddEntry(TableEntry entry) {
     if (entry.exact_key.size() != key_fields_.size()) {
       throw std::invalid_argument(name_ + ": exact key arity mismatch");
     }
-    exact_index_[ExactHash(entry.exact_key)] = entries_.size();
+    exact_index_[ExactHash(entry.exact_key)].push_back(
+        static_cast<std::uint32_t>(entries_.size()));
   } else if (kind_ == MatchKind::kTernary) {
     if (entry.ternary.size() != key_fields_.size()) {
       throw std::invalid_argument(name_ + ": ternary rule arity mismatch");
@@ -41,6 +57,18 @@ void MatchActionTable::AddEntry(TableEntry entry) {
     }
   }
   entries_.push_back(std::move(entry));
+  // Any mutation invalidates the compiled index until the next Seal().
+  sealed_ = false;
+  index_.reset();
+}
+
+void MatchActionTable::Seal() {
+  if (sealed_) return;
+  if (kind_ != MatchKind::kExact && entries_.size() >= kIndexMinEntries) {
+    index_ = std::make_unique<MatchIndex>(
+        std::span<const TableEntry>(entries_), kind_ == MatchKind::kTernary);
+  }
+  sealed_ = true;
 }
 
 void MatchActionTable::SetMissProgram(std::vector<ActionOp> ops,
@@ -49,18 +77,46 @@ void MatchActionTable::SetMissProgram(std::vector<ActionOp> ops,
   miss_data_ = std::move(data);
 }
 
-std::uint64_t MatchActionTable::ExactHash(
-    const std::vector<std::uint64_t>& key) const {
-  // FNV-1a over the key words; collisions are acceptable because AddEntry /
-  // Lookup verify the full key via the stored entry.
-  std::uint64_t h = 1469598103934665603ull;
-  for (std::uint64_t word : key) {
-    for (int byte = 0; byte < 8; ++byte) {
-      h ^= (word >> (byte * 8)) & 0xff;
-      h *= 1099511628211ull;
-    }
+namespace {
+
+inline std::uint64_t FnvMixWord(std::uint64_t h, std::uint64_t word) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (word >> (byte * 8)) & 0xff;
+    h *= 1099511628211ull;
   }
   return h;
+}
+
+}  // namespace
+
+std::uint64_t MatchActionTable::ExactHash(
+    const std::vector<std::uint64_t>& key) const {
+  // FNV-1a over the key words; collisions are harmless because the index
+  // chains all entries per hash and Lookup verifies the full key.
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint64_t word : key) h = FnvMixWord(h, word);
+  return h & exact_hash_mask_;
+}
+
+std::uint64_t MatchActionTable::ExactHashFromPhv(const Phv& phv) const {
+  std::uint64_t h = 1469598103934665603ull;
+  for (FieldId f : key_fields_) {
+    h = FnvMixWord(h, static_cast<std::uint64_t>(phv.Get(f)));
+  }
+  return h & exact_hash_mask_;
+}
+
+std::optional<std::size_t> MatchActionTable::ExactLookup(
+    const Phv& phv) const {
+  const auto it = exact_index_.find(ExactHashFromPhv(phv));
+  if (it == exact_index_.end()) return std::nullopt;
+  // Chains hold insertion order; scan back-to-front so duplicate keys keep
+  // the historical "latest AddEntry wins" behavior.
+  const std::vector<std::uint32_t>& chain = it->second;
+  for (auto ci = chain.rbegin(); ci != chain.rend(); ++ci) {
+    if (EntryMatches(entries_[*ci], phv)) return *ci;
+  }
+  return std::nullopt;
 }
 
 bool MatchActionTable::EntryMatches(const TableEntry& e,
@@ -90,30 +146,64 @@ bool MatchActionTable::EntryMatches(const TableEntry& e,
   return true;
 }
 
-std::optional<std::size_t> MatchActionTable::Lookup(const Phv& phv) const {
-  if (kind_ == MatchKind::kExact) {
-    std::vector<std::uint64_t> key(key_fields_.size());
-    for (std::size_t i = 0; i < key_fields_.size(); ++i) {
-      key[i] = static_cast<std::uint64_t>(phv.Get(key_fields_[i]));
-    }
-    auto it = exact_index_.find(ExactHash(key));
-    if (it != exact_index_.end() && EntryMatches(entries_[it->second], phv)) {
-      return it->second;
-    }
-    return std::nullopt;
-  }
-  // Ternary: highest priority wins; ties resolve to the earliest entry,
-  // matching TCAM physical ordering.
+std::optional<std::size_t> MatchActionTable::LinearLookupTernary(
+    const std::uint64_t* key) const {
+  // Reference scan: highest priority wins; ties resolve to the earliest
+  // entry, matching TCAM physical ordering.
+  const std::size_t nk = key_fields_.size();
   std::optional<std::size_t> best;
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    if (!EntryMatches(entries_[i], phv)) continue;
-    if (!best || entries_[i].priority > entries_[*best].priority) best = i;
+  for (std::size_t ei = 0; ei < entries_.size(); ++ei) {
+    const TableEntry& e = entries_[ei];
+    bool match = true;
+    if (kind_ == MatchKind::kTernary) {
+      for (std::size_t i = 0; i < nk; ++i) {
+        if (!e.ternary[i].Matches(key[i])) {
+          match = false;
+          break;
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < nk; ++i) {
+        if (key[i] < e.range_lo[i] || key[i] > e.range_hi[i]) {
+          match = false;
+          break;
+        }
+      }
+    }
+    if (!match) continue;
+    if (!best || e.priority > entries_[*best].priority) best = ei;
   }
   return best;
 }
 
+std::int32_t MatchActionTable::IndexedFind(const Phv& phv) const {
+  const std::size_t nk = key_fields_.size();
+  std::uint64_t stack_key[kStackKeyFields];
+  std::uint64_t* key = KeyBuffer(nk, stack_key);
+  for (std::size_t i = 0; i < nk; ++i) {
+    key[i] = static_cast<std::uint64_t>(phv.Get(key_fields_[i]));
+  }
+  return index_->FindBest(key);
+}
+
+std::optional<std::size_t> MatchActionTable::Lookup(const Phv& phv) const {
+  if (kind_ == MatchKind::kExact) return ExactLookup(phv);
+  if (index_) {
+    const std::int32_t pos = IndexedFind(phv);
+    if (pos == MatchIndex::kMiss) return std::nullopt;
+    return index_->EntryIndex(pos);
+  }
+  const std::size_t nk = key_fields_.size();
+  std::uint64_t stack_key[kStackKeyFields];
+  std::uint64_t* key = KeyBuffer(nk, stack_key);
+  for (std::size_t i = 0; i < nk; ++i) {
+    key[i] = static_cast<std::uint64_t>(phv.Get(key_fields_[i]));
+  }
+  return LinearLookupTernary(key);
+}
+
 void MatchActionTable::RunProgram(Phv& phv, const std::vector<ActionOp>& ops,
-                                  const std::vector<std::int64_t>& data) const {
+                                  std::span<const std::int64_t> data) const {
   for (const ActionOp& op : ops) {
     std::int64_t result = 0;
     switch (op.kind) {
@@ -124,10 +214,16 @@ void MatchActionTable::RunProgram(Phv& phv, const std::vector<ActionOp>& ops,
         result = phv.Get(op.target) + op.imm;
         break;
       case ActionOp::Kind::kSetFromData:
-        result = data.at(op.data_index);
+        if (op.data_index >= data.size()) {
+          throw std::out_of_range(name_ + ": action data index");
+        }
+        result = data[op.data_index];
         break;
       case ActionOp::Kind::kAddFromData:
-        result = phv.Get(op.target) + data.at(op.data_index);
+        if (op.data_index >= data.size()) {
+          throw std::out_of_range(name_ + ": action data index");
+        }
+        result = phv.Get(op.target) + data[op.data_index];
         break;
     }
     if (op.sat_max >= 0) result = std::clamp<std::int64_t>(result, 0, op.sat_max);
@@ -136,6 +232,15 @@ void MatchActionTable::RunProgram(Phv& phv, const std::vector<ActionOp>& ops,
 }
 
 bool MatchActionTable::Apply(Phv& phv) const {
+  if (kind_ != MatchKind::kExact && index_) {
+    const std::int32_t pos = IndexedFind(phv);
+    if (pos != MatchIndex::kMiss) {
+      RunProgram(phv, action_program_, index_->ActionData(pos));
+      return true;
+    }
+    if (!miss_program_.empty()) RunProgram(phv, miss_program_, miss_data_);
+    return false;
+  }
   if (auto hit = Lookup(phv)) {
     RunProgram(phv, action_program_, entries_[*hit].action_data);
     return true;
@@ -164,6 +269,21 @@ std::size_t MatchActionTable::ApplyBatch(std::span<Phv> batch) const {
       keys[p * nk + i] =
           static_cast<std::uint64_t>(batch[p].Get(key_fields_[i]));
     }
+  }
+  if (index_) {
+    // Sealed path: one bit-vector probe per packet; the index is already
+    // entry-order-free (priority is encoded in bitset position).
+    std::size_t hits = 0;
+    for (std::size_t p = 0; p < n; ++p) {
+      const std::int32_t pos = index_->FindBest(keys.data() + p * nk);
+      if (pos != MatchIndex::kMiss) {
+        RunProgram(batch[p], action_program_, index_->ActionData(pos));
+        ++hits;
+      } else if (!miss_program_.empty()) {
+        RunProgram(batch[p], miss_program_, miss_data_);
+      }
+    }
+    return hits;
   }
   best.assign(n, -1);
   for (std::size_t ei = 0; ei < entries_.size(); ++ei) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "dataplane/crc.hpp"
+#include "dataplane/match_index.hpp"
 #include "dataplane/phv.hpp"
 
 namespace pegasus::dataplane {
@@ -71,8 +73,33 @@ class MatchActionTable {
   const std::string& name() const { return name_; }
   MatchKind kind() const { return kind_; }
 
+  /// Adds an entry. Invalidates a previously sealed match index; call
+  /// Seal() again before serving traffic to restore the indexed path.
   void AddEntry(TableEntry entry);
   std::size_t NumEntries() const { return entries_.size(); }
+
+  // ---- sealed/mutable lifecycle ---------------------------------------
+  //
+  // A table is *mutable* while entries are loaded and *sealed* while
+  // serving. Seal() compiles the bit-vector MatchIndex for ternary/range
+  // tables (see dataplane/match_index.hpp) so Apply/ApplyBatch/Lookup run
+  // word-parallel bitset ANDs instead of a linear entry scan. Tables below
+  // kIndexMinEntries seal without an index — the scan is already cheaper
+  // than two bitset probes there. Pipeline::PlaceTable seals automatically,
+  // so every compiled/lowered model serves from the indexed path.
+
+  /// Entry count below which Seal() keeps the linear scan.
+  static constexpr std::size_t kIndexMinEntries = 8;
+
+  /// Compiles the match index (idempotent). Exact tables seal trivially —
+  /// their hash index is maintained incrementally by AddEntry.
+  void Seal();
+  bool sealed() const { return sealed_; }
+  /// Build/footprint stats of the compiled index; nullptr when the table
+  /// is unsealed, exact, or too small to index.
+  const MatchIndexStats* index_stats() const {
+    return index_ ? &index_->stats() : nullptr;
+  }
 
   /// Default action program executed on miss (empty = no-op).
   void SetMissProgram(std::vector<ActionOp> ops,
@@ -93,6 +120,13 @@ class MatchActionTable {
   /// Index of the matching entry, if any (for tests/debugging).
   std::optional<std::size_t> Lookup(const Phv& phv) const;
 
+  /// Test-only: truncates the exact-match hash to `bits` so collisions are
+  /// reproducible (verifies the chained index resolves them). Must be
+  /// called before the first AddEntry.
+  void SetExactHashBitsForTest(int bits) {
+    exact_hash_mask_ = bits >= 64 ? ~0ull : (1ull << bits) - 1;
+  }
+
   // ---- resource accounting -------------------------------------------
   std::size_t KeyBits() const;
   /// Bits of action data fetched per lookup (drives the action bus column).
@@ -105,9 +139,20 @@ class MatchActionTable {
 
  private:
   std::uint64_t ExactHash(const std::vector<std::uint64_t>& key) const;
+  /// Same byte-for-byte hash, computed straight from the PHV key fields —
+  /// no per-lookup key buffer is materialized.
+  std::uint64_t ExactHashFromPhv(const Phv& phv) const;
+  std::optional<std::size_t> ExactLookup(const Phv& phv) const;
   bool EntryMatches(const TableEntry& e, const Phv& phv) const;
   void RunProgram(Phv& phv, const std::vector<ActionOp>& ops,
-                  const std::vector<std::int64_t>& data) const;
+                  std::span<const std::int64_t> data) const;
+  /// Linear-scan reference for ternary/range (unsealed fallback; also the
+  /// oracle the indexed path is property-tested against).
+  std::optional<std::size_t> LinearLookupTernary(
+      const std::uint64_t* key) const;
+  /// Gathers the PHV key fields and consults the compiled index; the
+  /// returned value is a MatchIndex sorted position (kMiss on miss).
+  std::int32_t IndexedFind(const Phv& phv) const;
 
   std::string name_;
   MatchKind kind_;
@@ -118,8 +163,14 @@ class MatchActionTable {
   std::vector<TableEntry> entries_;
   std::vector<ActionOp> miss_program_;
   std::vector<std::int64_t> miss_data_;
-  // exact-match index: hashed key -> entry index
-  std::unordered_map<std::uint64_t, std::size_t> exact_index_;
+  // Exact-match index: hashed key -> chained entry indices. Chaining (not
+  // last-write-wins) keeps distinct keys with colliding hashes reachable;
+  // Lookup verifies the full key on every candidate.
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> exact_index_;
+  std::uint64_t exact_hash_mask_ = ~0ull;
+  // Compiled ternary/range index (sealed lifecycle).
+  bool sealed_ = false;
+  std::unique_ptr<MatchIndex> index_;
 };
 
 }  // namespace pegasus::dataplane

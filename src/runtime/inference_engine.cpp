@@ -14,6 +14,13 @@ InferenceEngine::InferenceEngine(const LoweredModel& model,
   if (batch_capacity == 0) {
     throw std::invalid_argument("InferenceEngine: batch_capacity must be > 0");
   }
+  // Lower() places every table through Pipeline::PlaceTable, which seals
+  // it; assert that here so the batched hot loop is guaranteed to serve
+  // from compiled match indexes, never the linear fallback.
+  if (!model.pipeline().FullySealed()) {
+    throw std::logic_error(
+        "InferenceEngine: lowered pipeline has unsealed tables");
+  }
   pool_.reserve(batch_capacity);
   for (std::size_t i = 0; i < batch_capacity; ++i) {
     pool_.emplace_back(model.layout());

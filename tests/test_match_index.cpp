@@ -1,0 +1,426 @@
+// Property tests for the compiled bit-vector match index: the sealed
+// (indexed) lookup path must be bit-identical to the linear-scan reference
+// on randomized ternary/range tables — same winners under priority ties,
+// same misses, same PHV contents after ApplyBatch — plus seal/mutate
+// lifecycle and exact-match hash-collision coverage.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "dataplane/match_index.hpp"
+#include "dataplane/pipeline.hpp"
+#include "dataplane/table.hpp"
+
+namespace dp = pegasus::dataplane;
+
+namespace {
+
+struct TablePair {
+  dp::PhvLayout layout;
+  std::vector<dp::FieldId> keys;
+  dp::FieldId out = 0;
+  std::unique_ptr<dp::MatchActionTable> indexed;  // sealed
+  std::unique_ptr<dp::MatchActionTable> linear;   // never sealed
+};
+
+TablePair MakePair(dp::MatchKind kind, const std::vector<int>& widths,
+                   const std::vector<dp::TableEntry>& entries) {
+  TablePair p;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    p.keys.push_back(p.layout.AddField("k" + std::to_string(i), widths[i]));
+  }
+  p.out = p.layout.AddField("o", 32);
+  std::vector<dp::ActionOp> prog{
+      {dp::ActionOp::Kind::kSetFromData, p.out, 0, 0, -1}};
+  p.indexed = std::make_unique<dp::MatchActionTable>("idx", kind, p.keys,
+                                                     widths, prog, 32);
+  p.linear = std::make_unique<dp::MatchActionTable>("lin", kind, p.keys,
+                                                    widths, prog, 32);
+  for (const dp::TableEntry& e : entries) {
+    p.indexed->AddEntry(e);
+    p.linear->AddEntry(e);
+  }
+  p.indexed->Seal();
+  return p;
+}
+
+/// Lookups on both tables must agree exactly (hit/miss and entry index).
+void ExpectSameLookup(const TablePair& p, const std::vector<std::uint64_t>& key) {
+  dp::Phv phv(p.layout);
+  for (std::size_t i = 0; i < p.keys.size(); ++i) {
+    phv.Set(p.keys[i], static_cast<std::int64_t>(key[i]));
+  }
+  const std::optional<std::size_t> a = p.indexed->Lookup(phv);
+  const std::optional<std::size_t> b = p.linear->Lookup(phv);
+  ASSERT_EQ(a, b) << "key[0]=" << key[0];
+}
+
+std::vector<std::uint64_t> RandomKey(std::mt19937_64& rng,
+                                     const std::vector<int>& widths,
+                                     bool allow_overwide) {
+  std::vector<std::uint64_t> key;
+  for (int w : widths) {
+    const std::uint64_t dmax =
+        w >= 64 ? ~0ull : (1ull << w) - 1;
+    std::uint64_t v = rng() & dmax;
+    // Overwide keys: bits above the declared field width must not change
+    // the outcome on either path (no rule masks them).
+    if (allow_overwide && w < 60 && rng() % 4 == 0) v |= 1ull << (w + 2);
+    key.push_back(v);
+  }
+  return key;
+}
+
+}  // namespace
+
+TEST(MatchIndex, RandomTernaryTablesMatchLinearReference) {
+  std::mt19937_64 rng(1234);
+  const std::vector<std::vector<int>> shapes = {{10}, {8, 8}, {6, 10, 16}};
+  for (const auto& widths : shapes) {
+    for (int trial = 0; trial < 6; ++trial) {
+      std::vector<dp::TableEntry> entries;
+      const std::size_t n = 20 + rng() % 180;
+      for (std::size_t e = 0; e < n; ++e) {
+        dp::TableEntry entry;
+        for (int w : widths) {
+          const std::uint64_t dmax = (1ull << w) - 1;
+          // Mix of rule shapes: exact value, random mask (non-prefix
+          // masks included), and catch-all.
+          const int mode = static_cast<int>(rng() % 4);
+          dp::TernaryRule r;
+          if (mode == 0) {
+            r = {rng() & dmax, dmax};
+          } else if (mode == 3) {
+            r = {0, 0};
+          } else {
+            r = {rng() & dmax, rng() & dmax};
+          }
+          entry.ternary.push_back(r);
+        }
+        entry.priority = static_cast<int>(rng() % 5);  // plenty of ties
+        entry.action_data = {static_cast<std::int64_t>(e)};
+        entries.push_back(entry);
+      }
+      const TablePair p = MakePair(dp::MatchKind::kTernary, widths, entries);
+      ASSERT_NE(p.indexed->index_stats(), nullptr);
+      for (int probe = 0; probe < 300; ++probe) {
+        ExpectSameLookup(p, RandomKey(rng, widths, /*allow_overwide=*/true));
+      }
+      // Probes seeded from entry values (guaranteed-hit-heavy).
+      for (std::size_t e = 0; e < entries.size(); e += 3) {
+        std::vector<std::uint64_t> key;
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+          key.push_back(entries[e].ternary[i].value ^
+                        (rng() % 3 == 0 ? 1ull : 0ull));
+        }
+        ExpectSameLookup(p, key);
+      }
+    }
+  }
+}
+
+TEST(MatchIndex, RandomRangeTablesMatchLinearReference) {
+  std::mt19937_64 rng(987);
+  const std::vector<std::vector<int>> shapes = {{16}, {12, 12}, {8, 16, 10}};
+  for (const auto& widths : shapes) {
+    for (int trial = 0; trial < 6; ++trial) {
+      std::vector<dp::TableEntry> entries;
+      const std::size_t n = 20 + rng() % 120;
+      for (std::size_t e = 0; e < n; ++e) {
+        dp::TableEntry entry;
+        for (int w : widths) {
+          const std::uint64_t dmax = (1ull << w) - 1;
+          std::uint64_t lo = rng() & dmax, hi = rng() & dmax;
+          if (lo > hi) std::swap(lo, hi);
+          if (rng() % 8 == 0) hi = dmax;  // top-of-domain edge
+          if (rng() % 8 == 1) lo = 0;
+          entry.range_lo.push_back(lo);
+          entry.range_hi.push_back(hi);
+        }
+        entry.priority = static_cast<int>(rng() % 4);
+        entry.action_data = {static_cast<std::int64_t>(e)};
+        entries.push_back(entry);
+      }
+      const TablePair p = MakePair(dp::MatchKind::kRange, widths, entries);
+      ASSERT_NE(p.indexed->index_stats(), nullptr);
+      for (int probe = 0; probe < 300; ++probe) {
+        ExpectSameLookup(p, RandomKey(rng, widths, /*allow_overwide=*/false));
+      }
+      // Boundary probes: lo-1, lo, hi, hi+1 of random entries.
+      for (std::size_t e = 0; e < entries.size(); e += 2) {
+        for (int which = 0; which < 4; ++which) {
+          std::vector<std::uint64_t> key;
+          for (std::size_t i = 0; i < widths.size(); ++i) {
+            const std::uint64_t lo = entries[e].range_lo[i];
+            const std::uint64_t hi = entries[e].range_hi[i];
+            const std::uint64_t v = which == 0   ? (lo == 0 ? 0 : lo - 1)
+                                    : which == 1 ? lo
+                                    : which == 2 ? hi
+                                                 : hi + 1;
+            key.push_back(v);
+          }
+          ExpectSameLookup(p, key);
+        }
+      }
+    }
+  }
+}
+
+TEST(MatchIndex, WideSixtyFourBitTernaryField) {
+  std::mt19937_64 rng(55);
+  std::vector<dp::TableEntry> entries;
+  for (std::size_t e = 0; e < 64; ++e) {
+    // Masks spanning the full 64-bit word, including high-bit-only masks.
+    const std::uint64_t mask = rng() | (1ull << 63);
+    entries.push_back({.ternary = {dp::TernaryRule{rng(), mask}},
+                       .priority = static_cast<int>(e % 3),
+                       .action_data = {static_cast<std::int64_t>(e)}});
+  }
+  entries.push_back(
+      {.ternary = {dp::TernaryRule{0, 0}}, .priority = -1, .action_data = {99}});
+  const TablePair p = MakePair(dp::MatchKind::kTernary, {64}, entries);
+  for (int probe = 0; probe < 500; ++probe) {
+    ExpectSameLookup(p, {rng()});
+  }
+  for (const auto& e : entries) {
+    ExpectSameLookup(p, {e.ternary[0].value});
+  }
+}
+
+TEST(MatchIndex, RangeTopOfDomain64Bit) {
+  std::vector<dp::TableEntry> entries;
+  entries.push_back({.range_lo = {0}, .range_hi = {~0ull}, .priority = 0,
+                     .action_data = {1}});
+  entries.push_back({.range_lo = {~0ull - 10}, .range_hi = {~0ull},
+                     .priority = 5, .action_data = {2}});
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    entries.push_back({.range_lo = {i * 100}, .range_hi = {i * 100 + 50},
+                       .priority = 3,
+                       .action_data = {static_cast<std::int64_t>(i)}});
+  }
+  const TablePair p = MakePair(dp::MatchKind::kRange, {64}, entries);
+  for (const std::uint64_t v :
+       {0ull, 50ull, 51ull, 99ull, 100ull, 949ull, 950ull, ~0ull - 11,
+        ~0ull - 10, ~0ull - 1, ~0ull}) {
+    ExpectSameLookup(p, {v});
+  }
+}
+
+TEST(MatchIndex, PriorityTiesResolveToEarliestEntry) {
+  // Three overlapping same-priority entries: the earliest must win on both
+  // paths (TCAM physical ordering).
+  std::vector<dp::TableEntry> entries;
+  for (int e = 0; e < 10; ++e) {
+    entries.push_back({.ternary = {dp::TernaryRule{0, 0}},
+                       .priority = 7,
+                       .action_data = {e}});
+  }
+  const TablePair p = MakePair(dp::MatchKind::kTernary, {8}, entries);
+  dp::Phv phv(p.layout);
+  phv.Set(p.keys[0], 3);
+  EXPECT_EQ(p.indexed->Lookup(phv), std::optional<std::size_t>{0});
+  EXPECT_EQ(p.linear->Lookup(phv), std::optional<std::size_t>{0});
+  // Higher priority inserted later still wins.
+  dp::TableEntry top{.ternary = {dp::TernaryRule{0, 0}},
+                     .priority = 9,
+                     .action_data = {42}};
+  p.indexed->AddEntry(top);
+  p.linear->AddEntry(top);
+  p.indexed->Seal();
+  EXPECT_EQ(p.indexed->Lookup(phv), std::optional<std::size_t>{10});
+  EXPECT_EQ(p.linear->Lookup(phv), std::optional<std::size_t>{10});
+}
+
+TEST(MatchIndex, ApplyBatchBitIdenticalToSequentialApply) {
+  std::mt19937_64 rng(321);
+  for (const dp::MatchKind kind :
+       {dp::MatchKind::kTernary, dp::MatchKind::kRange}) {
+    std::vector<dp::TableEntry> entries;
+    for (std::size_t e = 0; e < 100; ++e) {
+      dp::TableEntry entry;
+      if (kind == dp::MatchKind::kTernary) {
+        entry.ternary = {dp::TernaryRule{rng() & 0x3ff, rng() & 0x3ff}};
+      } else {
+        std::uint64_t lo = rng() & 0x3ff, hi = rng() & 0x3ff;
+        if (lo > hi) std::swap(lo, hi);
+        entry.range_lo = {lo};
+        entry.range_hi = {hi};
+      }
+      entry.priority = static_cast<int>(rng() % 4);
+      entry.action_data = {static_cast<std::int64_t>(e), -7};
+      entries.push_back(entry);
+    }
+    TablePair p = MakePair(kind, {10}, entries);
+    p.indexed->SetMissProgram({{dp::ActionOp::Kind::kSetConst, p.out, 0,
+                                -123, -1}},
+                              {});
+    p.linear->SetMissProgram({{dp::ActionOp::Kind::kSetConst, p.out, 0,
+                               -123, -1}},
+                             {});
+    // Miss program mutation re-opens nothing (programs are not entries),
+    // but be explicit that the indexed table is still sealed.
+    ASSERT_TRUE(p.indexed->sealed());
+
+    const std::size_t batch = 64;
+    std::vector<dp::Phv> batch_indexed(batch, dp::Phv(p.layout));
+    std::vector<dp::Phv> seq(batch, dp::Phv(p.layout));
+    for (std::size_t i = 0; i < batch; ++i) {
+      const std::int64_t v = static_cast<std::int64_t>(rng() & 0x7ff);
+      batch_indexed[i].Set(p.keys[0], v);
+      seq[i].Set(p.keys[0], v);
+    }
+    const std::size_t hits_indexed =
+        p.indexed->ApplyBatch(std::span<dp::Phv>(batch_indexed));
+    std::size_t hits_seq = 0;
+    for (dp::Phv& phv : seq) {
+      if (p.linear->Apply(phv)) ++hits_seq;
+    }
+    EXPECT_EQ(hits_indexed, hits_seq);
+    for (std::size_t i = 0; i < batch; ++i) {
+      for (std::size_t f = 0; f < p.layout.NumFields(); ++f) {
+        ASSERT_EQ(batch_indexed[i].Get(f), seq[i].Get(f))
+            << "packet " << i << " field " << f;
+      }
+    }
+  }
+}
+
+TEST(MatchIndex, SealMutateLifecycle) {
+  std::vector<dp::TableEntry> entries;
+  for (std::size_t e = 0; e < 32; ++e) {
+    entries.push_back({.ternary = {dp::TernaryRule{e, 0xff}},
+                       .priority = 1,
+                       .action_data = {static_cast<std::int64_t>(e)}});
+  }
+  TablePair p = MakePair(dp::MatchKind::kTernary, {8}, entries);
+  EXPECT_TRUE(p.indexed->sealed());
+  EXPECT_NE(p.indexed->index_stats(), nullptr);
+  EXPECT_FALSE(p.linear->sealed());
+  EXPECT_EQ(p.linear->index_stats(), nullptr);
+
+  // Mutation invalidates the index; lookups stay correct on the fallback.
+  p.indexed->AddEntry({.ternary = {dp::TernaryRule{200, 0xff}},
+                       .priority = 2,
+                       .action_data = {777}});
+  EXPECT_FALSE(p.indexed->sealed());
+  EXPECT_EQ(p.indexed->index_stats(), nullptr);
+  dp::Phv phv(p.layout);
+  phv.Set(p.keys[0], 200);
+  EXPECT_EQ(p.indexed->Lookup(phv), std::optional<std::size_t>{32});
+
+  // Re-seal rebuilds the index over the new entry list.
+  p.indexed->Seal();
+  EXPECT_TRUE(p.indexed->sealed());
+  ASSERT_NE(p.indexed->index_stats(), nullptr);
+  EXPECT_EQ(p.indexed->index_stats()->entries, 33u);
+  EXPECT_GT(p.indexed->index_stats()->bytes, 0u);
+  EXPECT_GT(p.indexed->index_stats()->nibble_chunks, 0u);
+  EXPECT_EQ(p.indexed->Lookup(phv), std::optional<std::size_t>{32});
+  phv.Set(p.keys[0], 5);
+  EXPECT_EQ(p.indexed->Lookup(phv), std::optional<std::size_t>{5});
+
+  // Seal is idempotent.
+  const dp::MatchIndexStats* stats = p.indexed->index_stats();
+  p.indexed->Seal();
+  EXPECT_EQ(p.indexed->index_stats(), stats);
+}
+
+TEST(MatchIndex, TinyTablesSealWithoutIndex) {
+  std::vector<dp::TableEntry> entries;
+  for (std::size_t e = 0; e < dp::MatchActionTable::kIndexMinEntries - 1;
+       ++e) {
+    entries.push_back({.ternary = {dp::TernaryRule{e, 0xff}},
+                       .priority = 0,
+                       .action_data = {static_cast<std::int64_t>(e)}});
+  }
+  const TablePair p = MakePair(dp::MatchKind::kTernary, {8}, entries);
+  EXPECT_TRUE(p.indexed->sealed());
+  EXPECT_EQ(p.indexed->index_stats(), nullptr);  // linear fallback
+  dp::Phv phv(p.layout);
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    phv.Set(p.keys[0], static_cast<std::int64_t>(v));
+    EXPECT_EQ(p.indexed->Lookup(phv), p.linear->Lookup(phv));
+  }
+}
+
+TEST(MatchIndex, ExactHashCollisionsResolveViaChaining) {
+  // Truncate the hash to 6 bits so distinct keys collide constantly; every
+  // key must still find its own entry (the old last-write-wins index
+  // silently shadowed earlier entries).
+  dp::PhvLayout layout;
+  const auto k0 = layout.AddField("k0", 32);
+  const auto k1 = layout.AddField("k1", 32);
+  const auto out = layout.AddField("o", 32);
+  std::vector<dp::ActionOp> prog{
+      {dp::ActionOp::Kind::kSetFromData, out, 0, 0, -1}};
+  dp::MatchActionTable t("e", dp::MatchKind::kExact, {k0, k1}, {32, 32},
+                         prog, 32);
+  t.SetExactHashBitsForTest(6);
+  std::mt19937_64 rng(777);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> keys;
+  for (std::size_t e = 0; e < 300; ++e) {
+    const std::uint64_t a = rng() & 0xffffffff, b = rng() & 0xffffffff;
+    keys.emplace_back(a, b);
+    t.AddEntry({.exact_key = {a, b},
+                .action_data = {static_cast<std::int64_t>(e)}});
+  }
+  dp::Phv phv(layout);
+  for (std::size_t e = 0; e < keys.size(); ++e) {
+    phv.Set(k0, static_cast<std::int64_t>(keys[e].first));
+    phv.Set(k1, static_cast<std::int64_t>(keys[e].second));
+    ASSERT_EQ(t.Lookup(phv), std::optional<std::size_t>{e});
+    EXPECT_TRUE(t.Apply(phv));
+    EXPECT_EQ(phv.Get(out), static_cast<std::int64_t>(e));
+  }
+  // Absent key sharing a truncated hash bucket: must miss, not alias.
+  phv.Set(k0, static_cast<std::int64_t>(keys[0].first ^ 1));
+  phv.Set(k1, static_cast<std::int64_t>(keys[0].second));
+  EXPECT_EQ(t.Lookup(phv), std::nullopt);
+}
+
+TEST(MatchIndex, ExactDuplicateKeyKeepsLatestEntry) {
+  dp::PhvLayout layout;
+  const auto k = layout.AddField("k", 16);
+  const auto out = layout.AddField("o", 32);
+  std::vector<dp::ActionOp> prog{
+      {dp::ActionOp::Kind::kSetFromData, out, 0, 0, -1}};
+  dp::MatchActionTable t("e", dp::MatchKind::kExact, {k}, {16}, prog, 32);
+  t.AddEntry({.exact_key = {9}, .action_data = {1}});
+  t.AddEntry({.exact_key = {9}, .action_data = {2}});
+  dp::Phv phv(layout);
+  phv.Set(k, 9);
+  EXPECT_EQ(t.Lookup(phv), std::optional<std::size_t>{1});
+}
+
+TEST(MatchIndex, PlaceTableSealsAndPipelineReportsIndex) {
+  dp::Pipeline pipe;
+  dp::PhvLayout layout;
+  const auto key = layout.AddField("k", 10);
+  const auto out = layout.AddField("o", 16);
+  std::vector<dp::ActionOp> prog{
+      {dp::ActionOp::Kind::kSetFromData, out, 0, 0, -1}};
+  auto t = std::make_unique<dp::MatchActionTable>(
+      "t", dp::MatchKind::kTernary, std::vector<dp::FieldId>{key},
+      std::vector<int>{10}, prog, 16);
+  for (std::uint64_t e = 0; e < 64; ++e) {
+    t->AddEntry({.ternary = {dp::TernaryRule{e, 0x3ff}},
+                 .priority = 1,
+                 .action_data = {static_cast<std::int64_t>(e)}});
+  }
+  EXPECT_FALSE(t->sealed());
+  pipe.PlaceTable(std::move(t), 0);
+  EXPECT_TRUE(pipe.FullySealed());
+  const auto report = pipe.MatchIndexReport();
+  EXPECT_EQ(report.indexed_tables, 1u);
+  EXPECT_GT(report.nibble_chunks, 0u);
+  EXPECT_GT(report.bytes, 0u);
+
+  dp::Phv phv(layout);
+  phv.Set(key, 7);
+  EXPECT_EQ(pipe.Process(phv), 1u);
+  EXPECT_EQ(phv.Get(out), 7);
+}

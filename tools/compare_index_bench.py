@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Summarize indexed-vs-linear lookup families from BENCH_micro.json.
+
+Reads the google-benchmark JSON artifact, pairs each BM_*TableLookup/<N>
+family with its *Linear counterpart, and writes a compact comparison JSON
+(speedup per entry count, plus build provenance) for the CI bench artifact.
+
+Usage: compare_index_bench.py BENCH_micro.json [BENCH_index_compare.json]
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    src = sys.argv[1]
+    dst = sys.argv[2] if len(sys.argv) > 2 else "BENCH_index_compare.json"
+    with open(src) as f:
+        data = json.load(f)
+
+    times = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        times[b["name"]] = b["real_time"]  # ns (default time_unit)
+
+    rows = []
+    for name, t_indexed in sorted(times.items()):
+        if "Linear" in name:
+            continue
+        base, _, arg = name.partition("/")
+        linear = f"{base}Linear/{arg}" if arg else f"{base}Linear"
+        if linear not in times:
+            continue
+        t_linear = times[linear]
+        rows.append({
+            "family": base.removeprefix("BM_"),
+            "entries": int(arg) if arg else None,
+            "indexed_ns": round(t_indexed, 2),
+            "linear_ns": round(t_linear, 2),
+            "speedup": round(t_linear / t_indexed, 2) if t_indexed else None,
+        })
+
+    context = data.get("context", {})
+    out = {
+        "bench": "index_compare",
+        "build_type": context.get("build_type", "unknown"),
+        "git_sha": context.get("git_sha", "unknown"),
+        "library_build_type": context.get("library_build_type", "unknown"),
+        "comparisons": rows,
+    }
+    with open(dst, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+
+    for r in rows:
+        print(f"{r['family']}/{r['entries']}: indexed {r['indexed_ns']} ns "
+              f"vs linear {r['linear_ns']} ns -> {r['speedup']}x")
+    if not rows:
+        print("warning: no indexed/linear benchmark pairs found",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
