@@ -9,8 +9,17 @@
 // the stream carries realistic flow interleaving; accuracy is reported over
 // the per-packet decisions as a sanity anchor, not a headline number (train
 // flows are part of the stream).
+//
+// A second section exercises the model lifecycle: the same trace is served
+// with a hitless v1 -> v2 hot swap at the midpoint (a retrained MLP-B),
+// recording the per-shard swap latency (engine rebuild gap) and the
+// throughput *of the run containing the swap* next to the no-swap baseline
+// — the "can we push a model without a maintenance window" number.
+// tools/compare_index_bench.py --stream condenses these rows into
+// BENCH_swap.json.
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -68,6 +77,49 @@ RunRow RunOne(const std::string& name, const rt::LoweredModel& lowered,
   return row;
 }
 
+struct SwapRow {
+  std::string model;
+  std::size_t shards = 0;
+  std::size_t threads = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t swaps = 0;
+  /// Total per-shard serving gap (flush + engine rebuild), ms.
+  double swap_latency_ms = 0.0;
+  double wall_ms = 0.0;
+  double pps = 0.0;
+  /// Same-config no-swap throughput, for the degradation ratio.
+  double baseline_pps = 0.0;
+};
+
+SwapRow RunSwap(const std::string& name,
+                std::shared_ptr<const rt::LoweredModel> v1,
+                std::shared_ptr<const rt::LoweredModel> v2,
+                rt::FeatureKind kind,
+                const std::vector<tr::TracePacket>& trace, std::size_t shards,
+                bool mt, double baseline_pps) {
+  rt::StreamServerOptions opts;
+  opts.num_shards = shards;
+  opts.flows_per_shard = 1 << 10;
+  opts.feature = kind;
+  opts.multithreaded = mt;
+  rt::StreamServer server(std::move(v1), opts, 1);
+  const auto run = ev::ServeTraceWithSwap(server, trace, trace.size() / 2,
+                                          std::move(v2), 2);
+  SwapRow row;
+  row.model = name;
+  row.shards = shards;
+  row.threads = mt ? shards : 0;
+  row.packets = run.stats.packets;
+  row.decisions = run.stats.decisions;
+  row.swaps = run.stats.swaps;
+  row.swap_latency_ms = run.stats.swap_wall_ms;
+  row.wall_ms = run.wall_ms;
+  row.pps = run.packets_per_sec;
+  row.baseline_pps = baseline_pps;
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -92,13 +144,16 @@ int main(int argc, char** argv) {
                                  prep.seq.train.size(), prep.seq.train.dim,
                                  prep.num_classes, cnn_cfg);
 
-  runtime::LoweringOptions lopts;
-  lopts.stateful_bits_per_flow =
+  runtime::LoweringOptions mlp_lopts;
+  mlp_lopts.stateful_bits_per_flow =
       runtime::OnlineFlowStateSpec(runtime::FeatureKind::kStat).BitsPerFlow();
-  auto mlp_lowered = compiler::PlaceOnSwitch(mlp->Compiled(), lopts);
-  lopts.stateful_bits_per_flow =
+  // Shared so the hot-swap section below can serve the same v1 artifact.
+  auto mlp_lowered = std::make_shared<const runtime::LoweredModel>(
+      compiler::PlaceOnSwitch(mlp->Compiled(), mlp_lopts));
+  runtime::LoweringOptions cnn_lopts;
+  cnn_lopts.stateful_bits_per_flow =
       runtime::OnlineFlowStateSpec(runtime::FeatureKind::kSeq).BitsPerFlow();
-  auto cnn_lowered = compiler::PlaceOnSwitch(cnn->Compiled(), lopts);
+  auto cnn_lowered = compiler::PlaceOnSwitch(cnn->Compiled(), cnn_lopts);
 
   // ---- one merged trace over every flow ----------------------------------
   const auto trace = traffic::MergeTrace(prep.dataset.flows);
@@ -111,7 +166,7 @@ int main(int argc, char** argv) {
     runtime::FeatureKind kind;
   };
   const ModelUnderTest models[] = {
-      {"MLP-B", &mlp_lowered, runtime::FeatureKind::kStat},
+      {"MLP-B", mlp_lowered.get(), runtime::FeatureKind::kStat},
       {"CNN-M", &cnn_lowered, runtime::FeatureKind::kSeq},
   };
 
@@ -129,6 +184,41 @@ int main(int argc, char** argv) {
                     row.pps / static_cast<double>(row.shards), row.accuracy);
         rows.push_back(row);
       }
+    }
+  }
+
+  // ---- model lifecycle: hitless hot swap ---------------------------------
+  // Retrain MLP-B (more epochs => moved tables) and push it mid-stream.
+  models::MlpBConfig mlp2_cfg;
+  mlp2_cfg.epochs = scale.epochs_small * 2;
+  auto mlp2 = models::MlpB::Train(prep.stat.train.x, prep.stat.train.labels,
+                                  prep.stat.train.size(),
+                                  prep.stat.train.dim, prep.num_classes,
+                                  mlp2_cfg);
+  auto mlp_v2 = std::make_shared<const runtime::LoweredModel>(
+      compiler::PlaceOnSwitch(mlp2->Compiled(), mlp_lopts));
+
+  std::vector<SwapRow> swap_rows;
+  std::printf("\nhot swap (v1 -> v2 at trace midpoint):\n");
+  std::printf("%-7s %7s %8s %14s %12s %12s %9s\n", "Model", "shards",
+              "threads", "swap gap ms", "pkts/s", "baseline", "ratio");
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    for (const bool mt : {false, true}) {
+      double baseline = 0.0;
+      for (const auto& r : rows) {
+        if (r.model == "MLP-B" && r.shards == shards &&
+            (r.threads > 0) == mt) {
+          baseline = r.pps;
+        }
+      }
+      const auto row = RunSwap("MLP-B", mlp_lowered, mlp_v2,
+                               runtime::FeatureKind::kStat, trace, shards,
+                               mt, baseline);
+      std::printf("%-7s %7zu %8zu %14.3f %12.0f %12.0f %9.3f\n",
+                  row.model.c_str(), row.shards, row.threads,
+                  row.swap_latency_ms, row.pps, row.baseline_pps,
+                  row.baseline_pps > 0.0 ? row.pps / row.baseline_pps : 0.0);
+      swap_rows.push_back(row);
     }
   }
 
@@ -173,6 +263,22 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.batches), r.wall_ms, r.pps,
         r.pps / static_cast<double>(r.shards), r.accuracy,
         i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"swap_runs\": [\n");
+  for (std::size_t i = 0; i < swap_rows.size(); ++i) {
+    const SwapRow& r = swap_rows[i];
+    std::fprintf(
+        f,
+        "    {\"model\": \"%s\", \"shards\": %zu, \"threads\": %zu, "
+        "\"packets\": %llu, \"decisions\": %llu, \"swaps\": %llu, "
+        "\"swap_latency_ms\": %.4f, \"wall_ms\": %.3f, "
+        "\"packets_per_sec\": %.1f, \"baseline_packets_per_sec\": %.1f}%s\n",
+        r.model.c_str(), r.shards, r.threads,
+        static_cast<unsigned long long>(r.packets),
+        static_cast<unsigned long long>(r.decisions),
+        static_cast<unsigned long long>(r.swaps), r.swap_latency_ms,
+        r.wall_ms, r.pps, r.baseline_pps,
+        i + 1 < swap_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -1,0 +1,158 @@
+// Example: the control-plane model lifecycle — retrain and push without a
+// maintenance window.
+//
+// The paper's deployment story is a switch that keeps classifying live
+// traffic while operators retrain offline and push updated models. This
+// walkthrough runs that loop end-to-end on the simulator:
+//
+//   1. train v1 quickly, CompileVersioned it and Publish to the
+//      ModelRegistry;
+//   2. start serving a merged live trace through the StreamServer;
+//   3. retrain (v2, more epochs), publish, and let the UpdatePlanner stage
+//      the push (which tables are unchanged / entry-delta / reseal, bytes
+//      to move);
+//   4. SwapModel(v2) mid-stream — hitless: per-flow windows survive, every
+//      packet keeps getting a decision, and each decision records the
+//      version that produced it;
+//   5. co-place an anomaly detector next to the classifier under one
+//      switch budget, then show the structured rejection when the budget
+//      is too small;
+//   6. round-trip v2 through the registry's on-disk envelope.
+#include <cstdio>
+#include <sstream>
+
+#include "compiler/compiler.hpp"
+#include "control/planner.hpp"
+#include "control/registry.hpp"
+#include "eval/experiment.hpp"
+#include "models/autoencoder.hpp"
+#include "models/cnn_m.hpp"
+#include "runtime/stream_server.hpp"
+
+int main() {
+  using namespace pegasus;
+
+  auto prep = eval::Prepare(traffic::IscxVpnSpec(50), /*with_raw_bytes=*/false);
+  std::printf("dataset: %s, %zu flows, %zu classes\n", prep.name.c_str(),
+              prep.dataset.flows.size(), prep.num_classes);
+
+  runtime::LoweringOptions lopts;
+  lopts.stateful_bits_per_flow =
+      runtime::OnlineFlowStateSpec(runtime::FeatureKind::kSeq).BitsPerFlow();
+
+  control::ModelRegistry registry;
+
+  // ---- v1: quick first model, published and serving ----------------------
+  models::CnnMConfig cfg1;
+  cfg1.epochs = 4;
+  auto m1 = models::CnnM::Train(prep.seq.train.x, prep.seq.train.labels,
+                                prep.seq.train.size(), prep.seq.train.dim,
+                                prep.num_classes, cfg1);
+  registry.Publish("traffic-classifier",
+                   compiler::CompileVersioned(m1->Compiled(), lopts));
+  auto v1 = registry.Latest("traffic-classifier");
+  std::printf("published %s v%llu: %zu tables, %zu stages, %.2f%% TCAM\n",
+              v1->name.c_str(),
+              static_cast<unsigned long long>(v1->version),
+              v1->lowered->NumTables(), v1->report.stages_used,
+              v1->report.TcamPct(lopts.switch_model));
+
+  // ---- v2: retrain while v1 serves ---------------------------------------
+  models::CnnMConfig cfg2;
+  cfg2.epochs = 25;
+  auto m2 = models::CnnM::Train(prep.seq.train.x, prep.seq.train.labels,
+                                prep.seq.train.size(), prep.seq.train.dim,
+                                prep.num_classes, cfg2);
+  registry.Publish("traffic-classifier",
+                   compiler::CompileVersioned(m2->Compiled(), lopts));
+  auto v2 = registry.Latest("traffic-classifier");
+
+  const auto plan = control::PlanUpdate(*v1, *v2);
+  std::printf("\n%s", control::FormatPlan(plan).c_str());
+
+  // ---- hitless swap mid-stream -------------------------------------------
+  const auto trace = eval::TestTrace(prep);
+  runtime::StreamServerOptions sopts;
+  sopts.num_shards = 2;
+  sopts.flows_per_shard = 1 << 10;
+  sopts.feature = runtime::FeatureKind::kSeq;
+  runtime::StreamServer server(v1->lowered, sopts, v1->version);
+  const auto run = eval::ServeTraceWithSwap(server, trace, trace.size() / 2,
+                                            v2->lowered, v2->version);
+
+  std::size_t v1_hits = 0, v1_n = 0, v2_hits = 0, v2_n = 0;
+  for (const auto& d : run.decisions) {
+    const bool hit = d.predicted == d.label;
+    if (d.version == v1->version) {
+      ++v1_n;
+      v1_hits += hit ? 1 : 0;
+    } else {
+      ++v2_n;
+      v2_hits += hit ? 1 : 0;
+    }
+  }
+  std::printf("\nserved %llu packets, swapped v%llu -> v%llu mid-stream\n",
+              static_cast<unsigned long long>(run.stats.packets),
+              static_cast<unsigned long long>(v1->version),
+              static_cast<unsigned long long>(v2->version));
+  std::printf("  swap applied on %llu shards in %.3f ms total "
+              "(per-shard serving gap)\n",
+              static_cast<unsigned long long>(run.stats.swaps),
+              run.stats.swap_wall_ms);
+  std::printf("  pre-swap  (v%llu): %zu decisions, accuracy %.3f\n",
+              static_cast<unsigned long long>(v1->version), v1_n,
+              v1_n ? static_cast<double>(v1_hits) / v1_n : 0.0);
+  std::printf("  post-swap (v%llu): %zu decisions, accuracy %.3f "
+              "(per-flow state survived: %llu warm-ups total)\n",
+              static_cast<unsigned long long>(v2->version), v2_n,
+              v2_n ? static_cast<double>(v2_hits) / v2_n : 0.0,
+              static_cast<unsigned long long>(run.stats.warmup));
+
+  // ---- co-placement: classifier + anomaly detector -----------------------
+  models::AutoencoderConfig ae_cfg;
+  ae_cfg.epochs = 20;
+  auto ae = models::Autoencoder::Train(prep.seq.train.x,
+                                       prep.seq.train.size(),
+                                       prep.seq.train.dim, ae_cfg);
+  registry.Publish("anomaly-detector",
+                   compiler::CompileVersioned(ae->Compiled(), lopts));
+  auto ad = registry.Latest("anomaly-detector");
+
+  const auto joint = control::PlanCoPlacement({v2.get(), ad.get()}, {});
+  std::printf("\nco-placement on one switch budget:\n");
+  for (const auto& share : joint.models) {
+    std::printf("  %-18s v%llu stages [%zu, %zu), %zu PHV bits\n",
+                share.name.c_str(),
+                static_cast<unsigned long long>(share.version),
+                share.stage_offset, share.stage_offset + share.stages_used,
+                share.phv_bits);
+  }
+  std::printf("  total: %zu stages, %zu PHV bits, %zu b/flow state\n",
+              joint.stages_used, joint.phv_bits,
+              joint.stateful_bits_per_flow);
+
+  dataplane::SwitchModel tight;
+  tight.num_stages = v2->report.stages_used;  // no room for the detector
+  try {
+    control::PlanCoPlacement({v2.get(), ad.get()}, tight);
+  } catch (const control::AdmissionError& e) {
+    std::printf("  tight budget rejected: %s (resource %s, %zu needed, "
+                "%zu available)\n",
+                e.what(), control::AdmissionResourceName(e.resource()),
+                e.required(), e.available());
+  }
+
+  // ---- on-disk round trip -------------------------------------------------
+  std::stringstream disk;
+  registry.SaveModel(disk, "traffic-classifier", v2->version);
+  control::ModelRegistry restored;
+  const auto back = restored.LoadModel(disk);
+  std::printf("\nenvelope round trip: %s v%llu, %zu tables, %s\n",
+              back->name.c_str(),
+              static_cast<unsigned long long>(back->version),
+              back->lowered->NumTables(),
+              back->report.sram_bits == v2->report.sram_bits
+                  ? "resource bill identical"
+                  : "RESOURCE MISMATCH");
+  return 0;
+}

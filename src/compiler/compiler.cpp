@@ -368,6 +368,38 @@ runtime::LoweredModel PlaceOnSwitch(const core::CompiledModel& model,
   return ctx.TakeLowered();
 }
 
+VersionedModel CompileVersioned(core::Program program,
+                                std::span<const float> train_inputs,
+                                std::size_t num_samples,
+                                const core::CompileOptions& options,
+                                const runtime::LoweringOptions& lowering) {
+  CompileSwitchResult res = CompileToSwitch(std::move(program), train_inputs,
+                                            num_samples, options, lowering);
+  VersionedModel vm;
+  vm.compiled =
+      std::make_shared<const core::CompiledModel>(std::move(res.model));
+  auto lowered =
+      std::make_shared<runtime::LoweredModel>(std::move(res.lowered));
+  vm.report = lowered->Report();
+  vm.lowered = std::move(lowered);
+  vm.lowering = lowering;
+  vm.fusion = res.fusion;
+  vm.history = std::move(res.history);
+  return vm;
+}
+
+VersionedModel CompileVersioned(const core::CompiledModel& model,
+                                const runtime::LoweringOptions& lowering) {
+  VersionedModel vm;
+  vm.compiled = std::make_shared<const core::CompiledModel>(model);
+  auto lowered = std::make_shared<runtime::LoweredModel>(
+      PlaceOnSwitch(*vm.compiled, lowering, &vm.history));
+  vm.report = lowered->Report();
+  vm.lowered = std::move(lowered);
+  vm.lowering = lowering;
+  return vm;
+}
+
 void PrintDiagnostics(std::ostream& os, std::span<const PassStats> history) {
   for (const PassStats& s : history) {
     os << "  [" << s.name << "] " << s.wall_ms << " ms";

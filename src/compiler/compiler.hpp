@@ -212,6 +212,44 @@ runtime::LoweredModel PlaceOnSwitch(const core::CompiledModel& model,
                                     const runtime::LoweringOptions& options = {},
                                     std::vector<PassStats>* history = nullptr);
 
+// ---------------------------------------------------------------------------
+// Versioned compilation (the control plane's artifact format).
+// ---------------------------------------------------------------------------
+
+/// An immutable deployment artifact: the compiled tables, their placement on
+/// the switch, the resource bill, and the knobs that produced them — the
+/// unit control::ModelRegistry stores, control::UpdatePlanner diffs, and
+/// StreamServer::SwapModel serves. `name`/`version` are zero/empty until
+/// ModelRegistry::Publish stamps them; everything else never changes after
+/// CompileVersioned returns (shared_ptr-to-const all the way down, so a
+/// registry snapshot, a serving shard and a planner diff can hold the same
+/// artifact concurrently without copies or locks).
+struct VersionedModel {
+  std::string name;
+  std::uint64_t version = 0;
+  std::shared_ptr<const core::CompiledModel> compiled;
+  std::shared_ptr<const runtime::LoweredModel> lowered;
+  /// Lowering knobs the artifact was placed with — required to reproduce
+  /// the exact same placement when reloading from disk.
+  runtime::LoweringOptions lowering;
+  dataplane::ResourceReport report;
+  core::FusionStats fusion;
+  std::vector<PassStats> history;
+};
+
+/// Full-chain versioned compile: SwitchPipeline() over `program`, with the
+/// compiled and lowered artifacts frozen behind shared const ownership.
+VersionedModel CompileVersioned(core::Program program,
+                                std::span<const float> train_inputs,
+                                std::size_t num_samples,
+                                const core::CompileOptions& options = {},
+                                const runtime::LoweringOptions& lowering = {});
+
+/// Wraps an already-compiled model (e.g. a trained models::* instance's
+/// Compiled()) into a versioned artifact by lowering a private copy.
+VersionedModel CompileVersioned(const core::CompiledModel& model,
+                                const runtime::LoweringOptions& lowering = {});
+
 /// Pretty-prints one line per executed pass (name, time, and the stats that
 /// apply to it).
 void PrintDiagnostics(std::ostream& os, std::span<const PassStats> history);

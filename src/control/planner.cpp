@@ -1,0 +1,287 @@
+#include "control/planner.hpp"
+
+#include <sstream>
+
+namespace pegasus::control {
+
+namespace {
+
+using core::CompiledModel;
+using core::DimQuant;
+using core::Op;
+using core::OpKind;
+
+bool QuantEqual(const std::vector<DimQuant>& a,
+                const std::vector<DimQuant>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].fmt == b[i].fmt) || a[i].bias != b[i].bias ||
+        a[i].domain_bits != b[i].domain_bits) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Lowering-relevant tree geometry: the leaf hyperrectangles (entry match
+/// regions). Centroids are training-side state and do not reach the switch.
+bool BoxesEqual(const core::ClusterTree& a, const core::ClusterTree& b) {
+  if (a.NumLeaves() != b.NumLeaves() || a.dim() != b.dim()) return false;
+  for (std::size_t leaf = 0; leaf < a.NumLeaves(); ++leaf) {
+    const core::LeafBox& ba = a.Box(leaf);
+    const core::LeafBox& bb = b.Box(leaf);
+    if (ba.lo != bb.lo || ba.hi != bb.hi) return false;
+  }
+  return true;
+}
+
+/// Same program skeleton: op kinds/wiring, value dims and table sites. When
+/// this fails, per-site diffs are meaningless — everything reseals.
+bool SameStructure(const CompiledModel& a, const CompiledModel& b) {
+  const core::Program& pa = a.program();
+  const core::Program& pb = b.program();
+  if (pa.NumValues() != pb.NumValues() ||
+      pa.ops().size() != pb.ops().size() || pa.input() != pb.input() ||
+      pa.output() != pb.output()) {
+    return false;
+  }
+  for (std::size_t v = 0; v < pa.NumValues(); ++v) {
+    if (pa.value(v).dim != pb.value(v).dim) return false;
+  }
+  for (std::size_t oi = 0; oi < pa.ops().size(); ++oi) {
+    const Op& oa = pa.ops()[oi];
+    const Op& ob = pb.ops()[oi];
+    if (oa.kind != ob.kind) return false;
+    if (oa.kind == OpKind::kMap &&
+        (oa.map.input != ob.map.input || oa.map.output != ob.map.output)) {
+      return false;
+    }
+    if (a.tables()[oi].has_value() != b.tables()[oi].has_value()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Bytes the agent rewrites when one leaf's action data changes.
+std::size_t LeafDataBytes(const CompiledModel& m, std::size_t out_dim) {
+  return (out_dim * static_cast<std::size_t>(m.options().value_bits) + 7) / 8;
+}
+
+/// Full-table push estimate: every leaf's action words plus the ternary
+/// value+mask planes of its match key (pre-CRC-expansion, i.e. the best
+/// case the agent can stage).
+std::size_t FullTableBytes(const CompiledModel& m, std::size_t op_index) {
+  const core::Program& p = m.program();
+  const Op& op = p.ops()[op_index];
+  const core::FuzzyMapTable& t = *m.tables()[op_index];
+  const std::size_t out_dim = p.value(op.map.output).dim;
+  std::size_t key_bits = 0;
+  for (const DimQuant& q : m.quant()[op.map.input]) {
+    key_bits += static_cast<std::size_t>(q.domain_bits);
+  }
+  const std::size_t per_leaf =
+      LeafDataBytes(m, out_dim) + (2 * key_bits + 7) / 8;
+  return t.tree.NumLeaves() * per_leaf;
+}
+
+}  // namespace
+
+const char* TableUpdateKindName(TableUpdateKind kind) {
+  switch (kind) {
+    case TableUpdateKind::kUnchanged:
+      return "unchanged";
+    case TableUpdateKind::kEntryDelta:
+      return "entry-delta";
+    case TableUpdateKind::kReseal:
+      return "reseal";
+  }
+  return "?";
+}
+
+UpdatePlan PlanUpdate(const compiler::VersionedModel& from,
+                      const compiler::VersionedModel& to) {
+  if (from.compiled == nullptr || to.compiled == nullptr) {
+    throw std::invalid_argument(
+        "PlanUpdate: artifacts must carry their CompiledModel");
+  }
+  const CompiledModel& a = *from.compiled;
+  const CompiledModel& b = *to.compiled;
+
+  UpdatePlan plan;
+  plan.from_version = from.version;
+  plan.to_version = to.version;
+  plan.structure_changed = !SameStructure(a, b);
+
+  const core::Program& pb = b.program();
+  for (std::size_t oi = 0; oi < pb.ops().size(); ++oi) {
+    if (!b.tables()[oi].has_value()) continue;
+    const Op& op = pb.ops()[oi];
+    const core::FuzzyMapTable& tb = *b.tables()[oi];
+    TableUpdate u;
+    u.op_index = oi;
+    u.table = "map_" + std::to_string(oi);
+    u.leaves_after = tb.tree.NumLeaves();
+
+    if (plan.structure_changed) {
+      u.kind = TableUpdateKind::kReseal;
+      u.bytes_to_push = FullTableBytes(b, oi);
+      plan.tables.push_back(std::move(u));
+      continue;
+    }
+
+    const core::FuzzyMapTable& ta = *a.tables()[oi];
+    u.leaves_before = ta.tree.NumLeaves();
+    const bool same_quant =
+        QuantEqual(a.quant()[op.map.input], b.quant()[op.map.input]) &&
+        QuantEqual(a.quant()[op.map.output], b.quant()[op.map.output]);
+    if (!same_quant || !BoxesEqual(ta.tree, tb.tree)) {
+      u.kind = TableUpdateKind::kReseal;
+      u.bytes_to_push = FullTableBytes(b, oi);
+    } else {
+      for (std::size_t leaf = 0; leaf < tb.tree.NumLeaves(); ++leaf) {
+        if (ta.leaf_raw[leaf] != tb.leaf_raw[leaf]) ++u.changed_leaves;
+      }
+      if (u.changed_leaves == 0) {
+        u.kind = TableUpdateKind::kUnchanged;
+      } else {
+        u.kind = TableUpdateKind::kEntryDelta;
+        const std::size_t out_dim = pb.value(op.map.output).dim;
+        u.bytes_to_push = u.changed_leaves * LeafDataBytes(b, out_dim);
+      }
+    }
+    plan.tables.push_back(std::move(u));
+  }
+
+  for (const TableUpdate& u : plan.tables) {
+    switch (u.kind) {
+      case TableUpdateKind::kUnchanged:
+        ++plan.unchanged;
+        break;
+      case TableUpdateKind::kEntryDelta:
+        ++plan.entry_delta;
+        break;
+      case TableUpdateKind::kReseal:
+        ++plan.reseal;
+        break;
+    }
+    plan.total_bytes_to_push += u.bytes_to_push;
+  }
+  return plan;
+}
+
+std::string FormatPlan(const UpdatePlan& plan) {
+  std::ostringstream os;
+  os << "update v" << plan.from_version << " -> v" << plan.to_version << ": "
+     << plan.unchanged << " unchanged, " << plan.entry_delta
+     << " entry-delta, " << plan.reseal << " reseal ("
+     << plan.total_bytes_to_push << " bytes to push";
+  if (plan.structure_changed) os << ", program structure changed";
+  os << ")\n";
+  for (const TableUpdate& u : plan.tables) {
+    os << "  " << u.table << ": " << TableUpdateKindName(u.kind);
+    if (u.kind == TableUpdateKind::kEntryDelta) {
+      os << " (" << u.changed_leaves << "/" << u.leaves_after << " leaves";
+    } else {
+      os << " (" << u.leaves_after << " leaves";
+    }
+    if (u.bytes_to_push > 0) os << ", " << u.bytes_to_push << " B";
+    os << ")\n";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Co-placement.
+// ---------------------------------------------------------------------------
+
+AdmissionError::AdmissionError(Resource resource, std::string model,
+                               std::size_t required, std::size_t available)
+    : std::runtime_error("co-placement rejected: " + model + " needs " +
+                         std::to_string(required) + " " +
+                         AdmissionResourceName(resource) + " but only " +
+                         std::to_string(available) + " are available"),
+      resource_(resource),
+      model_(std::move(model)),
+      required_(required),
+      available_(available) {}
+
+const char* AdmissionResourceName(AdmissionError::Resource r) {
+  switch (r) {
+    case AdmissionError::Resource::kStages:
+      return "stages";
+    case AdmissionError::Resource::kPhvBits:
+      return "PHV bits";
+    case AdmissionError::Resource::kSramBits:
+      return "SRAM bits";
+    case AdmissionError::Resource::kTcamBits:
+      return "TCAM bits";
+  }
+  return "?";
+}
+
+JointPlacement PlanCoPlacement(
+    const std::vector<const compiler::VersionedModel*>& models,
+    const dataplane::SwitchModel& budget) {
+  JointPlacement joint;
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const compiler::VersionedModel* m = models[i];
+    if (m == nullptr || m->lowered == nullptr) {
+      throw std::invalid_argument(
+          "PlanCoPlacement: artifacts must carry their LoweredModel");
+    }
+    const std::string tag = m->name.empty()
+                                ? "model[" + std::to_string(i) + "]"
+                                : m->name + " v" + std::to_string(m->version);
+    // Stage-sequential stacking transfers a model's per-stage packing only
+    // if the target's per-stage budgets are at least as large as the ones
+    // the model was lowered against.
+    const dataplane::SwitchModel& own = m->lowering.switch_model;
+    if (own.sram_bits_per_stage > budget.sram_bits_per_stage ||
+        own.tcam_bits_per_stage > budget.tcam_bits_per_stage ||
+        own.action_bus_bits_per_stage > budget.action_bus_bits_per_stage) {
+      throw std::invalid_argument(
+          "PlanCoPlacement: " + tag +
+          " was lowered against wider per-stage budgets than the target "
+          "switch offers — re-lower it for this switch first");
+    }
+
+    PlacementShare share;
+    share.name = m->name;
+    share.version = m->version;
+    share.report = m->report;
+    share.stages_used = m->report.stages_used;
+    share.phv_bits = m->lowered->layout().TotalBits();
+    share.stage_offset = joint.stages_used;
+
+    if (joint.stages_used + share.stages_used > budget.num_stages) {
+      throw AdmissionError(AdmissionError::Resource::kStages, tag,
+                           joint.stages_used + share.stages_used,
+                           budget.num_stages);
+    }
+    if (joint.phv_bits + share.phv_bits > budget.phv_bits) {
+      throw AdmissionError(AdmissionError::Resource::kPhvBits, tag,
+                           joint.phv_bits + share.phv_bits, budget.phv_bits);
+    }
+    if (joint.sram_bits + m->report.sram_bits > budget.TotalSramBits()) {
+      throw AdmissionError(AdmissionError::Resource::kSramBits, tag,
+                           joint.sram_bits + m->report.sram_bits,
+                           budget.TotalSramBits());
+    }
+    if (joint.tcam_bits + m->report.tcam_bits > budget.TotalTcamBits()) {
+      throw AdmissionError(AdmissionError::Resource::kTcamBits, tag,
+                           joint.tcam_bits + m->report.tcam_bits,
+                           budget.TotalTcamBits());
+    }
+
+    joint.stages_used += share.stages_used;
+    joint.phv_bits += share.phv_bits;
+    joint.sram_bits += m->report.sram_bits;
+    joint.tcam_bits += m->report.tcam_bits;
+    joint.stateful_bits_per_flow += m->report.stateful_bits_per_flow;
+    joint.models.push_back(std::move(share));
+  }
+  return joint;
+}
+
+}  // namespace pegasus::control

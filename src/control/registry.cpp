@@ -1,0 +1,167 @@
+#include "control/registry.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/serialize.hpp"
+#include "core/stream_io.hpp"
+
+namespace pegasus::control {
+
+namespace {
+
+using core::WritePod;
+
+// Shared helper from core/stream_io.hpp; the local wrapper just pins the
+// loader name reported on truncation.
+template <typename T>
+T ReadPod(std::istream& is) {
+  return core::ReadPod<T>(is, "ModelRegistry::LoadModel");
+}
+
+}  // namespace
+
+std::uint64_t ModelRegistry::Publish(const std::string& name,
+                                     compiler::VersionedModel artifact) {
+  if (artifact.lowered == nullptr || artifact.compiled == nullptr) {
+    throw std::invalid_argument(
+        "ModelRegistry::Publish: artifact is missing its compiled/lowered "
+        "model (use compiler::CompileVersioned)");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& versions = models_[name];
+  const std::uint64_t version =
+      versions.empty() ? 1 : versions.rbegin()->first + 1;
+  artifact.name = name;
+  artifact.version = version;
+  versions.emplace(
+      version, std::make_shared<const compiler::VersionedModel>(
+                   std::move(artifact)));
+  return version;
+}
+
+ModelRegistry::Snapshot ModelRegistry::Get(const std::string& name,
+                                           std::uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto ni = models_.find(name);
+  if (ni == models_.end()) return nullptr;
+  const auto vi = ni->second.find(version);
+  return vi == ni->second.end() ? nullptr : vi->second;
+}
+
+ModelRegistry::Snapshot ModelRegistry::Latest(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto ni = models_.find(name);
+  if (ni == models_.end() || ni->second.empty()) return nullptr;
+  return ni->second.rbegin()->second;
+}
+
+std::vector<std::string> ModelRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, versions] : models_) {
+    if (!versions.empty()) names.push_back(name);
+  }
+  return names;
+}
+
+std::vector<std::uint64_t> ModelRegistry::Versions(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::uint64_t> out;
+  const auto ni = models_.find(name);
+  if (ni == models_.end()) return out;
+  out.reserve(ni->second.size());
+  for (const auto& [version, snapshot] : ni->second) out.push_back(version);
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [name, versions] : models_) n += versions.size();
+  return n;
+}
+
+void ModelRegistry::SaveModel(std::ostream& os, const std::string& name,
+                              std::uint64_t version) const {
+  const Snapshot snap = Get(name, version);
+  if (snap == nullptr) {
+    throw std::out_of_range("ModelRegistry::SaveModel: unknown model " +
+                            name + " v" + std::to_string(version));
+  }
+  WritePod(os, kRegistryArtifactMagic);
+  WritePod(os, kRegistryArtifactVersion);
+  WritePod<std::uint32_t>(os, static_cast<std::uint32_t>(snap->name.size()));
+  os.write(snap->name.data(),
+           static_cast<std::streamsize>(snap->name.size()));
+  WritePod<std::uint64_t>(os, snap->version);
+  // Lowering knobs: the switch model the artifact was placed against plus
+  // the per-flow state and expansion-cap options. Stored so LoadModel can
+  // reproduce the exact placement.
+  const runtime::LoweringOptions& lo = snap->lowering;
+  WritePod<std::uint64_t>(os, lo.switch_model.num_stages);
+  WritePod<std::uint64_t>(os, lo.switch_model.sram_bits_per_stage);
+  WritePod<std::uint64_t>(os, lo.switch_model.tcam_bits_per_stage);
+  WritePod<std::uint64_t>(os, lo.switch_model.action_bus_bits_per_stage);
+  WritePod<std::uint64_t>(os, lo.switch_model.phv_bits);
+  WritePod<double>(os, lo.switch_model.line_rate_bits_per_sec);
+  WritePod<std::uint64_t>(os, lo.stateful_bits_per_flow);
+  WritePod<std::uint64_t>(os, lo.max_ternary_entries_per_table);
+  core::SaveCompiledModel(os, *snap->compiled);
+}
+
+ModelRegistry::Snapshot ModelRegistry::LoadModel(std::istream& is) {
+  if (ReadPod<std::uint64_t>(is) != kRegistryArtifactMagic) {
+    throw std::runtime_error("ModelRegistry::LoadModel: bad magic");
+  }
+  if (ReadPod<std::uint32_t>(is) != kRegistryArtifactVersion) {
+    throw std::runtime_error(
+        "ModelRegistry::LoadModel: unsupported envelope version");
+  }
+  const auto name_len = ReadPod<std::uint32_t>(is);
+  // Sanity-cap before allocating: a corrupt length field must surface as
+  // the documented runtime_error, not a multi-GiB bad_alloc.
+  if (name_len > 4096) {
+    throw std::runtime_error(
+        "ModelRegistry::LoadModel: implausible name length (corrupt "
+        "envelope)");
+  }
+  std::string name(name_len, '\0');
+  is.read(name.data(), name_len);
+  if (!is) {
+    throw std::runtime_error("ModelRegistry::LoadModel: truncated name");
+  }
+  const auto version = ReadPod<std::uint64_t>(is);
+
+  runtime::LoweringOptions lo;
+  lo.switch_model.num_stages = ReadPod<std::uint64_t>(is);
+  lo.switch_model.sram_bits_per_stage = ReadPod<std::uint64_t>(is);
+  lo.switch_model.tcam_bits_per_stage = ReadPod<std::uint64_t>(is);
+  lo.switch_model.action_bus_bits_per_stage = ReadPod<std::uint64_t>(is);
+  lo.switch_model.phv_bits = ReadPod<std::uint64_t>(is);
+  lo.switch_model.line_rate_bits_per_sec = ReadPod<double>(is);
+  lo.stateful_bits_per_flow = ReadPod<std::uint64_t>(is);
+  lo.max_ternary_entries_per_table = ReadPod<std::uint64_t>(is);
+
+  compiler::VersionedModel vm =
+      compiler::CompileVersioned(core::LoadCompiledModel(is), lo);
+  vm.name = name;
+  vm.version = version;
+
+  auto snap = std::make_shared<const compiler::VersionedModel>(std::move(vm));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& versions = models_[name];
+  if (versions.count(version) != 0) {
+    throw std::invalid_argument("ModelRegistry::LoadModel: " + name + " v" +
+                                std::to_string(version) +
+                                " is already published");
+  }
+  versions.emplace(version, snap);
+  return snap;
+}
+
+}  // namespace pegasus::control

@@ -1,0 +1,77 @@
+// ModelRegistry — the control plane's source of truth for deployable model
+// artifacts (the retrain-and-push loop of the paper's deployment story:
+// operators keep retraining while the switch keeps classifying).
+//
+// The registry stores immutable compiler::VersionedModel snapshots under
+// (name, version). Versions are stamped monotonically per name at Publish
+// time, snapshots are handed out as shared_ptr-to-const (a serving
+// StreamServer, an UpdatePlanner diff and the registry itself can hold the
+// same artifact concurrently — retiring a version from the registry never
+// pulls it out from under a server mid-swap), and nothing is ever mutated
+// in place: a "model update" is a new version, full stop.
+//
+// On-disk format: a small envelope (name, version, lowering options) around
+// core/serialize.hpp's CompiledModel artifact. LoweredModels are NOT
+// serialized — lowering is deterministic, so SaveModel stores the knobs and
+// LoadModel re-places the tables, producing a bit-identical pipeline
+// (asserted by tests/test_serialize.cpp and tests/test_control.cpp).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "compiler/compiler.hpp"
+
+namespace pegasus::control {
+
+/// Envelope magic ("PEGAREG1") and format version for the registry's
+/// on-disk artifact.
+inline constexpr std::uint64_t kRegistryArtifactMagic = 0x5045474152454731ull;
+inline constexpr std::uint32_t kRegistryArtifactVersion = 1;
+
+class ModelRegistry {
+ public:
+  using Snapshot = std::shared_ptr<const compiler::VersionedModel>;
+
+  /// Stamps `artifact` with `name` and the next version for that name
+  /// (starting at 1) and stores it. Returns the assigned version. Throws
+  /// std::invalid_argument when the artifact has no lowered model.
+  std::uint64_t Publish(const std::string& name,
+                        compiler::VersionedModel artifact);
+
+  /// nullptr when (name, version) was never published.
+  Snapshot Get(const std::string& name, std::uint64_t version) const;
+  /// Highest published version of `name`; nullptr for unknown names.
+  Snapshot Latest(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+  /// Ascending published versions of `name` (empty for unknown names).
+  std::vector<std::uint64_t> Versions(const std::string& name) const;
+  std::size_t size() const;
+
+  /// Writes the (name, version) artifact in the on-disk envelope format.
+  /// Throws std::out_of_range for unknown snapshots.
+  void SaveModel(std::ostream& os, const std::string& name,
+                 std::uint64_t version) const;
+
+  /// Reads an envelope written by SaveModel, re-lowers the model with the
+  /// stored options and stores it under its recorded (name, version).
+  /// Returns the restored snapshot. Throws std::runtime_error on a bad
+  /// envelope and std::invalid_argument when that (name, version) is
+  /// already published (loads are not idempotent — dedupe by Versions()
+  /// before re-hydrating from disk).
+  Snapshot LoadModel(std::istream& is);
+
+ private:
+  mutable std::mutex mu_;
+  /// name -> version -> snapshot. std::map keeps versions ordered so
+  /// Latest()/Versions() read off the back/whole map directly.
+  std::map<std::string, std::map<std::uint64_t, Snapshot>> models_;
+};
+
+}  // namespace pegasus::control

@@ -7,6 +7,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "core/stream_io.hpp"
+
 namespace pegasus::core {
 
 namespace {
@@ -263,17 +265,11 @@ std::size_t ClusterTree::Lookup(std::span<const float> x) const {
 
 namespace {
 
-template <typename T>
-void WritePod(std::ostream& os, const T& v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-
+// Shared helpers from core/stream_io.hpp; the local wrapper just pins the
+// loader name reported on truncation.
 template <typename T>
 T ReadPod(std::istream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!is) throw std::runtime_error("ClusterTree::Load: truncated stream");
-  return v;
+  return core::ReadPod<T>(is, "ClusterTree::Load");
 }
 
 }  // namespace

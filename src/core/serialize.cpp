@@ -4,6 +4,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "core/stream_io.hpp"
+
 namespace pegasus::core {
 
 namespace {
@@ -11,17 +13,11 @@ namespace {
 constexpr std::uint64_t kMagic = kModelArtifactMagic;
 constexpr std::uint32_t kVersion = kModelArtifactVersion;
 
-template <typename T>
-void WritePod(std::ostream& os, const T& v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-
+// Shared helpers from core/stream_io.hpp; the local wrapper just pins the
+// loader name reported on truncation.
 template <typename T>
 T ReadPod(std::istream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!is) throw std::runtime_error("CompiledModel::Load: truncated stream");
-  return v;
+  return core::ReadPod<T>(is, "CompiledModel::Load");
 }
 
 void WriteString(std::ostream& os, const std::string& s) {

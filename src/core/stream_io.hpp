@@ -1,0 +1,33 @@
+// POD stream helpers shared by every binary-artifact writer/reader
+// (core/serialize.cpp, core/fuzzy.cpp, control/registry.cpp). One
+// definition means one place to fix validation or byte-order handling —
+// the on-disk formats cannot silently diverge across readers.
+//
+// Values are written in native byte order (the artifacts are host-local
+// deployment files, not wire formats).
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace pegasus::core {
+
+template <typename T>
+inline void WritePod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+/// `what` names the loader in truncation errors, e.g. "ClusterTree::Load".
+template <typename T>
+inline T ReadPod(std::istream& is, const char* what) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) {
+    throw std::runtime_error(std::string(what) + ": truncated stream");
+  }
+  return v;
+}
+
+}  // namespace pegasus::core

@@ -72,6 +72,14 @@ ResourceReport Pipeline::Report() const {
   return r;
 }
 
+std::uint64_t Pipeline::Generation() const {
+  std::uint64_t g = 0;
+  for (const Stage& stage : stages_) {
+    for (const auto& table : stage.tables) g += table->generation();
+  }
+  return g;
+}
+
 bool Pipeline::FullySealed() const {
   for (const Stage& stage : stages_) {
     for (const auto& table : stage.tables) {

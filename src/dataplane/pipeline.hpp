@@ -64,6 +64,13 @@ class Pipeline {
   /// this; the check is the runtime's seam for asserting it.)
   bool FullySealed() const;
 
+  /// Sum of the placed tables' generation counters — a cheap version stamp
+  /// of the whole dataplane program. A long-lived reader (InferenceEngine)
+  /// snapshots it at construction and asserts it unchanged in debug builds:
+  /// any AddEntry/Seal on a placed table moves the stamp, turning a silent
+  /// use-after-invalidate into a loud failure.
+  std::uint64_t Generation() const;
+
   /// Aggregate match-index build stats across all placed tables.
   struct IndexReport {
     std::size_t indexed_tables = 0;

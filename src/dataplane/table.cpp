@@ -1,6 +1,7 @@
 #include "dataplane/table.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 namespace pegasus::dataplane {
@@ -60,6 +61,7 @@ void MatchActionTable::AddEntry(TableEntry entry) {
   // Any mutation invalidates the compiled index until the next Seal().
   sealed_ = false;
   index_.reset();
+  ++generation_;
 }
 
 void MatchActionTable::Seal() {
@@ -69,12 +71,15 @@ void MatchActionTable::Seal() {
         std::span<const TableEntry>(entries_), kind_ == MatchKind::kTernary);
   }
   sealed_ = true;
+  ever_sealed_ = true;
+  ++generation_;
 }
 
 void MatchActionTable::SetMissProgram(std::vector<ActionOp> ops,
                                       std::vector<std::int64_t> data) {
   miss_program_ = std::move(ops);
   miss_data_ = std::move(data);
+  ++generation_;
 }
 
 namespace {
@@ -232,6 +237,9 @@ void MatchActionTable::RunProgram(Phv& phv, const std::vector<ActionOp>& ops,
 }
 
 bool MatchActionTable::Apply(Phv& phv) const {
+  assert(!invalidated() &&
+         "MatchActionTable::Apply after seal invalidation — re-Seal() "
+         "before serving");
   if (kind_ != MatchKind::kExact && index_) {
     const std::int32_t pos = IndexedFind(phv);
     if (pos != MatchIndex::kMiss) {
@@ -250,6 +258,9 @@ bool MatchActionTable::Apply(Phv& phv) const {
 }
 
 std::size_t MatchActionTable::ApplyBatch(std::span<Phv> batch) const {
+  assert(!invalidated() &&
+         "MatchActionTable::ApplyBatch after seal invalidation — re-Seal() "
+         "before serving");
   if (kind_ == MatchKind::kExact) {
     // Exact lookups are already O(1) hash probes; per-packet is fine.
     std::size_t hits = 0;

@@ -95,6 +95,17 @@ class MatchActionTable {
   /// their hash index is maintained incrementally by AddEntry.
   void Seal();
   bool sealed() const { return sealed_; }
+  /// True when a previously sealed table was mutated and not re-sealed —
+  /// the use-after-invalidate hazard window. A live InferenceEngine holding
+  /// the pipeline would silently serve the linear fallback here, so the
+  /// serving paths (Apply/ApplyBatch) assert !invalidated() in debug
+  /// builds; Lookup stays usable as the linear-scan oracle for tests.
+  bool invalidated() const { return ever_sealed_ && !sealed_; }
+  /// Monotonic generation counter: bumped by every mutation (AddEntry,
+  /// SetMissProgram) and every (non-idempotent) Seal(). Snapshot it when
+  /// handing the table to a long-lived reader — a changed generation means
+  /// the reader's view is stale. Pipeline::Generation() aggregates it.
+  std::uint64_t generation() const { return generation_; }
   /// Build/footprint stats of the compiled index; nullptr when the table
   /// is unsealed, exact, or too small to index.
   const MatchIndexStats* index_stats() const {
@@ -170,6 +181,8 @@ class MatchActionTable {
   std::uint64_t exact_hash_mask_ = ~0ull;
   // Compiled ternary/range index (sealed lifecycle).
   bool sealed_ = false;
+  bool ever_sealed_ = false;
+  std::uint64_t generation_ = 0;
   std::unique_ptr<MatchIndex> index_;
 };
 

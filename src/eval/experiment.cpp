@@ -118,6 +118,35 @@ StreamRun ServeTrace(runtime::StreamServer& server,
   return run;
 }
 
+StreamRun ServeTraceWithSwap(
+    runtime::StreamServer& server,
+    std::span<const traffic::TracePacket> trace, std::size_t swap_at,
+    std::shared_ptr<const runtime::LoweredModel> model,
+    std::uint64_t version) {
+  swap_at = std::min(swap_at, trace.size());
+  StreamRun run;
+  const bool mt = server.options().multithreaded;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (mt) server.Start();
+  for (std::size_t i = 0; i < swap_at; ++i) server.Push(trace[i]);
+  server.SwapModel(std::move(model), version);
+  for (std::size_t i = swap_at; i < trace.size(); ++i) server.Push(trace[i]);
+  if (mt) {
+    server.Stop();
+  } else {
+    server.Flush();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  run.decisions = server.TakeDecisions();
+  run.stats = server.Stats();
+  run.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  run.packets_per_sec =
+      run.wall_ms > 0.0
+          ? static_cast<double>(trace.size()) / (run.wall_ms / 1000.0)
+          : 0.0;
+  return run;
+}
+
 ClassificationReport EvaluateDecisions(
     const std::vector<runtime::StreamDecision>& decisions,
     std::size_t num_classes) {

@@ -80,6 +80,17 @@ struct StreamRun {
 StreamRun ServeTrace(runtime::StreamServer& server,
                      std::span<const traffic::TracePacket> trace);
 
+/// The retrain-and-push scenario: replays `trace`, issuing
+/// server.SwapModel(model, version) after pushing the first `swap_at`
+/// packets — every earlier packet is decided by the old version, every
+/// later one by `model` (decisions carry the version that produced them).
+/// Works in both server modes; `swap_at` is clamped to the trace length.
+StreamRun ServeTraceWithSwap(
+    runtime::StreamServer& server,
+    std::span<const traffic::TracePacket> trace, std::size_t swap_at,
+    std::shared_ptr<const runtime::LoweredModel> model,
+    std::uint64_t version);
+
 /// Classification report over per-packet streaming decisions (labels and
 /// predictions carried in each decision).
 ClassificationReport EvaluateDecisions(

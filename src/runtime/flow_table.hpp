@@ -80,6 +80,11 @@ class FlowTable {
   std::size_t max_probe() const { return max_probe_; }
   const FlowTableStats& stats() const { return stats_; }
 
+  /// Zeroes the counters; resident entries (and their LRU stamps) are
+  /// untouched. Lets the StreamServer report per-phase stats — e.g. before
+  /// vs after a model swap — without disturbing live flow state.
+  void ResetStats() { stats_ = {}; }
+
   /// Looks the flow up without inserting. Returns nullptr when absent (and
   /// counts a miss). A hit refreshes the entry's LRU stamp.
   Value* Find(const dataplane::FlowKey& key) {

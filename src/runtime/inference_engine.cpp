@@ -1,6 +1,7 @@
 #include "runtime/inference_engine.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
@@ -26,9 +27,14 @@ InferenceEngine::InferenceEngine(const LoweredModel& model,
     pool_.emplace_back(model.layout());
   }
   raw_scratch_.resize(batch_capacity * model.OutputDim());
+  pipeline_generation_ = model.pipeline().Generation();
 }
 
 void InferenceEngine::RunChunk(const float* rows, std::size_t n) {
+  // Use-after-invalidate guard: the pipeline must not have been resealed
+  // or mutated since this engine snapshotted it.
+  assert(model_->pipeline().Generation() == pipeline_generation_ &&
+         "InferenceEngine: pipeline mutated under a live engine");
   const auto& input_fields = model_->input_fields();
   const auto& parser_inits = model_->parser_inits();
   const std::size_t in_dim = input_fields.size();
@@ -46,7 +52,10 @@ void InferenceEngine::RunChunk(const float* rows, std::size_t n) {
       phv.Set(field, value);
     }
   }
-  model_->pipeline().ProcessBatch(std::span<dataplane::Phv>(pool_.data(), n));
+  stats_.table_hits +=
+      model_->pipeline().ProcessBatch(std::span<dataplane::Phv>(pool_.data(), n));
+  stats_.packets += n;
+  ++stats_.chunks;
 }
 
 void InferenceEngine::InferRaw(std::span<const float> features, std::size_t n,

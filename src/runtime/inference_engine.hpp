@@ -32,12 +32,31 @@ class InferenceEngine {
  public:
   static constexpr std::size_t kDefaultBatchCapacity = 64;
 
+  /// Cumulative work counters, aggregated by StreamServerStats per shard.
+  /// `chunks` counts pipeline batch launches (<= batch_capacity packets
+  /// each); `table_hits` is summed over Pipeline::ProcessBatch.
+  struct Stats {
+    std::uint64_t packets = 0;
+    std::uint64_t chunks = 0;
+    std::uint64_t table_hits = 0;
+
+    Stats& operator+=(const Stats& o) {
+      packets += o.packets;
+      chunks += o.chunks;
+      table_hits += o.table_hits;
+      return *this;
+    }
+  };
+
   explicit InferenceEngine(const LoweredModel& model,
                            std::size_t batch_capacity = kDefaultBatchCapacity);
 
   std::size_t batch_capacity() const { return pool_.size(); }
   std::size_t input_dim() const { return model_->InputDim(); }
   std::size_t output_dim() const { return model_->OutputDim(); }
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
 
   /// Batched raw inference. `features` holds `n` rows of input_dim floats
   /// (row-major); `out_raw` must hold n * output_dim words. Batches larger
@@ -64,6 +83,11 @@ class InferenceEngine {
   std::vector<dataplane::Phv> pool_;
   /// Per-chunk raw outputs for the dequantizing Infer path.
   std::vector<std::int64_t> raw_scratch_;
+  Stats stats_;
+  /// Pipeline::Generation() snapshot from construction; RunChunk asserts it
+  /// unchanged in debug builds (use-after-invalidate detection — a placed
+  /// table mutated under a live engine).
+  std::uint64_t pipeline_generation_ = 0;
 };
 
 }  // namespace pegasus::runtime

@@ -8,6 +8,7 @@
 #include <bit>
 #include <cstddef>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace pegasus::runtime {
@@ -27,24 +28,30 @@ class SpscQueue {
 
   std::size_t capacity() const { return buffer_.size(); }
 
-  /// Producer side. Returns false when full.
-  bool TryPush(const T& v) {
+  /// Producer side. Returns false when full (the element is untouched, so
+  /// callers can retry the same value). Pass an rvalue to move elements
+  /// carrying owning handles (the StreamServer's in-band swap items move
+  /// their shared_ptr instead of bumping refcounts through the ring).
+  bool TryPush(T&& v) {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - head_.load(std::memory_order_acquire) == buffer_.size()) {
       return false;
     }
-    buffer_[tail & mask_] = v;
+    buffer_[tail & mask_] = std::move(v);
     tail_.store(tail + 1, std::memory_order_release);
     return true;
   }
+  bool TryPush(const T& v) { return TryPush(T(v)); }
 
-  /// Consumer side. Returns false when empty.
+  /// Consumer side. Returns false when empty. Moves the slot out, so
+  /// elements holding owning handles (shared_ptr) leave the ring empty
+  /// behind them instead of staying pinned until the slot is overwritten.
   bool TryPop(T& out) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
     if (head == tail_.load(std::memory_order_acquire)) {
       return false;
     }
-    out = buffer_[head & mask_];
+    out = std::move(buffer_[head & mask_]);
     head_.store(head + 1, std::memory_order_release);
     return true;
   }

@@ -1,5 +1,6 @@
 #include "runtime/stream_server.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 
@@ -55,12 +56,31 @@ struct PendingMeta {
   std::int32_t label = 0;
 };
 
+std::shared_ptr<const ServingState> MakeServingState(
+    std::shared_ptr<const LoweredModel> model, std::uint64_t version) {
+  auto state = std::make_shared<ServingState>();
+  state->version = version;
+  state->model = std::move(model);
+  return state;
+}
+
 }  // namespace
 
+/// One ring element in multi-threaded mode: either a packet or an in-band
+/// control item (`swap != nullptr`) that retires the shard's model at
+/// exactly this position in the shard's packet sequence.
+struct StreamServer::ShardItem {
+  traffic::TracePacket packet;
+  std::shared_ptr<const ServingState> swap;
+};
+
 struct StreamServer::Shard {
-  Shard(const LoweredModel& model, const StreamServerOptions& opts,
-        std::size_t dim, std::size_t out_dim)
-      : engine(model, opts.batch_size),
+  Shard(std::shared_ptr<const ServingState> state,
+        const StreamServerOptions& opts, std::size_t dim)
+      : serving(std::move(state)),
+        engine(std::make_unique<InferenceEngine>(*serving->model,
+                                                 opts.batch_size)),
+        out_dim(serving->model->OutputDim()),
         features(opts.batch_size * dim),
         logits(opts.batch_size * out_dim),
         meta(opts.batch_size) {
@@ -75,13 +95,15 @@ struct StreamServer::Shard {
           opts.flows_per_shard, opts.max_probe);
     }
     if (opts.multithreaded) {
-      queue = std::make_unique<SpscQueue<traffic::TracePacket>>(
-          opts.queue_capacity);
+      queue = std::make_unique<SpscQueue<ShardItem>>(opts.queue_capacity);
     }
   }
 
   const FlowTableStats& TableStats() const {
     return table ? table->stats() : raw_table->stats();
+  }
+  void ResetTableStats() {
+    table ? table->ResetStats() : raw_table->ResetStats();
   }
   std::size_t FlowsResident() const {
     return table ? table->size() : raw_table->size();
@@ -93,7 +115,15 @@ struct StreamServer::Shard {
 
   std::unique_ptr<FlowTable<traffic::OnlineFlowState>> table;
   std::unique_ptr<FlowTable<traffic::OnlineFlowStateRaw>> raw_table;
-  InferenceEngine engine;
+  /// Epoch handle + the engine built over it. Owned by the worker thread
+  /// while running; swapped together at packet boundaries (ApplySwap).
+  std::shared_ptr<const ServingState> serving;
+  std::unique_ptr<InferenceEngine> engine;
+  /// Work counters of engines retired by swaps; Stats() reports
+  /// engine_carry + the current engine's counters so a run containing
+  /// swaps still accounts every inferred packet.
+  InferenceEngine::Stats engine_carry;
+  std::size_t out_dim = 0;
   std::vector<float> features;  // batch_size x dim rows
   std::vector<float> logits;    // batch_size x out_dim
   std::vector<PendingMeta> meta;
@@ -103,31 +133,40 @@ struct StreamServer::Shard {
   std::uint64_t warmup = 0;
   std::uint64_t batches = 0;
   std::uint64_t decided = 0;
+  std::uint64_t swaps = 0;
+  double swap_wall_ms = 0.0;
   /// Only allocated in multi-threaded mode.
-  std::unique_ptr<SpscQueue<traffic::TracePacket>> queue;
+  std::unique_ptr<SpscQueue<ShardItem>> queue;
   std::thread worker;
 };
 
-StreamServer::StreamServer(const LoweredModel& model, StreamServerOptions opts)
-    : model_(&model),
-      opts_(opts),
-      dim_(FeatureDim(opts.feature)),
-      out_dim_(model.OutputDim()) {
+StreamServer::StreamServer(std::shared_ptr<const LoweredModel> model,
+                           StreamServerOptions opts, std::uint64_t version)
+    : opts_(opts), dim_(FeatureDim(opts.feature)) {
+  if (model == nullptr) {
+    throw std::invalid_argument("StreamServer: null model");
+  }
   if (opts_.num_shards == 0) {
     throw std::invalid_argument("StreamServer: zero shards");
   }
   if (opts_.batch_size == 0) {
     throw std::invalid_argument("StreamServer: zero batch size");
   }
-  if (model.InputDim() != dim_) {
+  if (model->InputDim() != dim_) {
     throw std::invalid_argument(
         "StreamServer: model input dim does not match the feature family");
   }
+  serving_ = MakeServingState(std::move(model), version);
   shards_.reserve(opts_.num_shards);
   for (std::size_t i = 0; i < opts_.num_shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(model, opts_, dim_, out_dim_));
+    shards_.push_back(std::make_unique<Shard>(serving_, opts_, dim_));
   }
 }
+
+StreamServer::StreamServer(const LoweredModel& model, StreamServerOptions opts)
+    : StreamServer(
+          std::shared_ptr<const LoweredModel>(std::shared_ptr<void>{}, &model),
+          opts) {}
 
 StreamServer::~StreamServer() {
   if (running_) Stop();
@@ -145,9 +184,67 @@ void StreamServer::Push(const traffic::TracePacket& packet) {
     Process(shard, packet);
     return;
   }
-  while (!shard.queue->TryPush(packet)) {
+  ShardItem item;
+  item.packet = packet;
+  while (!shard.queue->TryPush(std::move(item))) {
     std::this_thread::yield();  // shard backlogged; apply backpressure
   }
+}
+
+void StreamServer::SwapModel(std::shared_ptr<const LoweredModel> model,
+                             std::uint64_t version) {
+  if (model == nullptr) {
+    throw std::invalid_argument("StreamServer::SwapModel: null model");
+  }
+  if (model->InputDim() != dim_) {
+    throw std::invalid_argument(
+        "StreamServer::SwapModel: model input dim does not match the "
+        "serving feature family");
+  }
+  if (version <= serving_->version) {
+    throw std::invalid_argument(
+        "StreamServer::SwapModel: version must increase (active v" +
+        std::to_string(serving_->version) + ", got v" +
+        std::to_string(version) + ")");
+  }
+  auto next = MakeServingState(std::move(model), version);
+  serving_ = next;
+  if (!running_) {
+    // Synchronous apply: the caller owns the shards, and "now" is a packet
+    // boundary by definition in single-threaded mode.
+    for (auto& shard : shards_) ApplySwap(*shard, next);
+    return;
+  }
+  // In-band apply: the control item is ordered after every packet already
+  // enqueued and before everything pushed later — the same swap point the
+  // single-threaded path applies, per shard.
+  for (auto& shard : shards_) {
+    ShardItem item;
+    item.swap = next;
+    while (!shard->queue->TryPush(std::move(item))) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void StreamServer::ApplySwap(Shard& shard,
+                             std::shared_ptr<const ServingState> next) {
+  // Drain the partial batch through the outgoing engine so no decision is
+  // lost, then rebuild the engine over the incoming model. Flow state is
+  // untouched — feature extraction is model-independent. The recorded gap
+  // covers both: the shard serves nothing from flush start to rebuild end.
+  const auto t0 = std::chrono::steady_clock::now();
+  FlushShard(shard);
+  shard.engine_carry += shard.engine->stats();
+  shard.engine = std::make_unique<InferenceEngine>(*next->model,
+                                                   opts_.batch_size);
+  shard.out_dim = next->model->OutputDim();
+  shard.logits.resize(opts_.batch_size * shard.out_dim);
+  shard.serving = std::move(next);
+  const auto t1 = std::chrono::steady_clock::now();
+  ++shard.swaps;
+  shard.swap_wall_ms +=
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
 void StreamServer::Process(Shard& shard, const traffic::TracePacket& packet) {
@@ -184,13 +281,14 @@ void StreamServer::Process(Shard& shard, const traffic::TracePacket& packet) {
 void StreamServer::FlushShard(Shard& shard) {
   const std::size_t n = shard.pending;
   if (n == 0) return;
-  shard.engine.Infer(
+  const std::size_t out_dim = shard.out_dim;
+  shard.engine->Infer(
       std::span<const float>(shard.features.data(), n * dim_), n,
-      std::span<float>(shard.logits.data(), n * out_dim_));
+      std::span<float>(shard.logits.data(), n * out_dim));
   for (std::size_t i = 0; i < n; ++i) {
-    const float* row = shard.logits.data() + i * out_dim_;
+    const float* row = shard.logits.data() + i * out_dim;
     std::size_t best = 0;
-    for (std::size_t d = 1; d < out_dim_; ++d) {
+    for (std::size_t d = 1; d < out_dim; ++d) {
       if (row[d] > row[best]) best = d;
     }
     StreamDecision decision;
@@ -200,6 +298,7 @@ void StreamServer::FlushShard(Shard& shard) {
     decision.label = shard.meta[i].label;
     decision.predicted = static_cast<std::int32_t>(best);
     decision.score = row[best];
+    decision.version = shard.serving->version;
     shard.decisions.push_back(decision);
   }
   ++shard.batches;
@@ -237,15 +336,22 @@ void StreamServer::Stop() {
 }
 
 void StreamServer::WorkerLoop(Shard& shard) {
-  traffic::TracePacket packet;
+  const auto handle = [this, &shard](ShardItem& item) {
+    if (item.swap) {
+      ApplySwap(shard, std::move(item.swap));
+    } else {
+      Process(shard, item.packet);
+    }
+  };
+  ShardItem item;
   for (;;) {
-    if (shard.queue->TryPop(packet)) {
-      Process(shard, packet);
+    if (shard.queue->TryPop(item)) {
+      handle(item);
       continue;
     }
     if (closed_.load(std::memory_order_acquire)) {
       // The producer has stopped; drain what raced in, then exit.
-      while (shard.queue->TryPop(packet)) Process(shard, packet);
+      while (shard.queue->TryPop(item)) handle(item);
       break;
     }
     std::this_thread::yield();
@@ -294,17 +400,40 @@ StreamServerStats StreamServer::Stats() const {
   StreamServerStats stats;
   const FlowStateSpec spec = OnlineFlowStateSpec(opts_.feature);
   stats.stateful_bits_per_flow = spec.BitsPerFlow();
+  stats.active_version = serving_->version;
   for (const auto& shard : shards_) {
     stats.packets += shard->packets;
     stats.warmup += shard->warmup;
     stats.decisions += shard->decided;
     stats.batches += shard->batches;
     stats.table += shard->TableStats();
+    stats.engine += shard->engine_carry;
+    stats.engine += shard->engine->stats();
     stats.flows_resident += shard->FlowsResident();
     stats.flow_table_sram_bits +=
         shard->TableSramBits(stats.stateful_bits_per_flow);
+    stats.swaps += shard->swaps;
+    stats.swap_wall_ms += shard->swap_wall_ms;
   }
   return stats;
+}
+
+void StreamServer::ResetStats() {
+  if (running_) {
+    throw std::logic_error(
+        "StreamServer::ResetStats: workers are running (Stop first)");
+  }
+  for (auto& shard : shards_) {
+    shard->packets = 0;
+    shard->warmup = 0;
+    shard->batches = 0;
+    shard->decided = 0;
+    shard->swaps = 0;
+    shard->swap_wall_ms = 0.0;
+    shard->ResetTableStats();
+    shard->engine_carry = {};
+    shard->engine->ResetStats();
+  }
 }
 
 }  // namespace pegasus::runtime

@@ -31,6 +31,23 @@
 // tests/test_stream_server.cpp. Under eviction pressure a re-inserted flow
 // restarts its window (counted in the stats), exactly like a switch whose
 // register slot was reclaimed.
+//
+// Hitless model hot-swap (the control plane's retrain-and-push story):
+// shards serve through an epoch/RCU-style shared_ptr<const ServingState>
+// handle. SwapModel(model, version) retires the active model at a *packet
+// boundary*: every packet pushed before the call is decided by the old
+// version, every packet after by the new one. In single-threaded mode the
+// swap applies synchronously between Push calls; in multi-threaded mode it
+// rides each shard's SPSC ring as an in-band control item, so a shard
+// applies it after exactly the packets enqueued before the call — the swap
+// point in every per-shard (and therefore per-flow) packet sequence is
+// identical in both modes, and MT == ST decision equality holds across the
+// swap. Per-flow state in the FlowTables survives (feature extraction is
+// model-independent): a flow whose window was full keeps producing a
+// decision per packet straight through the swap, with no re-warm-up. The
+// shard flushes its partial batch through the outgoing engine first, so no
+// decision is lost or reordered; each decision carries the version that
+// produced it.
 #pragma once
 
 #include <atomic>
@@ -88,6 +105,18 @@ struct StreamDecision {
   /// The winning output value (top logit, or the anomaly score for
   /// 1-output models such as the AutoEncoder).
   float score = 0.0f;
+  /// Model version that produced this decision (see SwapModel).
+  std::uint64_t version = 0;
+};
+
+/// The immutable per-epoch serving snapshot shards point at. A swap
+/// publishes a new ServingState; shards drop their reference at the next
+/// packet boundary and the old model is reclaimed when the last shard (and
+/// the control plane's registry) lets go — classic RCU grace period, with
+/// shared_ptr as the epoch counter.
+struct ServingState {
+  std::uint64_t version = 0;
+  std::shared_ptr<const LoweredModel> model;
 };
 
 struct StreamServerStats {
@@ -99,18 +128,39 @@ struct StreamServerStats {
   std::uint64_t batches = 0;
   /// Aggregated over all shards.
   FlowTableStats table;
+  /// Batched-engine work counters, aggregated over all shards and across
+  /// model swaps (engines retired by SwapModel fold their counters into a
+  /// per-shard carry, so every inferred packet stays accounted).
+  InferenceEngine::Stats engine;
   std::size_t flows_resident = 0;
   /// Register accounting: logical bits per flow and the SRAM footprint of
   /// all shards' flow tables (dataplane::FlowTableSramBits).
   std::size_t stateful_bits_per_flow = 0;
   std::size_t flow_table_sram_bits = 0;
+  /// Model lifecycle: swap applications summed over shards (one SwapModel
+  /// call = num_shards applications) and the total wall time shards spent
+  /// flushing + rebuilding engines, i.e. the per-shard serving gap.
+  std::uint64_t swaps = 0;
+  double swap_wall_ms = 0.0;
+  /// Version of the model the server is currently serving.
+  std::uint64_t active_version = 0;
+
+  /// Zeroes every counter (a fresh value-initialized snapshot).
+  void Reset() { *this = {}; }
 };
 
 class StreamServer {
  public:
-  /// The model must consume FeatureDim(opts.feature) inputs; throws
-  /// std::invalid_argument otherwise. Borrows `model` (must outlive the
-  /// server).
+  /// Serves `model` as version `version`. The model must consume
+  /// FeatureDim(opts.feature) inputs; throws std::invalid_argument
+  /// otherwise. Shared ownership keeps the artifact alive across swaps
+  /// even if the registry drops it.
+  StreamServer(std::shared_ptr<const LoweredModel> model,
+               StreamServerOptions opts = {}, std::uint64_t version = 1);
+
+  /// Borrowing convenience (pre-lifecycle API): `model` must outlive the
+  /// server AND any model published later via SwapModel must not be needed
+  /// past the server either — prefer the shared_ptr overload.
   explicit StreamServer(const LoweredModel& model,
                         StreamServerOptions opts = {});
   ~StreamServer();
@@ -120,11 +170,24 @@ class StreamServer {
 
   const StreamServerOptions& options() const { return opts_; }
   std::size_t num_shards() const { return shards_.size(); }
+  /// Version most recently published to the shards (shards in MT mode may
+  /// still be draining packets enqueued before the swap).
+  std::uint64_t active_version() const { return serving_->version; }
 
   /// Routes one packet to its shard. Single-threaded mode processes it
   /// synchronously; multi-threaded mode (after Start()) enqueues it,
   /// spinning briefly if the shard's ring is full.
   void Push(const traffic::TracePacket& packet);
+
+  /// Hitless hot swap: every packet pushed before this call is decided by
+  /// the previous model, every packet pushed after by `model`; partial
+  /// batches flush through the outgoing engine, per-flow state survives.
+  /// Call from the producer thread (the one calling Push). Requires the
+  /// same input dim as the serving feature family (the output dim may
+  /// change) and a strictly increasing version; throws
+  /// std::invalid_argument otherwise.
+  void SwapModel(std::shared_ptr<const LoweredModel> model,
+                 std::uint64_t version);
 
   /// Flushes every shard's partial batch (single-threaded mode; in
   /// multi-threaded mode Stop() flushes instead).
@@ -148,19 +211,30 @@ class StreamServer {
   /// running — reading shard counters mid-run would race the workers.
   StreamServerStats Stats() const;
 
+  /// Zeroes the per-shard packet/decision/batch/swap counters, the flow
+  /// tables' stats and the engines' work counters — resident flow state and
+  /// the active model stay untouched, so callers can report per-phase
+  /// numbers (e.g. before vs after a swap). Throws std::logic_error while
+  /// workers are running.
+  void ResetStats();
+
  private:
   struct Shard;
+  struct ShardItem;
 
   Shard& ShardOf(std::uint64_t digest);
   void Process(Shard& shard, const traffic::TracePacket& packet);
   void FlushShard(Shard& shard);
+  void ApplySwap(Shard& shard, std::shared_ptr<const ServingState> next);
   void WorkerLoop(Shard& shard);
 
-  const LoweredModel* model_;
   StreamServerOptions opts_;
   traffic::OnlineFeatureExtractor extractor_;
   std::size_t dim_ = 0;
-  std::size_t out_dim_ = 0;
+  /// Producer-side view of the active epoch (shards hold their own
+  /// references; in MT mode the handle reaches them in-band through the
+  /// rings, so no cross-thread load happens on the hot path).
+  std::shared_ptr<const ServingState> serving_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> closed_{false};
   bool running_ = false;

@@ -1,0 +1,292 @@
+// Control-plane model lifecycle (ISSUE 4):
+//
+//  * CompileVersioned freezes the same artifact CompileToSwitch produces
+//    (bit-identical inference, same resource bill).
+//  * ModelRegistry stamps monotonic per-name versions, hands out immutable
+//    snapshots, and its on-disk envelope round-trips to a bit-identical
+//    artifact (serialize the CompiledModel + lowering knobs, re-lower).
+//  * UpdatePlanner classifies table diffs (unchanged / entry-delta /
+//    reseal) and costs them in bytes.
+//  * Co-placement admits model sets that fit one SwitchModel budget and
+//    rejects over-subscription with a structured AdmissionError.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "control/planner.hpp"
+#include "control/registry.hpp"
+#include "core/operators.hpp"
+#include "runtime/inference_engine.hpp"
+
+namespace core = pegasus::core;
+namespace ctrl = pegasus::control;
+namespace comp = pegasus::compiler;
+namespace rt = pegasus::runtime;
+namespace dp = pegasus::dataplane;
+
+namespace {
+
+core::Program BuildProgram(std::uint64_t seed, std::size_t leaves = 24) {
+  core::ProgramBuilder b(4);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> wdist(-0.05f, 0.05f);
+  std::vector<float> w(4 * 3);
+  for (float& v : w) v = wdist(rng);
+  core::ValueId v =
+      core::AppendFullyConnected(b, b.input(), w, 4, 3, {}, 2, leaves);
+  v = b.Map(v, core::MakeReLU(3), leaves);
+  return b.Finish(v);
+}
+
+std::vector<float> TrainInputs(std::uint64_t seed, std::size_t n = 1500,
+                               std::size_t dim = 4) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(0.0f, 255.0f);
+  std::vector<float> x(n * dim);
+  for (float& f : x) f = std::floor(dist(rng));
+  return x;
+}
+
+comp::VersionedModel Compile(std::uint64_t weight_seed,
+                             std::uint64_t data_seed,
+                             const core::CompileOptions& copts = {},
+                             const rt::LoweringOptions& lopts = {}) {
+  const auto x = TrainInputs(data_seed);
+  return comp::CompileVersioned(BuildProgram(weight_seed), x, 1500, copts,
+                                lopts);
+}
+
+}  // namespace
+
+TEST(CompileVersioned, MatchesCompileToSwitchBitForBit) {
+  const auto x = TrainInputs(11);
+  const auto vm = comp::CompileVersioned(BuildProgram(3), x, 1500);
+  const auto ref = comp::CompileToSwitch(BuildProgram(3), x, 1500);
+
+  EXPECT_EQ(vm.version, 0u) << "unpublished artifacts carry version 0";
+  ASSERT_NE(vm.compiled, nullptr);
+  ASSERT_NE(vm.lowered, nullptr);
+  EXPECT_EQ(vm.report.sram_bits, ref.lowered.Report().sram_bits);
+  EXPECT_EQ(vm.report.tcam_bits, ref.lowered.Report().tcam_bits);
+  EXPECT_EQ(vm.report.stages_used, ref.lowered.Report().stages_used);
+
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<float> dist(0.0f, 255.0f);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<float> in{std::floor(dist(rng)), std::floor(dist(rng)),
+                                std::floor(dist(rng)), std::floor(dist(rng))};
+    EXPECT_EQ(vm.lowered->InferRaw(in), ref.lowered.InferRaw(in));
+  }
+}
+
+TEST(ModelRegistry, PublishesMonotonicPerNameVersions) {
+  ctrl::ModelRegistry reg;
+  EXPECT_EQ(reg.Publish("clf", Compile(1, 2)), 1u);
+  EXPECT_EQ(reg.Publish("clf", Compile(3, 2)), 2u);
+  EXPECT_EQ(reg.Publish("anomaly", Compile(4, 2)), 1u);
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(reg.Names(), (std::vector<std::string>{"anomaly", "clf"}));
+  EXPECT_EQ(reg.Versions("clf"), (std::vector<std::uint64_t>{1, 2}));
+
+  const auto latest = reg.Latest("clf");
+  ASSERT_NE(latest, nullptr);
+  EXPECT_EQ(latest->name, "clf");
+  EXPECT_EQ(latest->version, 2u);
+  const auto v1 = reg.Get("clf", 1);
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v1->version, 1u);
+  EXPECT_EQ(reg.Get("clf", 3), nullptr);
+  EXPECT_EQ(reg.Latest("nope"), nullptr);
+
+  // Snapshots are immutable shared state: the registry dropping a model
+  // must not invalidate a held snapshot (RCU-style retirement).
+  EXPECT_THROW(reg.Publish("bad", comp::VersionedModel{}),
+               std::invalid_argument);
+}
+
+TEST(ModelRegistry, OnDiskEnvelopeRoundTripsBitIdentical) {
+  ctrl::ModelRegistry reg;
+  rt::LoweringOptions lopts;
+  lopts.stateful_bits_per_flow = 184;
+  lopts.max_ternary_entries_per_table = 512;
+  reg.Publish("clf", Compile(7, 8, {}, lopts));
+
+  std::stringstream buf;
+  reg.SaveModel(buf, "clf", 1);
+
+  ctrl::ModelRegistry other;
+  const auto restored = other.LoadModel(buf);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->name, "clf");
+  EXPECT_EQ(restored->version, 1u);
+  EXPECT_EQ(restored->lowering.stateful_bits_per_flow, 184u);
+  EXPECT_EQ(restored->lowering.max_ternary_entries_per_table, 512u);
+
+  const auto orig = reg.Get("clf", 1);
+  EXPECT_EQ(restored->report.sram_bits, orig->report.sram_bits);
+  EXPECT_EQ(restored->report.tcam_bits, orig->report.tcam_bits);
+  EXPECT_EQ(restored->report.stages_used, orig->report.stages_used);
+  EXPECT_EQ(restored->report.stateful_bits_per_flow,
+            orig->report.stateful_bits_per_flow);
+
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<float> dist(0.0f, 255.0f);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<float> in{std::floor(dist(rng)), std::floor(dist(rng)),
+                                std::floor(dist(rng)), std::floor(dist(rng))};
+    EXPECT_EQ(restored->lowered->InferRaw(in), orig->lowered->InferRaw(in));
+  }
+
+  // Duplicate (name, version) load is rejected; garbage is rejected.
+  std::stringstream again;
+  reg.SaveModel(again, "clf", 1);
+  EXPECT_THROW(other.LoadModel(again), std::invalid_argument);
+  std::stringstream garbage("definitely not an artifact");
+  EXPECT_THROW(other.LoadModel(garbage), std::runtime_error);
+  EXPECT_THROW(reg.SaveModel(buf, "clf", 99), std::out_of_range);
+}
+
+TEST(UpdatePlanner, IdenticalCompilesPlanToAllUnchanged) {
+  ctrl::ModelRegistry reg;
+  reg.Publish("clf", Compile(1, 2));
+  reg.Publish("clf", Compile(1, 2));  // same weights, same data
+  const auto plan = ctrl::PlanUpdate(*reg.Get("clf", 1), *reg.Get("clf", 2));
+  EXPECT_EQ(plan.from_version, 1u);
+  EXPECT_EQ(plan.to_version, 2u);
+  EXPECT_FALSE(plan.structure_changed);
+  ASSERT_GT(plan.tables.size(), 0u);
+  EXPECT_EQ(plan.unchanged, plan.tables.size());
+  EXPECT_EQ(plan.entry_delta, 0u);
+  EXPECT_EQ(plan.reseal, 0u);
+  EXPECT_EQ(plan.total_bytes_to_push, 0u);
+}
+
+TEST(UpdatePlanner, RefinedOutputsPlanToEntryDeltas) {
+  // Same program, same training data, refine_outputs toggled: the
+  // quantization plan and the tree (fitted on the input distribution) are
+  // identical, only the stored leaf output words move — the entry-delta
+  // case. The map must be nonlinear (mean f(x) != f(centroid)); for linear
+  // maps §4.4 refinement is a no-op and the plan correctly says unchanged.
+  auto build = [] {
+    core::ProgramBuilder b(4);
+    core::MapFunction sq;
+    sq.name = "square";
+    sq.in_dim = 4;
+    sq.out_dim = 2;
+    sq.fn = [](std::span<const float> x) {
+      return std::vector<float>{x[0] * x[0] / 255.0f + x[1],
+                                x[2] * x[2] / 255.0f + x[3]};
+    };
+    return b.Finish(b.Map(b.input(), std::move(sq), 24));
+  };
+  core::CompileOptions with;
+  core::CompileOptions without;
+  without.refine_outputs = false;
+  const auto x = TrainInputs(2);
+  const auto a = comp::CompileVersioned(build(), x, 1500, with);
+  const auto b = comp::CompileVersioned(build(), x, 1500, without);
+  const auto plan = ctrl::PlanUpdate(a, b);
+  EXPECT_FALSE(plan.structure_changed);
+  EXPECT_GT(plan.entry_delta, 0u);
+  EXPECT_GT(plan.total_bytes_to_push, 0u);
+  for (const auto& u : plan.tables) {
+    if (u.kind == ctrl::TableUpdateKind::kEntryDelta) {
+      EXPECT_GT(u.changed_leaves, 0u);
+      EXPECT_LE(u.changed_leaves, u.leaves_after);
+      EXPECT_EQ(u.leaves_before, u.leaves_after);
+    }
+  }
+  EXPECT_NE(ctrl::FormatPlan(plan).find("entry-delta"), std::string::npos);
+}
+
+TEST(UpdatePlanner, RetrainedWeightsPlanToReseals) {
+  // Different weights shift the propagated training distribution, so the
+  // fitted leaf boxes move: full reseal, no silent reuse of stale TCAM.
+  const auto a = Compile(1, 2);
+  const auto b = Compile(99, 2);
+  const auto plan = ctrl::PlanUpdate(a, b);
+  EXPECT_FALSE(plan.structure_changed);
+  EXPECT_GT(plan.reseal, 0u);
+  EXPECT_GT(plan.total_bytes_to_push, 0u);
+}
+
+TEST(UpdatePlanner, StructureChangeResealsEverything) {
+  const auto x = TrainInputs(2);
+  const auto a = Compile(1, 2);
+  // A differently shaped program: extra ReLU head over 2x leaves.
+  core::ProgramBuilder b2(4);
+  std::vector<float> w(4 * 3, 0.01f);
+  core::ValueId v = core::AppendFullyConnected(b2, b2.input(), w, 4, 3, {},
+                                               2, 16);
+  v = b2.Map(v, core::MakeReLU(3), 16);
+  v = b2.Map(v, core::MakeReLU(3), 16);
+  const auto b = comp::CompileVersioned(b2.Finish(v), x, 1500);
+
+  const auto plan = ctrl::PlanUpdate(a, b);
+  EXPECT_TRUE(plan.structure_changed);
+  EXPECT_EQ(plan.reseal, plan.tables.size());
+  EXPECT_EQ(plan.unchanged, 0u);
+  EXPECT_EQ(plan.entry_delta, 0u);
+}
+
+TEST(CoPlacement, AdmitsWithinBudgetAndStacksStages) {
+  ctrl::ModelRegistry reg;
+  reg.Publish("clf", Compile(1, 2));
+  reg.Publish("anomaly", Compile(5, 6));
+  const auto a = reg.Latest("clf");
+  const auto b = reg.Latest("anomaly");
+
+  const auto joint = ctrl::PlanCoPlacement({a.get(), b.get()}, {});
+  ASSERT_EQ(joint.models.size(), 2u);
+  EXPECT_EQ(joint.models[0].stage_offset, 0u);
+  EXPECT_EQ(joint.models[1].stage_offset, joint.models[0].stages_used);
+  EXPECT_EQ(joint.stages_used,
+            joint.models[0].stages_used + joint.models[1].stages_used);
+  EXPECT_EQ(joint.phv_bits,
+            joint.models[0].phv_bits + joint.models[1].phv_bits);
+  EXPECT_EQ(joint.sram_bits,
+            a->report.sram_bits + b->report.sram_bits);
+  EXPECT_LE(joint.stages_used, dp::SwitchModel{}.num_stages);
+}
+
+TEST(CoPlacement, RejectsOverSubscriptionWithStructuredError) {
+  ctrl::ModelRegistry reg;
+  reg.Publish("clf", Compile(1, 2));
+  reg.Publish("anomaly", Compile(5, 6));
+  const auto a = reg.Latest("clf");
+  const auto b = reg.Latest("anomaly");
+
+  // A switch with exactly enough stages for the first model: admitting the
+  // second must fail on the stage budget, naming the culprit.
+  dp::SwitchModel tight;
+  tight.num_stages = a->report.stages_used;
+  try {
+    ctrl::PlanCoPlacement({a.get(), b.get()}, tight);
+    FAIL() << "over-subscription must be rejected";
+  } catch (const ctrl::AdmissionError& e) {
+    EXPECT_EQ(e.resource(), ctrl::AdmissionError::Resource::kStages);
+    EXPECT_EQ(e.model(), "anomaly v1");
+    EXPECT_EQ(e.required(),
+              a->report.stages_used + b->report.stages_used);
+    EXPECT_EQ(e.available(), tight.num_stages);
+    EXPECT_NE(std::string(e.what()).find("stages"), std::string::npos);
+  }
+
+  // PHV over-subscription is structured the same way.
+  dp::SwitchModel tiny_phv;
+  tiny_phv.phv_bits = a->lowered->layout().TotalBits();
+  try {
+    ctrl::PlanCoPlacement({a.get(), b.get()}, tiny_phv);
+    FAIL() << "PHV over-subscription must be rejected";
+  } catch (const ctrl::AdmissionError& e) {
+    EXPECT_EQ(e.resource(), ctrl::AdmissionError::Resource::kPhvBits);
+  }
+
+  // A model lowered against wider per-stage budgets cannot be stacked onto
+  // a narrower switch without re-lowering.
+  dp::SwitchModel narrow;
+  narrow.tcam_bits_per_stage = 1024;
+  EXPECT_THROW(ctrl::PlanCoPlacement({a.get()}, narrow),
+               std::invalid_argument);
+}

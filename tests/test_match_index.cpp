@@ -329,6 +329,56 @@ TEST(MatchIndex, SealMutateLifecycle) {
   EXPECT_EQ(p.indexed->index_stats(), stats);
 }
 
+TEST(MatchIndex, GenerationCounterTracksSealInvalidation) {
+  // The sealed-table mutation hazard (ISSUE 4 satellite): AddEntry after
+  // Seal() must be *observable* — a monotonic generation counter moves on
+  // every mutation/seal, and invalidated() flags the sealed->mutated->
+  // not-yet-resealed window (the serving paths assert on it in debug
+  // builds; Lookup stays usable as the linear oracle).
+  std::vector<dp::TableEntry> entries;
+  for (std::size_t e = 0; e < 16; ++e) {
+    entries.push_back({.ternary = {dp::TernaryRule{e, 0xff}},
+                       .priority = 1,
+                       .action_data = {static_cast<std::int64_t>(e)}});
+  }
+  TablePair p = MakePair(dp::MatchKind::kTernary, {8}, entries);
+
+  // Never-sealed tables are not "invalidated" — linear serving is legal.
+  EXPECT_FALSE(p.linear->invalidated());
+  // Sealed tables are not invalidated either.
+  EXPECT_TRUE(p.indexed->sealed());
+  EXPECT_FALSE(p.indexed->invalidated());
+
+  const std::uint64_t g0 = p.indexed->generation();
+  p.indexed->AddEntry({.ternary = {dp::TernaryRule{200, 0xff}},
+                       .priority = 2,
+                       .action_data = {777}});
+  EXPECT_GT(p.indexed->generation(), g0) << "mutation bumps the generation";
+  EXPECT_TRUE(p.indexed->invalidated()) << "sealed -> mutated -> hazard";
+  EXPECT_FALSE(p.indexed->sealed());
+
+  const std::uint64_t g1 = p.indexed->generation();
+  p.indexed->Seal();
+  EXPECT_GT(p.indexed->generation(), g1) << "re-seal bumps the generation";
+  EXPECT_FALSE(p.indexed->invalidated());
+  // Idempotent Seal() does not move the generation (no observable change).
+  const std::uint64_t g2 = p.indexed->generation();
+  p.indexed->Seal();
+  EXPECT_EQ(p.indexed->generation(), g2);
+
+  // Pipeline::Generation() aggregates placed tables, so a live
+  // InferenceEngine can snapshot one number for the whole dataplane.
+  dp::Pipeline pipe;
+  auto table = std::make_unique<dp::MatchActionTable>(
+      "gen", dp::MatchKind::kTernary, std::vector<dp::FieldId>{p.keys[0]},
+      std::vector<int>{8}, std::vector<dp::ActionOp>{}, 16);
+  for (const auto& e : entries) table->AddEntry(e);
+  const std::uint64_t before = pipe.Generation();
+  pipe.PlaceTable(std::move(table), 0);
+  EXPECT_GT(pipe.Generation(), before)
+      << "placement seals the table and moves the pipeline stamp";
+}
+
 TEST(MatchIndex, TinyTablesSealWithoutIndex) {
   std::vector<dp::TableEntry> entries;
   for (std::size_t e = 0; e < dp::MatchActionTable::kIndexMinEntries - 1;

@@ -5,6 +5,7 @@
 
 #include "core/operators.hpp"
 #include "core/tablegen.hpp"
+#include "runtime/inference_engine.hpp"
 #include "runtime/lowering.hpp"
 
 namespace core = pegasus::core;
@@ -102,6 +103,67 @@ TEST(Serialize, RejectsGarbageAndTruncation) {
   const std::string full = buf.str();
   std::stringstream truncated(full.substr(0, full.size() / 2));
   EXPECT_THROW(core::CompiledModel::Load(truncated), std::runtime_error);
+}
+
+// The on-disk format the control plane's ModelRegistry relies on (ISSUE 4):
+// a reloaded artifact must lower to a pipeline whose *batched* inference is
+// bit-identical to the original's — tables, fuzzy entries and quantization
+// params all survive, including tables lowered through the DirtCAM range
+// fallback.
+TEST(Serialize, ReloadedModelServesBitIdenticalBatchedInference) {
+  const auto model = BuildModel(11);
+  std::stringstream buf;
+  model.Save(buf);
+  const auto loaded = core::CompiledModel::Load(buf);
+
+  // Quantization plan: per-value, per-dim formats/bias/domain all equal.
+  ASSERT_EQ(loaded.quant().size(), model.quant().size());
+  for (std::size_t v = 0; v < model.quant().size(); ++v) {
+    ASSERT_EQ(loaded.quant()[v].size(), model.quant()[v].size());
+    for (std::size_t d = 0; d < model.quant()[v].size(); ++d) {
+      EXPECT_EQ(loaded.quant()[v][d].fmt, model.quant()[v][d].fmt);
+      EXPECT_EQ(loaded.quant()[v][d].bias, model.quant()[v][d].bias);
+      EXPECT_EQ(loaded.quant()[v][d].domain_bits,
+                model.quant()[v][d].domain_bits);
+    }
+  }
+  // Fuzzy tables: same leaf boxes and output words per table site.
+  ASSERT_EQ(loaded.tables().size(), model.tables().size());
+  for (std::size_t oi = 0; oi < model.tables().size(); ++oi) {
+    ASSERT_EQ(loaded.tables()[oi].has_value(),
+              model.tables()[oi].has_value());
+    if (!model.tables()[oi]) continue;
+    const auto& a = *model.tables()[oi];
+    const auto& b = *loaded.tables()[oi];
+    ASSERT_EQ(a.tree.NumLeaves(), b.tree.NumLeaves());
+    EXPECT_EQ(a.leaf_raw, b.leaf_raw);
+    for (std::size_t leaf = 0; leaf < a.tree.NumLeaves(); ++leaf) {
+      EXPECT_EQ(a.tree.Box(leaf).lo, b.tree.Box(leaf).lo);
+      EXPECT_EQ(a.tree.Box(leaf).hi, b.tree.Box(leaf).hi);
+    }
+  }
+
+  // Lower both — once on the normal ternary path, once forcing the DirtCAM
+  // range fallback — and compare whole batches through the engine.
+  for (const std::size_t max_ternary : {std::size_t{4096}, std::size_t{1}}) {
+    rt::LoweringOptions lopts;
+    lopts.max_ternary_entries_per_table = max_ternary;
+    const auto lowered_orig = rt::Lower(model, lopts);
+    const auto lowered_loaded = rt::Lower(loaded, lopts);
+    rt::InferenceEngine engine_orig(lowered_orig, 64);
+    rt::InferenceEngine engine_loaded(lowered_loaded, 64);
+
+    std::mt19937_64 rng(12);
+    std::uniform_real_distribution<float> dist(0.0f, 255.0f);
+    constexpr std::size_t kRows = 256;
+    std::vector<float> batch(kRows * 4);
+    for (float& f : batch) f = std::floor(dist(rng));
+    std::vector<std::int64_t> raw_a(kRows * lowered_orig.OutputDim());
+    std::vector<std::int64_t> raw_b(kRows * lowered_loaded.OutputDim());
+    engine_orig.InferRaw(batch, kRows, raw_a);
+    engine_loaded.InferRaw(batch, kRows, raw_b);
+    EXPECT_EQ(raw_a, raw_b) << "max_ternary=" << max_ternary;
+  }
 }
 
 TEST(Serialize, ClusterTreeRoundTrip) {

@@ -224,6 +224,191 @@ TEST(StreamServer, EvictionPressureRestartsFlowsButKeepsServing) {
   EXPECT_GT(decisions.size(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Model lifecycle: hitless hot swap (ISSUE 4 acceptance criteria).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Serves `trace`, swapping v1 -> v2 after pushing `swap_at` packets, and
+/// returns the decisions sorted per flow.
+std::vector<rt::StreamDecision> ServeWithSwap(
+    const rt::LoweredModel& v1, const rt::LoweredModel& v2,
+    std::span<const tr::TracePacket> trace, std::size_t swap_at,
+    std::size_t shards, bool mt) {
+  rt::StreamServerOptions opts;
+  opts.num_shards = shards;
+  opts.flows_per_shard = 1 << 10;
+  opts.batch_size = 32;
+  opts.feature = rt::FeatureKind::kSeq;
+  opts.multithreaded = mt;
+  rt::StreamServer server(v1, opts);
+  auto run = ev::ServeTraceWithSwap(
+      server, trace, swap_at,
+      std::shared_ptr<const rt::LoweredModel>(std::shared_ptr<void>{}, &v2),
+      2);
+  EXPECT_EQ(run.stats.swaps, shards) << "one swap application per shard";
+  EXPECT_EQ(run.stats.active_version, 2u);
+  // Engines retired by the swap fold their counters into the shard carry:
+  // every decision of the whole run stays accounted.
+  EXPECT_EQ(run.stats.engine.packets, run.stats.decisions);
+  std::sort(run.decisions.begin(), run.decisions.end(),
+            [](const rt::StreamDecision& a, const rt::StreamDecision& b) {
+              return std::tie(a.flow, a.index) < std::tie(b.flow, b.index);
+            });
+  return run.decisions;
+}
+
+}  // namespace
+
+TEST(StreamServer, HotSwapIsHitlessAndDeterministic) {
+  const auto ds = tr::Generate(tr::PeerRushSpec(8, 41));
+  const auto offline = tr::ExtractSeqFeatures(ds.flows, EveryPacket());
+  const auto v1 = Build16DimModel(offline.x, offline.size(), 21);
+  const auto v2 = Build16DimModel(offline.x, offline.size(), 22);
+  const auto trace = tr::MergeTrace(ds.flows);
+  const std::size_t swap_at = trace.size() / 2;
+
+  // Reference runs: the whole trace under each version alone.
+  auto serve_pure = [&](const rt::LoweredModel& m) {
+    rt::StreamServerOptions opts;
+    opts.num_shards = 1;
+    opts.flows_per_shard = 1 << 10;
+    opts.batch_size = 32;
+    opts.feature = rt::FeatureKind::kSeq;
+    rt::StreamServer server(m, opts);
+    return StreamByPacket(server.Serve(trace));
+  };
+  const auto pure_v1 = serve_pure(v1);
+  const auto pure_v2 = serve_pure(v2);
+
+  const auto swapped = ServeWithSwap(v1, v2, trace, swap_at, 1, false);
+
+  // Zero lost decisions: exactly the no-swap decision count, every packet
+  // position present, per-flow order intact.
+  ASSERT_EQ(swapped.size(), pure_v1.size());
+  std::map<std::uint32_t, std::uint32_t> last_index;
+  for (const auto& d : swapped) {
+    const auto it = last_index.find(d.flow);
+    if (it != last_index.end()) {
+      EXPECT_LT(it->second, d.index) << "reordered decision in flow " << d.flow;
+    }
+    last_index[d.flow] = d.index;
+  }
+
+  // The swap point splits the decision stream exactly: pre-swap decisions
+  // equal the pure-v1 run, post-swap the pure-v2 run — for every flow,
+  // which is only possible if per-flow state survived the swap (a restarted
+  // window would drop the first kWindow-1 post-swap decisions).
+  std::size_t from_v1 = 0, from_v2 = 0;
+  for (const auto& d : swapped) {
+    ASSERT_TRUE(d.version == 1 || d.version == 2);
+    const auto& want = d.version == 1 ? pure_v1 : pure_v2;
+    const auto it = want.find({d.flow, d.index});
+    ASSERT_NE(it, want.end());
+    EXPECT_EQ(it->second, d.predicted)
+        << "flow " << d.flow << " pkt " << d.index << " v" << d.version;
+    (d.version == 1 ? from_v1 : from_v2) += 1;
+  }
+  EXPECT_GT(from_v1, 0u);
+  EXPECT_GT(from_v2, 0u);
+
+  // MT == ST across the swap point: identical per-flow decision streams,
+  // including each decision's version tag.
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    const auto st = ServeWithSwap(v1, v2, trace, swap_at, shards, false);
+    const auto mt = ServeWithSwap(v1, v2, trace, swap_at, shards, true);
+    ASSERT_EQ(st.size(), mt.size());
+    for (std::size_t i = 0; i < st.size(); ++i) {
+      EXPECT_EQ(st[i].flow, mt[i].flow);
+      EXPECT_EQ(st[i].index, mt[i].index);
+      EXPECT_EQ(st[i].predicted, mt[i].predicted);
+      EXPECT_EQ(st[i].score, mt[i].score);
+      EXPECT_EQ(st[i].version, mt[i].version);
+    }
+    // The ST swap stream must also match the 1-shard reference exactly
+    // (sharding must not move the swap point within any flow).
+    ASSERT_EQ(st.size(), swapped.size());
+    for (std::size_t i = 0; i < st.size(); ++i) {
+      EXPECT_EQ(st[i].version, swapped[i].version);
+      EXPECT_EQ(st[i].predicted, swapped[i].predicted);
+    }
+  }
+}
+
+TEST(StreamServer, SwapRejectsMismatchedModelsAndStaleVersions) {
+  const auto ds = tr::Generate(tr::PeerRushSpec(4, 13));
+  const auto offline = tr::ExtractSeqFeatures(ds.flows);
+  const auto v1 = Build16DimModel(offline.x, offline.size(), 31);
+  const auto v2 = Build16DimModel(offline.x, offline.size(), 32);
+  auto alias = [](const rt::LoweredModel& m) {
+    return std::shared_ptr<const rt::LoweredModel>(std::shared_ptr<void>{},
+                                                   &m);
+  };
+
+  rt::StreamServerOptions opts;
+  opts.feature = rt::FeatureKind::kSeq;
+  rt::StreamServer server(alias(v1), opts, 5);
+  EXPECT_EQ(server.active_version(), 5u);
+  EXPECT_THROW(server.SwapModel(nullptr, 6), std::invalid_argument);
+  EXPECT_THROW(server.SwapModel(alias(v2), 5), std::invalid_argument);
+  EXPECT_THROW(server.SwapModel(alias(v2), 4), std::invalid_argument);
+  server.SwapModel(alias(v2), 6);
+  EXPECT_EQ(server.active_version(), 6u);
+  EXPECT_EQ(server.Stats().swaps, 1u);
+}
+
+TEST(StreamServer, ResetStatsReportsPerPhaseCounters) {
+  const auto ds = tr::Generate(tr::PeerRushSpec(6, 17));
+  const auto offline = tr::ExtractSeqFeatures(ds.flows, EveryPacket());
+  const auto lowered = Build16DimModel(offline.x, offline.size(), 23);
+  const auto trace = tr::MergeTrace(ds.flows);
+  const std::size_t half = trace.size() / 2;
+
+  rt::StreamServerOptions opts;
+  opts.num_shards = 2;
+  opts.flows_per_shard = 1 << 10;
+  opts.feature = rt::FeatureKind::kSeq;
+  rt::StreamServer server(lowered, opts);
+
+  for (std::size_t i = 0; i < half; ++i) server.Push(trace[i]);
+  server.Flush();
+  const auto phase1 = server.Stats();
+  EXPECT_EQ(phase1.packets, half);
+  EXPECT_GT(phase1.engine.packets, 0u);
+  EXPECT_EQ(phase1.engine.packets, phase1.decisions);
+  EXPECT_GT(phase1.engine.table_hits, 0u);
+  EXPECT_GT(phase1.table.inserts, 0u);
+
+  server.ResetStats();
+  const auto cleared = server.Stats();
+  EXPECT_EQ(cleared.packets, 0u);
+  EXPECT_EQ(cleared.decisions, 0u);
+  EXPECT_EQ(cleared.batches, 0u);
+  EXPECT_EQ(cleared.engine.packets, 0u);
+  EXPECT_EQ(cleared.engine.table_hits, 0u);
+  EXPECT_EQ(cleared.table.hits, 0u);
+  EXPECT_EQ(cleared.table.inserts, 0u);
+  EXPECT_EQ(cleared.swaps, 0u);
+  // Resident flow state is NOT reset — only the counters are.
+  EXPECT_GT(cleared.flows_resident, 0u);
+  EXPECT_EQ(cleared.flows_resident, phase1.flows_resident);
+
+  // Phase 2 counts only its own work; resident windows keep serving (the
+  // phase-2 warm-up count stays below a cold start's).
+  for (std::size_t i = half; i < trace.size(); ++i) server.Push(trace[i]);
+  server.Flush();
+  const auto phase2 = server.Stats();
+  EXPECT_EQ(phase2.packets, trace.size() - half);
+  EXPECT_EQ(phase2.decisions + phase2.warmup, phase2.packets);
+
+  // StreamServerStats::Reset zeroes a snapshot in place.
+  auto snap = phase2;
+  snap.Reset();
+  EXPECT_EQ(snap.packets, 0u);
+  EXPECT_EQ(snap.engine.chunks, 0u);
+}
+
 TEST(StreamServer, StatsAccountRegisterFootprint) {
   const auto ds = tr::Generate(tr::PeerRushSpec(4, 3));
   const auto offline = tr::ExtractSeqFeatures(ds.flows);

@@ -1,22 +1,28 @@
 #!/usr/bin/env python3
-"""Summarize indexed-vs-linear lookup families from BENCH_micro.json.
+"""Condense BENCH_*.json artifacts into CI comparison summaries.
 
-Reads the google-benchmark JSON artifact, pairs each BM_*TableLookup/<N>
-family with its *Linear counterpart, and writes a compact comparison JSON
-(speedup per entry count, plus build provenance) for the CI bench artifact.
+Micro mode (default): reads the google-benchmark BENCH_micro.json, pairs
+each BM_*TableLookup/<N> family with its *Linear counterpart, and writes a
+compact comparison JSON (speedup per entry count, plus build provenance).
 
-Usage: compare_index_bench.py BENCH_micro.json [BENCH_index_compare.json]
+    compare_index_bench.py BENCH_micro.json [BENCH_index_compare.json]
+
+Stream mode (--stream): reads bench_stream's BENCH_stream.json and writes
+BENCH_swap.json summarizing the hot-swap rows — per config: swap latency,
+throughput during the swap run, and the degradation ratio vs the no-swap
+baseline row of the same (model, shards, threads). With a second stream
+file (a previous run's artifact), every throughput row is also diffed
+across the two runs, so CI can chart serving-path regressions.
+
+    compare_index_bench.py --stream BENCH_stream.json \
+        [--baseline OLD_BENCH_stream.json] [BENCH_swap.json]
 """
+import argparse
 import json
 import sys
 
 
-def main() -> int:
-    if len(sys.argv) < 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    src = sys.argv[1]
-    dst = sys.argv[2] if len(sys.argv) > 2 else "BENCH_index_compare.json"
+def micro_mode(src: str, dst: str) -> int:
     with open(src) as f:
         data = json.load(f)
 
@@ -63,6 +69,106 @@ def main() -> int:
               file=sys.stderr)
         return 1
     return 0
+
+
+def _run_key(row: dict) -> tuple:
+    return (row.get("model"), row.get("feature"), row.get("shards"),
+            row.get("threads"))
+
+
+def stream_mode(src: str, baseline: str, dst: str) -> int:
+    with open(src) as f:
+        data = json.load(f)
+
+    swaps = []
+    for r in data.get("swap_runs", []):
+        base_pps = r.get("baseline_packets_per_sec") or 0.0
+        pps = r.get("packets_per_sec") or 0.0
+        swaps.append({
+            "model": r.get("model"),
+            "shards": r.get("shards"),
+            "threads": r.get("threads"),
+            "swaps": r.get("swaps"),
+            "swap_latency_ms": r.get("swap_latency_ms"),
+            "packets_per_sec": pps,
+            "baseline_packets_per_sec": base_pps,
+            "throughput_during_swap_ratio":
+                round(pps / base_pps, 3) if base_pps else None,
+        })
+
+    out = {
+        "bench": "swap",
+        "build_type": data.get("build_type", "unknown"),
+        "git_sha": data.get("git_sha", "unknown"),
+        "dataset": data.get("dataset", "unknown"),
+        "swap_runs": swaps,
+    }
+
+    if baseline:
+        with open(baseline) as f:
+            prev = json.load(f)
+        prev_runs = {_run_key(r): r for r in prev.get("runs", [])}
+        diffs = []
+        for r in data.get("runs", []):
+            old = prev_runs.get(_run_key(r))
+            if old is None:
+                continue
+            pps_new = r.get("packets_per_sec") or 0.0
+            pps_old = old.get("packets_per_sec") or 0.0
+            diffs.append({
+                "model": r.get("model"),
+                "feature": r.get("feature"),
+                "shards": r.get("shards"),
+                "threads": r.get("threads"),
+                "packets_per_sec": pps_new,
+                "baseline_packets_per_sec": pps_old,
+                "speedup_vs_baseline":
+                    round(pps_new / pps_old, 3) if pps_old else None,
+            })
+        out["run_diffs"] = diffs
+        out["baseline_git_sha"] = prev.get("git_sha", "unknown")
+        out["baseline_build_type"] = prev.get("build_type", "unknown")
+
+    with open(dst, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+
+    for s in swaps:
+        ratio = s["throughput_during_swap_ratio"]
+        print(f"{s['model']} shards={s['shards']} threads={s['threads']}: "
+              f"swap gap {s['swap_latency_ms']} ms, "
+              f"{s['packets_per_sec']:.0f} pps during swap "
+              f"({ratio if ratio is not None else '?'}x of no-swap)")
+    for d in out.get("run_diffs", []):
+        print(f"{d['model']}/{d['feature']} shards={d['shards']} "
+              f"threads={d['threads']}: {d['packets_per_sec']:.0f} pps "
+              f"vs baseline {d['baseline_packets_per_sec']:.0f} "
+              f"-> {d['speedup_vs_baseline']}x")
+    if not swaps:
+        print("warning: no swap_runs found in the stream artifact",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("src", help="BENCH_micro.json or BENCH_stream.json")
+    parser.add_argument("dst", nargs="?", default=None,
+                        help="output JSON (defaults per mode)")
+    parser.add_argument("--stream", action="store_true",
+                        help="summarize BENCH_stream.json -> BENCH_swap.json")
+    parser.add_argument("--baseline", default=None,
+                        help="previous BENCH_stream.json to diff against "
+                             "(stream mode)")
+    args = parser.parse_args()
+
+    if args.stream:
+        return stream_mode(args.src, args.baseline,
+                           args.dst or "BENCH_swap.json")
+    return micro_mode(args.src, args.dst or "BENCH_index_compare.json")
 
 
 if __name__ == "__main__":
