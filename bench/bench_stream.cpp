@@ -17,6 +17,13 @@
 // — the "can we push a model without a maintenance window" number.
 // tools/compare_index_bench.py --stream condenses these rows into
 // BENCH_swap.json.
+// A third section exercises the packet-I/O subsystem: the merged trace is
+// exported as a real pcap capture (io::WriteDatasetPcap) and replayed
+// straight from the file through PcapPacketSource — as fast as possible in
+// ST and MT, and trace-paced at a speedup targeting ~1s of wall time — the
+// "can the serving path drink from the wire" numbers. Written separately as
+// BENCH_replay.json (CI uploads it with the stream artifact).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -26,6 +33,8 @@
 #include "common.hpp"
 #include "compiler/compiler.hpp"
 #include "eval/experiment.hpp"
+#include "io/assemble.hpp"
+#include "io/replay.hpp"
 #include "runtime/stream_server.hpp"
 
 namespace {
@@ -222,6 +231,86 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- packet I/O: pcap replay -------------------------------------------
+  // Export the same merged trace as a capture (identical interleaving: the
+  // default MergeOptions seed matches the in-memory trace above), then
+  // serve straight from the file.
+  const std::string dir =
+      out_path.find('/') != std::string::npos
+          ? out_path.substr(0, out_path.rfind('/') + 1)
+          : std::string();
+  const std::string pcap_path = dir + "bench_replay.pcap";
+  const std::string replay_path = dir + "BENCH_replay.json";
+  io::PcapExportOptions eopts;
+  eopts.merged = true;
+  const auto pcap_records =
+      io::WriteDatasetPcap(pcap_path, prep.dataset, eopts);
+  const auto labeler = io::ImportOptionsFor(prep.dataset).labeler;
+  const std::uint64_t span_us =
+      trace.empty() ? 0 : trace.back().ts_us - trace.front().ts_us;
+
+  struct ReplayRow {
+    std::string clock;
+    double speedup = 0.0;  // 0 = afap
+    std::size_t shards = 0;
+    std::size_t threads = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t decisions = 0;
+    double wall_ms = 0.0;
+    double pps = 0.0;
+    std::uint64_t trace_span_us = 0;
+    std::uint64_t max_lag_us = 0;
+  };
+  std::vector<ReplayRow> replay_rows;
+  auto run_replay = [&](io::ReplayOptions ropts, std::size_t shards,
+                        bool mt) {
+    io::PcapPacketSource source(pcap_path, labeler);
+    io::TraceReplayer replayer(source, ropts);
+    rt::StreamServerOptions opts;
+    opts.num_shards = shards;
+    opts.flows_per_shard = 1 << 10;
+    opts.feature = rt::FeatureKind::kStat;
+    opts.multithreaded = mt;
+    rt::StreamServer server(mlp_lowered, opts, 1);
+    const auto run = ev::ServeTrace(server, replayer);
+    ReplayRow row;
+    row.clock = io::ReplayClockName(ropts.clock);
+    row.speedup =
+        ropts.clock == io::ReplayClock::kSpeedup ? ropts.speedup : 0.0;
+    row.shards = shards;
+    row.threads = mt ? shards : 0;
+    row.packets = run.stats.packets;
+    row.decisions = run.stats.decisions;
+    row.wall_ms = run.wall_ms;
+    row.pps = run.packets_per_sec;
+    row.trace_span_us = replayer.stats().TraceSpanUs();
+    row.max_lag_us = replayer.stats().max_lag_us;
+    replay_rows.push_back(row);
+    return row;
+  };
+
+  std::printf("\npcap replay (%s, %llu records, %.2f s span):\n",
+              pcap_path.c_str(),
+              static_cast<unsigned long long>(pcap_records),
+              static_cast<double>(span_us) / 1e6);
+  std::printf("%-9s %9s %7s %8s %10s %12s %11s\n", "clock", "speedup",
+              "shards", "threads", "wall ms", "pkts/s", "max lag us");
+  io::ReplayOptions afap;
+  // Paced replay targets ~1s of wall time regardless of the trace span.
+  io::ReplayOptions paced;
+  paced.clock = io::ReplayClock::kSpeedup;
+  paced.speedup = std::max(1.0, static_cast<double>(span_us) / 1e6);
+  for (const auto& [ropts, shards, mt] :
+       {std::tuple{afap, std::size_t{1}, false},
+        std::tuple{afap, std::size_t{4}, true},
+        std::tuple{paced, std::size_t{1}, false}}) {
+    const auto row = run_replay(ropts, shards, mt);
+    std::printf("%-9s %9.1f %7zu %8zu %10.1f %12.0f %11llu\n",
+                row.clock.c_str(), row.speedup, row.shards, row.threads,
+                row.wall_ms, row.pps,
+                static_cast<unsigned long long>(row.max_lag_us));
+  }
+
   // ---- scaling curve ------------------------------------------------------
   std::printf("\nscaling (multi-threaded, 4 vs 1 shard speedup):\n");
   for (const auto& m : models) {
@@ -283,5 +372,36 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", out_path.c_str());
+
+  // ---- replay JSON artifact ----------------------------------------------
+  FILE* rf = std::fopen(replay_path.c_str(), "w");
+  if (rf == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", replay_path.c_str());
+    return 1;
+  }
+  std::fprintf(rf,
+               "{\n  \"bench\": \"replay\",\n  \"build_type\": \"%s\",\n"
+               "  \"git_sha\": \"%s\",\n  \"dataset\": \"%s\",\n"
+               "  \"pcap_records\": %llu,\n  \"runs\": [\n",
+               bench::BuildType(), bench::GitSha(), prep.name.c_str(),
+               static_cast<unsigned long long>(pcap_records));
+  for (std::size_t i = 0; i < replay_rows.size(); ++i) {
+    const ReplayRow& r = replay_rows[i];
+    std::fprintf(
+        rf,
+        "    {\"clock\": \"%s\", \"speedup\": %.1f, \"shards\": %zu, "
+        "\"threads\": %zu, \"packets\": %llu, \"decisions\": %llu, "
+        "\"wall_ms\": %.3f, \"packets_per_sec\": %.1f, "
+        "\"trace_span_us\": %llu, \"max_lag_us\": %llu}%s\n",
+        r.clock.c_str(), r.speedup, r.shards, r.threads,
+        static_cast<unsigned long long>(r.packets),
+        static_cast<unsigned long long>(r.decisions), r.wall_ms, r.pps,
+        static_cast<unsigned long long>(r.trace_span_us),
+        static_cast<unsigned long long>(r.max_lag_us),
+        i + 1 < replay_rows.size() ? "," : "");
+  }
+  std::fprintf(rf, "  ]\n}\n");
+  std::fclose(rf);
+  std::printf("wrote %s\n", replay_path.c_str());
   return 0;
 }

@@ -1,0 +1,55 @@
+#include "dataplane/flow_key.hpp"
+
+namespace pegasus::dataplane {
+
+namespace {
+
+/// splitmix64 finalizer — the same mixer runtime/flow_table.hpp uses, so
+/// digest bits stay well distributed under the table's secondary mix.
+std::uint64_t SplitMix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Word(const std::array<std::uint8_t, 16>& a, std::size_t at) {
+  std::uint64_t w = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    w = (w << 8) | a[at + i];
+  }
+  return w;
+}
+
+}  // namespace
+
+FiveTuple Canonical(const FiveTuple& t) {
+  // Endpoint order: address bytes first, port as the tiebreaker (two ends
+  // of a conversation can share an address under NAT hairpinning).
+  const bool swap = [&] {
+    if (t.src != t.dst) return t.dst < t.src;
+    return t.dst_port < t.src_port;
+  }();
+  if (!swap) return t;
+  FiveTuple c = t;
+  c.src = t.dst;
+  c.dst = t.src;
+  c.src_port = t.dst_port;
+  c.dst_port = t.src_port;
+  return c;
+}
+
+FlowKey DigestTuple(const FiveTuple& t) {
+  const FiveTuple c = Canonical(t);
+  std::uint64_t h = 0x9ae16a3b2f90404full;  // fixed seed
+  h = SplitMix(h ^ (static_cast<std::uint64_t>(c.version) << 8 | c.proto));
+  h = SplitMix(h ^ (static_cast<std::uint64_t>(c.src_port) << 16 |
+                    c.dst_port));
+  h = SplitMix(h ^ Word(c.src, 0));
+  h = SplitMix(h ^ Word(c.src, 8));
+  h = SplitMix(h ^ Word(c.dst, 0));
+  h = SplitMix(h ^ Word(c.dst, 8));
+  return FlowKey{h};
+}
+
+}  // namespace pegasus::dataplane

@@ -1,0 +1,51 @@
+// Canonical 5-tuple flow identity.
+//
+// Real dataplanes key per-flow state on the packet's 5-tuple; Pegasus keeps
+// only a 64-bit digest of it (registers.hpp's FlowKey). This header owns the
+// tuple itself and the one digest function every producer — the synthetic
+// generator, the pcap wire parser (src/io/wire.hpp), the flow assembler —
+// must share, so a flow captured on the wire lands in the same FlowTable
+// slot as its synthetic twin.
+//
+// The digest is *bidirectional*: a conversation's forward and reverse
+// packets (src/dst endpoints swapped) canonicalize to the same tuple and
+// therefore the same digest, which is how per-flow feature state follows
+// both directions of a TCP connection.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "dataplane/registers.hpp"
+
+namespace pegasus::dataplane {
+
+/// IP protocol numbers the traffic substrate parses.
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+
+/// One flow's 5-tuple. IPv4 addresses occupy the first 4 bytes of the
+/// 16-byte fields (remaining bytes zero); IPv6 uses all 16.
+struct FiveTuple {
+  std::uint8_t version = 4;  // 4 or 6
+  std::uint8_t proto = kProtoTcp;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::array<std::uint8_t, 16> src{};
+  std::array<std::uint8_t, 16> dst{};
+
+  bool operator==(const FiveTuple&) const = default;
+};
+
+/// Canonical bidirectional form: the lexicographically smaller
+/// (address, port) endpoint becomes src, so a conversation's forward and
+/// reverse tuples canonicalize identically. Idempotent.
+FiveTuple Canonical(const FiveTuple& t);
+
+/// 64-bit digest of the canonical form (splitmix64-chained over every
+/// field). Direction-symmetric by construction: DigestTuple(t) ==
+/// DigestTuple(reversed t). Collisions between distinct conversations are
+/// possible — and part of real switch behaviour — but 2^-64-rare.
+FlowKey DigestTuple(const FiveTuple& t);
+
+}  // namespace pegasus::dataplane

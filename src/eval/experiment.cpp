@@ -89,6 +89,25 @@ std::vector<std::int32_t> PredictClassesLowered(
   return predictions;
 }
 
+namespace {
+
+/// Shared tail of the ServeTrace variants: stats snapshot, wall clock and
+/// throughput over the packets this run actually pushed.
+void FinishRun(StreamRun& run, runtime::StreamServer& server,
+               std::uint64_t packets_before,
+               std::chrono::steady_clock::time_point t0,
+               std::chrono::steady_clock::time_point t1) {
+  run.stats = server.Stats();
+  run.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const std::uint64_t pushed = run.stats.packets - packets_before;
+  run.packets_per_sec =
+      run.wall_ms > 0.0
+          ? static_cast<double>(pushed) / (run.wall_ms / 1000.0)
+          : 0.0;
+}
+
+}  // namespace
+
 std::vector<traffic::TracePacket> TestTrace(const PreparedDataset& prep,
                                             std::uint64_t seed) {
   std::vector<const traffic::Flow*> test_flows;
@@ -104,17 +123,25 @@ std::vector<traffic::TracePacket> TestTrace(const PreparedDataset& prep,
 
 StreamRun ServeTrace(runtime::StreamServer& server,
                      std::span<const traffic::TracePacket> trace) {
+  // Serve(span) pre-reserves per-shard decision space, so go through it
+  // rather than a bare SpanPacketSource.
   StreamRun run;
+  const std::uint64_t packets_before = server.Stats().packets;
   const auto t0 = std::chrono::steady_clock::now();
   run.decisions = server.Serve(trace);
   const auto t1 = std::chrono::steady_clock::now();
-  run.stats = server.Stats();
-  run.wall_ms =
-      std::chrono::duration<double, std::milli>(t1 - t0).count();
-  run.packets_per_sec =
-      run.wall_ms > 0.0
-          ? static_cast<double>(trace.size()) / (run.wall_ms / 1000.0)
-          : 0.0;
+  FinishRun(run, server, packets_before, t0, t1);
+  return run;
+}
+
+StreamRun ServeTrace(runtime::StreamServer& server,
+                     runtime::PacketSource& source) {
+  StreamRun run;
+  const std::uint64_t packets_before = server.Stats().packets;
+  const auto t0 = std::chrono::steady_clock::now();
+  run.decisions = server.Serve(source);
+  const auto t1 = std::chrono::steady_clock::now();
+  FinishRun(run, server, packets_before, t0, t1);
   return run;
 }
 
@@ -126,6 +153,7 @@ StreamRun ServeTraceWithSwap(
   swap_at = std::min(swap_at, trace.size());
   StreamRun run;
   const bool mt = server.options().multithreaded;
+  const std::uint64_t packets_before = server.Stats().packets;
   const auto t0 = std::chrono::steady_clock::now();
   if (mt) server.Start();
   for (std::size_t i = 0; i < swap_at; ++i) server.Push(trace[i]);
@@ -138,12 +166,7 @@ StreamRun ServeTraceWithSwap(
   }
   const auto t1 = std::chrono::steady_clock::now();
   run.decisions = server.TakeDecisions();
-  run.stats = server.Stats();
-  run.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
-  run.packets_per_sec =
-      run.wall_ms > 0.0
-          ? static_cast<double>(trace.size()) / (run.wall_ms / 1000.0)
-          : 0.0;
+  FinishRun(run, server, packets_before, t0, t1);
   return run;
 }
 

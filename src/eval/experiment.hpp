@@ -80,6 +80,14 @@ struct StreamRun {
 StreamRun ServeTrace(runtime::StreamServer& server,
                      std::span<const traffic::TracePacket> trace);
 
+/// Pull-based variant for imported captures / timed replay: drains a
+/// runtime::PacketSource (e.g. io::PcapPacketSource, optionally wrapped in
+/// an io::TraceReplayer for trace-paced delivery) through the server.
+/// `packets_per_sec` counts the packets the source actually produced —
+/// read the replayer's own stats for schedule-lag detail.
+StreamRun ServeTrace(runtime::StreamServer& server,
+                     runtime::PacketSource& source);
+
 /// The retrain-and-push scenario: replays `trace`, issuing
 /// server.SwapModel(model, version) after pushing the first `swap_at`
 /// packets — every earlier packet is decided by the old version, every

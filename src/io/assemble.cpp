@@ -1,0 +1,231 @@
+#include "io/assemble.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+
+#include "traffic/synthetic.hpp"
+
+namespace pegasus::io {
+
+// ---------------------------------------------------------------- labeler
+
+FlowLabeler& FlowLabeler::MapPort(std::uint16_t port, std::int32_t label) {
+  const auto [it, inserted] = ports_.emplace(port, label);
+  if (!inserted && it->second != label) {
+    throw std::invalid_argument("FlowLabeler: port " + std::to_string(port) +
+                                " already mapped to a different label");
+  }
+  return *this;
+}
+
+FlowLabeler& FlowLabeler::MapSubnet(std::uint8_t version,
+                                    std::span<const std::uint8_t> prefix,
+                                    int prefix_bits, std::int32_t label) {
+  const int max_bits = version == 6 ? 128 : 32;
+  if (prefix_bits < 0 || prefix_bits > max_bits) {
+    throw std::invalid_argument("FlowLabeler: bad prefix length");
+  }
+  if (static_cast<std::size_t>((prefix_bits + 7) / 8) > prefix.size()) {
+    throw std::invalid_argument(
+        "FlowLabeler: prefix bytes do not cover the prefix length");
+  }
+  Subnet s;
+  s.version = version;
+  s.bits = prefix_bits;
+  s.label = label;
+  std::copy(prefix.begin(),
+            prefix.begin() + std::min<std::size_t>(prefix.size(), 16),
+            s.prefix.begin());
+  subnets_.push_back(s);
+  return *this;
+}
+
+FlowLabeler& FlowLabeler::Default(std::int32_t label) {
+  default_label_ = label;
+  return *this;
+}
+
+namespace {
+
+bool InSubnet(const std::array<std::uint8_t, 16>& addr,
+              const std::array<std::uint8_t, 16>& prefix, int bits) {
+  const int whole = bits / 8;
+  if (!std::equal(addr.begin(), addr.begin() + whole, prefix.begin())) {
+    return false;
+  }
+  const int rest = bits % 8;
+  if (rest == 0) return true;
+  const std::uint8_t mask =
+      static_cast<std::uint8_t>(0xff << (8 - rest));
+  return (addr[whole] & mask) == (prefix[whole] & mask);
+}
+
+}  // namespace
+
+std::int32_t FlowLabeler::LabelFor(const dataplane::FiveTuple& tuple) const {
+  if (!ports_.empty()) {
+    if (const auto it = ports_.find(tuple.src_port); it != ports_.end()) {
+      return it->second;
+    }
+    if (const auto it = ports_.find(tuple.dst_port); it != ports_.end()) {
+      return it->second;
+    }
+  }
+  for (const Subnet& s : subnets_) {
+    if (s.version != tuple.version) continue;
+    if (InSubnet(tuple.src, s.prefix, s.bits) ||
+        InSubnet(tuple.dst, s.prefix, s.bits)) {
+      return s.label;
+    }
+  }
+  return default_label_;
+}
+
+FlowLabeler PortLabelerForLabels(std::span<const std::int32_t> labels) {
+  FlowLabeler labeler;
+  for (const std::int32_t label : labels) {
+    labeler.MapPort(traffic::ServicePortForLabel(label), label);
+  }
+  return labeler;
+}
+
+// -------------------------------------------------------------- assembler
+
+void FlowAssembler::Add(const ParsedPacket& packet) {
+  const auto [it, inserted] =
+      index_.emplace(packet.key.digest, flows_.size());
+  if (inserted) {
+    traffic::Flow flow;
+    flow.key = packet.key;
+    flow.tuple = packet.tuple;
+    flow.label = labeler_.LabelFor(packet.tuple);
+    flows_.push_back(std::move(flow));
+    first_ts_us_.push_back(packet.ts_us);
+    ++stats_.flows;
+  }
+  traffic::Flow& flow = flows_[it->second];
+  const std::uint64_t start = first_ts_us_[it->second];
+  traffic::Packet pkt;
+  if (packet.ts_us < start) {
+    // Reordered capture: the flow's clock cannot run backwards past its
+    // first packet; clamp like OnlineFlowState clamps negative IPDs.
+    ++stats_.reordered;
+  } else {
+    pkt.ts_us = packet.ts_us - start;
+  }
+  pkt.len = packet.wire_len;
+  pkt.bytes = packet.payload;
+  flow.packets.push_back(pkt);
+  ++stats_.packets;
+}
+
+traffic::Dataset FlowAssembler::Finish(std::string name,
+                                       std::vector<std::string> class_names) {
+  traffic::Dataset ds;
+  ds.name = std::move(name);
+  ds.class_names = std::move(class_names);
+  ds.flows = std::move(flows_);
+  flows_.clear();
+  first_ts_us_.clear();
+  index_.clear();
+  return ds;
+}
+
+// ----------------------------------------------------------------- export
+
+std::uint64_t WriteDatasetPcap(std::ostream& os,
+                               const traffic::Dataset& dataset,
+                               const PcapExportOptions& opts) {
+  PcapWriter writer(os, opts.pcap);
+  const auto write_one = [&](const traffic::Flow& flow,
+                             const traffic::Packet& pkt,
+                             std::uint64_t ts_us) {
+    const auto frame = BuildFrame(flow.tuple, pkt.bytes, pkt.len);
+    // The frame always carries the 60-byte payload window; when the logical
+    // packet is larger, the record is a snaplen-style truncated capture.
+    const auto orig_len = static_cast<std::uint32_t>(std::max(
+        frame.size(), static_cast<std::size_t>(14) + pkt.len));
+    writer.Write(ts_us, frame, orig_len);
+  };
+
+  if (opts.merged) {
+    for (const auto& tp : traffic::MergeTrace(dataset.flows, opts.merge)) {
+      write_one(dataset.flows[tp.flow], *tp.packet, tp.ts_us);
+    }
+  } else {
+    std::uint64_t base = 0;
+    for (const auto& flow : dataset.flows) {
+      for (const auto& pkt : flow.packets) {
+        write_one(flow, pkt, base + pkt.ts_us);
+      }
+      if (!flow.packets.empty()) {
+        base += flow.packets.back().ts_us + opts.flow_gap_us;
+      }
+    }
+  }
+  return writer.records();
+}
+
+std::uint64_t WriteDatasetPcap(const std::string& path,
+                               const traffic::Dataset& dataset,
+                               const PcapExportOptions& opts) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw std::runtime_error("WriteDatasetPcap: cannot open " + path);
+  }
+  return WriteDatasetPcap(os, dataset, opts);
+}
+
+// ----------------------------------------------------------------- import
+
+PcapImportOptions ImportOptionsFor(const traffic::Dataset& dataset) {
+  PcapImportOptions opts;
+  // The labels the flows *actually* carry, not 0..NumClasses-1 — datasets
+  // with injected attack flows label them negatively (distinct service
+  // ports under ServicePortForLabel), and those must survive the round
+  // trip too.
+  std::set<std::int32_t> labels;
+  for (std::size_t c = 0; c < dataset.NumClasses(); ++c) {
+    labels.insert(static_cast<std::int32_t>(c));
+  }
+  for (const auto& flow : dataset.flows) labels.insert(flow.label);
+  const std::vector<std::int32_t> all(labels.begin(), labels.end());
+  opts.labeler = PortLabelerForLabels(all);
+  opts.name = dataset.name;
+  opts.class_names = dataset.class_names;
+  return opts;
+}
+
+PcapImportResult ReadDatasetPcap(std::istream& is,
+                                 const PcapImportOptions& opts) {
+  PcapReader reader(is);
+  RequireEthernet(reader, "ReadDatasetPcap");
+  WireParser parser;
+  FlowAssembler assembler(opts.labeler);
+  PcapRecord rec;
+  ParsedPacket packet;
+  while (reader.Next(rec)) {
+    if (parser.Parse(rec.data, rec.TsMicros(reader.nanos()), packet)) {
+      assembler.Add(packet);
+    }
+  }
+  PcapImportResult out;
+  out.parse = parser.stats();
+  out.assemble = assembler.stats();
+  out.records = reader.records();
+  out.dataset = assembler.Finish(opts.name, opts.class_names);
+  return out;
+}
+
+PcapImportResult ReadDatasetPcap(const std::string& path,
+                                 const PcapImportOptions& opts) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("ReadDatasetPcap: cannot open " + path);
+  }
+  return ReadDatasetPcap(is, opts);
+}
+
+}  // namespace pegasus::io

@@ -1,0 +1,160 @@
+// Flow assembly: grouping parsed packets into traffic::Flows and emitting a
+// standard traffic::Dataset, so every existing model / compiler / eval path
+// works on imported captures unchanged.
+//
+// FlowAssembler keys on the canonical FlowKey digest (both directions of a
+// conversation land in one flow), rebases each flow's timestamps to its
+// first packet (traffic::Packet::ts_us is flow-relative), and labels flows
+// through pluggable FlowLabeler rules — service-port map, subnet map, or a
+// per-file default — the three ways real capture corpora carry ground
+// truth (port conventions, attacker subnets, one-class-per-file pcaps).
+//
+// The module also owns the whole-dataset conveniences:
+//   WriteDatasetPcap  — Dataset -> capture (io/wire.hpp BuildFrame per
+//                       packet), either flow-sequential (order-preserving,
+//                       the round-trip fixture format) or time-merged
+//                       (realistic interleaving via traffic::MergeTrace);
+//   ReadDatasetPcap   — capture -> Dataset (PcapReader + WireParser +
+//                       FlowAssembler), with parse/assembly drop stats.
+// A Dataset written flow-sequentially re-imports bit-identically
+// (tests/test_io.cpp locks this).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "io/pcap.hpp"
+#include "io/wire.hpp"
+#include "traffic/packet.hpp"
+#include "traffic/stream.hpp"
+
+namespace pegasus::io {
+
+/// Label assignment for assembled flows. Rules are consulted in order:
+/// service-port map (either canonical port), subnet map (either endpoint),
+/// then the default label.
+class FlowLabeler {
+ public:
+  /// Flows with `port` as src or dst port get `label`.
+  FlowLabeler& MapPort(std::uint16_t port, std::int32_t label);
+
+  /// Flows with either endpoint inside the prefix get `label`. `prefix` is
+  /// the address's leading bytes (4 for IPv4, up to 16 for IPv6);
+  /// `prefix_bits` counts matched leading bits.
+  FlowLabeler& MapSubnet(std::uint8_t version,
+                         std::span<const std::uint8_t> prefix,
+                         int prefix_bits, std::int32_t label);
+
+  /// Per-file labeling: every unmatched flow gets `label`.
+  FlowLabeler& Default(std::int32_t label);
+
+  std::int32_t LabelFor(const dataplane::FiveTuple& tuple) const;
+
+ private:
+  struct Subnet {
+    std::uint8_t version = 4;
+    std::array<std::uint8_t, 16> prefix{};
+    int bits = 0;
+    std::int32_t label = 0;
+  };
+  std::unordered_map<std::uint16_t, std::int32_t> ports_;
+  std::vector<Subnet> subnets_;
+  std::int32_t default_label_ = 0;
+};
+
+/// Builds the port-map labeler matching the synthetic generator's
+/// service-port encoding (traffic::ServicePortForLabel) for the given
+/// labels — the self-hosting fixture's ground-truth channel.
+FlowLabeler PortLabelerForLabels(std::span<const std::int32_t> labels);
+
+struct AssembleStats {
+  std::uint64_t packets = 0;
+  std::uint64_t flows = 0;
+  /// Packets whose capture time precedes their flow's first packet
+  /// (reordered captures); their flow-relative timestamp clamps to 0.
+  std::uint64_t reordered = 0;
+};
+
+class FlowAssembler {
+ public:
+  explicit FlowAssembler(FlowLabeler labeler = {})
+      : labeler_(std::move(labeler)) {}
+
+  /// Adds one parsed packet to its flow (creating the flow, labeled via the
+  /// labeler, on first sight).
+  void Add(const ParsedPacket& packet);
+
+  /// Moves out the assembled dataset: flows in first-seen order, named and
+  /// class-named by the caller (a capture file carries neither). The
+  /// assembler is empty afterwards.
+  traffic::Dataset Finish(std::string name,
+                          std::vector<std::string> class_names);
+
+  const AssembleStats& stats() const { return stats_; }
+
+ private:
+  FlowLabeler labeler_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;  // digest -> pos
+  std::vector<traffic::Flow> flows_;
+  std::vector<std::uint64_t> first_ts_us_;
+  AssembleStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Whole-dataset capture I/O.
+// ---------------------------------------------------------------------------
+
+struct PcapExportOptions {
+  PcapOptions pcap;
+  /// false: flows written back-to-back in dataset order (each flow offset
+  /// past the previous flow's end by `flow_gap_us`) — preserves flow order
+  /// and exact per-flow timing across a round trip. true: packets
+  /// interleaved in merged trace time (traffic::MergeTrace with `merge`) —
+  /// the realistic-replay format.
+  bool merged = false;
+  traffic::MergeOptions merge;
+  std::uint64_t flow_gap_us = 1000;
+};
+
+/// Writes every packet of `dataset` as an Ethernet frame (BuildFrame over
+/// the flow's 5-tuple). Returns the number of records written.
+std::uint64_t WriteDatasetPcap(std::ostream& os,
+                               const traffic::Dataset& dataset,
+                               const PcapExportOptions& opts = {});
+std::uint64_t WriteDatasetPcap(const std::string& path,
+                               const traffic::Dataset& dataset,
+                               const PcapExportOptions& opts = {});
+
+struct PcapImportOptions {
+  FlowLabeler labeler;
+  std::string name = "capture";
+  std::vector<std::string> class_names;
+};
+
+struct PcapImportResult {
+  traffic::Dataset dataset;
+  WireParseStats parse;
+  AssembleStats assemble;
+  /// Total pcap records read (parse.frames of them offered to the parser).
+  std::uint64_t records = 0;
+};
+
+/// Import options matching a capture exported from `dataset`
+/// (WriteDatasetPcap): a port-rule labeler over the dataset's class labels
+/// (traffic::ServicePortForLabel encoding) plus its name and class names —
+/// the one-liner every self-hosting fixture consumer needs.
+PcapImportOptions ImportOptionsFor(const traffic::Dataset& dataset);
+
+/// Reads a capture end-to-end: pcap records -> wire parse -> flow assembly.
+/// Throws std::runtime_error on a non-Ethernet linktype or a corrupt file.
+PcapImportResult ReadDatasetPcap(std::istream& is,
+                                 const PcapImportOptions& opts = {});
+PcapImportResult ReadDatasetPcap(const std::string& path,
+                                 const PcapImportOptions& opts = {});
+
+}  // namespace pegasus::io

@@ -1,0 +1,162 @@
+#include "io/pcap.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/stream_io.hpp"
+
+namespace pegasus::io {
+
+namespace {
+
+constexpr std::uint16_t Swap16(std::uint16_t v) {
+  return static_cast<std::uint16_t>((v >> 8) | (v << 8));
+}
+
+constexpr std::uint32_t Swap32(std::uint32_t v) {
+  return (v >> 24) | ((v >> 8) & 0x0000ff00u) | ((v << 8) & 0x00ff0000u) |
+         (v << 24);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- reader
+
+PcapReader::PcapReader(std::istream& is) : is_(is) {
+  const auto magic = core::ReadPod<std::uint32_t>(is_, "PcapReader header");
+  switch (magic) {
+    case kPcapMagicMicros:
+      break;
+    case kPcapMagicNanos:
+      opts_.nanos = true;
+      break;
+    case Swap32(kPcapMagicMicros):
+      opts_.swapped = true;
+      break;
+    case Swap32(kPcapMagicNanos):
+      opts_.swapped = true;
+      opts_.nanos = true;
+      break;
+    default:
+      throw std::runtime_error("PcapReader: not a pcap file (bad magic)");
+  }
+  const std::uint16_t major = U16();
+  const std::uint16_t minor = U16();
+  if (major != 2) {
+    throw std::runtime_error("PcapReader: unsupported pcap version " +
+                             std::to_string(major) + "." +
+                             std::to_string(minor));
+  }
+  U32();  // thiszone
+  U32();  // sigfigs
+  opts_.snaplen = U32();
+  opts_.linktype = U32();
+}
+
+std::uint16_t PcapReader::U16() {
+  const auto v = core::ReadPod<std::uint16_t>(is_, "PcapReader header");
+  return opts_.swapped ? Swap16(v) : v;
+}
+
+std::uint32_t PcapReader::U32() {
+  const auto v = core::ReadPod<std::uint32_t>(is_, "PcapReader");
+  return opts_.swapped ? Swap32(v) : v;
+}
+
+bool PcapReader::Next(PcapRecord& out) {
+  // Clean EOF is only legal on a record boundary: probe the first header
+  // byte before committing to a record.
+  if (is_.peek() == std::istream::traits_type::eof()) {
+    return false;
+  }
+  out.ts_sec = U32();
+  out.ts_frac = U32();
+  const std::uint32_t incl_len = U32();
+  out.orig_len = U32();
+  // Bound the record so a corrupt length field raises a clean error
+  // instead of a multi-GiB allocation — the file's own snaplen cannot be
+  // trusted for this (it may be corrupt too, and 0 means "unlimited").
+  const std::uint32_t cap =
+      std::min(opts_.snaplen != 0 ? opts_.snaplen : kMaxRecordBytes,
+               kMaxRecordBytes);
+  if (incl_len > cap) {
+    throw std::runtime_error(
+        "PcapReader: record " + std::to_string(records_) +
+        " captured length exceeds snaplen (corrupt file?)");
+  }
+  out.data.resize(incl_len);
+  if (incl_len > 0) {
+    is_.read(reinterpret_cast<char*>(out.data.data()), incl_len);
+    if (!is_) {
+      throw std::runtime_error("PcapReader: truncated record " +
+                               std::to_string(records_));
+    }
+  }
+  ++records_;
+  return true;
+}
+
+void RequireEthernet(const PcapReader& reader, const char* who) {
+  if (reader.options().linktype != kLinktypeEthernet) {
+    throw std::runtime_error(std::string(who) + ": linktype " +
+                             std::to_string(reader.options().linktype) +
+                             " is not Ethernet");
+  }
+}
+
+// ---------------------------------------------------------------- writer
+
+PcapWriter::PcapWriter(std::ostream& os, PcapOptions opts)
+    : os_(os), opts_(opts) {
+  P32(opts_.nanos ? kPcapMagicNanos : kPcapMagicMicros);
+  P16(2);  // version 2.4
+  P16(4);
+  P32(0);  // thiszone
+  P32(0);  // sigfigs
+  P32(opts_.snaplen);
+  P32(opts_.linktype);
+}
+
+void PcapWriter::P16(std::uint16_t v) {
+  core::WritePod(os_, opts_.swapped ? Swap16(v) : v);
+}
+
+void PcapWriter::P32(std::uint32_t v) {
+  core::WritePod(os_, opts_.swapped ? Swap32(v) : v);
+}
+
+void PcapWriter::Write(const PcapRecord& rec) {
+  if (rec.data.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument("PcapWriter: record too large");
+  }
+  const auto incl_len = static_cast<std::uint32_t>(rec.data.size());
+  if (rec.orig_len < incl_len) {
+    throw std::invalid_argument(
+        "PcapWriter: orig_len below the captured length");
+  }
+  P32(rec.ts_sec);
+  P32(rec.ts_frac);
+  P32(incl_len);
+  P32(rec.orig_len);
+  os_.write(reinterpret_cast<const char*>(rec.data.data()),
+            static_cast<std::streamsize>(rec.data.size()));
+  ++records_;
+}
+
+void PcapWriter::Write(std::uint64_t ts_us,
+                       std::span<const std::uint8_t> data,
+                       std::uint32_t orig_len) {
+  PcapRecord rec;
+  rec.ts_sec = static_cast<std::uint32_t>(ts_us / 1000000ull);
+  const auto frac_us = static_cast<std::uint32_t>(ts_us % 1000000ull);
+  rec.ts_frac = opts_.nanos ? frac_us * 1000u : frac_us;
+  rec.data.assign(data.begin(), data.end());
+  rec.orig_len =
+      orig_len != 0 ? orig_len : static_cast<std::uint32_t>(data.size());
+  Write(rec);
+}
+
+}  // namespace pegasus::io

@@ -1,0 +1,128 @@
+// Classic pcap (libpcap / tcpdump) container — native reader and writer,
+// no external dependency.
+//
+// The paper evaluates on real captures (PeerRush, CICIOT2022, ISCXVPN2016);
+// this is the layer that lets the repo ingest such files. Format (one
+// 24-byte global header, then length-prefixed records):
+//
+//   magic    u32  0xa1b2c3d4 (us) / 0xa1b23c4d (ns), byte-swapped when the
+//                 writing host's byte order differs from the reader's
+//   version  u16.u16  2.4
+//   thiszone i32, sigfigs u32  (always 0 in practice)
+//   snaplen  u32  capture truncation limit
+//   linktype u32  1 = Ethernet
+//   record:  ts_sec u32, ts_frac u32 (us or ns), incl_len u32, orig_len u32,
+//            incl_len bytes of frame data
+//
+// PcapReader detects all four magic variants (2 byte orders x 2 timestamp
+// resolutions) and streams records without loading the file; PcapWriter can
+// emit any of the four, and Writer -> Reader round-trips records
+// bit-identically (tests/test_io.cpp locks this).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+namespace pegasus::io {
+
+inline constexpr std::uint32_t kPcapMagicMicros = 0xa1b2c3d4u;
+inline constexpr std::uint32_t kPcapMagicNanos = 0xa1b23c4du;
+inline constexpr std::uint32_t kLinktypeEthernet = 1;
+
+/// Hard per-record size bound, applied regardless of the header's snaplen
+/// (which may itself be corrupt, and 0 conventionally means "unlimited") —
+/// far above any Ethernet jumbo frame, far below a corrupt-length
+/// allocation.
+inline constexpr std::uint32_t kMaxRecordBytes = 256 * 1024;
+
+/// File-level knobs. `swapped` selects the non-native byte order on disk
+/// (what a capture from an opposite-endian host looks like); readers accept
+/// both transparently.
+struct PcapOptions {
+  bool nanos = false;
+  bool swapped = false;
+  std::uint32_t snaplen = 65535;
+  std::uint32_t linktype = kLinktypeEthernet;
+};
+
+/// One capture record. `data.size()` is the captured length (incl_len);
+/// `orig_len` is the original wire length, >= incl_len when the capture was
+/// truncated by snaplen.
+struct PcapRecord {
+  std::uint32_t ts_sec = 0;
+  /// Microseconds or nanoseconds, per the file header's magic.
+  std::uint32_t ts_frac = 0;
+  std::uint32_t orig_len = 0;
+  std::vector<std::uint8_t> data;
+
+  /// Capture timestamp in microseconds (nanosecond files floor-divide).
+  std::uint64_t TsMicros(bool nanos) const {
+    return static_cast<std::uint64_t>(ts_sec) * 1000000ull +
+           (nanos ? ts_frac / 1000u : ts_frac);
+  }
+
+  bool operator==(const PcapRecord&) const = default;
+};
+
+/// Streaming pcap reader. Parses the global header up front (throws
+/// std::runtime_error on an unknown magic or a truncated header) and then
+/// iterates records; the stream must outlive the reader.
+class PcapReader {
+ public:
+  explicit PcapReader(std::istream& is);
+
+  /// Reads the next record. Returns false on clean end-of-file; throws
+  /// std::runtime_error if the file ends mid-record.
+  bool Next(PcapRecord& out);
+
+  /// File properties recovered from the header (options().swapped reports
+  /// whether the file's byte order differs from this host's).
+  const PcapOptions& options() const { return opts_; }
+  bool nanos() const { return opts_.nanos; }
+  std::uint64_t records() const { return records_; }
+
+ private:
+  std::uint16_t U16();
+  std::uint32_t U32();
+
+  std::istream& is_;
+  PcapOptions opts_;
+  std::uint64_t records_ = 0;
+};
+
+/// Throws std::runtime_error naming `who` unless the capture's linktype is
+/// Ethernet — the only linktype the wire parser (io/wire.hpp) understands.
+void RequireEthernet(const PcapReader& reader, const char* who);
+
+/// Streaming pcap writer: emits the global header at construction, then one
+/// record per Write. The stream must outlive the writer.
+class PcapWriter {
+ public:
+  explicit PcapWriter(std::ostream& os, PcapOptions opts = {});
+
+  /// Writes a record verbatim (timestamp fields are copied as-is, so a
+  /// Reader -> Writer pipe with matching options reproduces the input file
+  /// byte for byte). Throws std::invalid_argument if orig_len < incl_len.
+  void Write(const PcapRecord& rec);
+
+  /// Convenience: splits `ts_us` into (sec, frac) at this file's
+  /// resolution. `orig_len` of 0 means "not truncated" (orig_len =
+  /// data.size()).
+  void Write(std::uint64_t ts_us, std::span<const std::uint8_t> data,
+             std::uint32_t orig_len = 0);
+
+  const PcapOptions& options() const { return opts_; }
+  std::uint64_t records() const { return records_; }
+
+ private:
+  void P16(std::uint16_t v);
+  void P32(std::uint32_t v);
+
+  std::ostream& os_;
+  PcapOptions opts_;
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace pegasus::io

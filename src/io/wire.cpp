@@ -1,0 +1,242 @@
+#include "io/wire.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace pegasus::io {
+
+namespace {
+
+constexpr std::size_t kEthHeader = 14;
+constexpr std::size_t kIpv4MinHeader = 20;
+constexpr std::size_t kIpv6Header = 40;
+constexpr std::size_t kTcpMinHeader = 20;
+constexpr std::size_t kUdpHeader = 8;
+
+std::uint16_t Be16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+void PutBe16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+
+/// RFC 1071 ones'-complement sum over the IPv4 header.
+std::uint16_t Ipv4HeaderChecksum(const std::uint8_t* hdr, std::size_t len) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < len; i += 2) {
+    sum += Be16(hdr + i);
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xffffu) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum);
+}
+
+}  // namespace
+
+bool WireParser::Parse(std::span<const std::uint8_t> frame,
+                       std::uint64_t ts_us, ParsedPacket& out) {
+  ++stats_.frames;
+  const std::uint8_t* p = frame.data();
+  std::size_t len = frame.size();
+  if (len < kEthHeader) {
+    ++stats_.truncated;
+    return false;
+  }
+  std::uint16_t ether_type = Be16(p + 12);
+  std::size_t off = kEthHeader;
+  std::uint16_t vlan_tags = 0;
+  while (ether_type == kEtherTypeVlan || ether_type == kEtherTypeQinQ) {
+    if (len < off + 4) {
+      ++stats_.truncated;
+      return false;
+    }
+    ether_type = Be16(p + off + 2);
+    off += 4;
+    ++vlan_tags;
+    ++stats_.vlan_tags;
+  }
+
+  dataplane::FiveTuple tuple;
+  std::uint16_t wire_len = 0;
+  std::size_t l4_off = 0;
+  if (ether_type == kEtherTypeIpv4) {
+    if (len < off + kIpv4MinHeader) {
+      ++stats_.truncated;
+      return false;
+    }
+    const std::uint8_t* ip = p + off;
+    const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0f) * 4;
+    if ((ip[0] >> 4) != 4 || ihl < kIpv4MinHeader || len < off + ihl) {
+      ++stats_.truncated;
+      return false;
+    }
+    // Non-first fragments carry no L4 header — the bytes at the port
+    // offsets are mid-datagram payload. Drop them (first fragments,
+    // offset 0, parse normally).
+    if ((((ip[6] & 0x1f) << 8) | ip[7]) != 0) {
+      ++stats_.fragments;
+      return false;
+    }
+    tuple.version = 4;
+    tuple.proto = ip[9];
+    wire_len = Be16(ip + 2);
+    std::copy(ip + 12, ip + 16, tuple.src.begin());
+    std::copy(ip + 16, ip + 20, tuple.dst.begin());
+    l4_off = off + ihl;
+  } else if (ether_type == kEtherTypeIpv6) {
+    if (len < off + kIpv6Header) {
+      ++stats_.truncated;
+      return false;
+    }
+    const std::uint8_t* ip = p + off;
+    if ((ip[0] >> 4) != 6) {
+      ++stats_.truncated;
+      return false;
+    }
+    tuple.version = 6;
+    tuple.proto = ip[6];  // next header; extension chains count as non-L4
+    wire_len = static_cast<std::uint16_t>(
+        std::min<std::uint32_t>(kIpv6Header + Be16(ip + 4), 0xffffu));
+    std::copy(ip + 8, ip + 24, tuple.src.begin());
+    std::copy(ip + 24, ip + 40, tuple.dst.begin());
+    l4_off = off + kIpv6Header;
+  } else {
+    ++stats_.non_ip;
+    return false;
+  }
+
+  std::size_t payload_off = 0;
+  if (tuple.proto == dataplane::kProtoTcp) {
+    if (len < l4_off + kTcpMinHeader) {
+      ++stats_.truncated;
+      return false;
+    }
+    const std::uint8_t* tcp = p + l4_off;
+    const std::size_t data_off = static_cast<std::size_t>(tcp[12] >> 4) * 4;
+    if (data_off < kTcpMinHeader || len < l4_off + data_off) {
+      ++stats_.truncated;
+      return false;
+    }
+    tuple.src_port = Be16(tcp);
+    tuple.dst_port = Be16(tcp + 2);
+    payload_off = l4_off + data_off;
+  } else if (tuple.proto == dataplane::kProtoUdp) {
+    if (len < l4_off + kUdpHeader) {
+      ++stats_.truncated;
+      return false;
+    }
+    const std::uint8_t* udp = p + l4_off;
+    tuple.src_port = Be16(udp);
+    tuple.dst_port = Be16(udp + 2);
+    payload_off = l4_off + kUdpHeader;
+  } else {
+    ++stats_.non_l4;
+    return false;
+  }
+
+  out.ts_us = ts_us;
+  out.tuple = dataplane::Canonical(tuple);
+  out.key = dataplane::DigestTuple(out.tuple);
+  out.wire_len = wire_len;
+  out.vlan_tags = vlan_tags;
+  out.payload.fill(0);
+  // Ethernet pads runt frames up to its 60-byte minimum; in such frames
+  // the bytes past the IP datagram's declared end are pad, not payload —
+  // keep them out of the raw-byte feature window. Larger frames trust the
+  // capture (snaplen-style fixtures may carry more payload than wire_len
+  // admits).
+  std::size_t limit = len;
+  const std::size_t datagram_end = off + wire_len;
+  if (len <= 64 + 4ull * vlan_tags && datagram_end < len) {
+    limit = std::max(datagram_end, payload_off);
+  }
+  const std::size_t captured =
+      std::min(limit - payload_off, traffic::kRawBytesPerPacket);
+  std::memcpy(out.payload.data(), p + payload_off, captured);
+  out.payload_captured = static_cast<std::uint16_t>(captured);
+  ++stats_.parsed;
+  return true;
+}
+
+std::uint16_t MinWireLen(const dataplane::FiveTuple& tuple) {
+  const std::size_t ip =
+      tuple.version == 6 ? kIpv6Header : kIpv4MinHeader;
+  const std::size_t l4 =
+      tuple.proto == dataplane::kProtoUdp ? kUdpHeader : kTcpMinHeader;
+  return static_cast<std::uint16_t>(ip + l4);
+}
+
+std::vector<std::uint8_t> BuildFrame(const dataplane::FiveTuple& tuple,
+                                     std::span<const std::uint8_t> payload,
+                                     std::uint16_t wire_len) {
+  if (tuple.version != 4 && tuple.version != 6) {
+    throw std::invalid_argument("BuildFrame: unsupported IP version");
+  }
+  if (tuple.proto != dataplane::kProtoTcp &&
+      tuple.proto != dataplane::kProtoUdp) {
+    throw std::invalid_argument("BuildFrame: unsupported L4 protocol");
+  }
+  if (wire_len < MinWireLen(tuple)) {
+    throw std::invalid_argument(
+        "BuildFrame: wire_len below the IP+L4 header size");
+  }
+
+  const std::size_t ip_hdr =
+      tuple.version == 6 ? kIpv6Header : kIpv4MinHeader;
+  const std::size_t l4_hdr =
+      tuple.proto == dataplane::kProtoUdp ? kUdpHeader : kTcpMinHeader;
+  std::vector<std::uint8_t> frame(kEthHeader + ip_hdr + l4_hdr +
+                                  payload.size());
+  std::uint8_t* p = frame.data();
+
+  // Ethernet: locally-administered unicast MACs derived from the flow
+  // digest, so a capture's L2 is deterministic in its flows.
+  const std::uint64_t digest = dataplane::DigestTuple(tuple).digest;
+  p[0] = 0x02;
+  p[6] = 0x02;
+  for (std::size_t i = 0; i < 5; ++i) {
+    p[1 + i] = static_cast<std::uint8_t>(digest >> (8 * i));
+    p[7 + i] = static_cast<std::uint8_t>(digest >> (8 * (i + 3)));
+  }
+  PutBe16(p + 12,
+          tuple.version == 6 ? kEtherTypeIpv6 : kEtherTypeIpv4);
+
+  std::uint8_t* ip = p + kEthHeader;
+  if (tuple.version == 4) {
+    ip[0] = 0x45;  // version 4, 20-byte header
+    PutBe16(ip + 2, wire_len);
+    PutBe16(ip + 6, 0x4000);  // DF
+    ip[8] = 64;               // TTL
+    ip[9] = tuple.proto;
+    std::copy(tuple.src.begin(), tuple.src.begin() + 4, ip + 12);
+    std::copy(tuple.dst.begin(), tuple.dst.begin() + 4, ip + 16);
+    PutBe16(ip + 10, Ipv4HeaderChecksum(ip, kIpv4MinHeader));
+  } else {
+    ip[0] = 0x60;
+    PutBe16(ip + 4, static_cast<std::uint16_t>(wire_len - kIpv6Header));
+    ip[6] = tuple.proto;
+    ip[7] = 64;  // hop limit
+    std::copy(tuple.src.begin(), tuple.src.end(), ip + 8);
+    std::copy(tuple.dst.begin(), tuple.dst.end(), ip + 24);
+  }
+
+  std::uint8_t* l4 = ip + ip_hdr;
+  PutBe16(l4, tuple.src_port);
+  PutBe16(l4 + 2, tuple.dst_port);
+  if (tuple.proto == dataplane::kProtoTcp) {
+    l4[12] = 0x50;  // 20-byte header
+    l4[13] = 0x18;  // PSH|ACK
+    PutBe16(l4 + 14, 0xffff);
+  } else {
+    PutBe16(l4 + 4, static_cast<std::uint16_t>(wire_len - ip_hdr));
+  }
+
+  std::copy(payload.begin(), payload.end(), l4 + l4_hdr);
+  return frame;
+}
+
+}  // namespace pegasus::io

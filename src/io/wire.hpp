@@ -1,0 +1,102 @@
+// Wire-format parsing: Ethernet(+VLAN) / IPv4 / IPv6 / TCP / UDP -> the
+// traffic substrate's packet model.
+//
+// WireParser is the ingest half: one captured frame in, one ParsedPacket
+// out — the packet's capture time, its canonicalized bidirectional 5-tuple
+// and 64-bit FlowKey digest (dataplane/flow_key.hpp), the IP-layer wire
+// length, and the first traffic::kRawBytesPerPacket L4-payload bytes (what
+// the CNN-L feature path consumes). Frames the dataplane would not key flow
+// state on (non-IP ethertypes, non-TCP/UDP protocols, frames truncated
+// inside their headers) are skipped with per-reason drop counters, exactly
+// like a switch parser's drop stats.
+//
+// BuildFrame is the export half — the inverse serializer the pcap export
+// path (io/assemble.hpp) and the fixture generator use, so a synthetic
+// Dataset can be written as a real capture and re-ingested bit-identically.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dataplane/flow_key.hpp"
+#include "traffic/packet.hpp"
+
+namespace pegasus::io {
+
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEtherTypeIpv6 = 0x86dd;
+inline constexpr std::uint16_t kEtherTypeVlan = 0x8100;   // 802.1Q
+inline constexpr std::uint16_t kEtherTypeQinQ = 0x88a8;   // 802.1ad
+
+/// One successfully parsed frame.
+struct ParsedPacket {
+  /// Absolute capture time, microseconds.
+  std::uint64_t ts_us = 0;
+  /// Canonicalized bidirectional 5-tuple (dataplane::Canonical).
+  dataplane::FiveTuple tuple;
+  /// DigestTuple(tuple) — the FlowTable / shard routing key.
+  dataplane::FlowKey key;
+  /// IP-layer wire length: IPv4 total length, or 40 + payload length for
+  /// IPv6. Read from the IP header, so it survives snaplen truncation
+  /// (unlike the captured byte count).
+  std::uint16_t wire_len = 0;
+  /// First kRawBytesPerPacket bytes of L4 payload, zero-padded when the
+  /// capture holds fewer.
+  std::array<std::uint8_t, traffic::kRawBytesPerPacket> payload{};
+  /// How many payload bytes were actually present in the capture.
+  std::uint16_t payload_captured = 0;
+  /// VLAN tags skipped on this frame (0 for untagged).
+  std::uint16_t vlan_tags = 0;
+};
+
+/// Per-reason drop accounting (a frame increments exactly one of the drop
+/// counters, or `parsed`).
+struct WireParseStats {
+  std::uint64_t frames = 0;
+  std::uint64_t parsed = 0;
+  /// Frame ended inside its declared L2/L3/L4 headers.
+  std::uint64_t truncated = 0;
+  /// Ethertype is neither IPv4 nor IPv6 (after VLAN unwrapping).
+  std::uint64_t non_ip = 0;
+  /// IP protocol is neither TCP nor UDP.
+  std::uint64_t non_l4 = 0;
+  /// Non-first IPv4 fragments (no L4 header to key on). IPv6 fragments
+  /// arrive behind an extension header and count as non_l4.
+  std::uint64_t fragments = 0;
+  /// Total VLAN tags unwrapped (can exceed `frames` under QinQ stacking).
+  std::uint64_t vlan_tags = 0;
+};
+
+class WireParser {
+ public:
+  /// Parses one Ethernet frame captured at `ts_us`. Returns true and fills
+  /// `out` for TCP/UDP over IPv4/IPv6 (VLAN/QinQ tags unwrapped); otherwise
+  /// counts the drop reason and returns false.
+  bool Parse(std::span<const std::uint8_t> frame, std::uint64_t ts_us,
+             ParsedPacket& out);
+
+  const WireParseStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
+
+ private:
+  WireParseStats stats_;
+};
+
+/// Serializes a packet back onto the wire: Ethernet header (deterministic
+/// locally-administered MACs derived from the tuple digest), IPv4 or IPv6,
+/// TCP or UDP, then `payload`. `wire_len` lands in the IP length field
+/// (IPv4 total length / IPv6 payload length + 40), which is what WireParser
+/// reads back — the frame itself always carries the full payload span, the
+/// way a snaplen-truncated capture carries fewer bytes than orig_len.
+/// Throws std::invalid_argument if wire_len is smaller than the IP+L4
+/// headers or the tuple's version/proto is unsupported.
+std::vector<std::uint8_t> BuildFrame(const dataplane::FiveTuple& tuple,
+                                     std::span<const std::uint8_t> payload,
+                                     std::uint16_t wire_len);
+
+/// Minimum wire_len BuildFrame accepts for a tuple (IP header + L4 header).
+std::uint16_t MinWireLen(const dataplane::FiveTuple& tuple);
+
+}  // namespace pegasus::io

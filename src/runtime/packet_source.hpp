@@ -1,0 +1,45 @@
+// Pull-based packet ingestion for the StreamServer.
+//
+// A PacketSource produces the per-packet stream the server consumes —
+// in-memory merged traces (traffic::MergeTrace), pcap captures decoded on
+// the fly (io/replay.hpp's PcapPacketSource), or any of those wrapped in a
+// pacing TraceReplayer. StreamServer::Serve(PacketSource&) pulls until the
+// source runs dry, so the runtime never needs to know where packets come
+// from — the io layer plugs in from above.
+#pragma once
+
+#include <span>
+
+#include "traffic/stream.hpp"
+
+namespace pegasus::runtime {
+
+class PacketSource {
+ public:
+  virtual ~PacketSource() = default;
+
+  /// Produces the next packet. Returns false at end of stream. `out.packet`
+  /// only needs to stay valid until the next call — sources may reuse one
+  /// internal buffer; the server copies the payload where it must outlive
+  /// the call (its multi-threaded rings).
+  virtual bool Next(traffic::TracePacket& out) = 0;
+};
+
+/// The in-memory case: iterates a borrowed trace (must outlive the source).
+class SpanPacketSource final : public PacketSource {
+ public:
+  explicit SpanPacketSource(std::span<const traffic::TracePacket> trace)
+      : trace_(trace) {}
+
+  bool Next(traffic::TracePacket& out) override {
+    if (at_ >= trace_.size()) return false;
+    out = trace_[at_++];
+    return true;
+  }
+
+ private:
+  std::span<const traffic::TracePacket> trace_;
+  std::size_t at_ = 0;
+};
+
+}  // namespace pegasus::runtime

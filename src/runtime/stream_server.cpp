@@ -68,9 +68,13 @@ std::shared_ptr<const ServingState> MakeServingState(
 
 /// One ring element in multi-threaded mode: either a packet or an in-band
 /// control item (`swap != nullptr`) that retires the shard's model at
-/// exactly this position in the shard's packet sequence.
+/// exactly this position in the shard's packet sequence. The payload rides
+/// by value: a PacketSource may reuse its buffer the moment Push returns,
+/// so the borrowed TracePacket::packet pointer cannot cross the ring — the
+/// worker re-aims it at `payload` after popping.
 struct StreamServer::ShardItem {
   traffic::TracePacket packet;
+  traffic::Packet payload;
   std::shared_ptr<const ServingState> swap;
 };
 
@@ -186,6 +190,7 @@ void StreamServer::Push(const traffic::TracePacket& packet) {
   }
   ShardItem item;
   item.packet = packet;
+  item.payload = *packet.packet;
   while (!shard.queue->TryPush(std::move(item))) {
     std::this_thread::yield();  // shard backlogged; apply backpressure
   }
@@ -340,6 +345,7 @@ void StreamServer::WorkerLoop(Shard& shard) {
     if (item.swap) {
       ApplySwap(shard, std::move(item.swap));
     } else {
+      item.packet.packet = &item.payload;  // rebind after the ring move
       Process(shard, item.packet);
     }
   };
@@ -365,12 +371,18 @@ std::vector<StreamDecision> StreamServer::Serve(
     shard->decisions.reserve(shard->decisions.size() +
                              trace.size() / shards_.size() + 1);
   }
+  SpanPacketSource source(trace);
+  return Serve(source);
+}
+
+std::vector<StreamDecision> StreamServer::Serve(PacketSource& source) {
+  traffic::TracePacket packet;
   if (opts_.multithreaded) {
     Start();
-    for (const auto& packet : trace) Push(packet);
+    while (source.Next(packet)) Push(packet);
     Stop();
   } else {
-    for (const auto& packet : trace) Push(packet);
+    while (source.Next(packet)) Push(packet);
     Flush();
   }
   return TakeDecisions();

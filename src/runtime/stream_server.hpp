@@ -59,6 +59,7 @@
 #include "runtime/flow_state.hpp"
 #include "runtime/flow_table.hpp"
 #include "runtime/inference_engine.hpp"
+#include "runtime/packet_source.hpp"
 #include "traffic/stream.hpp"
 
 namespace pegasus::runtime {
@@ -201,6 +202,12 @@ class StreamServer {
   /// Flush in single-threaded mode) and returns the decisions.
   std::vector<StreamDecision> Serve(
       std::span<const traffic::TracePacket> trace);
+
+  /// Pull-based ingestion: drains `source` (a merged trace, a pcap capture
+  /// decoded on the fly, or a pacing io::TraceReplayer) through the same
+  /// Push loop. Sources may reuse their packet buffer between Next calls —
+  /// the multi-threaded rings carry the payload by value.
+  std::vector<StreamDecision> Serve(PacketSource& source);
 
   /// Moves out the accumulated decisions, shard-major (within a shard:
   /// processing order). Throws std::logic_error while workers are running

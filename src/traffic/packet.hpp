@@ -5,6 +5,12 @@
 // flows with class-conditional packet-length / inter-packet-delay /
 // payload-byte distributions (see DESIGN.md §2 for why this preserves the
 // experiments' shape). Models consume only what these structures carry.
+//
+// Real captures ARE ingestible: src/io/ reads classic pcap files, parses
+// Ethernet/IPv4/IPv6/TCP/UDP wire formats into these structures
+// (io/assemble.hpp -> Dataset) and replays them with trace timing into the
+// serving runtime (io/replay.hpp); the synthetic generator exports the same
+// format (io::WriteDatasetPcap), so fixtures are self-hosting.
 #pragma once
 
 #include <array>
@@ -12,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "dataplane/flow_key.hpp"
 #include "dataplane/registers.hpp"
 
 namespace pegasus::traffic {
@@ -29,7 +36,12 @@ struct Packet {
 };
 
 struct Flow {
+  /// Digest of `tuple` (dataplane::DigestTuple) — the key every flow table,
+  /// shard router and register array indexes on.
   dataplane::FlowKey key;
+  /// Canonical bidirectional 5-tuple; what the pcap export path
+  /// (io/assemble.hpp) serializes back onto the wire.
+  dataplane::FiveTuple tuple;
   std::int32_t label = 0;
   std::vector<Packet> packets;
 };

@@ -8,7 +8,12 @@ namespace pegasus::traffic {
 
 void OnlineFeatureExtractor::Update(OnlineFlowState& s, const Packet& pkt,
                                     std::uint64_t ts_us) const {
-  const std::uint64_t ipd_us = s.packets == 0 ? 0 : ts_us - s.last_ts_us;
+  // Real captures reorder: a packet timestamped before its predecessor must
+  // clamp to IPD 0, not wrap the unsigned subtraction into a ~2^64 us gap
+  // (which would pin the quantized IPD — and the flow's max — at 255).
+  const std::uint64_t ipd_us = (s.packets == 0 || ts_us < s.last_ts_us)
+                                   ? 0
+                                   : ts_us - s.last_ts_us;
   const std::uint8_t ql = QuantizeLen(pkt.len);
   const std::uint8_t qi = QuantizeIpd(ipd_us);
   s.min_len = std::min(s.min_len, ql);

@@ -66,7 +66,8 @@ struct OnlineFlowStateRaw {
 class OnlineFeatureExtractor {
  public:
   /// Feeds one packet arriving at absolute time `ts_us`. The IPD is
-  /// `ts_us - last_ts_us` (0 for the flow's first packet), so both
+  /// `ts_us - last_ts_us` (0 for the flow's first packet, and clamped to 0
+  /// for non-monotonic timestamps — real captures reorder), so both
   /// flow-relative clocks (offline extraction) and a shared trace clock
   /// (merged streams) produce identical quantized features.
   void Update(OnlineFlowState& s, const Packet& pkt,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dataplane/flow_key.hpp"
+
 namespace pegasus::traffic {
 
 namespace {
@@ -28,12 +30,38 @@ float Wave(std::size_t t, int period) {
   return phase < static_cast<std::size_t>((period + 1) / 2) ? 1.0f : -1.0f;
 }
 
+/// Synthetic client -> service 5-tuple: client in 10/8 with an ephemeral
+/// port below the service range, service in 172.16/12 on the label's port.
+/// Deterministic in `seed`; stored canonicalized so export -> import is
+/// idempotent.
+dataplane::FiveTuple MakeTuple(std::uint64_t seed, std::int32_t label) {
+  std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ull + 3);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<int> eph(1024, 19999);
+  dataplane::FiveTuple t;
+  t.version = 4;
+  t.proto = (rng() & 1) != 0 ? dataplane::kProtoTcp : dataplane::kProtoUdp;
+  t.src = {10, static_cast<std::uint8_t>(byte(rng)),
+           static_cast<std::uint8_t>(byte(rng)),
+           static_cast<std::uint8_t>(byte(rng))};
+  t.dst = {172, static_cast<std::uint8_t>(16 + (byte(rng) & 0x0f)),
+           static_cast<std::uint8_t>(byte(rng)),
+           static_cast<std::uint8_t>(byte(rng))};
+  t.src_port = static_cast<std::uint16_t>(eph(rng));
+  t.dst_port = ServicePortForLabel(label);
+  return dataplane::Canonical(t);
+}
+
 Flow MakeFlow(const ClassProfile& temporal, const ClassProfile& payload,
               std::int32_t label, std::size_t num_packets,
               std::mt19937_64& rng) {
   Flow flow;
   flow.label = label;
-  flow.key.digest = rng();
+  // One draw from the flow RNG seeds the tuple generator, so the packet
+  // stream below is unchanged from the pre-5-tuple generator (trained
+  // models and accuracy numbers stay bit-identical).
+  flow.tuple = MakeTuple(rng(), label);
+  flow.key = dataplane::DigestTuple(flow.tuple);
   flow.packets.resize(num_packets);
 
   std::normal_distribution<float> base_len(temporal.len_base_mu,
@@ -84,6 +112,12 @@ Flow MakeFlow(const ClassProfile& temporal, const ClassProfile& payload,
 }
 
 }  // namespace
+
+std::uint16_t ServicePortForLabel(std::int32_t label) {
+  return label >= 0
+             ? static_cast<std::uint16_t>(20000 + label % 10000)
+             : static_cast<std::uint16_t>(30000 + (-(label + 1)) % 10000);
+}
 
 Dataset Generate(const DatasetSpec& spec) {
   Dataset ds;

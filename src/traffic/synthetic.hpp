@@ -68,7 +68,19 @@ struct DatasetSpec {
   std::uint64_t seed = 42;
 };
 
+/// The service port a synthetic flow's 5-tuple encodes its label on
+/// (dst_port before canonicalization): benign labels L >= 0 map into
+/// [20000, 30000), attack labels L < 0 into [30000, 40000). Client-side
+/// ephemeral ports are drawn strictly below 20000, so an
+/// io::FlowLabeler port rule built from this function recovers every
+/// label exactly — the self-hosting pcap fixture's ground-truth channel.
+std::uint16_t ServicePortForLabel(std::int32_t label);
+
 /// Generates a labelled dataset from the spec. Deterministic in the seed.
+/// Every flow carries a synthetic canonical 5-tuple (IPv4, TCP or UDP,
+/// service port = ServicePortForLabel(label)) and key =
+/// dataplane::DigestTuple(tuple), so generated datasets survive a pcap
+/// export -> import round trip bit-identically.
 Dataset Generate(const DatasetSpec& spec);
 
 /// Generates `num_flows` flows of a single (attack) profile, labelled

@@ -288,6 +288,33 @@ TEST(Stream, OfflineExtractorsAreOnlineWrappers) {
   EXPECT_EQ(cursor, stat.size());
 }
 
+TEST(Stream, NonMonotonicTimestampsClampToZeroIpd) {
+  // Regression: real captures reorder packets, so ts_us can step backwards.
+  // The IPD must clamp to 0 — before the fix the unsigned subtraction
+  // wrapped to ~2^64 us and pinned the quantized IPD (and max_ipd) at 255.
+  const tr::OnlineFeatureExtractor ex;
+  tr::Packet pkt;
+  pkt.len = 100;
+
+  tr::OnlineFlowState st;
+  ex.Update(st, pkt, 1000);
+  ex.Update(st, pkt, 3000);  // IPD 2000us
+  ex.Update(st, pkt, 2000);  // reordered: clamps to IPD 0
+  EXPECT_EQ(st.min_ipd, 0);
+  EXPECT_EQ(st.max_ipd, tr::QuantizeIpd(2000));
+  const std::size_t newest = (st.packets - 1) % tr::kWindow;
+  EXPECT_EQ(st.fuzzy_ipd[newest], 0);
+  // The reordered packet's (smaller) timestamp becomes the new reference.
+  EXPECT_EQ(st.last_ts_us, 2000u);
+
+  // A reordered *first-window* packet must not poison min/max either.
+  tr::OnlineFlowState fresh;
+  ex.Update(fresh, pkt, 5000);
+  ex.Update(fresh, pkt, 100);
+  EXPECT_EQ(fresh.max_ipd, 0);
+  EXPECT_EQ(fresh.min_ipd, 0);
+}
+
 TEST(Stream, EmitBeforeWindowFullThrows) {
   // (Emitting raw features from a stat/seq state is impossible by
   // construction: EmitRaw only accepts OnlineFlowStateRaw.)
