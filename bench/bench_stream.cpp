@@ -17,6 +17,12 @@
 // — the "can we push a model without a maintenance window" number.
 // tools/compare_index_bench.py --stream condenses these rows into
 // BENCH_swap.json.
+// A multi-ingest section sweeps the ISSUE 6 scaling curve: ingest x shard
+// configs (1x1 up to 4x8) replaying the trace through
+// Serve(PartitionedPacketSource&) — digest-disjoint partitions, burst
+// rings, per-shard sinks — reporting aggregate pps, scaling efficiency
+// against the 1x1 run, and the shed counters (one deliberately overloaded
+// row documents the shedding knob). Emitted as "scaling_runs".
 // A third section exercises the packet-I/O subsystem: the merged trace is
 // exported as a real pcap capture (io::WriteDatasetPcap) and replayed
 // straight from the file through PcapPacketSource — as fast as possible in
@@ -231,6 +237,92 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- multi-ingest thread scaling ---------------------------------------
+  // The ISSUE 6 headline: aggregate pps as ingest x shard grows, on the
+  // MLP-B stat path. Each config replays the same merged trace through
+  // Serve(PartitionedPacketSource&) — N ingest threads over digest-disjoint
+  // partitions, burst rings, per-shard sinks. Efficiency is pps relative to
+  // the 1-shard/1-ingest run scaled by the shard count (1.0 = perfectly
+  // linear); on a box with fewer cores than ingest+shards the curve flattens
+  // by construction — read it on the CI runner.
+  struct ScalingRow {
+    std::size_t ingest = 0;
+    std::size_t shards = 0;
+    bool shed = false;
+    std::uint64_t offered = 0;  // packets presented at ingest
+    std::uint64_t packets = 0;  // packets actually served
+    std::uint64_t decisions = 0;
+    std::uint64_t shed_ring_full = 0;
+    std::uint64_t shed_misrouted = 0;
+    double shed_rate = 0.0;
+    double wall_ms = 0.0;
+    double pps = 0.0;
+    double efficiency = 0.0;
+  };
+  std::vector<ScalingRow> scaling_rows;
+  auto run_scaling = [&](std::size_t ingest, std::size_t shards, bool shed,
+                         std::size_t queue_capacity, std::size_t shed_spin,
+                         double base_pps) {
+    rt::StreamServerOptions opts;
+    opts.num_shards = shards;
+    opts.flows_per_shard = 1 << 10;
+    opts.feature = rt::FeatureKind::kStat;
+    opts.multithreaded = true;
+    opts.num_ingest = ingest;
+    opts.queue_capacity = queue_capacity;
+    opts.shed = shed;
+    opts.shed_spin = shed_spin;
+    rt::StreamServer server(mlp_lowered, opts, 1);
+    const auto run = ev::ServeTracePartitioned(server, trace);
+    ScalingRow row;
+    row.ingest = ingest;
+    row.shards = shards;
+    row.shed = shed;
+    row.packets = run.stats.packets;
+    row.offered = run.stats.packets + run.stats.shed.total();
+    row.decisions = run.stats.decisions;
+    row.shed_ring_full = run.stats.shed.ring_full;
+    row.shed_misrouted = run.stats.shed.misrouted;
+    row.shed_rate = row.offered > 0
+                        ? static_cast<double>(run.stats.shed.total()) /
+                              static_cast<double>(row.offered)
+                        : 0.0;
+    row.wall_ms = run.wall_ms;
+    row.pps = run.packets_per_sec;
+    row.efficiency =
+        base_pps > 0.0
+            ? row.pps / (base_pps * static_cast<double>(shards))
+            : 1.0;
+    scaling_rows.push_back(row);
+    return row;
+  };
+
+  std::printf("\nmulti-ingest scaling (MLP-B, burst rings, shed off):\n");
+  std::printf("%7s %7s %10s %12s %11s %10s\n", "ingest", "shards", "wall ms",
+              "pkts/s", "efficiency", "shed rate");
+  double base_pps = 0.0;
+  for (const std::size_t shards :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    const std::size_t ingest = std::max<std::size_t>(1, shards / 2);
+    const auto row =
+        run_scaling(ingest, shards, /*shed=*/false, 1 << 12, 256, base_pps);
+    if (shards == 1) base_pps = row.pps;
+    std::printf("%7zu %7zu %10.1f %12.0f %11.2f %10.4f\n", row.ingest,
+                row.shards, row.wall_ms, row.pps,
+                shards == 1 ? 1.0 : row.efficiency, row.shed_rate);
+  }
+  // Overload demo: a deliberately tiny ring with a zero spin budget sheds
+  // under burst pressure instead of stalling ingest — the counters land in
+  // the artifact so the sweep documents the knob.
+  {
+    const auto row = run_scaling(/*ingest=*/1, /*shards=*/1, /*shed=*/true,
+                                 /*queue_capacity=*/64, /*shed_spin=*/0,
+                                 base_pps);
+    std::printf("%7zu %7zu %10.1f %12.0f %11s %10.4f  (shed demo)\n",
+                row.ingest, row.shards, row.wall_ms, row.pps, "-",
+                row.shed_rate);
+  }
+
   // ---- packet I/O: pcap replay -------------------------------------------
   // Export the same merged trace as a capture (identical interleaving: the
   // default MergeOptions seed matches the in-memory trace above), then
@@ -368,6 +460,25 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.swaps), r.swap_latency_ms,
         r.wall_ms, r.pps, r.baseline_pps,
         i + 1 < swap_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"scaling_runs\": [\n");
+  for (std::size_t i = 0; i < scaling_rows.size(); ++i) {
+    const ScalingRow& r = scaling_rows[i];
+    std::fprintf(
+        f,
+        "    {\"ingest\": %zu, \"shards\": %zu, \"shed\": %s, "
+        "\"offered\": %llu, \"packets\": %llu, \"decisions\": %llu, "
+        "\"shed_ring_full\": %llu, \"shed_misrouted\": %llu, "
+        "\"shed_rate\": %.6f, \"wall_ms\": %.3f, "
+        "\"packets_per_sec\": %.1f, \"scaling_efficiency\": %.4f}%s\n",
+        r.ingest, r.shards, r.shed ? "true" : "false",
+        static_cast<unsigned long long>(r.offered),
+        static_cast<unsigned long long>(r.packets),
+        static_cast<unsigned long long>(r.decisions),
+        static_cast<unsigned long long>(r.shed_ring_full),
+        static_cast<unsigned long long>(r.shed_misrouted), r.shed_rate,
+        r.wall_ms, r.pps, r.efficiency,
+        i + 1 < scaling_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

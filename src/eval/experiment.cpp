@@ -145,6 +145,23 @@ StreamRun ServeTrace(runtime::StreamServer& server,
   return run;
 }
 
+StreamRun ServeTracePartitioned(
+    runtime::StreamServer& server,
+    std::span<const traffic::TracePacket> trace) {
+  runtime::DigestPartitionedSource source(
+      trace, server.options().num_ingest,
+      [&server](std::uint64_t digest) {
+        return server.IngestPartitionOf(digest);
+      });
+  StreamRun run;
+  const std::uint64_t packets_before = server.Stats().packets;
+  const auto t0 = std::chrono::steady_clock::now();
+  run.decisions = server.Serve(source);
+  const auto t1 = std::chrono::steady_clock::now();
+  FinishRun(run, server, packets_before, t0, t1);
+  return run;
+}
+
 StreamRun ServeTraceWithSwap(
     runtime::StreamServer& server,
     std::span<const traffic::TracePacket> trace, std::size_t swap_at,

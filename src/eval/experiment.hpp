@@ -88,6 +88,16 @@ StreamRun ServeTrace(runtime::StreamServer& server,
 StreamRun ServeTrace(runtime::StreamServer& server,
                      runtime::PacketSource& source);
 
+/// Multi-ingest variant: splits `trace` by flow digest into
+/// server.options().num_ingest partitions (via server.IngestPartitionOf)
+/// and drains them through Serve(PartitionedPacketSource&) — N ingest
+/// threads, no shared dispatch point. The partition pre-pass is excluded
+/// from the timed window. With shedding enabled, `packets_per_sec` counts
+/// the packets actually served; read run.stats.shed for the drops.
+StreamRun ServeTracePartitioned(
+    runtime::StreamServer& server,
+    std::span<const traffic::TracePacket> trace);
+
 /// The retrain-and-push scenario: replays `trace`, issuing
 /// server.SwapModel(model, version) after pushing the first `swap_at`
 /// packets — every earlier packet is decided by the old version, every

@@ -63,6 +63,34 @@ bool PcapPacketSource::Next(traffic::TracePacket& out) {
   return false;
 }
 
+PartitionedPcapSource::PartitionedPcapSource(const std::string& path,
+                                             std::size_t partitions,
+                                             runtime::DigestPartitionFn fn,
+                                             const FlowLabeler& labeler)
+    : fn_(std::move(fn)) {
+  if (partitions == 0) {
+    throw std::invalid_argument("PartitionedPcapSource: zero partitions");
+  }
+  if (!fn_) {
+    throw std::invalid_argument(
+        "PartitionedPcapSource: null partition function");
+  }
+  inner_.reserve(partitions);
+  for (std::size_t p = 0; p < partitions; ++p) {
+    inner_.push_back(std::make_unique<PcapPacketSource>(path, labeler));
+  }
+}
+
+bool PartitionedPcapSource::Next(std::size_t p, traffic::TracePacket& out) {
+  // Each partition decodes every record and keeps 1/N of them; the skipped
+  // packets still feed partition p's flow map, so flow ids match the
+  // unpartitioned source.
+  while (inner_[p]->Next(out)) {
+    if (fn_(out.key.digest) == p) return true;
+  }
+  return false;
+}
+
 const char* ReplayClockName(ReplayClock clock) {
   switch (clock) {
     case ReplayClock::kAfap:

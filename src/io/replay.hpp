@@ -20,7 +20,9 @@
 #include <fstream>
 #include <istream>
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "io/assemble.hpp"
 #include "io/pcap.hpp"
@@ -62,6 +64,30 @@ class PcapPacketSource final : public runtime::PacketSource {
   std::unordered_map<std::uint64_t, FlowEntry> flows_;
   PcapRecord rec_;  // reused per Next: record capacity survives packets
   traffic::Packet storage_;
+};
+
+/// Multi-ingest pcap replay (RSS-from-file): each partition owns an
+/// independent decode pass over the SAME capture — reader, parser and flow
+/// map per partition — and emits only the packets its partition function
+/// claims. N ingest threads therefore pull concurrently with zero shared
+/// state, at the cost of N parse passes (the standard software-RSS
+/// trade when the capture has no per-flow index). Because every inner
+/// source sees the whole file, first-seen flow numbering is identical
+/// across partitions — decisions line up with an unpartitioned replay.
+class PartitionedPcapSource final : public runtime::PartitionedPacketSource {
+ public:
+  /// `fn` maps a flow digest to its partition (build it from
+  /// StreamServer::IngestPartitionOf); must be pure and thread-safe.
+  PartitionedPcapSource(const std::string& path, std::size_t partitions,
+                        runtime::DigestPartitionFn fn,
+                        const FlowLabeler& labeler = {});
+
+  std::size_t partitions() const override { return inner_.size(); }
+  bool Next(std::size_t p, traffic::TracePacket& out) override;
+
+ private:
+  std::vector<std::unique_ptr<PcapPacketSource>> inner_;
+  runtime::DigestPartitionFn fn_;
 };
 
 enum class ReplayClock {

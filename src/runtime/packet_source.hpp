@@ -6,9 +6,21 @@
 // pacing TraceReplayer. StreamServer::Serve(PacketSource&) pulls until the
 // source runs dry, so the runtime never needs to know where packets come
 // from — the io layer plugs in from above.
+//
+// A PartitionedPacketSource is the multi-ingest (RSS-style) counterpart:
+// the stream is split by flow digest into disjoint partitions, one per
+// ingest thread, so N threads pull concurrently with no shared dispatch
+// point — the receive-side-scaling idiom NICs implement in hardware. Each
+// partition must cover exactly the shards its ingest thread owns (build the
+// partition function from StreamServer::IngestPartitionOf), because each
+// shard ring is single-producer.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <span>
+#include <stdexcept>
+#include <vector>
 
 #include "traffic/stream.hpp"
 
@@ -40,6 +52,83 @@ class SpanPacketSource final : public PacketSource {
  private:
   std::span<const traffic::TracePacket> trace_;
   std::size_t at_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Multi-ingest partitioning.
+// ---------------------------------------------------------------------------
+
+/// Maps a flow digest to the ingest partition that owns it. Must be pure
+/// (same digest -> same partition) and callable concurrently from every
+/// ingest thread.
+using DigestPartitionFn = std::function<std::size_t(std::uint64_t digest)>;
+
+/// A packet stream pre-split into disjoint per-ingest partitions. Distinct
+/// partitions are consumed concurrently by distinct threads; implementations
+/// must keep per-partition cursors independent (no shared mutable state
+/// across partition indexes). Within a partition, packets arrive in stream
+/// order — a flow lives in exactly one partition, so per-flow order is the
+/// trace order.
+class PartitionedPacketSource {
+ public:
+  virtual ~PartitionedPacketSource() = default;
+
+  virtual std::size_t partitions() const = 0;
+
+  /// Produces the next packet of partition `p`. Same buffer-reuse contract
+  /// as PacketSource::Next. Only the ingest thread owning `p` may call it.
+  virtual bool Next(std::size_t p, traffic::TracePacket& out) = 0;
+};
+
+/// Splits a borrowed in-memory trace by flow digest: one pre-pass routes
+/// every packet index to its partition, then each ingest thread walks its
+/// own index list — zero coordination at pull time. The trace must outlive
+/// the source.
+class DigestPartitionedSource final : public PartitionedPacketSource {
+ public:
+  DigestPartitionedSource(std::span<const traffic::TracePacket> trace,
+                          std::size_t partitions, DigestPartitionFn fn)
+      : trace_(trace) {
+    if (partitions == 0) {
+      throw std::invalid_argument("DigestPartitionedSource: zero partitions");
+    }
+    if (!fn) {
+      throw std::invalid_argument(
+          "DigestPartitionedSource: null partition function");
+    }
+    order_.resize(partitions);
+    cursors_.resize(partitions);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const std::size_t p = fn(trace[i].key.digest);
+      if (p >= partitions) {
+        throw std::out_of_range(
+            "DigestPartitionedSource: partition function out of range");
+      }
+      order_[p].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  std::size_t partitions() const override { return order_.size(); }
+
+  bool Next(std::size_t p, traffic::TracePacket& out) override {
+    Cursor& cur = cursors_[p];
+    const auto& order = order_[p];
+    if (cur.at >= order.size()) return false;
+    out = trace_[order[cur.at++]];
+    return true;
+  }
+
+ private:
+  /// One cursor per partition, each on its own cache line: partition p is
+  /// advanced only by ingest thread p, and padding keeps neighbours from
+  /// false-sharing the line.
+  struct alignas(64) Cursor {
+    std::size_t at = 0;
+  };
+
+  std::span<const traffic::TracePacket> trace_;
+  std::vector<std::vector<std::uint32_t>> order_;
+  std::vector<Cursor> cursors_;
 };
 
 }  // namespace pegasus::runtime

@@ -116,6 +116,9 @@ struct StreamServer::Shard {
     return table ? table->SramBits(bits_per_flow)
                  : raw_table->SramBits(bits_per_flow);
   }
+  void PrefetchFlow(const dataplane::FlowKey& key) const {
+    table ? table->Prefetch(key) : raw_table->Prefetch(key);
+  }
 
   std::unique_ptr<FlowTable<traffic::OnlineFlowState>> table;
   std::unique_ptr<FlowTable<traffic::OnlineFlowStateRaw>> raw_table;
@@ -139,6 +142,11 @@ struct StreamServer::Shard {
   std::uint64_t decided = 0;
   std::uint64_t swaps = 0;
   double swap_wall_ms = 0.0;
+  /// Ingest-side shed counters. ring_full has a single writer (the ingest
+  /// thread owning this shard) but misroutes can come from ANY ingest
+  /// thread — both are atomics so Stats() reads stay race-free under TSan.
+  std::atomic<std::uint64_t> shed_ring_full{0};
+  std::atomic<std::uint64_t> shed_misrouted{0};
   /// Only allocated in multi-threaded mode.
   std::unique_ptr<SpscQueue<ShardItem>> queue;
   std::thread worker;
@@ -155,6 +163,12 @@ StreamServer::StreamServer(std::shared_ptr<const LoweredModel> model,
   }
   if (opts_.batch_size == 0) {
     throw std::invalid_argument("StreamServer: zero batch size");
+  }
+  if (opts_.num_ingest == 0) {
+    throw std::invalid_argument("StreamServer: zero ingest threads");
+  }
+  if (opts_.burst == 0) {
+    throw std::invalid_argument("StreamServer: zero burst size");
   }
   if (model->InputDim() != dim_) {
     throw std::invalid_argument(
@@ -177,9 +191,7 @@ StreamServer::~StreamServer() {
 }
 
 StreamServer::Shard& StreamServer::ShardOf(std::uint64_t digest) {
-  // Shard selection uses the high hash bits; FlowTable slot selection uses
-  // the low bits — decorrelated views of the same mix.
-  return *shards_[(MixDigest(digest) >> 32) % shards_.size()];
+  return *shards_[ShardIndexOf(digest, shards_.size())];
 }
 
 void StreamServer::Push(const traffic::TracePacket& packet) {
@@ -191,8 +203,80 @@ void StreamServer::Push(const traffic::TracePacket& packet) {
   ShardItem item;
   item.packet = packet;
   item.payload = *packet.packet;
+  std::size_t spins = 0;
   while (!shard.queue->TryPush(std::move(item))) {
+    if (opts_.shed && ++spins > opts_.shed_spin) {
+      shard.shed_ring_full.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     std::this_thread::yield();  // shard backlogged; apply backpressure
+  }
+}
+
+void StreamServer::PushStage(Shard& shard, std::span<ShardItem> items) {
+  std::span<ShardItem> rest = items;
+  std::size_t spins = 0;
+  while (!rest.empty()) {
+    const std::size_t pushed = shard.queue->TryPushBurst(rest);
+    rest = rest.subspan(pushed);
+    if (rest.empty()) break;
+    if (pushed != 0) {
+      spins = 0;  // progress resets the budget: shed only on a STUCK ring
+      continue;
+    }
+    if (opts_.shed && ++spins > opts_.shed_spin) {
+      // Near-source signal: the remainder of this burst targets a ring
+      // that stayed full through the whole spin budget — shed it here,
+      // deterministically, instead of stalling every other shard this
+      // ingest thread feeds.
+      shard.shed_ring_full.fetch_add(rest.size(), std::memory_order_relaxed);
+      break;
+    }
+    std::this_thread::yield();
+  }
+}
+
+void StreamServer::IngestLoop(PartitionedPacketSource& source, std::size_t t,
+                              std::size_t fanout) {
+  const std::size_t burst = opts_.burst;
+  struct Stage {
+    std::vector<ShardItem> items;
+    std::size_t n = 0;
+  };
+  // Staging buffers only for the shards this thread owns; the vector is
+  // indexed by shard for O(1) routing.
+  std::vector<Stage> stages(shards_.size());
+  for (std::size_t s = t; s < shards_.size(); s += fanout) {
+    stages[s].items.resize(burst);
+  }
+  traffic::TracePacket pkt;
+  while (source.Next(t, pkt)) {
+    const std::size_t s = ShardIndexOf(pkt.key.digest, shards_.size());
+    if (s % fanout != t) {
+      // The partition function disagrees with the shard map: shard s's
+      // ring has another producer, so enqueueing from here would break the
+      // SPSC invariant. Count and shed — zero under a correct partitioner.
+      shards_[s]->shed_misrouted.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Stage& stage = stages[s];
+    ShardItem& item = stage.items[stage.n];
+    item.packet = pkt;
+    item.payload = *pkt.packet;
+    item.swap = nullptr;  // staged slots are reused after a flush
+    if (++stage.n == burst) {
+      PushStage(*shards_[s], std::span<ShardItem>(stage.items.data(),
+                                                  stage.n));
+      stage.n = 0;
+    }
+  }
+  for (std::size_t s = t; s < shards_.size(); s += fanout) {
+    Stage& stage = stages[s];
+    if (stage.n != 0) {
+      PushStage(*shards_[s], std::span<ShardItem>(stage.items.data(),
+                                                  stage.n));
+      stage.n = 0;
+    }
   }
 }
 
@@ -222,7 +306,8 @@ void StreamServer::SwapModel(std::shared_ptr<const LoweredModel> model,
   }
   // In-band apply: the control item is ordered after every packet already
   // enqueued and before everything pushed later — the same swap point the
-  // single-threaded path applies, per shard.
+  // single-threaded path applies, per shard. Control items are never shed:
+  // a lost swap would leave shards serving different versions.
   for (auto& shard : shards_) {
     ShardItem item;
     item.swap = next;
@@ -349,15 +434,30 @@ void StreamServer::WorkerLoop(Shard& shard) {
       Process(shard, item.packet);
     }
   };
-  ShardItem item;
+  // Burst drain: one head publish per burst, and a prefetch pass over the
+  // burst's flow keys before any per-packet work — by the time packet i is
+  // processed, its flow entry is (likely) already in flight to this core's
+  // cache.
+  std::vector<ShardItem> burst(opts_.burst);
+  const auto drain = [&](std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!burst[i].swap) shard.PrefetchFlow(burst[i].packet.key);
+    }
+    for (std::size_t i = 0; i < n; ++i) handle(burst[i]);
+  };
   for (;;) {
-    if (shard.queue->TryPop(item)) {
-      handle(item);
+    const std::size_t n = shard.queue->TryPopBurst(std::span<ShardItem>(burst));
+    if (n != 0) {
+      drain(n);
       continue;
     }
     if (closed_.load(std::memory_order_acquire)) {
       // The producer has stopped; drain what raced in, then exit.
-      while (shard.queue->TryPop(item)) handle(item);
+      std::size_t tail;
+      while ((tail = shard.queue->TryPopBurst(
+                  std::span<ShardItem>(burst))) != 0) {
+        drain(tail);
+      }
       break;
     }
     std::this_thread::yield();
@@ -367,24 +467,88 @@ void StreamServer::WorkerLoop(Shard& shard) {
 
 std::vector<StreamDecision> StreamServer::Serve(
     std::span<const traffic::TracePacket> trace) {
-  for (auto& shard : shards_) {
-    shard->decisions.reserve(shard->decisions.size() +
-                             trace.size() / shards_.size() + 1);
+  // Reserve each shard's decision sink from the trace's observed shard
+  // share (an exact routing pre-pass — MixDigest per packet, nothing
+  // else), not an even-split estimate: a skewed flow-hash distribution no
+  // longer reallocates a hot shard's vector mid-run, and light shards no
+  // longer over-reserve.
+  std::vector<std::size_t> share(shards_.size(), 0);
+  for (const auto& p : trace) {
+    ++share[ShardIndexOf(p.key.digest, shards_.size())];
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->decisions.reserve(shards_[i]->decisions.size() + share[i]);
   }
   SpanPacketSource source(trace);
   return Serve(source);
 }
 
+namespace {
+
+/// Adapts a plain PacketSource to the ingest loop: one partition, pulled by
+/// the calling thread, which owns every shard (fanout 1).
+class SinglePartitionSource final : public PartitionedPacketSource {
+ public:
+  explicit SinglePartitionSource(PacketSource& inner) : inner_(inner) {}
+  std::size_t partitions() const override { return 1; }
+  bool Next(std::size_t, traffic::TracePacket& out) override {
+    return inner_.Next(out);
+  }
+
+ private:
+  PacketSource& inner_;
+};
+
+}  // namespace
+
 std::vector<StreamDecision> StreamServer::Serve(PacketSource& source) {
-  traffic::TracePacket packet;
   if (opts_.multithreaded) {
+    // The calling thread is the single ingest thread; it stages per-shard
+    // bursts exactly like the multi-ingest path with fanout 1.
+    SinglePartitionSource adapter(source);
     Start();
-    while (source.Next(packet)) Push(packet);
+    IngestLoop(adapter, 0, 1);
     Stop();
   } else {
+    traffic::TracePacket packet;
     while (source.Next(packet)) Push(packet);
     Flush();
   }
+  return TakeDecisions();
+}
+
+std::vector<StreamDecision> StreamServer::Serve(
+    PartitionedPacketSource& source) {
+  const std::size_t parts = source.partitions();
+  if (parts == 0) {
+    throw std::invalid_argument("StreamServer::Serve: zero partitions");
+  }
+  if (!opts_.multithreaded) {
+    // Deterministic reference mode: drain the partitions sequentially. A
+    // flow lives in exactly one partition, so per-flow decision streams
+    // match the multi-ingest run exactly (with shedding off).
+    traffic::TracePacket packet;
+    for (std::size_t p = 0; p < parts; ++p) {
+      while (source.Next(p, packet)) Push(packet);
+    }
+    Flush();
+    return TakeDecisions();
+  }
+  if (parts != opts_.num_ingest) {
+    throw std::invalid_argument(
+        "StreamServer::Serve: source partitions (" + std::to_string(parts) +
+        ") != num_ingest (" + std::to_string(opts_.num_ingest) + ")");
+  }
+  Start();
+  std::vector<std::thread> ingest;
+  ingest.reserve(parts - 1);
+  for (std::size_t t = 1; t < parts; ++t) {
+    ingest.emplace_back(
+        [this, &source, t, parts] { IngestLoop(source, t, parts); });
+  }
+  IngestLoop(source, 0, parts);  // partition 0 rides the calling thread
+  for (auto& th : ingest) th.join();
+  Stop();
   return TakeDecisions();
 }
 
@@ -413,11 +577,17 @@ StreamServerStats StreamServer::Stats() const {
   const FlowStateSpec spec = OnlineFlowStateSpec(opts_.feature);
   stats.stateful_bits_per_flow = spec.BitsPerFlow();
   stats.active_version = serving_->version;
+  stats.shard_shed.reserve(shards_.size());
   for (const auto& shard : shards_) {
     stats.packets += shard->packets;
     stats.warmup += shard->warmup;
     stats.decisions += shard->decided;
     stats.batches += shard->batches;
+    const ShedStats shed{
+        shard->shed_ring_full.load(std::memory_order_relaxed),
+        shard->shed_misrouted.load(std::memory_order_relaxed)};
+    stats.shed += shed;
+    stats.shard_shed.push_back(shed);
     stats.table += shard->TableStats();
     stats.engine += shard->engine_carry;
     stats.engine += shard->engine->stats();
@@ -442,6 +612,8 @@ void StreamServer::ResetStats() {
     shard->decided = 0;
     shard->swaps = 0;
     shard->swap_wall_ms = 0.0;
+    shard->shed_ring_full.store(0, std::memory_order_relaxed);
+    shard->shed_misrouted.store(0, std::memory_order_relaxed);
     shard->ResetTableStats();
     shard->engine_carry = {};
     shard->engine->ResetStats();

@@ -3,27 +3,49 @@
 // the way a software dataplane would shard it).
 //
 // One server owns N shards. A packet is routed to shard
-// hash(flow digest) % N; the shard looks its flow up in a preallocated
-// open-addressing FlowTable (runtime/flow_table.hpp) holding the flow's
-// OnlineFlowState (running min/max, stored fuzzy indexes, raw window —
-// traffic/stream.hpp), updates it in place, and once the window is full
-// renders the model's feature family into the shard's batch buffer. Full
-// batches flush through the shard's private InferenceEngine
+// ShardIndexOf(flow digest, N); the shard looks its flow up in a
+// preallocated open-addressing FlowTable (runtime/flow_table.hpp) holding
+// the flow's OnlineFlowState (running min/max, stored fuzzy indexes, raw
+// window — traffic/stream.hpp), updates it in place, and once the window is
+// full renders the model's feature family into the shard's batch buffer.
+// Full batches flush through the shard's private InferenceEngine
 // (Pipeline::ProcessBatch under the hood), turning per-packet inference
 // into entry-major batched table matches. The per-packet path performs no
 // heap allocation — flow state, batch rows, logits and the PHV pool are all
-// preallocated — except decision accumulation, which is amortized
-// push_back (Serve() pre-reserves an even-split estimate per shard; a
-// heavily skewed flow-hash distribution can still grow a shard's vector).
+// preallocated. Decisions append to per-shard sinks that the caller merges
+// after Stop() (TakeDecisions); Serve(span) sizes each sink from the
+// trace's *observed* shard shares (an exact routing pre-pass), so a skewed
+// flow-hash distribution no longer grows a hot shard's vector mid-run.
 //
-// Two execution modes:
+// Execution modes:
 //  * single-threaded (default): Push() processes synchronously in trace
 //    order — fully deterministic, the mode the parity tests pin down;
-//  * multi-threaded: Start() spawns one worker per shard; Push() enqueues
-//    on the shard's SPSC ring and the worker drains it. Because a flow maps
-//    to exactly one shard and the ring preserves order, every shard sees
-//    the same packet sequence as in single-threaded mode — per-flow
-//    decisions are identical, only cross-shard interleaving differs.
+//  * multi-threaded: Start() spawns one worker per shard; packets reach a
+//    shard through its SPSC ring and the worker drains them in bursts
+//    (SpscQueue::TryPopBurst — one cursor publish per burst, with a
+//    FlowTable::Prefetch pass over the burst's keys before processing).
+//    Ingest does only digest routing; ALL per-packet work (flow lookup,
+//    feature extraction, inference) runs on the shard core where the
+//    flow's state is cache-resident. Because a flow maps to exactly one
+//    shard and the ring preserves order, every shard sees the same packet
+//    sequence as in single-threaded mode — per-flow decisions are
+//    identical, only cross-shard interleaving differs.
+//  * multi-ingest (multi-threaded + Serve(PartitionedPacketSource&)):
+//    num_ingest threads each pull their own digest-disjoint partition and
+//    feed only the shards they own (shard % num_ingest == ingest), staging
+//    packets into per-shard burst buffers flushed with TryPushBurst —
+//    RSS-style receive scaling with no shared dispatch point at all. The
+//    partition function MUST agree with IngestPartitionOf: a packet whose
+//    shard belongs to another ingest thread cannot be enqueued (the rings
+//    are single-producer) and is shed + counted (ShedStats::misrouted).
+//
+// Overload story (SFC-style near-source signaling): when a shard's ring
+// stays full past a bounded spin (`shed_spin` failed pushes with no
+// progress), the ingest side sheds the packets instead of stalling the
+// whole ingest loop, and counts them per shard and per reason
+// (StreamServerStats::shed / shard_shed). Shedding is OFF by default —
+// ingest then applies backpressure (yield + retry forever), the
+// configuration under which MT == ST decision equality is exact.
 //
 // Bit-exactness: with a large enough flow table (no evictions) the per-
 // packet decisions equal the offline Extract*Features +
@@ -42,7 +64,10 @@
 // applies it after exactly the packets enqueued before the call — the swap
 // point in every per-shard (and therefore per-flow) packet sequence is
 // identical in both modes, and MT == ST decision equality holds across the
-// swap. Per-flow state in the FlowTables survives (feature extraction is
+// swap. (SwapModel is a producer-side call: it must come from the thread
+// calling Push, and must not race a running Serve(PartitionedPacketSource&)
+// — the ingest threads own the rings' producer cursors for that span.)
+// Per-flow state in the FlowTables survives (feature extraction is
 // model-independent): a flow whose window was full keeps producing a
 // decision per packet straight through the swap, with no re-warm-up. The
 // shard flushes its partial batch through the outgoing engine first, so no
@@ -92,6 +117,22 @@ struct StreamServerOptions {
   bool multithreaded = false;
   /// Per-shard SPSC ring capacity (multi-threaded mode).
   std::size_t queue_capacity = 1 << 12;
+  /// Ingest threads for Serve(PartitionedPacketSource&). Thread t owns the
+  /// shards where shard % num_ingest == t and is the sole producer on
+  /// their rings.
+  std::size_t num_ingest = 1;
+  /// Ring transfer granularity: ingest stages up to this many packets per
+  /// shard before a TryPushBurst, and workers drain up to this many per
+  /// TryPopBurst — one cursor publish per burst instead of per packet.
+  std::size_t burst = 64;
+  /// Deterministic overload shedding. false (default): a full ring applies
+  /// backpressure — ingest yields and retries forever, and MT == ST
+  /// decision equality is exact. true: after `shed_spin` consecutive
+  /// failed pushes with no progress, the packets are dropped near the
+  /// source and counted per shard/per reason instead of stalling ingest.
+  bool shed = false;
+  /// Failed-push budget (no-progress spins) before shedding kicks in.
+  std::size_t shed_spin = 256;
 };
 
 /// One per-packet classification (or anomaly score) produced by the server.
@@ -120,6 +161,25 @@ struct ServingState {
   std::shared_ptr<const LoweredModel> model;
 };
 
+/// Packets dropped near the source instead of enqueued, by reason.
+struct ShedStats {
+  /// Ring stayed full past the bounded spin (overload; only with
+  /// StreamServerOptions::shed).
+  std::uint64_t ring_full = 0;
+  /// Partition function disagreed with the server's shard->ingest map:
+  /// the packet's shard ring belongs to another ingest thread, so
+  /// enqueueing it would break the single-producer invariant. Always
+  /// counted (zero under a correct partitioner).
+  std::uint64_t misrouted = 0;
+
+  std::uint64_t total() const { return ring_full + misrouted; }
+  ShedStats& operator+=(const ShedStats& o) {
+    ring_full += o.ring_full;
+    misrouted += o.misrouted;
+    return *this;
+  }
+};
+
 struct StreamServerStats {
   std::uint64_t packets = 0;
   /// Packets that produced an inference (window full, batched + flushed).
@@ -127,6 +187,10 @@ struct StreamServerStats {
   /// Packets absorbed into per-flow state before the window filled.
   std::uint64_t warmup = 0;
   std::uint64_t batches = 0;
+  /// Packets shed at ingest, aggregated / per shard. packets + shed.total()
+  /// equals the offered load.
+  ShedStats shed;
+  std::vector<ShedStats> shard_shed;
   /// Aggregated over all shards.
   FlowTableStats table;
   /// Batched-engine work counters, aggregated over all shards and across
@@ -175,9 +239,26 @@ class StreamServer {
   /// still be draining packets enqueued before the swap).
   std::uint64_t active_version() const { return serving_->version; }
 
+  /// The shard routing map: high bits of the mixed digest, modulo the
+  /// shard count (FlowTable slot selection uses the low bits — decorrelated
+  /// views of the same mix).
+  static std::size_t ShardIndexOf(std::uint64_t digest,
+                                  std::size_t num_shards) {
+    return (MixDigest(digest) >> 32) % num_shards;
+  }
+
+  /// The ingest thread owning `digest`'s shard under this server's
+  /// geometry — the partition function Serve(PartitionedPacketSource&)
+  /// expects its source to be split by.
+  std::size_t IngestPartitionOf(std::uint64_t digest) const {
+    return ShardIndexOf(digest, shards_.size()) % opts_.num_ingest;
+  }
+
   /// Routes one packet to its shard. Single-threaded mode processes it
   /// synchronously; multi-threaded mode (after Start()) enqueues it,
-  /// spinning briefly if the shard's ring is full.
+  /// spinning if the shard's ring is full (or shedding, when enabled).
+  /// The caller is the single producer — do not mix with a concurrent
+  /// Serve(PartitionedPacketSource&).
   void Push(const traffic::TracePacket& packet);
 
   /// Hitless hot swap: every packet pushed before this call is decided by
@@ -199,15 +280,26 @@ class StreamServer {
   void Stop();
 
   /// Replays a whole trace: Start + Push each packet + Stop (or Push +
-  /// Flush in single-threaded mode) and returns the decisions.
+  /// Flush in single-threaded mode) and returns the decisions. Per-shard
+  /// decision sinks are reserved from the trace's observed shard shares.
   std::vector<StreamDecision> Serve(
       std::span<const traffic::TracePacket> trace);
 
   /// Pull-based ingestion: drains `source` (a merged trace, a pcap capture
-  /// decoded on the fly, or a pacing io::TraceReplayer) through the same
-  /// Push loop. Sources may reuse their packet buffer between Next calls —
-  /// the multi-threaded rings carry the payload by value.
+  /// decoded on the fly, or a pacing io::TraceReplayer) through the shard
+  /// rings in bursts. Sources may reuse their packet buffer between Next
+  /// calls — the multi-threaded rings carry the payload by value.
   std::vector<StreamDecision> Serve(PacketSource& source);
+
+  /// Multi-ingest ingestion: spawns opts.num_ingest threads (partition 0
+  /// runs on the calling thread), each pulling its own partition of
+  /// `source` and feeding only the shards it owns. Requires
+  /// source.partitions() == opts.num_ingest in multi-threaded mode; the
+  /// partition split must follow IngestPartitionOf (misrouted packets are
+  /// shed + counted, never enqueued). Single-threaded mode drains the
+  /// partitions sequentially — per-flow decisions are identical either
+  /// way (with shedding off), since a flow lives in exactly one partition.
+  std::vector<StreamDecision> Serve(PartitionedPacketSource& source);
 
   /// Moves out the accumulated decisions, shard-major (within a shard:
   /// processing order). Throws std::logic_error while workers are running
@@ -218,11 +310,11 @@ class StreamServer {
   /// running — reading shard counters mid-run would race the workers.
   StreamServerStats Stats() const;
 
-  /// Zeroes the per-shard packet/decision/batch/swap counters, the flow
-  /// tables' stats and the engines' work counters — resident flow state and
-  /// the active model stay untouched, so callers can report per-phase
-  /// numbers (e.g. before vs after a swap). Throws std::logic_error while
-  /// workers are running.
+  /// Zeroes the per-shard packet/decision/batch/swap/shed counters, the
+  /// flow tables' stats and the engines' work counters — resident flow
+  /// state and the active model stay untouched, so callers can report
+  /// per-phase numbers (e.g. before vs after a swap). Throws
+  /// std::logic_error while workers are running.
   void ResetStats();
 
  private:
@@ -234,6 +326,15 @@ class StreamServer {
   void FlushShard(Shard& shard);
   void ApplySwap(Shard& shard, std::shared_ptr<const ServingState> next);
   void WorkerLoop(Shard& shard);
+  /// Burst-pushes `items` onto the shard's ring: yields under backpressure,
+  /// sheds the un-pushed remainder once the no-progress spin budget is
+  /// exhausted (shedding mode only).
+  void PushStage(Shard& shard, std::span<ShardItem> items);
+  /// One ingest thread: pulls partition `t` of `source`, stages packets
+  /// into per-shard burst buffers, flushes them with PushStage. `fanout`
+  /// is the total ingest thread count (shard ownership: shard % fanout).
+  void IngestLoop(PartitionedPacketSource& source, std::size_t t,
+                  std::size_t fanout);
 
   StreamServerOptions opts_;
   traffic::OnlineFeatureExtractor extractor_;

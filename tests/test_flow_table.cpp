@@ -167,6 +167,23 @@ TEST(FlowTable, ClearDropsEntriesKeepsCapacity) {
   }
 }
 
+TEST(FlowTable, PrefetchIsSideEffectFree) {
+  // Prefetch is a pure hint: it must not touch stats, size, or entries —
+  // before OR after the key is resident (the burst-drain path prefetches
+  // every popped key, misses included).
+  rt::FlowTable<Tag> table(64, 8);
+  const FlowKey key{0xDEADBEEFCAFEull};
+  table.Prefetch(key);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.stats().hits + table.stats().misses, 0u);
+  table.FindOrInsert(key).value = TagFor(key);
+  table.Prefetch(key);
+  const Tag* t = table.Find(key);
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->value, TagFor(key));
+  EXPECT_EQ(table.stats().inserts, 1u);
+}
+
 TEST(FlowTable, SramBitsMatchesDataplaneAccounting) {
   rt::FlowTable<Tag> table(1000, 8);  // rounds to 1024 slots
   const std::size_t bits_per_flow = 208;

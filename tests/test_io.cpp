@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <map>
 #include <random>
 #include <sstream>
@@ -578,6 +579,55 @@ TEST(PcapReplay, CaptureReplayMatchesServingTheOriginalDataset) {
     EXPECT_EQ(source.parse_stats().parsed, source.parse_stats().frames);
     EXPECT_EQ(source.flows_seen(), ds.flows.size());
   }
+}
+
+TEST(PcapReplay, PartitionedReplayMatchesUnpartitioned) {
+  // Multi-ingest from a capture file: PartitionedPcapSource gives each
+  // partition its own decode pass, so flow numbering matches the
+  // unpartitioned source and a 2-ingest replay produces the same per-flow
+  // decisions as the single-threaded reference.
+  const auto ds = tr::Generate(tr::PeerRushSpec(6, 2025));
+  const auto lowered = BuildSeqModel(ds, 5);
+  const auto trace = tr::MergeTrace(ds.flows);
+
+  auto make_opts = [](std::size_t shards, bool mt, std::size_t ingest) {
+    rt::StreamServerOptions o;
+    o.num_shards = shards;
+    o.flows_per_shard = 1 << 10;
+    o.batch_size = 32;
+    o.feature = rt::FeatureKind::kSeq;
+    o.multithreaded = mt;
+    o.num_ingest = ingest;
+    return o;
+  };
+  rt::StreamServer ref_server(lowered, make_opts(1, false, 1));
+  const auto want = ByFlowPacket(ref_server.Serve(trace));
+  ASSERT_GT(want.size(), 0u);
+
+  const std::string path = "partitioned_replay_test.pcap";
+  io::WriteDatasetPcap(path, ds, {});
+  const auto iopts = io::ImportOptionsFor(ds);
+
+  rt::StreamServer server(lowered, make_opts(4, true, 2));
+  io::PartitionedPcapSource source(
+      path, 2,
+      [&server](std::uint64_t digest) {
+        return server.IngestPartitionOf(digest);
+      },
+      iopts.labeler);
+  ASSERT_EQ(source.partitions(), 2u);
+  const auto got = ByFlowPacket(server.Serve(source));
+  EXPECT_EQ(server.Stats().shed.total(), 0u);
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& [at, decision] : want) {
+    const auto it = got.find(at);
+    ASSERT_NE(it, got.end()) << "flow " << at.first << " pkt " << at.second;
+    EXPECT_EQ(it->second.first, decision.first)
+        << "flow " << at.first << " pkt " << at.second;
+    EXPECT_EQ(it->second.second, decision.second)
+        << "flow " << at.first << " pkt " << at.second;
+  }
+  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------------

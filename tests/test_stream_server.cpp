@@ -409,6 +409,215 @@ TEST(StreamServer, ResetStatsReportsPerPhaseCounters) {
   EXPECT_EQ(snap.engine.chunks, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Multi-ingest burst dataplane (ISSUE 6 acceptance criteria).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Sorts decisions into the canonical per-flow order used by every
+/// equality check (a flow lives on one shard, so (flow, index) is total).
+void SortByFlow(std::vector<rt::StreamDecision>& decisions) {
+  std::sort(decisions.begin(), decisions.end(),
+            [](const rt::StreamDecision& a, const rt::StreamDecision& b) {
+              return std::tie(a.flow, a.index) < std::tie(b.flow, b.index);
+            });
+}
+
+}  // namespace
+
+TEST(StreamServer, PartitionedMultiIngestMatchesSingleThreaded) {
+  const auto ds = tr::Generate(tr::PeerRushSpec(10, 77));
+  const auto offline = tr::ExtractSeqFeatures(ds.flows, EveryPacket());
+  const auto lowered = Build16DimModel(offline.x, offline.size(), 3);
+  const auto trace = tr::MergeTrace(ds.flows);
+
+  auto serve = [&](bool mt, std::size_t ingest) {
+    rt::StreamServerOptions opts;
+    opts.num_shards = 4;
+    opts.flows_per_shard = 1 << 10;
+    opts.feature = rt::FeatureKind::kSeq;
+    opts.multithreaded = mt;
+    opts.num_ingest = ingest;
+    opts.burst = 16;  // forces many partial-burst flushes on a small trace
+    rt::StreamServer server(lowered, opts);
+    auto run = ev::ServeTracePartitioned(server, trace);
+    EXPECT_EQ(run.stats.shed.total(), 0u)
+        << "shedding disabled + correct partitioner must shed nothing";
+    EXPECT_EQ(run.stats.packets, trace.size());
+    SortByFlow(run.decisions);
+    return run.decisions;
+  };
+
+  // Reference: the deterministic single-threaded push loop.
+  rt::StreamServerOptions ref_opts;
+  ref_opts.num_shards = 4;
+  ref_opts.flows_per_shard = 1 << 10;
+  ref_opts.feature = rt::FeatureKind::kSeq;
+  rt::StreamServer ref_server(lowered, ref_opts);
+  auto ref = ref_server.Serve(trace);
+  SortByFlow(ref);
+
+  // Single-threaded partitioned drain and 1/2-ingest multi-threaded runs
+  // must all equal the reference per flow, bit for bit.
+  for (auto& got : {serve(false, 1), serve(true, 1), serve(true, 2)}) {
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].flow, ref[i].flow);
+      EXPECT_EQ(got[i].index, ref[i].index);
+      EXPECT_EQ(got[i].predicted, ref[i].predicted);
+      EXPECT_EQ(got[i].score, ref[i].score);
+      EXPECT_EQ(got[i].label, ref[i].label);
+    }
+  }
+}
+
+TEST(StreamServer, MultiIngestHotSwapKeepsPerFlowDecisions) {
+  // SwapModel before a partitioned run: every ingest thread's packets must
+  // be decided by the new version (the swap rides the rings before any
+  // packet), and per-flow decisions equal the single-threaded run on the
+  // same version — the multi-ingest path composes with the lifecycle API.
+  const auto ds = tr::Generate(tr::PeerRushSpec(8, 41));
+  const auto offline = tr::ExtractSeqFeatures(ds.flows, EveryPacket());
+  const auto v1 = Build16DimModel(offline.x, offline.size(), 21);
+  const auto v2 = Build16DimModel(offline.x, offline.size(), 22);
+  const auto trace = tr::MergeTrace(ds.flows);
+  auto alias = [](const rt::LoweredModel& m) {
+    return std::shared_ptr<const rt::LoweredModel>(std::shared_ptr<void>{},
+                                                   &m);
+  };
+
+  auto serve = [&](bool mt, std::size_t ingest) {
+    rt::StreamServerOptions opts;
+    opts.num_shards = 4;
+    opts.flows_per_shard = 1 << 10;
+    opts.feature = rt::FeatureKind::kSeq;
+    opts.multithreaded = mt;
+    opts.num_ingest = ingest;
+    rt::StreamServer server(alias(v1), opts, 1);
+    server.SwapModel(alias(v2), 2);
+    auto run = ev::ServeTracePartitioned(server, trace);
+    EXPECT_EQ(run.stats.active_version, 2u);
+    SortByFlow(run.decisions);
+    return run.decisions;
+  };
+
+  const auto st = serve(false, 1);
+  const auto mt = serve(true, 2);
+  ASSERT_EQ(st.size(), mt.size());
+  for (std::size_t i = 0; i < st.size(); ++i) {
+    EXPECT_EQ(st[i].flow, mt[i].flow);
+    EXPECT_EQ(st[i].index, mt[i].index);
+    EXPECT_EQ(st[i].predicted, mt[i].predicted);
+    EXPECT_EQ(st[i].version, 2u);
+  }
+}
+
+TEST(StreamServer, SheddingIsBoundedAndAccounted) {
+  const auto ds = tr::Generate(tr::PeerRushSpec(10, 77));
+  const auto offline = tr::ExtractSeqFeatures(ds.flows);
+  const auto lowered = Build16DimModel(offline.x, offline.size(), 3);
+  const auto trace = tr::MergeTrace(ds.flows);
+
+  rt::StreamServerOptions opts;
+  opts.num_shards = 1;
+  opts.flows_per_shard = 1 << 10;
+  opts.feature = rt::FeatureKind::kSeq;
+  opts.multithreaded = true;
+  opts.queue_capacity = 4;  // the ring can never hold a full 64-burst...
+  opts.burst = 64;
+  opts.shed = true;
+  opts.shed_spin = 0;  // ...and a zero spin budget sheds every stall
+  rt::StreamServer server(lowered, opts);
+  const auto decisions = server.Serve(trace);
+
+  const auto stats = server.Stats();
+  // Every offered packet is either served or counted shed — none lost.
+  EXPECT_GT(stats.shed.ring_full, 0u);
+  EXPECT_EQ(stats.shed.misrouted, 0u);
+  EXPECT_EQ(stats.packets + stats.shed.total(), trace.size());
+  EXPECT_EQ(stats.decisions + stats.warmup, stats.packets);
+  EXPECT_EQ(stats.decisions, decisions.size());
+  // Per-shard breakdown sums to the aggregate.
+  ASSERT_EQ(stats.shard_shed.size(), 1u);
+  EXPECT_EQ(stats.shard_shed[0].ring_full, stats.shed.ring_full);
+
+  // ResetStats clears the shed counters too.
+  server.ResetStats();
+  EXPECT_EQ(server.Stats().shed.total(), 0u);
+}
+
+TEST(StreamServer, MisroutedPacketsAreShedNotEnqueued) {
+  const auto ds = tr::Generate(tr::PeerRushSpec(8, 19));
+  const auto offline = tr::ExtractSeqFeatures(ds.flows);
+  const auto lowered = Build16DimModel(offline.x, offline.size(), 5);
+  const auto trace = tr::MergeTrace(ds.flows);
+
+  rt::StreamServerOptions opts;
+  opts.num_shards = 4;
+  opts.flows_per_shard = 1 << 10;
+  opts.feature = rt::FeatureKind::kSeq;
+  opts.multithreaded = true;
+  opts.num_ingest = 2;
+  rt::StreamServer server(lowered, opts);
+
+  // A broken partitioner that claims EVERY packet for partition 0: ingest
+  // thread 0 then pulls packets whose shard rings belong to thread 1.
+  // Those cannot be enqueued (single-producer invariant) — they must be
+  // shed and counted, regardless of the shed knob being off.
+  rt::DigestPartitionedSource source(trace, 2,
+                                     [](std::uint64_t) { return 0u; });
+  std::size_t expect_misrouted = 0;
+  for (const auto& p : trace) {
+    if (server.IngestPartitionOf(p.key.digest) != 0) ++expect_misrouted;
+  }
+  ASSERT_GT(expect_misrouted, 0u) << "trace must hit both partitions";
+
+  const auto decisions = server.Serve(source);
+  const auto stats = server.Stats();
+  EXPECT_EQ(stats.shed.misrouted, expect_misrouted);
+  EXPECT_EQ(stats.shed.ring_full, 0u);
+  EXPECT_EQ(stats.packets + stats.shed.total(), trace.size());
+  EXPECT_EQ(stats.decisions, decisions.size());
+}
+
+TEST(StreamServer, RejectsBadPartitionAndBurstConfigs) {
+  const auto ds = tr::Generate(tr::PeerRushSpec(4, 13));
+  const auto offline = tr::ExtractSeqFeatures(ds.flows);
+  const auto lowered = Build16DimModel(offline.x, offline.size(), 31);
+  const auto trace = tr::MergeTrace(ds.flows);
+
+  rt::StreamServerOptions opts;
+  opts.feature = rt::FeatureKind::kSeq;
+  opts.num_ingest = 0;
+  EXPECT_THROW(rt::StreamServer(lowered, opts), std::invalid_argument);
+  opts.num_ingest = 1;
+  opts.burst = 0;
+  EXPECT_THROW(rt::StreamServer(lowered, opts), std::invalid_argument);
+
+  // MT mode requires the source's partition count to match num_ingest.
+  opts.burst = 64;
+  opts.multithreaded = true;
+  opts.num_ingest = 2;
+  opts.num_shards = 4;
+  rt::StreamServer server(lowered, opts);
+  rt::DigestPartitionedSource three(
+      trace, 3, [](std::uint64_t d) { return std::size_t{d % 3}; });
+  EXPECT_THROW(server.Serve(three), std::invalid_argument);
+
+  // DigestPartitionedSource rejects degenerate construction and
+  // out-of-range partition functions.
+  EXPECT_THROW(
+      rt::DigestPartitionedSource(trace, 0, [](std::uint64_t) { return 0u; }),
+      std::invalid_argument);
+  EXPECT_THROW(rt::DigestPartitionedSource(trace, 2, nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(
+      rt::DigestPartitionedSource(trace, 2,
+                                  [](std::uint64_t) { return 7u; }),
+      std::out_of_range);
+}
+
 TEST(StreamServer, StatsAccountRegisterFootprint) {
   const auto ds = tr::Generate(tr::PeerRushSpec(4, 3));
   const auto offline = tr::ExtractSeqFeatures(ds.flows);

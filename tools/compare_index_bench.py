@@ -10,9 +10,12 @@ compact comparison JSON (speedup per entry count, plus build provenance).
 Stream mode (--stream): reads bench_stream's BENCH_stream.json and writes
 BENCH_swap.json summarizing the hot-swap rows — per config: swap latency,
 throughput during the swap run, and the degradation ratio vs the no-swap
-baseline row of the same (model, shards, threads). With a second stream
-file (a previous run's artifact), every throughput row is also diffed
-across the two runs, so CI can chart serving-path regressions.
+baseline row of the same (model, shards, threads) — and, when the artifact
+carries "scaling_runs", the multi-ingest thread-scaling rows: aggregate
+pps, scaling efficiency vs the 1x1 run, and the shed rate per config.
+With a second stream file (a previous run's artifact), every throughput
+row is also diffed across the two runs, so CI can chart serving-path
+regressions.
 
     compare_index_bench.py --stream BENCH_stream.json \
         [--baseline OLD_BENCH_stream.json] [BENCH_swap.json]
@@ -96,12 +99,28 @@ def stream_mode(src: str, baseline: str, dst: str) -> int:
                 round(pps / base_pps, 3) if base_pps else None,
         })
 
+    scaling = []
+    for r in data.get("scaling_runs", []):
+        offered = r.get("offered") or 0
+        shed = (r.get("shed_ring_full") or 0) + (r.get("shed_misrouted") or 0)
+        scaling.append({
+            "ingest": r.get("ingest"),
+            "shards": r.get("shards"),
+            "shed_enabled": r.get("shed"),
+            "packets_per_sec": r.get("packets_per_sec"),
+            "scaling_efficiency": r.get("scaling_efficiency"),
+            "shed_rate": round(shed / offered, 6) if offered else 0.0,
+            "shed_ring_full": r.get("shed_ring_full"),
+            "shed_misrouted": r.get("shed_misrouted"),
+        })
+
     out = {
         "bench": "swap",
         "build_type": data.get("build_type", "unknown"),
         "git_sha": data.get("git_sha", "unknown"),
         "dataset": data.get("dataset", "unknown"),
         "swap_runs": swaps,
+        "scaling_runs": scaling,
     }
 
     if baseline:
@@ -139,6 +158,13 @@ def stream_mode(src: str, baseline: str, dst: str) -> int:
               f"swap gap {s['swap_latency_ms']} ms, "
               f"{s['packets_per_sec']:.0f} pps during swap "
               f"({ratio if ratio is not None else '?'}x of no-swap)")
+    for s in scaling:
+        eff = s["scaling_efficiency"]
+        print(f"scaling ingest={s['ingest']} shards={s['shards']}"
+              f"{' shed' if s['shed_enabled'] else ''}: "
+              f"{s['packets_per_sec']:.0f} pps, "
+              f"efficiency {eff if eff is not None else '?'}, "
+              f"shed rate {s['shed_rate']}")
     for d in out.get("run_diffs", []):
         print(f"{d['model']}/{d['feature']} shards={d['shards']} "
               f"threads={d['threads']}: {d['packets_per_sec']:.0f} pps "
