@@ -248,6 +248,7 @@ int main(int argc, char** argv) {
   struct ScalingRow {
     std::size_t ingest = 0;
     std::size_t shards = 0;
+    std::string pin_policy;
     bool shed = false;
     std::uint64_t offered = 0;  // packets presented at ingest
     std::uint64_t packets = 0;  // packets actually served
@@ -262,7 +263,7 @@ int main(int argc, char** argv) {
   std::vector<ScalingRow> scaling_rows;
   auto run_scaling = [&](std::size_t ingest, std::size_t shards, bool shed,
                          std::size_t queue_capacity, std::size_t shed_spin,
-                         double base_pps) {
+                         rt::CpuPinPolicy pin, double base_pps) {
     rt::StreamServerOptions opts;
     opts.num_shards = shards;
     opts.flows_per_shard = 1 << 10;
@@ -272,11 +273,13 @@ int main(int argc, char** argv) {
     opts.queue_capacity = queue_capacity;
     opts.shed = shed;
     opts.shed_spin = shed_spin;
+    opts.pin_policy = pin;
     rt::StreamServer server(mlp_lowered, opts, 1);
     const auto run = ev::ServeTracePartitioned(server, trace);
     ScalingRow row;
     row.ingest = ingest;
     row.shards = shards;
+    row.pin_policy = rt::CpuPinPolicyName(pin);
     row.shed = shed;
     row.packets = run.stats.packets;
     row.offered = run.stats.packets + run.stats.shed.total();
@@ -297,19 +300,28 @@ int main(int argc, char** argv) {
     return row;
   };
 
+  // Every ingest x shard config runs unpinned (kNone) and pinned
+  // (kCompact): the pinned-vs-unpinned efficiency delta is the thread-
+  // placement payoff (both efficiencies are against the same unpinned 1x1
+  // base, so the two rows of one config are directly comparable). On a
+  // box with fewer cores than threads pinning cannot help — read the
+  // delta on the CI runner.
   std::printf("\nmulti-ingest scaling (MLP-B, burst rings, shed off):\n");
-  std::printf("%7s %7s %10s %12s %11s %10s\n", "ingest", "shards", "wall ms",
-              "pkts/s", "efficiency", "shed rate");
+  std::printf("%7s %7s %-8s %10s %12s %11s %10s\n", "ingest", "shards",
+              "pin", "wall ms", "pkts/s", "efficiency", "shed rate");
   double base_pps = 0.0;
   for (const std::size_t shards :
        {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
     const std::size_t ingest = std::max<std::size_t>(1, shards / 2);
-    const auto row =
-        run_scaling(ingest, shards, /*shed=*/false, 1 << 12, 256, base_pps);
-    if (shards == 1) base_pps = row.pps;
-    std::printf("%7zu %7zu %10.1f %12.0f %11.2f %10.4f\n", row.ingest,
-                row.shards, row.wall_ms, row.pps,
-                shards == 1 ? 1.0 : row.efficiency, row.shed_rate);
+    for (const rt::CpuPinPolicy pin :
+         {rt::CpuPinPolicy::kNone, rt::CpuPinPolicy::kCompact}) {
+      const auto row = run_scaling(ingest, shards, /*shed=*/false, 1 << 12,
+                                   256, pin, base_pps);
+      if (shards == 1 && pin == rt::CpuPinPolicy::kNone) base_pps = row.pps;
+      std::printf("%7zu %7zu %-8s %10.1f %12.0f %11.2f %10.4f\n", row.ingest,
+                  row.shards, row.pin_policy.c_str(), row.wall_ms, row.pps,
+                  row.efficiency, row.shed_rate);
+    }
   }
   // Overload demo: a deliberately tiny ring with a zero spin budget sheds
   // under burst pressure instead of stalling ingest — the counters land in
@@ -317,10 +329,10 @@ int main(int argc, char** argv) {
   {
     const auto row = run_scaling(/*ingest=*/1, /*shards=*/1, /*shed=*/true,
                                  /*queue_capacity=*/64, /*shed_spin=*/0,
-                                 base_pps);
-    std::printf("%7zu %7zu %10.1f %12.0f %11s %10.4f  (shed demo)\n",
-                row.ingest, row.shards, row.wall_ms, row.pps, "-",
-                row.shed_rate);
+                                 rt::CpuPinPolicy::kNone, base_pps);
+    std::printf("%7zu %7zu %-8s %10.1f %12.0f %11s %10.4f  (shed demo)\n",
+                row.ingest, row.shards, row.pin_policy.c_str(), row.wall_ms,
+                row.pps, "-", row.shed_rate);
   }
 
   // ---- packet I/O: pcap replay -------------------------------------------
@@ -466,12 +478,13 @@ int main(int argc, char** argv) {
     const ScalingRow& r = scaling_rows[i];
     std::fprintf(
         f,
-        "    {\"ingest\": %zu, \"shards\": %zu, \"shed\": %s, "
+        "    {\"ingest\": %zu, \"shards\": %zu, \"pin_policy\": \"%s\", "
+        "\"shed\": %s, "
         "\"offered\": %llu, \"packets\": %llu, \"decisions\": %llu, "
         "\"shed_ring_full\": %llu, \"shed_misrouted\": %llu, "
         "\"shed_rate\": %.6f, \"wall_ms\": %.3f, "
         "\"packets_per_sec\": %.1f, \"scaling_efficiency\": %.4f}%s\n",
-        r.ingest, r.shards, r.shed ? "true" : "false",
+        r.ingest, r.shards, r.pin_policy.c_str(), r.shed ? "true" : "false",
         static_cast<unsigned long long>(r.offered),
         static_cast<unsigned long long>(r.packets),
         static_cast<unsigned long long>(r.decisions),

@@ -145,6 +145,12 @@ StreamRun ServeTrace(runtime::StreamServer& server,
   return run;
 }
 
+StreamRun ServeChurn(runtime::StreamServer& server,
+                     traffic::ChurnGenerator& gen) {
+  runtime::GeneratorPacketSource<traffic::ChurnGenerator> source(gen);
+  return ServeTrace(server, source);
+}
+
 StreamRun ServeTracePartitioned(
     runtime::StreamServer& server,
     std::span<const traffic::TracePacket> trace) {

@@ -98,6 +98,14 @@ StreamRun ServeTracePartitioned(
     runtime::StreamServer& server,
     std::span<const traffic::TracePacket> trace);
 
+/// Flow-churn stress run: streams a traffic::ChurnGenerator through the
+/// server via runtime::GeneratorPacketSource — packets are produced and
+/// consumed on the fly, so a 1M-live-flow sweep never materializes its
+/// trace. Generation rides the ingest thread and is included in the timed
+/// window (it is a fraction of per-packet serving cost).
+StreamRun ServeChurn(runtime::StreamServer& server,
+                     traffic::ChurnGenerator& gen);
+
 /// The retrain-and-push scenario: replays `trace`, issuing
 /// server.SwapModel(model, version) after pushing the first `swap_at`
 /// packets — every earlier packet is decided by the old version, every

@@ -1,0 +1,192 @@
+#include "runtime/affinity.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+namespace pegasus::runtime {
+
+const char* CpuPinPolicyName(CpuPinPolicy p) {
+  switch (p) {
+    case CpuPinPolicy::kNone:
+      return "none";
+    case CpuPinPolicy::kCompact:
+      return "compact";
+    case CpuPinPolicy::kScatter:
+      return "scatter";
+    case CpuPinPolicy::kExplicit:
+      return "explicit";
+  }
+  return "unknown";
+}
+
+int OnlineCpuCount() {
+#if defined(__linux__)
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  if (n > 0) return static_cast<int>(n);
+#endif
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+int NumaNodeOfCpu(int cpu) {
+  if (cpu < 0) return -1;
+#if defined(__linux__)
+  // /sys/devices/system/cpu/cpuN/ contains a nodeM symlink on NUMA
+  // systems. Probe a bounded range of node ids; single-node and
+  // non-NUMA-aware kernels simply report node 0 or nothing.
+  for (int node = 0; node < 64; ++node) {
+    const std::string path = "/sys/devices/system/cpu/cpu" +
+                             std::to_string(cpu) + "/node" +
+                             std::to_string(node);
+    std::ifstream probe(path + "/cpulist");
+    if (probe.good()) return node;
+  }
+#endif
+  return -1;
+}
+
+std::string PinPlan::Describe() const {
+  std::string s = "w:";
+  for (std::size_t i = 0; i < worker_cpu.size(); ++i) {
+    if (i) s += ',';
+    s += std::to_string(worker_cpu[i]);
+  }
+  s += " i:";
+  for (std::size_t i = 0; i < ingest_cpu.size(); ++i) {
+    if (i) s += ',';
+    s += std::to_string(ingest_cpu[i]);
+  }
+  return s;
+}
+
+namespace {
+
+void ValidateCpuList(const std::vector<int>& cpus, int ncpu,
+                     const char* what) {
+  for (int c : cpus) {
+    if (c < 0 || c >= ncpu) {
+      throw std::invalid_argument(std::string("MakePinPlan: ") + what +
+                                  " cpu id " + std::to_string(c) +
+                                  " out of range [0, " + std::to_string(ncpu) +
+                                  ")");
+    }
+  }
+}
+
+}  // namespace
+
+PinPlan MakePinPlan(CpuPinPolicy policy, std::size_t num_workers,
+                    std::size_t num_ingest,
+                    const std::vector<int>& worker_cpus,
+                    const std::vector<int>& ingest_cpus) {
+  PinPlan plan;
+  plan.worker_cpu.assign(num_workers, -1);
+  plan.ingest_cpu.assign(num_ingest, -1);
+  const int ncpu = OnlineCpuCount();
+
+  switch (policy) {
+    case CpuPinPolicy::kNone:
+      break;
+
+    case CpuPinPolicy::kCompact:
+      // Workers first on consecutive CPUs, then ingest right after them —
+      // a worker and the producer feeding it land as close as the box
+      // allows (same core complex / socket), which keeps the SPSC ring's
+      // cache lines bouncing the shortest possible distance.
+      for (std::size_t i = 0; i < num_workers; ++i) {
+        plan.worker_cpu[i] = static_cast<int>(i % static_cast<std::size_t>(ncpu));
+      }
+      for (std::size_t t = 0; t < num_ingest; ++t) {
+        plan.ingest_cpu[t] =
+            static_cast<int>((num_workers + t) % static_cast<std::size_t>(ncpu));
+      }
+      break;
+
+    case CpuPinPolicy::kScatter: {
+      // Spread the thread set across the CPU range with a uniform stride so
+      // each thread gets as much private cache / memory bandwidth as the
+      // topology offers.
+      const std::size_t total = num_workers + num_ingest;
+      const std::size_t stride = std::max<std::size_t>(
+          1, static_cast<std::size_t>(ncpu) / std::max<std::size_t>(1, total));
+      std::size_t k = 0;
+      for (std::size_t i = 0; i < num_workers; ++i, ++k) {
+        plan.worker_cpu[i] =
+            static_cast<int>((k * stride) % static_cast<std::size_t>(ncpu));
+      }
+      for (std::size_t t = 0; t < num_ingest; ++t, ++k) {
+        plan.ingest_cpu[t] =
+            static_cast<int>((k * stride) % static_cast<std::size_t>(ncpu));
+      }
+      break;
+    }
+
+    case CpuPinPolicy::kExplicit:
+      if (worker_cpus.empty() && num_workers > 0) {
+        throw std::invalid_argument(
+            "MakePinPlan: explicit policy needs a non-empty worker cpu list");
+      }
+      ValidateCpuList(worker_cpus, ncpu, "worker");
+      ValidateCpuList(ingest_cpus, ncpu, "ingest");
+      for (std::size_t i = 0; i < num_workers; ++i) {
+        plan.worker_cpu[i] = worker_cpus[i % worker_cpus.size()];
+      }
+      for (std::size_t t = 0; t < num_ingest; ++t) {
+        plan.ingest_cpu[t] = ingest_cpus.empty()
+                                 ? -1
+                                 : ingest_cpus[t % ingest_cpus.size()];
+      }
+      break;
+  }
+  return plan;
+}
+
+bool PinThisThread(int cpu) {
+  if (cpu < 0) return true;  // "leave unpinned" is always satisfiable
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return true;  // pinning is advisory off-Linux
+#endif
+}
+
+ScopedThreadPin::ScopedThreadPin(int cpu) {
+  if (cpu < 0) return;
+#if defined(__linux__)
+  static_assert(sizeof(saved_mask_) >= sizeof(cpu_set_t),
+                "saved affinity storage too small");
+  cpu_set_t prev;
+  CPU_ZERO(&prev);
+  if (sched_getaffinity(0, sizeof(prev), &prev) == 0) {
+    std::memcpy(saved_mask_, &prev, sizeof(prev));
+    saved_ = true;
+  }
+  active_ = PinThisThread(cpu);
+#else
+  active_ = true;
+#endif
+}
+
+ScopedThreadPin::~ScopedThreadPin() {
+#if defined(__linux__)
+  if (saved_) {
+    cpu_set_t prev;
+    std::memcpy(&prev, saved_mask_, sizeof(prev));
+    sched_setaffinity(0, sizeof(prev), &prev);
+  }
+#endif
+}
+
+}  // namespace pegasus::runtime

@@ -1,0 +1,91 @@
+// CPU affinity / NUMA placement for the streaming dataplane.
+//
+// PR 6 built the thread geometry (N ingest producers, per-shard consumer
+// workers, SPSC rings between them); this completes it with placement. A
+// shard's FlowTable and rings are only fast if the worker that owns them
+// runs on a core near the memory holding them — cross-socket probes double
+// the miss cost the split-lane layout just removed. The policy layer here
+// is deliberately dependency-free: Linux sched_setaffinity for pinning and
+// a sysfs probe for CPU→NUMA-node mapping (no libnuma), with graceful
+// no-ops on other platforms.
+//
+// First-touch discipline does the actual NUMA placement: StreamServer
+// defers FlowTable construction to the pinned worker thread, so the pages
+// backing a shard's state fault in on (and stay local to) the worker's
+// node.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pegasus::runtime {
+
+/// Where dataplane threads run.
+///  kNone     — leave scheduling to the OS (default; MT == ST equality and
+///              every existing configuration are unaffected).
+///  kCompact  — pack workers onto consecutive CPUs from 0, ingest threads
+///              on the CPUs after them (shares caches, minimizes sockets).
+///  kScatter  — spread threads across the CPU range with a uniform stride
+///              (maximizes per-thread cache/memory bandwidth).
+///  kExplicit — caller-provided CPU lists (worker_cpus / ingest_cpus).
+enum class CpuPinPolicy { kNone, kCompact, kScatter, kExplicit };
+
+const char* CpuPinPolicyName(CpuPinPolicy p);
+
+/// Number of online CPUs (≥ 1; falls back to hardware_concurrency).
+int OnlineCpuCount();
+
+/// NUMA node of `cpu` from sysfs, or -1 when unknown (non-Linux, or no
+/// NUMA topology exposed).
+int NumaNodeOfCpu(int cpu);
+
+/// Resolved placement: one CPU id per thread, -1 = leave unpinned.
+struct PinPlan {
+  std::vector<int> worker_cpu;  // [num_workers]
+  std::vector<int> ingest_cpu;  // [num_ingest]
+
+  /// Human-readable "w:0,1 i:2,3" summary for logs/bench JSON.
+  std::string Describe() const;
+};
+
+/// Builds the per-thread CPU assignment for `num_workers` shard workers and
+/// `num_ingest` ingest threads. For kExplicit the provided lists are used
+/// modulo their size (so 4 workers over "0,2" alternate between the two);
+/// an empty worker list under kExplicit, or any out-of-range CPU id, throws
+/// std::invalid_argument. Other policies ignore the lists.
+PinPlan MakePinPlan(CpuPinPolicy policy, std::size_t num_workers,
+                    std::size_t num_ingest,
+                    const std::vector<int>& worker_cpus = {},
+                    const std::vector<int>& ingest_cpus = {});
+
+/// Pins the calling thread to `cpu`. cpu < 0 is a successful no-op; returns
+/// false when the platform call fails (non-Linux always returns true for
+/// cpu < 0 and false otherwise is avoided — it no-ops true, pinning is
+/// advisory).
+bool PinThisThread(int cpu);
+
+/// Pins the calling thread for a scope and restores the previous affinity
+/// mask on destruction — used for ingest work that rides a caller's thread
+/// (Serve()'s partition 0), where leaking a one-CPU mask to the caller
+/// would be rude.
+class ScopedThreadPin {
+ public:
+  explicit ScopedThreadPin(int cpu);
+  ~ScopedThreadPin();
+
+  ScopedThreadPin(const ScopedThreadPin&) = delete;
+  ScopedThreadPin& operator=(const ScopedThreadPin&) = delete;
+
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+#if defined(__linux__)
+  // Opaque storage for the saved cpu_set_t (kept out of the header).
+  unsigned long saved_mask_[16] = {};
+  bool saved_ = false;
+#endif
+};
+
+}  // namespace pegasus::runtime

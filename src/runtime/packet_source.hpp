@@ -54,6 +54,21 @@ class SpanPacketSource final : public PacketSource {
   std::size_t at_ = 0;
 };
 
+/// Adapts any object with `bool Next(traffic::TracePacket&)` (e.g.
+/// traffic::ChurnGenerator) to the PacketSource interface without the
+/// generator having to know about the runtime layer. The generator's
+/// buffer-reuse behaviour already matches the PacketSource contract.
+template <typename Generator>
+class GeneratorPacketSource final : public PacketSource {
+ public:
+  explicit GeneratorPacketSource(Generator& gen) : gen_(gen) {}
+
+  bool Next(traffic::TracePacket& out) override { return gen_.Next(out); }
+
+ private:
+  Generator& gen_;
+};
+
 // ---------------------------------------------------------------------------
 // Multi-ingest partitioning.
 // ---------------------------------------------------------------------------

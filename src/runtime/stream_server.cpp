@@ -1,5 +1,6 @@
 #include "runtime/stream_server.hpp"
 
+#include <bit>
 #include <chrono>
 #include <stdexcept>
 #include <thread>
@@ -71,8 +72,10 @@ std::shared_ptr<const ServingState> MakeServingState(
 /// exactly this position in the shard's packet sequence. The payload rides
 /// by value: a PacketSource may reuse its buffer the moment Push returns,
 /// so the borrowed TracePacket::packet pointer cannot cross the ring — the
-/// worker re-aims it at `payload` after popping.
-struct StreamServer::ShardItem {
+/// worker re-aims it at `payload` after popping. Cache-line alignment keeps
+/// every element on whole lines (sizeof is already 2×64), so a producer
+/// writing slot i and a consumer reading slot i±1 never share a line.
+struct alignas(64) StreamServer::ShardItem {
   traffic::TracePacket packet;
   traffic::Packet payload;
   std::shared_ptr<const ServingState> swap;
@@ -87,37 +90,67 @@ struct StreamServer::Shard {
         out_dim(serving->model->OutputDim()),
         features(opts.batch_size * dim),
         logits(opts.batch_size * out_dim),
-        meta(opts.batch_size) {
-    // Exactly one flow table exists, typed for the feature family, so
-    // stat/seq shards never carry (or reset on eviction) the 480-byte
-    // raw-byte window.
-    if (opts.feature == FeatureKind::kRaw) {
-      raw_table = std::make_unique<FlowTable<traffic::OnlineFlowStateRaw>>(
-          opts.flows_per_shard, opts.max_probe);
+        meta(opts.batch_size),
+        feature(opts.feature),
+        table_opts{opts.flows_per_shard, opts.max_probe, opts.table_layout,
+                   opts.table_eviction},
+        slot_count(std::bit_ceil(opts.flows_per_shard)) {
+    // In multi-threaded mode table construction is deferred to the worker
+    // thread (EnsureTables at WorkerLoop entry, after pinning): first-touch
+    // then places the table's pages on the worker's NUMA node, which is
+    // the other half of core pinning. Single-threaded mode builds eagerly —
+    // caller and server are the same thread anyway.
+    if (!opts.multithreaded) {
+      EnsureTables();
     } else {
-      table = std::make_unique<FlowTable<traffic::OnlineFlowState>>(
-          opts.flows_per_shard, opts.max_probe);
-    }
-    if (opts.multithreaded) {
       queue = std::make_unique<SpscQueue<ShardItem>>(opts.queue_capacity);
     }
   }
 
-  const FlowTableStats& TableStats() const {
-    return table ? table->stats() : raw_table->stats();
+  /// Builds the flow table on the calling thread (idempotent). Exactly one
+  /// flow table exists, typed for the feature family, so stat/seq shards
+  /// never carry (or reset on eviction) the 480-byte raw-byte window.
+  void EnsureTables() {
+    if (table || raw_table) return;
+    if (feature == FeatureKind::kRaw) {
+      raw_table = std::make_unique<FlowTable<traffic::OnlineFlowStateRaw>>(
+          table_opts);
+    } else {
+      table = std::make_unique<FlowTable<traffic::OnlineFlowState>>(
+          table_opts);
+    }
+  }
+
+  /// Counters + occupancy snapshot; a not-yet-built (deferred) table
+  /// reports zero counters over `slot_count` slots.
+  FlowTableStats TableStats() const {
+    if (table) return table->SnapshotStats();
+    if (raw_table) return raw_table->SnapshotStats();
+    FlowTableStats s;
+    s.slots = slot_count;
+    return s;
   }
   void ResetTableStats() {
-    table ? table->ResetStats() : raw_table->ResetStats();
+    if (table) {
+      table->ResetStats();
+    } else if (raw_table) {
+      raw_table->ResetStats();
+    }
   }
   std::size_t FlowsResident() const {
-    return table ? table->size() : raw_table->size();
+    return table ? table->size() : raw_table ? raw_table->size() : 0;
   }
   std::size_t TableSramBits(std::size_t bits_per_flow) const {
-    return table ? table->SramBits(bits_per_flow)
-                 : raw_table->SramBits(bits_per_flow);
+    // Priced from the configured slot count so accounting works before a
+    // deferred table is built (matches FlowTable::SramBits exactly).
+    return dataplane::FlowTableSramBits(bits_per_flow, slot_count);
   }
   void PrefetchFlow(const dataplane::FlowKey& key) const {
-    table ? table->Prefetch(key) : raw_table->Prefetch(key);
+    if (table) {
+      table->Prefetch(key);
+    } else if (raw_table) {
+      raw_table->Prefetch(key);
+    }
   }
 
   std::unique_ptr<FlowTable<traffic::OnlineFlowState>> table;
@@ -134,6 +167,11 @@ struct StreamServer::Shard {
   std::vector<float> features;  // batch_size x dim rows
   std::vector<float> logits;    // batch_size x out_dim
   std::vector<PendingMeta> meta;
+  FeatureKind feature = FeatureKind::kSeq;
+  FlowTableOptions table_opts;
+  /// bit_ceil(flows_per_shard): the capacity a (possibly deferred) table
+  /// will have, for accounting that must not wait for construction.
+  std::size_t slot_count = 0;
   std::size_t pending = 0;
   std::vector<StreamDecision> decisions;
   std::uint64_t packets = 0;
@@ -170,10 +208,22 @@ StreamServer::StreamServer(std::shared_ptr<const LoweredModel> model,
   if (opts_.burst == 0) {
     throw std::invalid_argument("StreamServer: zero burst size");
   }
+  if (opts_.flows_per_shard == 0) {
+    throw std::invalid_argument("StreamServer: zero flows per shard");
+  }
+  if (opts_.max_probe == 0) {
+    throw std::invalid_argument("StreamServer: zero probe length");
+  }
   if (model->InputDim() != dim_) {
     throw std::invalid_argument(
         "StreamServer: model input dim does not match the feature family");
   }
+  // Resolve (and validate) the thread placement up front, even in
+  // single-threaded mode — a bad explicit CPU list should fail at
+  // construction, not at Start().
+  pin_plan_ = MakePinPlan(opts_.pin_policy, opts_.num_shards,
+                          opts_.num_ingest, opts_.worker_cpus,
+                          opts_.ingest_cpus);
   serving_ = MakeServingState(std::move(model), version);
   shards_.reserve(opts_.num_shards);
   for (std::size_t i = 0; i < opts_.num_shards; ++i) {
@@ -338,6 +388,10 @@ void StreamServer::ApplySwap(Shard& shard,
 }
 
 void StreamServer::Process(Shard& shard, const traffic::TracePacket& packet) {
+  // MT mode defers table construction to the worker; the one path that can
+  // get here first without a worker is Push() before Start(), where the
+  // caller owns the shard — build on demand (idempotent, single-threaded).
+  if (!shard.table && !shard.raw_table) shard.EnsureTables();
   ++shard.packets;
   float* row = shard.features.data() + shard.pending * dim_;
   bool full;
@@ -410,9 +464,10 @@ void StreamServer::Start() {
   if (running_) return;
   closed_.store(false, std::memory_order_release);
   running_ = true;
-  for (auto& shard : shards_) {
-    Shard* s = shard.get();
-    s->worker = std::thread([this, s] { WorkerLoop(*s); });
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard* s = shards_[i].get();
+    const int cpu = pin_plan_.worker_cpu[i];
+    s->worker = std::thread([this, s, cpu] { WorkerLoop(*s, cpu); });
   }
 }
 
@@ -425,7 +480,12 @@ void StreamServer::Stop() {
   running_ = false;
 }
 
-void StreamServer::WorkerLoop(Shard& shard) {
+void StreamServer::WorkerLoop(Shard& shard, int cpu) {
+  // Pin first, then build the shard's tables: the first write to each page
+  // happens on this (now placed) thread, so the kernel's first-touch
+  // policy backs the table with memory local to the pinned core's node.
+  PinThisThread(cpu);
+  shard.EnsureTables();
   const auto handle = [this, &shard](ShardItem& item) {
     if (item.swap) {
       ApplySwap(shard, std::move(item.swap));
@@ -504,10 +564,14 @@ class SinglePartitionSource final : public PartitionedPacketSource {
 std::vector<StreamDecision> StreamServer::Serve(PacketSource& source) {
   if (opts_.multithreaded) {
     // The calling thread is the single ingest thread; it stages per-shard
-    // bursts exactly like the multi-ingest path with fanout 1.
+    // bursts exactly like the multi-ingest path with fanout 1. Ingest
+    // pinning is scoped — the caller's affinity mask is restored on exit.
     SinglePartitionSource adapter(source);
     Start();
-    IngestLoop(adapter, 0, 1);
+    {
+      ScopedThreadPin pin(pin_plan_.ingest_cpu[0]);
+      IngestLoop(adapter, 0, 1);
+    }
     Stop();
   } else {
     traffic::TracePacket packet;
@@ -543,10 +607,17 @@ std::vector<StreamDecision> StreamServer::Serve(
   std::vector<std::thread> ingest;
   ingest.reserve(parts - 1);
   for (std::size_t t = 1; t < parts; ++t) {
-    ingest.emplace_back(
-        [this, &source, t, parts] { IngestLoop(source, t, parts); });
+    const int cpu = pin_plan_.ingest_cpu[t];
+    ingest.emplace_back([this, &source, t, parts, cpu] {
+      PinThisThread(cpu);
+      IngestLoop(source, t, parts);
+    });
   }
-  IngestLoop(source, 0, parts);  // partition 0 rides the calling thread
+  {
+    // Partition 0 rides the calling thread; pin it only for the loop.
+    ScopedThreadPin pin(pin_plan_.ingest_cpu[0]);
+    IngestLoop(source, 0, parts);
+  }
   for (auto& th : ingest) th.join();
   Stop();
   return TakeDecisions();

@@ -81,6 +81,7 @@
 #include <span>
 #include <vector>
 
+#include "runtime/affinity.hpp"
 #include "runtime/flow_state.hpp"
 #include "runtime/flow_table.hpp"
 #include "runtime/inference_engine.hpp"
@@ -109,6 +110,12 @@ struct StreamServerOptions {
   std::size_t flows_per_shard = 1 << 12;
   /// Probe bound of each shard's FlowTable.
   std::size_t max_probe = 8;
+  /// Physical layout + eviction policy of each shard's FlowTable (split
+  /// hot/cold lanes by default; interleaved is the measured baseline —
+  /// bench_flowscale A/Bs the two). Both eviction policies are
+  /// deterministic; LRU is the default the equality proofs pin down.
+  FlowTableLayout table_layout = FlowTableLayout::kSplit;
+  FlowTableEviction table_eviction = FlowTableEviction::kLru;
   /// Inference batch size per shard (also the engine's PHV pool size).
   std::size_t batch_size = InferenceEngine::kDefaultBatchCapacity;
   FeatureKind feature = FeatureKind::kSeq;
@@ -133,6 +140,19 @@ struct StreamServerOptions {
   bool shed = false;
   /// Failed-push budget (no-progress spins) before shedding kicks in.
   std::size_t shed_spin = 256;
+  /// Core placement of shard workers and ingest threads in multi-threaded
+  /// mode (runtime/affinity.hpp): kNone leaves scheduling to the OS;
+  /// kCompact / kScatter / kExplicit pin each thread to a CPU. With any
+  /// pinning policy (and in MT mode generally) a shard's FlowTable is
+  /// constructed on its worker thread, so first-touch places the table's
+  /// pages on the worker's NUMA node — the worker probes local memory.
+  /// The plan is validated at construction (kExplicit needs a non-empty
+  /// worker_cpus list; CPU ids must be < OnlineCpuCount()).
+  CpuPinPolicy pin_policy = CpuPinPolicy::kNone;
+  /// Explicit CPU lists (pin_policy == kExplicit only): thread i pins to
+  /// list[i % list.size()]. An empty ingest list leaves ingest unpinned.
+  std::vector<int> worker_cpus;
+  std::vector<int> ingest_cpus;
 };
 
 /// One per-packet classification (or anomaly score) produced by the server.
@@ -191,7 +211,10 @@ struct StreamServerStats {
   /// equals the offered load.
   ShedStats shed;
   std::vector<ShedStats> shard_shed;
-  /// Aggregated over all shards.
+  /// Aggregated over all shards, occupancy snapshot included
+  /// (table.resident / table.slots sum each shard's live entries and
+  /// capacity, so table.LoadFactor() is the server-wide load factor; the
+  /// probe-length histogram sums per-shard histograms).
   FlowTableStats table;
   /// Batched-engine work counters, aggregated over all shards and across
   /// model swaps (engines retired by SwapModel fold their counters into a
@@ -325,7 +348,7 @@ class StreamServer {
   void Process(Shard& shard, const traffic::TracePacket& packet);
   void FlushShard(Shard& shard);
   void ApplySwap(Shard& shard, std::shared_ptr<const ServingState> next);
-  void WorkerLoop(Shard& shard);
+  void WorkerLoop(Shard& shard, int cpu);
   /// Burst-pushes `items` onto the shard's ring: yields under backpressure,
   /// sheds the un-pushed remainder once the no-progress spin budget is
   /// exhausted (shedding mode only).
@@ -343,6 +366,9 @@ class StreamServer {
   /// references; in MT mode the handle reaches them in-band through the
   /// rings, so no cross-thread load happens on the hot path).
   std::shared_ptr<const ServingState> serving_;
+  /// Per-thread CPU assignment resolved from opts_.pin_policy at
+  /// construction (-1 entries = unpinned).
+  PinPlan pin_plan_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> closed_{false};
   bool running_ = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "dataplane/flow_key.hpp"
 
@@ -266,6 +267,156 @@ std::vector<ClassProfile> AttackProfiles() {
       {"Geodo", 520.0f, 25.0f, 290.0f, 2, 25.0f, 12.6f, 0.4f, 0.9f, 2,
        0.15f, 0xD006, 0.10f},
   };
+}
+
+// ---- flow-churn stress scenario ---------------------------------------
+
+namespace {
+
+/// splitmix64 finalizer — a bijection on u64, so distinct flow counters
+/// yield distinct digests (no accidental flow merging in the stressed
+/// table, which would corrupt the hit-rate measurements).
+std::uint64_t ChurnDigest(std::uint64_t seed, std::uint64_t flow_counter) {
+  std::uint64_t x = seed + flow_counter * 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::size_t UniformIn(std::mt19937_64& rng, std::size_t lo, std::size_t hi) {
+  if (hi <= lo) return lo;
+  return lo + static_cast<std::size_t>(rng() % (hi - lo + 1));
+}
+
+}  // namespace
+
+ChurnGenerator::ChurnGenerator(const ChurnSpec& spec)
+    : spec_(spec), rng_(spec.seed) {
+  if (spec_.live_flows == 0) {
+    throw std::invalid_argument("ChurnGenerator: zero live flows");
+  }
+  if (spec_.mouse_packets_min == 0 || spec_.elephant_packets_min == 0) {
+    throw std::invalid_argument("ChurnGenerator: zero per-flow packets");
+  }
+  elephants_ = static_cast<std::size_t>(
+      spec_.elephant_frac * static_cast<double>(spec_.live_flows));
+  elephants_ = std::min(elephants_, spec_.live_flows);
+  pool_.resize(spec_.live_flows);
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    pool_[i] = NewFlow(i < elephants_);
+  }
+  next_scan_at_ = spec_.scan_every;
+  next_flood_at_ = spec_.flood_every;
+}
+
+ChurnGenerator::LiveFlow ChurnGenerator::NewFlow(bool elephant) {
+  LiveFlow f;
+  f.flow_id = next_flow_id_++;
+  f.digest = ChurnDigest(spec_.seed, f.flow_id);
+  if (elephant) {
+    f.remaining = static_cast<std::uint32_t>(UniformIn(
+        rng_, spec_.elephant_packets_min, spec_.elephant_packets_max));
+    f.label = 1;
+    f.len_base = static_cast<std::uint16_t>(UniformIn(rng_, 200, 1400));
+  } else {
+    f.remaining = static_cast<std::uint32_t>(
+        UniformIn(rng_, spec_.mouse_packets_min, spec_.mouse_packets_max));
+    f.label = 0;
+    f.len_base = static_cast<std::uint16_t>(UniformIn(rng_, 60, 200));
+  }
+  return f;
+}
+
+void ChurnGenerator::EmitFrom(std::uint64_t digest, std::uint32_t flow_id,
+                              std::uint32_t index, std::int32_t label,
+                              std::uint16_t len, TracePacket& out) {
+  ts_us_ += 1 + (rng_() & 7);
+  buf_.ts_us = ts_us_;
+  buf_.len = len;
+  // A stable per-flow header (digest + per-flow packet index) so payloads
+  // are flow-identifying even without fill; the rest of the buffer is
+  // reused verbatim between packets unless fill_payload asks for noise.
+  for (int i = 0; i < 8; ++i) {
+    buf_.bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(digest >> (8 * i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    buf_.bytes[8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(index >> (8 * i));
+  }
+  if (spec_.fill_payload) {
+    for (std::size_t i = 12; i < kRawBytesPerPacket; ++i) {
+      buf_.bytes[i] = static_cast<std::uint8_t>(rng_() & 0xff);
+    }
+  }
+  out.ts_us = ts_us_;
+  out.flow = flow_id;
+  out.index = index;
+  out.key.digest = digest;
+  out.label = label;
+  out.packet = &buf_;
+}
+
+bool ChurnGenerator::Next(TracePacket& out) {
+  if (emitted_ >= spec_.packets) return false;
+  // Burst arming: scan first when both are due; the flood fires as soon as
+  // the scan run drains (next_flood_at_ has already passed). Everything is
+  // keyed on the emitted-packet counter, so the schedule is deterministic.
+  if (burst_left_ == 0) {
+    if (spec_.scan_every != 0 && spec_.scan_burst != 0 &&
+        emitted_ >= next_scan_at_) {
+      burst_left_ = spec_.scan_burst;
+      burst_label_ = kChurnScanLabel;
+      next_scan_at_ += spec_.scan_every;
+    } else if (spec_.flood_every != 0 && spec_.flood_burst != 0 &&
+               emitted_ >= next_flood_at_) {
+      burst_left_ = spec_.flood_burst;
+      burst_label_ = kChurnFloodLabel;
+      next_flood_at_ += spec_.flood_every;
+    }
+  }
+  ++emitted_;
+  if (burst_left_ != 0) {
+    // One never-repeating single-packet flow per burst slot — the pattern
+    // that fills a flow cache with dead entries.
+    --burst_left_;
+    const std::uint32_t id = next_flow_id_++;
+    const std::uint64_t digest = ChurnDigest(spec_.seed, id);
+    const std::uint16_t len =
+        burst_label_ == kChurnScanLabel ? std::uint16_t{60} : std::uint16_t{512};
+    (burst_label_ == kChurnScanLabel ? scan_packets_ : flood_packets_)++;
+    EmitFrom(digest, id, 0, burst_label_, len, out);
+    return true;
+  }
+  const std::size_t slot = static_cast<std::size_t>(rng_() % pool_.size());
+  LiveFlow& f = pool_[slot];
+  const std::uint16_t len = static_cast<std::uint16_t>(
+      f.len_base + static_cast<std::uint16_t>(rng_() & 63));
+  EmitFrom(f.digest, f.flow_id, f.index++, f.label, len, out);
+  if (--f.remaining == 0) {
+    // Retire and replace in place: the live working set stays at exactly
+    // live_flows while the identity under each slot churns.
+    f = NewFlow(slot < elephants_);
+    ++retired_;
+  }
+  return true;
+}
+
+ChurnTrace MaterializeChurn(const ChurnSpec& spec) {
+  ChurnGenerator gen(spec);
+  ChurnTrace out;
+  out.packets.reserve(spec.packets);
+  out.trace.reserve(spec.packets);
+  TracePacket pkt;
+  while (gen.Next(pkt)) {
+    out.packets.push_back(*pkt.packet);
+    pkt.packet = nullptr;  // re-aimed below once the vector stops moving
+    out.trace.push_back(pkt);
+  }
+  for (std::size_t i = 0; i < out.trace.size(); ++i) {
+    out.trace[i].packet = &out.packets[i];
+  }
+  return out;
 }
 
 }  // namespace pegasus::traffic

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "traffic/packet.hpp"
+#include "traffic/stream.hpp"
 
 namespace pegasus::traffic {
 
@@ -103,5 +104,116 @@ DatasetSpec IscxVpnSpec(std::size_t flows_per_class = 200,
 /// the Kitsune SSDP reflection flood), in Figure 8's legend order:
 /// Htbot, Flood, Cridex, Virut, Neris, Geodo.
 std::vector<ClassProfile> AttackProfiles();
+
+// ---- flow-churn stress scenario (ROADMAP: million-flow state) ---------
+//
+// The calibrated datasets above model *what* flows look like; the churn
+// scenario models *how many* of them exist at once and how fast they turn
+// over — the axis that stresses the FlowTable rather than the model. A
+// fixed-size pool of live flows (mice that retire after a handful of
+// packets and are replaced by fresh flows, plus a small population of
+// long-lived elephants carrying most packets) produces a steady-state
+// working set of exactly `live_flows` concurrent flows with continuous
+// insert/evict churn at the table, punctuated by port-scan and SYN-flood
+// bursts of single-packet never-repeating flows — the classic cache-killer
+// patterns a real border switch sees.
+
+/// Labels carried by churn traffic: benign mice/elephants are 0/1, bursts
+/// use the attack (< 0) label range like AttackProfiles() flows do.
+inline constexpr std::int32_t kChurnScanLabel = -1;
+inline constexpr std::int32_t kChurnFloodLabel = -2;
+
+struct ChurnSpec {
+  /// Steady-state live working set (concurrent non-burst flows). The
+  /// scenario axis: 10K → 1M.
+  std::size_t live_flows = 10'000;
+  /// Fraction of the live pool that is long-lived elephants.
+  double elephant_frac = 0.02;
+  /// Per-flow packet budgets: mice die young (constant re-insert pressure),
+  /// elephants persist (the entries worth keeping resident).
+  std::size_t mouse_packets_min = 6;
+  std::size_t mouse_packets_max = 12;
+  std::size_t elephant_packets_min = 512;
+  std::size_t elephant_packets_max = 4096;
+  /// Port-scan bursts: every `scan_every` emitted packets, a run of
+  /// `scan_burst` single-packet probe flows with fresh digests (0 = off).
+  std::size_t scan_every = 50'000;
+  std::size_t scan_burst = 512;
+  /// SYN-flood bursts: same shape, bigger and rarer (0 = off).
+  std::size_t flood_every = 200'000;
+  std::size_t flood_burst = 4'096;
+  /// Total packets to emit (burst packets included).
+  std::size_t packets = 100'000;
+  /// Fill payload bytes with per-packet noise (slower; only raw-byte
+  /// models care). Off: payloads carry just the digest/index header.
+  bool fill_payload = false;
+  std::uint64_t seed = 7'001;
+};
+
+/// Streaming churn source: Next() emits one packet at a time from the
+/// evolving live-flow pool, reusing one internal Packet buffer (the
+/// PacketSource contract — wrap in runtime::GeneratorPacketSource to feed
+/// a StreamServer, or in io::TraceReplayer for paced replay). Deterministic
+/// in the spec: same spec -> bit-identical packet sequence. Flow ids are
+/// unique and monotonic; digests are unique per flow (splitmix64 of the
+/// flow counter), so a retired mouse is never confused with its successor.
+class ChurnGenerator {
+ public:
+  explicit ChurnGenerator(const ChurnSpec& spec);
+
+  /// Emits the next packet; false once `spec.packets` have been produced.
+  /// `out.packet` points at the internal buffer, valid until the next call.
+  bool Next(TracePacket& out);
+
+  const ChurnSpec& spec() const { return spec_; }
+  /// Flows created so far (live pool + retired + burst probes).
+  std::uint64_t flows_started() const { return next_flow_id_; }
+  /// Pool flows that exhausted their packet budget and were replaced.
+  std::uint64_t flows_retired() const { return retired_; }
+  std::uint64_t packets_emitted() const { return emitted_; }
+  std::uint64_t scan_packets() const { return scan_packets_; }
+  std::uint64_t flood_packets() const { return flood_packets_; }
+
+ private:
+  struct LiveFlow {
+    std::uint64_t digest = 0;
+    std::uint32_t flow_id = 0;
+    std::uint32_t index = 0;
+    std::uint32_t remaining = 0;
+    std::int32_t label = 0;
+    std::uint16_t len_base = 0;
+  };
+
+  LiveFlow NewFlow(bool elephant);
+  void EmitFrom(std::uint64_t digest, std::uint32_t flow_id,
+                std::uint32_t index, std::int32_t label, std::uint16_t len,
+                TracePacket& out);
+
+  ChurnSpec spec_;
+  std::mt19937_64 rng_;
+  std::vector<LiveFlow> pool_;
+  std::size_t elephants_ = 0;
+  Packet buf_{};
+  std::uint64_t ts_us_ = 0;
+  std::uint32_t next_flow_id_ = 0;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t retired_ = 0;
+  std::uint64_t scan_packets_ = 0;
+  std::uint64_t flood_packets_ = 0;
+  std::uint64_t next_scan_at_ = 0;
+  std::uint64_t next_flood_at_ = 0;
+  std::size_t burst_left_ = 0;
+  std::int32_t burst_label_ = 0;
+};
+
+/// A fully materialized churn run (tests and exact-replay comparisons;
+/// the 1M-flow sweeps stream through ChurnGenerator instead). trace[i]
+/// borrows packets[i], so ChurnTrace is self-contained and movable.
+struct ChurnTrace {
+  std::vector<Packet> packets;
+  std::vector<TracePacket> trace;
+};
+
+ChurnTrace MaterializeChurn(const ChurnSpec& spec);
 
 }  // namespace pegasus::traffic

@@ -9,6 +9,7 @@
 #include <map>
 #include <random>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 namespace rt = pegasus::runtime;
@@ -191,4 +192,228 @@ TEST(FlowTable, SramBitsMatchesDataplaneAccounting) {
             pegasus::dataplane::FlowTableSramBits(bits_per_flow, 1024));
   // 208 bits round to 26 bytes; + 16-bit digest = 224 bits/slot.
   EXPECT_EQ(table.SramBits(bits_per_flow), 224u * 1024u);
+}
+
+// ------------------------------------------------- split-lane layout (PR 7)
+
+namespace {
+
+/// Drives two tables through an identical randomized churny op mix (Find
+/// probes, FindOrInsert upserts, far more distinct keys than slots, so
+/// eviction runs continuously) and requires bit-identical behaviour:
+/// same return outcomes, same values, same counters, same histogram.
+void ExpectTablesEquivalent(rt::FlowTable<Tag>& a, rt::FlowTable<Tag>& b,
+                            std::uint64_t seed) {
+  const auto keys = RandomKeys(512, seed);
+  std::mt19937_64 rng(seed ^ 0xF00Dull);
+  for (int op = 0; op < 20'000; ++op) {
+    const FlowKey& k = keys[rng() % keys.size()];
+    if ((rng() & 3) == 0) {  // 25% lookups
+      Tag* ta = a.Find(k);
+      Tag* tb = b.Find(k);
+      ASSERT_EQ(ta == nullptr, tb == nullptr) << "op " << op;
+      if (ta != nullptr) ASSERT_EQ(ta->value, tb->value) << "op " << op;
+    } else {
+      Tag& ta = a.FindOrInsert(k);
+      Tag& tb = b.FindOrInsert(k);
+      ASSERT_EQ(ta.value, tb.value) << "op " << op;
+      ta.value = tb.value = TagFor(k);
+    }
+  }
+  const auto sa = a.SnapshotStats();
+  const auto sb = b.SnapshotStats();
+  EXPECT_EQ(sa.hits, sb.hits);
+  EXPECT_EQ(sa.misses, sb.misses);
+  EXPECT_EQ(sa.inserts, sb.inserts);
+  EXPECT_EQ(sa.evictions, sb.evictions);
+  EXPECT_EQ(sa.probes, sb.probes);
+  EXPECT_EQ(sa.probe_hist, sb.probe_hist);
+  EXPECT_EQ(sa.resident, sb.resident);
+  EXPECT_EQ(sa.slots, sb.slots);
+  EXPECT_GT(sa.evictions, 0u);  // the mix actually stressed eviction
+  // Identical survivor sets with identical values.
+  for (const auto& k : keys) {
+    Tag* ta = a.Find(k);
+    Tag* tb = b.Find(k);
+    ASSERT_EQ(ta == nullptr, tb == nullptr);
+    if (ta != nullptr) {
+      EXPECT_EQ(ta->value, TagFor(k));
+      EXPECT_EQ(tb->value, TagFor(k));
+    }
+  }
+}
+
+}  // namespace
+
+TEST(FlowTable, SplitAndInterleavedAreBitEquivalent) {
+  for (const auto eviction :
+       {rt::FlowTableEviction::kLru, rt::FlowTableEviction::kSecondChance}) {
+    rt::FlowTableOptions split;
+    split.capacity = 128;
+    split.max_probe = 8;
+    split.layout = rt::FlowTableLayout::kSplit;
+    split.eviction = eviction;
+    rt::FlowTableOptions inter = split;
+    inter.layout = rt::FlowTableLayout::kInterleaved;
+    rt::FlowTable<Tag> a(split), b(inter);
+    ExpectTablesEquivalent(a, b, 23 + static_cast<std::uint64_t>(eviction));
+  }
+}
+
+TEST(FlowTable, SecondChanceIsDeterministic) {
+  rt::FlowTableOptions opts;
+  opts.capacity = 64;
+  opts.max_probe = 8;
+  opts.eviction = rt::FlowTableEviction::kSecondChance;
+  rt::FlowTable<Tag> a(opts), b(opts);
+  ExpectTablesEquivalent(a, b, 29);
+}
+
+TEST(FlowTable, OptionsSelectLayoutAndEviction) {
+  rt::FlowTableOptions opts;
+  opts.capacity = 100;  // rounds to 128
+  opts.layout = rt::FlowTableLayout::kInterleaved;
+  opts.eviction = rt::FlowTableEviction::kSecondChance;
+  rt::FlowTable<Tag> table(opts);
+  EXPECT_EQ(table.capacity(), 128u);
+  EXPECT_EQ(table.layout(), rt::FlowTableLayout::kInterleaved);
+  EXPECT_EQ(table.eviction(), rt::FlowTableEviction::kSecondChance);
+  // The legacy (capacity, max_probe) ctor keeps the deterministic defaults
+  // the MT == ST proofs rely on.
+  rt::FlowTable<Tag> legacy(64);
+  EXPECT_EQ(legacy.layout(), rt::FlowTableLayout::kSplit);
+  EXPECT_EQ(legacy.eviction(), rt::FlowTableEviction::kLru);
+  // Option validation matches the legacy ctor's.
+  rt::FlowTableOptions bad;
+  bad.capacity = 0;
+  EXPECT_THROW(rt::FlowTable<Tag>{bad}, std::invalid_argument);
+  bad.capacity = 64;
+  bad.max_probe = 0;
+  EXPECT_THROW(rt::FlowTable<Tag>{bad}, std::invalid_argument);
+  EXPECT_STREQ(rt::FlowTableLayoutName(rt::FlowTableLayout::kSplit), "split");
+  EXPECT_STREQ(rt::FlowTableEvictionName(rt::FlowTableEviction::kSecondChance),
+               "second_chance");
+}
+
+TEST(FlowTable, SecondChanceProtectsReferencedEntry) {
+  // capacity == max_probe == 4: every probe window covers the whole table,
+  // so the scenario is exact regardless of where keys hash.
+  rt::FlowTableOptions opts;
+  opts.capacity = 4;
+  opts.max_probe = 4;
+  opts.eviction = rt::FlowTableEviction::kSecondChance;
+  rt::FlowTable<Tag> table(opts);
+  const auto keys = RandomKeys(5, 41);
+  for (int i = 0; i < 4; ++i) {
+    table.FindOrInsert(keys[static_cast<std::size_t>(i)]).value =
+        TagFor(keys[static_cast<std::size_t>(i)]);
+  }
+  ASSERT_EQ(table.size(), 4u);
+  // Reference keys[1]: a hit sets its reference bit (and only its).
+  ASSERT_NE(table.Find(keys[1]), nullptr);
+  // Inserting a fifth key forces an eviction. The CLOCK sweep clears
+  // reference bits as it walks, so keys[1] survives this eviction no matter
+  // where the sweep starts; the victim comes from the unreferenced three.
+  table.FindOrInsert(keys[4]).value = TagFor(keys[4]);
+  EXPECT_EQ(table.stats().evictions, 1u);
+  EXPECT_EQ(table.size(), 4u);  // replaced in place, never emptied
+  Tag* survivor = table.Find(keys[1]);
+  ASSERT_NE(survivor, nullptr);
+  EXPECT_EQ(survivor->value, TagFor(keys[1]));
+  ASSERT_NE(table.Find(keys[4]), nullptr);
+  int resident = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (table.Find(keys[static_cast<std::size_t>(i)]) != nullptr) ++resident;
+  }
+  EXPECT_EQ(resident, 3);  // exactly one of the originals was evicted
+}
+
+TEST(FlowTable, LruEvictsExactlyTheOldestInWindow) {
+  // Same whole-table-window construction, LRU policy: the victim is
+  // exactly the entry with the smallest stamp — the untouched oldest.
+  rt::FlowTable<Tag> table(4, 4);
+  const auto keys = RandomKeys(5, 43);
+  for (int i = 0; i < 4; ++i) {
+    table.FindOrInsert(keys[static_cast<std::size_t>(i)]);
+  }
+  // Touch everything except keys[0], oldest-first ordering preserved.
+  for (int i = 1; i < 4; ++i) {
+    ASSERT_NE(table.Find(keys[static_cast<std::size_t>(i)]), nullptr);
+  }
+  table.FindOrInsert(keys[4]);
+  EXPECT_EQ(table.Find(keys[0]), nullptr);  // keys[0] was the exact-LRU victim
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_NE(table.Find(keys[static_cast<std::size_t>(i)]), nullptr);
+  }
+}
+
+TEST(FlowTable, ProbeHistogramAndOccupancyAccounting) {
+  rt::FlowTableOptions opts;
+  opts.capacity = 64;
+  opts.max_probe = 8;
+  rt::FlowTable<Tag> table(opts);
+  const auto keys = RandomKeys(200, 47);
+  std::mt19937_64 rng(47);
+  for (int op = 0; op < 5'000; ++op) {
+    const FlowKey& k = keys[rng() % keys.size()];
+    if ((rng() & 1) != 0) {
+      table.FindOrInsert(k);
+    } else {
+      table.Find(k);
+    }
+  }
+  const auto s = table.SnapshotStats();
+  // Every operation lands in exactly one histogram bucket.
+  std::uint64_t hist_ops = 0, hist_probes = 0;
+  for (std::size_t b = 0; b < rt::FlowTableStats::kProbeHistBuckets; ++b) {
+    hist_ops += s.probe_hist[b];
+    hist_probes += s.probe_hist[b] * (b + 1);
+  }
+  EXPECT_EQ(hist_ops, s.hits + s.misses);
+  EXPECT_EQ(hist_ops, 5'000u);
+  // max_probe (8) < bucket count (16): the weighted sum is exact.
+  EXPECT_EQ(hist_probes, s.probes);
+  EXPECT_DOUBLE_EQ(s.MeanProbe(), static_cast<double>(s.probes) / 5'000.0);
+  // The snapshot carries occupancy; the live counters do not.
+  EXPECT_EQ(s.resident, table.size());
+  EXPECT_EQ(s.slots, table.capacity());
+  EXPECT_DOUBLE_EQ(s.LoadFactor(), table.LoadFactor());
+  EXPECT_EQ(table.stats().resident, 0u);
+  EXPECT_EQ(table.stats().slots, 0u);
+  // Aggregation semantics: += sums counters, histogram, and occupancy.
+  rt::FlowTableStats sum;
+  sum += s;
+  sum += s;
+  EXPECT_EQ(sum.hits, 2 * s.hits);
+  EXPECT_EQ(sum.probes, 2 * s.probes);
+  EXPECT_EQ(sum.probe_hist[0], 2 * s.probe_hist[0]);
+  EXPECT_EQ(sum.resident, 2 * s.resident);
+  EXPECT_EQ(sum.slots, 2 * s.slots);
+  EXPECT_DOUBLE_EQ(sum.LoadFactor(), s.LoadFactor());
+}
+
+TEST(FlowTable, PrefetchIsSideEffectFreeOnEveryConfiguration) {
+  for (const auto layout : {rt::FlowTableLayout::kSplit,
+                            rt::FlowTableLayout::kInterleaved}) {
+    rt::FlowTableOptions opts;
+    opts.capacity = 64;
+    opts.layout = layout;
+    opts.eviction = rt::FlowTableEviction::kSecondChance;
+    rt::FlowTable<Tag> table(opts);
+    const auto keys = RandomKeys(16, 53);
+    for (const auto& k : keys) table.FindOrInsert(k).value = TagFor(k);
+    const auto before = table.SnapshotStats();
+    for (const auto& k : keys) table.Prefetch(k);
+    table.Prefetch(FlowKey{0x1234ull});  // absent key: still a pure hint
+    const auto after = table.SnapshotStats();
+    EXPECT_EQ(before.hits, after.hits);
+    EXPECT_EQ(before.misses, after.misses);
+    EXPECT_EQ(before.probes, after.probes);
+    EXPECT_EQ(before.resident, after.resident);
+    for (const auto& k : keys) {
+      Tag* t = table.Find(k);
+      ASSERT_NE(t, nullptr);
+      EXPECT_EQ(t->value, TagFor(k));
+    }
+  }
 }

@@ -15,7 +15,9 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <memory>
 #include <random>
+#include <utility>
 
 #include "compiler/compiler.hpp"
 #include "core/operators.hpp"
@@ -637,4 +639,174 @@ TEST(StreamServer, StatsAccountRegisterFootprint) {
   // The raw family additionally carries the 8x60-byte window.
   EXPECT_GT(rt::OnlineFlowStateSpec(rt::FeatureKind::kRaw).BitsPerFlow(),
             spec.BitsPerFlow());
+}
+
+// ---------------------------------------------------------------------------
+// Flow churn at eviction pressure + CPU pinning (ISSUE 7 acceptance
+// criteria): per-flow decisions stay bit-identical between single- and
+// multi-threaded serving — including across a mid-stream model swap — when
+// the table is overloaded, evicting continuously, and the dataplane
+// threads are pinned.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+tr::ChurnTrace SmallChurn(std::size_t packets = 60'000) {
+  tr::ChurnSpec spec;
+  spec.live_flows = 512;
+  spec.packets = packets;
+  spec.scan_every = 10'000;
+  spec.scan_burst = 256;
+  spec.flood_every = 25'000;
+  spec.flood_burst = 1'024;
+  return tr::MaterializeChurn(spec);
+}
+
+std::vector<rt::StreamDecision> SortPerFlow(
+    std::vector<rt::StreamDecision> decisions) {
+  std::sort(decisions.begin(), decisions.end(),
+            [](const rt::StreamDecision& a, const rt::StreamDecision& b) {
+              return std::tie(a.flow, a.index) < std::tie(b.flow, b.index);
+            });
+  return decisions;
+}
+
+}  // namespace
+
+TEST(StreamServer, ChurnMtMatchesStUnderEvictionWithPinning) {
+  const auto churn = SmallChurn();
+  const auto ds = tr::Generate(tr::PeerRushSpec(6, 70));
+  const auto offline = tr::ExtractStatFeatures(ds.flows);
+  const auto lowered = Build16DimModel(offline.x, offline.size(), 71);
+
+  auto serve = [&](bool mt, rt::CpuPinPolicy pin) {
+    rt::StreamServerOptions opts;
+    opts.num_shards = 4;
+    opts.flows_per_shard = 64;  // far under the 512-flow working set
+    opts.max_probe = 4;
+    opts.feature = rt::FeatureKind::kStat;
+    opts.multithreaded = mt;
+    opts.pin_policy = pin;
+    rt::StreamServer server(lowered, opts);
+    auto decisions = SortPerFlow(server.Serve(churn.trace));
+    const auto stats = server.Stats();
+    EXPECT_GT(stats.table.evictions, 1'000u) << "churn must stress eviction";
+    EXPECT_EQ(stats.packets, churn.trace.size());
+    return decisions;
+  };
+
+  const auto st = serve(false, rt::CpuPinPolicy::kNone);
+  const auto mt = serve(true, rt::CpuPinPolicy::kCompact);
+  ASSERT_EQ(st.size(), mt.size());
+  for (std::size_t i = 0; i < st.size(); ++i) {
+    ASSERT_EQ(st[i].flow, mt[i].flow) << "decision " << i;
+    ASSERT_EQ(st[i].index, mt[i].index) << "decision " << i;
+    ASSERT_EQ(st[i].predicted, mt[i].predicted) << "decision " << i;
+    ASSERT_EQ(st[i].score, mt[i].score) << "decision " << i;
+  }
+  // Scatter pinning is just a different placement: same decisions again.
+  const auto scattered = serve(true, rt::CpuPinPolicy::kScatter);
+  ASSERT_EQ(scattered.size(), st.size());
+  for (std::size_t i = 0; i < st.size(); ++i) {
+    ASSERT_EQ(scattered[i].predicted, st[i].predicted) << "decision " << i;
+  }
+}
+
+TEST(StreamServer, ChurnLayoutsAndEvictionPoliciesDecideConsistently) {
+  const auto churn = SmallChurn(30'000);
+  const auto ds = tr::Generate(tr::PeerRushSpec(6, 72));
+  const auto offline = tr::ExtractStatFeatures(ds.flows);
+  const auto lowered = Build16DimModel(offline.x, offline.size(), 73);
+
+  auto serve = [&](rt::FlowTableLayout layout, rt::FlowTableEviction ev) {
+    rt::StreamServerOptions opts;
+    opts.num_shards = 2;
+    opts.flows_per_shard = 64;
+    opts.max_probe = 4;
+    opts.feature = rt::FeatureKind::kStat;
+    opts.table_layout = layout;
+    opts.table_eviction = ev;
+    rt::StreamServer server(lowered, opts);
+    auto decisions = server.Serve(churn.trace);  // ST: deterministic order
+    const auto stats = server.Stats();
+    EXPECT_GT(stats.table.evictions, 0u);
+    return std::pair{std::move(decisions), stats};
+  };
+
+  // The layout is a physical choice only: bit-identical decisions AND
+  // bit-identical table counters (hits/misses/evictions/probe histogram),
+  // for either eviction policy.
+  for (const auto ev : {rt::FlowTableEviction::kLru,
+                        rt::FlowTableEviction::kSecondChance}) {
+    const auto [split, split_stats] = serve(rt::FlowTableLayout::kSplit, ev);
+    const auto [inter, inter_stats] =
+        serve(rt::FlowTableLayout::kInterleaved, ev);
+    ASSERT_EQ(split.size(), inter.size());
+    for (std::size_t i = 0; i < split.size(); ++i) {
+      ASSERT_EQ(split[i].flow, inter[i].flow) << "decision " << i;
+      ASSERT_EQ(split[i].index, inter[i].index) << "decision " << i;
+      ASSERT_EQ(split[i].predicted, inter[i].predicted) << "decision " << i;
+    }
+    EXPECT_EQ(split_stats.table.hits, inter_stats.table.hits);
+    EXPECT_EQ(split_stats.table.misses, inter_stats.table.misses);
+    EXPECT_EQ(split_stats.table.evictions, inter_stats.table.evictions);
+    EXPECT_EQ(split_stats.table.probes, inter_stats.table.probes);
+    EXPECT_EQ(split_stats.table.probe_hist, inter_stats.table.probe_hist);
+  }
+}
+
+TEST(StreamServer, ChurnMtMatchesStAcrossMidStreamSwapWithPinning) {
+  const auto churn = SmallChurn(40'000);
+  const auto ds = tr::Generate(tr::PeerRushSpec(6, 74));
+  const auto offline = tr::ExtractStatFeatures(ds.flows);
+  const auto v1 = Build16DimModel(offline.x, offline.size(), 75);
+  const auto v2 = Build16DimModel(offline.x, offline.size(), 76);
+
+  auto serve = [&](bool mt) {
+    rt::StreamServerOptions opts;
+    opts.num_shards = 4;
+    opts.flows_per_shard = 64;
+    opts.max_probe = 4;
+    opts.feature = rt::FeatureKind::kStat;
+    opts.multithreaded = mt;
+    opts.pin_policy = mt ? rt::CpuPinPolicy::kCompact : rt::CpuPinPolicy::kNone;
+    rt::StreamServer server(v1, opts);
+    auto run = ev::ServeTraceWithSwap(
+        server, churn.trace, churn.trace.size() / 2,
+        std::shared_ptr<const rt::LoweredModel>(std::shared_ptr<void>{}, &v2),
+        2);
+    EXPECT_EQ(run.stats.active_version, 2u);
+    EXPECT_GT(run.stats.table.evictions, 0u);
+    return SortPerFlow(std::move(run.decisions));
+  };
+
+  const auto st = serve(false);
+  const auto mt = serve(true);
+  ASSERT_EQ(st.size(), mt.size());
+  for (std::size_t i = 0; i < st.size(); ++i) {
+    ASSERT_EQ(st[i].flow, mt[i].flow) << "decision " << i;
+    ASSERT_EQ(st[i].index, mt[i].index) << "decision " << i;
+    ASSERT_EQ(st[i].predicted, mt[i].predicted) << "decision " << i;
+    ASSERT_EQ(st[i].score, mt[i].score) << "decision " << i;
+  }
+}
+
+TEST(StreamServer, PinningOptionsValidateAtConstruction) {
+  const auto ds = tr::Generate(tr::PeerRushSpec(4, 77));
+  const auto offline = tr::ExtractStatFeatures(ds.flows);
+  const auto lowered = Build16DimModel(offline.x, offline.size(), 78);
+
+  rt::StreamServerOptions opts;
+  opts.feature = rt::FeatureKind::kStat;
+  opts.pin_policy = rt::CpuPinPolicy::kExplicit;  // empty worker_cpus
+  EXPECT_THROW(rt::StreamServer(lowered, opts), std::invalid_argument);
+  opts.worker_cpus = {1 << 20};  // no such CPU
+  EXPECT_THROW(rt::StreamServer(lowered, opts), std::invalid_argument);
+  // A valid explicit plan constructs and serves.
+  opts.worker_cpus = {0};
+  opts.ingest_cpus = {0};
+  rt::StreamServer server(lowered, opts);
+  const auto churn = SmallChurn(5'000);
+  const auto decisions = server.Serve(churn.trace);
+  EXPECT_EQ(decisions.size(), server.Stats().decisions);
 }

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <map>
 #include <set>
+#include <stdexcept>
 
 #include "eval/experiment.hpp"
 #include "eval/metrics.hpp"
@@ -381,6 +383,134 @@ TEST(Stream, MergeTraceIsTimeOrderedAndFlowPreserving) {
                shuffled[i].ts_us != trace[i].ts_us;
   }
   EXPECT_TRUE(any_diff);
+}
+
+// ----------------------------------------------------------------- churn
+
+TEST(Churn, DeterministicAndBudgetExact) {
+  tr::ChurnSpec spec;
+  spec.live_flows = 500;
+  spec.packets = 20'000;
+  spec.scan_every = 4'000;
+  spec.scan_burst = 64;
+  spec.flood_every = 9'000;
+  spec.flood_burst = 256;
+  tr::ChurnGenerator a(spec), b(spec);
+  tr::TracePacket pa, pb;
+  std::uint64_t n = 0;
+  while (a.Next(pa)) {
+    ASSERT_TRUE(b.Next(pb));
+    ASSERT_EQ(pa.key.digest, pb.key.digest);
+    ASSERT_EQ(pa.flow, pb.flow);
+    ASSERT_EQ(pa.index, pb.index);
+    ASSERT_EQ(pa.ts_us, pb.ts_us);
+    ASSERT_EQ(pa.label, pb.label);
+    ASSERT_EQ(pa.packet->len, pb.packet->len);
+    ASSERT_EQ(pa.packet->bytes, pb.packet->bytes);
+    ++n;
+  }
+  EXPECT_FALSE(b.Next(pb));
+  EXPECT_EQ(n, spec.packets);  // budget exact, bursts included
+  EXPECT_EQ(a.packets_emitted(), spec.packets);
+  EXPECT_EQ(a.flows_started(), b.flows_started());
+  EXPECT_EQ(a.flows_retired(), b.flows_retired());
+  // 20K packets cross the scan schedule 4+ times and the flood once.
+  EXPECT_GE(a.scan_packets(), 4u * spec.scan_burst);
+  EXPECT_EQ(a.flood_packets() % spec.flood_burst, 0u);
+  EXPECT_GT(a.flood_packets(), 0u);
+}
+
+TEST(Churn, WorkingSetAndBurstInvariants) {
+  tr::ChurnSpec spec;
+  spec.live_flows = 200;
+  spec.elephant_frac = 0.05;
+  spec.packets = 30'000;
+  spec.scan_every = 10'000;
+  spec.scan_burst = 100;
+  spec.flood_every = 20'000;
+  spec.flood_burst = 300;
+  tr::ChurnGenerator gen(spec);
+
+  std::set<std::uint64_t> digests;          // across all flows ever started
+  std::map<std::uint32_t, std::uint64_t> flow_digest;
+  std::map<std::uint32_t, std::uint32_t> burst_packets;  // per burst flow
+  std::uint64_t ts_prev = 0;
+  std::uint64_t benign = 0, scan = 0, flood = 0;
+  tr::TracePacket p;
+  while (gen.Next(p)) {
+    EXPECT_GT(p.ts_us, ts_prev);  // strictly increasing clock
+    ts_prev = p.ts_us;
+    // One digest per flow id, never reused across retire/replace.
+    auto [it, fresh] = flow_digest.emplace(p.flow, p.key.digest);
+    if (fresh) {
+      EXPECT_TRUE(digests.insert(p.key.digest).second)
+          << "digest reused by flow " << p.flow;
+    } else {
+      EXPECT_EQ(it->second, p.key.digest);
+    }
+    // Payload header carries the digest (little-endian) — flow-identifying
+    // payloads without fill_payload.
+    std::uint64_t hdr = 0;
+    for (int i = 7; i >= 0; --i) {
+      hdr = (hdr << 8) | p.packet->bytes[static_cast<std::size_t>(i)];
+    }
+    EXPECT_EQ(hdr, p.key.digest);
+    switch (p.label) {
+      case tr::kChurnScanLabel:
+        ++scan;
+        EXPECT_EQ(p.packet->len, 60);
+        ++burst_packets[p.flow];
+        break;
+      case tr::kChurnFloodLabel:
+        ++flood;
+        EXPECT_EQ(p.packet->len, 512);
+        ++burst_packets[p.flow];
+        break;
+      default:
+        EXPECT_TRUE(p.label == 0 || p.label == 1);
+        ++benign;
+    }
+  }
+  EXPECT_EQ(scan, gen.scan_packets());
+  EXPECT_EQ(flood, gen.flood_packets());
+  EXPECT_EQ(benign + scan + flood, spec.packets);
+  // Burst flows are single-packet and never repeat.
+  for (const auto& [flow, count] : burst_packets) EXPECT_EQ(count, 1u);
+  // Retire-and-replace keeps the pool size fixed; every retirement mints a
+  // new flow, so ids fall in [0, pool + retired + burst flows).
+  EXPECT_EQ(gen.flows_started(),
+            spec.live_flows + gen.flows_retired() + burst_packets.size());
+}
+
+TEST(Churn, MaterializeMatchesStreamingAndSelfConsistent) {
+  tr::ChurnSpec spec;
+  spec.live_flows = 300;
+  spec.packets = 5'000;
+  const auto mat = tr::MaterializeChurn(spec);
+  ASSERT_EQ(mat.trace.size(), spec.packets);
+  ASSERT_EQ(mat.packets.size(), spec.packets);
+
+  tr::ChurnGenerator gen(spec);
+  tr::TracePacket p;
+  for (std::size_t i = 0; i < mat.trace.size(); ++i) {
+    ASSERT_TRUE(gen.Next(p));
+    // trace[i] borrows packets[i] (self-contained, movable).
+    ASSERT_EQ(mat.trace[i].packet, &mat.packets[i]);
+    EXPECT_EQ(mat.trace[i].key.digest, p.key.digest);
+    EXPECT_EQ(mat.trace[i].ts_us, p.ts_us);
+    EXPECT_EQ(mat.trace[i].packet->len, p.packet->len);
+    EXPECT_EQ(mat.trace[i].packet->bytes, p.packet->bytes);
+  }
+  EXPECT_FALSE(gen.Next(p));
+}
+
+TEST(Churn, RejectsDegenerateSpecs) {
+  tr::ChurnSpec zero_live;
+  zero_live.live_flows = 0;
+  EXPECT_THROW(tr::ChurnGenerator{zero_live}, std::invalid_argument);
+  tr::ChurnSpec zero_packets;
+  zero_packets.mouse_packets_min = 0;
+  EXPECT_THROW(tr::ChurnGenerator{zero_packets}, std::invalid_argument);
 }
 
 // ----------------------------------------------------------------- eval

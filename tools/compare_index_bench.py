@@ -19,6 +19,16 @@ regressions.
 
     compare_index_bench.py --stream BENCH_stream.json \
         [--baseline OLD_BENCH_stream.json] [BENCH_swap.json]
+
+Flowscale mode (--flowscale): reads bench_flowscale's BENCH_flowscale.json
+and writes BENCH_flowscale_compare.json — per (live_flows, eviction) pair
+the split vs interleaved layout speedup, plus the second-chance vs LRU
+ratio for the split layout. The sanity gate: LRU rows of the two layouts
+must report identical hit/miss/eviction counts (layout is physical, not
+semantic); a mismatch fails the run.
+
+    compare_index_bench.py --flowscale BENCH_flowscale.json \
+        [BENCH_flowscale_compare.json]
 """
 import argparse
 import json
@@ -106,6 +116,7 @@ def stream_mode(src: str, baseline: str, dst: str) -> int:
         scaling.append({
             "ingest": r.get("ingest"),
             "shards": r.get("shards"),
+            "pin_policy": r.get("pin_policy"),
             "shed_enabled": r.get("shed"),
             "packets_per_sec": r.get("packets_per_sec"),
             "scaling_efficiency": r.get("scaling_efficiency"),
@@ -161,6 +172,7 @@ def stream_mode(src: str, baseline: str, dst: str) -> int:
     for s in scaling:
         eff = s["scaling_efficiency"]
         print(f"scaling ingest={s['ingest']} shards={s['shards']}"
+              f" pin={s['pin_policy'] or 'none'}"
               f"{' shed' if s['shed_enabled'] else ''}: "
               f"{s['packets_per_sec']:.0f} pps, "
               f"efficiency {eff if eff is not None else '?'}, "
@@ -177,6 +189,75 @@ def stream_mode(src: str, baseline: str, dst: str) -> int:
     return 0
 
 
+def flowscale_mode(src: str, dst: str) -> int:
+    with open(src) as f:
+        data = json.load(f)
+
+    by_point = {}  # live_flows -> {(layout, eviction): row}
+    for r in data.get("runs", []):
+        by_point.setdefault(r["live_flows"], {})[
+            (r.get("layout"), r.get("eviction"))] = r
+
+    rows = []
+    mismatches = []
+    for live in sorted(by_point):
+        point = by_point[live]
+        split = point.get(("split", "lru"))
+        inter = point.get(("interleaved", "lru"))
+        clock = point.get(("split", "second_chance"))
+        if split is None or inter is None:
+            continue
+        # Layout is a physical choice: the LRU rows must agree on every
+        # semantic counter, or the A/B is comparing different workloads.
+        for key in ("hits", "misses", "evictions", "probe_hist"):
+            if split.get(key) != inter.get(key):
+                mismatches.append(f"live_flows={live}: {key} differs "
+                                  f"({split.get(key)} vs {inter.get(key)})")
+        split_pps = split.get("packets_per_sec") or 0.0
+        inter_pps = inter.get("packets_per_sec") or 0.0
+        rows.append({
+            "live_flows": live,
+            "split_packets_per_sec": split_pps,
+            "interleaved_packets_per_sec": inter_pps,
+            "split_speedup": round(split_pps / inter_pps, 3)
+                             if inter_pps else None,
+            "second_chance_packets_per_sec":
+                clock.get("packets_per_sec") if clock else None,
+            "second_chance_vs_lru":
+                round((clock.get("packets_per_sec") or 0.0) / split_pps, 3)
+                if clock and split_pps else None,
+            "hit_rate": split.get("hit_rate"),
+            "load_factor": split.get("load_factor"),
+            "mean_probe": split.get("mean_probe"),
+            "evictions": split.get("evictions"),
+        })
+
+    out = {
+        "bench": "flowscale_compare",
+        "build_type": data.get("build_type", "unknown"),
+        "git_sha": data.get("git_sha", "unknown"),
+        "comparisons": rows,
+        "layout_counter_mismatches": mismatches,
+    }
+    with open(dst, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+
+    for r in rows:
+        print(f"live={r['live_flows']}: split {r['split_packets_per_sec']:.0f}"
+              f" vs interleaved {r['interleaved_packets_per_sec']:.0f} pps"
+              f" -> {r['split_speedup']}x (load {r['load_factor']},"
+              f" probe {r['mean_probe']},"
+              f" second-chance {r['second_chance_vs_lru']}x)")
+    for m in mismatches:
+        print(f"error: layout counter mismatch: {m}", file=sys.stderr)
+    if not rows:
+        print("warning: no split/interleaved row pairs found",
+              file=sys.stderr)
+        return 1
+    return 1 if mismatches else 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description=__doc__,
@@ -186,6 +267,9 @@ def main() -> int:
                         help="output JSON (defaults per mode)")
     parser.add_argument("--stream", action="store_true",
                         help="summarize BENCH_stream.json -> BENCH_swap.json")
+    parser.add_argument("--flowscale", action="store_true",
+                        help="summarize BENCH_flowscale.json -> "
+                             "BENCH_flowscale_compare.json")
     parser.add_argument("--baseline", default=None,
                         help="previous BENCH_stream.json to diff against "
                              "(stream mode)")
@@ -194,6 +278,9 @@ def main() -> int:
     if args.stream:
         return stream_mode(args.src, args.baseline,
                            args.dst or "BENCH_swap.json")
+    if args.flowscale:
+        return flowscale_mode(args.src,
+                              args.dst or "BENCH_flowscale_compare.json")
     return micro_mode(args.src, args.dst or "BENCH_index_compare.json")
 
 
