@@ -262,7 +262,8 @@ int main(int argc, char** argv) {
   };
   std::vector<ScalingRow> scaling_rows;
   auto run_scaling = [&](std::size_t ingest, std::size_t shards, bool shed,
-                         std::size_t queue_capacity, std::size_t shed_spin,
+                         std::size_t queue_capacity,
+                         rt::EscalationPolicy escalation,
                          rt::CpuPinPolicy pin, double base_pps) {
     rt::StreamServerOptions opts;
     opts.num_shards = shards;
@@ -272,7 +273,7 @@ int main(int argc, char** argv) {
     opts.num_ingest = ingest;
     opts.queue_capacity = queue_capacity;
     opts.shed = shed;
-    opts.shed_spin = shed_spin;
+    opts.escalation = escalation;
     opts.pin_policy = pin;
     rt::StreamServer server(mlp_lowered, opts, 1);
     const auto run = ev::ServeTracePartitioned(server, trace);
@@ -316,19 +317,20 @@ int main(int argc, char** argv) {
     for (const rt::CpuPinPolicy pin :
          {rt::CpuPinPolicy::kNone, rt::CpuPinPolicy::kCompact}) {
       const auto row = run_scaling(ingest, shards, /*shed=*/false, 1 << 12,
-                                   256, pin, base_pps);
+                                   rt::EscalationPolicy{}, pin, base_pps);
       if (shards == 1 && pin == rt::CpuPinPolicy::kNone) base_pps = row.pps;
       std::printf("%7zu %7zu %-8s %10.1f %12.0f %11.2f %10.4f\n", row.ingest,
                   row.shards, row.pin_policy.c_str(), row.wall_ms, row.pps,
                   row.efficiency, row.shed_rate);
     }
   }
-  // Overload demo: a deliberately tiny ring with a zero spin budget sheds
-  // under burst pressure instead of stalling ingest — the counters land in
-  // the artifact so the sweep documents the knob.
+  // Overload demo: a deliberately tiny ring with an immediate (zero-budget)
+  // escalation ladder sheds under burst pressure instead of stalling ingest
+  // — the counters land in the artifact so the sweep documents the knob.
   {
     const auto row = run_scaling(/*ingest=*/1, /*shards=*/1, /*shed=*/true,
-                                 /*queue_capacity=*/64, /*shed_spin=*/0,
+                                 /*queue_capacity=*/64,
+                                 rt::EscalationPolicy::Immediate(),
                                  rt::CpuPinPolicy::kNone, base_pps);
     std::printf("%7zu %7zu %-8s %10.1f %12.0f %11s %10.4f  (shed demo)\n",
                 row.ingest, row.shards, row.pin_policy.c_str(), row.wall_ms,

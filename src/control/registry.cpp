@@ -1,12 +1,17 @@
 #include "control/registry.hpp"
 
+#include <filesystem>
+#include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "core/serialize.hpp"
 #include "core/stream_io.hpp"
+#include "dataplane/crc.hpp"
+#include "runtime/fault.hpp"
 
 namespace pegasus::control {
 
@@ -93,62 +98,89 @@ void ModelRegistry::SaveModel(std::ostream& os, const std::string& name,
     throw std::out_of_range("ModelRegistry::SaveModel: unknown model " +
                             name + " v" + std::to_string(version));
   }
-  WritePod(os, kRegistryArtifactMagic);
-  WritePod(os, kRegistryArtifactVersion);
-  WritePod<std::uint32_t>(os, static_cast<std::uint32_t>(snap->name.size()));
-  os.write(snap->name.data(),
-           static_cast<std::streamsize>(snap->name.size()));
-  WritePod<std::uint64_t>(os, snap->version);
+  // Serialize the payload first so the v2 header can seal it with its
+  // size + CRC-32: LoadModel verifies both before parsing a single
+  // payload byte.
+  std::ostringstream payload_os(std::ios::binary);
+  WritePod<std::uint32_t>(payload_os,
+                          static_cast<std::uint32_t>(snap->name.size()));
+  payload_os.write(snap->name.data(),
+                   static_cast<std::streamsize>(snap->name.size()));
+  WritePod<std::uint64_t>(payload_os, snap->version);
   // Lowering knobs: the switch model the artifact was placed against plus
   // the per-flow state and expansion-cap options. Stored so LoadModel can
   // reproduce the exact placement.
   const runtime::LoweringOptions& lo = snap->lowering;
-  WritePod<std::uint64_t>(os, lo.switch_model.num_stages);
-  WritePod<std::uint64_t>(os, lo.switch_model.sram_bits_per_stage);
-  WritePod<std::uint64_t>(os, lo.switch_model.tcam_bits_per_stage);
-  WritePod<std::uint64_t>(os, lo.switch_model.action_bus_bits_per_stage);
-  WritePod<std::uint64_t>(os, lo.switch_model.phv_bits);
-  WritePod<double>(os, lo.switch_model.line_rate_bits_per_sec);
-  WritePod<std::uint64_t>(os, lo.stateful_bits_per_flow);
-  WritePod<std::uint64_t>(os, lo.max_ternary_entries_per_table);
-  core::SaveCompiledModel(os, *snap->compiled);
+  WritePod<std::uint64_t>(payload_os, lo.switch_model.num_stages);
+  WritePod<std::uint64_t>(payload_os, lo.switch_model.sram_bits_per_stage);
+  WritePod<std::uint64_t>(payload_os, lo.switch_model.tcam_bits_per_stage);
+  WritePod<std::uint64_t>(payload_os,
+                          lo.switch_model.action_bus_bits_per_stage);
+  WritePod<std::uint64_t>(payload_os, lo.switch_model.phv_bits);
+  WritePod<double>(payload_os, lo.switch_model.line_rate_bits_per_sec);
+  WritePod<std::uint64_t>(payload_os, lo.stateful_bits_per_flow);
+  WritePod<std::uint64_t>(payload_os, lo.max_ternary_entries_per_table);
+  core::SaveCompiledModel(payload_os, *snap->compiled);
+
+  const std::string payload = std::move(payload_os).str();
+  WritePod(os, kRegistryArtifactMagic);
+  WritePod(os, kRegistryArtifactVersion);
+  WritePod<std::uint64_t>(os, payload.size());
+  WritePod<std::uint32_t>(os,
+                          dataplane::Crc32(payload.data(), payload.size()));
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!os) {
+    throw std::runtime_error("ModelRegistry::SaveModel: write failed");
+  }
 }
 
 ModelRegistry::Snapshot ModelRegistry::LoadModel(std::istream& is) {
   if (ReadPod<std::uint64_t>(is) != kRegistryArtifactMagic) {
-    throw std::runtime_error("ModelRegistry::LoadModel: bad magic");
+    throw core::CorruptArtifactError("ModelRegistry::LoadModel: bad magic");
   }
   if (ReadPod<std::uint32_t>(is) != kRegistryArtifactVersion) {
-    throw std::runtime_error(
+    throw core::CorruptArtifactError(
         "ModelRegistry::LoadModel: unsupported envelope version");
   }
-  const auto name_len = ReadPod<std::uint32_t>(is);
-  // Sanity-cap before allocating: a corrupt length field must surface as
-  // the documented runtime_error, not a multi-GiB bad_alloc.
-  if (name_len > 4096) {
-    throw std::runtime_error(
-        "ModelRegistry::LoadModel: implausible name length (corrupt "
-        "envelope)");
-  }
-  std::string name(name_len, '\0');
-  is.read(name.data(), name_len);
+  const std::uint64_t payload_size = core::ReadLength<std::uint64_t>(
+      is, "ModelRegistry::LoadModel", kMaxEnvelopePayloadBytes);
+  const auto expected_crc = ReadPod<std::uint32_t>(is);
+  std::string payload(payload_size, '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(payload_size));
   if (!is) {
-    throw std::runtime_error("ModelRegistry::LoadModel: truncated name");
+    throw core::CorruptArtifactError(
+        "ModelRegistry::LoadModel: truncated payload");
   }
-  const auto version = ReadPod<std::uint64_t>(is);
+  const std::uint32_t actual_crc =
+      dataplane::Crc32(payload.data(), payload.size());
+  if (actual_crc != expected_crc) {
+    throw core::CorruptArtifactError(
+        "ModelRegistry::LoadModel: CRC mismatch (corrupt envelope)");
+  }
+
+  std::istringstream ps(std::move(payload), std::ios::binary);
+  const auto name_len =
+      core::ReadLength<std::uint32_t>(ps, "ModelRegistry::LoadModel", 4096);
+  std::string name(name_len, '\0');
+  ps.read(name.data(), name_len);
+  if (!ps) {
+    throw core::CorruptArtifactError(
+        "ModelRegistry::LoadModel: truncated name");
+  }
+  const auto version = ReadPod<std::uint64_t>(ps);
 
   runtime::LoweringOptions lo;
-  lo.switch_model.num_stages = ReadPod<std::uint64_t>(is);
-  lo.switch_model.sram_bits_per_stage = ReadPod<std::uint64_t>(is);
-  lo.switch_model.tcam_bits_per_stage = ReadPod<std::uint64_t>(is);
-  lo.switch_model.action_bus_bits_per_stage = ReadPod<std::uint64_t>(is);
-  lo.switch_model.phv_bits = ReadPod<std::uint64_t>(is);
-  lo.switch_model.line_rate_bits_per_sec = ReadPod<double>(is);
-  lo.stateful_bits_per_flow = ReadPod<std::uint64_t>(is);
-  lo.max_ternary_entries_per_table = ReadPod<std::uint64_t>(is);
+  lo.switch_model.num_stages = ReadPod<std::uint64_t>(ps);
+  lo.switch_model.sram_bits_per_stage = ReadPod<std::uint64_t>(ps);
+  lo.switch_model.tcam_bits_per_stage = ReadPod<std::uint64_t>(ps);
+  lo.switch_model.action_bus_bits_per_stage = ReadPod<std::uint64_t>(ps);
+  lo.switch_model.phv_bits = ReadPod<std::uint64_t>(ps);
+  lo.switch_model.line_rate_bits_per_sec = ReadPod<double>(ps);
+  lo.stateful_bits_per_flow = ReadPod<std::uint64_t>(ps);
+  lo.max_ternary_entries_per_table = ReadPod<std::uint64_t>(ps);
 
   compiler::VersionedModel vm =
-      compiler::CompileVersioned(core::LoadCompiledModel(is), lo);
+      compiler::CompileVersioned(core::LoadCompiledModel(ps), lo);
   vm.name = name;
   vm.version = version;
 
@@ -162,6 +194,68 @@ ModelRegistry::Snapshot ModelRegistry::LoadModel(std::istream& is) {
   }
   versions.emplace(version, snap);
   return snap;
+}
+
+void ModelRegistry::SaveModelToFile(const std::string& path,
+                                    const std::string& name,
+                                    std::uint64_t version) const {
+  std::ostringstream os(std::ios::binary);
+  SaveModel(os, name, version);
+  std::string bytes = std::move(os).str();
+
+  // Fault sites modeling corruption the atomic rename cannot prevent: the
+  // bytes are damaged before they reach the disk (bad DMA, bit rot, a
+  // buggy transfer). The CRC seal is what catches these at load time.
+  if (runtime::FaultFires(runtime::FaultSite::kEnvelopeBitFlip) &&
+      !bytes.empty()) {
+    const std::uint64_t param =
+        runtime::FaultInjector::Instance().Param(
+            runtime::FaultSite::kEnvelopeBitFlip);
+    // Flip a payload byte (past the 24-byte header) so the damage is
+    // CRC-detected rather than magic-detected — the harder case.
+    const std::size_t header = bytes.size() > 24 ? 24 : 0;
+    const std::size_t index = header + param % (bytes.size() - header);
+    bytes[index] = static_cast<char>(bytes[index] ^ (1u << (param % 8)));
+  }
+  if (runtime::FaultFires(runtime::FaultSite::kEnvelopeTruncate)) {
+    bytes.resize(bytes.size() / 2);
+  }
+
+  // Tmp-file + rename publish: readers of `path` see the old complete
+  // artifact or the new complete artifact, never a partial write.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("ModelRegistry::SaveModelToFile: cannot open " +
+                               tmp);
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw std::runtime_error(
+          "ModelRegistry::SaveModelToFile: write failed for " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error("ModelRegistry::SaveModelToFile: rename to " +
+                             path + " failed");
+  }
+}
+
+ModelRegistry::Snapshot ModelRegistry::LoadModelFromFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw core::CorruptArtifactError(
+        "ModelRegistry::LoadModelFromFile: cannot open " + path);
+  }
+  return LoadModel(in);
 }
 
 }  // namespace pegasus::control

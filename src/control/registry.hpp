@@ -10,11 +10,20 @@
 // pulls it out from under a server mid-swap), and nothing is ever mutated
 // in place: a "model update" is a new version, full stop.
 //
-// On-disk format: a small envelope (name, version, lowering options) around
-// core/serialize.hpp's CompiledModel artifact. LoweredModels are NOT
+// On-disk format (envelope v2): magic, format version, payload size and a
+// CRC-32 seal, followed by the payload — (name, version, lowering options)
+// around core/serialize.hpp's CompiledModel artifact. LoweredModels are NOT
 // serialized — lowering is deterministic, so SaveModel stores the knobs and
 // LoadModel re-places the tables, producing a bit-identical pipeline
-// (asserted by tests/test_serialize.cpp and tests/test_control.cpp).
+// (asserted by tests/test_serialize.cpp and tests/test_control.cpp). Any
+// header/seal mismatch (bad magic, implausible size, CRC failure,
+// truncation) is rejected as core::CorruptArtifactError BEFORE the payload
+// is parsed, so a torn or bit-flipped envelope can never hydrate a model.
+//
+// File publish is atomic: SaveModelToFile writes a sibling tmp file and
+// renames it into place, so a crash mid-write leaves either the previous
+// artifact or none — never a half-written one (readers + the CRC catch the
+// rest).
 #pragma once
 
 #include <cstdint>
@@ -30,9 +39,14 @@
 namespace pegasus::control {
 
 /// Envelope magic ("PEGAREG1") and format version for the registry's
-/// on-disk artifact.
+/// on-disk artifact. v2 added the payload-size + CRC-32 seal header.
 inline constexpr std::uint64_t kRegistryArtifactMagic = 0x5045474152454731ull;
-inline constexpr std::uint32_t kRegistryArtifactVersion = 1;
+inline constexpr std::uint32_t kRegistryArtifactVersion = 2;
+
+/// Ceiling on a v2 envelope's recorded payload size. Honest artifacts are
+/// tens of KB to tens of MB; 1 GiB of headroom keeps a corrupted size
+/// field from driving a giant allocation before the CRC check can run.
+inline constexpr std::uint64_t kMaxEnvelopePayloadBytes = 1ull << 30;
 
 class ModelRegistry {
  public:
@@ -59,13 +73,28 @@ class ModelRegistry {
   void SaveModel(std::ostream& os, const std::string& name,
                  std::uint64_t version) const;
 
-  /// Reads an envelope written by SaveModel, re-lowers the model with the
-  /// stored options and stores it under its recorded (name, version).
-  /// Returns the restored snapshot. Throws std::runtime_error on a bad
+  /// Reads an envelope written by SaveModel, verifies the CRC-32 seal,
+  /// re-lowers the model with the stored options and stores it under its
+  /// recorded (name, version). Returns the restored snapshot. Throws
+  /// core::CorruptArtifactError (a std::runtime_error) on any bad/corrupt
   /// envelope and std::invalid_argument when that (name, version) is
   /// already published (loads are not idempotent — dedupe by Versions()
   /// before re-hydrating from disk).
   Snapshot LoadModel(std::istream& is);
+
+  /// Atomic file publish: serializes the (name, version) envelope to
+  /// `path + ".tmp"` and renames it over `path`. A crash or failure at any
+  /// point leaves `path` either absent or holding the previous complete
+  /// artifact. Throws std::out_of_range for unknown snapshots and
+  /// std::runtime_error on I/O failure. (Fault sites kEnvelopeBitFlip /
+  /// kEnvelopeTruncate corrupt the bytes between serialization and disk,
+  /// modeling a torn write that the rename could not prevent.)
+  void SaveModelToFile(const std::string& path, const std::string& name,
+                       std::uint64_t version) const;
+
+  /// LoadModel over the file at `path`. Throws core::CorruptArtifactError
+  /// when the file is missing, truncated, or fails the CRC seal.
+  Snapshot LoadModelFromFile(const std::string& path);
 
  private:
   mutable std::mutex mu_;

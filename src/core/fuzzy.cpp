@@ -300,9 +300,13 @@ ClusterTree ClusterTree::Load(std::istream& is) {
     throw std::runtime_error("ClusterTree::Load: bad magic");
   }
   ClusterTree tree;
-  tree.dim_ = ReadPod<std::uint32_t>(is);
+  // dim_ sizes three per-leaf resizes below; cap it tightly (feature
+  // vectors here are tens of dims, not millions).
+  tree.dim_ = static_cast<std::size_t>(
+      core::ReadLength<std::uint32_t>(is, "ClusterTree::Load", 1 << 20));
   tree.input_bits_ = ReadPod<std::int32_t>(is);
-  const auto num_nodes = ReadPod<std::uint32_t>(is);
+  const auto num_nodes =
+      core::ReadLength<std::uint32_t>(is, "ClusterTree::Load");
   tree.nodes_.resize(num_nodes);
   for (Node& nd : tree.nodes_) {
     nd.feature = ReadPod<std::int32_t>(is);
@@ -311,7 +315,8 @@ ClusterTree ClusterTree::Load(std::istream& is) {
     nd.right = ReadPod<std::int32_t>(is);
     nd.leaf_index = ReadPod<std::int32_t>(is);
   }
-  const auto num_leaves = ReadPod<std::uint32_t>(is);
+  const auto num_leaves =
+      core::ReadLength<std::uint32_t>(is, "ClusterTree::Load");
   tree.leaves_.resize(num_leaves);
   for (Leaf& leaf : tree.leaves_) {
     leaf.centroid.resize(tree.dim_);

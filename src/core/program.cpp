@@ -95,16 +95,27 @@ void Program::Validate() const {
     }
     defined[v] = true;
   };
+  // Bounds-checked dim accessor for ids that have not been through
+  // require_defined/define yet (op outputs): programs can arrive from
+  // deserialized artifacts, so an id must never index values_ unchecked.
+  auto dim_of = [&](ValueId v, const char* what) {
+    if (v >= values_.size()) {
+      throw std::logic_error(std::string("bad value id in ") + what);
+    }
+    return values_[v].dim;
+  };
   for (const Op& op : ops_) {
     switch (op.kind) {
       case OpKind::kPartition: {
         require_defined(op.partition.input, "Partition");
         const std::size_t in_dim = values_[op.partition.input].dim;
         for (const PartitionSegment& s : op.partition.segments) {
-          if (s.offset + s.length > in_dim || s.length == 0) {
+          // Overflow-safe form of `offset + length > in_dim`.
+          if (s.length == 0 || s.length > in_dim ||
+              s.offset > in_dim - s.length) {
             throw std::logic_error("Partition segment out of range");
           }
-          if (values_[s.output].dim != s.length) {
+          if (dim_of(s.output, "Partition") != s.length) {
             throw std::logic_error("Partition segment dim mismatch");
           }
           define(s.output, "Partition");
@@ -114,7 +125,7 @@ void Program::Validate() const {
       case OpKind::kMap: {
         require_defined(op.map.input, "Map");
         if (values_[op.map.input].dim != op.map.fn.in_dim ||
-            values_[op.map.output].dim != op.map.fn.out_dim) {
+            dim_of(op.map.output, "Map") != op.map.fn.out_dim) {
           throw std::logic_error("Map dim mismatch for " + op.map.fn.name);
         }
         if (!op.map.fn.fn) {
@@ -127,14 +138,14 @@ void Program::Validate() const {
         if (op.sum_reduce.inputs.empty()) {
           throw std::logic_error("SumReduce with no inputs");
         }
-        const std::size_t dim = values_[op.sum_reduce.inputs[0]].dim;
+        const std::size_t dim = dim_of(op.sum_reduce.inputs[0], "SumReduce");
         for (ValueId v : op.sum_reduce.inputs) {
           require_defined(v, "SumReduce");
           if (values_[v].dim != dim) {
             throw std::logic_error("SumReduce input dim mismatch");
           }
         }
-        if (values_[op.sum_reduce.output].dim != dim) {
+        if (dim_of(op.sum_reduce.output, "SumReduce") != dim) {
           throw std::logic_error("SumReduce output dim mismatch");
         }
         define(op.sum_reduce.output, "SumReduce");
@@ -149,7 +160,7 @@ void Program::Validate() const {
           require_defined(v, "Concat");
           total += values_[v].dim;
         }
-        if (values_[op.concat.output].dim != total) {
+        if (dim_of(op.concat.output, "Concat") != total) {
           throw std::logic_error("Concat output dim mismatch");
         }
         define(op.concat.output, "Concat");

@@ -20,16 +20,27 @@ T ReadPod(std::istream& is) {
   return core::ReadPod<T>(is, "CompiledModel::Load");
 }
 
+// Every length field that sizes an allocation goes through the capped
+// reader: a flipped bit in a count must surface as CorruptArtifactError,
+// not as a multi-GB resize attempt.
+template <typename T>
+std::uint64_t ReadLen(std::istream& is,
+                      std::uint64_t cap = core::kMaxStreamElements) {
+  return core::ReadLength<T>(is, "CompiledModel::Load", cap);
+}
+
 void WriteString(std::ostream& os, const std::string& s) {
   WritePod<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
   os.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
 
 std::string ReadString(std::istream& is) {
-  const auto len = ReadPod<std::uint32_t>(is);
+  // Names are human-written identifiers; 64 KiB is already generous.
+  const auto len = ReadLen<std::uint32_t>(is, 1 << 16);
   std::string s(len, '\0');
-  is.read(s.data(), len);
-  if (!is) throw std::runtime_error("CompiledModel::Load: truncated string");
+  is.read(s.data(), static_cast<std::streamsize>(len));
+  if (!is) throw core::CorruptArtifactError(
+      "CompiledModel::Load: truncated string");
   return s;
 }
 
@@ -39,7 +50,7 @@ void WriteIds(std::ostream& os, const std::vector<ValueId>& ids) {
 }
 
 std::vector<ValueId> ReadIds(std::istream& is) {
-  std::vector<ValueId> ids(ReadPod<std::uint32_t>(is));
+  std::vector<ValueId> ids(ReadLen<std::uint32_t>(is));
   for (ValueId& v : ids) v = ReadPod<std::uint64_t>(is);
   return ids;
 }
@@ -154,7 +165,8 @@ CompiledModel CompiledModel::Load(std::istream& is) {
   model.options_.max_domain_bits = ReadPod<std::int32_t>(is);
 
   Program p;
-  const auto num_values = ReadPod<std::uint32_t>(is);
+  const auto num_values =
+      static_cast<std::uint32_t>(ReadLen<std::uint32_t>(is));
   for (std::uint32_t v = 0; v < num_values; ++v) {
     const std::string name = ReadString(is);
     const auto dim = ReadPod<std::uint64_t>(is);
@@ -163,14 +175,14 @@ CompiledModel CompiledModel::Load(std::istream& is) {
   p.SetInput(ReadPod<std::uint64_t>(is));
   p.SetOutput(ReadPod<std::uint64_t>(is));
 
-  const auto num_ops = ReadPod<std::uint32_t>(is);
+  const auto num_ops = static_cast<std::uint32_t>(ReadLen<std::uint32_t>(is));
   for (std::uint32_t i = 0; i < num_ops; ++i) {
     Op op;
     op.kind = static_cast<OpKind>(ReadPod<std::uint8_t>(is));
     switch (op.kind) {
       case OpKind::kPartition: {
         op.partition.input = ReadPod<std::uint64_t>(is);
-        const auto segs = ReadPod<std::uint32_t>(is);
+        const auto segs = ReadLen<std::uint32_t>(is);
         for (std::uint32_t s = 0; s < segs; ++s) {
           PartitionSegment seg;
           seg.offset = ReadPod<std::uint64_t>(is);
@@ -215,7 +227,7 @@ CompiledModel CompiledModel::Load(std::istream& is) {
 
   model.quant_.resize(num_values);
   for (std::uint32_t v = 0; v < num_values; ++v) {
-    const auto dims = ReadPod<std::uint32_t>(is);
+    const auto dims = ReadLen<std::uint32_t>(is);
     model.quant_[v].resize(dims);
     for (DimQuant& q : model.quant_[v]) {
       q.fmt.total_bits = ReadPod<std::int32_t>(is);
@@ -230,9 +242,9 @@ CompiledModel CompiledModel::Load(std::istream& is) {
     if (ReadPod<std::uint8_t>(is) == 0) continue;
     FuzzyMapTable table;
     table.tree = ClusterTree::Load(is);
-    table.leaf_raw.resize(ReadPod<std::uint32_t>(is));
+    table.leaf_raw.resize(ReadLen<std::uint32_t>(is));
     for (auto& row : table.leaf_raw) {
-      row.resize(ReadPod<std::uint32_t>(is));
+      row.resize(ReadLen<std::uint32_t>(is));
       for (std::int64_t& w : row) w = ReadPod<std::int64_t>(is);
     }
     model.tables_[i] = std::move(table);

@@ -7,12 +7,26 @@
 // deployment files, not wire formats).
 #pragma once
 
+#include <cstdint>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 
 namespace pegasus::core {
+
+/// Structured error for artifacts that fail validation on load: bad magic,
+/// checksum mismatch, truncation, or length fields that no honest writer
+/// could have produced. Derives runtime_error so pre-existing callers that
+/// catch the generic type keep working; new callers catch this to
+/// distinguish "corrupt file" from "programming error" and fall back to
+/// the previous known-good artifact.
+class CorruptArtifactError : public std::runtime_error {
+ public:
+  explicit CorruptArtifactError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 template <typename T>
 inline void WritePod(std::ostream& os, const T& v) {
@@ -25,9 +39,34 @@ inline T ReadPod(std::istream& is, const char* what) {
   T v{};
   is.read(reinterpret_cast<char*>(&v), sizeof(T));
   if (!is) {
-    throw std::runtime_error(std::string(what) + ": truncated stream");
+    throw CorruptArtifactError(std::string(what) + ": truncated stream");
   }
   return v;
+}
+
+/// Ceiling on any element count read from an artifact. The largest honest
+/// artifacts this repo produces hold a few million table rows; 1<<28
+/// leaves two orders of magnitude of headroom while keeping the worst
+/// admissible `resize` in the hundreds-of-MB range instead of the
+/// hundreds-of-GB a corrupted 64-bit length field can demand.
+inline constexpr std::uint64_t kMaxStreamElements = 1ull << 28;
+
+/// Reads a length/count field and validates it against `cap` before the
+/// caller allocates: a corrupted or adversarial length field must be
+/// rejected as CorruptArtifactError, never fed to resize()/string()
+/// (allocation bomb). Every loader length read goes through here.
+template <typename T>
+inline std::uint64_t ReadLength(std::istream& is, const char* what,
+                                std::uint64_t cap = kMaxStreamElements) {
+  static_assert(std::is_unsigned_v<T>, "length fields are unsigned");
+  const std::uint64_t n = ReadPod<T>(is, what);
+  if (n > cap) {
+    throw CorruptArtifactError(std::string(what) + ": length field " +
+                               std::to_string(n) + " exceeds cap " +
+                               std::to_string(cap) +
+                               " (corrupt or adversarial artifact)");
+  }
+  return n;
 }
 
 }  // namespace pegasus::core

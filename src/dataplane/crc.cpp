@@ -36,4 +36,34 @@ std::vector<TernaryRule> RangeToTernary(std::uint64_t lo, std::uint64_t hi,
   return rules;
 }
 
+namespace {
+
+// 256-entry table for the reflected IEEE polynomial, built once at first
+// use. Byte-at-a-time is plenty: envelopes are checksummed once per
+// publish/load, never on the packet path.
+struct Crc32Table {
+  std::uint32_t entries[256];
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const Crc32Table table;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table.entries[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
 }  // namespace pegasus::dataplane

@@ -1,5 +1,9 @@
 // Consecutive Range Coding (paper §6.1): converting a numeric range
-// [lo, hi] over a w-bit field into TCAM ternary rules.
+// [lo, hi] over a w-bit field into TCAM ternary rules — plus the *other*
+// CRC: a CRC-32 checksum used to seal model-artifact envelopes against
+// torn or corrupted writes (control/registry.cpp). Both live here because
+// they are the dataplane's two bit-twiddling primitives with no other
+// dependencies.
 //
 // PISA TCAMs match (value, mask) pairs; a clustering-tree leaf is a
 // hyperrectangle of fuzzy-match thresholds, so each dimension's interval
@@ -9,6 +13,7 @@
 // cursor.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -33,5 +38,10 @@ std::vector<TernaryRule> RangeToTernary(std::uint64_t lo, std::uint64_t hi,
 
 /// Upper bound on the number of rules RangeToTernary can return.
 inline int MaxRulesForWidth(int width) { return width <= 1 ? 1 : 2 * width - 2; }
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `size` bytes,
+/// table-driven. `seed` lets callers chain incremental updates:
+/// Crc32(b, n) == Crc32(b + k, n - k, Crc32(b, k)).
+std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
 
 }  // namespace pegasus::dataplane

@@ -25,7 +25,8 @@ constexpr std::uint32_t Swap32(std::uint32_t v) {
 
 // ---------------------------------------------------------------- reader
 
-PcapReader::PcapReader(std::istream& is) : is_(is) {
+PcapReader::PcapReader(std::istream& is, std::uint32_t max_snaplen)
+    : is_(is), max_snaplen_(std::min(max_snaplen, kMaxRecordBytes)) {
   const auto magic = core::ReadPod<std::uint32_t>(is_, "PcapReader header");
   switch (magic) {
     case kPcapMagicMicros:
@@ -67,36 +68,52 @@ std::uint32_t PcapReader::U32() {
 }
 
 bool PcapReader::Next(PcapRecord& out) {
-  // Clean EOF is only legal on a record boundary: probe the first header
-  // byte before committing to a record.
-  if (is_.peek() == std::istream::traits_type::eof()) {
-    return false;
-  }
-  out.ts_sec = U32();
-  out.ts_frac = U32();
-  const std::uint32_t incl_len = U32();
-  out.orig_len = U32();
-  // Bound the record so a corrupt length field raises a clean error
-  // instead of a multi-GiB allocation — the file's own snaplen cannot be
-  // trusted for this (it may be corrupt too, and 0 means "unlimited").
-  const std::uint32_t cap =
-      std::min(opts_.snaplen != 0 ? opts_.snaplen : kMaxRecordBytes,
-               kMaxRecordBytes);
-  if (incl_len > cap) {
-    throw std::runtime_error(
-        "PcapReader: record " + std::to_string(records_) +
-        " captured length exceeds snaplen (corrupt file?)");
-  }
-  out.data.resize(incl_len);
-  if (incl_len > 0) {
-    is_.read(reinterpret_cast<char*>(out.data.data()), incl_len);
-    if (!is_) {
-      throw std::runtime_error("PcapReader: truncated record " +
-                               std::to_string(records_));
+  for (;;) {
+    // Clean EOF is only legal on a record boundary: probe the first header
+    // byte before committing to a record.
+    if (is_.peek() == std::istream::traits_type::eof()) {
+      return false;
     }
+    out.ts_sec = U32();
+    out.ts_frac = U32();
+    const std::uint32_t incl_len = U32();
+    out.orig_len = U32();
+    // Bound the record so a corrupt length field is skipped cleanly
+    // instead of driving a multi-GiB allocation — the file's own snaplen
+    // cannot be trusted for this (it may be corrupt too, and 0 means
+    // "unlimited"), so the effective cap is the tightest of the header
+    // snaplen, the reader's configured cap and the built-in ceiling.
+    const std::uint32_t cap =
+        std::min(opts_.snaplen != 0 ? opts_.snaplen : max_snaplen_,
+                 max_snaplen_);
+    const bool oversize = incl_len > cap;
+    // No honest capture stores more bytes than were on the wire: an
+    // incl_len above orig_len is corruption (or an attack), not data.
+    const bool overcapture = incl_len > out.orig_len;
+    if (oversize || overcapture) {
+      // Distinct drop reason, no allocation: stream past the claimed
+      // payload and resync on the next record header. A skip that runs
+      // off the end of the file is a truncation, same as a short read.
+      if (oversize) ++drops_.oversize;
+      if (!oversize && overcapture) ++drops_.overcapture;
+      is_.ignore(static_cast<std::streamsize>(incl_len));
+      if (is_.gcount() != static_cast<std::streamsize>(incl_len)) {
+        throw std::runtime_error("PcapReader: truncated record " +
+                                 std::to_string(records_ + drops_.total()));
+      }
+      continue;
+    }
+    out.data.resize(incl_len);
+    if (incl_len > 0) {
+      is_.read(reinterpret_cast<char*>(out.data.data()), incl_len);
+      if (!is_) {
+        throw std::runtime_error("PcapReader: truncated record " +
+                                 std::to_string(records_ + drops_.total()));
+      }
+    }
+    ++records_;
+    return true;
   }
-  ++records_;
-  return true;
 }
 
 void RequireEthernet(const PcapReader& reader, const char* who) {

@@ -66,15 +66,41 @@ struct PcapRecord {
   bool operator==(const PcapRecord&) const = default;
 };
 
+/// Records skipped by PcapReader::Next instead of surfaced, by reason.
+/// Both indicate a corrupt or adversarial file; neither allocates for,
+/// nor propagates, the bad record's bytes.
+struct PcapDropStats {
+  /// incl_len exceeded the effective cap (min of header snaplen when
+  /// non-zero, the reader's max_snaplen, and kMaxRecordBytes).
+  std::uint64_t oversize = 0;
+  /// incl_len > orig_len: no honest capture stores more bytes than were
+  /// on the wire.
+  std::uint64_t overcapture = 0;
+
+  std::uint64_t total() const { return oversize + overcapture; }
+};
+
 /// Streaming pcap reader. Parses the global header up front (throws
 /// std::runtime_error on an unknown magic or a truncated header) and then
 /// iterates records; the stream must outlive the reader.
+///
+/// Robustness contract (untrusted inputs): a record with an implausible
+/// length field — incl_len above the snaplen cap, or above its own
+/// orig_len — is skipped without allocating and counted in drops(); only
+/// a file that ends mid-record (header or payload) throws. The fuzz
+/// harness (tests/test_fuzz_io.cpp) holds the reader to exactly this:
+/// exceptions are the worst allowed outcome, crashes/overallocation bugs.
 class PcapReader {
  public:
-  explicit PcapReader(std::istream& is);
+  /// `max_snaplen` tightens the per-record size cap below the built-in
+  /// kMaxRecordBytes (values above it are clamped to it; the file's own
+  /// snaplen field further tightens but never loosens the cap).
+  explicit PcapReader(std::istream& is,
+                      std::uint32_t max_snaplen = kMaxRecordBytes);
 
-  /// Reads the next record. Returns false on clean end-of-file; throws
-  /// std::runtime_error if the file ends mid-record.
+  /// Reads the next well-formed record, skipping (and counting) corrupt
+  /// ones. Returns false on clean end-of-file; throws std::runtime_error
+  /// if the file ends mid-record.
   bool Next(PcapRecord& out);
 
   /// File properties recovered from the header (options().swapped reports
@@ -82,6 +108,8 @@ class PcapReader {
   const PcapOptions& options() const { return opts_; }
   bool nanos() const { return opts_.nanos; }
   std::uint64_t records() const { return records_; }
+  /// Corrupt records skipped so far, by reason.
+  const PcapDropStats& drops() const { return drops_; }
 
  private:
   std::uint16_t U16();
@@ -89,7 +117,9 @@ class PcapReader {
 
   std::istream& is_;
   PcapOptions opts_;
+  std::uint32_t max_snaplen_ = kMaxRecordBytes;
   std::uint64_t records_ = 0;
+  PcapDropStats drops_;
 };
 
 /// Throws std::runtime_error naming `who` unless the capture's linktype is

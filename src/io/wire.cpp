@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "runtime/fault.hpp"
+
 namespace pegasus::io {
 
 namespace {
@@ -40,6 +42,19 @@ std::uint16_t Ipv4HeaderChecksum(const std::uint8_t* hdr, std::size_t len) {
 bool WireParser::Parse(std::span<const std::uint8_t> frame,
                        std::uint64_t ts_us, ParsedPacket& out) {
   ++stats_.frames;
+  if (runtime::FaultFires(runtime::FaultSite::kWireCorrupt) &&
+      !frame.empty()) {
+    // Corrupt-capture fault: copy the frame into the scratch buffer and
+    // flip one deterministically chosen byte, then parse the damaged
+    // copy. The caller's buffer stays pristine.
+    const std::uint64_t param = runtime::FaultInjector::Instance().Param(
+        runtime::FaultSite::kWireCorrupt);
+    corrupt_scratch_.assign(frame.begin(), frame.end());
+    const std::size_t index =
+        (param + stats_.frames) % corrupt_scratch_.size();
+    corrupt_scratch_[index] ^= static_cast<std::uint8_t>(1u << (param % 8));
+    frame = corrupt_scratch_;
+  }
   const std::uint8_t* p = frame.data();
   std::size_t len = frame.size();
   if (len < kEthHeader) {

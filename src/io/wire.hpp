@@ -74,6 +74,12 @@ class WireParser {
   /// Parses one Ethernet frame captured at `ts_us`. Returns true and fills
   /// `out` for TCP/UDP over IPv4/IPv6 (VLAN/QinQ tags unwrapped); otherwise
   /// counts the drop reason and returns false.
+  ///
+  /// Fault site kWireCorrupt (runtime/fault.hpp) flips one byte of the
+  /// frame — in a private scratch copy, the caller's buffer is never
+  /// touched — before parsing, modeling corrupt capture bytes. The parser
+  /// must absorb any such frame as a parse-or-counted-drop, never a crash
+  /// (the contract the fuzz harness enforces on fully arbitrary bytes).
   bool Parse(std::span<const std::uint8_t> frame, std::uint64_t ts_us,
              ParsedPacket& out);
 
@@ -82,6 +88,9 @@ class WireParser {
 
  private:
   WireParseStats stats_;
+  /// Scratch buffer for kWireCorrupt frames (member, not per-call: Parse
+  /// stays allocation-free on the hot path once warmed).
+  std::vector<std::uint8_t> corrupt_scratch_;
 };
 
 /// Serializes a packet back onto the wire: Ethernet header (deterministic

@@ -1,0 +1,158 @@
+#include "runtime/fault.hpp"
+
+namespace pegasus::runtime {
+
+namespace fault_detail {
+std::atomic<bool> g_fault_enabled{false};
+}  // namespace fault_detail
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kRingPushStall:
+      return "ring_push_stall";
+    case FaultSite::kWorkerSlow:
+      return "worker_slow";
+    case FaultSite::kWorkerStuck:
+      return "worker_stuck";
+    case FaultSite::kInferenceFault:
+      return "inference_fault";
+    case FaultSite::kEnvelopeBitFlip:
+      return "envelope_bit_flip";
+    case FaultSite::kEnvelopeTruncate:
+      return "envelope_truncate";
+    case FaultSite::kSwapPublishFail:
+      return "swap_publish_fail";
+    case FaultSite::kWireCorrupt:
+      return "wire_corrupt";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::Arm(FaultSite site, std::uint64_t first,
+                          std::uint64_t every, std::uint64_t limit,
+                          std::uint64_t param) {
+  FaultSpec& spec = at(site);
+  spec.armed = true;
+  spec.first = first;
+  spec.every = every == 0 ? 1 : every;
+  spec.limit = limit;
+  spec.param = param;
+  return *this;
+}
+
+namespace {
+
+// splitmix64: the plan generator must not depend on libc rand state.
+std::uint64_t Mix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::Randomized(std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  std::uint64_t state = seed * 0x2545f4914f6cdd1dull + 0x853c49e6748fea9bull;
+
+  // Each dataplane site: armed with probability 1/2, schedules kept small
+  // enough that the worst case (every site armed at max) still drains in
+  // well under a second of stall time.
+  const auto arm_maybe = [&](FaultSite site, std::uint64_t max_first,
+                             std::uint64_t max_every, std::uint64_t max_limit,
+                             std::uint64_t max_param) {
+    if ((Mix64(state) & 1) == 0) return;
+    plan.Arm(site, Mix64(state) % (max_first + 1),
+             1 + Mix64(state) % max_every, 1 + Mix64(state) % max_limit,
+             max_param == 0 ? 0 : 1 + Mix64(state) % max_param);
+  };
+
+  // Ring stalls: up to 64 forced-full rounds spread over the run.
+  arm_maybe(FaultSite::kRingPushStall, 512, 97, 64, 0);
+  // Slow worker: up to 8 sleeps of <=200us after a burst.
+  arm_maybe(FaultSite::kWorkerSlow, 64, 53, 8, 200);
+  // Stuck worker: up to 2 heartbeat-frozen stalls of <=2000us — long
+  // enough for a tight-interval watchdog to notice, short enough to drain.
+  arm_maybe(FaultSite::kWorkerStuck, 32, 41, 2, 2000);
+  // Transient inference faults: up to 6 throws; the retry ladder recovers
+  // any batch whose remaining fault budget is below the retry budget.
+  arm_maybe(FaultSite::kInferenceFault, 4, 7, 6, 0);
+  // Swap publish failure: up to 2 failed swaps, rolled back.
+  arm_maybe(FaultSite::kSwapPublishFail, 1, 2, 2, 0);
+  return plan;
+}
+
+FaultInjectedError::FaultInjectedError(FaultSite site,
+                                       const std::string& detail)
+    : std::runtime_error("injected fault at " +
+                         std::string(FaultSiteName(site)) +
+                         (detail.empty() ? "" : ": " + detail)),
+      site_(site) {}
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::Arm(const FaultPlan& plan) {
+  // Publish specs before flipping the gate so hooks never observe a
+  // half-armed plan. Hooks racing with Arm may miss the first few hits;
+  // that is fine — schedules, not exact positions, are the contract.
+  for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+    sites_[i].spec = plan.sites[i];
+    sites_[i].hits.store(0, std::memory_order_relaxed);
+    sites_[i].fires.store(0, std::memory_order_relaxed);
+  }
+  fault_detail::g_fault_enabled.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm() {
+  fault_detail::g_fault_enabled.store(false, std::memory_order_release);
+}
+
+bool FaultInjector::armed() const {
+  return fault_detail::g_fault_enabled.load(std::memory_order_acquire);
+}
+
+bool FaultInjector::Hit(FaultSite site) {
+  Site& s = sites_[static_cast<std::size_t>(site)];
+  const std::uint64_t hit = s.hits.fetch_add(1, std::memory_order_relaxed);
+  const FaultSpec& spec = s.spec;
+  if (!spec.armed) return false;
+  if (hit < spec.first) return false;
+  if ((hit - spec.first) % spec.every != 0) return false;
+  // Claim one of the `limit` fire slots; losers of the race past the
+  // limit do not fire, keeping the bound exact under concurrency.
+  std::uint64_t fired = s.fires.load(std::memory_order_relaxed);
+  while (fired < spec.limit) {
+    if (s.fires.compare_exchange_weak(fired, fired + 1,
+                                      std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t FaultInjector::Param(FaultSite site) const {
+  if (!armed()) return 0;
+  return sites_[static_cast<std::size_t>(site)].spec.param;
+}
+
+FaultInjector::SiteStats FaultInjector::stats(FaultSite site) const {
+  const Site& s = sites_[static_cast<std::size_t>(site)];
+  return SiteStats{s.hits.load(std::memory_order_relaxed),
+                   s.fires.load(std::memory_order_relaxed)};
+}
+
+std::uint64_t FaultInjector::TotalFires() const {
+  std::uint64_t total = 0;
+  for (const Site& s : sites_) {
+    total += s.fires.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace pegasus::runtime

@@ -40,6 +40,20 @@ class SpscQueue {
 
   std::size_t capacity() const { return buffer_.size(); }
 
+  /// Approximate occupancy, callable from ANY thread (not just the two
+  /// endpoints): both cursors are read relaxed, so the value can be
+  /// momentarily stale in either direction. Intended for observers — the
+  /// watchdog uses "ring non-empty while the consumer's heartbeat is
+  /// stagnant" as its stall signal, where approximate is exactly enough.
+  std::size_t SizeApprox() const {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t diff = tail - head;
+    // A torn read pair can transiently show head ahead of tail; clamp
+    // rather than report a wrapped huge value.
+    return diff > buffer_.size() ? 0 : diff;
+  }
+
   /// Producer side. Returns false when full (the element is untouched, so
   /// callers can retry the same value). Pass an rvalue to move elements
   /// carrying owning handles (the StreamServer's in-band swap items move

@@ -1,10 +1,12 @@
 #include "runtime/stream_server.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <stdexcept>
 #include <thread>
 
+#include "runtime/fault.hpp"
 #include "runtime/spsc_queue.hpp"
 
 namespace pegasus::runtime {
@@ -64,6 +66,44 @@ std::shared_ptr<const ServingState> MakeServingState(
   state->model = std::move(model);
   return state;
 }
+
+/// Walks one producer's EscalationPolicy ladder against a full ring. The
+/// caller resets it on any progress; Exhausted() is the shed gate.
+class Escalator {
+ public:
+  explicit Escalator(const EscalationPolicy& policy) : policy_(policy) {}
+
+  void Reset() { round_ = 0; }
+  bool Exhausted() const { return round_ >= policy_.rounds(); }
+
+  /// One rung: busy-spin, yield, or a capped exponentially-growing sleep.
+  /// Saturates at the top rung, so a no-shed producer parks at
+  /// backoff_max_us per retry instead of burning a core.
+  void Wait() {
+    if (round_ < policy_.spin) {
+      // Busy rung: nothing — the retry itself is the wait.
+    } else if (round_ < policy_.spin + policy_.yield) {
+      std::this_thread::yield();
+    } else {
+      const std::size_t k = round_ - policy_.spin - policy_.yield;
+      std::uint64_t us = policy_.backoff_start_us == 0
+                             ? policy_.backoff_max_us
+                             : policy_.backoff_start_us
+                                   << std::min<std::size_t>(k, 20);
+      us = std::min(us, policy_.backoff_max_us);
+      if (us == 0) {
+        std::this_thread::yield();  // degenerate policy: never hot-spin
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(us));
+      }
+    }
+    if (round_ < policy_.rounds()) ++round_;
+  }
+
+ private:
+  const EscalationPolicy& policy_;
+  std::size_t round_ = 0;
+};
 
 }  // namespace
 
@@ -180,11 +220,22 @@ struct StreamServer::Shard {
   std::uint64_t decided = 0;
   std::uint64_t swaps = 0;
   double swap_wall_ms = 0.0;
+  /// Self-healing counters (worker-owned, read after Stop like `packets`).
+  std::uint64_t shed_inference = 0;
+  std::uint64_t inference_faults = 0;
+  std::uint64_t batches_dropped = 0;
   /// Ingest-side shed counters. ring_full has a single writer (the ingest
   /// thread owning this shard) but misroutes can come from ANY ingest
   /// thread — both are atomics so Stats() reads stay race-free under TSan.
   std::atomic<std::uint64_t> shed_ring_full{0};
   std::atomic<std::uint64_t> shed_misrouted{0};
+  /// Liveness counters: written by the worker, sampled lock-free by the
+  /// watchdog and Health(). Own cache line so the watchdog's polling
+  /// never bounces the worker's hot counters.
+  alignas(64) std::atomic<std::uint64_t> heartbeat{0};
+  std::atomic<std::uint64_t> processed{0};
+  std::atomic<bool> stalled{false};
+  std::atomic<std::uint64_t> stall_events{0};
   /// Only allocated in multi-threaded mode.
   std::unique_ptr<SpscQueue<ShardItem>> queue;
   std::thread worker;
@@ -253,36 +304,41 @@ void StreamServer::Push(const traffic::TracePacket& packet) {
   ShardItem item;
   item.packet = packet;
   item.payload = *packet.packet;
-  std::size_t spins = 0;
-  while (!shard.queue->TryPush(std::move(item))) {
-    if (opts_.shed && ++spins > opts_.shed_spin) {
+  Escalator esc(opts_.escalation);
+  // kRingPushStall makes the ring look full for a round, driving the
+  // ladder without needing a genuinely backlogged worker.
+  while (FaultFires(FaultSite::kRingPushStall) ||
+         !shard.queue->TryPush(std::move(item))) {
+    if (opts_.shed && esc.Exhausted()) {
       shard.shed_ring_full.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    std::this_thread::yield();  // shard backlogged; apply backpressure
+    esc.Wait();  // shard backlogged; escalate backpressure
   }
 }
 
 void StreamServer::PushStage(Shard& shard, std::span<ShardItem> items) {
   std::span<ShardItem> rest = items;
-  std::size_t spins = 0;
+  Escalator esc(opts_.escalation);
   while (!rest.empty()) {
-    const std::size_t pushed = shard.queue->TryPushBurst(rest);
+    const std::size_t pushed = FaultFires(FaultSite::kRingPushStall)
+                                   ? 0
+                                   : shard.queue->TryPushBurst(rest);
     rest = rest.subspan(pushed);
     if (rest.empty()) break;
     if (pushed != 0) {
-      spins = 0;  // progress resets the budget: shed only on a STUCK ring
+      esc.Reset();  // progress resets the ladder: shed only on a STUCK ring
       continue;
     }
-    if (opts_.shed && ++spins > opts_.shed_spin) {
+    if (opts_.shed && esc.Exhausted()) {
       // Near-source signal: the remainder of this burst targets a ring
-      // that stayed full through the whole spin budget — shed it here,
-      // deterministically, instead of stalling every other shard this
-      // ingest thread feeds.
+      // that stayed full through the whole escalation ladder — shed it
+      // here, deterministically, instead of stalling every other shard
+      // this ingest thread feeds.
       shard.shed_ring_full.fetch_add(rest.size(), std::memory_order_relaxed);
       break;
     }
-    std::this_thread::yield();
+    esc.Wait();
   }
 }
 
@@ -347,13 +403,49 @@ void StreamServer::SwapModel(std::shared_ptr<const LoweredModel> model,
         std::to_string(version) + ")");
   }
   auto next = MakeServingState(std::move(model), version);
-  serving_ = next;
+  const auto prev = serving_;
   if (!running_) {
     // Synchronous apply: the caller owns the shards, and "now" is a packet
-    // boundary by definition in single-threaded mode.
-    for (auto& shard : shards_) ApplySwap(*shard, next);
+    // boundary by definition in single-threaded mode. Transactional: a
+    // publish failure on shard k (engine build throws — fault site
+    // kSwapPublishFail) rolls shards [0, k) back to the serving model, so
+    // the server never runs mixed versions.
+    std::size_t applied = 0;
+    try {
+      for (; applied < shards_.size(); ++applied) {
+        ApplySwap(*shards_[applied], next, /*inject_faults=*/true);
+      }
+    } catch (const std::exception& e) {
+      for (std::size_t i = 0; i < applied; ++i) {
+        // Fault-free by contract: rebuilding over the previously serving
+        // model repeats a build that already succeeded.
+        ApplySwap(*shards_[i], prev, /*inject_faults=*/false);
+      }
+      throw SwapError("StreamServer::SwapModel: publish of v" +
+                      std::to_string(version) + " failed (" + e.what() +
+                      "); rolled back to v" +
+                      std::to_string(prev->version));
+    }
+    serving_ = std::move(next);
     return;
   }
+  // Multi-threaded publish: validate on THIS thread before anything
+  // reaches the rings — a worker cannot roll back its siblings, so the
+  // in-band apply must be infallible by the time it is enqueued. The
+  // probe build is exactly the work each worker will repeat.
+  try {
+    if (FaultFires(FaultSite::kSwapPublishFail)) {
+      throw FaultInjectedError(FaultSite::kSwapPublishFail,
+                               "probe engine build");
+    }
+    InferenceEngine probe(*next->model, opts_.batch_size);
+    (void)probe;
+  } catch (const std::exception& e) {
+    throw SwapError("StreamServer::SwapModel: publish of v" +
+                    std::to_string(version) + " failed (" + e.what() +
+                    "); still serving v" + std::to_string(prev->version));
+  }
+  serving_ = next;
   // In-band apply: the control item is ordered after every packet already
   // enqueued and before everything pushed later — the same swap point the
   // single-threaded path applies, per shard. Control items are never shed:
@@ -368,16 +460,25 @@ void StreamServer::SwapModel(std::shared_ptr<const LoweredModel> model,
 }
 
 void StreamServer::ApplySwap(Shard& shard,
-                             std::shared_ptr<const ServingState> next) {
+                             std::shared_ptr<const ServingState> next,
+                             bool inject_faults) {
   // Drain the partial batch through the outgoing engine so no decision is
   // lost, then rebuild the engine over the incoming model. Flow state is
   // untouched — feature extraction is model-independent. The recorded gap
   // covers both: the shard serves nothing from flush start to rebuild end.
   const auto t0 = std::chrono::steady_clock::now();
   FlushShard(shard);
+  if (inject_faults && FaultFires(FaultSite::kSwapPublishFail)) {
+    throw FaultInjectedError(FaultSite::kSwapPublishFail,
+                             "engine rebuild mid-apply");
+  }
+  // Build the incoming engine BEFORE retiring the outgoing one: if the
+  // build throws, the shard still holds a fully consistent old engine
+  // (and its stats), so the caller's rollback has nothing to repair here.
+  auto incoming =
+      std::make_unique<InferenceEngine>(*next->model, opts_.batch_size);
   shard.engine_carry += shard.engine->stats();
-  shard.engine = std::make_unique<InferenceEngine>(*next->model,
-                                                   opts_.batch_size);
+  shard.engine = std::move(incoming);
   shard.out_dim = next->model->OutputDim();
   shard.logits.resize(opts_.batch_size * shard.out_dim);
   shard.serving = std::move(next);
@@ -426,9 +527,33 @@ void StreamServer::FlushShard(Shard& shard) {
   const std::size_t n = shard.pending;
   if (n == 0) return;
   const std::size_t out_dim = shard.out_dim;
-  shard.engine->Infer(
-      std::span<const float>(shard.features.data(), n * dim_), n,
-      std::span<float>(shard.logits.data(), n * out_dim));
+  // Bounded retry ladder around the engine: a transient Infer failure
+  // (fault site kInferenceFault, or a genuine blip) is retried with a
+  // linear backoff; once the budget is exhausted the batch is shed and
+  // counted (ShedStats::inference) — the shard keeps serving either way.
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      if (FaultFires(FaultSite::kInferenceFault)) {
+        throw FaultInjectedError(FaultSite::kInferenceFault, "Infer");
+      }
+      shard.engine->Infer(
+          std::span<const float>(shard.features.data(), n * dim_), n,
+          std::span<float>(shard.logits.data(), n * out_dim));
+      break;
+    } catch (const std::exception&) {
+      ++shard.inference_faults;
+      if (attempt >= opts_.inference_retries) {
+        shard.shed_inference += n;
+        ++shard.batches_dropped;
+        shard.pending = 0;
+        return;
+      }
+      if (opts_.inference_retry_backoff_us != 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            (attempt + 1) * opts_.inference_retry_backoff_us));
+      }
+    }
+  }
   for (std::size_t i = 0; i < n; ++i) {
     const float* row = shard.logits.data() + i * out_dim;
     std::size_t best = 0;
@@ -469,6 +594,10 @@ void StreamServer::Start() {
     const int cpu = pin_plan_.worker_cpu[i];
     s->worker = std::thread([this, s, cpu] { WorkerLoop(*s, cpu); });
   }
+  if (opts_.watchdog_interval_us != 0) {
+    watchdog_stop_.store(false, std::memory_order_release);
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
 }
 
 void StreamServer::Stop() {
@@ -477,7 +606,67 @@ void StreamServer::Stop() {
   for (auto& shard : shards_) {
     if (shard->worker.joinable()) shard->worker.join();
   }
+  if (watchdog_.joinable()) {
+    watchdog_stop_.store(true, std::memory_order_release);
+    watchdog_.join();
+  }
+  // Every worker drained its ring and exited: whatever the watchdog's last
+  // sample said, a quiesced server is not stalled. stall_events stays — a
+  // recovered stall remains part of the run's history.
+  for (auto& shard : shards_) {
+    shard->stalled.store(false, std::memory_order_relaxed);
+  }
   running_ = false;
+}
+
+void StreamServer::WatchdogLoop() {
+  const auto interval = std::chrono::microseconds(opts_.watchdog_interval_us);
+  std::vector<std::uint64_t> last_beat(shards_.size(), 0);
+  std::vector<std::size_t> stagnant(shards_.size(), 0);
+  while (!watchdog_stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(interval);
+    watchdog_checks_.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Shard& s = *shards_[i];
+      const std::uint64_t beat = s.heartbeat.load(std::memory_order_relaxed);
+      const bool has_work = s.queue && s.queue->SizeApprox() != 0;
+      if (beat == last_beat[i] && has_work) {
+        // Worker hasn't ticked since the last sample while its ring
+        // holds work: count toward a stall verdict.
+        if (++stagnant[i] >= opts_.watchdog_stall_intervals &&
+            !s.stalled.load(std::memory_order_relaxed)) {
+          s.stalled.store(true, std::memory_order_relaxed);
+          s.stall_events.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        // Progress (or an empty ring): self-clear.
+        stagnant[i] = 0;
+        if (s.stalled.load(std::memory_order_relaxed)) {
+          s.stalled.store(false, std::memory_order_relaxed);
+        }
+      }
+      last_beat[i] = beat;
+    }
+  }
+}
+
+ServerHealth StreamServer::Health() const {
+  ServerHealth health;
+  health.running = running_.load(std::memory_order_acquire);
+  health.watchdog_checks = watchdog_checks_.load(std::memory_order_relaxed);
+  health.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardHealth sh;
+    sh.heartbeat = shard->heartbeat.load(std::memory_order_relaxed);
+    sh.processed = shard->processed.load(std::memory_order_relaxed);
+    sh.ring_depth = shard->queue ? shard->queue->SizeApprox() : 0;
+    sh.stalled = shard->stalled.load(std::memory_order_relaxed);
+    sh.stall_events = shard->stall_events.load(std::memory_order_relaxed);
+    health.stall_events += sh.stall_events;
+    if (sh.stalled) ++health.stalled_shards;
+    health.shards.push_back(sh);
+  }
+  return health;
 }
 
 void StreamServer::WorkerLoop(Shard& shard, int cpu) {
@@ -488,7 +677,10 @@ void StreamServer::WorkerLoop(Shard& shard, int cpu) {
   shard.EnsureTables();
   const auto handle = [this, &shard](ShardItem& item) {
     if (item.swap) {
-      ApplySwap(shard, std::move(item.swap));
+      // Worker-side applies are fault-free by contract: SwapModel probed
+      // the build on the producer thread before enqueueing, and a worker
+      // cannot roll back its siblings.
+      ApplySwap(shard, std::move(item.swap), /*inject_faults=*/false);
     } else {
       item.packet.packet = &item.payload;  // rebind after the ring move
       Process(shard, item.packet);
@@ -504,8 +696,25 @@ void StreamServer::WorkerLoop(Shard& shard, int cpu) {
       if (!burst[i].swap) shard.PrefetchFlow(burst[i].packet.key);
     }
     for (std::size_t i = 0; i < n; ++i) handle(burst[i]);
+    shard.processed.fetch_add(n, std::memory_order_relaxed);
+    // Worker fault sites, after a burst so backpressure is real: kSlow is
+    // a hiccup shorter than the watchdog window; kStuck freezes the
+    // heartbeat long enough for the watchdog to flag (and then clear)
+    // a stall.
+    if (FaultFires(FaultSite::kWorkerSlow)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          FaultInjector::Instance().Param(FaultSite::kWorkerSlow)));
+    }
+    if (FaultFires(FaultSite::kWorkerStuck)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          FaultInjector::Instance().Param(FaultSite::kWorkerStuck)));
+    }
   };
   for (;;) {
+    // The heartbeat ticks every loop iteration, idle ones included: a
+    // live-but-idle worker keeps beating, so the watchdog's stall signal
+    // (stagnant heartbeat + non-empty ring) has no idle false positives.
+    shard.heartbeat.fetch_add(1, std::memory_order_relaxed);
     const std::size_t n = shard.queue->TryPopBurst(std::span<ShardItem>(burst));
     if (n != 0) {
       drain(n);
@@ -648,17 +857,25 @@ StreamServerStats StreamServer::Stats() const {
   const FlowStateSpec spec = OnlineFlowStateSpec(opts_.feature);
   stats.stateful_bits_per_flow = spec.BitsPerFlow();
   stats.active_version = serving_->version;
+  stats.watchdog_checks = watchdog_checks_.load(std::memory_order_relaxed);
   stats.shard_shed.reserve(shards_.size());
+  stats.shard_packets.reserve(shards_.size());
   for (const auto& shard : shards_) {
     stats.packets += shard->packets;
+    stats.shard_packets.push_back(shard->packets);
     stats.warmup += shard->warmup;
     stats.decisions += shard->decided;
     stats.batches += shard->batches;
     const ShedStats shed{
         shard->shed_ring_full.load(std::memory_order_relaxed),
-        shard->shed_misrouted.load(std::memory_order_relaxed)};
+        shard->shed_misrouted.load(std::memory_order_relaxed),
+        shard->shed_inference};
     stats.shed += shed;
     stats.shard_shed.push_back(shed);
+    stats.inference_faults += shard->inference_faults;
+    stats.batches_dropped += shard->batches_dropped;
+    stats.stall_events +=
+        shard->stall_events.load(std::memory_order_relaxed);
     stats.table += shard->TableStats();
     stats.engine += shard->engine_carry;
     stats.engine += shard->engine->stats();
@@ -685,10 +902,16 @@ void StreamServer::ResetStats() {
     shard->swap_wall_ms = 0.0;
     shard->shed_ring_full.store(0, std::memory_order_relaxed);
     shard->shed_misrouted.store(0, std::memory_order_relaxed);
+    shard->shed_inference = 0;
+    shard->inference_faults = 0;
+    shard->batches_dropped = 0;
+    shard->stall_events.store(0, std::memory_order_relaxed);
+    shard->stalled.store(false, std::memory_order_relaxed);
     shard->ResetTableStats();
     shard->engine_carry = {};
     shard->engine->ResetStats();
   }
+  watchdog_checks_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace pegasus::runtime

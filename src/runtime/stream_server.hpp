@@ -40,12 +40,28 @@
 //    are single-producer) and is shed + counted (ShedStats::misrouted).
 //
 // Overload story (SFC-style near-source signaling): when a shard's ring
-// stays full past a bounded spin (`shed_spin` failed pushes with no
-// progress), the ingest side sheds the packets instead of stalling the
-// whole ingest loop, and counts them per shard and per reason
-// (StreamServerStats::shed / shard_shed). Shedding is OFF by default —
-// ingest then applies backpressure (yield + retry forever), the
-// configuration under which MT == ST decision equality is exact.
+// stays full, the ingest side walks a bounded escalation ladder — busy
+// spin, then sched_yield, then exponential-backoff sleeps — and only once
+// the whole ladder is exhausted with zero progress does it shed the
+// packets instead of stalling the whole ingest loop, counting them per
+// shard and per reason (StreamServerStats::shed / shard_shed). Shedding is
+// OFF by default — ingest then parks at the ladder's top rung and retries
+// forever (pure backpressure), the configuration under which MT == ST
+// decision equality is exact: the ladder changes only timing, never
+// outcomes.
+//
+// Self-healing (fault story, see runtime/fault.hpp and tests/
+// test_fault.cpp): every shard worker maintains heartbeat/progress
+// counters; a watchdog thread samples them and flags a shard whose
+// heartbeat stagnates while its ring holds work (stall detection is
+// self-clearing when the worker resumes). Health() reports the per-shard
+// picture lock-free WHILE the server runs — unlike Stats(), which needs
+// quiescence. A batch whose engine throws is retried on a bounded
+// backoff ladder and then shed (counted as ShedStats::inference), so a
+// transient inference fault degrades throughput, never liveness. SwapModel
+// is transactional: a publish failure anywhere rolls every shard back to
+// the serving model and surfaces SwapError — the server never runs mixed
+// versions and never loses its serving model to a failed push.
 //
 // Bit-exactness: with a large enough flow table (no evictions) the per-
 // packet decisions equal the offline Extract*Features +
@@ -79,6 +95,9 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "runtime/affinity.hpp"
@@ -103,6 +122,37 @@ const char* FeatureKindName(FeatureKind kind);
 /// rings, the previous-packet timestamp, and — for the raw family — the
 /// raw-byte window.
 FlowStateSpec OnlineFlowStateSpec(FeatureKind kind);
+
+/// The bounded backpressure ladder a producer walks while a shard's ring
+/// stays full: `spin` busy retries, then `yield` sched_yield retries, then
+/// `backoff` sleeps doubling from `backoff_start_us` up to
+/// `backoff_max_us`. Any successful push resets the ladder. Once the
+/// ladder is exhausted with zero progress the producer sheds (when
+/// StreamServerOptions::shed) or parks at the top rung and keeps retrying
+/// (pure backpressure — the default, under which MT == ST equality is
+/// exact). Replaces the old flat `shed_spin` counter: overload now costs
+/// escalating-but-bounded CPU instead of a hot spin, and the shed decision
+/// happens after a principled amount of waiting instead of N failed CAS
+/// loops.
+struct EscalationPolicy {
+  std::size_t spin = 64;
+  std::size_t yield = 128;
+  std::size_t backoff = 64;
+  std::uint64_t backoff_start_us = 1;
+  std::uint64_t backoff_max_us = 256;
+
+  std::size_t rounds() const { return spin + yield + backoff; }
+  /// Shed on the very first failed push (the old `shed_spin = 0` idiom).
+  static EscalationPolicy Immediate() { return {0, 0, 0, 0, 0}; }
+};
+
+/// Thrown by SwapModel when publishing the new model fails. The swap is
+/// transactional: by the time this surfaces, every shard has been rolled
+/// back to (or never left) the previously serving model.
+class SwapError : public std::runtime_error {
+ public:
+  explicit SwapError(const std::string& what) : std::runtime_error(what) {}
+};
 
 struct StreamServerOptions {
   std::size_t num_shards = 1;
@@ -133,13 +183,29 @@ struct StreamServerOptions {
   /// TryPopBurst — one cursor publish per burst instead of per packet.
   std::size_t burst = 64;
   /// Deterministic overload shedding. false (default): a full ring applies
-  /// backpressure — ingest yields and retries forever, and MT == ST
-  /// decision equality is exact. true: after `shed_spin` consecutive
-  /// failed pushes with no progress, the packets are dropped near the
-  /// source and counted per shard/per reason instead of stalling ingest.
+  /// backpressure — ingest walks the escalation ladder and then parks at
+  /// its top rung retrying forever, and MT == ST decision equality is
+  /// exact. true: once the ladder is exhausted with no progress, the
+  /// packets are dropped near the source and counted per shard/per reason
+  /// instead of stalling ingest.
   bool shed = false;
-  /// Failed-push budget (no-progress spins) before shedding kicks in.
-  std::size_t shed_spin = 256;
+  /// The spin → yield → backoff ladder walked on a full ring (see
+  /// EscalationPolicy; EscalationPolicy::Immediate() sheds on the first
+  /// failed push).
+  EscalationPolicy escalation;
+  /// Watchdog sampling interval (multi-threaded mode; 0 disables the
+  /// watchdog thread). Each tick samples every shard's heartbeat and ring
+  /// depth.
+  std::uint64_t watchdog_interval_us = 1000;
+  /// Consecutive stagnant samples (heartbeat unchanged while the ring
+  /// holds work) before a shard is flagged stalled. The flag self-clears
+  /// when the heartbeat advances again.
+  std::size_t watchdog_stall_intervals = 4;
+  /// Bounded retries of a failing InferenceEngine::Infer call before the
+  /// batch is shed (ShedStats::inference). Retry k sleeps
+  /// k * inference_retry_backoff_us first.
+  std::size_t inference_retries = 3;
+  std::uint64_t inference_retry_backoff_us = 50;
   /// Core placement of shard workers and ingest threads in multi-threaded
   /// mode (runtime/affinity.hpp): kNone leaves scheduling to the OS;
   /// kCompact / kScatter / kExplicit pin each thread to a CPU. With any
@@ -181,23 +247,66 @@ struct ServingState {
   std::shared_ptr<const LoweredModel> model;
 };
 
-/// Packets dropped near the source instead of enqueued, by reason.
+/// Packets dropped instead of decided, by reason. ring_full and misrouted
+/// are shed near the source (never enqueued); inference is shed at the
+/// shard (processed into a batch whose engine kept failing). The exact
+/// accounting identity the fault soak pins down:
+///   offered == stats.packets + shed.ring_full + shed.misrouted
+///   stats.packets == stats.decisions + stats.warmup + shed.inference
 struct ShedStats {
-  /// Ring stayed full past the bounded spin (overload; only with
-  /// StreamServerOptions::shed).
+  /// Ring stayed full through the whole escalation ladder with zero
+  /// progress (overload; only with StreamServerOptions::shed).
   std::uint64_t ring_full = 0;
   /// Partition function disagreed with the server's shard->ingest map:
   /// the packet's shard ring belongs to another ingest thread, so
   /// enqueueing it would break the single-producer invariant. Always
   /// counted (zero under a correct partitioner).
   std::uint64_t misrouted = 0;
+  /// Packets whose batch was dropped after the bounded inference retry
+  /// ladder was exhausted (transient engine faults; zero in normal runs).
+  std::uint64_t inference = 0;
 
-  std::uint64_t total() const { return ring_full + misrouted; }
+  std::uint64_t total() const { return ring_full + misrouted + inference; }
   ShedStats& operator+=(const ShedStats& o) {
     ring_full += o.ring_full;
     misrouted += o.misrouted;
+    inference += o.inference;
     return *this;
   }
+};
+
+/// One shard's liveness picture, sampled lock-free from the worker's
+/// progress counters (see ServerHealth).
+struct ShardHealth {
+  /// Worker loop iterations (ticks even when idle — a live-but-idle
+  /// worker keeps beating; only a genuinely wedged one goes quiet).
+  std::uint64_t heartbeat = 0;
+  /// Ring items the worker has handled (packets + control items).
+  std::uint64_t processed = 0;
+  /// Approximate ring occupancy right now.
+  std::size_t ring_depth = 0;
+  /// The watchdog's current verdict: heartbeat stagnant for
+  /// watchdog_stall_intervals samples while the ring held work.
+  bool stalled = false;
+  /// Times this shard has been flagged stalled (a recovered stall stays
+  /// counted).
+  std::uint64_t stall_events = 0;
+};
+
+/// Server liveness report. Unlike Stats() this is readable WHILE the
+/// server runs — every field loads from an atomic — so an operator (or
+/// the fault soak) can watch a live dataplane degrade and recover.
+struct ServerHealth {
+  bool running = false;
+  std::uint64_t watchdog_checks = 0;
+  /// Sum of per-shard stall_events.
+  std::uint64_t stall_events = 0;
+  /// Shards currently flagged stalled.
+  std::size_t stalled_shards = 0;
+  std::vector<ShardHealth> shards;
+
+  /// No shard is currently wedged (historical, recovered stalls are fine).
+  bool healthy() const { return stalled_shards == 0; }
 };
 
 struct StreamServerStats {
@@ -211,6 +320,9 @@ struct StreamServerStats {
   /// equals the offered load.
   ShedStats shed;
   std::vector<ShedStats> shard_shed;
+  /// Per-shard processed-packet counts (same indexing as shard_shed), so
+  /// the offered == packets + shed identity can be checked shard by shard.
+  std::vector<std::uint64_t> shard_packets;
   /// Aggregated over all shards, occupancy snapshot included
   /// (table.resident / table.slots sum each shard's live entries and
   /// capacity, so table.LoadFactor() is the server-wide load factor; the
@@ -226,12 +338,20 @@ struct StreamServerStats {
   std::size_t stateful_bits_per_flow = 0;
   std::size_t flow_table_sram_bits = 0;
   /// Model lifecycle: swap applications summed over shards (one SwapModel
-  /// call = num_shards applications) and the total wall time shards spent
+  /// call = num_shards applications; a rolled-back swap counts its
+  /// forward and rollback rebuilds) and the total wall time shards spent
   /// flushing + rebuilding engines, i.e. the per-shard serving gap.
   std::uint64_t swaps = 0;
   double swap_wall_ms = 0.0;
   /// Version of the model the server is currently serving.
   std::uint64_t active_version = 0;
+  /// Self-healing counters: Infer() exceptions absorbed (including ones a
+  /// retry recovered), batches dropped after the retry ladder, watchdog
+  /// samples taken, and stall flags raised across the run.
+  std::uint64_t inference_faults = 0;
+  std::uint64_t batches_dropped = 0;
+  std::uint64_t watchdog_checks = 0;
+  std::uint64_t stall_events = 0;
 
   /// Zeroes every counter (a fresh value-initialized snapshot).
   void Reset() { *this = {}; }
@@ -291,6 +411,12 @@ class StreamServer {
   /// same input dim as the serving feature family (the output dim may
   /// change) and a strictly increasing version; throws
   /// std::invalid_argument otherwise.
+  ///
+  /// Transactional: if publishing fails (engine build throws — exercised
+  /// by fault site kSwapPublishFail), every shard is rolled back to (or in
+  /// multi-threaded mode never leaves) the previously serving model and
+  /// SwapError is thrown; active_version() is unchanged and a retry with
+  /// the same version number is legal.
   void SwapModel(std::shared_ptr<const LoweredModel> model,
                  std::uint64_t version);
 
@@ -333,6 +459,12 @@ class StreamServer {
   /// running — reading shard counters mid-run would race the workers.
   StreamServerStats Stats() const;
 
+  /// Liveness report, callable from any thread at any time (including
+  /// while workers run — every field is sampled from atomics). This is
+  /// the observer the watchdog feeds; Stats() remains the quiesced,
+  /// exact-counters view.
+  ServerHealth Health() const;
+
   /// Zeroes the per-shard packet/decision/batch/swap/shed counters, the
   /// flow tables' stats and the engines' work counters — resident flow
   /// state and the active model stay untouched, so callers can report
@@ -347,8 +479,14 @@ class StreamServer {
   Shard& ShardOf(std::uint64_t digest);
   void Process(Shard& shard, const traffic::TracePacket& packet);
   void FlushShard(Shard& shard);
-  void ApplySwap(Shard& shard, std::shared_ptr<const ServingState> next);
+  /// Rebuilds the shard's engine over `next` at a packet boundary.
+  /// `inject_faults` gates the kSwapPublishFail site: true only on the
+  /// producer-driven single-threaded apply (which can roll back); the
+  /// worker-side in-band apply and the rollback path run fault-free.
+  void ApplySwap(Shard& shard, std::shared_ptr<const ServingState> next,
+                 bool inject_faults);
   void WorkerLoop(Shard& shard, int cpu);
+  void WatchdogLoop();
   /// Burst-pushes `items` onto the shard's ring: yields under backpressure,
   /// sheds the un-pushed remainder once the no-progress spin budget is
   /// exhausted (shedding mode only).
@@ -371,7 +509,14 @@ class StreamServer {
   PinPlan pin_plan_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> closed_{false};
-  bool running_ = false;
+  /// Written by Start/Stop on the producer thread; atomic so Health() can
+  /// read it from any thread.
+  std::atomic<bool> running_{false};
+  /// Watchdog thread (MT mode, watchdog_interval_us > 0): samples shard
+  /// heartbeats, flags/clears stalls.
+  std::thread watchdog_;
+  std::atomic<bool> watchdog_stop_{false};
+  std::atomic<std::uint64_t> watchdog_checks_{0};
 };
 
 }  // namespace pegasus::runtime

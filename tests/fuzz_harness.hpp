@@ -1,0 +1,90 @@
+// Shared fuzz entry points for the untrusted-input boundary (ISSUE 8).
+//
+// Contract under test: PcapReader and WireParser sit on the trust boundary
+// — their input is capture bytes from outside the process. For ARBITRARY
+// bytes they must either succeed, skip-with-a-counted-drop, or throw a
+// structured exception (std::runtime_error / core::CorruptArtifactError);
+// they must never crash, hang, overflow a buffer, or allocate
+// proportionally to an attacker-controlled length field. The harness
+// additionally checks the accounting invariants that make drops auditable.
+//
+// The same two functions back three drivers:
+//   * tests/test_fuzz_io.cpp — corpus replay + deterministic mutation
+//     sweeps, run under ctest (and ASan/UBSan in CI);
+//   * tools/fuzz_pcap.cpp / tools/fuzz_wire.cpp — libFuzzer entry points
+//     (LLVMFuzzerTestOneInput), built only with -DPEGASUS_FUZZERS=ON.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "io/pcap.hpp"
+#include "io/wire.hpp"
+
+namespace pegasus::fuzz {
+
+namespace detail {
+
+[[noreturn]] inline void Die(const char* what, const char* detail) {
+  // A violated invariant must be fatal even in a libFuzzer build (where
+  // there is no gtest to fail the test): abort so the fuzzer minimizes it.
+  std::fprintf(stderr, "fuzz invariant violated: %s (%s)\n", what, detail);
+  std::abort();
+}
+
+}  // namespace detail
+
+/// Feeds `data` to PcapReader as a whole capture file. Returns the number
+/// of records successfully decoded (0 when the header itself is rejected).
+inline std::size_t FuzzPcap(std::span<const std::uint8_t> data) {
+  std::stringstream in(std::string(
+      reinterpret_cast<const char*>(data.data()), data.size()));
+  std::size_t decoded = 0;
+  try {
+    io::PcapReader reader(in);
+    io::PcapRecord rec;
+    while (reader.Next(rec)) {
+      // Every accepted record honours the configured ceiling — the reader
+      // must never hand back a buffer a corrupt length field sized.
+      if (rec.data.size() > io::kMaxRecordBytes) {
+        detail::Die("PcapReader record above kMaxRecordBytes",
+                    std::to_string(rec.data.size()).c_str());
+      }
+      ++decoded;
+    }
+    if (reader.records() != decoded) {
+      detail::Die("PcapReader records() != decoded count", "");
+    }
+  } catch (const std::runtime_error&) {
+    // Structured rejection is a valid outcome for garbage input.
+  }
+  return decoded;
+}
+
+/// Feeds `data` to WireParser as one captured frame. Returns true when the
+/// frame parsed.
+inline bool FuzzWire(std::span<const std::uint8_t> data) {
+  io::WireParser parser;
+  io::ParsedPacket out;
+  const bool ok = parser.Parse(data, /*ts_us=*/1'000'000, out);
+  const auto& s = parser.stats();
+  // Exactly-one-outcome accounting: every frame lands in `parsed` or in
+  // exactly one drop counter.
+  if (s.frames != s.parsed + s.truncated + s.non_ip + s.non_l4 + s.fragments) {
+    detail::Die("WireParser drop counters do not partition frames", "");
+  }
+  if (ok != (s.parsed == 1)) {
+    detail::Die("WireParser return value disagrees with parsed counter", "");
+  }
+  if (ok && out.payload_captured > pegasus::traffic::kRawBytesPerPacket) {
+    detail::Die("payload_captured above the window size", "");
+  }
+  return ok;
+}
+
+}  // namespace pegasus::fuzz

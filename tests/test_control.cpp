@@ -17,6 +17,7 @@
 #include "control/planner.hpp"
 #include "control/registry.hpp"
 #include "core/operators.hpp"
+#include "core/stream_io.hpp"
 #include "runtime/inference_engine.hpp"
 
 namespace core = pegasus::core;
@@ -145,6 +146,35 @@ TEST(ModelRegistry, OnDiskEnvelopeRoundTripsBitIdentical) {
   std::stringstream garbage("definitely not an artifact");
   EXPECT_THROW(other.LoadModel(garbage), std::runtime_error);
   EXPECT_THROW(reg.SaveModel(buf, "clf", 99), std::out_of_range);
+}
+
+TEST(ModelRegistry, EnvelopePayloadSizeBombIsRejectedBeforeAllocating) {
+  // A well-formed header whose payload_size field claims 2^64-1 bytes (and
+  // one just past the documented ceiling): LoadModel must throw the
+  // structured corruption error from the length check, before the payload
+  // string is ever allocated. A CRC of zero is fine — the size check runs
+  // first.
+  for (const std::uint64_t claimed :
+       {~std::uint64_t{0}, ctrl::kMaxEnvelopePayloadBytes + 1}) {
+    std::stringstream buf;
+    core::WritePod(buf, ctrl::kRegistryArtifactMagic);
+    core::WritePod(buf, ctrl::kRegistryArtifactVersion);
+    core::WritePod<std::uint64_t>(buf, claimed);
+    core::WritePod<std::uint32_t>(buf, 0);
+    ctrl::ModelRegistry reg;
+    EXPECT_THROW(reg.LoadModel(buf), core::CorruptArtifactError)
+        << "claimed payload_size=" << claimed;
+  }
+
+  // An in-cap size with no payload behind it is truncation, also
+  // structured.
+  std::stringstream buf;
+  core::WritePod(buf, ctrl::kRegistryArtifactMagic);
+  core::WritePod(buf, ctrl::kRegistryArtifactVersion);
+  core::WritePod<std::uint64_t>(buf, 64);
+  core::WritePod<std::uint32_t>(buf, 0);
+  ctrl::ModelRegistry reg;
+  EXPECT_THROW(reg.LoadModel(buf), core::CorruptArtifactError);
 }
 
 TEST(UpdatePlanner, IdenticalCompilesPlanToAllUnchanged) {

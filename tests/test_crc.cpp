@@ -58,6 +58,26 @@ TEST(Crc, RejectsBadArguments) {
   EXPECT_THROW(dp::RangeToTernary(0, 1, 64), std::invalid_argument);
 }
 
+TEST(Crc, Crc32KnownAnswers) {
+  // Reflected IEEE CRC-32 check value (ITU-T V.42, zlib's crc32).
+  const char check[] = "123456789";
+  EXPECT_EQ(dp::Crc32(check, 9), 0xCBF43926u);
+  EXPECT_EQ(dp::Crc32(nullptr, 0), 0u);
+  EXPECT_EQ(dp::Crc32("a", 1), 0xE8B7BE43u);
+}
+
+TEST(Crc, Crc32SeedChainsIncrementalUpdates) {
+  // Crc32(b, n) == Crc32(b + k, n - k, Crc32(b, k)) for every split point,
+  // so the registry can checksum an envelope payload in pieces.
+  const char data[] = "pegasus envelope payload";
+  const std::size_t n = sizeof(data) - 1;
+  const std::uint32_t whole = dp::Crc32(data, n);
+  for (std::size_t k = 0; k <= n; ++k) {
+    EXPECT_EQ(dp::Crc32(data + k, n - k, dp::Crc32(data, k)), whole)
+        << "split at " << k;
+  }
+}
+
 class CrcExhaustive : public ::testing::TestWithParam<int> {};
 
 TEST_P(CrcExhaustive, AllRangesCoverExactly) {

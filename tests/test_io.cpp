@@ -155,18 +155,81 @@ TEST(Pcap, ReaderRejectsGarbageAndTruncation) {
                  std::invalid_argument);  // orig_len < incl_len
   }
   {
-    // snaplen 0 ("unlimited"): a corrupt record length must still raise a
-    // clean error, not attempt a multi-GiB allocation.
+    // snaplen 0 ("unlimited"): a record above the built-in ceiling is
+    // counted and skipped — never a multi-GiB allocation — and reading
+    // resumes on the next record.
     std::stringstream buf;
     io::PcapOptions opts;
     opts.snaplen = 0;
     io::PcapWriter writer(buf, opts);
     writer.Write(1, std::vector<std::uint8_t>(io::kMaxRecordBytes + 1,
                                               0x11));
+    writer.Write(2, std::vector<std::uint8_t>(8, 0x22));
     std::stringstream in(buf.str());
     io::PcapReader reader(in);
     io::PcapRecord rec;
-    EXPECT_THROW(reader.Next(rec), std::runtime_error);
+    ASSERT_TRUE(reader.Next(rec));  // the oversize record was skipped
+    EXPECT_EQ(rec.ts_sec, 0u);
+    EXPECT_EQ(rec.data.size(), 8u);
+    EXPECT_FALSE(reader.Next(rec));
+    EXPECT_EQ(reader.records(), 1u);
+    EXPECT_EQ(reader.drops().oversize, 1u);
+    EXPECT_EQ(reader.drops().overcapture, 0u);
+  }
+}
+
+TEST(Pcap, OvercaptureRecordsAreCountedAndSkipped) {
+  // incl_len > orig_len never comes out of PcapWriter (it rejects it), so
+  // hand-patch the length fields of a well-formed file.
+  std::stringstream buf;
+  io::PcapWriter writer(buf, {});
+  writer.Write(1, std::vector<std::uint8_t>(24, 0xAA), /*orig_len=*/24);
+  writer.Write(2, std::vector<std::uint8_t>(16, 0xBB), /*orig_len=*/16);
+  std::string bytes = buf.str();
+  // Record 0 starts right after the 24-byte global header; orig_len is the
+  // fourth u32 of the record header. Lower it below incl_len (24 -> 4).
+  const std::size_t orig_len_off = 24 + 12;
+  bytes[orig_len_off] = 4;
+  std::stringstream in(bytes);
+  io::PcapReader reader(in);
+  io::PcapRecord rec;
+  ASSERT_TRUE(reader.Next(rec));  // record 1 — record 0 was dropped
+  EXPECT_EQ(rec.data, std::vector<std::uint8_t>(16, 0xBB));
+  EXPECT_FALSE(reader.Next(rec));
+  EXPECT_EQ(reader.records(), 1u);
+  EXPECT_EQ(reader.drops().overcapture, 1u);
+  EXPECT_EQ(reader.drops().oversize, 0u);
+  EXPECT_EQ(reader.drops().total(), 1u);
+}
+
+TEST(Pcap, ConfigurableSnaplenCapTightensTheCeiling) {
+  // A reader-side cap below the file's declared snaplen drops records the
+  // file itself would have allowed.
+  std::stringstream buf;
+  io::PcapOptions opts;
+  opts.snaplen = 4096;
+  io::PcapWriter writer(buf, opts);
+  writer.Write(1, std::vector<std::uint8_t>(300, 0x33));
+  writer.Write(2, std::vector<std::uint8_t>(100, 0x44));
+  const std::string bytes = buf.str();
+  {
+    std::stringstream in(bytes);
+    io::PcapReader reader(in, /*max_snaplen=*/128);
+    io::PcapRecord rec;
+    ASSERT_TRUE(reader.Next(rec));
+    EXPECT_EQ(rec.data.size(), 100u);
+    EXPECT_FALSE(reader.Next(rec));
+    EXPECT_EQ(reader.drops().oversize, 1u);
+  }
+  {
+    // Default cap: both records pass.
+    std::stringstream in(bytes);
+    io::PcapReader reader(in);
+    io::PcapRecord rec;
+    std::size_t n = 0;
+    while (reader.Next(rec)) ++n;
+    EXPECT_EQ(n, 2u);
+    EXPECT_EQ(reader.drops().total(), 0u);
   }
 }
 

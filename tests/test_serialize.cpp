@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/operators.hpp"
+#include "core/stream_io.hpp"
 #include "core/tablegen.hpp"
 #include "runtime/inference_engine.hpp"
 #include "runtime/lowering.hpp"
@@ -103,6 +104,41 @@ TEST(Serialize, RejectsGarbageAndTruncation) {
   const std::string full = buf.str();
   std::stringstream truncated(full.substr(0, full.size() / 2));
   EXPECT_THROW(core::CompiledModel::Load(truncated), std::runtime_error);
+}
+
+TEST(Serialize, RejectsAllocationBombLengthFields) {
+  // A crafted payload whose value count claims ~4.3 billion entries: the
+  // capped length reader must reject it as CorruptArtifactError before any
+  // allocation is attempted (the old unchecked resize was a multi-GB
+  // allocation driven by attacker bytes).
+  const auto model = BuildModel(13);
+  std::stringstream buf;
+  model.Save(buf);
+  std::string bytes = buf.str();
+  // Header: u64 magic, u32 version, i32+i32 bit widths, u64 leaves,
+  // u8 refine, double margin, i32 domain bits = 41 bytes; the program's
+  // NumValues u32 is next.
+  const std::size_t num_values_off = 41;
+  ASSERT_GT(bytes.size(), num_values_off + 4);
+  for (std::size_t i = 0; i < 4; ++i) bytes[num_values_off + i] = '\xFF';
+  std::stringstream bombed(bytes);
+  EXPECT_THROW(core::CompiledModel::Load(bombed),
+               core::CorruptArtifactError);
+
+  // Same contract for string lengths: stomping any 4-byte window in the
+  // body must never crash or over-allocate — reject or load, nothing else.
+  for (std::size_t off = num_values_off; off + 4 <= bytes.size();
+       off += 7) {
+    std::string mutated = buf.str();
+    for (std::size_t i = 0; i < 4; ++i) mutated[off + i] = '\xFF';
+    std::stringstream in(mutated);
+    try {
+      (void)core::CompiledModel::Load(in);
+    } catch (const std::exception&) {
+      // Structured rejection: CorruptArtifactError for bad lengths /
+      // truncation, invalid_argument from program validation.
+    }
+  }
 }
 
 // The on-disk format the control plane's ModelRegistry relies on (ISSUE 4):

@@ -529,7 +529,8 @@ TEST(StreamServer, SheddingIsBoundedAndAccounted) {
   opts.queue_capacity = 4;  // the ring can never hold a full 64-burst...
   opts.burst = 64;
   opts.shed = true;
-  opts.shed_spin = 0;  // ...and a zero spin budget sheds every stall
+  // ...and an immediately-exhausted ladder sheds every stall
+  opts.escalation = rt::EscalationPolicy::Immediate();
   rt::StreamServer server(lowered, opts);
   const auto decisions = server.Serve(trace);
 
@@ -547,6 +548,76 @@ TEST(StreamServer, SheddingIsBoundedAndAccounted) {
   // ResetStats clears the shed counters too.
   server.ResetStats();
   EXPECT_EQ(server.Stats().shed.total(), 0u);
+}
+
+TEST(StreamServer, ShedAccountingHoldsAcrossMidStreamSwap) {
+  // A mid-stream SwapModel under active shedding must not lose or double-
+  // count anything: offered == packets + shed, shard by shard and in
+  // aggregate, with decisions from both model versions present.
+  const auto ds = tr::Generate(tr::PeerRushSpec(10, 91));
+  const auto offline = tr::ExtractSeqFeatures(ds.flows);
+  const auto v1 = Build16DimModel(offline.x, offline.size(), 41);
+  const auto v2 = Build16DimModel(offline.x, offline.size(), 42);
+  const auto trace = tr::MergeTrace(ds.flows);
+
+  rt::StreamServerOptions opts;
+  opts.num_shards = 4;
+  opts.flows_per_shard = 1 << 10;
+  opts.feature = rt::FeatureKind::kSeq;
+  opts.multithreaded = true;
+  // Small enough to force ring_full sheds on both sides of the swap, big
+  // enough that flows still clear warmup and decide under both versions.
+  opts.queue_capacity = 64;
+  opts.burst = 64;
+  opts.shed = true;
+  opts.escalation = rt::EscalationPolicy::Immediate();
+  rt::StreamServer server(v1, opts);
+
+  std::vector<std::uint64_t> offered(opts.num_shards, 0);
+  for (const auto& p : trace) {
+    ++offered[rt::StreamServer::ShardIndexOf(p.key.digest, opts.num_shards)];
+  }
+
+  auto run = ev::ServeTraceWithSwap(
+      server, trace, trace.size() / 2,
+      std::shared_ptr<const rt::LoweredModel>(std::shared_ptr<void>{}, &v2),
+      2);
+  const auto& stats = run.stats;
+  EXPECT_EQ(stats.active_version, 2u);
+  EXPECT_GT(stats.shed.ring_full, 0u);
+
+  // Aggregate identities (documented on ShedStats).
+  EXPECT_EQ(stats.packets + stats.shed.ring_full + stats.shed.misrouted,
+            trace.size());
+  EXPECT_EQ(stats.decisions + stats.warmup + stats.shed.inference,
+            stats.packets);
+  EXPECT_EQ(stats.decisions, run.decisions.size());
+
+  // Per-shard: each shard's offered load is exactly served + shed there,
+  // and the per-shard breakdowns sum to the aggregate.
+  ASSERT_EQ(stats.shard_packets.size(), opts.num_shards);
+  ASSERT_EQ(stats.shard_shed.size(), opts.num_shards);
+  rt::ShedStats shed_sum;
+  std::uint64_t packet_sum = 0;
+  for (std::size_t s = 0; s < opts.num_shards; ++s) {
+    EXPECT_EQ(stats.shard_packets[s] + stats.shard_shed[s].ring_full +
+                  stats.shard_shed[s].misrouted,
+              offered[s])
+        << "shard " << s;
+    shed_sum += stats.shard_shed[s];
+    packet_sum += stats.shard_packets[s];
+  }
+  EXPECT_EQ(shed_sum.total(), stats.shed.total());
+  EXPECT_EQ(packet_sum, stats.packets);
+
+  // The swap actually took effect mid-stream: both versions decided.
+  bool saw_v1 = false, saw_v2 = false;
+  for (const auto& d : run.decisions) {
+    saw_v1 |= d.version == 1;
+    saw_v2 |= d.version == 2;
+  }
+  EXPECT_TRUE(saw_v1);
+  EXPECT_TRUE(saw_v2);
 }
 
 TEST(StreamServer, MisroutedPacketsAreShedNotEnqueued) {

@@ -1,0 +1,18 @@
+// libFuzzer target for PcapReader (build with -DPEGASUS_FUZZERS=ON, which
+// requires a clang toolchain: -fsanitize=fuzzer).
+//
+//   ./fuzz_pcap tests/corpus/pcap   # fuzz from the checked-in seeds
+//
+// Crashing inputs should be minimized (-minimize_crash=1) and checked in
+// under tests/corpus/pcap/ so test_fuzz_io replays them forever after.
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "../tests/fuzz_harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  pegasus::fuzz::FuzzPcap(std::span<const std::uint8_t>(data, size));
+  return 0;
+}

@@ -1,0 +1,18 @@
+// libFuzzer target for WireParser (build with -DPEGASUS_FUZZERS=ON, which
+// requires a clang toolchain: -fsanitize=fuzzer).
+//
+//   ./fuzz_wire tests/corpus/wire   # fuzz single frames from the seeds
+//
+// Crashing inputs should be minimized and checked in under
+// tests/corpus/wire/ so test_fuzz_io replays them forever after.
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "../tests/fuzz_harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  pegasus::fuzz::FuzzWire(std::span<const std::uint8_t>(data, size));
+  return 0;
+}
