@@ -33,6 +33,7 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -135,6 +136,146 @@ SwapRow RunSwap(const std::string& name,
   return row;
 }
 
+// ---- O(delta) update latency sweep ----------------------------------------
+// Compares the two ways a new model version reaches a serving table:
+//   delta  — ApplyDelta the changed entries in place on the sealed table
+//            (the per-table patch work StreamServer::SwapModelDelta does;
+//            on a switch the update is literally in place);
+//   reseal — rebuild the table from the full entry list and Seal() (the
+//            full-swap path).
+// Each rep patches a fresh Clone() of the base so reps are independent,
+// but the clone is harness scaffolding, not update work, and stays
+// outside the timed window. Swept over table size x patched-entry count;
+// both paths must decide probe keys identically (checksums compared by
+// compare_index_bench.py --swap, which fails CI on a mismatch).
+
+struct UpdateRow {
+  std::size_t table_entries = 0;
+  std::size_t patched_entries = 0;
+  double delta_ms = 0.0;
+  double reseal_ms = 0.0;
+  double speedup = 0.0;
+  std::uint64_t bytes_pushed = 0;
+  std::uint64_t checksum_delta = 0;
+  std::uint64_t checksum_reseal = 0;
+};
+
+namespace dp = pegasus::dataplane;
+
+std::uint64_t LookupChecksum(const dp::MatchActionTable& table,
+                             const dp::PhvLayout& layout,
+                             const std::vector<dp::FieldId>& keys,
+                             std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  dp::Phv phv(layout);
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (int probe = 0; probe < 512; ++probe) {
+    for (const dp::FieldId k : keys) {
+      phv.Set(k, static_cast<std::int64_t>(rng() & 0xffff));
+    }
+    const auto hit = table.Lookup(phv);
+    h ^= hit ? static_cast<std::uint64_t>(*hit) + 1 : 0;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::vector<UpdateRow> RunUpdateSweep() {
+  std::vector<UpdateRow> out;
+  std::mt19937_64 rng(404);
+  const std::vector<int> widths{16, 16};
+  std::vector<dp::ActionOp> prog;  // filled per layout below
+  for (const std::size_t n :
+       {std::size_t{64}, std::size_t{256}, std::size_t{1024},
+        std::size_t{4096}}) {
+    dp::PhvLayout layout;
+    std::vector<dp::FieldId> keys;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      keys.push_back(layout.AddField("k" + std::to_string(i), widths[i]));
+    }
+    const dp::FieldId outf = layout.AddField("o", 32);
+    prog = {{dp::ActionOp::Kind::kSetFromData, outf, 0, 0, -1}};
+
+    std::vector<dp::TableEntry> entries;
+    for (std::size_t e = 0; e < n; ++e) {
+      dp::TableEntry entry;
+      for (int w : widths) {
+        const std::uint64_t dmax = (1ull << w) - 1;
+        // Mix exact-value rules with wildcarded ones; at least one full
+        // mask per field keeps the whole key space chunk-covered, so any
+        // patch is absorbable in place.
+        entry.ternary.push_back(rng() % 4 == 0
+                                    ? dp::TernaryRule{rng() & dmax,
+                                                      rng() & dmax}
+                                    : dp::TernaryRule{rng() & dmax, dmax});
+      }
+      entry.priority = static_cast<int>(rng() % 4);
+      entry.action_data = {static_cast<std::int64_t>(e)};
+      entries.push_back(entry);
+    }
+    auto base = std::make_unique<dp::MatchActionTable>(
+        "u", dp::MatchKind::kTernary, keys, widths, prog, 32);
+    for (const auto& e : entries) base->AddEntry(e);
+    base->Seal();
+
+    std::vector<std::size_t> deltas{1, std::max<std::size_t>(1, n / 100),
+                                    std::max<std::size_t>(1, n / 10), n};
+    deltas.erase(std::unique(deltas.begin(), deltas.end()), deltas.end());
+    for (const std::size_t k : deltas) {
+      // k distinct entries get new match values + action words.
+      std::vector<dp::EntryPatch> patches;
+      auto mutated = entries;
+      for (std::size_t j = 0; j < k; ++j) {
+        const std::size_t e = (j * 16777619u) % n;  // spread, distinct for k<=n
+        dp::EntryPatch patch;
+        patch.entry_index = e;
+        patch.priority = entries[e].priority;
+        for (int w : widths) {
+          const std::uint64_t dmax = (1ull << w) - 1;
+          patch.ternary.push_back({rng() & dmax, dmax});
+        }
+        patch.action_data = {static_cast<std::int64_t>(rng() % 100000)};
+        mutated[e].ternary = patch.ternary;
+        mutated[e].action_data = patch.action_data;
+        patches.push_back(std::move(patch));
+      }
+
+      UpdateRow row;
+      row.table_entries = n;
+      row.patched_entries = k;
+      constexpr int kReps = 5;
+      std::unique_ptr<dp::MatchActionTable> patched;
+      std::unique_ptr<dp::MatchActionTable> resealed;
+      for (int rep = 0; rep < kReps; ++rep) {
+        auto clone = base->Clone();  // fresh base per rep, untimed
+        auto t0 = std::chrono::steady_clock::now();
+        row.bytes_pushed = clone->ApplyDelta(patches);
+        auto t1 = std::chrono::steady_clock::now();
+        const double delta_ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (rep == 0 || delta_ms < row.delta_ms) row.delta_ms = delta_ms;
+        patched = std::move(clone);
+
+        t0 = std::chrono::steady_clock::now();
+        auto fresh = std::make_unique<dp::MatchActionTable>(
+            "u", dp::MatchKind::kTernary, keys, widths, prog, 32);
+        for (const auto& e : mutated) fresh->AddEntry(e);
+        fresh->Seal();
+        t1 = std::chrono::steady_clock::now();
+        const double reseal_ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (rep == 0 || reseal_ms < row.reseal_ms) row.reseal_ms = reseal_ms;
+        resealed = std::move(fresh);
+      }
+      row.speedup = row.delta_ms > 0.0 ? row.reseal_ms / row.delta_ms : 0.0;
+      row.checksum_delta = LookupChecksum(*patched, layout, keys, 1000 + n);
+      row.checksum_reseal = LookupChecksum(*resealed, layout, keys, 1000 + n);
+      out.push_back(row);
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -235,6 +376,18 @@ int main(int argc, char** argv) {
                   row.baseline_pps > 0.0 ? row.pps / row.baseline_pps : 0.0);
       swap_rows.push_back(row);
     }
+  }
+
+  // ---- O(delta) update latency vs delta size -----------------------------
+  const auto update_rows = RunUpdateSweep();
+  std::printf("\nO(delta) table update (in-place patch vs rebuild+reseal):\n");
+  std::printf("%9s %9s %12s %12s %9s %8s %6s\n", "entries", "patched",
+              "delta ms", "reseal ms", "speedup", "bytes", "match");
+  for (const auto& r : update_rows) {
+    std::printf("%9zu %9zu %12.4f %12.4f %8.1fx %8llu %6s\n",
+                r.table_entries, r.patched_entries, r.delta_ms, r.reseal_ms,
+                r.speedup, static_cast<unsigned long long>(r.bytes_pushed),
+                r.checksum_delta == r.checksum_reseal ? "ok" : "FAIL");
   }
 
   // ---- multi-ingest thread scaling ---------------------------------------
@@ -474,6 +627,21 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.swaps), r.swap_latency_ms,
         r.wall_ms, r.pps, r.baseline_pps,
         i + 1 < swap_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"update_runs\": [\n");
+  for (std::size_t i = 0; i < update_rows.size(); ++i) {
+    const UpdateRow& r = update_rows[i];
+    std::fprintf(
+        f,
+        "    {\"table_entries\": %zu, \"patched_entries\": %zu, "
+        "\"delta_ms\": %.5f, \"reseal_ms\": %.5f, \"speedup\": %.2f, "
+        "\"bytes_pushed\": %llu, \"checksum_delta\": %llu, "
+        "\"checksum_reseal\": %llu}%s\n",
+        r.table_entries, r.patched_entries, r.delta_ms, r.reseal_ms,
+        r.speedup, static_cast<unsigned long long>(r.bytes_pushed),
+        static_cast<unsigned long long>(r.checksum_delta),
+        static_cast<unsigned long long>(r.checksum_reseal),
+        i + 1 < update_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"scaling_runs\": [\n");
   for (std::size_t i = 0; i < scaling_rows.size(); ++i) {

@@ -135,7 +135,12 @@ UpdatePlan PlanUpdate(const compiler::VersionedModel& from,
     const bool same_quant =
         QuantEqual(a.quant()[op.map.input], b.quant()[op.map.input]) &&
         QuantEqual(a.quant()[op.map.output], b.quant()[op.map.output]);
-    if (!same_quant || !BoxesEqual(ta.tree, tb.tree)) {
+    // A changed expansion cap can flip a table between CRC-expanded
+    // ternary and native range — entry indices would not line up, so a
+    // delta is unsound even with identical geometry.
+    const bool same_lowering = from.lowering.max_ternary_entries_per_table ==
+                               to.lowering.max_ternary_entries_per_table;
+    if (!same_quant || !same_lowering || !BoxesEqual(ta.tree, tb.tree)) {
       u.kind = TableUpdateKind::kReseal;
       u.bytes_to_push = FullTableBytes(b, oi);
     } else {
@@ -146,8 +151,37 @@ UpdatePlan PlanUpdate(const compiler::VersionedModel& from,
         u.kind = TableUpdateKind::kUnchanged;
       } else {
         u.kind = TableUpdateKind::kEntryDelta;
-        const std::size_t out_dim = pb.value(op.map.output).dim;
-        u.bytes_to_push = u.changed_leaves * LeafDataBytes(b, out_dim);
+        // Emit the concrete patches with the same expansion helper the
+        // lowering uses, then cost the plan from them — action words plus
+        // value/mask match words per expanded entry, the exact formula
+        // MatchActionTable::ApplyDelta reports (tests assert equality).
+        const runtime::TableLowering tl = runtime::LowerMapEntries(
+            b, oi, to.lowering.max_ternary_entries_per_table);
+        for (std::size_t li = 0; li < tl.leaves.size(); ++li) {
+          const runtime::LoweredLeaf& ll = tl.leaves[li];
+          if (ta.leaf_raw[ll.leaf] == tb.leaf_raw[ll.leaf]) continue;
+          std::vector<dataplane::TableEntry> entries;
+          runtime::AppendLeafEntries(tl, ll, entries);
+          for (std::size_t j = 0; j < entries.size(); ++j) {
+            dataplane::EntryPatch patch;
+            patch.entry_index = tl.entry_first[li] + j;
+            patch.ternary = std::move(entries[j].ternary);
+            patch.range_lo = std::move(entries[j].range_lo);
+            patch.range_hi = std::move(entries[j].range_hi);
+            patch.priority = entries[j].priority;
+            patch.action_data = std::move(entries[j].action_data);
+            u.patches.push_back(std::move(patch));
+          }
+        }
+        std::size_t key_bits = 0;
+        for (int w : tl.key_widths) key_bits += static_cast<std::size_t>(w);
+        const std::size_t match_bytes = (2 * key_bits + 7) / 8;
+        const auto value_bits =
+            static_cast<std::size_t>(b.options().value_bits);
+        for (const dataplane::EntryPatch& patch : u.patches) {
+          u.bytes_to_push +=
+              (patch.action_data.size() * value_bits + 7) / 8 + match_bytes;
+        }
       }
     }
     plan.tables.push_back(std::move(u));
@@ -189,6 +223,51 @@ std::string FormatPlan(const UpdatePlan& plan) {
     os << ")\n";
   }
   return os.str();
+}
+
+std::vector<dataplane::TablePatch> CollectPatches(const UpdatePlan& plan) {
+  if (plan.structure_changed || plan.reseal > 0) {
+    throw std::invalid_argument(
+        "CollectPatches: plan contains " +
+        std::string(plan.structure_changed ? "a structure change"
+                                           : "reseals") +
+        " — apply it as a full swap, not a delta");
+  }
+  std::vector<dataplane::TablePatch> patches;
+  for (const TableUpdate& u : plan.tables) {
+    if (u.kind != TableUpdateKind::kEntryDelta || u.patches.empty()) continue;
+    dataplane::TablePatch tp;
+    tp.table = u.table;
+    tp.patches = u.patches;
+    patches.push_back(std::move(tp));
+  }
+  return patches;
+}
+
+std::vector<runtime::TableEntryPush> EmitPushSequence(
+    const compiler::VersionedModel& model) {
+  if (model.compiled == nullptr) {
+    throw std::invalid_argument(
+        "EmitPushSequence: artifact must carry its CompiledModel");
+  }
+  const CompiledModel& m = *model.compiled;
+  const core::Program& p = m.program();
+  std::vector<runtime::TableEntryPush> pushes;
+  for (std::size_t oi = 0; oi < p.ops().size(); ++oi) {
+    if (!m.tables()[oi].has_value()) continue;
+    const runtime::TableLowering tl = runtime::LowerMapEntries(
+        m, oi, model.lowering.max_ternary_entries_per_table);
+    runtime::TableEntryPush push;
+    push.table = tl.name;
+    push.kind = tl.use_range ? dataplane::MatchKind::kRange
+                             : dataplane::MatchKind::kTernary;
+    push.entries.reserve(tl.num_entries);
+    for (const runtime::LoweredLeaf& ll : tl.leaves) {
+      runtime::AppendLeafEntries(tl, ll, push.entries);
+    }
+    pushes.push_back(std::move(push));
+  }
+  return pushes;
 }
 
 // ---------------------------------------------------------------------------

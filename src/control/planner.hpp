@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "compiler/compiler.hpp"
+#include "runtime/lowering.hpp"
 
 namespace pegasus::control {
 
@@ -51,9 +52,18 @@ struct TableUpdate {
   std::size_t leaves_after = 0;
   /// Leaves whose output words moved (kEntryDelta only).
   std::size_t changed_leaves = 0;
-  /// Action-data bytes the switch agent must rewrite for this table
-  /// (changed entries for a delta, the whole table for a reseal).
+  /// Bytes the switch agent must write for this table: for a delta, the
+  /// changed entries' action-data words PLUS their value/mask match words
+  /// (the chunk-bitset / range-boundary state the dataplane rewrites) —
+  /// identical to what MatchActionTable::ApplyDelta reports pushing; for a
+  /// reseal, the whole table.
   std::size_t bytes_to_push = 0;
+  /// Concrete entry patches realizing a kEntryDelta, post-CRC-expansion
+  /// and addressed by lowered entry index — exactly what
+  /// StreamServer::SwapModelDelta / Pipeline::ApplyDelta consume. Built
+  /// with the same shared expansion helper as Lower(), so entry indices
+  /// line up with the served table by construction.
+  std::vector<dataplane::EntryPatch> patches;
 };
 
 struct UpdatePlan {
@@ -77,6 +87,21 @@ UpdatePlan PlanUpdate(const compiler::VersionedModel& from,
 /// Renders the plan as the one-line-per-table report the lifecycle example
 /// and bench print.
 std::string FormatPlan(const UpdatePlan& plan);
+
+/// Flattens a plan's kEntryDelta tables into per-table dataplane patches
+/// for StreamServer::SwapModelDelta / Pipeline::ApplyDelta. Throws
+/// std::invalid_argument when the plan contains a structure change or any
+/// reseal — applying only the deltas of such a plan would serve a torn
+/// model; the caller must take the full-swap path instead.
+std::vector<dataplane::TablePatch> CollectPatches(const UpdatePlan& plan);
+
+/// The full table-entry install sequence for `model` — what the switch
+/// agent pushes after loading the p4gen program. Entry order matches the
+/// served lowering exactly (same shared expansion helper); replaying it
+/// through runtime::LowerFromPush reproduces the served artifact, which
+/// the P4 conformance test asserts decision-for-decision.
+std::vector<runtime::TableEntryPush> EmitPushSequence(
+    const compiler::VersionedModel& model);
 
 // ---------------------------------------------------------------------------
 // Multi-model co-placement.

@@ -40,6 +40,10 @@ MatchIndex::MatchIndex(std::span<const TableEntry> entries,
                    [&](std::uint32_t a, std::uint32_t b) {
                      return entries[a].priority > entries[b].priority;
                    });
+  pos_of_.resize(num_entries_);
+  for (std::size_t pos = 0; pos < num_entries_; ++pos) {
+    pos_of_[order_[pos]] = static_cast<std::uint32_t>(pos);
+  }
 
   // Action-data arena in sorted order: the winning entry's words are one
   // contiguous, cache-resident slice.
@@ -65,7 +69,7 @@ MatchIndex::MatchIndex(std::span<const TableEntry> entries,
   stats_.nibble_chunks = chunks_.size();
   for (const RangeField& rf : ranges_) stats_.intervals += rf.starts.size();
   stats_.bytes = plane_.size() * sizeof(std::uint64_t) +
-                 order_.size() * sizeof(std::uint32_t) +
+                 (order_.size() + pos_of_.size()) * sizeof(std::uint32_t) +
                  arena_.size() * sizeof(std::int64_t) +
                  arena_offset_.size() * sizeof(std::size_t);
   for (const RangeField& rf : ranges_) {
@@ -140,6 +144,96 @@ void MatchIndex::BuildRange(std::span<const TableEntry> entries) {
     }
     ranges_.push_back(std::move(rf));
   }
+}
+
+bool MatchIndex::CanAbsorb(const EntryPatch& patch) const {
+  if (patch.entry_index >= num_entries_) return false;
+  const std::size_t pos = pos_of_[patch.entry_index];
+  // Arena offsets stay valid only if the patched slice keeps its size.
+  if (patch.action_data.size() !=
+      arena_offset_[pos + 1] - arena_offset_[pos]) {
+    return false;
+  }
+  // Ternary: every masked bit of the new rule must fall inside some
+  // existing chunk — bits above the compiled coverage have no rows to
+  // express them, so a rule using them forces a reseal.
+  for (const NibbleChunk& c : chunks_) {
+    if (c.field >= patch.ternary.size()) return false;
+  }
+  for (std::size_t f = 0; f < patch.ternary.size(); ++f) {
+    std::uint64_t covered = 0;
+    for (const NibbleChunk& c : chunks_) {
+      if (c.field == f) covered |= 0xfull << c.shift;
+    }
+    if ((patch.ternary[f].mask & ~covered) != 0) return false;
+  }
+  // Range: the new bounds must land on existing elementary-interval
+  // boundaries, otherwise an interval would need splitting (reseal).
+  for (const RangeField& rf : ranges_) {
+    if (rf.field >= patch.range_lo.size() ||
+        rf.field >= patch.range_hi.size()) {
+      return false;
+    }
+    const std::uint64_t lo = patch.range_lo[rf.field];
+    const std::uint64_t hi = patch.range_hi[rf.field];
+    if (lo > hi) return false;
+    if (!std::binary_search(rf.starts.begin(), rf.starts.end(), lo)) {
+      return false;
+    }
+    if (hi != ~0ull &&
+        !std::binary_search(rf.starts.begin(), rf.starts.end(), hi + 1)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void MatchIndex::ApplyDelta(std::span<const EntryPatch> patches) {
+  const auto start = std::chrono::steady_clock::now();
+  for (const EntryPatch& p : patches) {
+    const std::size_t pos = pos_of_[p.entry_index];
+    std::copy(p.action_data.begin(), p.action_data.end(),
+              arena_.begin() + static_cast<std::ptrdiff_t>(arena_offset_[pos]));
+    const std::uint64_t bit = 1ull << (pos % 64);
+    const std::size_t word = pos / 64;
+    for (const NibbleChunk& c : chunks_) {
+      const TernaryRule& r = p.ternary[c.field];
+      const std::uint64_t m = (r.mask >> c.shift) & 0xf;
+      const std::uint64_t v = (r.value >> c.shift) & m;
+      std::uint64_t* rows = plane_.data() + c.plane_row * words_;
+      for (std::uint64_t nib = 0; nib < 16; ++nib) {
+        std::uint64_t& w = rows[nib * words_ + word];
+        if ((nib & m) == v) {
+          w |= bit;
+        } else {
+          w &= ~bit;
+        }
+      }
+    }
+    for (const RangeField& rf : ranges_) {
+      const std::uint64_t lo = p.range_lo[rf.field];
+      const std::uint64_t hi = p.range_hi[rf.field];
+      std::uint64_t* rows = plane_.data() + rf.plane_row * words_;
+      for (std::size_t i = 0; i < rf.starts.size(); ++i) {
+        const std::uint64_t first = rf.starts[i];
+        const std::uint64_t last =
+            i + 1 < rf.starts.size() ? rf.starts[i + 1] - 1 : ~0ull;
+        std::uint64_t& w = rows[i * words_ + word];
+        if (lo <= first && hi >= last) {
+          w |= bit;
+        } else {
+          w &= ~bit;
+        }
+      }
+    }
+    ++stats_.deltas_applied;
+    stats_.leaf_words_patched += p.action_data.size();
+  }
+  ++stats_.reseals_avoided;
+  stats_.delta_apply_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
 }
 
 std::int32_t MatchIndex::FindBest(const std::uint64_t* keys) const {

@@ -38,6 +38,7 @@
 namespace pegasus::dataplane {
 
 struct TableEntry;
+struct EntryPatch;
 
 /// Build/footprint counters for one compiled index (surfaced per table by
 /// the compiler's `lower` pass diagnostics and aggregated per pipeline).
@@ -52,6 +53,12 @@ struct MatchIndexStats {
   /// Resident footprint of the bitset planes + boundaries + arena.
   std::size_t bytes = 0;
   double build_ms = 0.0;
+  /// O(delta) update counters: in-place patches applied without a reseal.
+  std::uint64_t deltas_applied = 0;     // entry patches applied in place
+  std::uint64_t leaf_words_patched = 0; // action-arena words rewritten
+  std::uint64_t reseals_avoided = 0;    // ApplyDelta batches (each would
+                                        // otherwise have been a full reseal)
+  std::uint64_t delta_apply_ns = 0;     // cumulative in-place patch time
 };
 
 /// Immutable lookup structure compiled from a table's entry list at
@@ -86,6 +93,19 @@ class MatchIndex {
 
   const MatchIndexStats& stats() const { return stats_; }
 
+  /// True when `patch` can be applied in place: same action-data size (so
+  /// arena offsets stay valid) and a match representable by the compiled
+  /// planes — ternary masks within existing chunk coverage, range bounds
+  /// landing on existing elementary-interval boundaries. Anything else
+  /// needs a full reseal.
+  bool CanAbsorb(const EntryPatch& patch) const;
+
+  /// Applies pre-validated patches in place: rewrites each entry's arena
+  /// words and flips its bits in every chunk/interval row. Never
+  /// reallocates, so a cloned index stays independent and patching is
+  /// O(patches), not O(entries). Every patch must satisfy CanAbsorb.
+  void ApplyDelta(std::span<const EntryPatch> patches);
+
  private:
   /// One 4-bit chunk of a ternary key field: 16 bitset rows starting at
   /// `plane_row * words_` inside plane_.
@@ -112,6 +132,9 @@ class MatchIndex {
   std::vector<RangeField> ranges_;
   /// sorted position -> original entry index ((priority desc, idx asc)).
   std::vector<std::uint32_t> order_;
+  /// original entry index -> sorted position (inverse of order_), so a
+  /// delta patch addressed by entry index finds its bitset column in O(1).
+  std::vector<std::uint32_t> pos_of_;
   /// Action-data arena in sorted order; offsets has num_entries_+1 slots.
   std::vector<std::int64_t> arena_;
   std::vector<std::size_t> arena_offset_;

@@ -100,9 +100,59 @@ Pipeline::IndexReport Pipeline::MatchIndexReport() const {
       r.nibble_chunks += s->nibble_chunks;
       r.bytes += s->bytes;
       r.build_ms += s->build_ms;
+      r.deltas_applied += s->deltas_applied;
+      r.leaf_words_patched += s->leaf_words_patched;
+      r.reseals_avoided += s->reseals_avoided;
+      r.delta_apply_ns += s->delta_apply_ns;
     }
   }
   return r;
+}
+
+std::size_t Pipeline::ApplyDelta(std::span<const TablePatch> patches) {
+  // Resolve + pre-validate every target first so a bad patch anywhere
+  // leaves the whole pipeline untouched.
+  std::vector<MatchActionTable*> targets;
+  targets.reserve(patches.size());
+  for (const TablePatch& tp : patches) {
+    MatchActionTable* found = nullptr;
+    for (Stage& stage : stages_) {
+      for (const auto& table : stage.tables) {
+        if (table->name() == tp.table) {
+          found = table.get();
+          break;
+        }
+      }
+      if (found != nullptr) break;
+    }
+    if (found == nullptr) {
+      throw std::invalid_argument("ApplyDelta: no table named '" + tp.table +
+                                  "'");
+    }
+    found->ValidateDelta(tp.patches);
+    targets.push_back(found);
+  }
+  std::size_t bytes = 0;
+  for (std::size_t i = 0; i < patches.size(); ++i) {
+    bytes += targets[i]->ApplyDelta(patches[i].patches);
+  }
+  return bytes;
+}
+
+std::unique_ptr<Pipeline> Pipeline::Clone() const {
+  auto copy = std::make_unique<Pipeline>(model_);
+  copy->stateful_bits_per_flow_ = stateful_bits_per_flow_;
+  copy->stages_.resize(stages_.size());
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    const Stage& src = stages_[s];
+    Stage& dst = copy->stages_[s];
+    dst.sram_bits = src.sram_bits;
+    dst.tcam_bits = src.tcam_bits;
+    dst.action_bus_bits = src.action_bus_bits;
+    dst.tables.reserve(src.tables.size());
+    for (const auto& table : src.tables) dst.tables.push_back(table->Clone());
+  }
+  return copy;
 }
 
 std::size_t Pipeline::NumTables() const {

@@ -22,6 +22,13 @@ class PlacementError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Patches addressed to one named table — the pipeline-level unit of an
+/// O(delta) model push (UpdatePlanner emits one per kEntryDelta table).
+struct TablePatch {
+  std::string table;
+  std::vector<EntryPatch> patches;
+};
+
 class Pipeline {
  public:
   explicit Pipeline(SwitchModel model = {});
@@ -78,8 +85,26 @@ class Pipeline {
     std::size_t nibble_chunks = 0;
     std::size_t bytes = 0;
     double build_ms = 0.0;
+    // O(delta) update counters (see MatchIndexStats).
+    std::uint64_t deltas_applied = 0;
+    std::uint64_t leaf_words_patched = 0;
+    std::uint64_t reseals_avoided = 0;
+    std::uint64_t delta_apply_ns = 0;
   };
   IndexReport MatchIndexReport() const;
+
+  /// Applies per-table entry deltas in place, by table name. Tables stay
+  /// sealed throughout (generation bumps, invalidated() never holds), so
+  /// no placed index is rebuilt. Throws std::invalid_argument on an
+  /// unknown table or an unabsorbable patch — validation of every table
+  /// runs before any mutation, so a throwing call leaves the pipeline
+  /// byte-identical. Returns total control-plane bytes pushed.
+  std::size_t ApplyDelta(std::span<const TablePatch> patches);
+
+  /// Deep copy preserving placement, budgets and every compiled index (no
+  /// recompilation) — the O(entries-copied), not O(rebuild), half of the
+  /// clone→patch→publish update path.
+  std::unique_ptr<Pipeline> Clone() const;
 
  private:
   struct Stage {

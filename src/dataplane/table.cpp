@@ -75,6 +75,90 @@ void MatchActionTable::Seal() {
   ++generation_;
 }
 
+void MatchActionTable::ValidateDelta(
+    std::span<const EntryPatch> patches) const {
+  if (kind_ == MatchKind::kExact) {
+    throw std::invalid_argument(name_ +
+                                ": ApplyDelta on an exact-match table");
+  }
+  for (const EntryPatch& p : patches) {
+    if (p.entry_index >= entries_.size()) {
+      throw std::invalid_argument(name_ + ": patch entry index out of range");
+    }
+    const TableEntry& e = entries_[p.entry_index];
+    if (kind_ == MatchKind::kTernary) {
+      if (p.ternary.size() != key_fields_.size()) {
+        throw std::invalid_argument(name_ + ": patch ternary arity mismatch");
+      }
+    } else {
+      if (p.range_lo.size() != key_fields_.size() ||
+          p.range_hi.size() != key_fields_.size()) {
+        throw std::invalid_argument(name_ + ": patch range arity mismatch");
+      }
+    }
+    if (p.action_data.size() != e.action_data.size()) {
+      throw std::invalid_argument(name_ + ": patch resizes action data");
+    }
+    if (p.priority != e.priority) {
+      throw std::invalid_argument(name_ + ": patch changes entry priority");
+    }
+    if (index_ && !index_->CanAbsorb(p)) {
+      throw std::invalid_argument(
+          name_ + ": patch not absorbable by the compiled index");
+    }
+  }
+}
+
+std::size_t MatchActionTable::ApplyDelta(
+    std::span<const EntryPatch> patches) {
+  // Validate everything before touching anything: a delta either applies
+  // atomically or leaves the table byte-identical so the caller can
+  // reseal instead.
+  ValidateDelta(patches);
+  for (const EntryPatch& p : patches) {
+    TableEntry& e = entries_[p.entry_index];
+    if (kind_ == MatchKind::kTernary) {
+      e.ternary = p.ternary;
+    } else {
+      e.range_lo = p.range_lo;
+      e.range_hi = p.range_hi;
+    }
+    std::copy(p.action_data.begin(), p.action_data.end(),
+              e.action_data.begin());
+  }
+  if (index_) index_->ApplyDelta(patches);
+  ++generation_;
+  // Bytes a control plane pushes for this delta: the action-data words
+  // plus the entry's value+mask match words. UpdatePlanner costs plans
+  // with the identical formula; tests assert the two agree.
+  const std::size_t match_bytes = (2 * KeyBits() + 7) / 8;
+  std::size_t bytes = 0;
+  for (const EntryPatch& p : patches) {
+    bytes += (p.action_data.size() *
+                  static_cast<std::size_t>(action_data_word_bits_) +
+              7) /
+                 8 +
+             match_bytes;
+  }
+  return bytes;
+}
+
+std::unique_ptr<MatchActionTable> MatchActionTable::Clone() const {
+  auto copy = std::make_unique<MatchActionTable>(
+      name_, kind_, key_fields_, key_widths_, action_program_,
+      action_data_word_bits_);
+  copy->entries_ = entries_;
+  copy->miss_program_ = miss_program_;
+  copy->miss_data_ = miss_data_;
+  copy->exact_index_ = exact_index_;
+  copy->exact_hash_mask_ = exact_hash_mask_;
+  copy->sealed_ = sealed_;
+  copy->ever_sealed_ = ever_sealed_;
+  copy->generation_ = generation_;
+  if (index_) copy->index_ = std::make_unique<MatchIndex>(*index_);
+  return copy;
+}
+
 void MatchActionTable::SetMissProgram(std::vector<ActionOp> ops,
                                       std::vector<std::int64_t> data) {
   miss_program_ = std::move(ops);

@@ -61,6 +61,22 @@ struct TableEntry {
   std::vector<std::int64_t> action_data;
 };
 
+/// An in-place update to one existing entry — the dataplane unit of an
+/// O(delta) model push. Addressed by original entry index; the match and
+/// priority ride along for validation: priority must not change (it pins
+/// the entry's sorted position in the compiled index) and the action data
+/// must keep its word count (it pins the arena offsets). The match may
+/// change only within what the compiled planes can absorb — see
+/// MatchIndex::CanAbsorb.
+struct EntryPatch {
+  std::size_t entry_index = 0;
+  std::vector<TernaryRule> ternary;     // kTernary, one per key field
+  std::vector<std::uint64_t> range_lo;  // kRange, inclusive per field
+  std::vector<std::uint64_t> range_hi;  // kRange
+  int priority = 0;
+  std::vector<std::int64_t> action_data;
+};
+
 /// A single match-action table.
 class MatchActionTable {
  public:
@@ -111,6 +127,26 @@ class MatchActionTable {
   const MatchIndexStats* index_stats() const {
     return index_ ? &index_->stats() : nullptr;
   }
+
+  /// Applies in-place entry patches without invalidating the seal. All
+  /// patches are validated up front (index range, arity, data size,
+  /// priority, absorbable by the compiled index); on any failure the table
+  /// is left byte-identical and std::invalid_argument is thrown — the
+  /// caller falls back to a full reseal. On success entries and index are
+  /// patched together and generation() bumps once, so the table never
+  /// passes through invalidated() and lookups never see a torn state.
+  /// Returns the control-plane bytes the push writes (action-data words +
+  /// value/mask match words per patch).
+  std::size_t ApplyDelta(std::span<const EntryPatch> patches);
+
+  /// The validation half of ApplyDelta, without the mutation — throws
+  /// std::invalid_argument on the first unabsorbable patch. Lets a caller
+  /// pre-validate a multi-table delta so the whole push is atomic.
+  void ValidateDelta(std::span<const EntryPatch> patches) const;
+
+  /// Deep copy, including the compiled match index (a memcpy-level copy —
+  /// no recompilation). The foundation of clone→patch→publish updates.
+  std::unique_ptr<MatchActionTable> Clone() const;
 
   /// Default action program executed on miss (empty = no-op).
   void SetMissProgram(std::vector<ActionOp> ops,

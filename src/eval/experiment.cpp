@@ -193,6 +193,30 @@ StreamRun ServeTraceWithSwap(
   return run;
 }
 
+StreamRun ServeTraceWithDeltaSwap(
+    runtime::StreamServer& server,
+    std::span<const traffic::TracePacket> trace, std::size_t swap_at,
+    std::span<const dataplane::TablePatch> patches, std::uint64_t version) {
+  swap_at = std::min(swap_at, trace.size());
+  StreamRun run;
+  const bool mt = server.options().multithreaded;
+  const std::uint64_t packets_before = server.Stats().packets;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (mt) server.Start();
+  for (std::size_t i = 0; i < swap_at; ++i) server.Push(trace[i]);
+  server.SwapModelDelta(patches, version);
+  for (std::size_t i = swap_at; i < trace.size(); ++i) server.Push(trace[i]);
+  if (mt) {
+    server.Stop();
+  } else {
+    server.Flush();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  run.decisions = server.TakeDecisions();
+  FinishRun(run, server, packets_before, t0, t1);
+  return run;
+}
+
 ClassificationReport EvaluateDecisions(
     const std::vector<runtime::StreamDecision>& decisions,
     std::size_t num_classes) {

@@ -117,6 +117,16 @@ StreamRun ServeTraceWithSwap(
     std::shared_ptr<const runtime::LoweredModel> model,
     std::uint64_t version);
 
+/// The O(delta) variant of ServeTraceWithSwap: issues
+/// server.SwapModelDelta(patches, version) at the swap point instead of
+/// publishing a freshly lowered artifact. With patches from
+/// control::CollectPatches against the serving version, the decision
+/// stream is identical to the full-swap run — only the swap cost differs.
+StreamRun ServeTraceWithDeltaSwap(
+    runtime::StreamServer& server,
+    std::span<const traffic::TracePacket> trace, std::size_t swap_at,
+    std::span<const dataplane::TablePatch> patches, std::uint64_t version);
+
 /// Classification report over per-packet streaming decisions (labels and
 /// predictions carried in each decision).
 ClassificationReport EvaluateDecisions(

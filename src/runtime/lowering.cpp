@@ -22,35 +22,125 @@ using dataplane::MatchKind;
 using dataplane::TableEntry;
 using dataplane::TernaryRule;
 
-/// Cross-product expansion of per-dimension CRC rule lists into table
-/// entries.
-void ExpandBox(const std::vector<std::vector<TernaryRule>>& per_dim,
-               std::vector<std::int64_t> action_data,
-               MatchActionTable& table) {
-  std::vector<std::size_t> idx(per_dim.size(), 0);
+}  // namespace
+
+TableLowering LowerMapEntries(const core::CompiledModel& model,
+                              std::size_t op_index,
+                              std::size_t max_ternary_entries_per_table) {
+  const core::Program& p = model.program();
+  const auto& quant = model.quant();
+  const auto& ops = p.ops();
+  const Op& op = ops[op_index];
+  if (op.kind != OpKind::kMap || !model.tables()[op_index]) {
+    throw std::invalid_argument("LowerMapEntries: op " +
+                                std::to_string(op_index) +
+                                " is not a tabled Map");
+  }
+  const core::FuzzyMapTable& fuzzy = *model.tables()[op_index];
+  const ValueId in_v = op.map.input;
+  const ValueId t = op.map.output;
+  bool to_sum = false;
+  for (const Op& o : ops) {
+    if (o.kind != OpKind::kSumReduce) continue;
+    for (ValueId v : o.sum_reduce.inputs) {
+      if (v == t) to_sum = true;
+    }
+  }
+  const std::size_t id = p.value(in_v).dim;
+  const std::size_t od = p.value(t).dim;
+  const auto& tq = quant[t];
+
+  TableLowering tl;
+  tl.name = "map_" + std::to_string(op_index);
+  for (std::size_t d = 0; d < id; ++d) {
+    tl.key_widths.push_back(quant[in_v][d].domain_bits);
+  }
+  for (std::size_t leaf = 0; leaf < fuzzy.tree.NumLeaves(); ++leaf) {
+    const core::LeafBox& box = fuzzy.tree.Box(leaf);
+    LoweredLeaf ll;
+    ll.leaf = leaf;
+    ll.per_dim.resize(id);
+    ll.lo.resize(id);
+    ll.hi.resize(id);
+    bool reachable = true;
+    std::size_t expansion = 1;
+    for (std::size_t d = 0; d < id; ++d) {
+      const auto dmax =
+          static_cast<std::uint64_t>(quant[in_v][d].DomainMax());
+      const std::uint64_t lo = box.lo[d];
+      const std::uint64_t hi = std::min<std::uint64_t>(box.hi[d], dmax);
+      if (lo > hi) {
+        reachable = false;
+        break;
+      }
+      ll.lo[d] = lo;
+      ll.hi[d] = hi;
+      ll.per_dim[d] =
+          dataplane::RangeToTernary(lo, hi, quant[in_v][d].domain_bits);
+      expansion *= ll.per_dim[d].size();
+    }
+    if (!reachable) continue;  // clipped empty: expands to no entries
+    ll.data.resize(od);
+    for (std::size_t d = 0; d < od; ++d) {
+      std::int64_t word = fuzzy.leaf_raw[leaf][d];
+      if (!to_sum) {
+        // Materialized outputs are stored pre-biased (u domain).
+        word = std::clamp<std::int64_t>(word + tq[d].bias, 0,
+                                        tq[d].DomainMax());
+      }
+      ll.data[d] = word;
+    }
+    ll.expansion = expansion;
+    tl.total_ternary_entries += expansion;
+    tl.leaves.push_back(std::move(ll));
+  }
+  tl.use_range = tl.total_ternary_entries > max_ternary_entries_per_table;
+  tl.entry_first.resize(tl.leaves.size() + 1, 0);
+  for (std::size_t i = 0; i < tl.leaves.size(); ++i) {
+    tl.entry_first[i + 1] =
+        tl.entry_first[i] + (tl.use_range ? 1 : tl.leaves[i].expansion);
+  }
+  tl.num_entries = tl.entry_first.back();
+  return tl;
+}
+
+void AppendLeafEntries(const TableLowering& tl, const LoweredLeaf& leaf,
+                       std::vector<TableEntry>& out) {
+  if (tl.use_range) {
+    TableEntry entry;
+    entry.range_lo = leaf.lo;
+    entry.range_hi = leaf.hi;
+    entry.action_data = leaf.data;
+    out.push_back(std::move(entry));
+    return;
+  }
+  // Cross-product expansion of the per-dimension CRC rule lists, odometer
+  // order (dim 0 fastest) — entry order is part of the push-sequence ABI.
+  std::vector<std::size_t> idx(leaf.per_dim.size(), 0);
   while (true) {
     TableEntry entry;
-    entry.ternary.reserve(per_dim.size());
-    for (std::size_t d = 0; d < per_dim.size(); ++d) {
-      entry.ternary.push_back(per_dim[d][idx[d]]);
+    entry.ternary.reserve(leaf.per_dim.size());
+    for (std::size_t d = 0; d < leaf.per_dim.size(); ++d) {
+      entry.ternary.push_back(leaf.per_dim[d][idx[d]]);
     }
-    entry.action_data = action_data;
-    table.AddEntry(std::move(entry));
-    // advance the odometer
+    entry.action_data = leaf.data;
+    out.push_back(std::move(entry));
     std::size_t d = 0;
-    while (d < per_dim.size()) {
-      if (++idx[d] < per_dim[d].size()) break;
+    while (d < leaf.per_dim.size()) {
+      if (++idx[d] < leaf.per_dim[d].size()) break;
       idx[d] = 0;
       ++d;
     }
-    if (d == per_dim.size()) break;
+    if (d == leaf.per_dim.size()) break;
   }
 }
 
-}  // namespace
+namespace detail {
 
-LoweredModel Lower(const core::CompiledModel& model,
-                   const LoweringOptions& options) {
+LoweredModel LowerImpl(const core::CompiledModel& model,
+                       const LoweringOptions& options,
+                       const TableEntryPush* pushes,
+                       std::size_t num_pushes) {
   const core::Program& p = model.program();
   const auto& quant = model.quant();
   const auto& ops = p.ops();
@@ -163,7 +253,6 @@ LoweredModel Lower(const core::CompiledModel& model,
       case OpKind::kMap: {
         const ValueId in_v = op.map.input;
         const ValueId t = op.map.output;
-        const core::FuzzyMapTable& fuzzy = *model.tables()[oi];
         const std::size_t id = p.value(in_v).dim;
         const std::size_t od = p.value(t).dim;
         const bool to_sum = sum_consumer[t] >= 0;
@@ -174,7 +263,6 @@ LoweredModel Lower(const core::CompiledModel& model,
             to_sum ? fields[ops[static_cast<std::size_t>(sum_consumer[t])]
                                 .sum_reduce.output]
                    : fields[t];
-        const auto& tq = quant[t];
         const auto& yq =
             to_sum
                 ? quant[ops[static_cast<std::size_t>(sum_consumer[t])]
@@ -196,70 +284,40 @@ LoweredModel Lower(const core::CompiledModel& model,
           key_widths.push_back(quant[in_v][d].domain_bits);
         }
 
-        // Pre-compute per-leaf CRC expansions and clipped boxes; decide
-        // ternary vs native range match by expansion size.
-        struct LeafLowering {
-          std::vector<std::vector<TernaryRule>> per_dim;
-          std::vector<std::uint64_t> lo, hi;
-          std::vector<std::int64_t> data;
-        };
-        std::vector<LeafLowering> leaves;
-        std::size_t total_ternary_entries = 0;
-        for (std::size_t leaf = 0; leaf < fuzzy.tree.NumLeaves(); ++leaf) {
-          const core::LeafBox& box = fuzzy.tree.Box(leaf);
-          LeafLowering ll;
-          ll.per_dim.resize(id);
-          ll.lo.resize(id);
-          ll.hi.resize(id);
-          bool reachable = true;
-          std::size_t expansion = 1;
-          for (std::size_t d = 0; d < id; ++d) {
-            const auto dmax = static_cast<std::uint64_t>(
-                quant[in_v][d].DomainMax());
-            const std::uint64_t lo = box.lo[d];
-            const std::uint64_t hi = std::min<std::uint64_t>(box.hi[d], dmax);
-            if (lo > hi) {
-              reachable = false;
-              break;
-            }
-            ll.lo[d] = lo;
-            ll.hi[d] = hi;
-            ll.per_dim[d] = dataplane::RangeToTernary(
-                lo, hi, quant[in_v][d].domain_bits);
-            expansion *= ll.per_dim[d].size();
-          }
-          if (!reachable) continue;
-          ll.data.resize(od);
-          for (std::size_t d = 0; d < od; ++d) {
-            std::int64_t word = fuzzy.leaf_raw[leaf][d];
-            if (!to_sum) {
-              // Materialized outputs are stored pre-biased (u domain).
-              word = std::clamp<std::int64_t>(word + tq[d].bias, 0,
-                                              tq[d].DomainMax());
-            }
-            ll.data[d] = word;
-          }
-          total_ternary_entries += expansion;
-          leaves.push_back(std::move(ll));
-        }
-
-        const bool use_range =
-            total_ternary_entries > options.max_ternary_entries_per_table;
+        // Per-leaf CRC expansions, clipped boxes and the ternary/range
+        // decision come from the shared helper, so the planner's push
+        // sequences and patches agree with this lowering by construction.
+        TableLowering tl = LowerMapEntries(
+            model, oi, options.max_ternary_entries_per_table);
         auto table = std::make_unique<MatchActionTable>(
-            "map_" + std::to_string(oi),
-            use_range ? MatchKind::kRange : MatchKind::kTernary,
+            tl.name, tl.use_range ? MatchKind::kRange : MatchKind::kTernary,
             std::move(key_fields), std::move(key_widths), std::move(program),
             model.options().value_bits);
-        for (LeafLowering& ll : leaves) {
-          if (use_range) {
-            TableEntry entry;
-            entry.range_lo = std::move(ll.lo);
-            entry.range_hi = std::move(ll.hi);
-            entry.action_data = std::move(ll.data);
-            table->AddEntry(std::move(entry));
-          } else {
-            ExpandBox(ll.per_dim, std::move(ll.data), *table);
+        if (pushes == nullptr) {
+          std::vector<TableEntry> entries;
+          entries.reserve(tl.num_entries);
+          for (const LoweredLeaf& ll : tl.leaves) {
+            AppendLeafEntries(tl, ll, entries);
           }
+          for (TableEntry& e : entries) table->AddEntry(std::move(e));
+        } else {
+          const TableEntryPush* push = nullptr;
+          for (std::size_t pi = 0; pi < num_pushes; ++pi) {
+            if (pushes[pi].table == table->name()) {
+              push = &pushes[pi];
+              break;
+            }
+          }
+          if (push == nullptr) {
+            throw std::invalid_argument("LowerFromPush: no push for table '" +
+                                        table->name() + "'");
+          }
+          if (push->kind != table->kind()) {
+            throw std::invalid_argument(
+                "LowerFromPush: match-kind mismatch for table '" +
+                table->name() + "'");
+          }
+          for (const TableEntry& e : push->entries) table->AddEntry(e);
         }
 
         int min_stage = ready_stage[in_v] + 1;
@@ -299,6 +357,45 @@ LoweredModel Lower(const core::CompiledModel& model,
     lowered.pipeline_->DeclareFlowState(options.stateful_bits_per_flow);
   }
   return lowered;
+}
+
+}  // namespace detail
+
+LoweredModel Lower(const core::CompiledModel& model,
+                   const LoweringOptions& options) {
+  return detail::LowerImpl(model, options, nullptr, 0);
+}
+
+LoweredModel LowerFromPush(const core::CompiledModel& model,
+                           const LoweringOptions& options,
+                           std::span<const TableEntryPush> pushes) {
+  // An empty push list must still take the push path (and throw on the
+  // first Map table) — an empty span's data() can be null, which LowerImpl
+  // would read as "regenerate from tablegen".
+  static const TableEntryPush kEmpty{};
+  return detail::LowerImpl(model, options,
+                           pushes.empty() ? &kEmpty : pushes.data(),
+                           pushes.size());
+}
+
+LoweredModel LoweredModel::Clone() const {
+  LoweredModel copy;
+  copy.layout_ = std::make_unique<dataplane::PhvLayout>(*layout_);
+  copy.pipeline_ = pipeline_->Clone();
+  copy.input_fields_ = input_fields_;
+  copy.output_fields_ = output_fields_;
+  copy.parser_inits_ = parser_inits_;
+  copy.output_quant_ = output_quant_;
+  copy.input_bits_ = input_bits_;
+  return copy;
+}
+
+std::size_t LoweredModel::ApplyDelta(
+    std::span<const dataplane::TablePatch> patches) {
+  // Any cached single-packet engine snapshots the pipeline generation;
+  // drop it so the next Infer rebuilds against the patched tables.
+  scratch_.reset();
+  return pipeline_->ApplyDelta(patches);
 }
 
 LoweredModel::LoweredModel() = default;

@@ -19,6 +19,8 @@
 #pragma once
 
 #include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "core/tablegen.hpp"
@@ -39,6 +41,62 @@ struct LoweringOptions {
 };
 
 class InferenceEngine;
+
+/// One lowered leaf of a Map table: CRC per-dimension rule lists, the
+/// domain-clipped box, and the action-data words. Unreachable leaves
+/// (clipped empty) are omitted entirely — they expand to zero entries.
+struct LoweredLeaf {
+  std::size_t leaf = 0;  // ClusterTree leaf index
+  std::vector<std::vector<dataplane::TernaryRule>> per_dim;
+  std::vector<std::uint64_t> lo, hi;
+  std::vector<std::int64_t> data;
+  std::size_t expansion = 1;  // ternary cross-product entry count
+};
+
+/// The complete entry lowering of one Map op — the single source of truth
+/// shared by Lower(), the UpdatePlanner's patch / push-sequence emission,
+/// and the p4gen conformance path, so all three agree on entry order,
+/// match kind and per-leaf entry spans by construction.
+struct TableLowering {
+  std::string name;        // "map_<op index>"
+  bool use_range = false;  // range fallback vs CRC-expanded ternary
+  std::size_t total_ternary_entries = 0;
+  std::vector<LoweredLeaf> leaves;
+  /// entry_first[i] = table entry index of leaves[i]'s first expanded
+  /// entry; has leaves.size()+1 slots (back() == num_entries).
+  std::vector<std::size_t> entry_first;
+  std::size_t num_entries = 0;
+  std::vector<int> key_widths;  // per key dim: quantized domain_bits
+};
+
+/// Lowers Map op `op_index`'s entries (leaf expansion + range/ternary
+/// decision) without building a table. `model.tables()[op_index]` must be
+/// populated.
+TableLowering LowerMapEntries(const core::CompiledModel& model,
+                              std::size_t op_index,
+                              std::size_t max_ternary_entries_per_table);
+
+/// Appends one lowered leaf's entries (odometer cross-product order for
+/// ternary, a single entry for range) to `out`.
+void AppendLeafEntries(const TableLowering& tl, const LoweredLeaf& leaf,
+                       std::vector<dataplane::TableEntry>& out);
+
+/// A full-table entry install as a control plane would push it over the
+/// wire: table name plus ready-to-install entries.
+struct TableEntryPush {
+  std::string table;
+  dataplane::MatchKind kind = dataplane::MatchKind::kTernary;
+  std::vector<dataplane::TableEntry> entries;
+};
+
+class LoweredModel;
+namespace detail {
+/// Shared body of Lower / LowerFromPush (pushes == nullptr regenerates
+/// entries from tablegen).
+LoweredModel LowerImpl(const core::CompiledModel& model,
+                       const LoweringOptions& options,
+                       const TableEntryPush* pushes, std::size_t num_pushes);
+}  // namespace detail
 
 /// A model placed on the simulated switch.
 ///
@@ -89,9 +147,23 @@ class LoweredModel {
   std::size_t InputDim() const { return input_fields_.size(); }
   std::size_t OutputDim() const { return output_fields_.size(); }
 
+  /// Deep copy preserving placement and every compiled match index (no
+  /// re-lowering, no index recompilation). The clone half of the
+  /// clone→patch→publish O(delta) update path.
+  LoweredModel Clone() const;
+
+  /// Applies per-table entry deltas in place (see Pipeline::ApplyDelta).
+  /// Tables stay sealed throughout; the pipeline generation moves, so this
+  /// must run BEFORE any InferenceEngine is built over this model — i.e.
+  /// on a private Clone(), never on a model already being served. Returns
+  /// control-plane bytes pushed.
+  std::size_t ApplyDelta(std::span<const dataplane::TablePatch> patches);
+
  private:
-  friend LoweredModel Lower(const core::CompiledModel& model,
-                            const LoweringOptions& options);
+  friend LoweredModel detail::LowerImpl(const core::CompiledModel& model,
+                                        const LoweringOptions& options,
+                                        const TableEntryPush* pushes,
+                                        std::size_t num_pushes);
 
   std::unique_ptr<dataplane::PhvLayout> layout_;
   std::unique_ptr<dataplane::Pipeline> pipeline_;
@@ -110,5 +182,17 @@ class LoweredModel {
 /// simulator's rendition of a Tofino compile failure.
 LoweredModel Lower(const core::CompiledModel& model,
                    const LoweringOptions& options);
+
+/// Lower variant that installs table entries from a control-plane push
+/// sequence instead of regenerating them from tablegen — the replay half
+/// of the P4 export conformance test: `EmitP4` + the planner's push
+/// sequence must reproduce the served artifact exactly. Layout, action
+/// programs and placement are built identically to Lower(); every Map
+/// table's entries come from the matching push (throws
+/// std::invalid_argument when a table's push is missing or its match kind
+/// disagrees with the lowering's ternary/range decision).
+LoweredModel LowerFromPush(const core::CompiledModel& model,
+                           const LoweringOptions& options,
+                           std::span<const TableEntryPush> pushes);
 
 }  // namespace pegasus::runtime

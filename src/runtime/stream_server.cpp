@@ -402,7 +402,47 @@ void StreamServer::SwapModel(std::shared_ptr<const LoweredModel> model,
         std::to_string(serving_->version) + ", got v" +
         std::to_string(version) + ")");
   }
-  auto next = MakeServingState(std::move(model), version);
+  PublishState(MakeServingState(std::move(model), version));
+}
+
+void StreamServer::SwapModelDelta(
+    std::span<const dataplane::TablePatch> patches, std::uint64_t version) {
+  if (version <= serving_->version) {
+    throw std::invalid_argument(
+        "StreamServer::SwapModelDelta: version must increase (active v" +
+        std::to_string(serving_->version) + ", got v" +
+        std::to_string(version) + ")");
+  }
+  // Clone-then-patch: the shards keep serving the untouched epoch (they
+  // hold their own references and, in MT mode, may not reach the swap
+  // boundary for a while), so the patches land on a private deep copy.
+  // The clone preserves placement and every compiled match index —
+  // ApplyDelta rewrites only the moved action words and the affected
+  // chunk-bitset / interval rows, never re-sealing a table — so the
+  // producer-side cost is O(clone + delta), not O(re-lower). Throws
+  // std::invalid_argument (pipeline untouched, nothing published) when a
+  // patch cannot be absorbed in place.
+  const auto t0 = std::chrono::steady_clock::now();
+  auto patched = std::make_shared<LoweredModel>(serving_->model->Clone());
+  const auto before = patched->pipeline().MatchIndexReport();
+  const std::size_t bytes = patched->ApplyDelta(patches);
+  const auto after = patched->pipeline().MatchIndexReport();
+  PublishState(MakeServingState(std::move(patched), version));
+  const auto t1 = std::chrono::steady_clock::now();
+  // Account only on success: a failed publish discarded the clone and the
+  // server still serves (and re-reports) the previous version.
+  ++delta_swaps_;
+  delta_bytes_pushed_ += bytes;
+  deltas_applied_ += after.deltas_applied - before.deltas_applied;
+  leaf_words_patched_ += after.leaf_words_patched - before.leaf_words_patched;
+  reseals_avoided_ += after.reseals_avoided - before.reseals_avoided;
+  delta_apply_ns_ += after.delta_apply_ns - before.delta_apply_ns;
+  delta_swap_wall_ms_ +=
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+void StreamServer::PublishState(std::shared_ptr<const ServingState> next) {
+  const std::uint64_t version = next->version;
   const auto prev = serving_;
   if (!running_) {
     // Synchronous apply: the caller owns the shards, and "now" is a packet
@@ -885,6 +925,13 @@ StreamServerStats StreamServer::Stats() const {
     stats.swaps += shard->swaps;
     stats.swap_wall_ms += shard->swap_wall_ms;
   }
+  stats.delta_swaps = delta_swaps_;
+  stats.delta_bytes_pushed = delta_bytes_pushed_;
+  stats.deltas_applied = deltas_applied_;
+  stats.leaf_words_patched = leaf_words_patched_;
+  stats.reseals_avoided = reseals_avoided_;
+  stats.delta_apply_ns = delta_apply_ns_;
+  stats.delta_swap_wall_ms = delta_swap_wall_ms_;
   return stats;
 }
 
@@ -911,6 +958,13 @@ void StreamServer::ResetStats() {
     shard->engine_carry = {};
     shard->engine->ResetStats();
   }
+  delta_swaps_ = 0;
+  delta_bytes_pushed_ = 0;
+  deltas_applied_ = 0;
+  leaf_words_patched_ = 0;
+  reseals_avoided_ = 0;
+  delta_apply_ns_ = 0;
+  delta_swap_wall_ms_ = 0.0;
   watchdog_checks_.store(0, std::memory_order_relaxed);
 }
 

@@ -343,6 +343,18 @@ struct StreamServerStats {
   /// flushing + rebuilding engines, i.e. the per-shard serving gap.
   std::uint64_t swaps = 0;
   double swap_wall_ms = 0.0;
+  /// O(delta) update path (SwapModelDelta): successful delta publishes,
+  /// the control-plane bytes they pushed, and the dataplane's own delta
+  /// counters aggregated from the patched model's match indexes
+  /// (Pipeline::IndexReport) — leaf words rewritten in place, full
+  /// reseals avoided, and clone+patch wall time on the producer thread.
+  std::uint64_t delta_swaps = 0;
+  std::uint64_t delta_bytes_pushed = 0;
+  std::uint64_t deltas_applied = 0;
+  std::uint64_t leaf_words_patched = 0;
+  std::uint64_t reseals_avoided = 0;
+  std::uint64_t delta_apply_ns = 0;
+  double delta_swap_wall_ms = 0.0;
   /// Version of the model the server is currently serving.
   std::uint64_t active_version = 0;
   /// Self-healing counters: Infer() exceptions absorbed (including ones a
@@ -420,6 +432,24 @@ class StreamServer {
   void SwapModel(std::shared_ptr<const LoweredModel> model,
                  std::uint64_t version);
 
+  /// O(delta) hot swap: instead of publishing a freshly lowered artifact,
+  /// clones the serving model (tables, placement and compiled match
+  /// indexes — no re-lowering), applies the planner's entry patches in
+  /// place on the clone (MatchIndex::ApplyDelta), and publishes the clone
+  /// through the identical epoch handoff as SwapModel — single-threaded
+  /// at the packet boundary, multi-threaded in-band through the rings.
+  /// MT == ST decision equality and the transactional guarantee carry
+  /// over unchanged: on publish failure the patched clone is discarded,
+  /// SwapError is thrown and active_version() still names the old model.
+  ///
+  /// `patches` must come from control::CollectPatches on an UpdatePlan
+  /// against the serving version (no structure change, no reseals); a
+  /// patch the dataplane cannot absorb in place throws
+  /// std::invalid_argument before anything is published. Call from the
+  /// producer thread; requires a strictly increasing version.
+  void SwapModelDelta(std::span<const dataplane::TablePatch> patches,
+                      std::uint64_t version);
+
   /// Flushes every shard's partial batch (single-threaded mode; in
   /// multi-threaded mode Stop() flushes instead).
   void Flush();
@@ -485,6 +515,11 @@ class StreamServer {
   /// worker-side in-band apply and the rollback path run fault-free.
   void ApplySwap(Shard& shard, std::shared_ptr<const ServingState> next,
                  bool inject_faults);
+  /// Shared publish tail of SwapModel / SwapModelDelta: transactional
+  /// single-threaded apply-with-rollback, or multi-threaded probe build +
+  /// in-band control items. Throws SwapError on publish failure with
+  /// `serving_` unchanged.
+  void PublishState(std::shared_ptr<const ServingState> next);
   void WorkerLoop(Shard& shard, int cpu);
   void WatchdogLoop();
   /// Burst-pushes `items` onto the shard's ring: yields under backpressure,
@@ -504,6 +539,17 @@ class StreamServer {
   /// references; in MT mode the handle reaches them in-band through the
   /// rings, so no cross-thread load happens on the hot path).
   std::shared_ptr<const ServingState> serving_;
+  /// Producer-side O(delta) accounting (written only by SwapModelDelta on
+  /// the producer thread, read by the quiesced Stats()): successful delta
+  /// publishes, bytes pushed, match-index delta counters accumulated from
+  /// each patched clone, and clone+patch wall time.
+  std::uint64_t delta_swaps_ = 0;
+  std::uint64_t delta_bytes_pushed_ = 0;
+  std::uint64_t deltas_applied_ = 0;
+  std::uint64_t leaf_words_patched_ = 0;
+  std::uint64_t reseals_avoided_ = 0;
+  std::uint64_t delta_apply_ns_ = 0;
+  double delta_swap_wall_ms_ = 0.0;
   /// Per-thread CPU assignment resolved from opts_.pin_policy at
   /// construction (-1 entries = unpinned).
   PinPlan pin_plan_;

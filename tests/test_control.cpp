@@ -320,3 +320,100 @@ TEST(CoPlacement, RejectsOverSubscriptionWithStructuredError) {
   EXPECT_THROW(ctrl::PlanCoPlacement({a.get()}, narrow),
                std::invalid_argument);
 }
+
+TEST(UpdatePlanner, EntryDeltaPatchesReproduceTargetBitForBit) {
+  // The O(delta) path end-to-end at the control layer: CollectPatches on
+  // an entry-delta plan, applied to a Clone() of the serving artifact,
+  // must (a) cost exactly what the dataplane reports pushing and (b)
+  // yield an artifact bit-identical to the freshly lowered target.
+  auto build = [] {
+    core::ProgramBuilder b(4);
+    core::MapFunction sq;
+    sq.name = "square";
+    sq.in_dim = 4;
+    sq.out_dim = 2;
+    sq.fn = [](std::span<const float> x) {
+      return std::vector<float>{x[0] * x[0] / 255.0f + x[1],
+                                x[2] * x[2] / 255.0f + x[3]};
+    };
+    return b.Finish(b.Map(b.input(), std::move(sq), 24));
+  };
+  core::CompileOptions with;
+  core::CompileOptions without;
+  without.refine_outputs = false;
+  const auto x = TrainInputs(2);
+  const auto a = comp::CompileVersioned(build(), x, 1500, with);
+  const auto b = comp::CompileVersioned(build(), x, 1500, without);
+  const auto plan = ctrl::PlanUpdate(a, b);
+  ASSERT_FALSE(plan.structure_changed);
+  ASSERT_GT(plan.entry_delta, 0u);
+  ASSERT_EQ(plan.reseal, 0u);
+
+  const auto patches = ctrl::CollectPatches(plan);
+  ASSERT_EQ(patches.size(), plan.entry_delta);
+  for (const auto& u : plan.tables) {
+    if (u.kind == ctrl::TableUpdateKind::kEntryDelta) {
+      EXPECT_FALSE(u.patches.empty());
+    } else {
+      EXPECT_TRUE(u.patches.empty());
+    }
+  }
+
+  auto patched = a.lowered->Clone();
+  const std::size_t bytes = patched.ApplyDelta(patches);
+  EXPECT_EQ(bytes, plan.total_bytes_to_push)
+      << "planner costing must equal the dataplane's reported push bytes";
+
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<float> dist(0.0f, 255.0f);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<float> in{std::floor(dist(rng)), std::floor(dist(rng)),
+                                std::floor(dist(rng)), std::floor(dist(rng))};
+    ASSERT_EQ(patched.InferRaw(in), b.lowered->InferRaw(in));
+  }
+  // The serving artifact itself is untouched by the clone's patches.
+  const auto fresh_a = a.lowered->Clone();
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<float> in{std::floor(dist(rng)), std::floor(dist(rng)),
+                                std::floor(dist(rng)), std::floor(dist(rng))};
+    ASSERT_EQ(a.lowered->InferRaw(in), fresh_a.InferRaw(in));
+  }
+}
+
+TEST(UpdatePlanner, CollectPatchesRejectsResealAndStructurePlans) {
+  // Reseal plan: applying only its deltas would serve a torn model.
+  const auto a = Compile(1, 2);
+  const auto b = Compile(99, 2);
+  const auto reseal_plan = ctrl::PlanUpdate(a, b);
+  ASSERT_GT(reseal_plan.reseal, 0u);
+  EXPECT_THROW(ctrl::CollectPatches(reseal_plan), std::invalid_argument);
+
+  // Structure change: ditto.
+  const auto x = TrainInputs(2);
+  core::ProgramBuilder b2(4);
+  std::vector<float> w(4 * 3, 0.01f);
+  core::ValueId v = core::AppendFullyConnected(b2, b2.input(), w, 4, 3, {},
+                                               2, 16);
+  v = b2.Map(v, core::MakeReLU(3), 16);
+  v = b2.Map(v, core::MakeReLU(3), 16);
+  const auto c = comp::CompileVersioned(b2.Finish(v), x, 1500);
+  const auto structure_plan = ctrl::PlanUpdate(a, c);
+  ASSERT_TRUE(structure_plan.structure_changed);
+  EXPECT_THROW(ctrl::CollectPatches(structure_plan), std::invalid_argument);
+}
+
+TEST(UpdatePlanner, ExpansionCapChangeForcesReseal) {
+  // Same weights, same data — but the expansion cap moved, so tables may
+  // flip between CRC ternary and range lowering: entry indices would not
+  // line up, and the plan must refuse to call it a delta.
+  rt::LoweringOptions wide;
+  rt::LoweringOptions narrow;
+  narrow.max_ternary_entries_per_table = 1;  // force range fallback
+  const auto a = Compile(1, 2, {}, wide);
+  const auto b = Compile(1, 2, {}, narrow);
+  const auto plan = ctrl::PlanUpdate(a, b);
+  EXPECT_FALSE(plan.structure_changed);
+  EXPECT_EQ(plan.entry_delta, 0u);
+  EXPECT_EQ(plan.unchanged, 0u);
+  EXPECT_EQ(plan.reseal, plan.tables.size());
+}

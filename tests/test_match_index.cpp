@@ -474,3 +474,342 @@ TEST(MatchIndex, PlaceTableSealsAndPipelineReportsIndex) {
   EXPECT_EQ(pipe.Process(phv), 1u);
   EXPECT_EQ(phv.Get(out), 7);
 }
+
+// ---------------------------------------------------------------------------
+// O(delta) in-place updates (ApplyDelta): a patched sealed index must be
+// bit-identical to re-sealing from scratch over the patched entry list —
+// same winners under priority ties, same misses — across repeated patch
+// rounds, and the table must never pass through invalidated().
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Mutates `entries` in place and returns the equivalent patch batch.
+/// Donor masks/bounds are taken from existing entries, so every patch is
+/// absorbable by construction (donor masks are subsets of the mask union;
+/// donor range bounds are existing elementary-interval boundaries).
+std::vector<dp::EntryPatch> RandomAbsorbablePatches(
+    std::mt19937_64& rng, dp::MatchKind kind,
+    std::vector<dp::TableEntry>& entries, const std::vector<int>& widths,
+    std::size_t count) {
+  std::vector<dp::EntryPatch> patches;
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t e = rng() % entries.size();
+    const std::size_t o = rng() % entries.size();
+    dp::EntryPatch p;
+    p.entry_index = e;
+    p.priority = entries[e].priority;
+    for (std::size_t d = 0; d < widths.size(); ++d) {
+      const std::uint64_t dmax =
+          widths[d] >= 64 ? ~0ull : (1ull << widths[d]) - 1;
+      if (kind == dp::MatchKind::kTernary) {
+        p.ternary.push_back({rng() & dmax, entries[o].ternary[d].mask});
+      } else {
+        p.range_lo.push_back(entries[o].range_lo[d]);
+        p.range_hi.push_back(entries[o].range_hi[d]);
+      }
+    }
+    p.action_data = {static_cast<std::int64_t>(rng() % 1000)};
+    if (kind == dp::MatchKind::kTernary) {
+      entries[e].ternary = p.ternary;
+    } else {
+      entries[e].range_lo = p.range_lo;
+      entries[e].range_hi = p.range_hi;
+    }
+    entries[e].action_data = p.action_data;
+    patches.push_back(std::move(p));
+  }
+  return patches;
+}
+
+}  // namespace
+
+TEST(MatchIndexDelta, PatchedIndexBitIdenticalToFreshSeal) {
+  std::mt19937_64 rng(20240808);
+  for (const dp::MatchKind kind :
+       {dp::MatchKind::kTernary, dp::MatchKind::kRange}) {
+    const std::vector<std::vector<int>> shapes = {{10}, {8, 12}};
+    for (const auto& widths : shapes) {
+      for (int trial = 0; trial < 4; ++trial) {
+        std::vector<dp::TableEntry> entries;
+        const std::size_t n = 24 + rng() % 100;
+        for (std::size_t e = 0; e < n; ++e) {
+          dp::TableEntry entry;
+          for (int w : widths) {
+            const std::uint64_t dmax = (1ull << w) - 1;
+            if (kind == dp::MatchKind::kTernary) {
+              const int mode = static_cast<int>(rng() % 4);
+              entry.ternary.push_back(
+                  mode == 0   ? dp::TernaryRule{rng() & dmax, dmax}
+                  : mode == 3 ? dp::TernaryRule{0, 0}
+                              : dp::TernaryRule{rng() & dmax, rng() & dmax});
+            } else {
+              std::uint64_t lo = rng() & dmax, hi = rng() & dmax;
+              if (lo > hi) std::swap(lo, hi);
+              if (rng() % 8 == 0) hi = dmax;
+              entry.range_lo.push_back(lo);
+              entry.range_hi.push_back(hi);
+            }
+          }
+          entry.priority = static_cast<int>(rng() % 4);  // plenty of ties
+          entry.action_data = {static_cast<std::int64_t>(e)};
+          entries.push_back(entry);
+        }
+        TablePair p = MakePair(kind, widths, entries);
+        ASSERT_NE(p.indexed->index_stats(), nullptr);
+
+        // Several patch rounds against the SAME sealed index — repeated
+        // in-place deltas must not accumulate drift.
+        for (int round = 0; round < 3; ++round) {
+          const auto patches = RandomAbsorbablePatches(
+              rng, kind, entries, widths, 1 + rng() % 8);
+          p.indexed->ApplyDelta(patches);
+          p.linear->ApplyDelta(patches);
+          EXPECT_TRUE(p.indexed->sealed());
+          EXPECT_FALSE(p.indexed->invalidated());
+
+          // Reference: a fresh table sealed over the patched entry list.
+          const TablePair fresh = MakePair(kind, widths, entries);
+          for (int probe = 0; probe < 150; ++probe) {
+            const auto key = RandomKey(rng, widths, false);
+            dp::Phv a(p.layout), b(fresh.layout);
+            for (std::size_t i = 0; i < p.keys.size(); ++i) {
+              a.Set(p.keys[i], static_cast<std::int64_t>(key[i]));
+              b.Set(fresh.keys[i], static_cast<std::int64_t>(key[i]));
+            }
+            ASSERT_EQ(p.indexed->Lookup(a), fresh.indexed->Lookup(b));
+            ASSERT_EQ(p.indexed->Lookup(a), p.linear->Lookup(a));
+          }
+          // Probes seeded from patched entries (guaranteed-hit-heavy).
+          for (const auto& patch : patches) {
+            std::vector<std::uint64_t> key;
+            for (std::size_t i = 0; i < widths.size(); ++i) {
+              key.push_back(kind == dp::MatchKind::kTernary
+                                ? entries[patch.entry_index].ternary[i].value
+                                : entries[patch.entry_index].range_lo[i]);
+            }
+            dp::Phv a(p.layout), b(fresh.layout);
+            for (std::size_t i = 0; i < p.keys.size(); ++i) {
+              a.Set(p.keys[i], static_cast<std::int64_t>(key[i]));
+              b.Set(fresh.keys[i], static_cast<std::int64_t>(key[i]));
+            }
+            ASSERT_EQ(p.indexed->Lookup(a), fresh.indexed->Lookup(b));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(MatchIndexDelta, KeepsTableSealedAndBumpsGenerationOnce) {
+  std::vector<dp::TableEntry> entries;
+  for (std::size_t e = 0; e < 32; ++e) {
+    entries.push_back({.ternary = {dp::TernaryRule{e, 0xff}},
+                       .priority = 1,
+                       .action_data = {static_cast<std::int64_t>(e)}});
+  }
+  TablePair p = MakePair(dp::MatchKind::kTernary, {8}, entries);
+  const std::uint64_t g0 = p.indexed->generation();
+  const auto* stats = p.indexed->index_stats();
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->deltas_applied, 0u);
+  EXPECT_EQ(stats->reseals_avoided, 0u);
+
+  // One batch of three patches: generation moves exactly once (the whole
+  // batch publishes atomically) and the table NEVER leaves sealed state.
+  std::vector<dp::EntryPatch> patches;
+  for (std::size_t k = 0; k < 3; ++k) {
+    patches.push_back({.entry_index = k,
+                       .ternary = {dp::TernaryRule{100 + k, 0xff}},
+                       .priority = 1,
+                       .action_data = {static_cast<std::int64_t>(500 + k)}});
+  }
+  const std::size_t bytes = p.indexed->ApplyDelta(patches);
+  EXPECT_GT(bytes, 0u);
+  EXPECT_EQ(p.indexed->generation(), g0 + 1);
+  EXPECT_TRUE(p.indexed->sealed());
+  EXPECT_FALSE(p.indexed->invalidated());
+  EXPECT_EQ(p.indexed->index_stats(), stats) << "no index rebuild";
+  EXPECT_EQ(stats->deltas_applied, 3u);
+  EXPECT_EQ(stats->leaf_words_patched, 3u);
+  EXPECT_EQ(stats->reseals_avoided, 1u);
+
+  // The patched rules serve immediately through the still-sealed index.
+  dp::Phv phv(p.layout);
+  phv.Set(p.keys[0], 101);
+  EXPECT_EQ(p.indexed->Lookup(phv), std::optional<std::size_t>{1});
+  phv.Set(p.keys[0], 1);
+  EXPECT_EQ(p.indexed->Lookup(phv), std::nullopt);
+}
+
+TEST(MatchIndexDelta, TinyUnindexedTablesPatchEntriesDirectly) {
+  std::vector<dp::TableEntry> entries;
+  for (std::size_t e = 0; e + 1 < dp::MatchActionTable::kIndexMinEntries;
+       ++e) {
+    entries.push_back({.ternary = {dp::TernaryRule{e, 0xff}},
+                       .priority = 0,
+                       .action_data = {static_cast<std::int64_t>(e)}});
+  }
+  TablePair p = MakePair(dp::MatchKind::kTernary, {8}, entries);
+  ASSERT_EQ(p.indexed->index_stats(), nullptr);  // linear fallback
+  p.indexed->ApplyDelta(std::vector<dp::EntryPatch>{
+      {.entry_index = 2,
+       .ternary = {dp::TernaryRule{77, 0xff}},
+       .priority = 0,
+       .action_data = {42}}});
+  EXPECT_TRUE(p.indexed->sealed());
+  dp::Phv phv(p.layout);
+  phv.Set(p.keys[0], 77);
+  EXPECT_EQ(p.indexed->Lookup(phv), std::optional<std::size_t>{2});
+}
+
+TEST(MatchIndexDelta, RejectsUnabsorbablePatchesAndStaysIntact) {
+  // Chunk coverage: masks only touch the low nibble, so a patch masking
+  // the high nibble cannot be absorbed in place.
+  std::vector<dp::TableEntry> entries;
+  for (std::size_t e = 0; e < 16; ++e) {
+    entries.push_back({.ternary = {dp::TernaryRule{e & 0xf, 0x0f}},
+                       .priority = 1,
+                       .action_data = {static_cast<std::int64_t>(e)}});
+  }
+  TablePair p = MakePair(dp::MatchKind::kTernary, {8}, entries);
+  const std::uint64_t g0 = p.indexed->generation();
+
+  const auto reject = [&](dp::EntryPatch patch) {
+    EXPECT_THROW(
+        p.indexed->ApplyDelta(std::vector<dp::EntryPatch>{std::move(patch)}),
+        std::invalid_argument);
+    EXPECT_EQ(p.indexed->generation(), g0) << "rejected patch must not move "
+                                              "the table";
+    EXPECT_TRUE(p.indexed->sealed());
+  };
+  // Mask outside the index's chunk coverage.
+  reject({.entry_index = 0,
+          .ternary = {dp::TernaryRule{0x30, 0x30}},
+          .priority = 1,
+          .action_data = {9}});
+  // Entry index out of range.
+  reject({.entry_index = 99,
+          .ternary = {dp::TernaryRule{1, 0x0f}},
+          .priority = 1,
+          .action_data = {9}});
+  // Action-data resize.
+  reject({.entry_index = 0,
+          .ternary = {dp::TernaryRule{1, 0x0f}},
+          .priority = 1,
+          .action_data = {9, 9}});
+  // Priority change (would reorder the sorted arena).
+  reject({.entry_index = 0,
+          .ternary = {dp::TernaryRule{1, 0x0f}},
+          .priority = 2,
+          .action_data = {9}});
+  // Key arity mismatch.
+  reject({.entry_index = 0,
+          .ternary = {dp::TernaryRule{1, 0x0f}, dp::TernaryRule{1, 0x0f}},
+          .priority = 1,
+          .action_data = {9}});
+
+  // Range: lo/hi must land on existing elementary-interval boundaries.
+  std::vector<dp::TableEntry> rentries;
+  for (std::uint64_t e = 0; e < 12; ++e) {
+    rentries.push_back({.range_lo = {e * 100}, .range_hi = {e * 100 + 49},
+                        .priority = 1,
+                        .action_data = {static_cast<std::int64_t>(e)}});
+  }
+  TablePair r = MakePair(dp::MatchKind::kRange, {16}, rentries);
+  EXPECT_THROW(r.indexed->ApplyDelta(std::vector<dp::EntryPatch>{
+                   {.entry_index = 0,
+                    .range_lo = {37},  // not a boundary
+                    .range_hi = {49},
+                    .priority = 1,
+                    .action_data = {9}}}),
+               std::invalid_argument);
+  // Donor boundaries from another entry are absorbable.
+  r.indexed->ApplyDelta(std::vector<dp::EntryPatch>{
+      {.entry_index = 0,
+       .range_lo = {300},
+       .range_hi = {349},
+       .priority = 1,
+       .action_data = {9}}});
+  dp::Phv phv(r.layout);
+  phv.Set(r.keys[0], 320);
+  EXPECT_EQ(r.indexed->Lookup(phv), std::optional<std::size_t>{0});
+}
+
+TEST(MatchIndexDelta, PipelineApplyDeltaIsAtomicAcrossTables) {
+  // Two placed tables; the second table's patch is invalid. The pipeline
+  // must reject the whole batch with BOTH tables untouched.
+  dp::Pipeline pipe;
+  dp::PhvLayout layout;
+  const auto key = layout.AddField("k", 8);
+  const auto out = layout.AddField("o", 16);
+  std::vector<dp::ActionOp> prog{
+      {dp::ActionOp::Kind::kSetFromData, out, 0, 0, -1}};
+  for (const char* name : {"a", "b"}) {
+    auto t = std::make_unique<dp::MatchActionTable>(
+        name, dp::MatchKind::kTernary, std::vector<dp::FieldId>{key},
+        std::vector<int>{8}, prog, 16);
+    for (std::uint64_t e = 0; e < 16; ++e) {
+      t->AddEntry({.ternary = {dp::TernaryRule{e, 0xff}},
+                   .priority = 0,
+                   .action_data = {static_cast<std::int64_t>(e)}});
+    }
+    pipe.PlaceTable(std::move(t), 0);
+  }
+  const std::uint64_t g0 = pipe.Generation();
+
+  std::vector<dp::TablePatch> bad(2);
+  bad[0] = {"a",
+            {{.entry_index = 0,
+              .ternary = {dp::TernaryRule{200, 0xff}},
+              .priority = 0,
+              .action_data = {42}}}};
+  bad[1] = {"b",
+            {{.entry_index = 99,  // out of range
+              .ternary = {dp::TernaryRule{1, 0xff}},
+              .priority = 0,
+              .action_data = {1}}}};
+  EXPECT_THROW(pipe.ApplyDelta(bad), std::invalid_argument);
+  EXPECT_EQ(pipe.Generation(), g0) << "table 'a' must not be patched when "
+                                      "table 'b' fails validation";
+  // Unknown table name is rejected up front, too.
+  std::vector<dp::TablePatch> unknown{{"nope", {}}};
+  EXPECT_THROW(pipe.ApplyDelta(unknown), std::invalid_argument);
+
+  // A valid batch across both tables applies and bumps each table once.
+  bad[1].patches[0].entry_index = 1;
+  const std::size_t bytes = pipe.ApplyDelta(bad);
+  EXPECT_GT(bytes, 0u);
+  EXPECT_EQ(pipe.Generation(), g0 + 2);
+  EXPECT_TRUE(pipe.FullySealed());
+  const auto report = pipe.MatchIndexReport();
+  EXPECT_EQ(report.deltas_applied, 2u);
+  EXPECT_EQ(report.reseals_avoided, 2u);
+}
+
+TEST(MatchIndexDelta, CloneIsIndependentAndPreservesIndex) {
+  std::vector<dp::TableEntry> entries;
+  for (std::size_t e = 0; e < 32; ++e) {
+    entries.push_back({.ternary = {dp::TernaryRule{e, 0xff}},
+                       .priority = 1,
+                       .action_data = {static_cast<std::int64_t>(e)}});
+  }
+  TablePair p = MakePair(dp::MatchKind::kTernary, {8}, entries);
+  const auto clone = p.indexed->Clone();
+  EXPECT_TRUE(clone->sealed());
+  ASSERT_NE(clone->index_stats(), nullptr) << "clone keeps the compiled "
+                                              "index";
+  // Patch the clone: the original's lookups must not move.
+  clone->ApplyDelta(std::vector<dp::EntryPatch>{
+      {.entry_index = 5,
+       .ternary = {dp::TernaryRule{200, 0xff}},
+       .priority = 1,
+       .action_data = {77}}});
+  dp::Phv phv(p.layout);
+  phv.Set(p.keys[0], 200);
+  EXPECT_EQ(clone->Lookup(phv), std::optional<std::size_t>{5});
+  EXPECT_EQ(p.indexed->Lookup(phv), std::nullopt);
+  phv.Set(p.keys[0], 5);
+  EXPECT_EQ(clone->Lookup(phv), std::nullopt);
+  EXPECT_EQ(p.indexed->Lookup(phv), std::optional<std::size_t>{5});
+}

@@ -1,0 +1,163 @@
+// P4 push conformance (O(delta) updates tentpole): the exported switch
+// program and the control plane's table-entry push sequence must together
+// reproduce the served artifact exactly.
+//
+//  * EmitPushSequence(model) replayed through LowerFromPush yields an
+//    artifact bit-identical to Lower() — decision for decision.
+//  * p4gen's emitted program agrees with the push sequence on every
+//    table's name, match kind and installed entry count (both sides use
+//    the shared LowerMapEntries helper; this pins the contract).
+//  * The delta path conforms too: the push sequence of the *target*
+//    version replayed from scratch equals the serving version's clone
+//    patched with CollectPatches — the switch agent may install v2 either
+//    way and serve the same bits.
+//  * Malformed pushes (missing table, match-kind mismatch) are rejected.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "control/planner.hpp"
+#include "core/operators.hpp"
+#include "runtime/lowering.hpp"
+#include "runtime/p4gen.hpp"
+
+namespace core = pegasus::core;
+namespace ctrl = pegasus::control;
+namespace comp = pegasus::compiler;
+namespace rt = pegasus::runtime;
+namespace dp = pegasus::dataplane;
+
+namespace {
+
+core::Program BuildProgram(std::uint64_t seed, std::size_t leaves = 24) {
+  core::ProgramBuilder b(4);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> wdist(-0.05f, 0.05f);
+  std::vector<float> w(4 * 3);
+  for (float& v : w) v = wdist(rng);
+  core::ValueId v =
+      core::AppendFullyConnected(b, b.input(), w, 4, 3, {}, 2, leaves);
+  v = b.Map(v, core::MakeReLU(3), leaves);
+  return b.Finish(v);
+}
+
+std::vector<float> TrainInputs(std::uint64_t seed, std::size_t n = 1500) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(0.0f, 255.0f);
+  std::vector<float> x(n * 4);
+  for (float& f : x) f = std::floor(dist(rng));
+  return x;
+}
+
+void ExpectBitIdentical(const rt::LoweredModel& a, const rt::LoweredModel& b,
+                        std::uint64_t seed, int probes = 300) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(0.0f, 255.0f);
+  for (int i = 0; i < probes; ++i) {
+    const std::vector<float> in{std::floor(dist(rng)), std::floor(dist(rng)),
+                                std::floor(dist(rng)), std::floor(dist(rng))};
+    ASSERT_EQ(a.InferRaw(in), b.InferRaw(in)) << "probe " << i;
+  }
+}
+
+}  // namespace
+
+TEST(P4Conformance, PushSequenceReplayedThroughPipelineMatchesLower) {
+  for (const std::size_t cap : {std::size_t{4096}, std::size_t{1}}) {
+    rt::LoweringOptions lopts;
+    lopts.max_ternary_entries_per_table = cap;  // cap=1 forces range tables
+    const auto x = TrainInputs(2);
+    const auto vm = comp::CompileVersioned(BuildProgram(1), x, 1500, {},
+                                           lopts);
+    const auto pushes = ctrl::EmitPushSequence(vm);
+    ASSERT_EQ(pushes.size(), vm.compiled->NumTables());
+
+    const rt::LoweredModel replayed =
+        rt::LowerFromPush(*vm.compiled, lopts, pushes);
+    ExpectBitIdentical(replayed, *vm.lowered, 31 + cap);
+  }
+}
+
+TEST(P4Conformance, EmittedProgramAgreesWithPushSequence) {
+  const auto x = TrainInputs(2);
+  const auto vm = comp::CompileVersioned(BuildProgram(1), x, 1500);
+  rt::P4GenOptions popts;
+  popts.max_ternary_entries_per_table =
+      vm.lowering.max_ternary_entries_per_table;
+  const std::string p4 = rt::EmitP4(*vm.compiled, popts);
+  const auto pushes = ctrl::EmitPushSequence(vm);
+  ASSERT_FALSE(pushes.empty());
+  for (const auto& push : pushes) {
+    // The program declares the table the push targets...
+    EXPECT_NE(p4.find("table " + push.table + " {"), std::string::npos)
+        << push.table;
+    // ...with the match kind the push's entries carry...
+    const char* kind =
+        push.kind == dp::MatchKind::kRange ? ": range;" : ": ternary;";
+    EXPECT_NE(p4.find(kind), std::string::npos) << push.table;
+    // ...and sizes it to exactly the installed entry count.
+    EXPECT_NE(
+        p4.find("size = " + std::to_string(push.entries.size()) + ";"),
+        std::string::npos)
+        << push.table << " expects size " << push.entries.size();
+  }
+}
+
+TEST(P4Conformance, DeltaPatchedCloneMatchesTargetPushReplay) {
+  // Two install strategies for v2 on a switch already serving v1:
+  //   (a) wipe + replay v2's full push sequence;
+  //   (b) patch v1's tables in place with the planner's entry deltas.
+  // Both must serve identical bits.
+  auto build = [] {
+    core::ProgramBuilder b(4);
+    core::MapFunction sq;
+    sq.name = "square";
+    sq.in_dim = 4;
+    sq.out_dim = 2;
+    sq.fn = [](std::span<const float> x) {
+      return std::vector<float>{x[0] * x[0] / 255.0f + x[1],
+                                x[2] * x[2] / 255.0f + x[3]};
+    };
+    return b.Finish(b.Map(b.input(), std::move(sq), 24));
+  };
+  core::CompileOptions with;
+  core::CompileOptions without;
+  without.refine_outputs = false;
+  const auto x = TrainInputs(2);
+  const auto v1 = comp::CompileVersioned(build(), x, 1500, with);
+  const auto v2 = comp::CompileVersioned(build(), x, 1500, without);
+
+  const auto plan = ctrl::PlanUpdate(v1, v2);
+  ASSERT_GT(plan.entry_delta, 0u);
+  ASSERT_EQ(plan.reseal, 0u);
+
+  auto patched = v1.lowered->Clone();
+  patched.ApplyDelta(ctrl::CollectPatches(plan));
+
+  const rt::LoweredModel replayed = rt::LowerFromPush(
+      *v2.compiled, v2.lowering, ctrl::EmitPushSequence(v2));
+  ExpectBitIdentical(patched, replayed, 77);
+}
+
+TEST(P4Conformance, MalformedPushSequencesAreRejected) {
+  const auto x = TrainInputs(2);
+  const auto vm = comp::CompileVersioned(BuildProgram(1), x, 1500);
+  auto pushes = ctrl::EmitPushSequence(vm);
+  ASSERT_FALSE(pushes.empty());
+
+  // Missing push for a lowered table.
+  std::vector<rt::TableEntryPush> missing(pushes.begin() + 1, pushes.end());
+  EXPECT_THROW(rt::LowerFromPush(*vm.compiled, vm.lowering, missing),
+               std::invalid_argument);
+  EXPECT_THROW(rt::LowerFromPush(*vm.compiled, vm.lowering, {}),
+               std::invalid_argument);
+
+  // Match-kind mismatch between the push and the lowering's decision.
+  auto wrong = pushes;
+  wrong[0].kind = wrong[0].kind == dp::MatchKind::kRange
+                      ? dp::MatchKind::kTernary
+                      : dp::MatchKind::kRange;
+  EXPECT_THROW(rt::LowerFromPush(*vm.compiled, vm.lowering, wrong),
+               std::invalid_argument);
+}

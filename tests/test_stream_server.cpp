@@ -20,8 +20,10 @@
 #include <utility>
 
 #include "compiler/compiler.hpp"
+#include "control/planner.hpp"
 #include "core/operators.hpp"
 #include "eval/experiment.hpp"
+#include "runtime/fault.hpp"
 #include "traffic/stream.hpp"
 #include "traffic/synthetic.hpp"
 
@@ -880,4 +882,219 @@ TEST(StreamServer, PinningOptionsValidateAtConstruction) {
   const auto churn = SmallChurn(5'000);
   const auto decisions = server.Serve(churn.trace);
   EXPECT_EQ(decisions.size(), server.Stats().decisions);
+}
+
+// ---------------------------------------------------------------------------
+// O(delta) hot swap (SwapModelDelta): publishing the planner's entry
+// patches against a clone of the serving model must be decision-identical
+// to a full SwapModel of the freshly lowered target — single- and
+// multi-threaded — and must keep the transactional rollback guarantee.
+// ---------------------------------------------------------------------------
+
+namespace ctrl = pegasus::control;
+namespace comp = pegasus::compiler;
+namespace dp = pegasus::dataplane;
+
+namespace {
+
+struct DeltaFixture {
+  comp::VersionedModel v1, v2;
+  std::vector<dp::TablePatch> patches;
+  std::size_t plan_bytes = 0;
+};
+
+/// Two compiles of the same 16-dim program over the same training data,
+/// differing only in §4.4 output refinement: identical tree geometry and
+/// quantization, moved leaf output words — a pure entry-delta plan. The
+/// head map is quadratic so refinement genuinely moves outputs (for a
+/// linear map it is a no-op).
+DeltaFixture BuildDeltaFixture(std::span<const float> train_x,
+                               std::size_t n) {
+  auto build = [] {
+    core::ProgramBuilder b(16);
+    auto segs = b.Partition(b.input(), 2, 2);
+    std::mt19937_64 rng(91);
+    std::uniform_real_distribution<float> w(-0.05f, 0.05f);
+    std::vector<core::ValueId> maps;
+    for (auto seg : segs) {
+      std::vector<float> weights(2 * 3);
+      for (float& v : weights) v = w(rng);
+      maps.push_back(
+          b.Map(seg, core::MakeLinear(std::move(weights), 2, 3, {}), 32));
+    }
+    auto sum = b.SumReduce(std::span<const core::ValueId>(maps));
+    core::MapFunction quad;
+    quad.name = "quad_head";
+    quad.in_dim = 3;
+    quad.out_dim = 3;
+    quad.fn = [](std::span<const float> x) {
+      return std::vector<float>{x[0] * x[0] / 16.0f, x[1] * x[1] / 16.0f,
+                                x[2] * x[2] / 16.0f};
+    };
+    return b.Finish(b.Map(sum, std::move(quad), 64));
+  };
+  core::CompileOptions with;
+  core::CompileOptions without;
+  without.refine_outputs = false;
+  DeltaFixture fx;
+  fx.v1 = comp::CompileVersioned(build(), train_x, n, with);
+  fx.v2 = comp::CompileVersioned(build(), train_x, n, without);
+  const auto plan = ctrl::PlanUpdate(fx.v1, fx.v2);
+  EXPECT_FALSE(plan.structure_changed);
+  EXPECT_GT(plan.entry_delta, 0u);
+  EXPECT_EQ(plan.reseal, 0u);
+  fx.patches = ctrl::CollectPatches(plan);
+  fx.plan_bytes = plan.total_bytes_to_push;
+  return fx;
+}
+
+std::shared_ptr<const rt::LoweredModel> Alias(const rt::LoweredModel& m) {
+  return std::shared_ptr<const rt::LoweredModel>(std::shared_ptr<void>{},
+                                                 &m);
+}
+
+rt::StreamServerOptions DeltaSwapOptions(std::size_t shards, bool mt) {
+  rt::StreamServerOptions opts;
+  opts.num_shards = shards;
+  opts.flows_per_shard = 1 << 10;
+  opts.batch_size = 32;
+  opts.feature = rt::FeatureKind::kSeq;
+  opts.multithreaded = mt;
+  return opts;
+}
+
+void SortDecisions(std::vector<rt::StreamDecision>& v) {
+  std::sort(v.begin(), v.end(),
+            [](const rt::StreamDecision& a, const rt::StreamDecision& b) {
+              return std::tie(a.flow, a.index) < std::tie(b.flow, b.index);
+            });
+}
+
+}  // namespace
+
+TEST(StreamServerDelta, DeltaSwapMatchesFullSwapDecisionForDecision) {
+  const auto ds = tr::Generate(tr::PeerRushSpec(8, 47));
+  const auto offline = tr::ExtractSeqFeatures(ds.flows, EveryPacket());
+  const auto fx = BuildDeltaFixture(offline.x, offline.size());
+  const auto trace = tr::MergeTrace(ds.flows);
+  const std::size_t swap_at = trace.size() / 2;
+
+  // Reference: full SwapModel of the freshly lowered target (ST, 1 shard).
+  rt::StreamServer full(Alias(*fx.v1.lowered), DeltaSwapOptions(1, false));
+  auto full_run =
+      ev::ServeTraceWithSwap(full, trace, swap_at, Alias(*fx.v2.lowered), 2);
+  SortDecisions(full_run.decisions);
+  std::size_t post_swap = 0;
+  for (const auto& d : full_run.decisions) post_swap += d.version == 2;
+  ASSERT_GT(post_swap, 0u) << "swap point must split the decision stream";
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    for (const bool mt : {false, true}) {
+      rt::StreamServer server(Alias(*fx.v1.lowered),
+                              DeltaSwapOptions(shards, mt));
+      auto run =
+          ev::ServeTraceWithDeltaSwap(server, trace, swap_at, fx.patches, 2);
+      EXPECT_EQ(run.stats.active_version, 2u);
+      EXPECT_EQ(run.stats.swaps, shards)
+          << "delta swap still rebuilds one engine per shard";
+      EXPECT_EQ(run.stats.delta_swaps, 1u);
+      EXPECT_EQ(run.stats.delta_bytes_pushed, fx.plan_bytes)
+          << "served delta cost must equal the plan's byte estimate";
+      EXPECT_GT(run.stats.deltas_applied, 0u);
+      EXPECT_GT(run.stats.leaf_words_patched, 0u);
+      EXPECT_GT(run.stats.reseals_avoided, 0u);
+      SortDecisions(run.decisions);
+      ASSERT_EQ(run.decisions.size(), full_run.decisions.size())
+          << shards << " shards, mt=" << mt;
+      for (std::size_t i = 0; i < run.decisions.size(); ++i) {
+        ASSERT_EQ(run.decisions[i].flow, full_run.decisions[i].flow);
+        ASSERT_EQ(run.decisions[i].index, full_run.decisions[i].index);
+        ASSERT_EQ(run.decisions[i].predicted, full_run.decisions[i].predicted)
+            << "flow " << run.decisions[i].flow << " pkt "
+            << run.decisions[i].index << " (" << shards << " shards, mt="
+            << mt << ")";
+        ASSERT_EQ(run.decisions[i].score, full_run.decisions[i].score);
+        ASSERT_EQ(run.decisions[i].version, full_run.decisions[i].version);
+      }
+    }
+  }
+}
+
+TEST(StreamServerDelta, RejectsStaleVersionsAndUnknownTables) {
+  const auto ds = tr::Generate(tr::PeerRushSpec(4, 48));
+  const auto offline = tr::ExtractSeqFeatures(ds.flows);
+  const auto fx = BuildDeltaFixture(offline.x, offline.size());
+
+  rt::StreamServer server(Alias(*fx.v1.lowered), DeltaSwapOptions(2, false));
+  EXPECT_THROW(server.SwapModelDelta(fx.patches, 1), std::invalid_argument);
+  EXPECT_THROW(server.SwapModelDelta(fx.patches, 0), std::invalid_argument);
+  std::vector<dp::TablePatch> unknown{{"map_999", {}}};
+  EXPECT_THROW(server.SwapModelDelta(unknown, 2), std::invalid_argument);
+  EXPECT_EQ(server.active_version(), 1u);
+  EXPECT_EQ(server.Stats().delta_swaps, 0u);
+  // The real patches still apply after the rejections.
+  server.SwapModelDelta(fx.patches, 2);
+  EXPECT_EQ(server.active_version(), 2u);
+  EXPECT_EQ(server.Stats().delta_swaps, 1u);
+}
+
+TEST(StreamServerDelta, PublishFailureRollsBackAndRetries) {
+  const auto ds = tr::Generate(tr::PeerRushSpec(8, 49));
+  const auto offline = tr::ExtractSeqFeatures(ds.flows, EveryPacket());
+  const auto fx = BuildDeltaFixture(offline.x, offline.size());
+  const auto trace = tr::MergeTrace(ds.flows);
+  const std::size_t half = trace.size() / 2;
+
+  // Single-threaded: fail on the third shard apply — shards 0 and 1 roll
+  // back, the patched clone is discarded, the old version keeps serving.
+  rt::StreamServer server(Alias(*fx.v1.lowered), DeltaSwapOptions(4, false));
+  for (std::size_t i = 0; i < half; ++i) server.Push(trace[i]);
+  {
+    rt::FaultPlan plan;
+    plan.Arm(rt::FaultSite::kSwapPublishFail, /*first=*/2, 1, 1);
+    rt::FaultScope scope(plan);
+    EXPECT_THROW(server.SwapModelDelta(fx.patches, 2), rt::SwapError);
+    EXPECT_EQ(server.active_version(), 1u);
+    EXPECT_EQ(server.Stats().delta_swaps, 0u)
+        << "a rolled-back delta swap must not count as published";
+    server.SwapModelDelta(fx.patches, 2);
+    EXPECT_EQ(server.active_version(), 2u);
+  }
+  for (std::size_t i = half; i < trace.size(); ++i) server.Push(trace[i]);
+  server.Flush();
+  auto got = server.TakeDecisions();
+  SortDecisions(got);
+  EXPECT_EQ(server.Stats().delta_swaps, 1u);
+
+  // Decisions match a clean delta run with the swap at the same boundary:
+  // the failed attempt was hitless.
+  rt::StreamServer clean(Alias(*fx.v1.lowered), DeltaSwapOptions(4, false));
+  auto clean_run =
+      ev::ServeTraceWithDeltaSwap(clean, trace, half, fx.patches, 2);
+  SortDecisions(clean_run.decisions);
+  ASSERT_EQ(got.size(), clean_run.decisions.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].predicted, clean_run.decisions[i].predicted);
+    EXPECT_EQ(got[i].version, clean_run.decisions[i].version);
+  }
+
+  // Multi-threaded: the probe build fails before anything reaches a ring.
+  rt::StreamServer mt(Alias(*fx.v1.lowered), DeltaSwapOptions(2, true));
+  mt.Start();
+  for (std::size_t i = 0; i < half; ++i) mt.Push(trace[i]);
+  {
+    rt::FaultPlan plan;
+    plan.Arm(rt::FaultSite::kSwapPublishFail, 0, 1, 1);
+    rt::FaultScope scope(plan);
+    EXPECT_THROW(mt.SwapModelDelta(fx.patches, 2), rt::SwapError);
+    EXPECT_EQ(mt.active_version(), 1u);
+    mt.SwapModelDelta(fx.patches, 2);
+    EXPECT_EQ(mt.active_version(), 2u);
+  }
+  for (std::size_t i = half; i < trace.size(); ++i) mt.Push(trace[i]);
+  mt.Stop();
+  const auto stats = mt.Stats();
+  EXPECT_EQ(stats.active_version, 2u);
+  EXPECT_EQ(stats.swaps, 2u) << "the failed probe never reached a ring";
+  EXPECT_EQ(stats.delta_swaps, 1u);
 }

@@ -20,6 +20,18 @@ regressions.
     compare_index_bench.py --stream BENCH_stream.json \
         [--baseline OLD_BENCH_stream.json] [BENCH_swap.json]
 
+Swap mode (--swap): everything --stream does, plus the O(delta) table
+update sweep ("update_runs"): per (table_entries, patched_entries) point
+the in-place ApplyDelta latency vs the rebuild+reseal latency, the
+speedup, and the bytes the control plane would push. The sanity gate:
+the patched table and the resealed table must decide the probe keys
+identically (checksum_delta == checksum_reseal) on every row; a mismatch
+fails the run — a delta that changes decisions is a correctness bug, not
+a perf result.
+
+    compare_index_bench.py --swap BENCH_stream.json \
+        [--baseline OLD_BENCH_stream.json] [BENCH_swap.json]
+
 Flowscale mode (--flowscale): reads bench_flowscale's BENCH_flowscale.json
 and writes BENCH_flowscale_compare.json — per (live_flows, eviction) pair
 the split vs interleaved layout speedup, plus the second-chance vs LRU
@@ -89,7 +101,8 @@ def _run_key(row: dict) -> tuple:
             row.get("threads"))
 
 
-def stream_mode(src: str, baseline: str, dst: str) -> int:
+def stream_mode(src: str, baseline: str, dst: str,
+                with_updates: bool = False) -> int:
     with open(src) as f:
         data = json.load(f)
 
@@ -125,6 +138,28 @@ def stream_mode(src: str, baseline: str, dst: str) -> int:
             "shed_misrouted": r.get("shed_misrouted"),
         })
 
+    updates = []
+    update_mismatches = []
+    if with_updates:
+        for r in data.get("update_runs", []):
+            row = {
+                "table_entries": r.get("table_entries"),
+                "patched_entries": r.get("patched_entries"),
+                "delta_ms": r.get("delta_ms"),
+                "reseal_ms": r.get("reseal_ms"),
+                "speedup": r.get("speedup"),
+                "bytes_pushed": r.get("bytes_pushed"),
+                "decisions_match":
+                    r.get("checksum_delta") == r.get("checksum_reseal"),
+            }
+            updates.append(row)
+            if not row["decisions_match"]:
+                update_mismatches.append(
+                    f"table_entries={row['table_entries']} "
+                    f"patched_entries={row['patched_entries']}: "
+                    f"checksum_delta={r.get('checksum_delta')} != "
+                    f"checksum_reseal={r.get('checksum_reseal')}")
+
     out = {
         "bench": "swap",
         "build_type": data.get("build_type", "unknown"),
@@ -133,6 +168,9 @@ def stream_mode(src: str, baseline: str, dst: str) -> int:
         "swap_runs": swaps,
         "scaling_runs": scaling,
     }
+    if with_updates:
+        out["update_runs"] = updates
+        out["update_decision_mismatches"] = update_mismatches
 
     if baseline:
         with open(baseline) as f:
@@ -182,11 +220,22 @@ def stream_mode(src: str, baseline: str, dst: str) -> int:
               f"threads={d['threads']}: {d['packets_per_sec']:.0f} pps "
               f"vs baseline {d['baseline_packets_per_sec']:.0f} "
               f"-> {d['speedup_vs_baseline']}x")
+    for u in updates:
+        print(f"update n={u['table_entries']} patched={u['patched_entries']}: "
+              f"delta {u['delta_ms']} ms vs reseal {u['reseal_ms']} ms "
+              f"-> {u['speedup']}x, {u['bytes_pushed']} bytes pushed"
+              f"{'' if u['decisions_match'] else '  [DECISION MISMATCH]'}")
+    for m in update_mismatches:
+        print(f"error: delta/reseal decision mismatch: {m}", file=sys.stderr)
     if not swaps:
         print("warning: no swap_runs found in the stream artifact",
               file=sys.stderr)
         return 1
-    return 0
+    if with_updates and not updates:
+        print("warning: no update_runs found in the stream artifact",
+              file=sys.stderr)
+        return 1
+    return 1 if update_mismatches else 0
 
 
 def flowscale_mode(src: str, dst: str) -> int:
@@ -267,6 +316,9 @@ def main() -> int:
                         help="output JSON (defaults per mode)")
     parser.add_argument("--stream", action="store_true",
                         help="summarize BENCH_stream.json -> BENCH_swap.json")
+    parser.add_argument("--swap", action="store_true",
+                        help="like --stream, plus the O(delta) update sweep "
+                             "(fails on delta/reseal decision mismatch)")
     parser.add_argument("--flowscale", action="store_true",
                         help="summarize BENCH_flowscale.json -> "
                              "BENCH_flowscale_compare.json")
@@ -275,9 +327,10 @@ def main() -> int:
                              "(stream mode)")
     args = parser.parse_args()
 
-    if args.stream:
+    if args.stream or args.swap:
         return stream_mode(args.src, args.baseline,
-                           args.dst or "BENCH_swap.json")
+                           args.dst or "BENCH_swap.json",
+                           with_updates=args.swap)
     if args.flowscale:
         return flowscale_mode(args.src,
                               args.dst or "BENCH_flowscale_compare.json")
