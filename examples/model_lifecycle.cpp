@@ -71,26 +71,19 @@ int main() {
   std::printf("\n%s", control::FormatPlan(plan).c_str());
 
   // ---- hitless swap mid-stream -------------------------------------------
+  // Telemetry sampling is on, so each sampled decision carries its
+  // end-to-end serving latency and the per-version report below can
+  // correlate accuracy with latency across the swap boundary.
   const auto trace = eval::TestTrace(prep);
   runtime::StreamServerOptions sopts;
   sopts.num_shards = 2;
   sopts.flows_per_shard = 1 << 10;
   sopts.feature = runtime::FeatureKind::kSeq;
+  sopts.telemetry.sample_every = 8;
   runtime::StreamServer server(v1->lowered, sopts, v1->version);
   const auto run = eval::ServeTraceWithSwap(server, trace, trace.size() / 2,
                                             v2->lowered, v2->version);
 
-  std::size_t v1_hits = 0, v1_n = 0, v2_hits = 0, v2_n = 0;
-  for (const auto& d : run.decisions) {
-    const bool hit = d.predicted == d.label;
-    if (d.version == v1->version) {
-      ++v1_n;
-      v1_hits += hit ? 1 : 0;
-    } else {
-      ++v2_n;
-      v2_hits += hit ? 1 : 0;
-    }
-  }
   std::printf("\nserved %llu packets, swapped v%llu -> v%llu mid-stream\n",
               static_cast<unsigned long long>(run.stats.packets),
               static_cast<unsigned long long>(v1->version),
@@ -99,13 +92,16 @@ int main() {
               "(per-shard serving gap)\n",
               static_cast<unsigned long long>(run.stats.swaps),
               run.stats.swap_wall_ms);
-  std::printf("  pre-swap  (v%llu): %zu decisions, accuracy %.3f\n",
-              static_cast<unsigned long long>(v1->version), v1_n,
-              v1_n ? static_cast<double>(v1_hits) / v1_n : 0.0);
-  std::printf("  post-swap (v%llu): %zu decisions, accuracy %.3f "
-              "(per-flow state survived: %llu warm-ups total)\n",
-              static_cast<unsigned long long>(v2->version), v2_n,
-              v2_n ? static_cast<double>(v2_hits) / v2_n : 0.0,
+  const auto detail =
+      eval::EvaluateDecisionsDetailed(run.decisions, prep.num_classes);
+  for (const auto& vw : detail.versions) {
+    std::printf("  v%llu: %zu decisions, accuracy %.3f, e2e latency "
+                "p50 %.1f us / p99 %.1f us (%zu sampled)\n",
+                static_cast<unsigned long long>(vw.version), vw.decisions,
+                vw.accuracy, vw.latency_p50_ns / 1e3,
+                vw.latency_p99_ns / 1e3, vw.sampled);
+  }
+  std::printf("  per-flow state survived the swap: %llu warm-ups total\n",
               static_cast<unsigned long long>(run.stats.warmup));
 
   // ---- co-placement: classifier + anomaly detector -----------------------

@@ -9,8 +9,11 @@
 // 3. Replay the capture *with trace timing* (speedup xN) straight into the
 //    sharded StreamServer via PcapPacketSource + TraceReplayer — no
 //    Dataset materialization on the serving path — and report accuracy
-//    against the port-encoded ground truth plus replay pacing stats.
+//    against the port-encoded ground truth plus replay pacing stats,
+//    with a telemetry::StatsReporter printing live serving stats while
+//    the paced replay runs.
 #include <cstdio>
+#include <iostream>
 
 #include "compiler/compiler.hpp"
 #include "eval/experiment.hpp"
@@ -18,6 +21,7 @@
 #include "io/replay.hpp"
 #include "models/cnn_m.hpp"
 #include "runtime/stream_server.hpp"
+#include "telemetry/exposition.hpp"
 
 int main() {
   using namespace pegasus;
@@ -61,8 +65,17 @@ int main() {
   sopts.num_shards = 2;
   sopts.flows_per_shard = 1 << 10;
   sopts.feature = runtime::FeatureKind::kSeq;
+  sopts.telemetry.sample_every = 16;  // stage latency on the replay path
   runtime::StreamServer server(lowered, sopts);
+
+  // Live stats while the paced replay runs: one line per interval with
+  // pps, ring depth/HWM, hit rate and the sampled e2e latency quantiles.
+  telemetry::StatsReporter reporter(
+      [&server] { return server.TelemetrySnapshot(); }, std::cout,
+      /*interval_ms=*/250);
+  reporter.Start();
   const auto run = eval::ServeTrace(server, replayer);
+  reporter.Stop();  // emits a final summary line
 
   const auto rs = replayer.stats();
   const auto report =

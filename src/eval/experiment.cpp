@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 
 namespace pegasus::eval {
 
@@ -98,6 +99,7 @@ void FinishRun(StreamRun& run, runtime::StreamServer& server,
                std::chrono::steady_clock::time_point t0,
                std::chrono::steady_clock::time_point t1) {
   run.stats = server.Stats();
+  run.telemetry = server.TelemetrySnapshot();
   run.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   const std::uint64_t pushed = run.stats.packets - packets_before;
   run.packets_per_sec =
@@ -229,6 +231,56 @@ ClassificationReport EvaluateDecisions(
     predicted.push_back(d.predicted);
   }
   return Evaluate(truth, predicted, num_classes);
+}
+
+DecisionReport EvaluateDecisionsDetailed(
+    const std::vector<runtime::StreamDecision>& decisions,
+    std::size_t num_classes) {
+  DecisionReport report;
+  report.overall = EvaluateDecisions(decisions, num_classes);
+  // Group by serving version. Decision streams hold a handful of versions
+  // (one per swap), so a linear scan into a small map-by-vector is fine.
+  std::map<std::uint64_t, std::vector<std::size_t>> by_version;
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    by_version[decisions[i].version].push_back(i);
+  }
+  report.versions.reserve(by_version.size());
+  std::vector<std::uint32_t> lats;
+  for (const auto& [version, idx] : by_version) {
+    VersionWindowReport vw;
+    vw.version = version;
+    vw.decisions = idx.size();
+    lats.clear();
+    double lat_sum = 0.0;
+    for (const std::size_t i : idx) {
+      const auto& d = decisions[i];
+      if (d.predicted == d.label) ++vw.correct;
+      if (d.latency_ns != 0) {
+        lats.push_back(d.latency_ns);
+        lat_sum += static_cast<double>(d.latency_ns);
+      }
+    }
+    vw.accuracy = vw.decisions == 0
+                      ? 0.0
+                      : static_cast<double>(vw.correct) /
+                            static_cast<double>(vw.decisions);
+    vw.sampled = lats.size();
+    if (!lats.empty()) {
+      // Exact quantiles (nth_element) — the sampled subset is small by
+      // construction (1-in-N), so no histogram approximation needed here.
+      const auto nth = [&lats](double q) {
+        std::size_t k = static_cast<std::size_t>(
+            q * static_cast<double>(lats.size() - 1));
+        std::nth_element(lats.begin(), lats.begin() + k, lats.end());
+        return static_cast<double>(lats[k]);
+      };
+      vw.latency_p50_ns = nth(0.50);
+      vw.latency_p99_ns = nth(0.99);
+      vw.latency_mean_ns = lat_sum / static_cast<double>(lats.size());
+    }
+    report.versions.push_back(vw);
+  }
+  return report;
 }
 
 }  // namespace pegasus::eval

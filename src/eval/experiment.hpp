@@ -73,6 +73,10 @@ std::vector<traffic::TracePacket> TestTrace(const PreparedDataset& prep,
 struct StreamRun {
   std::vector<runtime::StreamDecision> decisions;
   runtime::StreamServerStats stats;
+  /// Observability snapshot taken at run end (stage latency quantiles,
+  /// ring HWMs, trace-ring occupancy). `telemetry.attached` is false when
+  /// the server was built without telemetry — the fields are then zero.
+  telemetry::TelemetrySnapshot telemetry;
   double wall_ms = 0.0;
   double packets_per_sec = 0.0;
 };
@@ -130,6 +134,35 @@ StreamRun ServeTraceWithDeltaSwap(
 /// Classification report over per-packet streaming decisions (labels and
 /// predictions carried in each decision).
 ClassificationReport EvaluateDecisions(
+    const std::vector<runtime::StreamDecision>& decisions,
+    std::size_t num_classes);
+
+/// Per-model-version slice of a decision stream: accuracy plus the
+/// end-to-end latency distribution of the sampled packets that version
+/// served. This is what a drift monitor watches — decisions carry the
+/// version that produced them and (when telemetry sampling is on) their
+/// serving latency, so accuracy and latency can be correlated per
+/// version window instead of averaged across a swap boundary.
+struct VersionWindowReport {
+  std::uint64_t version = 0;
+  std::size_t decisions = 0;
+  std::size_t correct = 0;
+  double accuracy = 0.0;
+  /// Decisions with a sampled end-to-end latency (latency_ns != 0).
+  std::size_t sampled = 0;
+  /// Exact quantiles over the sampled latencies (0 when sampled == 0).
+  double latency_p50_ns = 0.0;
+  double latency_p99_ns = 0.0;
+  double latency_mean_ns = 0.0;
+};
+
+/// EvaluateDecisions plus the per-version breakdown, version-ascending.
+struct DecisionReport {
+  ClassificationReport overall;
+  std::vector<VersionWindowReport> versions;
+};
+
+DecisionReport EvaluateDecisionsDetailed(
     const std::vector<runtime::StreamDecision>& decisions,
     std::size_t num_classes);
 

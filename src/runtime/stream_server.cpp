@@ -57,6 +57,10 @@ struct PendingMeta {
   std::uint32_t flow = 0;
   std::uint32_t index = 0;
   std::int32_t label = 0;
+  /// Telemetry enqueue stamp of the packet that filled this row (0 =
+  /// unsampled): carried to the batch flush so the decision's
+  /// end-to-end latency spans push -> emit, not just the flush.
+  std::uint32_t start = 0;
 };
 
 std::shared_ptr<const ServingState> MakeServingState(
@@ -195,6 +199,12 @@ struct StreamServer::Shard {
 
   std::unique_ptr<FlowTable<traffic::OnlineFlowState>> table;
   std::unique_ptr<FlowTable<traffic::OnlineFlowStateRaw>> raw_table;
+  /// This shard's index in shards_ (trace events + shed accounting need
+  /// it from contexts that only hold the Shard&).
+  std::uint32_t index = 0;
+  /// This shard's telemetry block, or nullptr when detached — the "off"
+  /// hot path tests exactly one pointer.
+  telemetry::ShardTelemetry* tele = nullptr;
   /// Epoch handle + the engine built over it. Owned by the worker thread
   /// while running; swapped together at packet boundaries (ApplySwap).
   std::shared_ptr<const ServingState> serving;
@@ -236,6 +246,11 @@ struct StreamServer::Shard {
   std::atomic<std::uint64_t> processed{0};
   std::atomic<bool> stalled{false};
   std::atomic<std::uint64_t> stall_events{0};
+  /// Highest ring occupancy the worker has observed (burst in hand +
+  /// SizeApprox remainder at each drain). Single writer (the worker);
+  /// Health()/TelemetrySnapshot() read it live. Telemetry-independent:
+  /// tracked even with telemetry detached.
+  std::atomic<std::size_t> ring_depth_hwm{0};
   /// Only allocated in multi-threaded mode.
   std::unique_ptr<SpscQueue<ShardItem>> queue;
   std::thread worker;
@@ -276,9 +291,19 @@ StreamServer::StreamServer(std::shared_ptr<const LoweredModel> model,
                           opts_.num_ingest, opts_.worker_cpus,
                           opts_.ingest_cpus);
   serving_ = MakeServingState(std::move(model), version);
+  published_version_.store(version, std::memory_order_relaxed);
   shards_.reserve(opts_.num_shards);
   for (std::size_t i = 0; i < opts_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(serving_, opts_, dim_));
+    shards_.back()->index = static_cast<std::uint32_t>(i);
+  }
+  if (opts_.telemetry.Attached()) {
+    tele_ = std::make_unique<telemetry::ServerTelemetry>(opts_.telemetry,
+                                                         opts_.num_shards);
+    for (std::size_t i = 0; i < opts_.num_shards; ++i) {
+      shards_[i]->tele = &tele_->shard(i);
+    }
+    push_sampler_ = telemetry::Sampler(opts_.telemetry.sample_every);
   }
 }
 
@@ -297,12 +322,22 @@ StreamServer::Shard& StreamServer::ShardOf(std::uint64_t digest) {
 
 void StreamServer::Push(const traffic::TracePacket& packet) {
   Shard& shard = ShardOf(packet.key.digest);
+  // Sampling decision at the boundary (one predictable branch when
+  // telemetry is off or sample_every == 0): the stamp starts the packet's
+  // end-to-end clock and, in MT mode, the ring-dwell clock.
+  const std::uint32_t stamp =
+      (tele_ != nullptr && push_sampler_.Sample()) ? tele_->Stamp32() : 0;
   if (!running_) {
-    Process(shard, packet);
+    // `processed` mirrors the MT worker counter so live pps reads work in
+    // both modes (relaxed add, single writer — the producer IS the
+    // processor here).
+    shard.processed.fetch_add(1, std::memory_order_relaxed);
+    Process(shard, packet, stamp);
     return;
   }
   ShardItem item;
   item.packet = packet;
+  item.packet.tele_stamp = stamp;
   item.payload = *packet.packet;
   Escalator esc(opts_.escalation);
   // kRingPushStall makes the ring look full for a round, driving the
@@ -311,6 +346,16 @@ void StreamServer::Push(const traffic::TracePacket& packet) {
          !shard.queue->TryPush(std::move(item))) {
     if (opts_.shed && esc.Exhausted()) {
       shard.shed_ring_full.fetch_add(1, std::memory_order_relaxed);
+      // Per-packet sheds are a high-rate event under sustained overload:
+      // trace only the sampled packets (same 1-in-N as packet spans), or
+      // a drop storm evicts every lifecycle event from the fixed ring.
+      // The batch-level shed records (burst remainder, inference) stay
+      // unconditional. The shed *counter* above counts every drop.
+      if (shard.tele != nullptr && stamp != 0) {
+        shard.tele->ring.Record(telemetry::TraceEventKind::kShed,
+                                shard.index, tele_->NowNs(), 0, 1,
+                                /*reason=*/0);
+      }
       return;
     }
     esc.Wait();  // shard backlogged; escalate backpressure
@@ -336,6 +381,14 @@ void StreamServer::PushStage(Shard& shard, std::span<ShardItem> items) {
       // here, deterministically, instead of stalling every other shard
       // this ingest thread feeds.
       shard.shed_ring_full.fetch_add(rest.size(), std::memory_order_relaxed);
+      if (shard.tele != nullptr) {
+        // The shard's event ring is multi-writer safe (claim cursor +
+        // per-slot seq), so the ingest thread can drop the shed marker
+        // on the shard's own track.
+        shard.tele->ring.Record(telemetry::TraceEventKind::kShed,
+                                shard.index, tele_->NowNs(), 0, rest.size(),
+                                /*reason=*/0);
+      }
       break;
     }
     esc.Wait();
@@ -355,19 +408,43 @@ void StreamServer::IngestLoop(PartitionedPacketSource& source, std::size_t t,
   for (std::size_t s = t; s < shards_.size(); s += fanout) {
     stages[s].items.resize(burst);
   }
+  // Each ingest thread keeps its own countdown: a sampled pull times the
+  // source decode (Next) and stamps the packet for dwell/end-to-end
+  // measurement downstream. With telemetry off this is one predictable
+  // branch per packet, same as the fault hooks.
+  telemetry::Sampler sampler(tele_ != nullptr ? tele_->sample_every() : 0);
   traffic::TracePacket pkt;
-  while (source.Next(t, pkt)) {
+  for (;;) {
+    const bool sampled = sampler.Sample();
+    const std::uint64_t t0 = sampled ? tele_->NowNs() : 0;
+    if (!source.Next(t, pkt)) break;
+    std::uint64_t now = 0;
+    std::uint32_t stamp = 0;
+    if (sampled) {
+      now = tele_->NowNs();
+      stamp = tele_->Stamp32(now);
+    }
     const std::size_t s = ShardIndexOf(pkt.key.digest, shards_.size());
     if (s % fanout != t) {
       // The partition function disagrees with the shard map: shard s's
       // ring has another producer, so enqueueing from here would break the
       // SPSC invariant. Count and shed — zero under a correct partitioner.
       shards_[s]->shed_misrouted.fetch_add(1, std::memory_order_relaxed);
+      if (shards_[s]->tele != nullptr) {
+        shards_[s]->tele->ring.Record(telemetry::TraceEventKind::kShed,
+                                      static_cast<std::uint32_t>(s),
+                                      tele_->NowNs(), 0, 1, /*reason=*/1);
+      }
       continue;
+    }
+    if (sampled) {
+      shards_[s]->tele->stages.Record(telemetry::Stage::kIngestNext,
+                                      now - t0);
     }
     Stage& stage = stages[s];
     ShardItem& item = stage.items[stage.n];
     item.packet = pkt;
+    item.packet.tele_stamp = stamp;
     item.payload = *pkt.packet;
     item.swap = nullptr;  // staged slots are reused after a flush
     if (++stage.n == burst) {
@@ -431,6 +508,15 @@ void StreamServer::SwapModelDelta(
   const auto t1 = std::chrono::steady_clock::now();
   // Account only on success: a failed publish discarded the clone and the
   // server still serves (and re-reports) the previous version.
+  if (tele_ != nullptr) {
+    tele_->control_ring().Record(
+        telemetry::TraceEventKind::kDeltaApply,
+        telemetry::TraceEvent::kControlTrack, tele_->NowNs(),
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()),
+        version, bytes);
+  }
   ++delta_swaps_;
   delta_bytes_pushed_ += bytes;
   deltas_applied_ += after.deltas_applied - before.deltas_applied;
@@ -444,6 +530,11 @@ void StreamServer::SwapModelDelta(
 void StreamServer::PublishState(std::shared_ptr<const ServingState> next) {
   const std::uint64_t version = next->version;
   const auto prev = serving_;
+  if (tele_ != nullptr) {
+    tele_->control_ring().Record(telemetry::TraceEventKind::kSwapBegin,
+                                 telemetry::TraceEvent::kControlTrack,
+                                 tele_->NowNs(), 0, version, prev->version);
+  }
   if (!running_) {
     // Synchronous apply: the caller owns the shards, and "now" is a packet
     // boundary by definition in single-threaded mode. Transactional: a
@@ -461,12 +552,24 @@ void StreamServer::PublishState(std::shared_ptr<const ServingState> next) {
         // model repeats a build that already succeeded.
         ApplySwap(*shards_[i], prev, /*inject_faults=*/false);
       }
+      if (tele_ != nullptr) {
+        tele_->control_ring().Record(telemetry::TraceEventKind::kSwapRollback,
+                                     telemetry::TraceEvent::kControlTrack,
+                                     tele_->NowNs(), 0, version,
+                                     prev->version);
+      }
       throw SwapError("StreamServer::SwapModel: publish of v" +
                       std::to_string(version) + " failed (" + e.what() +
                       "); rolled back to v" +
                       std::to_string(prev->version));
     }
     serving_ = std::move(next);
+    published_version_.store(version, std::memory_order_relaxed);
+    if (tele_ != nullptr) {
+      tele_->control_ring().Record(telemetry::TraceEventKind::kSwapPublish,
+                                   telemetry::TraceEvent::kControlTrack,
+                                   tele_->NowNs(), 0, version, 0);
+    }
     return;
   }
   // Multi-threaded publish: validate on THIS thread before anything
@@ -481,11 +584,17 @@ void StreamServer::PublishState(std::shared_ptr<const ServingState> next) {
     InferenceEngine probe(*next->model, opts_.batch_size);
     (void)probe;
   } catch (const std::exception& e) {
+    if (tele_ != nullptr) {
+      tele_->control_ring().Record(telemetry::TraceEventKind::kSwapRollback,
+                                   telemetry::TraceEvent::kControlTrack,
+                                   tele_->NowNs(), 0, version, prev->version);
+    }
     throw SwapError("StreamServer::SwapModel: publish of v" +
                     std::to_string(version) + " failed (" + e.what() +
                     "); still serving v" + std::to_string(prev->version));
   }
   serving_ = next;
+  published_version_.store(version, std::memory_order_relaxed);
   // In-band apply: the control item is ordered after every packet already
   // enqueued and before everything pushed later — the same swap point the
   // single-threaded path applies, per shard. Control items are never shed:
@@ -496,6 +605,11 @@ void StreamServer::PublishState(std::shared_ptr<const ServingState> next) {
     while (!shard->queue->TryPush(std::move(item))) {
       std::this_thread::yield();
     }
+  }
+  if (tele_ != nullptr) {
+    tele_->control_ring().Record(telemetry::TraceEventKind::kSwapPublish,
+                                 telemetry::TraceEvent::kControlTrack,
+                                 tele_->NowNs(), 0, version, 0);
   }
 }
 
@@ -526,24 +640,46 @@ void StreamServer::ApplySwap(Shard& shard,
   ++shard.swaps;
   shard.swap_wall_ms +=
       std::chrono::duration<double, std::milli>(t1 - t0).count();
+  if (shard.tele != nullptr) {
+    // The serving gap is a lifecycle event, not a sampled one: every
+    // apply lands in the swap_publish histogram and on the shard's trace
+    // track, so a slow rebuild is visible even at sample_every == 0.
+    const auto gap_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    shard.tele->stages.Record(telemetry::Stage::kSwapPublish, gap_ns);
+    shard.tele->ring.Record(telemetry::TraceEventKind::kSwapApply,
+                            shard.index, tele_->NowNs(), gap_ns,
+                            shard.serving->version, 0);
+  }
 }
 
-void StreamServer::Process(Shard& shard, const traffic::TracePacket& packet) {
+void StreamServer::Process(Shard& shard, const traffic::TracePacket& packet,
+                           std::uint32_t stamp) {
   // MT mode defers table construction to the worker; the one path that can
   // get here first without a worker is Push() before Start(), where the
   // caller owns the shard — build on demand (idempotent, single-threaded).
   if (!shard.table && !shard.raw_table) shard.EnsureTables();
   ++shard.packets;
+  // Sampled packets (nonzero stamp, telemetry attached) pay three extra
+  // clock reads to split lookup from extraction; everything else takes
+  // one predictable branch here and none below.
+  const bool sampled = stamp != 0 && shard.tele != nullptr;
+  std::uint64_t t0 = 0;
+  std::uint64_t t1 = 0;
   float* row = shard.features.data() + shard.pending * dim_;
   bool full;
+  if (sampled) t0 = tele_->NowNs();
   if (opts_.feature == FeatureKind::kRaw) {
     traffic::OnlineFlowStateRaw& state =
         shard.raw_table->FindOrInsert(packet.key);
+    if (sampled) t1 = tele_->NowNs();
     extractor_.Update(state, *packet.packet, packet.ts_us);
     full = state.WindowFull();
     if (full) extractor_.EmitRaw(state, row);
   } else {
     traffic::OnlineFlowState& state = shard.table->FindOrInsert(packet.key);
+    if (sampled) t1 = tele_->NowNs();
     extractor_.Update(state, *packet.packet, packet.ts_us);
     full = state.WindowFull();
     if (full) {
@@ -554,12 +690,17 @@ void StreamServer::Process(Shard& shard, const traffic::TracePacket& packet) {
       }
     }
   }
+  if (sampled) {
+    const std::uint64_t t2 = tele_->NowNs();
+    shard.tele->stages.Record(telemetry::Stage::kFlowLookup, t1 - t0);
+    shard.tele->stages.Record(telemetry::Stage::kFeatureExtract, t2 - t1);
+  }
   if (!full) {
     ++shard.warmup;
     return;
   }
   shard.meta[shard.pending] = {packet.key.digest, packet.flow, packet.index,
-                               packet.label};
+                               packet.label, sampled ? stamp : 0};
   if (++shard.pending == opts_.batch_size) FlushShard(shard);
 }
 
@@ -567,6 +708,12 @@ void StreamServer::FlushShard(Shard& shard) {
   const std::size_t n = shard.pending;
   if (n == 0) return;
   const std::size_t out_dim = shard.out_dim;
+  telemetry::ShardTelemetry* const tele = shard.tele;
+  // The flush is timed whole (Infer + argmax + emit) whenever sampling is
+  // enabled — it is already batch-amortized, so per-flush (not 1-in-N)
+  // costs two clock reads per `batch_size` packets.
+  const bool timed = tele != nullptr && tele_->sample_every() != 0;
+  const std::uint64_t flush_t0 = timed ? tele_->NowNs() : 0;
   // Bounded retry ladder around the engine: a transient Infer failure
   // (fault site kInferenceFault, or a genuine blip) is retried with a
   // linear backoff; once the budget is exhausted the batch is shed and
@@ -586,6 +733,11 @@ void StreamServer::FlushShard(Shard& shard) {
         shard.shed_inference += n;
         ++shard.batches_dropped;
         shard.pending = 0;
+        if (tele != nullptr) {
+          tele->shed_inference.Add(n);
+          tele->ring.Record(telemetry::TraceEventKind::kShed, shard.index,
+                            tele_->NowNs(), 0, n, /*reason=*/2);
+        }
         return;
       }
       if (opts_.inference_retry_backoff_us != 0) {
@@ -593,6 +745,14 @@ void StreamServer::FlushShard(Shard& shard) {
             (attempt + 1) * opts_.inference_retry_backoff_us));
       }
     }
+  }
+  // One clock read covers every sampled packet in the batch: their
+  // end-to-end spans all close at this flush.
+  std::uint64_t emit_ns = 0;
+  std::uint32_t emit32 = 0;
+  if (tele != nullptr) {
+    emit_ns = tele_->NowNs();
+    emit32 = static_cast<std::uint32_t>(emit_ns);
   }
   for (std::size_t i = 0; i < n; ++i) {
     const float* row = shard.logits.data() + i * out_dim;
@@ -608,11 +768,33 @@ void StreamServer::FlushShard(Shard& shard) {
     decision.predicted = static_cast<std::int32_t>(best);
     decision.score = row[best];
     decision.version = shard.serving->version;
+    const std::uint32_t start = shard.meta[i].start;
+    if (start != 0 && tele != nullptr) {
+      // u32 wraparound subtraction: correct for spans < ~4.29s.
+      const std::uint32_t lat = emit32 - start;
+      decision.latency_ns = lat;
+      tele->stages.Record(telemetry::Stage::kEndToEnd, lat);
+      tele->ring.Record(telemetry::TraceEventKind::kPacketSpan, shard.index,
+                        emit_ns - lat, lat, decision.flow_digest,
+                        decision.version);
+    }
     shard.decisions.push_back(decision);
   }
   ++shard.batches;
   shard.decided += n;
   shard.pending = 0;
+  if (tele != nullptr) {
+    tele->decisions.Add(n);
+    if (timed) {
+      tele->stages.Record(telemetry::Stage::kInferFlush,
+                          tele_->NowNs() - flush_t0);
+    }
+    // Refresh the live hit-rate gauges from the (worker-private) table
+    // counters — once per flush, so the live snapshot sees them move.
+    const FlowTableStats ts = shard.TableStats();
+    tele->table_hits.Set(ts.hits);
+    tele->table_misses.Set(ts.misses);
+  }
 }
 
 void StreamServer::Flush() {
@@ -677,12 +859,22 @@ void StreamServer::WatchdogLoop() {
             !s.stalled.load(std::memory_order_relaxed)) {
           s.stalled.store(true, std::memory_order_relaxed);
           s.stall_events.fetch_add(1, std::memory_order_relaxed);
+          if (tele_ != nullptr) {
+            tele_->control_ring().Record(telemetry::TraceEventKind::kStall,
+                                         s.index, tele_->NowNs(), 0,
+                                         beat, s.queue->SizeApprox());
+          }
         }
       } else {
         // Progress (or an empty ring): self-clear.
         stagnant[i] = 0;
         if (s.stalled.load(std::memory_order_relaxed)) {
           s.stalled.store(false, std::memory_order_relaxed);
+          if (tele_ != nullptr) {
+            tele_->control_ring().Record(
+                telemetry::TraceEventKind::kStallClear, s.index,
+                tele_->NowNs(), 0, beat, 0);
+          }
         }
       }
       last_beat[i] = beat;
@@ -700,6 +892,8 @@ ServerHealth StreamServer::Health() const {
     sh.heartbeat = shard->heartbeat.load(std::memory_order_relaxed);
     sh.processed = shard->processed.load(std::memory_order_relaxed);
     sh.ring_depth = shard->queue ? shard->queue->SizeApprox() : 0;
+    sh.ring_depth_hwm =
+        shard->ring_depth_hwm.load(std::memory_order_relaxed);
     sh.stalled = shard->stalled.load(std::memory_order_relaxed);
     sh.stall_events = shard->stall_events.load(std::memory_order_relaxed);
     health.stall_events += sh.stall_events;
@@ -707,6 +901,69 @@ ServerHealth StreamServer::Health() const {
     health.shards.push_back(sh);
   }
   return health;
+}
+
+telemetry::TelemetrySnapshot StreamServer::TelemetrySnapshot() const {
+  telemetry::TelemetrySnapshot snap;
+  snap.attached = tele_ != nullptr;
+  snap.sample_every = opts_.telemetry.sample_every;
+  snap.tracing = tele_ != nullptr && tele_->tracing();
+  snap.running = running_.load(std::memory_order_acquire);
+  snap.now_ns = tele_ != nullptr ? tele_->NowNs() : 0;
+  snap.active_version = published_version_.load(std::memory_order_relaxed);
+  std::array<telemetry::HistogramSnapshot, telemetry::kNumStages> merged{};
+  snap.shards.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = *shards_[i];
+    telemetry::ShardTelemetrySnapshot sh;
+    sh.heartbeat = shard.heartbeat.load(std::memory_order_relaxed);
+    sh.processed = shard.processed.load(std::memory_order_relaxed);
+    sh.ring_depth = shard.queue ? shard.queue->SizeApprox() : 0;
+    sh.ring_depth_hwm =
+        shard.ring_depth_hwm.load(std::memory_order_relaxed);
+    sh.shed_ring_full =
+        shard.shed_ring_full.load(std::memory_order_relaxed);
+    sh.shed_misrouted =
+        shard.shed_misrouted.load(std::memory_order_relaxed);
+    sh.stalled = shard.stalled.load(std::memory_order_relaxed);
+    snap.stall_events +=
+        shard.stall_events.load(std::memory_order_relaxed);
+    if (shard.tele != nullptr) {
+      sh.decisions = shard.tele->decisions.value();
+      sh.shed_inference = shard.tele->shed_inference.value();
+      sh.table_hits = shard.tele->table_hits.value();
+      sh.table_misses = shard.tele->table_misses.value();
+      for (std::size_t s = 0; s < telemetry::kNumStages; ++s) {
+        merged[s].Merge(
+            shard.tele->stages.Snapshot(static_cast<telemetry::Stage>(s)));
+      }
+      snap.trace_events_recorded += shard.tele->ring.recorded();
+    }
+    snap.packets += sh.processed;
+    snap.decisions += sh.decisions;
+    snap.shed_total +=
+        sh.shed_ring_full + sh.shed_misrouted + sh.shed_inference;
+    if (sh.stalled) ++snap.stalled_shards;
+    snap.shards.push_back(sh);
+  }
+  if (tele_ != nullptr) {
+    snap.trace_events_recorded += tele_->control_ring().recorded();
+  }
+  for (std::size_t s = 0; s < telemetry::kNumStages; ++s) {
+    snap.stages[s].stage = static_cast<telemetry::Stage>(s);
+    snap.stages[s].hist = merged[s];
+    snap.stages[s].Finish();
+  }
+  return snap;
+}
+
+std::vector<telemetry::TraceEvent> StreamServer::DumpTrace() const {
+  if (tele_ == nullptr) return {};
+  return tele_->DumpTrace();
+}
+
+void StreamServer::WriteTrace(std::ostream& os) const {
+  telemetry::WriteTraceJson(DumpTrace(), os);
 }
 
 void StreamServer::WorkerLoop(Shard& shard, int cpu) {
@@ -723,7 +980,7 @@ void StreamServer::WorkerLoop(Shard& shard, int cpu) {
       ApplySwap(shard, std::move(item.swap), /*inject_faults=*/false);
     } else {
       item.packet.packet = &item.payload;  // rebind after the ring move
-      Process(shard, item.packet);
+      Process(shard, item.packet, item.packet.tele_stamp);
     }
   };
   // Burst drain: one head publish per burst, and a prefetch pass over the
@@ -731,7 +988,29 @@ void StreamServer::WorkerLoop(Shard& shard, int cpu) {
   // processed, its flow entry is (likely) already in flight to this core's
   // cache.
   std::vector<ShardItem> burst(opts_.burst);
+  std::size_t hwm = 0;
   const auto drain = [&](std::size_t n) {
+    // Ring-depth high watermark: the burst in hand plus what is still
+    // queued behind it. One relaxed store only when the mark moves, so
+    // the common case is a compare against a local.
+    const std::size_t depth = n + shard.queue->SizeApprox();
+    if (depth > hwm) {
+      hwm = depth;
+      shard.ring_depth_hwm.store(depth, std::memory_order_relaxed);
+    }
+    if (shard.tele != nullptr) {
+      // Ring dwell closes here for every sampled packet in the burst —
+      // one clock read per burst, u32 wrap-safe subtraction per packet.
+      const std::uint32_t pop32 =
+          static_cast<std::uint32_t>(tele_->NowNs());
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t stamp = burst[i].packet.tele_stamp;
+        if (stamp != 0 && !burst[i].swap) {
+          shard.tele->stages.Record(telemetry::Stage::kRingDwell,
+                                    pop32 - stamp);
+        }
+      }
+    }
     for (std::size_t i = 0; i < n; ++i) {
       if (!burst[i].swap) shard.PrefetchFlow(burst[i].packet.key);
     }
@@ -954,10 +1233,12 @@ void StreamServer::ResetStats() {
     shard->batches_dropped = 0;
     shard->stall_events.store(0, std::memory_order_relaxed);
     shard->stalled.store(false, std::memory_order_relaxed);
+    shard->ring_depth_hwm.store(0, std::memory_order_relaxed);
     shard->ResetTableStats();
     shard->engine_carry = {};
     shard->engine->ResetStats();
   }
+  if (tele_ != nullptr) tele_->Reset();
   delta_swaps_ = 0;
   delta_bytes_pushed_ = 0;
   deltas_applied_ = 0;

@@ -105,6 +105,8 @@
 #include "runtime/flow_table.hpp"
 #include "runtime/inference_engine.hpp"
 #include "runtime/packet_source.hpp"
+#include "telemetry/exposition.hpp"
+#include "telemetry/telemetry.hpp"
 #include "traffic/stream.hpp"
 
 namespace pegasus::runtime {
@@ -219,6 +221,12 @@ struct StreamServerOptions {
   /// list[i % list.size()]. An empty ingest list leaves ingest unpinned.
   std::vector<int> worker_cpus;
   std::vector<int> ingest_cpus;
+  /// Observability (src/telemetry/): stage-latency sampling, flight-
+  /// recorder tracing, live counters. Default-constructed = detached =
+  /// the zero-overhead shape (one null-pointer test per packet); see
+  /// telemetry::TelemetryOptions. MT == ST decision equality holds at
+  /// every setting — telemetry observes, never steers.
+  telemetry::TelemetryOptions telemetry;
 };
 
 /// One per-packet classification (or anomaly score) produced by the server.
@@ -233,6 +241,12 @@ struct StreamDecision {
   /// The winning output value (top logit, or the anomaly score for
   /// 1-output models such as the AutoEncoder).
   float score = 0.0f;
+  /// End-to-end latency of the packet that produced this decision
+  /// (push/ingest-stamp -> decision emit), filled only when telemetry
+  /// sampling picked the packet; 0 otherwise. Lets eval correlate
+  /// accuracy with serving latency per model version (sits in what was
+  /// the padding hole before `version` — StreamDecision stays 40 bytes).
+  std::uint32_t latency_ns = 0;
   /// Model version that produced this decision (see SwapModel).
   std::uint64_t version = 0;
 };
@@ -285,6 +299,13 @@ struct ShardHealth {
   std::uint64_t processed = 0;
   /// Approximate ring occupancy right now.
   std::size_t ring_depth = 0;
+  /// High-watermark ring occupancy observed by the worker since the last
+  /// ResetStats(): the burst size in hand plus what remained queued at
+  /// each drain. An instantaneous ring_depth misses transients entirely;
+  /// the HWM is the backlog signal capacity planning actually wants.
+  /// Always tracked (telemetry attached or not); 0 in single-threaded
+  /// mode (no ring).
+  std::size_t ring_depth_hwm = 0;
   /// The watchdog's current verdict: heartbeat stagnant for
   /// watchdog_stall_intervals samples while the ring held work.
   bool stalled = false;
@@ -495,6 +516,24 @@ class StreamServer {
   /// exact-counters view.
   ServerHealth Health() const;
 
+  /// Live observability snapshot: merged per-stage latency histograms
+  /// with p50/p90/p99/p999, per-shard counters/gauges (processed,
+  /// decisions, ring depth + high watermark, shed, table hit/miss) and
+  /// trace-ring occupancy. Same callable-anytime contract as Health() —
+  /// every source field is an atomic. With telemetry detached
+  /// (options().telemetry.Attached() == false) only the health-backed
+  /// fields are populated and `attached` is false. Serialize with
+  /// telemetry::WriteJson / WritePrometheus.
+  telemetry::TelemetrySnapshot TelemetrySnapshot() const;
+
+  /// Merged, time-ordered flight-recorder dump (empty when telemetry is
+  /// detached or trace_events == 0). Callable while running.
+  std::vector<telemetry::TraceEvent> DumpTrace() const;
+
+  /// DumpTrace() serialized as the structured trace JSON that
+  /// tools/trace_to_chrome.py converts for Perfetto.
+  void WriteTrace(std::ostream& os) const;
+
   /// Zeroes the per-shard packet/decision/batch/swap/shed counters, the
   /// flow tables' stats and the engines' work counters — resident flow
   /// state and the active model stay untouched, so callers can report
@@ -507,7 +546,11 @@ class StreamServer {
   struct ShardItem;
 
   Shard& ShardOf(std::uint64_t digest);
-  void Process(Shard& shard, const traffic::TracePacket& packet);
+  /// `stamp` is the packet's telemetry enqueue stamp (Stamp32; 0 =
+  /// unsampled): nonzero triggers stage timing and flows into the
+  /// decision's latency_ns.
+  void Process(Shard& shard, const traffic::TracePacket& packet,
+               std::uint32_t stamp);
   void FlushShard(Shard& shard);
   /// Rebuilds the shard's engine over `next` at a packet boundary.
   /// `inject_faults` gates the kSwapPublishFail site: true only on the
@@ -553,6 +596,16 @@ class StreamServer {
   /// Per-thread CPU assignment resolved from opts_.pin_policy at
   /// construction (-1 entries = unpinned).
   PinPlan pin_plan_;
+  /// Observability (null when opts_.telemetry is detached — the hot-path
+  /// cost of "off" is one pointer test). Shards hold a raw pointer to
+  /// their block; the control ring takes producer/watchdog events.
+  std::unique_ptr<telemetry::ServerTelemetry> tele_;
+  /// Producer-side 1-in-N countdown for Push() (both modes; the ingest
+  /// threads carry their own).
+  telemetry::Sampler push_sampler_;
+  /// Mirror of serving_->version readable from any thread (serving_
+  /// itself is producer-owned): TelemetrySnapshot's live version field.
+  std::atomic<std::uint64_t> published_version_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> closed_{false};
   /// Written by Start/Stop on the producer thread; atomic so Health() can

@@ -1,0 +1,25 @@
+#include "telemetry/telemetry.hpp"
+
+namespace pegasus::telemetry {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kIngestNext:
+      return "ingest_next";
+    case Stage::kRingDwell:
+      return "ring_dwell";
+    case Stage::kFlowLookup:
+      return "flow_lookup";
+    case Stage::kFeatureExtract:
+      return "feature_extract";
+    case Stage::kInferFlush:
+      return "infer_flush";
+    case Stage::kSwapPublish:
+      return "swap_publish";
+    case Stage::kEndToEnd:
+      return "end_to_end";
+  }
+  return "?";
+}
+
+}  // namespace pegasus::telemetry

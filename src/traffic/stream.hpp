@@ -99,6 +99,13 @@ struct TracePacket {
   std::uint32_t index = 0;
   dataplane::FlowKey key;
   std::int32_t label = 0;
+  /// Telemetry enqueue stamp (truncated steady-clock ns, 0 = unsampled):
+  /// set by a sampling producer right before the packet enters a shard
+  /// ring, read by the consumer for ring-dwell / end-to-end latency. Sits
+  /// in what was padding, so TracePacket stays 40 bytes and the MT ring
+  /// item stays 2x64. Not part of the packet's identity — replay, pcap
+  /// and merge leave it 0.
+  std::uint32_t tele_stamp = 0;
   const Packet* packet = nullptr;
 };
 

@@ -41,6 +41,20 @@ semantic); a mismatch fails the run.
 
     compare_index_bench.py --flowscale BENCH_flowscale.json \
         [BENCH_flowscale_compare.json]
+
+Latency mode (--latency): reads the "latency_runs" section of
+BENCH_stream.json (the off / disabled / sampled telemetry A/B that
+bench_stream measures arm-interleaved, best-of-N) and writes
+BENCH_latency_compare.json. The CI gate: telemetry compiled in but
+disabled must cost < 2% throughput vs the no-telemetry baseline of the
+same run. Because the arms are same-run measurements on a shared machine,
+the gate uses max(disabled, sampled)/off — the sampled arm does strictly
+more work than the disabled arm, so if EITHER ratio clears the bar the
+true disabled overhead is within it, and a single noisy arm cannot fail
+the build. Also prints the sampled-mode latency quantiles for the log.
+
+    compare_index_bench.py --latency BENCH_stream.json \
+        [BENCH_latency_compare.json] [--max-regression 0.02]
 """
 import argparse
 import json
@@ -307,6 +321,74 @@ def flowscale_mode(src: str, dst: str) -> int:
     return 1 if mismatches else 0
 
 
+def latency_mode(src: str, dst: str, max_regression: float) -> int:
+    with open(src) as f:
+        data = json.load(f)
+
+    arms = {r.get("mode"): r for r in data.get("latency_runs", [])}
+    off = arms.get("off")
+    disabled = arms.get("disabled")
+    sampled = arms.get("sampled")
+    if off is None or disabled is None:
+        print("error: latency_runs must contain 'off' and 'disabled' arms "
+              "(rebuild bench_stream?)", file=sys.stderr)
+        return 1
+
+    off_pps = off.get("packets_per_sec") or 0.0
+    ratios = {}
+    for name, arm in (("disabled", disabled), ("sampled", sampled)):
+        if arm is None:
+            continue
+        pps = arm.get("packets_per_sec") or 0.0
+        ratios[name] = round(pps / off_pps, 4) if off_pps else None
+
+    # The gate (see module docstring): sampled work strictly contains
+    # disabled work, so the max of the two ratios is the noise-robust
+    # estimate of the disabled arm's cost.
+    gate_ratio = max(v for v in ratios.values() if v is not None)
+    floor = 1.0 - max_regression
+    passed = gate_ratio >= floor
+
+    out = {
+        "bench": "latency_compare",
+        "build_type": data.get("build_type", "unknown"),
+        "git_sha": data.get("git_sha", "unknown"),
+        "dataset": data.get("dataset", "unknown"),
+        "off_packets_per_sec": off_pps,
+        "ratios_vs_off": ratios,
+        "gate_ratio": gate_ratio,
+        "max_regression": max_regression,
+        "passed": passed,
+        "sampled_latency": None if sampled is None else {
+            "sample_every": sampled.get("sample_every"),
+            "p50_ns": sampled.get("latency_p50_ns"),
+            "p99_ns": sampled.get("latency_p99_ns"),
+            "p999_ns": sampled.get("latency_p999_ns"),
+        },
+    }
+    with open(dst, "w") as f:
+        json.dump(out, f, indent=2)
+        f.write("\n")
+
+    print(f"telemetry off: {off_pps:.0f} pps")
+    for name, ratio in ratios.items():
+        pps = arms[name].get("packets_per_sec") or 0.0
+        print(f"telemetry {name}: {pps:.0f} pps ({ratio}x of off)")
+    if sampled is not None:
+        print(f"sampled (1-in-{sampled.get('sample_every')}) e2e latency: "
+              f"p50 {sampled.get('latency_p50_ns', 0) / 1e3:.1f} us, "
+              f"p99 {sampled.get('latency_p99_ns', 0) / 1e3:.1f} us, "
+              f"p999 {sampled.get('latency_p999_ns', 0) / 1e3:.1f} us")
+    if not passed:
+        print(f"error: disabled-telemetry throughput ratio {gate_ratio} "
+              f"below the {floor} gate — compiled-in telemetry costs more "
+              f"than {max_regression:.0%} with sampling off",
+              file=sys.stderr)
+        return 1
+    print(f"gate: {gate_ratio} >= {floor} ok")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description=__doc__,
@@ -325,8 +407,19 @@ def main() -> int:
     parser.add_argument("--baseline", default=None,
                         help="previous BENCH_stream.json to diff against "
                              "(stream mode)")
+    parser.add_argument("--latency", action="store_true",
+                        help="gate the off/disabled/sampled telemetry A/B "
+                             "in BENCH_stream.json -> "
+                             "BENCH_latency_compare.json")
+    parser.add_argument("--max-regression", type=float, default=0.02,
+                        help="allowed disabled-telemetry throughput loss "
+                             "(latency mode, default 0.02)")
     args = parser.parse_args()
 
+    if args.latency:
+        return latency_mode(args.src,
+                            args.dst or "BENCH_latency_compare.json",
+                            args.max_regression)
     if args.stream or args.swap:
         return stream_mode(args.src, args.baseline,
                            args.dst or "BENCH_swap.json",

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Convert a pegasus flight-recorder dump to Chrome trace-event JSON.
+
+Input: the JSON written by StreamServer::WriteTrace() /
+telemetry::WriteTraceJson():
+
+    {"clock": "steady_ns_since_telemetry_start",
+     "events": [{"seq": 1, "ts_ns": 1234, "dur_ns": 56, "kind": "packet_span",
+                 "shard": 0, "a": ..., "b": ...}, ...]}
+
+Output: the Chrome trace-event array format, loadable in Perfetto
+(https://ui.perfetto.dev) or chrome://tracing. Each shard becomes a thread
+track under one "pegasus" process; control-plane events (shard -1: swap
+begin/publish, delta apply, stall/clear) land on a dedicated "control"
+track. Events with a duration (packet_span, batch_flush, swap_apply)
+become complete events ("X"); lifecycle markers become instants ("i").
+
+Usage:
+    tools/trace_to_chrome.py trace.json -o chrome_trace.json
+    build/bench_stream --trace-out - | tools/trace_to_chrome.py - -o out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+# kinds whose dur_ns is meaningful -> rendered as spans.
+SPAN_KINDS = {"packet_span", "batch_flush", "swap_apply", "delta_apply"}
+
+# Pleasant fixed colors per kind (Chrome trace color names).
+COLOR = {
+    "packet_span": "thread_state_running",
+    "batch_flush": "thread_state_iowait",
+    "swap_begin": "vsync_highlight_color",
+    "swap_apply": "detailed_memory_dump",
+    "swap_publish": "good",
+    "swap_rollback": "terrible",
+    "delta_apply": "startup",
+    "shed": "bad",
+    "stall": "terrible",
+    "stall_clear": "good",
+}
+
+# args payload interpretation per kind: (name_for_a, name_for_b).
+ARG_NAMES = {
+    "packet_span": ("flow_digest", "model_version"),
+    "batch_flush": ("batch_size", "model_version"),
+    "swap_begin": ("version", "mode"),
+    "swap_apply": ("gap_ns", "version"),
+    "swap_publish": ("version", "shards"),
+    "swap_rollback": ("version", "shard"),
+    "delta_apply": ("version", "patch_bytes"),
+    "shed": ("count", "reason"),
+    "stall": ("shard", "heartbeat"),
+    "stall_clear": ("shard", "heartbeat"),
+}
+
+SHED_REASON = {0: "ring_full", 1: "misrouted", 2: "inference"}
+
+PID = 1
+CONTROL_TID = 0  # shard s -> tid s + 1
+
+
+def tid_of(shard: int) -> int:
+    return CONTROL_TID if shard < 0 else shard + 1
+
+
+def convert(dump: dict) -> list[dict]:
+    out: list[dict] = [
+        {"ph": "M", "pid": PID, "name": "process_name",
+         "args": {"name": "pegasus"}},
+        {"ph": "M", "pid": PID, "tid": CONTROL_TID, "name": "thread_name",
+         "args": {"name": "control"}},
+    ]
+    named_shards: set[int] = set()
+    for ev in dump.get("events", []):
+        kind = ev["kind"]
+        shard = ev.get("shard", -1)
+        tid = tid_of(shard)
+        if shard >= 0 and shard not in named_shards:
+            named_shards.add(shard)
+            out.append({"ph": "M", "pid": PID, "tid": tid,
+                        "name": "thread_name",
+                        "args": {"name": f"shard {shard}"}})
+
+        a_name, b_name = ARG_NAMES.get(kind, ("a", "b"))
+        args = {a_name: ev.get("a", 0), b_name: ev.get("b", 0),
+                "seq": ev.get("seq", 0)}
+        if kind == "shed":
+            args["reason"] = SHED_REASON.get(ev.get("b", 0), "unknown")
+
+        ts_us = ev["ts_ns"] / 1000.0
+        rec = {"name": kind, "pid": PID, "tid": tid, "ts": ts_us,
+               "cat": "pegasus", "args": args}
+        if kind in COLOR:
+            rec["cname"] = COLOR[kind]
+        if kind in SPAN_KINDS and ev.get("dur_ns", 0) > 0:
+            rec["ph"] = "X"
+            rec["dur"] = ev["dur_ns"] / 1000.0
+        else:
+            rec["ph"] = "i"
+            # Swap lifecycle is process-wide; per-shard markers stay local.
+            rec["s"] = "p" if shard < 0 else "t"
+        out.append(rec)
+    return out
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description="pegasus flight-recorder dump -> Chrome trace JSON")
+    ap.add_argument("input", help="trace dump JSON ('-' for stdin)")
+    ap.add_argument("-o", "--output", default="-",
+                    help="output path ('-' for stdout)")
+    args = ap.parse_args()
+
+    raw = sys.stdin.read() if args.input == "-" else open(args.input).read()
+    dump = json.loads(raw)
+    if "events" not in dump:
+        print("error: input has no 'events' array — not a pegasus trace "
+              "dump?", file=sys.stderr)
+        return 1
+
+    events = convert(dump)
+    text = json.dumps({"traceEvents": events,
+                       "displayTimeUnit": "ns",
+                       "metadata": {"clock": dump.get("clock", "unknown")}},
+                      indent=None, separators=(",", ":"))
+    if args.output == "-":
+        sys.stdout.write(text + "\n")
+    else:
+        with open(args.output, "w") as f:
+            f.write(text + "\n")
+        n_spans = sum(1 for e in events if e.get("ph") == "X")
+        n_inst = sum(1 for e in events if e.get("ph") == "i")
+        print(f"wrote {args.output}: {n_spans} spans, {n_inst} instants "
+              f"across {len({e['tid'] for e in events if 'tid' in e})} "
+              f"tracks",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
